@@ -1,0 +1,161 @@
+//! Seeded all-to-all chatter — the bench workload.
+
+use dg_core::{Application, Effects, ProcessId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Message of the [`MeshChatter`] workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChatMsg {
+    /// Remaining forwarding budget of this chain.
+    pub ttl: u32,
+    /// Rolling payload checksum.
+    pub payload: u64,
+}
+
+/// High-fan-out chatter: each process seeds `fanout` message chains; each
+/// delivery forwards to a deterministically pseudo-random next peer until
+/// the chain's TTL expires. Total traffic ≈ `n * fanout * ttl` messages,
+/// tunable independently of topology — the load generator for the
+/// Table 1 and overhead experiments.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MeshChatter {
+    fanout: u32,
+    ttl: u32,
+    seed: u64,
+    /// Deliveries observed.
+    pub delivered: u64,
+    /// Rolling checksum of everything seen (divergence detector).
+    pub checksum: u64,
+}
+
+impl MeshChatter {
+    /// `fanout` chains per process, each `ttl` hops, peer choice seeded
+    /// by `seed`.
+    pub fn new(fanout: u32, ttl: u32, seed: u64) -> MeshChatter {
+        MeshChatter {
+            fanout,
+            ttl,
+            seed,
+            delivered: 0,
+            checksum: 0,
+        }
+    }
+
+    /// Expected total deliveries in a failure-free `n`-process run.
+    pub fn expected_deliveries(&self, n: usize) -> u64 {
+        n as u64 * self.fanout as u64 * self.ttl as u64
+    }
+
+    fn next_peer(&self, me: ProcessId, n: usize, salt: u64) -> ProcessId {
+        // Deterministic "random" peer: hash of (seed, me, salt).
+        let mut rng = StdRng::seed_from_u64(
+            self.seed
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add((me.0 as u64) << 32)
+                .wrapping_add(salt),
+        );
+        loop {
+            let candidate = ProcessId(rng.gen_range(0..n as u16));
+            if candidate != me || n == 1 {
+                return candidate;
+            }
+        }
+    }
+}
+
+impl Application for MeshChatter {
+    type Msg = ChatMsg;
+
+    fn on_start(&mut self, me: ProcessId, n: usize) -> Effects<ChatMsg> {
+        if n < 2 {
+            return Effects::none();
+        }
+        let sends = (0..self.fanout)
+            .map(|i| {
+                let to = self.next_peer(me, n, i as u64);
+                (to, ChatMsg {
+                    ttl: self.ttl,
+                    payload: (me.0 as u64) << 16 | i as u64,
+                })
+            })
+            .collect();
+        Effects::sends(sends)
+    }
+
+    fn on_message(
+        &mut self,
+        me: ProcessId,
+        from: ProcessId,
+        msg: &ChatMsg,
+        n: usize,
+    ) -> Effects<ChatMsg> {
+        self.delivered += 1;
+        self.checksum = self
+            .checksum
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(msg.payload ^ (from.0 as u64));
+        if msg.ttl > 1 {
+            let to = self.next_peer(me, n, msg.payload.wrapping_add(msg.ttl as u64));
+            Effects::send(to, ChatMsg {
+                ttl: msg.ttl - 1,
+                payload: msg.payload.wrapping_mul(31).wrapping_add(1),
+            })
+        } else {
+            Effects::none()
+        }
+    }
+
+    fn digest(&self) -> u64 {
+        self.checksum.wrapping_add(self.delivered)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeding_produces_fanout_chains() {
+        let mut app = MeshChatter::new(4, 10, 7);
+        let eff = app.on_start(ProcessId(0), 5);
+        assert_eq!(eff.sends.len(), 4);
+        assert!(eff.sends.iter().all(|&(to, _)| to != ProcessId(0)));
+    }
+
+    #[test]
+    fn forwarding_decrements_ttl_and_stops() {
+        let mut app = MeshChatter::new(1, 3, 7);
+        let eff = app.on_message(
+            ProcessId(1),
+            ProcessId(0),
+            &ChatMsg { ttl: 2, payload: 5 },
+            4,
+        );
+        assert_eq!(eff.sends.len(), 1);
+        assert_eq!(eff.sends[0].1.ttl, 1);
+        let eff = app.on_message(
+            ProcessId(1),
+            ProcessId(0),
+            &ChatMsg { ttl: 1, payload: 5 },
+            4,
+        );
+        assert!(eff.sends.is_empty());
+    }
+
+    #[test]
+    fn peer_choice_is_deterministic() {
+        let app = MeshChatter::new(1, 1, 42);
+        assert_eq!(
+            app.next_peer(ProcessId(2), 6, 9),
+            app.next_peer(ProcessId(2), 6, 9)
+        );
+    }
+
+    #[test]
+    fn expected_deliveries_formula() {
+        let app = MeshChatter::new(3, 4, 0);
+        assert_eq!(app.expected_deliveries(5), 60);
+    }
+}

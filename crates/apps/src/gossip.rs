@@ -1,0 +1,144 @@
+//! Push-sum epidemic aggregation.
+
+use dg_core::{Application, Effects, ProcessId};
+use serde::{Deserialize, Serialize};
+
+/// Messages of the [`Gossip`] workload: a share of `(sum, weight)` mass,
+/// fixed-point scaled by 2^16.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GossipMsg {
+    /// Scaled sum share.
+    pub sum: u64,
+    /// Scaled weight share.
+    pub weight: u64,
+    /// Remaining hops for this mass packet.
+    pub ttl: u32,
+}
+
+/// Push-sum averaging: each process starts with `value` and repeatedly
+/// pushes half its `(sum, weight)` mass to a deterministic next peer
+/// until a hop budget is exhausted.
+///
+/// **Invariant:** total `(sum, weight)` mass is conserved (absent lost
+/// messages), so at quiescence every estimate `sum/weight` lies within
+/// the initial value range, and the mass totals match exactly — a
+/// quantitative target for the oracle-style workload checks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Gossip {
+    /// Scaled local sum mass.
+    pub sum: u64,
+    /// Scaled local weight mass.
+    pub weight: u64,
+    /// Hops each seeded packet may take.
+    ttl: u32,
+    /// Messages absorbed.
+    pub absorbed: u64,
+}
+
+/// Fixed-point scale for gossip mass.
+pub const SCALE: u64 = 1 << 16;
+
+impl Gossip {
+    /// Start with integer `value` and a per-packet hop budget `ttl`.
+    pub fn new(value: u64, ttl: u32) -> Gossip {
+        Gossip {
+            sum: value * SCALE,
+            weight: SCALE,
+            ttl,
+            absorbed: 0,
+        }
+    }
+
+    /// The current average estimate (unscaled, floored).
+    pub fn estimate(&self) -> u64 {
+        self.sum.checked_div(self.weight).unwrap_or(0)
+    }
+
+    fn split_and_send(&mut self, me: ProcessId, n: usize, ttl: u32) -> Effects<GossipMsg> {
+        if ttl == 0 || n < 2 {
+            return Effects::none();
+        }
+        let send_sum = self.sum / 2;
+        let send_weight = self.weight / 2;
+        self.sum -= send_sum;
+        self.weight -= send_weight;
+        // Deterministic peer choice: stride by the remaining ttl so mass
+        // spreads across the whole system.
+        let stride = 1 + (ttl as u16 % (n as u16 - 1));
+        let to = ProcessId((me.0 + stride) % n as u16);
+        Effects::send(to, GossipMsg {
+            sum: send_sum,
+            weight: send_weight,
+            ttl: ttl - 1,
+        })
+    }
+}
+
+impl Application for Gossip {
+    type Msg = GossipMsg;
+
+    fn on_start(&mut self, me: ProcessId, n: usize) -> Effects<GossipMsg> {
+        let ttl = self.ttl;
+        self.split_and_send(me, n, ttl)
+    }
+
+    fn on_message(
+        &mut self,
+        me: ProcessId,
+        _from: ProcessId,
+        msg: &GossipMsg,
+        n: usize,
+    ) -> Effects<GossipMsg> {
+        self.sum += msg.sum;
+        self.weight += msg.weight;
+        self.absorbed += 1;
+        self.split_and_send(me, n, msg.ttl)
+    }
+
+    fn digest(&self) -> u64 {
+        self.sum
+            .wrapping_mul(31)
+            .wrapping_add(self.weight)
+            .wrapping_mul(31)
+            .wrapping_add(self.absorbed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mass_is_conserved_locally() {
+        let mut g = Gossip::new(100, 5);
+        let before = g.sum;
+        let eff = g.on_start(ProcessId(0), 4);
+        let sent: u64 = eff.sends.iter().map(|(_, m)| m.sum).sum();
+        assert_eq!(g.sum + sent, before);
+    }
+
+    #[test]
+    fn ttl_exhaustion_stops_forwarding() {
+        let mut g = Gossip::new(10, 0);
+        assert!(g.on_start(ProcessId(0), 4).is_empty());
+        let eff = g.on_message(
+            ProcessId(0),
+            ProcessId(1),
+            &GossipMsg {
+                sum: SCALE,
+                weight: SCALE,
+                ttl: 0,
+            },
+            4,
+        );
+        assert!(eff.sends.is_empty());
+        assert_eq!(g.absorbed, 1);
+    }
+
+    #[test]
+    fn single_process_system_keeps_mass() {
+        let mut g = Gossip::new(42, 9);
+        assert!(g.on_start(ProcessId(0), 1).is_empty());
+        assert_eq!(g.estimate(), 42);
+    }
+}

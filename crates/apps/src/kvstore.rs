@@ -1,0 +1,194 @@
+//! A replicated key-value store — the convergence workload.
+
+use std::collections::BTreeMap;
+
+use dg_core::{Application, Effects, ProcessId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Messages of the [`KvStore`] workload.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum KvMsg {
+    /// Replicate a write originated at `origin` with a per-origin
+    /// sequence number (last-writer-wins by `(seq, origin)`).
+    Replicate {
+        /// Originating replica.
+        origin: ProcessId,
+        /// Origin-local sequence number of the write.
+        seq: u64,
+        /// Key written.
+        key: u16,
+        /// Value written.
+        value: u64,
+    },
+}
+
+/// A last-writer-wins replicated map: each replica executes a seeded,
+/// deterministic script of local writes and replicates each to every
+/// peer.
+///
+/// **Invariant:** once all replication messages are delivered, every
+/// replica holds the same map — [`KvStore::map_digest`] is equal
+/// everywhere (convergence). Each write carries a totally-ordered
+/// `(seq, origin)` version, so delivery order does not matter, but
+/// *losing* a replication message breaks convergence — making this the
+/// sharpest workload for the retransmission extension and the
+/// duplicate-delivery fuzzing (a double-applied write is harmless by
+/// LWW, but a lost one is visible).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KvStore {
+    /// Scripted local writes `(key, value)`, executed one per trigger.
+    script: Vec<(u16, u64)>,
+    cursor: usize,
+    next_seq: u64,
+    /// The store: key → (value, version).
+    map: BTreeMap<u16, (u64, (u64, u16))>,
+    /// Writes applied (local + replicated).
+    pub applied: u64,
+}
+
+impl KvStore {
+    /// A replica that will perform `writes` seeded local writes over
+    /// `keyspace` keys.
+    pub fn new(me: ProcessId, writes: usize, keyspace: u16, seed: u64) -> KvStore {
+        let mut rng = StdRng::seed_from_u64(seed ^ (me.0 as u64).rotate_left(17));
+        let script = (0..writes)
+            .map(|_| (rng.gen_range(0..keyspace), rng.gen_range(1..1_000_000)))
+            .collect();
+        KvStore {
+            script,
+            cursor: 0,
+            next_seq: 0,
+            map: BTreeMap::new(),
+            applied: 0,
+        }
+    }
+
+    fn apply(&mut self, key: u16, value: u64, version: (u64, u16)) {
+        self.applied += 1;
+        match self.map.get(&key) {
+            Some(&(_, existing)) if existing >= version => {}
+            _ => {
+                self.map.insert(key, (value, version));
+            }
+        }
+    }
+
+    /// Execute the next scripted write locally and return the replication
+    /// fan-out.
+    fn next_write(&mut self, me: ProcessId, n: usize) -> Effects<KvMsg> {
+        if self.cursor >= self.script.len() {
+            return Effects::none();
+        }
+        let (key, value) = self.script[self.cursor];
+        self.cursor += 1;
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.apply(key, value, (seq, me.0));
+        let msg = KvMsg::Replicate {
+            origin: me,
+            seq,
+            key,
+            value,
+        };
+        Effects::sends(
+            ProcessId::all(n)
+                .filter(|&p| p != me)
+                .map(|p| (p, msg.clone()))
+                .collect(),
+        )
+    }
+
+    /// Order-independent digest of the converged map.
+    pub fn map_digest(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for (&k, &(v, (seq, origin))) in &self.map {
+            for word in [u64::from(k), v, seq, u64::from(origin)] {
+                h ^= word;
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+        }
+        h
+    }
+
+    /// Number of distinct keys present.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// `true` iff no key has been written yet.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+impl Application for KvStore {
+    type Msg = KvMsg;
+
+    fn on_start(&mut self, me: ProcessId, n: usize) -> Effects<KvMsg> {
+        self.next_write(me, n)
+    }
+
+    fn on_message(&mut self, me: ProcessId, _from: ProcessId, msg: &KvMsg, n: usize) -> Effects<KvMsg> {
+        let KvMsg::Replicate {
+            origin,
+            seq,
+            key,
+            value,
+        } = *msg;
+        self.apply(key, value, (seq, origin.0));
+        // Receiving a replica write paces our own next write, keeping the
+        // workload reactive (piecewise-deterministic, no timers).
+        self.next_write(me, n)
+    }
+
+    fn digest(&self) -> u64 {
+        self.map_digest()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lww_is_order_independent() {
+        let mut a = KvStore::new(ProcessId(0), 0, 8, 1);
+        let mut b = KvStore::new(ProcessId(0), 0, 8, 1);
+        let w1 = (5u16, 100u64, (0u64, 1u16));
+        let w2 = (5u16, 200u64, (1u64, 0u16));
+        a.apply(w1.0, w1.1, w1.2);
+        a.apply(w2.0, w2.1, w2.2);
+        b.apply(w2.0, w2.1, w2.2);
+        b.apply(w1.0, w1.1, w1.2);
+        assert_eq!(a.map_digest(), b.map_digest());
+        assert_eq!(a.map.get(&5).unwrap().0, 200);
+    }
+
+    #[test]
+    fn duplicate_application_is_idempotent() {
+        let mut a = KvStore::new(ProcessId(0), 0, 8, 1);
+        a.apply(3, 7, (0, 2));
+        let before = a.map_digest();
+        a.apply(3, 7, (0, 2));
+        assert_eq!(a.map_digest(), before);
+    }
+
+    #[test]
+    fn scripts_are_deterministic_per_replica() {
+        let a = KvStore::new(ProcessId(1), 10, 16, 9);
+        let b = KvStore::new(ProcessId(1), 10, 16, 9);
+        assert_eq!(a, b);
+        let c = KvStore::new(ProcessId(2), 10, 16, 9);
+        assert_ne!(a.script, c.script);
+    }
+
+    #[test]
+    fn writes_replicate_to_all_peers() {
+        let mut kv = KvStore::new(ProcessId(0), 3, 4, 5);
+        let eff = kv.on_start(ProcessId(0), 4);
+        assert_eq!(eff.sends.len(), 3);
+        assert_eq!(kv.applied, 1);
+    }
+}

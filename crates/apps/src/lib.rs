@@ -1,0 +1,33 @@
+//! Piecewise-deterministic workloads for the recovery experiments.
+//!
+//! Each workload implements [`dg_core::Application`]: a deterministic
+//! state machine whose only nondeterminism is message arrival, matching
+//! the paper's process model. Any "randomness" a workload needs is baked
+//! in from a seed at construction time, so replays after failures are
+//! bit-identical.
+//!
+//! | Workload | Shape | What it stresses / checks |
+//! |---|---|---|
+//! | [`RingCounter`] | serial token ring | ordering through failures; easy progress check |
+//! | [`Bank`] | random transfers + acks | conservation of money — a global safety invariant |
+//! | [`Gossip`] | push-sum epidemic rounds | convergence despite rollbacks |
+//! | [`Pipeline`] | source → stages → sink | exactly-once-per-item processing, sequence gaps |
+//! | [`MeshChatter`] | seeded all-to-all chatter | high fan-out load for benches |
+//! | [`KvStore`] | LWW replicated map | convergence; idempotence under duplicates |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bank;
+mod chatter;
+mod gossip;
+mod kvstore;
+mod pipeline;
+mod ring;
+
+pub use bank::{Bank, BankMsg};
+pub use chatter::{ChatMsg, MeshChatter};
+pub use gossip::{Gossip, GossipMsg, SCALE};
+pub use kvstore::{KvMsg, KvStore};
+pub use pipeline::{Pipeline, PipelineMsg, PipelineRole};
+pub use ring::RingCounter;

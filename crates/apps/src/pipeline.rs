@@ -1,0 +1,219 @@
+//! A staged processing pipeline: source → workers → sink.
+
+use dg_core::{Application, Effects, ProcessId};
+use serde::{Deserialize, Serialize};
+
+/// Position of a process in the pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PipelineRole {
+    /// Process 0: generates `items` work items.
+    Source,
+    /// Middle processes: transform and forward.
+    Stage,
+    /// Last process: accumulates results and emits receipts as outputs.
+    Sink,
+}
+
+/// Messages of the [`Pipeline`] workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PipelineMsg {
+    /// Item sequence number, assigned by the source.
+    pub seq: u64,
+    /// Accumulated transformation value.
+    pub value: u64,
+    /// Credit returned by the sink to the source (flow control), marked
+    /// by `seq == u64::MAX`.
+    pub credit: bool,
+}
+
+/// A linear pipeline over all `n` processes: process 0 is the source,
+/// process `n-1` the sink, everything between a transforming stage.
+///
+/// The source keeps `window` items in flight (credits from the sink
+/// release more). The sink checks **sequence integrity**: with no lost
+/// messages every item 0..items arrives exactly once (order may vary).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Pipeline {
+    items: u64,
+    window: u64,
+    /// Next item the source will inject.
+    next_seq: u64,
+    /// Bitmask-ish tally of received seqs at the sink (sum and xor detect
+    /// duplicates/gaps without storing the full set).
+    pub received_count: u64,
+    /// Sum of received sequence numbers (sink).
+    pub seq_sum: u64,
+    /// XOR of received sequence numbers (sink).
+    pub seq_xor: u64,
+    /// Items forwarded (stages).
+    pub forwarded: u64,
+}
+
+impl Pipeline {
+    /// A pipeline pushing `items` items with `window` in flight.
+    pub fn new(items: u64, window: u64) -> Pipeline {
+        Pipeline {
+            items,
+            window: window.max(1),
+            next_seq: 0,
+            received_count: 0,
+            seq_sum: 0,
+            seq_xor: 0,
+            forwarded: 0,
+        }
+    }
+
+    /// The role of process `me` in an `n`-process system.
+    pub fn role(me: ProcessId, n: usize) -> PipelineRole {
+        if me == ProcessId(0) {
+            PipelineRole::Source
+        } else if me.index() == n - 1 {
+            PipelineRole::Sink
+        } else {
+            PipelineRole::Stage
+        }
+    }
+
+    /// `true` iff (run at the sink) every item arrived exactly once.
+    pub fn sink_complete(&self) -> bool {
+        let n = self.items;
+        let expect_sum = n * (n - 1) / 2;
+        let expect_xor = (0..n).fold(0, |acc, s| acc ^ s);
+        self.received_count == n && self.seq_sum == expect_sum && self.seq_xor == expect_xor
+    }
+
+    fn inject(&mut self, n: usize) -> Effects<PipelineMsg> {
+        if self.next_seq >= self.items {
+            return Effects::none();
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let to = if n > 1 { ProcessId(1) } else { ProcessId(0) };
+        Effects::send(to, PipelineMsg {
+            seq,
+            value: seq,
+            credit: false,
+        })
+    }
+}
+
+impl Application for Pipeline {
+    type Msg = PipelineMsg;
+
+    fn on_start(&mut self, me: ProcessId, n: usize) -> Effects<PipelineMsg> {
+        if Pipeline::role(me, n) != PipelineRole::Source {
+            return Effects::none();
+        }
+        let mut eff = Effects::none();
+        for _ in 0..self.window {
+            let mut one = self.inject(n);
+            eff.sends.append(&mut one.sends);
+        }
+        eff
+    }
+
+    fn on_message(
+        &mut self,
+        me: ProcessId,
+        _from: ProcessId,
+        msg: &PipelineMsg,
+        n: usize,
+    ) -> Effects<PipelineMsg> {
+        match Pipeline::role(me, n) {
+            PipelineRole::Source => {
+                debug_assert!(msg.credit);
+                self.inject(n)
+            }
+            PipelineRole::Stage => {
+                self.forwarded += 1;
+                let next = ProcessId(me.0 + 1);
+                Effects::send(next, PipelineMsg {
+                    seq: msg.seq,
+                    value: msg.value.wrapping_mul(3).wrapping_add(1),
+                    credit: false,
+                })
+            }
+            PipelineRole::Sink => {
+                self.received_count += 1;
+                self.seq_sum += msg.seq;
+                self.seq_xor ^= msg.seq;
+                // Return a credit and emit a receipt output.
+                Effects::send(ProcessId(0), PipelineMsg {
+                    seq: u64::MAX,
+                    value: 0,
+                    credit: true,
+                })
+                .and_output(*msg)
+            }
+        }
+    }
+
+    fn digest(&self) -> u64 {
+        self.seq_sum
+            .wrapping_mul(0x9E37_79B9)
+            .wrapping_add(self.seq_xor)
+            .wrapping_mul(0x9E37_79B9)
+            .wrapping_add(self.received_count + self.forwarded + self.next_seq)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roles() {
+        assert_eq!(Pipeline::role(ProcessId(0), 4), PipelineRole::Source);
+        assert_eq!(Pipeline::role(ProcessId(2), 4), PipelineRole::Stage);
+        assert_eq!(Pipeline::role(ProcessId(3), 4), PipelineRole::Sink);
+    }
+
+    #[test]
+    fn source_respects_window() {
+        let mut p = Pipeline::new(10, 3);
+        let eff = p.on_start(ProcessId(0), 3);
+        assert_eq!(eff.sends.len(), 3);
+        // A credit releases exactly one more.
+        let eff = p.on_message(
+            ProcessId(0),
+            ProcessId(2),
+            &PipelineMsg {
+                seq: u64::MAX,
+                value: 0,
+                credit: true,
+            },
+            3,
+        );
+        assert_eq!(eff.sends.len(), 1);
+    }
+
+    #[test]
+    fn sink_detects_completion_and_duplicates() {
+        let mut sink = Pipeline::new(3, 1);
+        for seq in 0..3 {
+            let _ = sink.on_message(
+                ProcessId(2),
+                ProcessId(1),
+                &PipelineMsg {
+                    seq,
+                    value: seq,
+                    credit: false,
+                },
+                3,
+            );
+        }
+        assert!(sink.sink_complete());
+        // A duplicate breaks the check.
+        let _ = sink.on_message(
+            ProcessId(2),
+            ProcessId(1),
+            &PipelineMsg {
+                seq: 1,
+                value: 1,
+                credit: false,
+            },
+            3,
+        );
+        assert!(!sink.sink_complete());
+    }
+}

@@ -1,0 +1,87 @@
+//! A serial token-ring counter.
+
+use dg_core::{Application, Effects, ProcessId};
+
+/// The simplest progress workload: a counter circulates the ring,
+/// incremented at each hop, until it reaches `laps * n`.
+///
+/// Because exactly one message is ever in flight, a single lost message
+/// stalls the ring — which makes this workload the sharpest detector of
+/// the base protocol's lost-message behavior (and of the retransmission
+/// extension fixing it).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RingCounter {
+    laps: u64,
+    /// Highest counter value this process has seen.
+    pub high_water: u64,
+    /// Number of times the token passed through this process.
+    pub passes: u64,
+}
+
+impl RingCounter {
+    /// A ring that circulates `laps` full times around the system.
+    pub fn new(laps: u64) -> RingCounter {
+        RingCounter {
+            laps,
+            high_water: 0,
+            passes: 0,
+        }
+    }
+
+    /// The terminal counter value for an `n`-process system.
+    pub fn target(&self, n: usize) -> u64 {
+        self.laps * n as u64
+    }
+}
+
+impl Application for RingCounter {
+    type Msg = u64;
+
+    fn on_start(&mut self, me: ProcessId, n: usize) -> Effects<u64> {
+        if me == ProcessId(0) && n > 0 {
+            Effects::send(ProcessId(1 % n as u16), 1)
+        } else {
+            Effects::none()
+        }
+    }
+
+    fn on_message(&mut self, me: ProcessId, _from: ProcessId, msg: &u64, n: usize) -> Effects<u64> {
+        self.passes += 1;
+        self.high_water = self.high_water.max(*msg);
+        if *msg < self.target(n) {
+            let next = ProcessId((me.0 + 1) % n as u16);
+            Effects::send(next, msg + 1)
+        } else {
+            Effects::none()
+        }
+    }
+
+    fn digest(&self) -> u64 {
+        self.high_water
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(self.passes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forwards_until_target() {
+        let mut app = RingCounter::new(2);
+        // 3-process ring: target 6.
+        let eff = app.on_message(ProcessId(1), ProcessId(0), &5, 3);
+        assert_eq!(eff.sends, vec![(ProcessId(2), 6)]);
+        let eff = app.on_message(ProcessId(1), ProcessId(0), &6, 3);
+        assert!(eff.sends.is_empty());
+        assert_eq!(app.high_water, 6);
+        assert_eq!(app.passes, 2);
+    }
+
+    #[test]
+    fn only_p0_seeds() {
+        assert!(!RingCounter::new(1).on_start(ProcessId(0), 3).is_empty());
+        assert!(RingCounter::new(1).on_start(ProcessId(1), 3).is_empty());
+    }
+}

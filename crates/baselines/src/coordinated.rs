@@ -1,0 +1,371 @@
+//! Coordinated checkpointing (Koo–Toueg style, two-phase).
+//!
+//! No message logging at all: a coordinator periodically runs a
+//! two-phase round — TENTATIVE (everyone snapshots and pauses
+//! application sends) then COMMIT (the line becomes the recovery line).
+//! After any failure, **everyone** rolls back to the last committed line
+//! and the failed process's recovery blocks until all peers acknowledge
+//! the rollback round.
+//!
+//! Measured properties (Table 1 context / experiments E1c, E8): no
+//! piggyback beyond a one-byte epoch tag, no per-message logging cost,
+//! but recovery is synchronous and loses *all* work since the last
+//! committed line — the maximum-recoverable-state comparison's low
+//! anchor. The checkpoint rounds themselves block application progress,
+//! which the failure-free throughput of experiment E5 shows as overhead.
+//!
+//! Simplification (documented): in-flight application messages that
+//! cross a rollback are identified by an epoch tag and discarded, rather
+//! than by channel flushing as in the original paper; the observable
+//! effect (those messages do not survive the rollback) is the same.
+
+use dg_core::{Application, Effects, ProcessId};
+use dg_harness::ProtoReport;
+use dg_simnet::{Actor, Context, SimTime};
+use dg_storage::{CheckpointStore, StorageCosts};
+
+const TIMER_ROUND: u32 = 1;
+
+/// Wire messages of the coordinated-checkpointing protocol.
+#[derive(Debug, Clone)]
+pub enum CoordWire<M> {
+    /// Application payload tagged with the sender's rollback epoch.
+    App {
+        /// Sender's rollback epoch (stale-epoch messages are discarded).
+        epoch: u32,
+        /// Application payload.
+        payload: M,
+    },
+    /// Coordinator → all: take a tentative checkpoint for `round`.
+    Tentative {
+        /// Checkpoint round number.
+        round: u64,
+    },
+    /// Participant → coordinator: tentative checkpoint `round` taken.
+    TentativeOk {
+        /// Checkpoint round number.
+        round: u64,
+    },
+    /// Coordinator → all: commit checkpoint `round`.
+    Commit {
+        /// Checkpoint round number.
+        round: u64,
+    },
+    /// Recovering process → all: roll back to the last committed line;
+    /// enter `epoch`.
+    Rollback {
+        /// The new rollback epoch.
+        epoch: u32,
+    },
+    /// Peer → recovering process: rollback done.
+    RollbackOk {
+        /// The acknowledged epoch.
+        epoch: u32,
+    },
+}
+
+#[derive(Debug, Clone)]
+struct Ckpt<A> {
+    app: A,
+    /// Checkpoint round that produced this snapshot (kept for traces).
+    #[allow(dead_code)]
+    round: u64,
+}
+
+/// A process under two-phase coordinated checkpointing. Process 0 is the
+/// checkpoint coordinator.
+pub struct CoordinatedProcess<A: Application> {
+    me: ProcessId,
+    n: usize,
+    costs: StorageCosts,
+    round_interval: u64,
+
+    app: A,
+    epoch: u32,
+    /// Committed line (always exists after `on_start`).
+    committed: CheckpointStore<Ckpt<A>>,
+    /// Tentative checkpoint awaiting commit.
+    tentative: Option<Ckpt<A>>,
+    /// While a round or rollback is in flight, application sends queue up.
+    paused: bool,
+    outbox: Vec<(ProcessId, A::Msg)>,
+    /// Coordinator bookkeeping.
+    next_round: u64,
+    oks_pending: usize,
+    /// Recovery bookkeeping.
+    rollback_acks_pending: usize,
+    recovery_started_at: SimTime,
+
+    delivered: u64,
+    delivered_since_commit: u64,
+    sent: u64,
+    restarts: u64,
+    rollbacks: u64,
+    max_rollbacks_per_failure: u64,
+    piggyback_bytes: u64,
+    control_messages: u64,
+    control_bytes: u64,
+    recovery_blocked_us: u64,
+    deliveries_undone: u64,
+    stale_discarded: u64,
+}
+
+impl<A: Application> CoordinatedProcess<A> {
+    /// Create process `me` of `n` running `app`; checkpoint rounds start
+    /// every `round_interval` microseconds.
+    pub fn new(me: ProcessId, n: usize, app: A, costs: StorageCosts, round_interval: u64) -> Self {
+        CoordinatedProcess {
+            me,
+            n,
+            costs,
+            round_interval,
+            app,
+            epoch: 0,
+            committed: CheckpointStore::new(),
+            tentative: None,
+            paused: false,
+            outbox: Vec::new(),
+            next_round: 0,
+            oks_pending: 0,
+            rollback_acks_pending: 0,
+            recovery_started_at: SimTime::ZERO,
+            delivered: 0,
+            delivered_since_commit: 0,
+            sent: 0,
+            restarts: 0,
+            rollbacks: 0,
+            max_rollbacks_per_failure: 0,
+            piggyback_bytes: 0,
+            control_messages: 0,
+            control_bytes: 0,
+            recovery_blocked_us: 0,
+            deliveries_undone: 0,
+            stale_discarded: 0,
+        }
+    }
+
+    /// The application state.
+    pub fn app(&self) -> &A {
+        &self.app
+    }
+
+    /// Comparable metrics.
+    pub fn report(&self) -> ProtoReport {
+        ProtoReport {
+            delivered: self.delivered,
+            sent: self.sent,
+            rollbacks: self.rollbacks,
+            max_rollbacks_per_failure: self.max_rollbacks_per_failure,
+            restarts: self.restarts,
+            piggyback_bytes: self.piggyback_bytes,
+            control_bytes: self.control_bytes,
+            control_messages: self.control_messages,
+            recovery_blocked_us: self.recovery_blocked_us,
+            deliveries_undone: self.deliveries_undone,
+            app_digest: self.app.digest(),
+        }
+    }
+
+    fn emit(&mut self, effects: Effects<A::Msg>, ctx: &mut Context<'_, CoordWire<A::Msg>>) {
+        for (to, payload) in effects.sends {
+            if self.paused {
+                self.outbox.push((to, payload));
+            } else {
+                self.sent += 1;
+                self.piggyback_bytes += 1; // the epoch tag
+                ctx.send(to, CoordWire::App {
+                    epoch: self.epoch,
+                    payload,
+                });
+            }
+        }
+    }
+
+    fn flush_outbox(&mut self, ctx: &mut Context<'_, CoordWire<A::Msg>>) {
+        let queued = std::mem::take(&mut self.outbox);
+        for (to, payload) in queued {
+            self.sent += 1;
+            self.piggyback_bytes += 1;
+            ctx.send(to, CoordWire::App {
+                epoch: self.epoch,
+                payload,
+            });
+        }
+    }
+
+    fn control(&mut self, to: ProcessId, wire: CoordWire<A::Msg>, ctx: &mut Context<'_, CoordWire<A::Msg>>) {
+        self.control_messages += 1;
+        self.control_bytes += 5;
+        ctx.send_control(to, wire);
+    }
+
+    fn broadcast(&mut self, wire: CoordWire<A::Msg>, ctx: &mut Context<'_, CoordWire<A::Msg>>)
+    where
+        A::Msg: Clone,
+    {
+        for p in ProcessId::all(self.n) {
+            if p != self.me {
+                self.control(p, wire.clone(), ctx);
+            }
+        }
+    }
+
+    fn restore_committed_line(&mut self) {
+        let (_, ckpt) = self
+            .committed
+            .latest()
+            .map(|(id, c)| (id, c.clone()))
+            .expect("a committed line always exists");
+        self.app = ckpt.app;
+        self.deliveries_undone += self.delivered_since_commit;
+        self.delivered_since_commit = 0;
+        self.tentative = None;
+        self.outbox.clear();
+    }
+}
+
+impl<A: Application> Actor for CoordinatedProcess<A> {
+    type Msg = CoordWire<A::Msg>;
+
+    fn on_start(&mut self, ctx: &mut Context<'_, CoordWire<A::Msg>>) {
+        // The initial state is the first committed line.
+        self.committed.take(Ckpt {
+            app: self.app.clone(),
+            round: 0,
+        });
+        self.next_round = 1;
+        let effects = self.app.on_start(self.me, self.n);
+        self.emit(effects, ctx);
+        if self.me == ProcessId(0) {
+            ctx.set_maintenance_timer(self.round_interval, TIMER_ROUND);
+        }
+    }
+
+    fn on_message(&mut self, from: ProcessId, msg: CoordWire<A::Msg>, ctx: &mut Context<'_, CoordWire<A::Msg>>) {
+        match msg {
+            CoordWire::App { epoch, payload } => {
+                if epoch != self.epoch {
+                    // Crosses a rollback line: the send never "happened".
+                    self.stale_discarded += 1;
+                    return;
+                }
+                self.delivered += 1;
+                self.delivered_since_commit += 1;
+                let effects = self.app.on_message(self.me, from, &payload, self.n);
+                self.emit(effects, ctx);
+            }
+            CoordWire::Tentative { round } => {
+                self.paused = true;
+                self.tentative = Some(Ckpt {
+                    app: self.app.clone(),
+                    round,
+                });
+                ctx.stall(self.costs.checkpoint_write);
+                self.control(from, CoordWire::TentativeOk { round }, ctx);
+            }
+            CoordWire::TentativeOk { round } => {
+                if self.me != ProcessId(0) || self.oks_pending == 0 {
+                    return;
+                }
+                self.oks_pending -= 1;
+                if self.oks_pending == 0 {
+                    // Phase 2: commit everywhere, including locally.
+                    self.broadcast(CoordWire::Commit { round }, ctx);
+                    if let Some(t) = self.tentative.take() {
+                        self.committed.take(t);
+                    }
+                    self.delivered_since_commit = 0;
+                    self.paused = false;
+                    self.flush_outbox(ctx);
+                }
+            }
+            CoordWire::Commit { .. } => {
+                if let Some(t) = self.tentative.take() {
+                    self.committed.take(t);
+                }
+                self.delivered_since_commit = 0;
+                self.paused = false;
+                self.flush_outbox(ctx);
+            }
+            CoordWire::Rollback { epoch } => {
+                if epoch < self.epoch {
+                    return; // stale request
+                }
+                if epoch == self.epoch {
+                    // Already at this line (e.g. a concurrent failure chose
+                    // the same epoch): acknowledge so the requester can
+                    // finish, but do not roll back twice.
+                    self.control(from, CoordWire::RollbackOk { epoch }, ctx);
+                    return;
+                }
+                self.epoch = epoch;
+                self.restore_committed_line();
+                self.rollbacks += 1;
+                self.max_rollbacks_per_failure = self.max_rollbacks_per_failure.max(1);
+                self.paused = false;
+                self.control(from, CoordWire::RollbackOk { epoch }, ctx);
+                // Restart the application from the line: re-issue its
+                // opening sends in the new epoch (deterministic).
+                let mut fresh = self.committed.latest().map(|(_, c)| c.app.clone()).unwrap();
+                let effects = fresh.on_start(self.me, self.n);
+                self.app = fresh;
+                self.emit(effects, ctx);
+            }
+            CoordWire::RollbackOk { epoch } => {
+                if epoch != self.epoch || self.rollback_acks_pending == 0 {
+                    return;
+                }
+                self.rollback_acks_pending -= 1;
+                if self.rollback_acks_pending == 0 {
+                    // Recovery complete: resume from the line.
+                    self.recovery_blocked_us += ctx.now().saturating_since(self.recovery_started_at);
+                    self.paused = false;
+                    let mut fresh = self.committed.latest().map(|(_, c)| c.app.clone()).unwrap();
+                    let effects = fresh.on_start(self.me, self.n);
+                    self.app = fresh;
+                    self.emit(effects, ctx);
+                }
+            }
+        }
+    }
+
+    fn on_timer(&mut self, _kind: u32, ctx: &mut Context<'_, CoordWire<A::Msg>>) {
+        // Coordinator starts a round if none is in flight.
+        if self.me == ProcessId(0) && self.oks_pending == 0 && !self.paused && self.n > 1 {
+            let round = self.next_round;
+            self.next_round += 1;
+            self.paused = true;
+            self.tentative = Some(Ckpt {
+                app: self.app.clone(),
+                round,
+            });
+            ctx.stall(self.costs.checkpoint_write);
+            self.oks_pending = self.n - 1;
+            self.broadcast(CoordWire::Tentative { round }, ctx);
+        }
+        ctx.set_maintenance_timer(self.round_interval, TIMER_ROUND);
+    }
+
+    fn on_crash(&mut self) {
+        self.outbox.clear();
+        self.tentative = None;
+        self.oks_pending = 0;
+    }
+
+    fn on_restart(&mut self, ctx: &mut Context<'_, CoordWire<A::Msg>>) {
+        self.restarts += 1;
+        self.epoch += 1;
+        self.restore_committed_line();
+        self.paused = true; // blocked until the rollback round completes
+        self.recovery_started_at = ctx.now();
+        if self.n > 1 {
+            self.rollback_acks_pending = self.n - 1;
+            self.broadcast(CoordWire::Rollback { epoch: self.epoch }, ctx);
+        } else {
+            self.paused = false;
+        }
+        if self.me == ProcessId(0) {
+            ctx.set_maintenance_timer(self.round_interval, TIMER_ROUND);
+        }
+    }
+}

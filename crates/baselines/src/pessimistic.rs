@@ -1,0 +1,262 @@
+//! Pessimistic receiver-based logging (Borg–Baumbach–Glazer / Powell–
+//! Presotto family).
+//!
+//! Every received message is forced to stable storage **before** the
+//! application processes it, so a failure loses nothing and no other
+//! process is ever affected: zero rollbacks, no tokens, no piggyback.
+//! The price is a synchronous stable write on every delivery, which is
+//! exactly what experiment E5 measures against optimistic logging.
+
+use dg_core::{Application, ProcessId};
+use dg_harness::ProtoReport;
+use dg_simnet::{Actor, Context};
+use dg_storage::{CheckpointStore, EventLog, LogPos, StorageCosts};
+
+const TIMER_CHECKPOINT: u32 = 1;
+
+#[derive(Debug, Clone)]
+struct Logged<M> {
+    from: ProcessId,
+    payload: M,
+}
+
+#[derive(Debug, Clone)]
+struct Ckpt<A> {
+    app: A,
+    log_end: LogPos,
+}
+
+/// A process under pessimistic receiver-based logging.
+pub struct PessimisticProcess<A: Application> {
+    me: ProcessId,
+    n: usize,
+    costs: StorageCosts,
+    checkpoint_interval: u64,
+    app: A,
+    checkpoints: CheckpointStore<Ckpt<A>>,
+    log: EventLog<Logged<A::Msg>>,
+    delivered: u64,
+    sent: u64,
+    restarts: u64,
+    replayed: u64,
+}
+
+impl<A: Application> PessimisticProcess<A> {
+    /// Create process `me` of `n` running `app`.
+    pub fn new(me: ProcessId, n: usize, app: A, costs: StorageCosts, checkpoint_interval: u64) -> Self {
+        PessimisticProcess {
+            me,
+            n,
+            costs,
+            checkpoint_interval,
+            app,
+            checkpoints: CheckpointStore::new(),
+            log: EventLog::new(),
+            delivered: 0,
+            sent: 0,
+            restarts: 0,
+            replayed: 0,
+        }
+    }
+
+    /// The application state.
+    pub fn app(&self) -> &A {
+        &self.app
+    }
+
+    /// Comparable metrics.
+    pub fn report(&self) -> ProtoReport {
+        ProtoReport {
+            delivered: self.delivered,
+            sent: self.sent,
+            rollbacks: 0,
+            max_rollbacks_per_failure: 0,
+            restarts: self.restarts,
+            piggyback_bytes: 0,
+            control_bytes: 0,
+            control_messages: 0,
+            recovery_blocked_us: 0,
+            deliveries_undone: 0,
+            app_digest: self.app.digest(),
+        }
+    }
+
+    fn emit(&mut self, effects: dg_core::Effects<A::Msg>, ctx: &mut Context<'_, A::Msg>) {
+        for (to, msg) in effects.sends {
+            self.sent += 1;
+            ctx.send(to, msg);
+        }
+        // Pessimistic logging has no output-commit problem: every state
+        // is stable, so outputs release immediately (dropped here — the
+        // comparison workloads read state, not outputs).
+    }
+
+    fn take_checkpoint(&mut self, ctx: &mut Context<'_, A::Msg>) {
+        self.checkpoints.take(Ckpt {
+            app: self.app.clone(),
+            log_end: self.log.end(),
+        });
+        ctx.stall(self.costs.checkpoint_write);
+    }
+}
+
+impl<A: Application> Actor for PessimisticProcess<A> {
+    type Msg = A::Msg;
+
+    fn on_start(&mut self, ctx: &mut Context<'_, A::Msg>) {
+        let effects = self.app.on_start(self.me, self.n);
+        self.emit(effects, ctx);
+        self.take_checkpoint(ctx);
+        ctx.set_maintenance_timer(self.checkpoint_interval, TIMER_CHECKPOINT);
+    }
+
+    fn on_message(&mut self, from: ProcessId, msg: A::Msg, ctx: &mut Context<'_, A::Msg>) {
+        // Log synchronously BEFORE processing: the defining property.
+        self.log.append_stable(Logged {
+            from,
+            payload: msg.clone(),
+        });
+        ctx.stall(self.costs.sync_write);
+        self.delivered += 1;
+        let effects = self.app.on_message(self.me, from, &msg, self.n);
+        self.emit(effects, ctx);
+    }
+
+    fn on_timer(&mut self, _kind: u32, ctx: &mut Context<'_, A::Msg>) {
+        self.take_checkpoint(ctx);
+        ctx.set_maintenance_timer(self.checkpoint_interval, TIMER_CHECKPOINT);
+    }
+
+    fn on_crash(&mut self) {
+        // Nothing volatile matters: the log is fully stable.
+        let lost = self.log.crash();
+        debug_assert_eq!(lost, 0, "pessimistic log can never lose entries");
+    }
+
+    fn on_restart(&mut self, ctx: &mut Context<'_, A::Msg>) {
+        let (_, ckpt) = self
+            .checkpoints
+            .latest()
+            .map(|(id, c)| (id, c.clone()))
+            .expect("initial checkpoint exists");
+        self.app = ckpt.app;
+        let entries: Vec<Logged<A::Msg>> = self
+            .log
+            .live_events_from(ckpt.log_end)
+            .cloned()
+            .collect();
+        for e in entries {
+            // Replay with suppressed sends (originals already left).
+            let _ = self.app.on_message(self.me, e.from, &e.payload, self.n);
+            self.replayed += 1;
+        }
+        self.restarts += 1;
+        self.take_checkpoint(ctx);
+        ctx.set_maintenance_timer(self.checkpoint_interval, TIMER_CHECKPOINT);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dg_core::Effects;
+    use dg_simnet::{NetConfig, Sim};
+    use dg_storage::StorageCosts;
+
+    #[derive(Clone)]
+    struct Ring {
+        hops: u64,
+        seen: u64,
+    }
+
+    impl Application for Ring {
+        type Msg = u64;
+        fn on_start(&mut self, me: ProcessId, n: usize) -> Effects<u64> {
+            if me == ProcessId(0) {
+                Effects::send(ProcessId(1 % n as u16), 1)
+            } else {
+                Effects::none()
+            }
+        }
+        fn on_message(&mut self, me: ProcessId, _from: ProcessId, msg: &u64, n: usize) -> Effects<u64> {
+            self.seen = *msg;
+            if *msg < self.hops {
+                Effects::send(ProcessId((me.0 + 1) % n as u16), msg + 1)
+            } else {
+                Effects::none()
+            }
+        }
+        fn digest(&self) -> u64 {
+            self.seen
+        }
+    }
+
+    fn build(n: usize, hops: u64) -> Vec<PessimisticProcess<Ring>> {
+        (0..n as u16)
+            .map(|i| {
+                PessimisticProcess::new(
+                    ProcessId(i),
+                    n,
+                    Ring { hops, seen: 0 },
+                    StorageCosts::free(),
+                    50_000,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn completes_failure_free() {
+        let mut sim = Sim::new(NetConfig::with_seed(1), build(3, 12));
+        let stats = sim.run();
+        assert!(stats.quiescent);
+        let max = sim.actors().iter().map(|a| a.app().seen).max().unwrap();
+        assert_eq!(max, 12);
+    }
+
+    #[test]
+    fn crash_loses_nothing_and_nobody_rolls_back() {
+        let mut sim = Sim::new(NetConfig::with_seed(2), build(3, 30));
+        sim.schedule_crash(ProcessId(1), 2_000);
+        let stats = sim.run();
+        assert!(stats.quiescent);
+        // The ring always completes: every delivery was logged before
+        // processing, so the crash cannot lose the token.
+        let max = sim.actors().iter().map(|a| a.app().seen).max().unwrap();
+        assert_eq!(max, 30);
+        for a in sim.actors() {
+            let r = a.report();
+            assert_eq!(r.rollbacks, 0);
+            assert_eq!(r.piggyback_bytes, 0);
+        }
+        assert_eq!(sim.actor(ProcessId(1)).report().restarts, 1);
+    }
+
+    #[test]
+    fn sync_logging_pays_latency() {
+        // With real storage costs the same workload takes much longer.
+        let free = {
+            let mut sim = Sim::new(NetConfig::with_seed(3), build(3, 30));
+            sim.run().end_time
+        };
+        let costly = {
+            let actors = (0..3u16)
+                .map(|i| {
+                    PessimisticProcess::new(
+                        ProcessId(i),
+                        3,
+                        Ring { hops: 30, seen: 0 },
+                        StorageCosts::disk(),
+                        50_000,
+                    )
+                })
+                .collect();
+            let mut sim = Sim::new(NetConfig::with_seed(3), actors);
+            sim.run().end_time
+        };
+        assert!(
+            costly.as_micros() > free.as_micros() + 30 * StorageCosts::disk().sync_write / 2,
+            "synchronous logging latency not reflected: free={free}, costly={costly}"
+        );
+    }
+}

@@ -1,0 +1,412 @@
+//! Rollback based on vector time (Peterson–Kearns, SRDS 1993).
+//!
+//! Optimistic receiver logging with **plain** (Mattern) vector clocks and
+//! per-process incarnation numbers. A recovering process restores its
+//! checkpoint, replays its stable log, increments its incarnation, and
+//! broadcasts a recovery token carrying the vector time of the restored
+//! state; every peer whose vector clock shows a dependency beyond that
+//! state rolls back and acknowledges. The recovering process **waits for
+//! all acknowledgements** before resuming — synchronous recovery — and
+//! the protocol assumes **FIFO channels** and at most one failure at a
+//! time (Table 1's row for reference 19).
+//!
+//! The FIFO assumption is made observable: application messages carry a
+//! per-link sequence number, and out-of-order delivery is counted in
+//! [`PkProcess::fifo_violations`] (experiment E1e runs this protocol on
+//! the non-FIFO network to show the assumption is load-bearing).
+
+use std::collections::HashMap;
+
+use dg_core::{Application, Effects, ProcessId};
+use dg_ftvc::{wire as clockwire, VectorClock};
+use dg_harness::ProtoReport;
+use dg_simnet::{Actor, Context, SimTime};
+use dg_storage::{CheckpointStore, EventLog, LogPos, StorageCosts};
+
+const TIMER_CHECKPOINT: u32 = 1;
+const TIMER_FLUSH: u32 = 2;
+
+/// Wire messages of the Peterson–Kearns protocol.
+#[derive(Debug, Clone)]
+pub enum PkWire<M> {
+    /// Application payload with vector-clock stamp and link sequence.
+    App {
+        /// Sender's incarnation.
+        inc: u32,
+        /// Per-link FIFO sequence number.
+        link_seq: u64,
+        /// Vector-clock stamp at send.
+        clock: VectorClock,
+        /// Application payload.
+        payload: M,
+    },
+    /// Recovery token: the restored state's vector time.
+    Token {
+        /// The new incarnation of the recovering process.
+        inc: u32,
+        /// Vector clock of the restored state.
+        restored: VectorClock,
+    },
+    /// Rollback acknowledgement.
+    Ack {
+        /// The incarnation being acknowledged.
+        inc: u32,
+    },
+}
+
+#[derive(Debug, Clone)]
+struct Logged<M> {
+    from: ProcessId,
+    clock: VectorClock,
+    payload: M,
+}
+
+#[derive(Debug, Clone)]
+struct Ckpt<A> {
+    app: A,
+    clock: VectorClock,
+    log_end: LogPos,
+}
+
+/// A process under Peterson–Kearns vector-time rollback recovery.
+pub struct PkProcess<A: Application> {
+    me: ProcessId,
+    n: usize,
+    costs: StorageCosts,
+    checkpoint_interval: u64,
+    flush_interval: u64,
+
+    app: A,
+    clock: VectorClock,
+    inc: u32,
+    known_inc: Vec<u32>,
+    checkpoints: CheckpointStore<Ckpt<A>>,
+    log: EventLog<Logged<A::Msg>>,
+    /// Messages parked: either their sender incarnation is unknown, or we
+    /// are blocked in recovery.
+    parked: Vec<(ProcessId, PkWire<A::Msg>)>,
+    /// Blocked awaiting rollback acks.
+    recovering: bool,
+    acks_pending: usize,
+    recovery_started_at: SimTime,
+    /// FIFO bookkeeping.
+    next_link_seq: Vec<u64>,
+    last_seen_seq: HashMap<(ProcessId, u32), u64>,
+    /// Out-of-order deliveries observed (should be 0 on a FIFO network).
+    pub fifo_violations: u64,
+
+    delivered: u64,
+    sent: u64,
+    restarts: u64,
+    rollbacks: u64,
+    rollbacks_by_failure: HashMap<(ProcessId, u32), u64>,
+    piggyback_bytes: u64,
+    control_messages: u64,
+    control_bytes: u64,
+    recovery_blocked_us: u64,
+    deliveries_undone: u64,
+}
+
+impl<A: Application> PkProcess<A> {
+    /// Create process `me` of `n` running `app`.
+    pub fn new(
+        me: ProcessId,
+        n: usize,
+        app: A,
+        costs: StorageCosts,
+        checkpoint_interval: u64,
+        flush_interval: u64,
+    ) -> Self {
+        PkProcess {
+            me,
+            n,
+            costs,
+            checkpoint_interval,
+            flush_interval,
+            app,
+            clock: VectorClock::new(me, n),
+            inc: 0,
+            known_inc: vec![0; n],
+            checkpoints: CheckpointStore::new(),
+            log: EventLog::new(),
+            parked: Vec::new(),
+            recovering: false,
+            acks_pending: 0,
+            recovery_started_at: SimTime::ZERO,
+            next_link_seq: vec![0; n],
+            last_seen_seq: HashMap::new(),
+            fifo_violations: 0,
+            delivered: 0,
+            sent: 0,
+            restarts: 0,
+            rollbacks: 0,
+            rollbacks_by_failure: HashMap::new(),
+            piggyback_bytes: 0,
+            control_messages: 0,
+            control_bytes: 0,
+            recovery_blocked_us: 0,
+            deliveries_undone: 0,
+        }
+    }
+
+    /// The application state.
+    pub fn app(&self) -> &A {
+        &self.app
+    }
+
+    /// Comparable metrics.
+    pub fn report(&self) -> ProtoReport {
+        ProtoReport {
+            delivered: self.delivered,
+            sent: self.sent,
+            rollbacks: self.rollbacks,
+            max_rollbacks_per_failure: self.rollbacks_by_failure.values().copied().max().unwrap_or(0),
+            restarts: self.restarts,
+            piggyback_bytes: self.piggyback_bytes,
+            control_bytes: self.control_bytes,
+            control_messages: self.control_messages,
+            recovery_blocked_us: self.recovery_blocked_us,
+            deliveries_undone: self.deliveries_undone,
+            app_digest: self.app.digest(),
+        }
+    }
+
+    fn emit(&mut self, effects: Effects<A::Msg>, ctx: &mut Context<'_, PkWire<A::Msg>>, live: bool) {
+        for (to, payload) in effects.sends {
+            let stamp = self.clock.stamp_for_send();
+            if live {
+                let link_seq = self.next_link_seq[to.index()];
+                self.next_link_seq[to.index()] += 1;
+                self.sent += 1;
+                self.piggyback_bytes +=
+                    (clockwire::encode_vector(&stamp).len() + 4 + clockwire::varint_len(link_seq)) as u64;
+                ctx.send(to, PkWire::App {
+                    inc: self.inc,
+                    link_seq,
+                    clock: stamp,
+                    payload,
+                });
+            }
+        }
+    }
+
+    fn deliver(
+        &mut self,
+        from: ProcessId,
+        clock: VectorClock,
+        payload: A::Msg,
+        ctx: &mut Context<'_, PkWire<A::Msg>>,
+    ) {
+        self.log.append_volatile(Logged {
+            from,
+            clock: clock.clone(),
+            payload: payload.clone(),
+        });
+        self.clock.observe(&clock);
+        self.delivered += 1;
+        let effects = self.app.on_message(self.me, from, &payload, self.n);
+        self.emit(effects, ctx, true);
+    }
+
+    fn replay(&mut self, entry: &Logged<A::Msg>) {
+        self.clock.observe(&entry.clock);
+        let effects = self.app.on_message(self.me, entry.from, &entry.payload, self.n);
+        // Replay never re-sends; originals already left.
+        for (_, _payload) in effects.sends {
+            self.clock.tick(); // keep the clock trajectory identical
+        }
+    }
+
+    fn take_checkpoint(&mut self, ctx: &mut Context<'_, PkWire<A::Msg>>) {
+        self.log.flush();
+        self.checkpoints.take(Ckpt {
+            app: self.app.clone(),
+            clock: self.clock.clone(),
+            log_end: self.log.end(),
+        });
+        ctx.stall(self.costs.checkpoint_write);
+    }
+
+    fn rollback_for(&mut self, failed: ProcessId, inc: u32, restored: &VectorClock) {
+        *self
+            .rollbacks_by_failure
+            .entry((failed, inc))
+            .or_insert(0) += 1;
+        self.rollbacks += 1;
+        self.log.flush();
+        let limit = restored.stamp(failed);
+        let (ckpt_id, ckpt) = self
+            .checkpoints
+            .iter_newest_first()
+            .find(|(_, c)| c.clock.stamp(failed) <= limit)
+            .map(|(id, c)| (id, c.clone()))
+            .expect("the initial checkpoint never depends on anyone");
+        self.checkpoints.discard_after(ckpt_id);
+        self.app = ckpt.app;
+        self.clock.restore_from(&ckpt.clock);
+        let entries: Vec<(LogPos, Logged<A::Msg>)> = self
+            .log
+            .live_entries_from(ckpt.log_end)
+            .map(|(pos, e)| (pos, e.clone()))
+            .collect();
+        let mut stop_pos = None;
+        for (pos, entry) in &entries {
+            if entry.clock.stamp(failed) > limit {
+                // First orphan delivery: discard from here (Peterson–
+                // Kearns discards the suffix; no re-injection).
+                stop_pos = Some(*pos);
+                break;
+            }
+            self.replay(entry);
+        }
+        if let Some(pos) = stop_pos {
+            let discarded = self.log.split_off_suffix(pos);
+            self.deliveries_undone += discarded.len() as u64;
+        }
+        self.clock.tick();
+    }
+
+    fn handle(&mut self, from: ProcessId, wire: PkWire<A::Msg>, ctx: &mut Context<'_, PkWire<A::Msg>>) {
+        match wire {
+            PkWire::App {
+                inc,
+                link_seq,
+                clock,
+                payload,
+            } => {
+                if inc < self.known_inc[from.index()] {
+                    // From a dead incarnation: obsolete.
+                    self.deliveries_undone += 0; // counted at the roller
+                    return;
+                }
+                if inc > self.known_inc[from.index()] || self.recovering {
+                    // Token not yet seen (or we are blocked): park.
+                    self.parked.push((from, PkWire::App {
+                        inc,
+                        link_seq,
+                        clock,
+                        payload,
+                    }));
+                    return;
+                }
+                // FIFO check (diagnostic).
+                let key = (from, inc);
+                let last = self.last_seen_seq.get(&key).copied();
+                if let Some(last) = last {
+                    if link_seq <= last {
+                        self.fifo_violations += 1;
+                    }
+                }
+                self.last_seen_seq.insert(key, link_seq.max(last.unwrap_or(0)));
+                self.deliver(from, clock, payload, ctx);
+            }
+            PkWire::Token { inc, restored } => {
+                self.known_inc[from.index()] = inc;
+                if self.clock.stamp(from) > restored.stamp(from) {
+                    self.rollback_for(from, inc, &restored);
+                }
+                self.control_messages += 1;
+                self.control_bytes += 4;
+                ctx.send_control(from, PkWire::Ack { inc });
+                self.release_parked(ctx);
+            }
+            PkWire::Ack { inc } => {
+                if self.recovering && inc == self.inc && self.acks_pending > 0 {
+                    self.acks_pending -= 1;
+                    if self.acks_pending == 0 {
+                        self.recovering = false;
+                        self.recovery_blocked_us +=
+                            ctx.now().saturating_since(self.recovery_started_at);
+                        self.release_parked(ctx);
+                    }
+                }
+            }
+        }
+    }
+
+    fn release_parked(&mut self, ctx: &mut Context<'_, PkWire<A::Msg>>) {
+        if self.recovering {
+            return;
+        }
+        let parked = std::mem::take(&mut self.parked);
+        for (from, wire) in parked {
+            self.handle(from, wire, ctx);
+        }
+    }
+}
+
+impl<A: Application> Actor for PkProcess<A> {
+    type Msg = PkWire<A::Msg>;
+
+    fn on_start(&mut self, ctx: &mut Context<'_, PkWire<A::Msg>>) {
+        let effects = self.app.on_start(self.me, self.n);
+        self.emit(effects, ctx, true);
+        self.take_checkpoint(ctx);
+        ctx.set_maintenance_timer(self.checkpoint_interval, TIMER_CHECKPOINT);
+        ctx.set_maintenance_timer(self.flush_interval, TIMER_FLUSH);
+    }
+
+    fn on_message(&mut self, from: ProcessId, msg: PkWire<A::Msg>, ctx: &mut Context<'_, PkWire<A::Msg>>) {
+        self.handle(from, msg, ctx);
+    }
+
+    fn on_timer(&mut self, kind: u32, ctx: &mut Context<'_, PkWire<A::Msg>>) {
+        match kind {
+            TIMER_CHECKPOINT => {
+                if !self.recovering {
+                    self.take_checkpoint(ctx);
+                }
+                ctx.set_maintenance_timer(self.checkpoint_interval, TIMER_CHECKPOINT);
+            }
+            TIMER_FLUSH => {
+                let flushed = self.log.flush();
+                if flushed > 0 {
+                    ctx.stall(self.costs.flush_per_entry * flushed as u64);
+                }
+                ctx.set_maintenance_timer(self.flush_interval, TIMER_FLUSH);
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    fn on_crash(&mut self) {
+        let lost = self.log.crash();
+        self.deliveries_undone += lost as u64;
+        self.parked.clear();
+        self.last_seen_seq.clear();
+    }
+
+    fn on_restart(&mut self, ctx: &mut Context<'_, PkWire<A::Msg>>) {
+        let (_, ckpt) = self
+            .checkpoints
+            .latest()
+            .map(|(id, c)| (id, c.clone()))
+            .expect("initial checkpoint exists");
+        self.app = ckpt.app;
+        self.clock.restore_from(&ckpt.clock);
+        let entries: Vec<Logged<A::Msg>> = self
+            .log
+            .live_events_from(ckpt.log_end)
+            .cloned()
+            .collect();
+        for e in &entries {
+            self.replay(e);
+        }
+        self.inc += 1;
+        self.known_inc[self.me.index()] = self.inc;
+        self.restarts += 1;
+        self.recovering = self.n > 1;
+        self.acks_pending = self.n - 1;
+        self.recovery_started_at = ctx.now();
+        self.control_messages += (self.n - 1) as u64;
+        self.control_bytes += (self.n - 1) as u64
+            * (4 + clockwire::encode_vector(&self.clock).len() as u64);
+        ctx.broadcast_control(PkWire::Token {
+            inc: self.inc,
+            restored: self.clock.clone(),
+        });
+        self.take_checkpoint(ctx);
+        ctx.set_maintenance_timer(self.checkpoint_interval, TIMER_CHECKPOINT);
+        ctx.set_maintenance_timer(self.flush_interval, TIMER_FLUSH);
+    }
+}

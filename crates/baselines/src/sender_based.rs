@@ -1,0 +1,372 @@
+//! Sender-based message logging (Johnson–Zwaenepoel, FTCS 1987).
+//!
+//! Messages are logged in the **sender's volatile memory**; the receiver
+//! assigns a receive sequence number (RSN) and acknowledges it to the
+//! sender. A recovering process restores its checkpoint, broadcasts a
+//! recovery request, and every peer retransmits the logged messages the
+//! recovering process had received since that checkpoint; replaying them
+//! in RSN order reproduces the pre-failure state.
+//!
+//! Properties measured by experiment E1 (matching Table 1's row):
+//! piggyback is O(1) (an SSN), but **recovery blocks** until all `n-1`
+//! peers respond — the recovering process cannot compute, and a network
+//! partition stalls recovery entirely. One failure at a time is fully
+//! recovered; concurrent failures can lose messages (the other failed
+//! process's volatile send log is gone), which the run reports as undone
+//! deliveries.
+//!
+//! Simplifications relative to the 1987 paper, documented per DESIGN.md:
+//! partial-logging corner cases (crash between receive and ack) collapse
+//! into the unacknowledged-message path, and acks are not piggybacked on
+//! application traffic.
+
+use std::collections::{HashMap, HashSet};
+
+use dg_core::{Application, Effects, ProcessId};
+use dg_ftvc::wire::varint_len;
+use dg_harness::ProtoReport;
+use dg_simnet::{Actor, Context, SimTime};
+use dg_storage::{CheckpointStore, SendLog, StorageCosts};
+
+const TIMER_CHECKPOINT: u32 = 1;
+
+/// Wire messages of the sender-based-logging protocol.
+#[derive(Debug, Clone)]
+pub enum SblWire<M> {
+    /// Application payload tagged with the sender's send sequence number.
+    App {
+        /// Sender's send sequence number.
+        ssn: u64,
+        /// Application payload.
+        payload: M,
+    },
+    /// Receiver → sender: `ssn` was delivered as receive number `rsn`.
+    Ack {
+        /// Acknowledged send sequence number.
+        ssn: u64,
+        /// Receive sequence number assigned.
+        rsn: u64,
+    },
+    /// Recovering process → everyone: retransmit my messages.
+    RecoveryRequest {
+        /// RSN recorded in the recovering process's restored checkpoint.
+        from_rsn: u64,
+    },
+    /// Peer → recovering process: everything I logged for you.
+    RecoveryResponse {
+        /// Messages with known RSNs, `(rsn, ssn, payload)`.
+        replay: Vec<(u64, u64, M)>,
+        /// Messages sent but never acknowledged (maybe undelivered).
+        unacked: Vec<(u64, M)>,
+    },
+}
+
+#[derive(Debug, Clone)]
+struct SendRecord<M> {
+    to: ProcessId,
+    ssn: u64,
+    payload: M,
+    rsn: Option<u64>,
+}
+
+#[derive(Debug, Clone)]
+struct Ckpt<A> {
+    app: A,
+    next_rsn: u64,
+    next_ssn: u64,
+    delivered: HashMap<ProcessId, HashSet<u64>>,
+}
+
+/// A process under Johnson–Zwaenepoel sender-based logging.
+pub struct SblProcess<A: Application> {
+    me: ProcessId,
+    n: usize,
+    costs: StorageCosts,
+    checkpoint_interval: u64,
+
+    app: A,
+    next_rsn: u64,
+    next_ssn: u64,
+    /// Per-sender delivered SSNs (duplicate suppression).
+    delivered_ssns: HashMap<ProcessId, HashSet<u64>>,
+    /// The defining structure: the volatile send log.
+    send_log: SendLog<SendRecord<A::Msg>>,
+    checkpoints: CheckpointStore<Ckpt<A>>,
+
+    /// Recovery state.
+    recovering: bool,
+    responses_pending: usize,
+    recovery_buffer: Vec<(u64, ProcessId, u64, A::Msg)>,
+    unacked_buffer: Vec<(ProcessId, u64, A::Msg)>,
+    parked: Vec<(ProcessId, SblWire<A::Msg>)>,
+    recovery_started_at: SimTime,
+
+    // metrics
+    delivered: u64,
+    sent: u64,
+    restarts: u64,
+    piggyback_bytes: u64,
+    control_messages: u64,
+    control_bytes: u64,
+    recovery_blocked_us: u64,
+    deliveries_undone: u64,
+}
+
+impl<A: Application> SblProcess<A> {
+    /// Create process `me` of `n` running `app`.
+    pub fn new(me: ProcessId, n: usize, app: A, costs: StorageCosts, checkpoint_interval: u64) -> Self {
+        SblProcess {
+            me,
+            n,
+            costs,
+            checkpoint_interval,
+            app,
+            next_rsn: 0,
+            next_ssn: 0,
+            delivered_ssns: HashMap::new(),
+            send_log: SendLog::new(),
+            checkpoints: CheckpointStore::new(),
+            recovering: false,
+            responses_pending: 0,
+            recovery_buffer: Vec::new(),
+            unacked_buffer: Vec::new(),
+            parked: Vec::new(),
+            recovery_started_at: SimTime::ZERO,
+            delivered: 0,
+            sent: 0,
+            restarts: 0,
+            piggyback_bytes: 0,
+            control_messages: 0,
+            control_bytes: 0,
+            recovery_blocked_us: 0,
+            deliveries_undone: 0,
+        }
+    }
+
+    /// The application state.
+    pub fn app(&self) -> &A {
+        &self.app
+    }
+
+    /// `true` while recovery is blocked on peer responses.
+    pub fn is_recovering(&self) -> bool {
+        self.recovering
+    }
+
+    /// Comparable metrics.
+    pub fn report(&self) -> ProtoReport {
+        ProtoReport {
+            delivered: self.delivered,
+            sent: self.sent,
+            // The failed process's own restart is not an orphan rollback;
+            // sender-based logging never rolls back peers.
+            rollbacks: 0,
+            max_rollbacks_per_failure: 0,
+            restarts: self.restarts,
+            piggyback_bytes: self.piggyback_bytes,
+            control_bytes: self.control_bytes,
+            control_messages: self.control_messages,
+            recovery_blocked_us: self.recovery_blocked_us,
+            deliveries_undone: self.deliveries_undone,
+            app_digest: self.app.digest(),
+        }
+    }
+
+    fn emit(&mut self, effects: Effects<A::Msg>, ctx: &mut Context<'_, SblWire<A::Msg>>, live: bool) {
+        for (to, payload) in effects.sends {
+            let ssn = self.next_ssn;
+            self.next_ssn += 1;
+            self.send_log.record(SendRecord {
+                to,
+                ssn,
+                payload: payload.clone(),
+                rsn: None,
+            });
+            if live {
+                self.sent += 1;
+                self.piggyback_bytes += varint_len(ssn) as u64;
+                ctx.send(to, SblWire::App { ssn, payload });
+            }
+        }
+    }
+
+    fn deliver(
+        &mut self,
+        from: ProcessId,
+        ssn: u64,
+        payload: A::Msg,
+        ctx: &mut Context<'_, SblWire<A::Msg>>,
+    ) {
+        if !self.delivered_ssns.entry(from).or_default().insert(ssn) {
+            return; // duplicate retransmission
+        }
+        let rsn = self.next_rsn;
+        self.next_rsn += 1;
+        self.control_messages += 1;
+        self.control_bytes += (varint_len(ssn) + varint_len(rsn)) as u64;
+        ctx.send_control(from, SblWire::Ack { ssn, rsn });
+        self.delivered += 1;
+        let effects = self.app.on_message(self.me, from, &payload, self.n);
+        self.emit(effects, ctx, true);
+    }
+
+    fn take_checkpoint(&mut self, ctx: &mut Context<'_, SblWire<A::Msg>>) {
+        self.checkpoints.take(Ckpt {
+            app: self.app.clone(),
+            next_rsn: self.next_rsn,
+            next_ssn: self.next_ssn,
+            delivered: self.delivered_ssns.clone(),
+        });
+        ctx.stall(self.costs.checkpoint_write);
+    }
+
+    fn finish_recovery(&mut self, ctx: &mut Context<'_, SblWire<A::Msg>>) {
+        // Replay RSN-ordered messages: deterministic reconstruction.
+        self.recovery_buffer.sort_by_key(|&(rsn, _, _, _)| rsn);
+        let buffered = std::mem::take(&mut self.recovery_buffer);
+        let mut expected_rsn = self.next_rsn;
+        for (rsn, from, ssn, payload) in buffered {
+            if rsn != expected_rsn {
+                // A gap: the message with that RSN was logged by a sender
+                // that also failed. Everything after the gap is undone.
+                self.deliveries_undone += 1;
+                continue;
+            }
+            expected_rsn += 1;
+            self.next_rsn = rsn + 1;
+            self.delivered_ssns.entry(from).or_default().insert(ssn);
+            let effects = self.app.on_message(self.me, from, &payload, self.n);
+            self.emit(effects, ctx, false); // sends already left originally
+        }
+        self.recovering = false;
+        self.restarts += 1;
+        self.recovery_blocked_us += ctx.now().saturating_since(self.recovery_started_at);
+        self.take_checkpoint(ctx);
+        // Unacknowledged messages re-enter through the normal path.
+        let unacked = std::mem::take(&mut self.unacked_buffer);
+        for (from, ssn, payload) in unacked {
+            self.deliver(from, ssn, payload, ctx);
+        }
+        let parked = std::mem::take(&mut self.parked);
+        for (from, wire) in parked {
+            self.handle_wire(from, wire, ctx);
+        }
+    }
+
+    fn handle_wire(
+        &mut self,
+        from: ProcessId,
+        wire: SblWire<A::Msg>,
+        ctx: &mut Context<'_, SblWire<A::Msg>>,
+    ) {
+        match wire {
+            SblWire::App { ssn, payload } => {
+                if self.recovering {
+                    self.parked.push((from, SblWire::App { ssn, payload }));
+                } else {
+                    self.deliver(from, ssn, payload, ctx);
+                }
+            }
+            SblWire::Ack { ssn, rsn } => {
+                // Record the RSN in the send log.
+                for rec in self.send_log.iter_mut() {
+                    if rec.ssn == ssn && rec.to == from {
+                        rec.rsn = Some(rsn);
+                    }
+                }
+            }
+            SblWire::RecoveryRequest { from_rsn } => {
+                // Answer even while recovering ourselves (from whatever
+                // survives) — this is what prevents mutual deadlock, at
+                // the price of losing messages under concurrent failures.
+                let mut replay = Vec::new();
+                let mut unacked = Vec::new();
+                for rec in self.send_log.iter() {
+                    if rec.to != from {
+                        continue;
+                    }
+                    match rec.rsn {
+                        Some(rsn) if rsn >= from_rsn => {
+                            replay.push((rsn, rec.ssn, rec.payload.clone()))
+                        }
+                        Some(_) => {}
+                        None => unacked.push((rec.ssn, rec.payload.clone())),
+                    }
+                }
+                self.control_messages += 1;
+                self.control_bytes += 8 * (replay.len() as u64 + unacked.len() as u64) + 1;
+                ctx.send_control(from, SblWire::RecoveryResponse { replay, unacked });
+            }
+            SblWire::RecoveryResponse { replay, unacked } => {
+                if !self.recovering {
+                    return; // stale response
+                }
+                for (rsn, ssn, payload) in replay {
+                    self.recovery_buffer.push((rsn, from, ssn, payload));
+                }
+                for (ssn, payload) in unacked {
+                    self.unacked_buffer.push((from, ssn, payload));
+                }
+                self.responses_pending -= 1;
+                if self.responses_pending == 0 {
+                    self.finish_recovery(ctx);
+                }
+            }
+        }
+    }
+}
+
+impl<A: Application> Actor for SblProcess<A> {
+    type Msg = SblWire<A::Msg>;
+
+    fn on_start(&mut self, ctx: &mut Context<'_, SblWire<A::Msg>>) {
+        let effects = self.app.on_start(self.me, self.n);
+        self.emit(effects, ctx, true);
+        self.take_checkpoint(ctx);
+        ctx.set_maintenance_timer(self.checkpoint_interval, TIMER_CHECKPOINT);
+    }
+
+    fn on_message(&mut self, from: ProcessId, msg: SblWire<A::Msg>, ctx: &mut Context<'_, SblWire<A::Msg>>) {
+        self.handle_wire(from, msg, ctx);
+    }
+
+    fn on_timer(&mut self, _kind: u32, ctx: &mut Context<'_, SblWire<A::Msg>>) {
+        if !self.recovering {
+            self.take_checkpoint(ctx);
+        }
+        ctx.set_maintenance_timer(self.checkpoint_interval, TIMER_CHECKPOINT);
+    }
+
+    fn on_crash(&mut self) {
+        // Volatile: the send log (the whole point), counters, dedup sets.
+        self.send_log.clear();
+        self.recovery_buffer.clear();
+        self.unacked_buffer.clear();
+        self.parked.clear();
+    }
+
+    fn on_restart(&mut self, ctx: &mut Context<'_, SblWire<A::Msg>>) {
+        let (_, ckpt) = self
+            .checkpoints
+            .latest()
+            .map(|(id, c)| (id, c.clone()))
+            .expect("initial checkpoint exists");
+        self.app = ckpt.app;
+        self.next_rsn = ckpt.next_rsn;
+        self.next_ssn = ckpt.next_ssn;
+        self.delivered_ssns = ckpt.delivered;
+        self.recovering = true;
+        self.recovery_started_at = ctx.now();
+        self.responses_pending = self.n - 1;
+        if self.responses_pending == 0 {
+            self.finish_recovery(ctx);
+            return;
+        }
+        self.control_messages += (self.n - 1) as u64;
+        self.control_bytes += (self.n - 1) as u64 * 9;
+        ctx.broadcast_control(SblWire::RecoveryRequest {
+            from_rsn: self.next_rsn,
+        });
+        ctx.set_maintenance_timer(self.checkpoint_interval, TIMER_CHECKPOINT);
+    }
+}

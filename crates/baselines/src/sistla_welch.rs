@@ -1,0 +1,453 @@
+//! Efficient distributed recovery using message logging
+//! (Sistla–Welch, PODC 1989).
+//!
+//! Optimistic receiver logging with **session numbers**: every process
+//! carries a vector of per-process session counters; a recovering
+//! process opens a new *session* and runs a synchronous round — each
+//! peer reports the vector time of its latest state that is *stable
+//! with respect to the failed process*, the recovering process computes
+//! the maximum recoverable line from the reports, and peers roll back to
+//! it before anyone proceeds. Compared to Peterson–Kearns the orphan
+//! computation is centralized at the recovering process (the "efficient"
+//! part of the title: two message rounds, no cascading).
+//!
+//! Properties reproduced for Table 1 (reference 26): **FIFO** channels
+//! assumed, **synchronous** (blocking) recovery, **one** rollback per
+//! failure, **O(n)** piggyback, one failure at a time.
+//!
+//! Simplifications relative to the 1989 paper (documented per
+//! DESIGN.md): we implement their "second algorithm" shape — per-message
+//! vector timestamps rather than per-session logging vectors — because
+//! our metrics concern the recovery structure (who blocks, who rolls
+//! back, what travels on the wire), which is preserved.
+
+use std::collections::HashMap;
+
+use dg_core::{Application, Effects, ProcessId};
+use dg_ftvc::{wire as clockwire, VectorClock};
+use dg_harness::ProtoReport;
+use dg_simnet::{Actor, Context, SimTime};
+use dg_storage::{CheckpointStore, EventLog, LogPos, StorageCosts};
+
+const TIMER_CHECKPOINT: u32 = 1;
+const TIMER_FLUSH: u32 = 2;
+
+/// Wire messages of the Sistla–Welch protocol.
+#[derive(Debug, Clone)]
+pub enum SwWire<M> {
+    /// Application payload with session number and vector stamp.
+    App {
+        /// Sender's session (incremented on every recovery it joins).
+        session: u32,
+        /// Vector-clock stamp.
+        clock: VectorClock,
+        /// Application payload.
+        payload: M,
+    },
+    /// Recovering process → all: report your recoverable state w.r.t. me.
+    SessionOpen {
+        /// The new session number.
+        session: u32,
+        /// The recovering process's restored vector time.
+        restored: VectorClock,
+    },
+    /// Peer → recovering process: my dependency on you, for the line
+    /// computation.
+    SessionReport {
+        /// Session being answered.
+        session: u32,
+        /// The reporter's current stamp for the recovering process.
+        dependency_on_failed: u64,
+    },
+    /// Recovering process → all: the recovery line; roll back to it and
+    /// adopt the session.
+    SessionClose {
+        /// Session being closed.
+        session: u32,
+        /// Everyone must roll their dependency on the failed process back
+        /// to at most this.
+        line: u64,
+    },
+}
+
+#[derive(Debug, Clone)]
+struct Logged<M> {
+    from: ProcessId,
+    clock: VectorClock,
+    payload: M,
+}
+
+#[derive(Debug, Clone)]
+struct Ckpt<A> {
+    app: A,
+    clock: VectorClock,
+    log_end: LogPos,
+}
+
+/// A process under Sistla–Welch session-based optimistic recovery.
+pub struct SwProcess<A: Application> {
+    me: ProcessId,
+    n: usize,
+    costs: StorageCosts,
+    checkpoint_interval: u64,
+    flush_interval: u64,
+
+    app: A,
+    clock: VectorClock,
+    session: u32,
+    known_session: Vec<u32>,
+    checkpoints: CheckpointStore<Ckpt<A>>,
+    log: EventLog<Logged<A::Msg>>,
+    /// Parked messages: unknown session, or we are mid-recovery.
+    parked: Vec<(ProcessId, SwWire<A::Msg>)>,
+    /// Recovery coordinator state (when we are the one recovering).
+    collecting: bool,
+    reports_pending: usize,
+    min_line: u64,
+    recovery_started_at: SimTime,
+
+    delivered: u64,
+    sent: u64,
+    restarts: u64,
+    rollbacks: u64,
+    rollbacks_by_failure: HashMap<(ProcessId, u32), u64>,
+    piggyback_bytes: u64,
+    control_messages: u64,
+    control_bytes: u64,
+    recovery_blocked_us: u64,
+    deliveries_undone: u64,
+}
+
+impl<A: Application> SwProcess<A> {
+    /// Create process `me` of `n` running `app`.
+    pub fn new(
+        me: ProcessId,
+        n: usize,
+        app: A,
+        costs: StorageCosts,
+        checkpoint_interval: u64,
+        flush_interval: u64,
+    ) -> Self {
+        SwProcess {
+            me,
+            n,
+            costs,
+            checkpoint_interval,
+            flush_interval,
+            app,
+            clock: VectorClock::new(me, n),
+            session: 0,
+            known_session: vec![0; n],
+            checkpoints: CheckpointStore::new(),
+            log: EventLog::new(),
+            parked: Vec::new(),
+            collecting: false,
+            reports_pending: 0,
+            min_line: u64::MAX,
+            recovery_started_at: SimTime::ZERO,
+            delivered: 0,
+            sent: 0,
+            restarts: 0,
+            rollbacks: 0,
+            rollbacks_by_failure: HashMap::new(),
+            piggyback_bytes: 0,
+            control_messages: 0,
+            control_bytes: 0,
+            recovery_blocked_us: 0,
+            deliveries_undone: 0,
+        }
+    }
+
+    /// The application state.
+    pub fn app(&self) -> &A {
+        &self.app
+    }
+
+    /// Comparable metrics.
+    pub fn report(&self) -> ProtoReport {
+        ProtoReport {
+            delivered: self.delivered,
+            sent: self.sent,
+            rollbacks: self.rollbacks,
+            max_rollbacks_per_failure: self
+                .rollbacks_by_failure
+                .values()
+                .copied()
+                .max()
+                .unwrap_or(0),
+            restarts: self.restarts,
+            piggyback_bytes: self.piggyback_bytes,
+            control_bytes: self.control_bytes,
+            control_messages: self.control_messages,
+            recovery_blocked_us: self.recovery_blocked_us,
+            deliveries_undone: self.deliveries_undone,
+            app_digest: self.app.digest(),
+        }
+    }
+
+    fn emit(&mut self, effects: Effects<A::Msg>, ctx: &mut Context<'_, SwWire<A::Msg>>, live: bool) {
+        for (to, payload) in effects.sends {
+            let stamp = self.clock.stamp_for_send();
+            if live {
+                self.sent += 1;
+                self.piggyback_bytes +=
+                    (clockwire::encode_vector(&stamp).len() + 4) as u64;
+                ctx.send(to, SwWire::App {
+                    session: self.session,
+                    clock: stamp,
+                    payload,
+                });
+            }
+        }
+    }
+
+    fn deliver(
+        &mut self,
+        from: ProcessId,
+        clock: VectorClock,
+        payload: A::Msg,
+        ctx: &mut Context<'_, SwWire<A::Msg>>,
+    ) {
+        self.log.append_volatile(Logged {
+            from,
+            clock: clock.clone(),
+            payload: payload.clone(),
+        });
+        self.clock.observe(&clock);
+        self.delivered += 1;
+        let effects = self.app.on_message(self.me, from, &payload, self.n);
+        self.emit(effects, ctx, true);
+    }
+
+    fn replay(&mut self, entry: &Logged<A::Msg>) {
+        self.clock.observe(&entry.clock);
+        let effects = self.app.on_message(self.me, entry.from, &entry.payload, self.n);
+        for _ in effects.sends {
+            self.clock.tick();
+        }
+    }
+
+    fn take_checkpoint(&mut self, ctx: &mut Context<'_, SwWire<A::Msg>>) {
+        self.log.flush();
+        self.checkpoints.take(Ckpt {
+            app: self.app.clone(),
+            clock: self.clock.clone(),
+            log_end: self.log.end(),
+        });
+        ctx.stall(self.costs.checkpoint_write);
+    }
+
+    /// Roll back so our dependency on `failed` is at most `line`.
+    fn rollback_to_line(&mut self, failed: ProcessId, session: u32, line: u64) {
+        if self.clock.stamp(failed) <= line {
+            return;
+        }
+        self.rollbacks += 1;
+        *self
+            .rollbacks_by_failure
+            .entry((failed, session))
+            .or_insert(0) += 1;
+        self.log.flush();
+        let (ckpt_id, ckpt) = self
+            .checkpoints
+            .iter_newest_first()
+            .find(|(_, c)| c.clock.stamp(failed) <= line)
+            .map(|(id, c)| (id, c.clone()))
+            .expect("initial checkpoint depends on nobody");
+        self.checkpoints.discard_after(ckpt_id);
+        self.app = ckpt.app;
+        self.clock.restore_from(&ckpt.clock);
+        let entries: Vec<(LogPos, Logged<A::Msg>)> = self
+            .log
+            .live_entries_from(ckpt.log_end)
+            .map(|(pos, e)| (pos, e.clone()))
+            .collect();
+        let mut stop = None;
+        for (pos, entry) in &entries {
+            if entry.clock.stamp(failed) > line {
+                stop = Some(*pos);
+                break;
+            }
+            self.replay(entry);
+        }
+        if let Some(pos) = stop {
+            let discarded = self.log.split_off_suffix(pos);
+            self.deliveries_undone += discarded.len() as u64;
+        }
+        self.clock.tick();
+    }
+
+    fn control(&mut self, to: ProcessId, bytes: u64, wire: SwWire<A::Msg>, ctx: &mut Context<'_, SwWire<A::Msg>>) {
+        self.control_messages += 1;
+        self.control_bytes += bytes;
+        ctx.send_control(to, wire);
+    }
+
+    fn handle(&mut self, from: ProcessId, wire: SwWire<A::Msg>, ctx: &mut Context<'_, SwWire<A::Msg>>) {
+        match wire {
+            SwWire::App {
+                session,
+                clock,
+                payload,
+            } => {
+                if session < self.known_session[from.index()] {
+                    // Pre-recovery session: the send was rolled back.
+                    return;
+                }
+                if session > self.known_session[from.index()] || self.collecting {
+                    self.parked.push((from, SwWire::App {
+                        session,
+                        clock,
+                        payload,
+                    }));
+                    return;
+                }
+                self.deliver(from, clock, payload, ctx);
+            }
+            SwWire::SessionOpen { session, restored } => {
+                self.known_session[from.index()] = session;
+                // Report our dependency on the recovering process; the
+                // coordinator computes the line.
+                let dep = self.clock.stamp(from);
+                self.control(
+                    from,
+                    12,
+                    SwWire::SessionReport {
+                        session,
+                        dependency_on_failed: dep.min(restored.stamp(from)),
+                    },
+                    ctx,
+                );
+            }
+            SwWire::SessionReport {
+                session,
+                dependency_on_failed,
+            } => {
+                if !self.collecting || session != self.session {
+                    return;
+                }
+                self.min_line = self.min_line.min(dependency_on_failed);
+                self.reports_pending -= 1;
+                if self.reports_pending == 0 {
+                    // The maximum recoverable line w.r.t. us: no survivor
+                    // may depend on us beyond what our restored state
+                    // covers (they reported the min already), and nothing
+                    // beyond our own restored stamp survives anyway.
+                    let line = self.clock.stamp(self.me).max(self.min_line);
+                    let wire = SwWire::SessionClose {
+                        session,
+                        line,
+                    };
+                    for p in dg_ftvc::ProcessId::all(self.n) {
+                        if p != self.me {
+                            self.control(p, 12, wire.clone(), ctx);
+                        }
+                    }
+                    self.collecting = false;
+                    self.recovery_blocked_us +=
+                        ctx.now().saturating_since(self.recovery_started_at);
+                    let parked = std::mem::take(&mut self.parked);
+                    for (pfrom, pwire) in parked {
+                        self.handle(pfrom, pwire, ctx);
+                    }
+                }
+            }
+            SwWire::SessionClose { session, line } => {
+                self.rollback_to_line(from, session, line);
+                self.session = self.session.max(session);
+                let parked = std::mem::take(&mut self.parked);
+                for (pfrom, pwire) in parked {
+                    self.handle(pfrom, pwire, ctx);
+                }
+            }
+        }
+    }
+}
+
+impl<A: Application> Actor for SwProcess<A> {
+    type Msg = SwWire<A::Msg>;
+
+    fn on_start(&mut self, ctx: &mut Context<'_, SwWire<A::Msg>>) {
+        let effects = self.app.on_start(self.me, self.n);
+        self.emit(effects, ctx, true);
+        self.take_checkpoint(ctx);
+        ctx.set_maintenance_timer(self.checkpoint_interval, TIMER_CHECKPOINT);
+        ctx.set_maintenance_timer(self.flush_interval, TIMER_FLUSH);
+    }
+
+    fn on_message(&mut self, from: ProcessId, msg: SwWire<A::Msg>, ctx: &mut Context<'_, SwWire<A::Msg>>) {
+        self.handle(from, msg, ctx);
+    }
+
+    fn on_timer(&mut self, kind: u32, ctx: &mut Context<'_, SwWire<A::Msg>>) {
+        match kind {
+            TIMER_CHECKPOINT => {
+                if !self.collecting {
+                    self.take_checkpoint(ctx);
+                }
+                ctx.set_maintenance_timer(self.checkpoint_interval, TIMER_CHECKPOINT);
+            }
+            TIMER_FLUSH => {
+                let flushed = self.log.flush();
+                if flushed > 0 {
+                    ctx.stall(self.costs.flush_per_entry * flushed as u64);
+                }
+                ctx.set_maintenance_timer(self.flush_interval, TIMER_FLUSH);
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    fn on_crash(&mut self) {
+        let lost = self.log.crash();
+        self.deliveries_undone += lost as u64;
+        self.parked.clear();
+        self.collecting = false;
+    }
+
+    fn on_restart(&mut self, ctx: &mut Context<'_, SwWire<A::Msg>>) {
+        let (_, ckpt) = self
+            .checkpoints
+            .latest()
+            .map(|(id, c)| (id, c.clone()))
+            .expect("initial checkpoint exists");
+        self.app = ckpt.app;
+        self.clock.restore_from(&ckpt.clock);
+        let entries: Vec<Logged<A::Msg>> = self
+            .log
+            .live_events_from(ckpt.log_end)
+            .cloned()
+            .collect();
+        for e in &entries {
+            self.replay(e);
+        }
+        self.restarts += 1;
+        self.session += 1;
+        self.known_session[self.me.index()] = self.session;
+        self.recovery_started_at = ctx.now();
+        if self.n > 1 {
+            self.collecting = true;
+            self.reports_pending = self.n - 1;
+            self.min_line = u64::MAX;
+            let restored = self.clock.clone();
+            let session = self.session;
+            let bytes = 4 + clockwire::encode_vector(&restored).len() as u64;
+            for p in dg_ftvc::ProcessId::all(self.n) {
+                if p != self.me {
+                    self.control(
+                        p,
+                        bytes,
+                        SwWire::SessionOpen {
+                            session,
+                            restored: restored.clone(),
+                        },
+                        ctx,
+                    );
+                }
+            }
+        }
+        self.take_checkpoint(ctx);
+        ctx.set_maintenance_timer(self.checkpoint_interval, TIMER_CHECKPOINT);
+        ctx.set_maintenance_timer(self.flush_interval, TIMER_FLUSH);
+    }
+}

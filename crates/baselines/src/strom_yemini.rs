@@ -1,0 +1,426 @@
+//! Optimistic recovery à la Strom–Yemini (TOCS 1985).
+//!
+//! Incarnation-based optimistic recovery with **direct** (non-transitive)
+//! dependency tracking: a receiver records a dependency on the *sender's*
+//! current state interval only, not on the sender's full causal past.
+//! Recovery announcements — broadcast on every restart *and* every
+//! orphan rollback — name a `(process, incarnation, last surviving
+//! index)` triple plus the root failure that caused it.
+//!
+//! Because dependencies are direct, an orphan can survive its root
+//! failure's announcement (its dependency on the failed process is
+//! hidden behind an intermediary) and is only caught when the
+//! intermediary's own rollback announcement arrives — so announcements
+//! **cascade**, and one failure can roll the same process back several
+//! times (the `2^n` worst case in the paper's Table 1, reproduced as the
+//! domino experiment E6). This is the precise weakness the Damani–Garg
+//! history mechanism eliminates.
+//!
+//! Like the original, the protocol assumes FIFO channels; messages
+//! referencing an incarnation the receiver has not yet heard of are
+//! parked until the announcement arrives.
+
+use std::collections::{BTreeMap, HashMap};
+
+use dg_core::{Application, Effects, ProcessId};
+use dg_ftvc::{wire::varint_len, Entry, Version};
+use dg_harness::ProtoReport;
+use dg_simnet::{Actor, Context};
+use dg_storage::{CheckpointStore, EventLog, LogPos, StorageCosts};
+
+const TIMER_CHECKPOINT: u32 = 1;
+const TIMER_FLUSH: u32 = 2;
+
+/// Identity of the root failure an announcement cascades from.
+pub type RootFailure = (ProcessId, u32);
+
+/// Wire messages of the Strom–Yemini protocol.
+#[derive(Debug, Clone)]
+pub enum SyWire<M> {
+    /// Application payload carrying the sender's dependency vector.
+    App {
+        /// The sender's dependency vector (one entry per process; entry
+        /// `(inc, idx)`).
+        dv: Vec<Entry>,
+        /// Application payload.
+        payload: M,
+    },
+    /// Recovery announcement: incarnation `inc` of `about` survives only
+    /// through state index `end_idx`; a new incarnation begins.
+    Announce {
+        /// The process that rolled back or restarted.
+        about: ProcessId,
+        /// The incarnation that was truncated.
+        inc: u32,
+        /// Last surviving state index of that incarnation.
+        end_idx: u64,
+        /// The failure this announcement (transitively) stems from.
+        root: RootFailure,
+    },
+}
+
+#[derive(Debug, Clone)]
+struct Logged<M> {
+    from: ProcessId,
+    sender_entry: Entry,
+    dv: Vec<Entry>,
+    payload: M,
+}
+
+#[derive(Debug, Clone)]
+struct Ckpt<A> {
+    app: A,
+    dv: Vec<Entry>,
+    log_end: LogPos,
+}
+
+/// A process under Strom–Yemini optimistic recovery.
+pub struct SyProcess<A: Application> {
+    me: ProcessId,
+    n: usize,
+    costs: StorageCosts,
+    checkpoint_interval: u64,
+    flush_interval: u64,
+
+    app: A,
+    /// Direct-dependency vector; `dv[me]` is the own `(inc, idx)`.
+    dv: Vec<Entry>,
+    checkpoints: CheckpointStore<Ckpt<A>>,
+    log: EventLog<Logged<A::Msg>>,
+    /// Announcement table: per process, per incarnation, the last
+    /// surviving state index.
+    table: Vec<BTreeMap<Version, u64>>,
+    /// Highest incarnation heard of, per process.
+    known_inc: Vec<u32>,
+    /// Messages parked for unknown incarnations.
+    parked: Vec<(ProcessId, SyWire<A::Msg>)>,
+
+    delivered: u64,
+    sent: u64,
+    restarts: u64,
+    rollbacks: u64,
+    rollbacks_by_root: HashMap<RootFailure, u64>,
+    piggyback_bytes: u64,
+    control_messages: u64,
+    control_bytes: u64,
+    deliveries_undone: u64,
+    obsolete_discarded: u64,
+}
+
+impl<A: Application> SyProcess<A> {
+    /// Create process `me` of `n` running `app`.
+    pub fn new(
+        me: ProcessId,
+        n: usize,
+        app: A,
+        costs: StorageCosts,
+        checkpoint_interval: u64,
+        flush_interval: u64,
+    ) -> Self {
+        let mut dv = vec![Entry::ZERO; n];
+        dv[me.index()] = Entry::new(0, 1);
+        SyProcess {
+            me,
+            n,
+            costs,
+            checkpoint_interval,
+            flush_interval,
+            app,
+            dv,
+            checkpoints: CheckpointStore::new(),
+            log: EventLog::new(),
+            table: vec![BTreeMap::new(); n],
+            known_inc: vec![0; n],
+            parked: Vec::new(),
+            delivered: 0,
+            sent: 0,
+            restarts: 0,
+            rollbacks: 0,
+            rollbacks_by_root: HashMap::new(),
+            piggyback_bytes: 0,
+            control_messages: 0,
+            control_bytes: 0,
+            deliveries_undone: 0,
+            obsolete_discarded: 0,
+        }
+    }
+
+    /// The application state.
+    pub fn app(&self) -> &A {
+        &self.app
+    }
+
+    /// Rollbacks attributed to each root failure (cascades included) —
+    /// the E6 domino measurement reads this.
+    pub fn rollbacks_by_root(&self) -> &HashMap<RootFailure, u64> {
+        &self.rollbacks_by_root
+    }
+
+    /// Comparable metrics.
+    pub fn report(&self) -> ProtoReport {
+        ProtoReport {
+            delivered: self.delivered,
+            sent: self.sent,
+            rollbacks: self.rollbacks,
+            max_rollbacks_per_failure: self.rollbacks_by_root.values().copied().max().unwrap_or(0),
+            restarts: self.restarts,
+            piggyback_bytes: self.piggyback_bytes,
+            control_bytes: self.control_bytes,
+            control_messages: self.control_messages,
+            recovery_blocked_us: 0, // recovery is asynchronous
+            deliveries_undone: self.deliveries_undone,
+            app_digest: self.app.digest(),
+        }
+    }
+
+    fn own(&self) -> Entry {
+        self.dv[self.me.index()]
+    }
+
+    fn dv_bytes(dv: &[Entry]) -> u64 {
+        dv.iter()
+            .map(|e| (varint_len(u64::from(e.version.0)) + varint_len(e.ts)) as u64)
+            .sum()
+    }
+
+    fn emit(&mut self, effects: Effects<A::Msg>, ctx: &mut Context<'_, SyWire<A::Msg>>, live: bool) {
+        for (to, payload) in effects.sends {
+            // Sending creates a new state interval.
+            self.dv[self.me.index()].ts += 1;
+            if live {
+                self.sent += 1;
+                self.piggyback_bytes += Self::dv_bytes(&self.dv);
+                ctx.send(to, SyWire::App {
+                    dv: self.dv.clone(),
+                    payload,
+                });
+            }
+        }
+    }
+
+    /// `true` iff the carried dependency vector names a state interval an
+    /// announcement already declared lost.
+    fn dv_is_obsolete(&self, dv: &[Entry]) -> bool {
+        dv.iter().enumerate().any(|(j, e)| {
+            matches!(self.table[j].get(&e.version), Some(&end) if e.ts > end)
+        })
+    }
+
+    fn deliver(
+        &mut self,
+        from: ProcessId,
+        dv: Vec<Entry>,
+        payload: A::Msg,
+        ctx: &mut Context<'_, SyWire<A::Msg>>,
+    ) {
+        let sender_entry = dv[from.index()];
+        self.log.append_volatile(Logged {
+            from,
+            sender_entry,
+            dv: dv.clone(),
+            payload: payload.clone(),
+        });
+        // DIRECT dependency only: merge the sender's own entry, nothing
+        // else. This locality is what makes cascades possible.
+        let mine = &mut self.dv[from.index()];
+        *mine = (*mine).max(sender_entry);
+        self.dv[self.me.index()].ts += 1;
+        self.delivered += 1;
+        let effects = self.app.on_message(self.me, from, &payload, self.n);
+        self.emit(effects, ctx, true);
+    }
+
+    fn replay(&mut self, entry: &Logged<A::Msg>) {
+        let mine = &mut self.dv[entry.from.index()];
+        *mine = (*mine).max(entry.sender_entry);
+        self.dv[self.me.index()].ts += 1;
+        let effects = self.app.on_message(self.me, entry.from, &entry.payload, self.n);
+        for _ in effects.sends {
+            self.dv[self.me.index()].ts += 1;
+        }
+    }
+
+    fn take_checkpoint(&mut self, ctx: &mut Context<'_, SyWire<A::Msg>>) {
+        self.log.flush();
+        self.checkpoints.take(Ckpt {
+            app: self.app.clone(),
+            dv: self.dv.clone(),
+            log_end: self.log.end(),
+        });
+        ctx.stall(self.costs.checkpoint_write);
+    }
+
+    /// Roll back so that the dependency on `about`'s incarnation `inc`
+    /// does not exceed `end_idx`; then announce the new incarnation.
+    fn rollback(
+        &mut self,
+        about: ProcessId,
+        inc: u32,
+        end_idx: u64,
+        root: RootFailure,
+        ctx: &mut Context<'_, SyWire<A::Msg>>,
+    ) {
+        self.rollbacks += 1;
+        *self.rollbacks_by_root.entry(root).or_insert(0) += 1;
+        self.log.flush();
+        let orphan = |dv: &[Entry]| {
+            let e = dv[about.index()];
+            e.version.0 == inc && e.ts > end_idx
+        };
+        let (ckpt_id, ckpt) = self
+            .checkpoints
+            .iter_newest_first()
+            .find(|(_, c)| !orphan(&c.dv))
+            .map(|(id, c)| (id, c.clone()))
+            .expect("initial checkpoint depends on nobody");
+        self.checkpoints.discard_after(ckpt_id);
+        self.app = ckpt.app;
+        let old_inc = self.own().version.0;
+        self.dv = ckpt.dv.clone();
+        // Replay while non-orphan.
+        let entries: Vec<(LogPos, Logged<A::Msg>)> = self
+            .log
+            .live_entries_from(ckpt.log_end)
+            .map(|(pos, e)| (pos, e.clone()))
+            .collect();
+        let mut stop = None;
+        for (pos, entry) in &entries {
+            let e = entry.dv[about.index()];
+            if e.version.0 == inc && e.ts > end_idx {
+                stop = Some(*pos);
+                break;
+            }
+            self.replay(entry);
+        }
+        if let Some(pos) = stop {
+            let discarded = self.log.split_off_suffix(pos);
+            self.deliveries_undone += discarded.len() as u64;
+        }
+        // The rollback ends the current incarnation at the restored index
+        // and starts a new one — announced to everyone (the cascade step).
+        let survived_idx = self.dv[self.me.index()].ts;
+        let new_inc = old_inc + 1;
+        self.dv[self.me.index()] = Entry::new(new_inc, 0);
+        self.known_inc[self.me.index()] = new_inc;
+        self.table[self.me.index()].insert(Version(old_inc), survived_idx);
+        self.announce(old_inc, survived_idx, root, ctx);
+    }
+
+    fn announce(&mut self, inc: u32, end_idx: u64, root: RootFailure, ctx: &mut Context<'_, SyWire<A::Msg>>) {
+        self.control_messages += (self.n - 1) as u64;
+        self.control_bytes += (self.n - 1) as u64 * 12;
+        ctx.broadcast_control(SyWire::Announce {
+            about: self.me,
+            inc,
+            end_idx,
+            root,
+        });
+    }
+
+    fn handle(&mut self, from: ProcessId, wire: SyWire<A::Msg>, ctx: &mut Context<'_, SyWire<A::Msg>>) {
+        match wire {
+            SyWire::App { dv, payload } => {
+                // Park messages from incarnations we have not heard of.
+                let sender_entry = dv[from.index()];
+                if sender_entry.version.0 > self.known_inc[from.index()] {
+                    self.parked.push((from, SyWire::App { dv, payload }));
+                    return;
+                }
+                if self.dv_is_obsolete(&dv) {
+                    self.obsolete_discarded += 1;
+                    return;
+                }
+                self.deliver(from, dv, payload, ctx);
+            }
+            SyWire::Announce {
+                about,
+                inc,
+                end_idx,
+                root,
+            } => {
+                self.known_inc[about.index()] = self.known_inc[about.index()].max(inc + 1);
+                self.table[about.index()].insert(Version(inc), end_idx);
+                // Orphan test against *direct* dependency only.
+                let e = self.dv[about.index()];
+                if e.version.0 == inc && e.ts > end_idx {
+                    self.rollback(about, inc, end_idx, root, ctx);
+                }
+                // Release parked messages that now reference known
+                // incarnations (or are now detectably obsolete).
+                let parked = std::mem::take(&mut self.parked);
+                for (pfrom, pwire) in parked {
+                    self.handle(pfrom, pwire, ctx);
+                }
+            }
+        }
+    }
+}
+
+impl<A: Application> Actor for SyProcess<A> {
+    type Msg = SyWire<A::Msg>;
+
+    fn on_start(&mut self, ctx: &mut Context<'_, SyWire<A::Msg>>) {
+        let effects = self.app.on_start(self.me, self.n);
+        self.emit(effects, ctx, true);
+        self.take_checkpoint(ctx);
+        ctx.set_maintenance_timer(self.checkpoint_interval, TIMER_CHECKPOINT);
+        ctx.set_maintenance_timer(self.flush_interval, TIMER_FLUSH);
+    }
+
+    fn on_message(&mut self, from: ProcessId, msg: SyWire<A::Msg>, ctx: &mut Context<'_, SyWire<A::Msg>>) {
+        self.handle(from, msg, ctx);
+    }
+
+    fn on_timer(&mut self, kind: u32, ctx: &mut Context<'_, SyWire<A::Msg>>) {
+        match kind {
+            TIMER_CHECKPOINT => {
+                self.take_checkpoint(ctx);
+                ctx.set_maintenance_timer(self.checkpoint_interval, TIMER_CHECKPOINT);
+            }
+            TIMER_FLUSH => {
+                let flushed = self.log.flush();
+                if flushed > 0 {
+                    ctx.stall(self.costs.flush_per_entry * flushed as u64);
+                }
+                ctx.set_maintenance_timer(self.flush_interval, TIMER_FLUSH);
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    fn on_crash(&mut self) {
+        let lost = self.log.crash();
+        self.deliveries_undone += lost as u64;
+        self.parked.clear();
+    }
+
+    fn on_restart(&mut self, ctx: &mut Context<'_, SyWire<A::Msg>>) {
+        let (_, ckpt) = self
+            .checkpoints
+            .latest()
+            .map(|(id, c)| (id, c.clone()))
+            .expect("initial checkpoint exists");
+        self.app = ckpt.app;
+        self.dv = ckpt.dv.clone();
+        let entries: Vec<Logged<A::Msg>> = self
+            .log
+            .live_events_from(ckpt.log_end)
+            .cloned()
+            .collect();
+        for e in &entries {
+            self.replay(e);
+        }
+        self.restarts += 1;
+        let old_inc = self.own().version.0;
+        let survived_idx = self.own().ts;
+        let new_inc = old_inc + 1;
+        self.dv[self.me.index()] = Entry::new(new_inc, 0);
+        self.known_inc[self.me.index()] = new_inc;
+        self.table[self.me.index()].insert(Version(old_inc), survived_idx);
+        // The failure is its own root.
+        self.announce(old_inc, survived_idx, (self.me, old_inc), ctx);
+        self.take_checkpoint(ctx);
+        ctx.set_maintenance_timer(self.checkpoint_interval, TIMER_CHECKPOINT);
+        ctx.set_maintenance_timer(self.flush_interval, TIMER_FLUSH);
+    }
+}

@@ -1,0 +1,316 @@
+//! Cross-protocol behavioral tests: each baseline exhibits the properties
+//! Table 1 tabulates for it, on the same workloads Damani–Garg runs.
+
+use dg_apps::{MeshChatter, RingCounter};
+use dg_baselines::{CoordinatedProcess, PkProcess, SblProcess, SyProcess};
+use dg_core::{DgConfig, ProcessId};
+use dg_harness::{run_dg, FaultPlan};
+use dg_simnet::{DelayModel, NetConfig, Sim};
+use dg_storage::StorageCosts;
+
+fn fifo_net(seed: u64) -> NetConfig {
+    NetConfig::with_seed(seed).fifo(true)
+}
+
+// ---------------------------------------------------------------------
+// Sender-based logging (Johnson–Zwaenepoel)
+// ---------------------------------------------------------------------
+
+#[test]
+fn sender_based_recovers_exactly_and_blocks() {
+    let n = 3;
+    let build = || -> Vec<SblProcess<RingCounter>> {
+        (0..n as u16)
+            .map(|i| {
+                SblProcess::new(
+                    ProcessId(i),
+                    n,
+                    RingCounter::new(10),
+                    StorageCosts::free(),
+                    50_000,
+                )
+            })
+            .collect()
+    };
+    let mut sim = Sim::new(NetConfig::with_seed(4), build());
+    sim.schedule_crash(ProcessId(1), 2_000);
+    let stats = sim.run();
+    assert!(stats.quiescent);
+    // The ring completes: the senders' logs recover everything.
+    let max = sim.actors().iter().map(|a| a.app().high_water).max().unwrap();
+    assert_eq!(max, 30, "sender-based recovery lost the ring token");
+    let r = sim.actor(ProcessId(1)).report();
+    assert_eq!(r.restarts, 1);
+    assert!(
+        r.recovery_blocked_us > 0,
+        "JZ recovery must block on peer responses"
+    );
+    // O(1) piggyback: far below a vector clock's worth.
+    for a in sim.actors() {
+        let rep = a.report();
+        if rep.sent > 0 {
+            assert!(rep.piggyback_per_message() <= 3.0);
+        }
+        assert_eq!(rep.rollbacks, 0, "JZ never rolls back peers");
+    }
+}
+
+#[test]
+fn sender_based_blocks_across_partition() {
+    let n = 3;
+    let actors: Vec<SblProcess<RingCounter>> = (0..n as u16)
+        .map(|i| {
+            SblProcess::new(
+                ProcessId(i),
+                n,
+                RingCounter::new(10),
+                StorageCosts::free(),
+                50_000,
+            )
+        })
+        .collect();
+    let mut sim = Sim::new(NetConfig::with_seed(7), actors);
+    // P1 crashes while partitioned away from P2: its recovery request
+    // cannot reach P2 until the partition heals at t=300_000.
+    sim.schedule_partition(vec![0, 0, 1], 1_000, 300_000);
+    sim.schedule_crash(ProcessId(1), 5_000);
+    let stats = sim.run();
+    assert!(stats.quiescent);
+    let r = sim.actor(ProcessId(1)).report();
+    assert!(
+        r.recovery_blocked_us >= 290_000,
+        "recovery should have blocked across the partition: {}us",
+        r.recovery_blocked_us
+    );
+}
+
+// ---------------------------------------------------------------------
+// Coordinated checkpointing (Koo–Toueg)
+// ---------------------------------------------------------------------
+
+#[test]
+fn coordinated_rolls_everyone_to_the_line() {
+    let n = 4;
+    let actors: Vec<CoordinatedProcess<MeshChatter>> = (0..n as u16)
+        .map(|i| {
+            CoordinatedProcess::new(
+                ProcessId(i),
+                n,
+                MeshChatter::new(4, 300, 5),
+                StorageCosts::free(),
+                10_000,
+            )
+        })
+        .collect();
+    let mut sim = Sim::new(NetConfig::with_seed(9).max_time(2_000_000), actors);
+    sim.schedule_crash(ProcessId(2), 15_000);
+    sim.run();
+    // Every surviving process rolled back exactly once for the failure.
+    for i in [0u16, 1, 3] {
+        let r = sim.actor(ProcessId(i)).report();
+        assert_eq!(r.rollbacks, 1, "P{i} should roll back to the line");
+    }
+    // Work since the last committed line was discarded somewhere.
+    let undone: u64 = sim.actors().iter().map(|a| a.report().deliveries_undone).sum();
+    assert!(undone > 0, "coordinated rollback must lose the work since the line");
+    // The failed process's recovery blocked on the rollback round.
+    assert!(sim.actor(ProcessId(2)).report().recovery_blocked_us > 0);
+}
+
+// ---------------------------------------------------------------------
+// Peterson–Kearns
+// ---------------------------------------------------------------------
+
+fn pk_actors(n: usize, chat: MeshChatter) -> Vec<PkProcess<MeshChatter>> {
+    (0..n as u16)
+        .map(|i| {
+            PkProcess::new(
+                ProcessId(i),
+                n,
+                chat.clone(),
+                StorageCosts::free(),
+                20_000,
+                2_000,
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn peterson_kearns_single_rollback_but_blocking() {
+    let n = 4;
+    let mut sim = Sim::new(fifo_net(11), pk_actors(n, MeshChatter::new(3, 15, 8)));
+    sim.schedule_crash(ProcessId(1), 3_000);
+    let stats = sim.run();
+    assert!(stats.quiescent);
+    for a in sim.actors() {
+        let r = a.report();
+        assert!(r.max_rollbacks_per_failure <= 1, "PK rolls back at most once");
+        assert_eq!(a.fifo_violations, 0, "FIFO net must show no violations");
+    }
+    let r = sim.actor(ProcessId(1)).report();
+    assert_eq!(r.restarts, 1);
+    assert!(r.recovery_blocked_us > 0, "PK recovery waits for acks");
+    // O(n) piggyback: a vector clock per message.
+    let rep = sim.actor(ProcessId(0)).report();
+    assert!(rep.piggyback_per_message() >= n as f64);
+}
+
+#[test]
+fn peterson_kearns_fifo_assumption_is_load_bearing() {
+    // On a deliberately reordering network the per-link sequence check
+    // trips, demonstrating why Table 1 lists FIFO as an assumption.
+    let net = NetConfig::with_seed(13)
+        .delay_model(DelayModel::Uniform { min: 1, max: 20_000 });
+    let mut sim = Sim::new(net, pk_actors(4, MeshChatter::new(4, 20, 3)));
+    let stats = sim.run();
+    assert!(stats.quiescent);
+    let violations: u64 = sim.actors().iter().map(|a| a.fifo_violations).sum();
+    assert!(
+        violations > 0,
+        "wide-delay non-FIFO network should reorder some link"
+    );
+}
+
+// ---------------------------------------------------------------------
+// Strom–Yemini: cascading announcements → multiple rollbacks per failure
+// ---------------------------------------------------------------------
+
+fn sy_actors(n: usize, chat: MeshChatter) -> Vec<SyProcess<MeshChatter>> {
+    (0..n as u16)
+        .map(|i| {
+            SyProcess::new(
+                ProcessId(i),
+                n,
+                chat.clone(),
+                StorageCosts::free(),
+                200_000, // sparse checkpoints: deep rollbacks
+                30_000,  // lazy flush: real loss on crash
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn strom_yemini_completes_failure_free() {
+    let mut sim = Sim::new(fifo_net(1), sy_actors(4, MeshChatter::new(2, 12, 4)));
+    let stats = sim.run();
+    assert!(stats.quiescent);
+    let delivered: u64 = sim.actors().iter().map(|a| a.report().delivered).sum();
+    assert_eq!(delivered, MeshChatter::new(2, 12, 4).expected_deliveries(4));
+}
+
+#[test]
+fn strom_yemini_cascades_exceed_one_rollback_where_dg_does_not() {
+    // Scan seeds for a run where some process rolls back 2+ times for a
+    // single root failure under SY; Damani–Garg on the same workload and
+    // fault plan never exceeds one (checked over all scanned seeds).
+    let n = 6;
+    let chat = MeshChatter::new(4, 14, 21);
+    let mut sy_cascaded = false;
+    for seed in 0..40u64 {
+        // --- Strom–Yemini ---
+        let mut sim = Sim::new(fifo_net(seed), sy_actors(n, chat.clone()));
+        sim.schedule_crash(ProcessId(0), 2_500);
+        let stats = sim.run();
+        assert!(stats.quiescent, "SY seed {seed} did not quiesce");
+        let sy_max = sim
+            .actors()
+            .iter()
+            .map(|a| a.report().max_rollbacks_per_failure)
+            .max()
+            .unwrap();
+        if sy_max >= 2 {
+            sy_cascaded = true;
+        }
+
+        // --- Damani–Garg on the same scenario ---
+        let out = run_dg(
+            n,
+            |_| chat.clone(),
+            DgConfig::fast_test()
+                .checkpoint_every(200_000)
+                .flush_every(30_000),
+            fifo_net(seed),
+            &FaultPlan::single_crash(ProcessId(0), 2_500),
+        );
+        assert!(out.stats.quiescent, "DG seed {seed} did not quiesce");
+        assert!(
+            out.summary.max_rollbacks_per_failure <= 1,
+            "DG exceeded one rollback per failure on seed {seed}"
+        );
+        if sy_cascaded {
+            break;
+        }
+    }
+    assert!(
+        sy_cascaded,
+        "no seed produced an SY cascade; the domino scenario needs tuning"
+    );
+}
+
+// ---------------------------------------------------------------------
+// Sistla–Welch
+// ---------------------------------------------------------------------
+
+#[test]
+fn sistla_welch_single_rollback_blocking_recovery() {
+    use dg_baselines::SwProcess;
+    let n = 4;
+    let actors: Vec<SwProcess<MeshChatter>> = (0..n as u16)
+        .map(|i| {
+            SwProcess::new(
+                ProcessId(i),
+                n,
+                MeshChatter::new(3, 15, 8),
+                StorageCosts::free(),
+                20_000,
+                2_000,
+            )
+        })
+        .collect();
+    let mut sim = Sim::new(fifo_net(11), actors);
+    sim.schedule_crash(ProcessId(1), 3_000);
+    let stats = sim.run();
+    assert!(stats.quiescent);
+    for a in sim.actors() {
+        let r = a.report();
+        assert!(r.max_rollbacks_per_failure <= 1, "SW rolls back at most once");
+    }
+    let r = sim.actor(ProcessId(1)).report();
+    assert_eq!(r.restarts, 1);
+    assert!(
+        r.recovery_blocked_us > 0,
+        "SW recovery waits for the report round"
+    );
+    // O(n) piggyback.
+    let rep = sim.actor(ProcessId(0)).report();
+    assert!(rep.piggyback_per_message() >= n as f64);
+}
+
+#[test]
+fn sistla_welch_consistent_after_recovery() {
+    use dg_baselines::SwProcess;
+    let n = 4;
+    for seed in 0..6u64 {
+        let actors: Vec<SwProcess<MeshChatter>> = (0..n as u16)
+            .map(|i| {
+                SwProcess::new(
+                    ProcessId(i),
+                    n,
+                    MeshChatter::new(3, 20, 8),
+                    StorageCosts::free(),
+                    50_000,
+                    15_000,
+                )
+            })
+            .collect();
+        let mut sim = Sim::new(fifo_net(seed), actors);
+        sim.schedule_crash(ProcessId(0), 2_500);
+        let stats = sim.run();
+        assert!(stats.quiescent, "seed {seed}");
+        for a in sim.actors() {
+            assert!(a.report().max_rollbacks_per_failure <= 1, "seed {seed}");
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! Microbenchmarks of the clock substrate: merge, compare, encode for
+//! FTVC vs plain vector clocks at several system sizes (supports the E4
+//! overhead analysis: the FTVC's cost is O(n) with a small constant).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use dg_ftvc::{wire, Ftvc, ProcessId, VectorClock};
+
+fn make_ftvc(n: usize, version: u32) -> Ftvc {
+    let parts: Vec<(u32, u64)> = (0..n).map(|i| (version, 1_000 + i as u64 * 7)).collect();
+    Ftvc::from_parts(ProcessId(0), &parts)
+}
+
+fn bench_clocks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("clocks");
+    for n in [4usize, 16, 64, 256] {
+        let a = make_ftvc(n, 2);
+        let b = make_ftvc(n, 3);
+        group.bench_with_input(BenchmarkId::new("ftvc_observe", n), &n, |bench, _| {
+            bench.iter(|| {
+                let mut x = a.clone();
+                x.observe(black_box(&b));
+                x
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("ftvc_compare", n), &n, |bench, _| {
+            bench.iter(|| black_box(&a).causal_compare(black_box(&b)))
+        });
+        group.bench_with_input(BenchmarkId::new("ftvc_encode", n), &n, |bench, _| {
+            bench.iter(|| wire::encode_ftvc(black_box(&a)))
+        });
+        group.bench_with_input(BenchmarkId::new("ftvc_decode", n), &n, |bench, _| {
+            let bytes = wire::encode_ftvc(&a);
+            bench.iter(|| wire::decode_ftvc(black_box(bytes.clone())).unwrap())
+        });
+        let va = VectorClock::from_stamps(ProcessId(0), (0..n as u64).collect());
+        let vb = VectorClock::from_stamps(ProcessId(1 % n as u16), (0..n as u64).rev().collect());
+        group.bench_with_input(BenchmarkId::new("plainvc_observe", n), &n, |bench, _| {
+            bench.iter(|| {
+                let mut x = va.clone();
+                x.observe(black_box(&vb));
+                x
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_clocks);
+criterion_main!(benches);

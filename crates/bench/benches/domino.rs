@@ -1,0 +1,53 @@
+//! E6 benchmark: the cascading-rollback scenario — a crash under
+//! Strom–Yemini versus Damani–Garg on the same dense workload.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dg_apps::MeshChatter;
+use dg_baselines::SyProcess;
+use dg_bench::protocols::{run_protocol, ExpConfig, Protocol};
+use dg_core::ProcessId;
+use dg_harness::FaultPlan;
+use dg_simnet::{NetConfig, Sim};
+use dg_storage::StorageCosts;
+
+fn bench_domino(c: &mut Criterion) {
+    let mut group = c.benchmark_group("domino");
+    group.sample_size(10);
+    let n = 6;
+    let chat = MeshChatter::new(4, 14, 21);
+    group.bench_with_input(BenchmarkId::new("strom_yemini", n), &n, |b, &n| {
+        b.iter(|| {
+            let actors: Vec<SyProcess<MeshChatter>> = ProcessId::all(n)
+                .map(|p| {
+                    SyProcess::new(p, n, chat.clone(), StorageCosts::free(), 200_000, 30_000)
+                })
+                .collect();
+            let mut sim = Sim::new(
+                NetConfig::with_seed(3).fifo(true).max_time(60_000_000),
+                actors,
+            );
+            sim.schedule_crash(ProcessId(0), 2_500);
+            sim.run()
+        })
+    });
+    group.bench_with_input(BenchmarkId::new("damani_garg", n), &n, |b, &n| {
+        b.iter(|| {
+            run_protocol(
+                Protocol::DamaniGarg,
+                n,
+                &chat,
+                NetConfig::with_seed(3).fifo(true).max_time(60_000_000),
+                &FaultPlan::single_crash(ProcessId(0), 2_500),
+                ExpConfig {
+                    checkpoint_interval: 200_000,
+                    flush_interval: 30_000,
+                    ..ExpConfig::default()
+                },
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_domino);
+criterion_main!(benches);

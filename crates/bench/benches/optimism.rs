@@ -1,0 +1,40 @@
+//! E5 benchmark: failure-free runs at the two ends of the optimism
+//! spectrum — pessimistic synchronous logging versus Damani–Garg with a
+//! lazy flush — with realistic storage costs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dg_apps::MeshChatter;
+use dg_bench::protocols::{run_protocol, ExpConfig, Protocol};
+use dg_harness::FaultPlan;
+use dg_simnet::NetConfig;
+use dg_storage::StorageCosts;
+
+fn bench_optimism(c: &mut Criterion) {
+    let mut group = c.benchmark_group("optimism_failure_free");
+    group.sample_size(10);
+    let n = 4;
+    let chat = MeshChatter::new(3, 15, 53);
+    let cfg = ExpConfig {
+        costs: StorageCosts::disk(),
+        checkpoint_interval: 400_000,
+        flush_interval: 50_000,
+    };
+    for protocol in [Protocol::DamaniGarg, Protocol::Pessimistic] {
+        group.bench_function(protocol.name(), |b| {
+            b.iter(|| {
+                run_protocol(
+                    protocol,
+                    n,
+                    &chat,
+                    NetConfig::with_seed(8).max_time(600_000_000),
+                    &FaultPlan::none(),
+                    cfg,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_optimism);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! E4 (Section 6.9) benchmark: cost of the history mechanism's hot-path
+//! operations — the obsolete test, the orphan test, history insertion —
+//! at several system sizes and failure counts.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use dg_core::{Entry, History, ProcessId};
+use dg_ftvc::Ftvc;
+
+fn loaded_history(n: usize, f: u32) -> History {
+    let mut h = History::new(ProcessId(0), n);
+    for j in 0..n as u16 {
+        for v in 0..f {
+            h.record_token(ProcessId(j), Entry::new(v, 100 + v as u64));
+            h.record_message_entry(ProcessId(j), Entry::new(v + 1, 50));
+        }
+    }
+    h
+}
+
+fn bench_history(c: &mut Criterion) {
+    let mut group = c.benchmark_group("history");
+    for (n, f) in [(8usize, 2u32), (32, 2), (32, 8), (128, 8)] {
+        let h = loaded_history(n, f);
+        let clock = Ftvc::from_parts(
+            ProcessId(1),
+            &(0..n).map(|i| (f, 40 + i as u64)).collect::<Vec<_>>(),
+        );
+        let id = format!("n{n}_f{f}");
+        group.bench_with_input(BenchmarkId::new("obsolete_test", &id), &h, |b, h| {
+            b.iter(|| h.message_is_obsolete(black_box(&clock)))
+        });
+        group.bench_with_input(BenchmarkId::new("orphan_test", &id), &h, |b, h| {
+            b.iter(|| h.orphaned_by(ProcessId(3 % n as u16), black_box(Entry::new(1, 10))))
+        });
+        group.bench_with_input(BenchmarkId::new("observe_clock", &id), &h, |b, h| {
+            b.iter(|| {
+                let mut h2 = h.clone();
+                h2.observe_clock(black_box(&clock));
+                h2
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("token_frontier", &id), &h, |b, h| {
+            b.iter(|| h.token_frontier(ProcessId(2 % n as u16)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_history);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! E1 (Table 1) benchmark: end-to-end crash-recovery runs per protocol
+//! on identical workloads, timing the full simulation. The table itself
+//! (rollbacks, piggyback, asynchrony) is produced by the `experiments`
+//! binary; this bench tracks the protocols' simulation cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dg_apps::MeshChatter;
+use dg_bench::protocols::{run_protocol, ExpConfig, Protocol};
+use dg_core::ProcessId;
+use dg_harness::FaultPlan;
+use dg_simnet::NetConfig;
+
+fn bench_table1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_crash_recovery");
+    group.sample_size(10);
+    let n = 6;
+    let chat = MeshChatter::new(3, 20, 97);
+    let plan = FaultPlan::single_crash(ProcessId(0), 2_500);
+    for protocol in Protocol::TABLE1 {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(protocol.name()),
+            &protocol,
+            |b, &p| {
+                b.iter(|| {
+                    run_protocol(
+                        p,
+                        n,
+                        &chat,
+                        NetConfig::with_seed(7).max_time(60_000_000),
+                        &plan,
+                        ExpConfig::default(),
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

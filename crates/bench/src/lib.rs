@@ -1,0 +1,16 @@
+//! Experiment library reproducing the paper's evaluation artifacts.
+//!
+//! Each function implements one experiment from DESIGN.md's index
+//! (E1a–E8) and returns structured results; the `experiments` binary
+//! renders them as the paper-style tables recorded in EXPERIMENTS.md,
+//! and the Criterion benches time representative slices.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod protocols;
+pub mod table;
+
+mod experiments;
+
+pub use experiments::*;

@@ -1,0 +1,287 @@
+//! Uniform runner over all seven protocols.
+
+use dg_apps::MeshChatter;
+use dg_baselines::{
+    CoordinatedProcess, PkProcess, SblProcess, SjtProcess, SwProcess, SyProcess,
+};
+use dg_core::{DgConfig, DgProcess, ProcessId};
+use dg_harness::{dg_report, run_actors, FaultPlan, SystemSummary};
+use dg_simnet::{NetConfig, RunStats, Sim};
+use dg_storage::StorageCosts;
+
+/// The protocols under comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Protocol {
+    /// Damani–Garg (this paper).
+    DamaniGarg,
+    /// Damani–Garg with the Remark-1 retransmission extension.
+    DamaniGargRetransmit,
+    /// Pessimistic receiver-based logging.
+    Pessimistic,
+    /// Johnson–Zwaenepoel sender-based logging.
+    SenderBased,
+    /// Koo–Toueg coordinated checkpointing.
+    Coordinated,
+    /// Peterson–Kearns vector-time rollback.
+    PetersonKearns,
+    /// Sistla–Welch session-based recovery.
+    SistlaWelch,
+    /// Strom–Yemini optimistic recovery.
+    StromYemini,
+    /// Smith–Johnson–Tygar completely asynchronous recovery.
+    Sjt,
+}
+
+impl Protocol {
+    /// Every protocol, Damani–Garg first.
+    pub const ALL: [Protocol; 9] = [
+        Protocol::DamaniGarg,
+        Protocol::DamaniGargRetransmit,
+        Protocol::Pessimistic,
+        Protocol::SenderBased,
+        Protocol::Coordinated,
+        Protocol::PetersonKearns,
+        Protocol::SistlaWelch,
+        Protocol::StromYemini,
+        Protocol::Sjt,
+    ];
+
+    /// The Table 1 comparison set: the paper's exact row order.
+    pub const TABLE1: [Protocol; 7] = [
+        Protocol::StromYemini,
+        Protocol::SenderBased,
+        Protocol::SistlaWelch,
+        Protocol::PetersonKearns,
+        Protocol::Sjt,
+        Protocol::Pessimistic,
+        Protocol::DamaniGarg,
+    ];
+
+    /// Display name matching the paper's citations.
+    pub fn name(self) -> &'static str {
+        match self {
+            Protocol::DamaniGarg => "Damani-Garg",
+            Protocol::DamaniGargRetransmit => "Damani-Garg+resend",
+            Protocol::Pessimistic => "Pessimistic log",
+            Protocol::SenderBased => "Johnson-Zwaenepoel",
+            Protocol::Coordinated => "Koo-Toueg coord ckpt",
+            Protocol::PetersonKearns => "Peterson-Kearns",
+            Protocol::SistlaWelch => "Sistla-Welch",
+            Protocol::StromYemini => "Strom-Yemini",
+            Protocol::Sjt => "Smith-Johnson-Tygar",
+        }
+    }
+
+    /// The message-ordering assumption the protocol needs (Table 1
+    /// column 1).
+    pub fn ordering_assumption(self) -> &'static str {
+        match self {
+            Protocol::PetersonKearns | Protocol::StromYemini | Protocol::SistlaWelch => "FIFO",
+            _ => "None",
+        }
+    }
+
+    /// `true` if the protocol requires FIFO channels to be correct.
+    pub fn requires_fifo(self) -> bool {
+        matches!(
+            self,
+            Protocol::PetersonKearns | Protocol::StromYemini | Protocol::SistlaWelch
+        )
+    }
+}
+
+/// Result of one protocol run, uniform across protocols.
+#[derive(Debug, Clone)]
+pub struct ExpRun {
+    /// Aggregated per-process metrics.
+    pub summary: SystemSummary,
+    /// Raw simulator counters.
+    pub stats: RunStats,
+}
+
+/// Knobs shared by all protocol runs so comparisons are like-for-like.
+#[derive(Debug, Clone, Copy)]
+pub struct ExpConfig {
+    /// Checkpoint interval (microseconds).
+    pub checkpoint_interval: u64,
+    /// Flush interval for optimistic receiver logs.
+    pub flush_interval: u64,
+    /// Storage latency model.
+    pub costs: StorageCosts,
+}
+
+impl Default for ExpConfig {
+    fn default() -> Self {
+        ExpConfig {
+            checkpoint_interval: 100_000,
+            flush_interval: 20_000,
+            costs: StorageCosts::free(),
+        }
+    }
+}
+
+/// Run `protocol` over an `n`-process [`MeshChatter`] workload under the
+/// given network and fault plan. Protocols that require FIFO get it
+/// (their stated assumption); pass a FIFO `net` to give it to everyone.
+pub fn run_protocol(
+    protocol: Protocol,
+    n: usize,
+    chat: &MeshChatter,
+    net: NetConfig,
+    plan: &FaultPlan,
+    cfg: ExpConfig,
+) -> ExpRun {
+    let net = if protocol.requires_fifo() {
+        net.fifo(true)
+    } else {
+        net
+    };
+    match protocol {
+        Protocol::DamaniGarg | Protocol::DamaniGargRetransmit => {
+            let config = DgConfig::base()
+                .with_costs(cfg.costs)
+                .checkpoint_every(cfg.checkpoint_interval)
+                .flush_every(cfg.flush_interval)
+                .with_retransmit(protocol == Protocol::DamaniGargRetransmit);
+            let actors: Vec<DgProcess<MeshChatter>> = ProcessId::all(n)
+                .map(|p| DgProcess::new(p, n, chat.clone(), config))
+                .collect();
+            let out = run_actors(actors, net, plan, dg_report);
+            ExpRun {
+                summary: out.summary,
+                stats: out.stats,
+            }
+        }
+        Protocol::Pessimistic => {
+            let actors: Vec<_> = ProcessId::all(n)
+                .map(|p| {
+                    dg_baselines::PessimisticProcess::new(
+                        p,
+                        n,
+                        chat.clone(),
+                        cfg.costs,
+                        cfg.checkpoint_interval,
+                    )
+                })
+                .collect();
+            let out = run_actors(actors, net, plan, |a| a.report());
+            ExpRun {
+                summary: out.summary,
+                stats: out.stats,
+            }
+        }
+        Protocol::SenderBased => {
+            let actors: Vec<SblProcess<MeshChatter>> = ProcessId::all(n)
+                .map(|p| {
+                    SblProcess::new(p, n, chat.clone(), cfg.costs, cfg.checkpoint_interval)
+                })
+                .collect();
+            let out = run_actors(actors, net, plan, |a| a.report());
+            ExpRun {
+                summary: out.summary,
+                stats: out.stats,
+            }
+        }
+        Protocol::Coordinated => {
+            let actors: Vec<CoordinatedProcess<MeshChatter>> = ProcessId::all(n)
+                .map(|p| {
+                    CoordinatedProcess::new(p, n, chat.clone(), cfg.costs, cfg.checkpoint_interval)
+                })
+                .collect();
+            let out = run_actors(actors, net, plan, |a| a.report());
+            ExpRun {
+                summary: out.summary,
+                stats: out.stats,
+            }
+        }
+        Protocol::PetersonKearns => {
+            let actors: Vec<PkProcess<MeshChatter>> = ProcessId::all(n)
+                .map(|p| {
+                    PkProcess::new(
+                        p,
+                        n,
+                        chat.clone(),
+                        cfg.costs,
+                        cfg.checkpoint_interval,
+                        cfg.flush_interval,
+                    )
+                })
+                .collect();
+            let out = run_actors(actors, net, plan, |a| a.report());
+            ExpRun {
+                summary: out.summary,
+                stats: out.stats,
+            }
+        }
+        Protocol::SistlaWelch => {
+            let actors: Vec<SwProcess<MeshChatter>> = ProcessId::all(n)
+                .map(|p| {
+                    SwProcess::new(
+                        p,
+                        n,
+                        chat.clone(),
+                        cfg.costs,
+                        cfg.checkpoint_interval,
+                        cfg.flush_interval,
+                    )
+                })
+                .collect();
+            let out = run_actors(actors, net, plan, |a| a.report());
+            ExpRun {
+                summary: out.summary,
+                stats: out.stats,
+            }
+        }
+        Protocol::StromYemini => {
+            let actors: Vec<SyProcess<MeshChatter>> = ProcessId::all(n)
+                .map(|p| {
+                    SyProcess::new(
+                        p,
+                        n,
+                        chat.clone(),
+                        cfg.costs,
+                        cfg.checkpoint_interval,
+                        cfg.flush_interval,
+                    )
+                })
+                .collect();
+            let out = run_actors(actors, net, plan, |a| a.report());
+            ExpRun {
+                summary: out.summary,
+                stats: out.stats,
+            }
+        }
+        Protocol::Sjt => {
+            let config = DgConfig::base()
+                .with_costs(cfg.costs)
+                .checkpoint_every(cfg.checkpoint_interval)
+                .flush_every(cfg.flush_interval);
+            let actors: Vec<SjtProcess<MeshChatter>> = ProcessId::all(n)
+                .map(|p| SjtProcess::new(p, n, chat.clone(), config))
+                .collect();
+            let out = run_actors(actors, net, plan, |a| a.report());
+            ExpRun {
+                summary: out.summary,
+                stats: out.stats,
+            }
+        }
+    }
+}
+
+/// Run Damani–Garg directly and return the live simulation (used where
+/// experiments need process internals, e.g. history sizes).
+pub fn run_dg_sim(
+    n: usize,
+    chat: &MeshChatter,
+    net: NetConfig,
+    plan: &FaultPlan,
+    config: DgConfig,
+) -> Sim<DgProcess<MeshChatter>> {
+    let actors: Vec<DgProcess<MeshChatter>> = ProcessId::all(n)
+        .map(|p| DgProcess::new(p, n, chat.clone(), config))
+        .collect();
+    let mut sim = Sim::new(net, actors);
+    plan.apply(&mut sim);
+    sim.run();
+    sim
+}

@@ -1,0 +1,131 @@
+//! The piecewise-deterministic application model (paper, Section 3).
+
+use dg_ftvc::ProcessId;
+
+/// The effects of one deterministic application step: messages to send
+/// and outputs to (eventually) commit to the environment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Effects<M> {
+    /// Messages to send, in order.
+    pub sends: Vec<(ProcessId, M)>,
+    /// Values destined for the external world. The recovery layer buffers
+    /// them until they can never be rolled back or lost (output commit,
+    /// paper Remark).
+    pub outputs: Vec<M>,
+}
+
+impl<M> Effects<M> {
+    /// No effects.
+    pub fn none() -> Effects<M> {
+        Effects {
+            sends: Vec::new(),
+            outputs: Vec::new(),
+        }
+    }
+
+    /// A single send.
+    pub fn send(to: ProcessId, msg: M) -> Effects<M> {
+        Effects {
+            sends: vec![(to, msg)],
+            outputs: Vec::new(),
+        }
+    }
+
+    /// Multiple sends.
+    pub fn sends(sends: Vec<(ProcessId, M)>) -> Effects<M> {
+        Effects {
+            sends,
+            outputs: Vec::new(),
+        }
+    }
+
+    /// A single external output.
+    pub fn output(out: M) -> Effects<M> {
+        Effects {
+            sends: Vec::new(),
+            outputs: vec![out],
+        }
+    }
+
+    /// Append another send (builder style).
+    #[must_use]
+    pub fn and_send(mut self, to: ProcessId, msg: M) -> Effects<M> {
+        self.sends.push((to, msg));
+        self
+    }
+
+    /// Append an output (builder style).
+    #[must_use]
+    pub fn and_output(mut self, out: M) -> Effects<M> {
+        self.outputs.push(out);
+        self
+    }
+
+    /// `true` iff there are no sends and no outputs.
+    pub fn is_empty(&self) -> bool {
+        self.sends.is_empty() && self.outputs.is_empty()
+    }
+}
+
+impl<M> Default for Effects<M> {
+    fn default() -> Self {
+        Effects::none()
+    }
+}
+
+/// A piecewise-deterministic application (paper, Section 3).
+///
+/// "When a process receives a message, it performs some internal
+/// computation, sends some messages and then blocks itself to receive a
+/// message. All these actions are completely deterministic" — an
+/// `Application` is exactly that state machine. Both handlers must be
+/// **pure functions of the state and their arguments**: no randomness, no
+/// wall-clock time, no interior mutability shared across processes.
+/// Recovery depends on replaying a message log reproducing bit-identical
+/// states; the test harness checks this by digest comparison.
+///
+/// The application state must be `Clone`, which is how checkpoints are
+/// snapshotted. Keep state small or structurally shared; every
+/// checkpoint clones it.
+pub trait Application: Clone {
+    /// The application's message (and output) type.
+    type Msg: Clone + std::fmt::Debug;
+
+    /// One-time initialization at time zero. `me` is this process's id,
+    /// `n` the system size. May send the workload's opening messages.
+    fn on_start(&mut self, me: ProcessId, n: usize) -> Effects<Self::Msg>;
+
+    /// Deterministic transition on message delivery.
+    fn on_message(
+        &mut self,
+        me: ProcessId,
+        from: ProcessId,
+        msg: &Self::Msg,
+        n: usize,
+    ) -> Effects<Self::Msg>;
+
+    /// A short fingerprint of the application state, used by tests and
+    /// the consistency oracle to compare replayed states with originals.
+    /// The default hashes nothing; override for meaningful checks.
+    fn digest(&self) -> u64 {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn effects_builders() {
+        let e: Effects<u32> = Effects::send(ProcessId(1), 5)
+            .and_send(ProcessId(2), 6)
+            .and_output(7);
+        assert_eq!(e.sends, vec![(ProcessId(1), 5), (ProcessId(2), 6)]);
+        assert_eq!(e.outputs, vec![7]);
+        assert!(!e.is_empty());
+        assert!(Effects::<u32>::none().is_empty());
+        assert_eq!(Effects::<u32>::output(9).outputs, vec![9]);
+        assert_eq!(Effects::<u32>::sends(vec![(ProcessId(0), 1)]).sends.len(), 1);
+    }
+}

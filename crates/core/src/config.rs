@@ -1,0 +1,133 @@
+//! Protocol configuration.
+
+use dg_storage::StorageCosts;
+use serde::{Deserialize, Serialize};
+
+/// Tunables of a [`crate::DgProcess`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DgConfig {
+    /// Interval between periodic checkpoints (microseconds).
+    pub checkpoint_interval: u64,
+    /// Interval between asynchronous log flushes (microseconds). This is
+    /// the "optimism knob": a long interval means fast failure-free runs
+    /// but more lost work per failure (experiment E5).
+    pub flush_interval: u64,
+    /// Storage latencies charged to the simulation schedule.
+    pub costs: StorageCosts,
+    /// Enable the send-history retransmission extension (paper, Remark
+    /// 1): tokens carry the restored state's full clock and peers resend
+    /// messages the failed process lost from its volatile log.
+    pub retransmit_lost: bool,
+    /// Interval for gossiping stability frontiers, enabling output commit
+    /// and garbage collection (paper Remarks). `None` disables gossip.
+    pub gossip_interval: Option<u64>,
+    /// Reclaim checkpoints, log prefixes and history records that the
+    /// gossiped global stability frontier proves unnecessary (paper,
+    /// Remark 2 / Wang et al.). Requires `gossip_interval`.
+    pub garbage_collect: bool,
+}
+
+impl DgConfig {
+    /// A configuration with everything optional disabled — the base
+    /// protocol exactly as in Figure 4.
+    pub fn base() -> DgConfig {
+        DgConfig {
+            checkpoint_interval: 50_000,
+            flush_interval: 5_000,
+            costs: StorageCosts::disk(),
+            retransmit_lost: false,
+            gossip_interval: None,
+            garbage_collect: false,
+        }
+    }
+
+    /// The base protocol with free storage — for tests that isolate
+    /// protocol logic from latency effects.
+    pub fn fast_test() -> DgConfig {
+        DgConfig {
+            costs: StorageCosts::free(),
+            checkpoint_interval: 10_000,
+            flush_interval: 2_000,
+            ..DgConfig::base()
+        }
+    }
+
+    /// Builder-style checkpoint interval.
+    #[must_use]
+    pub fn checkpoint_every(mut self, us: u64) -> DgConfig {
+        self.checkpoint_interval = us;
+        self
+    }
+
+    /// Builder-style flush interval.
+    #[must_use]
+    pub fn flush_every(mut self, us: u64) -> DgConfig {
+        self.flush_interval = us;
+        self
+    }
+
+    /// Builder-style storage costs.
+    #[must_use]
+    pub fn with_costs(mut self, costs: StorageCosts) -> DgConfig {
+        self.costs = costs;
+        self
+    }
+
+    /// Builder-style retransmission toggle.
+    #[must_use]
+    pub fn with_retransmit(mut self, on: bool) -> DgConfig {
+        self.retransmit_lost = on;
+        self
+    }
+
+    /// Builder-style gossip interval.
+    #[must_use]
+    pub fn with_gossip(mut self, interval: u64) -> DgConfig {
+        self.gossip_interval = Some(interval);
+        self
+    }
+
+    /// Builder-style garbage-collection toggle (implies gossip must be
+    /// enabled to have any effect).
+    #[must_use]
+    pub fn with_gc(mut self, on: bool) -> DgConfig {
+        self.garbage_collect = on;
+        self
+    }
+}
+
+impl Default for DgConfig {
+    fn default() -> Self {
+        DgConfig::base()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_compose() {
+        let c = DgConfig::base()
+            .checkpoint_every(1)
+            .flush_every(2)
+            .with_costs(StorageCosts::free())
+            .with_retransmit(true)
+            .with_gossip(9)
+            .with_gc(true);
+        assert_eq!(c.checkpoint_interval, 1);
+        assert_eq!(c.flush_interval, 2);
+        assert_eq!(c.costs, StorageCosts::free());
+        assert!(c.retransmit_lost);
+        assert_eq!(c.gossip_interval, Some(9));
+        assert!(c.garbage_collect);
+    }
+
+    #[test]
+    fn base_is_pure_figure_4() {
+        let c = DgConfig::base();
+        assert!(!c.retransmit_lost);
+        assert!(c.gossip_interval.is_none());
+        assert!(!c.garbage_collect);
+    }
+}

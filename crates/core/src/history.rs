@@ -1,0 +1,351 @@
+//! The history mechanism (Figure 3 of the paper).
+//!
+//! Each process keeps, in volatile memory (checkpointed and rebuilt on
+//! recovery), **one record per known `(process, version)` pair**. A
+//! record is either
+//!
+//! * a **message** record `(mes, v, t)` — the highest timestamp of
+//!   version `v` of that process this process transitively depends on
+//!   through application messages; or
+//! * a **token** record `(token, v, t)` — version `v` of that process
+//!   failed, and `t` is the timestamp of its restored (maximum
+//!   recoverable) state.
+//!
+//! Together these support the paper's two exact tests:
+//!
+//! * **Lemma 4 (obsolete message):** an incoming message whose clock
+//!   component for some process is `(v, ts)` with a token record
+//!   `(token, v, t)` and `t < ts` was sent by a lost or orphan state.
+//! * **Lemma 3 (orphan state):** on receiving token `(v, t)` from `P_j`,
+//!   the local state is an orphan iff a message record `(mes, v, t')`
+//!   with `t < t'` exists for `P_j`.
+
+use std::collections::BTreeMap;
+
+use dg_ftvc::{Entry, Ftvc, ProcessId, Version};
+use serde::{Deserialize, Serialize};
+
+/// Whether a history record came from a message clock or a token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RecordKind {
+    /// Highest timestamp learned through application-message clocks.
+    Message,
+    /// Restoration timestamp announced by a recovery token.
+    Token,
+}
+
+/// One history record: the kind bit plus the timestamp. (The version is
+/// the map key; the process is the table index.)
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HistoryRecord {
+    /// Token or message provenance.
+    pub kind: RecordKind,
+    /// The recorded timestamp.
+    pub ts: u64,
+}
+
+/// The per-process history tables of Figure 3.
+///
+/// # Token precedence (paper ambiguity, resolved)
+///
+/// Read literally, Figure 3's receive rule would let a later *message*
+/// record replace a *token* record for the same version, destroying the
+/// information needed to detect subsequently arriving obsolete messages —
+/// precisely the failure mode the paper walks through in its Figure 5
+/// discussion. We therefore keep the "one record per (process, version)"
+/// invariant with token precedence: a token record is never replaced by a
+/// message record, and message records only grow in timestamp. (A message
+/// that passes the obsolete test against an existing token record carries
+/// no information the token does not already subsume.)
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct History {
+    tables: Vec<BTreeMap<Version, HistoryRecord>>,
+}
+
+impl History {
+    /// Initial history of process `me` in an `n`-process system
+    /// (Figure 3, *Initialize*): `(mes, 0, 0)` for every process, except
+    /// `(mes, 0, 1)` for `me` itself.
+    pub fn new(me: ProcessId, n: usize) -> History {
+        let mut tables = vec![BTreeMap::new(); n];
+        for (j, table) in tables.iter_mut().enumerate() {
+            let ts = if j == me.index() { 1 } else { 0 };
+            table.insert(Version::ZERO, HistoryRecord {
+                kind: RecordKind::Message,
+                ts,
+            });
+        }
+        History { tables }
+    }
+
+    /// Number of processes covered.
+    pub fn system_size(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// The record for `(j, v)`, if any.
+    pub fn record(&self, j: ProcessId, v: Version) -> Option<HistoryRecord> {
+        self.tables[j.index()].get(&v).copied()
+    }
+
+    /// All records for process `j`, in version order.
+    pub fn records_for(&self, j: ProcessId) -> impl Iterator<Item = (Version, HistoryRecord)> + '_ {
+        self.tables[j.index()].iter().map(|(v, r)| (*v, *r))
+    }
+
+    /// Total number of records across all processes — the `O(nf)` space
+    /// figure of the paper's Section 6.9.
+    pub fn total_records(&self) -> usize {
+        self.tables.iter().map(|t| t.len()).sum()
+    }
+
+    /// Record a message-carried clock entry `(v, ts)` for process `j`
+    /// (Figure 3, *Receive message*, one component).
+    pub fn record_message_entry(&mut self, j: ProcessId, entry: Entry) {
+        let table = &mut self.tables[j.index()];
+        match table.get_mut(&entry.version) {
+            Some(existing) => match existing.kind {
+                // Token records are authoritative; see type-level docs.
+                RecordKind::Token => {}
+                RecordKind::Message => {
+                    if existing.ts < entry.ts {
+                        existing.ts = entry.ts;
+                    }
+                }
+            },
+            None => {
+                table.insert(entry.version, HistoryRecord {
+                    kind: RecordKind::Message,
+                    ts: entry.ts,
+                });
+            }
+        }
+    }
+
+    /// Record every component of an incoming message's clock
+    /// (Figure 3, *Receive message*).
+    pub fn observe_clock(&mut self, clock: &Ftvc) {
+        for (j, entry) in clock.iter() {
+            self.record_message_entry(j, entry);
+        }
+    }
+
+    /// Record a token `(v, t)` from process `j` (Figure 3, *Receive
+    /// token*). Replaces any message record for that version.
+    pub fn record_token(&mut self, j: ProcessId, entry: Entry) {
+        self.tables[j.index()].insert(entry.version, HistoryRecord {
+            kind: RecordKind::Token,
+            ts: entry.ts,
+        });
+    }
+
+    /// Lemma 4 — the obsolete-message test: `true` iff some component
+    /// `(v, ts)` of `clock` exceeds a token record `(token, v, t)` with
+    /// `t < ts`.
+    pub fn message_is_obsolete(&self, clock: &Ftvc) -> bool {
+        clock.iter().any(|(j, entry)| {
+            matches!(
+                self.tables[j.index()].get(&entry.version),
+                Some(HistoryRecord { kind: RecordKind::Token, ts }) if *ts < entry.ts
+            )
+        })
+    }
+
+    /// Lemma 3 — the orphan test run on token `(v, t)` from `P_j`:
+    /// `true` iff a message record `(mes, v, t')` with `t < t'` exists.
+    pub fn orphaned_by(&self, j: ProcessId, token: Entry) -> bool {
+        matches!(
+            self.tables[j.index()].get(&token.version),
+            Some(HistoryRecord { kind: RecordKind::Message, ts }) if token.ts < *ts
+        )
+    }
+
+    /// Number of leading versions of `j` for which tokens have been
+    /// recorded: the deliverability frontier. A message mentioning
+    /// version `k` of `j` is deliverable iff `k <= frontier` (all tokens
+    /// `l < k` have arrived — Section 6.1 of the paper).
+    pub fn token_frontier(&self, j: ProcessId) -> Version {
+        let table = &self.tables[j.index()];
+        let mut v = 0u32;
+        while matches!(
+            table.get(&Version(v)),
+            Some(HistoryRecord { kind: RecordKind::Token, .. })
+        ) {
+            v += 1;
+        }
+        Version(v)
+    }
+
+    /// `true` iff the given token is already recorded verbatim (used to
+    /// deduplicate re-injected tokens).
+    pub fn has_token(&self, j: ProcessId, entry: Entry) -> bool {
+        matches!(
+            self.tables[j.index()].get(&entry.version),
+            Some(HistoryRecord { kind: RecordKind::Token, ts }) if *ts == entry.ts
+        )
+    }
+
+    /// Garbage-collect records of `j` for versions strictly below `v`
+    /// (safe once every process's dependency on those versions is stable).
+    pub fn gc_versions_below(&mut self, j: ProcessId, v: Version) -> usize {
+        let table = &mut self.tables[j.index()];
+        let before = table.len();
+        table.retain(|ver, _| *ver >= v);
+        before - table.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(v: u32, ts: u64) -> Entry {
+        Entry::new(v, ts)
+    }
+
+    #[test]
+    fn initialization_matches_figure_3() {
+        let h = History::new(ProcessId(1), 3);
+        assert_eq!(
+            h.record(ProcessId(0), Version(0)),
+            Some(HistoryRecord { kind: RecordKind::Message, ts: 0 })
+        );
+        assert_eq!(
+            h.record(ProcessId(1), Version(0)),
+            Some(HistoryRecord { kind: RecordKind::Message, ts: 1 })
+        );
+        assert_eq!(h.total_records(), 3);
+    }
+
+    #[test]
+    fn message_records_grow_monotonically() {
+        let mut h = History::new(ProcessId(0), 2);
+        h.record_message_entry(ProcessId(1), entry(0, 5));
+        h.record_message_entry(ProcessId(1), entry(0, 3)); // stale: ignored
+        assert_eq!(h.record(ProcessId(1), Version(0)).unwrap().ts, 5);
+        h.record_message_entry(ProcessId(1), entry(0, 9));
+        assert_eq!(h.record(ProcessId(1), Version(0)).unwrap().ts, 9);
+    }
+
+    #[test]
+    fn one_record_per_version() {
+        let mut h = History::new(ProcessId(0), 2);
+        h.record_message_entry(ProcessId(1), entry(0, 5));
+        h.record_message_entry(ProcessId(1), entry(1, 2));
+        // Two versions -> two records; same version overwrote nothing new.
+        let records: Vec<_> = h.records_for(ProcessId(1)).collect();
+        assert_eq!(records.len(), 2);
+    }
+
+    #[test]
+    fn token_replaces_message_record() {
+        let mut h = History::new(ProcessId(0), 2);
+        h.record_message_entry(ProcessId(1), entry(0, 8));
+        h.record_token(ProcessId(1), entry(0, 3));
+        assert_eq!(
+            h.record(ProcessId(1), Version(0)),
+            Some(HistoryRecord { kind: RecordKind::Token, ts: 3 })
+        );
+    }
+
+    #[test]
+    fn token_record_is_never_downgraded_by_messages() {
+        // The Figure 5 discussion scenario: after a token, a passing
+        // message must not erase the token record, or later obsolete
+        // messages would slip through.
+        let mut h = History::new(ProcessId(0), 2);
+        h.record_token(ProcessId(1), entry(0, 3));
+        h.record_message_entry(ProcessId(1), entry(0, 2)); // passes obsolete test
+        assert_eq!(
+            h.record(ProcessId(1), Version(0)),
+            Some(HistoryRecord { kind: RecordKind::Token, ts: 3 })
+        );
+        // The later obsolete message is still detected.
+        let obsolete_clock = Ftvc::from_parts(ProcessId(1), &[(0, 0), (0, 7)]);
+        assert!(h.message_is_obsolete(&obsolete_clock));
+    }
+
+    #[test]
+    fn obsolete_test_is_strict_inequality() {
+        let mut h = History::new(ProcessId(0), 2);
+        h.record_token(ProcessId(1), entry(0, 3));
+        // ts == token ts: the state was recovered; not obsolete.
+        let at_restoration = Ftvc::from_parts(ProcessId(1), &[(0, 0), (0, 3)]);
+        assert!(!h.message_is_obsolete(&at_restoration));
+        let past_restoration = Ftvc::from_parts(ProcessId(1), &[(0, 0), (0, 4)]);
+        assert!(h.message_is_obsolete(&past_restoration));
+    }
+
+    #[test]
+    fn obsolete_test_checks_all_components() {
+        let mut h = History::new(ProcessId(0), 3);
+        h.record_token(ProcessId(2), entry(0, 1));
+        // Dependence on the lost part of P2 arrives indirectly via P1.
+        let clock = Ftvc::from_parts(ProcessId(1), &[(0, 0), (0, 5), (0, 2)]);
+        assert!(h.message_is_obsolete(&clock));
+    }
+
+    #[test]
+    fn orphan_test_matches_lemma_3() {
+        let mut h = History::new(ProcessId(0), 2);
+        h.record_message_entry(ProcessId(1), entry(0, 7));
+        assert!(h.orphaned_by(ProcessId(1), entry(0, 3)));
+        assert!(!h.orphaned_by(ProcessId(1), entry(0, 7))); // strict
+        assert!(!h.orphaned_by(ProcessId(1), entry(0, 9)));
+        // No dependence on version 1 at all: not an orphan of it.
+        assert!(!h.orphaned_by(ProcessId(1), entry(1, 0)));
+    }
+
+    #[test]
+    fn orphan_test_ignores_token_records() {
+        let mut h = History::new(ProcessId(0), 2);
+        h.record_token(ProcessId(1), entry(0, 9));
+        // A token record with higher ts is not a message dependency.
+        assert!(!h.orphaned_by(ProcessId(1), entry(0, 3)));
+    }
+
+    #[test]
+    fn token_frontier_counts_leading_tokens() {
+        let mut h = History::new(ProcessId(0), 2);
+        assert_eq!(h.token_frontier(ProcessId(1)), Version(0));
+        h.record_token(ProcessId(1), entry(1, 4)); // out of order
+        assert_eq!(h.token_frontier(ProcessId(1)), Version(0));
+        h.record_token(ProcessId(1), entry(0, 2));
+        assert_eq!(h.token_frontier(ProcessId(1)), Version(2));
+    }
+
+    #[test]
+    fn has_token_detects_exact_duplicates() {
+        let mut h = History::new(ProcessId(0), 2);
+        h.record_token(ProcessId(1), entry(0, 2));
+        assert!(h.has_token(ProcessId(1), entry(0, 2)));
+        assert!(!h.has_token(ProcessId(1), entry(0, 3)));
+        assert!(!h.has_token(ProcessId(1), entry(1, 2)));
+    }
+
+    #[test]
+    fn gc_reclaims_old_versions() {
+        let mut h = History::new(ProcessId(0), 2);
+        h.record_token(ProcessId(1), entry(0, 2));
+        h.record_token(ProcessId(1), entry(1, 5));
+        h.record_message_entry(ProcessId(1), entry(2, 1));
+        assert_eq!(h.gc_versions_below(ProcessId(1), Version(2)), 2);
+        assert_eq!(h.records_for(ProcessId(1)).count(), 1);
+    }
+
+    #[test]
+    fn figure_5_history_state() {
+        // Reconstructs P0's history row for P1 from Figure 5:
+        // ((t,0,3), (m,1,1)) — a token for version 0 and a message record
+        // for version 1.
+        let mut h = History::new(ProcessId(0), 3);
+        h.record_message_entry(ProcessId(1), entry(0, 7));
+        h.record_token(ProcessId(1), entry(0, 3));
+        h.record_message_entry(ProcessId(1), entry(1, 1));
+        let row: Vec<_> = h.records_for(ProcessId(1)).collect();
+        assert_eq!(row, vec![
+            (Version(0), HistoryRecord { kind: RecordKind::Token, ts: 3 }),
+            (Version(1), HistoryRecord { kind: RecordKind::Message, ts: 1 }),
+        ]);
+    }
+}

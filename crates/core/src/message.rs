@@ -1,0 +1,174 @@
+//! Wire types exchanged by Damani–Garg processes.
+
+use dg_ftvc::{wire, Entry, Ftvc, ProcessId};
+use serde::{Deserialize, Serialize};
+
+/// Unique identity of a send event: the sender, the sender's own
+/// `(version, timestamp)` component at send time, and a digest of the
+/// full piggybacked clock.
+///
+/// The digest matters after rollbacks: Figure 2's rollback rule only
+/// *ticks* the timestamp, so a post-rollback send can reuse a discarded
+/// (orphan) state's `(version, ts)` pair. The two sends are then
+/// distinguished by their full clocks (the orphan one carries the taint
+/// the obsolete test rejects), so the digest keeps retransmission
+/// deduplication from conflating them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct MsgId {
+    /// Sending process.
+    pub sender: ProcessId,
+    /// Sender's own clock component at the send.
+    pub entry: Entry,
+    /// FNV-1a digest of the full piggybacked clock.
+    pub clock_digest: u64,
+}
+
+/// An application message with its piggybacked fault-tolerant vector
+/// clock (the only control information the protocol adds to application
+/// traffic — the paper's Section 6.9 headline).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Envelope<M> {
+    /// Application payload.
+    pub payload: M,
+    /// Sender's FTVC at the send event.
+    pub clock: Ftvc,
+}
+
+impl<M> Envelope<M> {
+    /// The sending process (the clock's owner).
+    pub fn sender(&self) -> ProcessId {
+        self.clock.owner()
+    }
+
+    /// Unique id of the send event.
+    pub fn id(&self) -> MsgId {
+        let mut digest: u64 = 0xcbf2_9ce4_8422_2325;
+        for (_, e) in self.clock.iter() {
+            for word in [u64::from(e.version.0), e.ts] {
+                digest ^= word;
+                digest = digest.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+        }
+        MsgId {
+            sender: self.clock.owner(),
+            entry: self.clock.own_entry(),
+            clock_digest: digest,
+        }
+    }
+
+    /// Encoded size of the piggybacked control information, in bytes.
+    pub fn piggyback_bytes(&self) -> usize {
+        wire::ftvc_wire_len(&self.clock)
+    }
+}
+
+/// A recovery token, broadcast by a process restarting from a failure
+/// (Section 5): "the version number which failed and the timestamp of
+/// that version at the point of restoration".
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Token {
+    /// The process that failed and recovered.
+    pub from: ProcessId,
+    /// `(failed version, restoration timestamp)`.
+    pub entry: Entry,
+    /// Full clock of the restored state. Only present when the
+    /// send-history retransmission extension (paper, Remark 1) is
+    /// enabled; the base protocol's token is a single entry.
+    pub full_clock: Option<Ftvc>,
+}
+
+impl Token {
+    /// Encoded size in bytes (single entry, plus the optional full clock
+    /// when the retransmission extension is on).
+    pub fn wire_bytes(&self) -> usize {
+        let base = wire::token_wire_len(self.from, self.entry);
+        match &self.full_clock {
+            Some(clock) => base + wire::ftvc_wire_len(clock),
+            None => base,
+        }
+    }
+}
+
+/// Everything a [`crate::DgProcess`] can put on the network.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Wire<M> {
+    /// An application message.
+    App(Envelope<M>),
+    /// A recovery token.
+    Token(Token),
+    /// A retransmitted application message (send-history extension). The
+    /// receiver deduplicates by [`Envelope::id`].
+    Resend(Envelope<M>),
+    /// Stability-frontier gossip (output-commit / GC extension): the
+    /// sender's own `(version, ts)` up to which its states are stable.
+    Frontier(ProcessId, Entry),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn clock() -> Ftvc {
+        Ftvc::from_parts(ProcessId(1), &[(0, 4), (1, 7), (0, 0)])
+    }
+
+    #[test]
+    fn envelope_identity_comes_from_own_entry() {
+        let env = Envelope {
+            payload: 42u32,
+            clock: clock(),
+        };
+        assert_eq!(env.sender(), ProcessId(1));
+        let id = env.id();
+        assert_eq!(id.sender, ProcessId(1));
+        assert_eq!(id.entry, Entry::new(1, 7));
+    }
+
+    #[test]
+    fn same_own_entry_different_clock_yields_different_id() {
+        // Post-rollback timestamp reuse: same (sender, version, ts) but a
+        // different causal past must not be conflated.
+        let a = Envelope {
+            payload: (),
+            clock: Ftvc::from_parts(ProcessId(1), &[(0, 5), (1, 7), (0, 0)]),
+        };
+        let b = Envelope {
+            payload: (),
+            clock: Ftvc::from_parts(ProcessId(1), &[(0, 2), (1, 7), (0, 0)]),
+        };
+        assert_eq!(a.id().entry, b.id().entry);
+        assert_ne!(a.id(), b.id());
+    }
+
+    #[test]
+    fn distinct_sends_have_distinct_ids() {
+        let mut c = Ftvc::new(ProcessId(0), 2);
+        let a = Envelope { payload: (), clock: c.stamp_for_send() };
+        let b = Envelope { payload: (), clock: c.stamp_for_send() };
+        assert_ne!(a.id(), b.id());
+    }
+
+    #[test]
+    fn piggyback_bytes_match_wire_encoding() {
+        let env = Envelope {
+            payload: 0u8,
+            clock: clock(),
+        };
+        assert_eq!(env.piggyback_bytes(), wire::ftvc_wire_len(&clock()));
+    }
+
+    #[test]
+    fn base_token_is_single_entry_sized() {
+        let t = Token {
+            from: ProcessId(2),
+            entry: Entry::new(0, 300),
+            full_clock: None,
+        };
+        let with_clock = Token {
+            full_clock: Some(clock()),
+            ..t.clone()
+        };
+        assert!(t.wire_bytes() < with_clock.wire_bytes());
+        assert_eq!(t.wire_bytes(), wire::token_wire_len(ProcessId(2), Entry::new(0, 300)));
+    }
+}

@@ -1,0 +1,190 @@
+//! Weak conjunctive predicate detection over fault-tolerant vector
+//! clocks.
+//!
+//! The paper notes (Sections 1 and 4) that the FTVC "is of independent
+//! interest as it can also be applied to other distributed algorithms
+//! such as distributed predicate detection [Garg & Waldecker]". This
+//! module delivers on that: the classic *weak conjunctive predicate*
+//! (WCP) detection algorithm — find a consistent cut in which every
+//! process's local predicate holds — runs unmodified on FTVC stamps,
+//! because Theorem 1 guarantees the FTVC orders exactly the useful
+//! states even across failures and rollbacks.
+//!
+//! Candidates from lost or orphan states must not be offered to the
+//! detector; in this workspace the harness collects candidates only from
+//! states that survive to quiescence.
+//!
+//! ```
+//! use dg_core::predicate::WcpDetector;
+//! use dg_core::{Ftvc, ProcessId};
+//!
+//! let mut p0 = Ftvc::new(ProcessId(0), 2);
+//! let mut p1 = Ftvc::new(ProcessId(1), 2);
+//! let mut det = WcpDetector::new(2);
+//! det.add_candidate(p0.clone());        // predicate true at P0 now
+//! let m = p0.stamp_for_send();
+//! p1.observe(&m);
+//! det.add_candidate(p1.clone());        // ... and at P1 after receiving
+//! // P0's candidate happened before P1's: they cannot form a cut alone,
+//! // so offer a later P0 candidate too.
+//! det.add_candidate(p0.clone());
+//! assert!(det.detect().is_some());
+//! ```
+
+use std::collections::VecDeque;
+
+use dg_ftvc::{Ftvc, ProcessId};
+
+/// Detects whether some consistent cut exists in which the local
+/// predicate held at **every** process simultaneously (i.e. the offered
+/// candidate states are pairwise concurrent).
+#[derive(Debug, Clone)]
+pub struct WcpDetector {
+    queues: Vec<VecDeque<Ftvc>>,
+}
+
+impl WcpDetector {
+    /// A detector for an `n`-process system.
+    pub fn new(n: usize) -> WcpDetector {
+        WcpDetector {
+            queues: vec![VecDeque::new(); n],
+        }
+    }
+
+    /// Offer a candidate state (its owning process is the clock's owner).
+    /// Candidates from each process must be offered in program order.
+    pub fn add_candidate(&mut self, clock: Ftvc) {
+        let p = clock.owner();
+        self.queues[p.index()].push_back(clock);
+    }
+
+    /// Number of candidates currently queued for `p`.
+    pub fn candidates_for(&self, p: ProcessId) -> usize {
+        self.queues[p.index()].len()
+    }
+
+    /// Run the Garg–Waldecker elimination: repeatedly drop any candidate
+    /// that happened-before another front candidate (it can never be part
+    /// of a consistent cut with that one); succeed when all fronts are
+    /// pairwise concurrent.
+    ///
+    /// Returns the witnessing cut (one clock per process) if the weak
+    /// conjunctive predicate is detected.
+    pub fn detect(&self) -> Option<Vec<Ftvc>> {
+        let mut queues = self.queues.clone();
+        loop {
+            // Every process must still have a candidate.
+            if queues.iter().any(VecDeque::is_empty) {
+                return None;
+            }
+            let mut eliminated = false;
+            for i in 0..queues.len() {
+                for j in 0..queues.len() {
+                    if i == j {
+                        continue;
+                    }
+                    let before = {
+                        let a = queues[i].front().expect("checked non-empty");
+                        let b = queues[j].front().expect("checked non-empty");
+                        a.happened_before(b)
+                    };
+                    if before {
+                        queues[i].pop_front();
+                        eliminated = true;
+                        if queues[i].is_empty() {
+                            return None;
+                        }
+                    }
+                }
+            }
+            if !eliminated {
+                return Some(
+                    queues
+                        .into_iter()
+                        .map(|mut q| q.pop_front().expect("checked non-empty"))
+                        .collect(),
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Build a 2-process exchange where candidates are forced into a
+    /// causal chain (no consistent cut).
+    #[test]
+    fn chained_candidates_are_not_detected() {
+        let mut p0 = Ftvc::new(ProcessId(0), 2);
+        let mut p1 = Ftvc::new(ProcessId(1), 2);
+        let mut det = WcpDetector::new(2);
+        det.add_candidate(p0.clone());
+        let m = p0.stamp_for_send();
+        p1.observe(&m);
+        det.add_candidate(p1.clone());
+        // Only one candidate per process, and P0's precedes P1's: P1's
+        // candidate "saw" P0's, so they are not concurrent.
+        assert!(det.detect().is_none());
+    }
+
+    #[test]
+    fn concurrent_candidates_are_detected() {
+        let mut p0 = Ftvc::new(ProcessId(0), 2);
+        let mut p1 = Ftvc::new(ProcessId(1), 2);
+        let _ = p0.stamp_for_send();
+        let _ = p1.stamp_for_send();
+        let mut det = WcpDetector::new(2);
+        det.add_candidate(p0.clone());
+        det.add_candidate(p1.clone());
+        let cut = det.detect().expect("independent states are concurrent");
+        assert_eq!(cut.len(), 2);
+        assert!(cut[0].concurrent_with(&cut[1]));
+    }
+
+    #[test]
+    fn elimination_advances_to_later_candidates() {
+        let mut p0 = Ftvc::new(ProcessId(0), 2);
+        let mut p1 = Ftvc::new(ProcessId(1), 2);
+        let mut det = WcpDetector::new(2);
+        // Early P0 candidate, then a message P0 -> P1, then a P1 candidate
+        // (which saw P0's first candidate), then a fresh P0 candidate.
+        det.add_candidate(p0.clone());
+        let m = p0.stamp_for_send();
+        p1.observe(&m);
+        det.add_candidate(p1.clone());
+        p0.rolled_back(); // any local tick
+        det.add_candidate(p0.clone());
+        let cut = det.detect().expect("second P0 candidate pairs with P1's");
+        assert!(cut[0].concurrent_with(&cut[1]));
+    }
+
+    #[test]
+    fn detection_works_across_failures() {
+        // P1 fails and recovers; candidates from its new version still
+        // order correctly against P0's.
+        let mut p0 = Ftvc::new(ProcessId(0), 2);
+        let mut p1 = Ftvc::new(ProcessId(1), 2);
+        let candidate_p0 = p0.clone(); // state before the send
+        let m = p0.stamp_for_send();
+        p1.observe(&m);
+        p1.restart(); // failure: version bump
+        let mut det = WcpDetector::new(2);
+        det.add_candidate(candidate_p0); // seen by p1 via the message
+        det.add_candidate(p1.clone());
+        // p0's candidate precedes p1's (p1 merged p0's stamp), so no cut...
+        assert!(det.detect().is_none());
+        // ...until P0 moves past it.
+        let _ = p0.stamp_for_send();
+        det.add_candidate(p0.clone());
+        assert!(det.detect().is_some());
+    }
+
+    #[test]
+    fn empty_queue_is_undetected() {
+        let det = WcpDetector::new(3);
+        assert!(det.detect().is_none());
+        assert_eq!(det.candidates_for(ProcessId(0)), 0);
+    }
+}

@@ -1,0 +1,147 @@
+//! Regression test for the cross-restart rollback: when a process's
+//! *post-failure restored state* is itself an orphan of another failure
+//! (because the other failure's token only arrives after the restart),
+//! the rollback's checkpoint search crosses the restart boundary — and
+//! the process must re-establish its current incarnation rather than
+//! resume computing in a version it already declared dead.
+//!
+//! Found by the harness's scenario property test; kept here as a
+//! deterministic reproduction.
+
+use dg_core::{Application, DgConfig, DgProcess, Effects, ProcessId, Version};
+use dg_simnet::{DelayModel, NetConfig, Sim};
+
+#[derive(Clone)]
+struct Chat {
+    budget: u32,
+    seen: u64,
+}
+
+impl Application for Chat {
+    type Msg = u32;
+
+    fn on_start(&mut self, me: ProcessId, n: usize) -> Effects<u32> {
+        // Everyone seeds everyone: dense cross-dependencies quickly.
+        Effects::sends(
+            ProcessId::all(n)
+                .filter(|&p| p != me)
+                .map(|p| (p, self.budget))
+                .collect(),
+        )
+    }
+
+    fn on_message(&mut self, me: ProcessId, from: ProcessId, msg: &u32, n: usize) -> Effects<u32> {
+        self.seen = self.seen.wrapping_mul(31).wrapping_add(u64::from(*msg));
+        if *msg > 0 {
+            let next = ProcessId((me.0 + from.0 + 1) % n as u16);
+            Effects::send(next, msg - 1)
+        } else {
+            Effects::none()
+        }
+    }
+
+    fn digest(&self) -> u64 {
+        self.seen
+    }
+}
+
+/// Craft the scenario: P1 crashes first but its token crawls (slow
+/// control plane); P0 — already tainted by P1's lost states — crashes
+/// and restarts *before* P1's token reaches it, baking the orphan
+/// dependency into its post-restart checkpoint. When the token finally
+/// arrives, P0's rollback must cross its restart boundary.
+fn run_one(seed: u64) -> (Sim<DgProcess<Chat>>, bool) {
+    let net = NetConfig {
+        control_delay: DelayModel::Fixed(30_000), // tokens crawl
+        ..NetConfig::with_seed(seed)
+    }
+    .delay_model(DelayModel::Uniform { min: 10, max: 300 });
+    // Nothing flushes before the crashes: maximal loss, maximal orphans.
+    let config = DgConfig::fast_test()
+        .flush_every(1_000_000)
+        .checkpoint_every(1_000_000);
+    let actors = (0..3u16)
+        .map(|i| DgProcess::new(ProcessId(i), 3, Chat { budget: 60, seen: 0 }, config))
+        .collect();
+    let mut sim = Sim::new(net, actors);
+    sim.schedule_crash(ProcessId(1), 2_000);
+    // P0 crashes after absorbing P1-dependent traffic, restarts at 7_000
+    // — well before P1's token lands at ~34_000.
+    sim.schedule_crash_with_downtime(ProcessId(0), 5_000, 2_000);
+    let stats = sim.run();
+    let crossed = sim
+        .actors()
+        .iter()
+        .any(|a| a.stats().rollbacks > 0 && a.stats().restarts > 0);
+    (sim, stats.quiescent && crossed)
+}
+
+#[test]
+fn version_never_regresses_across_boundary_crossing_rollbacks() {
+    let mut exercised = false;
+    for seed in 0..30u64 {
+        let (sim, interesting) = run_one(seed);
+        for actor in sim.actors() {
+            // The invariant the original bug violated: the incarnation
+            // number always equals the restart count.
+            assert_eq!(
+                u64::from(actor.version().0),
+                actor.stats().restarts,
+                "seed {seed}: {} resumed a dead version",
+                actor.id()
+            );
+            // And nobody ends up depending on anyone's lost states.
+            for peer in ProcessId::all(3) {
+                for &(version, restored_ts) in
+                    &sim.actors()[peer.index()].stats().restorations
+                {
+                    let dep = actor.clock().entry(peer);
+                    if dep.version == version {
+                        assert!(
+                            dep.ts <= restored_ts,
+                            "seed {seed}: {} depends on lost ({},{}) of {}",
+                            actor.id(),
+                            version,
+                            dep.ts,
+                            peer
+                        );
+                    }
+                }
+            }
+        }
+        exercised |= interesting;
+    }
+    assert!(
+        exercised,
+        "no seed exercised a post-restart rollback; scenario needs retuning"
+    );
+}
+
+#[test]
+fn crossing_rollback_retakes_a_version_pinning_checkpoint() {
+    // After any run of the crafted scenario, every restarted process must
+    // still be able to fail AGAIN and come back at the right version —
+    // i.e. the re-established incarnation was durably pinned.
+    for seed in 0..10u64 {
+        let net = NetConfig {
+            control_delay: DelayModel::Fixed(30_000),
+            ..NetConfig::with_seed(seed)
+        };
+        let config = DgConfig::fast_test()
+            .flush_every(1_000_000)
+            .checkpoint_every(1_000_000);
+        let actors = (0..3u16)
+            .map(|i| DgProcess::new(ProcessId(i), 3, Chat { budget: 60, seen: 0 }, config))
+            .collect();
+        let mut sim = Sim::new(net, actors);
+        sim.schedule_crash(ProcessId(1), 2_000);
+        sim.schedule_crash_with_downtime(ProcessId(0), 5_000, 2_000);
+        // A third crash of P0 long after the token storm settles.
+        sim.schedule_crash(ProcessId(0), 80_000);
+        let stats = sim.run();
+        assert!(stats.quiescent, "seed {seed}");
+        let p0 = sim.actor(ProcessId(0));
+        assert_eq!(p0.stats().restarts, 2, "seed {seed}");
+        assert_eq!(p0.version(), Version(2), "seed {seed}");
+    }
+}

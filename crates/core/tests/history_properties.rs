@@ -1,0 +1,169 @@
+//! Property-based tests of the history mechanism (Figure 3) and its
+//! interplay with the obsolete/orphan tests (Lemmas 3–4).
+
+use dg_core::{History, RecordKind};
+use dg_ftvc::{Entry, Ftvc, ProcessId};
+use proptest::prelude::*;
+
+/// A random history operation.
+#[derive(Debug, Clone)]
+enum Op {
+    Message { j: u16, v: u32, ts: u64 },
+    Token { j: u16, v: u32, ts: u64 },
+}
+
+fn op_strategy(n: u16) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (0..n, 0u32..4, 0u64..50).prop_map(|(j, v, ts)| Op::Message { j, v, ts }),
+        1 => (0..n, 0u32..4, 0u64..50).prop_map(|(j, v, ts)| Op::Token { j, v, ts }),
+    ]
+}
+
+fn apply(history: &mut History, op: &Op) {
+    match *op {
+        Op::Message { j, v, ts } => {
+            history.record_message_entry(ProcessId(j), Entry::new(v, ts))
+        }
+        Op::Token { j, v, ts } => history.record_token(ProcessId(j), Entry::new(v, ts)),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// One record per (process, version), always — the paper's structural
+    /// invariant.
+    #[test]
+    fn one_record_per_version(ops in proptest::collection::vec(op_strategy(4), 0..80)) {
+        let mut h = History::new(ProcessId(0), 4);
+        for op in &ops {
+            apply(&mut h, op);
+        }
+        for j in 0..4u16 {
+            let versions: Vec<_> = h.records_for(ProcessId(j)).map(|(v, _)| v).collect();
+            let mut dedup = versions.clone();
+            dedup.dedup();
+            prop_assert_eq!(versions, dedup);
+        }
+    }
+
+    /// Token records are never replaced by message records, and message
+    /// records grow monotonically.
+    #[test]
+    fn token_precedence_and_monotonicity(ops in proptest::collection::vec(op_strategy(3), 0..80)) {
+        let mut h = History::new(ProcessId(0), 3);
+        for op in &ops {
+            let before = match op {
+                Op::Message { j, v, .. } | Op::Token { j, v, .. } => {
+                    h.record(ProcessId(*j), dg_ftvc::Version(*v))
+                }
+            };
+            apply(&mut h, op);
+            let (j, v) = match op {
+                Op::Message { j, v, .. } | Op::Token { j, v, .. } => (*j, *v),
+            };
+            let after = h.record(ProcessId(j), dg_ftvc::Version(v)).unwrap();
+            if let Some(before) = before {
+                match (before.kind, op) {
+                    // Messages never downgrade a token record.
+                    (RecordKind::Token, Op::Message { .. }) => {
+                        prop_assert_eq!(after, before);
+                    }
+                    // Message-over-message only increases the timestamp.
+                    (RecordKind::Message, Op::Message { .. }) => {
+                        prop_assert_eq!(after.kind, RecordKind::Message);
+                        prop_assert!(after.ts >= before.ts);
+                    }
+                    // Tokens always overwrite.
+                    (_, Op::Token { ts, .. }) => {
+                        prop_assert_eq!(after.kind, RecordKind::Token);
+                        prop_assert_eq!(after.ts, *ts);
+                    }
+                }
+            }
+        }
+    }
+
+    /// The obsolete test fires iff some component strictly exceeds a
+    /// token record (the literal statement of Lemma 4).
+    #[test]
+    fn obsolete_test_definition(
+        ops in proptest::collection::vec(op_strategy(3), 0..60),
+        parts in proptest::collection::vec((0u32..4, 0u64..50), 3..=3),
+    ) {
+        let mut h = History::new(ProcessId(0), 3);
+        for op in &ops {
+            apply(&mut h, op);
+        }
+        let clock = Ftvc::from_parts(ProcessId(1), &parts);
+        let expected = (0..3u16).any(|j| {
+            match h.record(ProcessId(j), dg_ftvc::Version(parts[j as usize].0)) {
+                Some(r) => r.kind == RecordKind::Token && r.ts < parts[j as usize].1,
+                None => false,
+            }
+        });
+        prop_assert_eq!(h.message_is_obsolete(&clock), expected);
+    }
+
+    /// Frontier equals the number of leading token-covered versions.
+    #[test]
+    fn frontier_definition(ops in proptest::collection::vec(op_strategy(2), 0..60)) {
+        let mut h = History::new(ProcessId(0), 2);
+        for op in &ops {
+            apply(&mut h, op);
+        }
+        for j in 0..2u16 {
+            let frontier = h.token_frontier(ProcessId(j)).0;
+            for v in 0..frontier {
+                let r = h.record(ProcessId(j), dg_ftvc::Version(v)).unwrap();
+                prop_assert_eq!(r.kind, RecordKind::Token);
+            }
+            let at_frontier = h.record(ProcessId(j), dg_ftvc::Version(frontier));
+            prop_assert!(!matches!(
+                at_frontier,
+                Some(r) if r.kind == RecordKind::Token
+            ));
+        }
+    }
+
+    /// observe_clock is equivalent to per-component message inserts.
+    #[test]
+    fn observe_clock_decomposes(
+        ops in proptest::collection::vec(op_strategy(3), 0..40),
+        parts in proptest::collection::vec((0u32..4, 0u64..50), 3..=3),
+    ) {
+        let mut a = History::new(ProcessId(0), 3);
+        let mut b = History::new(ProcessId(0), 3);
+        for op in &ops {
+            apply(&mut a, op);
+            apply(&mut b, op);
+        }
+        let clock = Ftvc::from_parts(ProcessId(2), &parts);
+        a.observe_clock(&clock);
+        for (j, e) in clock.iter() {
+            b.record_message_entry(j, e);
+        }
+        prop_assert_eq!(a, b);
+    }
+
+    /// GC never resurrects orphanhood: after collecting versions below
+    /// the frontier, the obsolete/orphan answers for surviving versions
+    /// are unchanged.
+    #[test]
+    fn gc_preserves_answers_for_live_versions(
+        ops in proptest::collection::vec(op_strategy(2), 0..60),
+        probe_ts in 0u64..50,
+    ) {
+        let mut h = History::new(ProcessId(0), 2);
+        for op in &ops {
+            apply(&mut h, op);
+        }
+        let j = ProcessId(1);
+        let frontier = h.token_frontier(j);
+        let before_orphan = h.orphaned_by(j, Entry { version: frontier, ts: probe_ts });
+        let mut gced = h.clone();
+        gced.gc_versions_below(j, frontier);
+        let after_orphan = gced.orphaned_by(j, Entry { version: frontier, ts: probe_ts });
+        prop_assert_eq!(before_orphan, after_orphan);
+    }
+}

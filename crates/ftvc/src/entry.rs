@@ -1,0 +1,158 @@
+//! Identifier newtypes and the `(version, timestamp)` clock component.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a process in the distributed computation.
+///
+/// Process ids are dense indices `0..n`; they double as indices into
+/// vector-clock components and history tables.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct ProcessId(pub u16);
+
+impl ProcessId {
+    /// The component index of this process in an `n`-sized vector.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Iterate over all process ids of an `n`-process system.
+    pub fn all(n: usize) -> impl Iterator<Item = ProcessId> {
+        (0..n as u16).map(ProcessId)
+    }
+}
+
+impl fmt::Display for ProcessId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+impl From<u16> for ProcessId {
+    fn from(value: u16) -> Self {
+        ProcessId(value)
+    }
+}
+
+/// A process *version* (incarnation) number.
+///
+/// Version `v` of process `P_i` is the execution of `P_i` between its
+/// `v`-th and `v+1`-th failures; a restart after a failure creates version
+/// `v+1`. Rollback of a non-failed process does **not** create a new
+/// version (paper, Section 3).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Version(pub u32);
+
+impl Version {
+    /// The initial version of every process.
+    pub const ZERO: Version = Version(0);
+
+    /// The version created by recovering from a failure of `self`.
+    #[inline]
+    #[must_use]
+    pub fn next(self) -> Version {
+        Version(self.0 + 1)
+    }
+}
+
+impl fmt::Display for Version {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// One component of a fault-tolerant vector clock: a `(version, timestamp)`
+/// pair, ordered lexicographically (paper, Section 4).
+///
+/// `e1 < e2` iff `v1 < v2`, or `v1 == v2` and `ts1 < ts2`. The derived
+/// `Ord` implements exactly this because the fields are declared in
+/// `(version, ts)` order.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Entry {
+    /// Number of failures of the owning process reflected in this entry.
+    pub version: Version,
+    /// Timestamp within `version`.
+    pub ts: u64,
+}
+
+impl Entry {
+    /// The all-zero entry used at initialization.
+    pub const ZERO: Entry = Entry {
+        version: Version::ZERO,
+        ts: 0,
+    };
+
+    /// Construct an entry from raw parts.
+    #[inline]
+    pub fn new(version: u32, ts: u64) -> Entry {
+        Entry {
+            version: Version(version),
+            ts,
+        }
+    }
+
+    /// The componentwise maximum used when merging clocks: the entry with
+    /// the higher version wins; on a version tie the higher timestamp wins.
+    #[inline]
+    #[must_use]
+    pub fn join(self, other: Entry) -> Entry {
+        self.max(other)
+    }
+}
+
+impl fmt::Display for Entry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({},{})", self.version.0, self.ts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entry_order_is_lexicographic() {
+        // Same version: timestamp decides.
+        assert!(Entry::new(0, 1) < Entry::new(0, 2));
+        // Higher version dominates any timestamp.
+        assert!(Entry::new(0, 999) < Entry::new(1, 0));
+        assert!(Entry::new(2, 0) > Entry::new(1, 888));
+        assert_eq!(Entry::new(3, 7), Entry::new(3, 7));
+    }
+
+    #[test]
+    fn join_picks_larger() {
+        let lo = Entry::new(0, 5);
+        let hi = Entry::new(1, 0);
+        assert_eq!(lo.join(hi), hi);
+        assert_eq!(hi.join(lo), hi);
+        assert_eq!(lo.join(lo), lo);
+    }
+
+    #[test]
+    fn version_next_increments() {
+        assert_eq!(Version::ZERO.next(), Version(1));
+        assert_eq!(Version(41).next(), Version(42));
+    }
+
+    #[test]
+    fn process_id_display_and_index() {
+        assert_eq!(ProcessId(3).to_string(), "P3");
+        assert_eq!(ProcessId(3).index(), 3);
+        let ids: Vec<_> = ProcessId::all(3).collect();
+        assert_eq!(ids, vec![ProcessId(0), ProcessId(1), ProcessId(2)]);
+    }
+
+    #[test]
+    fn entry_display() {
+        assert_eq!(Entry::new(1, 9).to_string(), "(1,9)");
+    }
+}

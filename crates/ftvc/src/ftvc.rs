@@ -1,0 +1,358 @@
+//! The fault-tolerant vector clock of Figure 2 of the paper.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{CausalOrder, Entry, ProcessId, Version};
+
+/// A fault-tolerant vector clock (FTVC).
+///
+/// One component per process; each component is an [`Entry`]
+/// `(version, timestamp)` compared lexicographically. The owner's own
+/// component carries its current incarnation and local logical time.
+///
+/// The five clock operations follow Figure 2 of the paper:
+///
+/// * [`Ftvc::new`] — initialize: every component `(0,0)`, own timestamp `1`.
+/// * [`Ftvc::stamp_for_send`] — return the clock to piggyback, then
+///   increment the own timestamp.
+/// * [`Ftvc::observe`] — componentwise join with an incoming clock, then
+///   increment the own timestamp.
+/// * [`Ftvc::restart`] — after a *failure*: increment the own version and
+///   reset the own timestamp to zero. Requires only the previous version
+///   number, which survives failures in the checkpoint.
+/// * [`Ftvc::rolled_back`] — after a *rollback* (no failure): increment the
+///   own timestamp; the version is unchanged.
+///
+/// # Examples
+///
+/// ```
+/// use dg_ftvc::{Ftvc, ProcessId, CausalOrder};
+///
+/// let mut p0 = Ftvc::new(ProcessId(0), 2);
+/// let mut p1 = Ftvc::new(ProcessId(1), 2);
+/// let m = p0.stamp_for_send();
+/// p1.observe(&m);
+/// assert_eq!(p0.causal_compare(&p1), CausalOrder::Concurrent); // p0 ticked past m
+/// assert!(m.happened_before(&p1));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Ftvc {
+    owner: ProcessId,
+    entries: Vec<Entry>,
+}
+
+impl Ftvc {
+    /// Create the initial clock of `owner` in an `n`-process system:
+    /// all components `(0,0)` except the owner's timestamp, which is `1`
+    /// (Figure 2, *Initialize*).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `owner.index() >= n`.
+    pub fn new(owner: ProcessId, n: usize) -> Ftvc {
+        assert!(
+            owner.index() < n,
+            "owner {owner} out of range for {n}-process system"
+        );
+        let mut entries = vec![Entry::ZERO; n];
+        entries[owner.index()].ts = 1;
+        Ftvc { owner, entries }
+    }
+
+    /// The process that owns (locally advances) this clock.
+    #[inline]
+    pub fn owner(&self) -> ProcessId {
+        self.owner
+    }
+
+    /// Number of components (processes in the system).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` iff the clock has no components (never true for a clock
+    /// built with [`Ftvc::new`]).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The component for process `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range.
+    #[inline]
+    pub fn entry(&self, p: ProcessId) -> Entry {
+        self.entries[p.index()]
+    }
+
+    /// The owner's own component.
+    #[inline]
+    pub fn own_entry(&self) -> Entry {
+        self.entries[self.owner.index()]
+    }
+
+    /// The owner's current version (incarnation number).
+    #[inline]
+    pub fn version(&self) -> Version {
+        self.own_entry().version
+    }
+
+    /// All components in process-id order.
+    #[inline]
+    pub fn entries(&self) -> &[Entry] {
+        &self.entries
+    }
+
+    /// Iterate `(process, entry)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (ProcessId, Entry)> + '_ {
+        self.entries
+            .iter()
+            .enumerate()
+            .map(|(i, &e)| (ProcessId(i as u16), e))
+    }
+
+    /// Clock value to piggyback on an outgoing message; advances the own
+    /// timestamp afterwards (Figure 2, *Send message*).
+    #[must_use = "the returned stamp must be piggybacked on the message"]
+    pub fn stamp_for_send(&mut self) -> Ftvc {
+        let stamp = self.clone();
+        self.entries[self.owner.index()].ts += 1;
+        stamp
+    }
+
+    /// Merge an incoming clock: componentwise [`Entry::join`], then advance
+    /// the own timestamp (Figure 2, *Receive message*).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the clocks have different lengths.
+    pub fn observe(&mut self, incoming: &Ftvc) {
+        assert_eq!(
+            self.entries.len(),
+            incoming.entries.len(),
+            "cannot merge clocks of different system sizes"
+        );
+        for (mine, theirs) in self.entries.iter_mut().zip(&incoming.entries) {
+            *mine = mine.join(*theirs);
+        }
+        self.entries[self.owner.index()].ts += 1;
+    }
+
+    /// Transition after the owner restarts from a **failure**: the own
+    /// version increments and the own timestamp resets to zero
+    /// (Figure 2, *On Restart*).
+    pub fn restart(&mut self) {
+        let own = &mut self.entries[self.owner.index()];
+        own.version = own.version.next();
+        own.ts = 0;
+    }
+
+    /// Transition after the owner **rolls back** (orphan recovery, no
+    /// failure): the own timestamp increments, the version is unchanged
+    /// (Figure 2, *On Rollback*).
+    pub fn rolled_back(&mut self) {
+        self.entries[self.owner.index()].ts += 1;
+    }
+
+    /// Compare two clocks under the vector partial order
+    /// `c1 < c2 iff (forall i: c1[i] <= c2[i]) and (exists j: c1[j] < c2[j])`.
+    ///
+    /// By Theorem 1 of the paper, for *useful* states (neither lost nor
+    /// orphan) this coincides with the extended happened-before relation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the clocks have different lengths.
+    pub fn causal_compare(&self, other: &Ftvc) -> CausalOrder {
+        assert_eq!(
+            self.entries.len(),
+            other.entries.len(),
+            "cannot compare clocks of different system sizes"
+        );
+        self.entries
+            .iter()
+            .zip(&other.entries)
+            .map(|(a, b)| a.cmp(b))
+            .fold(CausalOrder::Equal, CausalOrder::fold)
+    }
+
+    /// `true` iff `self < other` in the vector partial order.
+    #[inline]
+    pub fn happened_before(&self, other: &Ftvc) -> bool {
+        self.causal_compare(other).is_before()
+    }
+
+    /// `true` iff the two clocks are causally concurrent.
+    #[inline]
+    pub fn concurrent_with(&self, other: &Ftvc) -> bool {
+        self.causal_compare(other).is_concurrent()
+    }
+
+    /// Raw constructor for tests and scenario replays: build a clock from
+    /// explicit `(version, ts)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `owner.index() >= parts.len()`.
+    pub fn from_parts(owner: ProcessId, parts: &[(u32, u64)]) -> Ftvc {
+        assert!(owner.index() < parts.len());
+        Ftvc {
+            owner,
+            entries: parts.iter().map(|&(v, t)| Entry::new(v, t)).collect(),
+        }
+    }
+}
+
+impl fmt::Display for Ftvc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, e) in self.entries.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{e}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initialization_matches_figure_2() {
+        let c = Ftvc::new(ProcessId(1), 3);
+        assert_eq!(c.entry(ProcessId(0)), Entry::new(0, 0));
+        assert_eq!(c.entry(ProcessId(1)), Entry::new(0, 1));
+        assert_eq!(c.entry(ProcessId(2)), Entry::new(0, 0));
+        assert_eq!(c.version(), Version(0));
+    }
+
+    #[test]
+    fn send_returns_pre_increment_stamp() {
+        let mut c = Ftvc::new(ProcessId(0), 2);
+        let stamp = c.stamp_for_send();
+        assert_eq!(stamp.entry(ProcessId(0)), Entry::new(0, 1));
+        assert_eq!(c.entry(ProcessId(0)), Entry::new(0, 2));
+    }
+
+    #[test]
+    fn observe_joins_and_ticks() {
+        let mut a = Ftvc::new(ProcessId(0), 3);
+        let mut b = Ftvc::new(ProcessId(1), 3);
+        let m = a.stamp_for_send();
+        b.observe(&m);
+        // b took a's component and ticked its own.
+        assert_eq!(b.entry(ProcessId(0)), Entry::new(0, 1));
+        assert_eq!(b.entry(ProcessId(1)), Entry::new(0, 2));
+        assert_eq!(b.entry(ProcessId(2)), Entry::new(0, 0));
+    }
+
+    #[test]
+    fn observe_prefers_higher_version_even_with_lower_ts() {
+        let mut a = Ftvc::from_parts(ProcessId(0), &[(0, 5), (0, 9)]);
+        let incoming = Ftvc::from_parts(ProcessId(1), &[(0, 2), (1, 1)]);
+        a.observe(&incoming);
+        // Version 1 with ts 1 beats version 0 with ts 9.
+        assert_eq!(a.entry(ProcessId(1)), Entry::new(1, 1));
+        assert_eq!(a.entry(ProcessId(0)), Entry::new(0, 6));
+    }
+
+    #[test]
+    fn restart_bumps_version_resets_ts() {
+        let mut c = Ftvc::from_parts(ProcessId(0), &[(0, 7), (2, 3)]);
+        c.restart();
+        assert_eq!(c.own_entry(), Entry::new(1, 0));
+        // Other components untouched.
+        assert_eq!(c.entry(ProcessId(1)), Entry::new(2, 3));
+    }
+
+    #[test]
+    fn rollback_ticks_without_version_change() {
+        let mut c = Ftvc::from_parts(ProcessId(0), &[(1, 4), (0, 0)]);
+        c.rolled_back();
+        assert_eq!(c.own_entry(), Entry::new(1, 5));
+    }
+
+    #[test]
+    fn message_chain_creates_happened_before() {
+        let mut a = Ftvc::new(ProcessId(0), 3);
+        let mut b = Ftvc::new(ProcessId(1), 3);
+        let mut c = Ftvc::new(ProcessId(2), 3);
+        let m1 = a.stamp_for_send();
+        b.observe(&m1);
+        let m2 = b.stamp_for_send();
+        c.observe(&m2);
+        assert!(m1.happened_before(&c));
+        assert!(a.concurrent_with(&b) || a.happened_before(&b));
+    }
+
+    #[test]
+    fn independent_clocks_are_concurrent() {
+        let mut a = Ftvc::new(ProcessId(0), 2);
+        let mut b = Ftvc::new(ProcessId(1), 2);
+        let _ = a.stamp_for_send();
+        let _ = b.stamp_for_send();
+        assert!(a.concurrent_with(&b));
+        assert_eq!(a.causal_compare(&b).reverse(), b.causal_compare(&a));
+    }
+
+    #[test]
+    fn display_formats_entries() {
+        let c = Ftvc::from_parts(ProcessId(0), &[(0, 1), (1, 2)]);
+        assert_eq!(c.to_string(), "[(0,1) (1,2)]");
+    }
+
+    #[test]
+    #[should_panic(expected = "different system sizes")]
+    fn comparing_mismatched_sizes_panics() {
+        let a = Ftvc::new(ProcessId(0), 2);
+        let b = Ftvc::new(ProcessId(0), 3);
+        let _ = a.causal_compare(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn owner_out_of_range_panics() {
+        let _ = Ftvc::new(ProcessId(5), 3);
+    }
+
+    #[test]
+    fn figure_1_prefix_replay() {
+        // Replays the pre-failure prefix of Figure 1 from the paper and
+        // checks the boxed clock values.
+        let mut p0 = Ftvc::new(ProcessId(0), 3);
+        let mut p1 = Ftvc::new(ProcessId(1), 3);
+        let mut p2 = Ftvc::new(ProcessId(2), 3);
+
+        // s00: P0 at (0,1)(0,0)(0,0); sends to P1.
+        assert_eq!(p0.entries(), Ftvc::from_parts(ProcessId(0), &[(0, 1), (0, 0), (0, 0)]).entries());
+        let m_01 = p0.stamp_for_send();
+        // s11: P1 receives -> (0,1)(0,2)(0,0)
+        p1.observe(&m_01);
+        assert_eq!(
+            p1,
+            Ftvc::from_parts(ProcessId(1), &[(0, 1), (0, 2), (0, 0)])
+        );
+        // P2 independent at (0,0)(0,0)(0,1).
+        assert_eq!(
+            p2,
+            Ftvc::from_parts(ProcessId(2), &[(0, 0), (0, 0), (0, 1)])
+        );
+        // P1 fails after s12; restores s11's clock and restarts.
+        let mut restored = p1.clone();
+        restored.restart();
+        // r10 clock: (0,1)(1,0)(0,0)
+        assert_eq!(
+            restored,
+            Ftvc::from_parts(ProcessId(1), &[(0, 1), (1, 0), (0, 0)])
+        );
+        let _ = p2.stamp_for_send();
+    }
+}

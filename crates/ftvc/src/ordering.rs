@@ -1,0 +1,140 @@
+//! The four-way causal comparison returned by clock comparisons.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// Result of comparing two clocks under the causal (vector) partial order.
+///
+/// Unlike [`std::cmp::Ordering`], vector clocks form a *partial* order, so
+/// a fourth outcome — [`CausalOrder::Concurrent`] — is possible.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CausalOrder {
+    /// The left clock equals the right clock componentwise.
+    Equal,
+    /// The left clock happened before the right clock (`left < right`).
+    Before,
+    /// The left clock happened after the right clock (`left > right`).
+    After,
+    /// Neither clock dominates the other: causally concurrent.
+    Concurrent,
+}
+
+impl CausalOrder {
+    /// Combine per-component orderings into a causal ordering.
+    ///
+    /// Starting from [`CausalOrder::Equal`], fold each componentwise
+    /// [`Ordering`] in; any mix of `Less` and `Greater` collapses to
+    /// [`CausalOrder::Concurrent`].
+    #[inline]
+    #[must_use]
+    pub fn fold(self, component: Ordering) -> CausalOrder {
+        match (self, component) {
+            (CausalOrder::Concurrent, _) => CausalOrder::Concurrent,
+            (acc, Ordering::Equal) => acc,
+            (CausalOrder::Equal, Ordering::Less) => CausalOrder::Before,
+            (CausalOrder::Equal, Ordering::Greater) => CausalOrder::After,
+            (CausalOrder::Before, Ordering::Less) => CausalOrder::Before,
+            (CausalOrder::Before, Ordering::Greater) => CausalOrder::Concurrent,
+            (CausalOrder::After, Ordering::Greater) => CausalOrder::After,
+            (CausalOrder::After, Ordering::Less) => CausalOrder::Concurrent,
+        }
+    }
+
+    /// `true` iff this outcome is [`CausalOrder::Before`].
+    #[inline]
+    pub fn is_before(self) -> bool {
+        self == CausalOrder::Before
+    }
+
+    /// `true` iff this outcome is [`CausalOrder::After`].
+    #[inline]
+    pub fn is_after(self) -> bool {
+        self == CausalOrder::After
+    }
+
+    /// `true` iff this outcome is [`CausalOrder::Concurrent`].
+    #[inline]
+    pub fn is_concurrent(self) -> bool {
+        self == CausalOrder::Concurrent
+    }
+
+    /// The comparison with operand order flipped.
+    #[inline]
+    #[must_use]
+    pub fn reverse(self) -> CausalOrder {
+        match self {
+            CausalOrder::Before => CausalOrder::After,
+            CausalOrder::After => CausalOrder::Before,
+            other => other,
+        }
+    }
+}
+
+impl fmt::Display for CausalOrder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CausalOrder::Equal => "=",
+            CausalOrder::Before => "->",
+            CausalOrder::After => "<-",
+            CausalOrder::Concurrent => "||",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cmp::Ordering::*;
+
+    #[test]
+    fn fold_pure_sequences() {
+        let all_less = [Less, Less, Equal]
+            .into_iter()
+            .fold(CausalOrder::Equal, CausalOrder::fold);
+        assert_eq!(all_less, CausalOrder::Before);
+
+        let all_greater = [Equal, Greater]
+            .into_iter()
+            .fold(CausalOrder::Equal, CausalOrder::fold);
+        assert_eq!(all_greater, CausalOrder::After);
+
+        let all_equal = [Equal, Equal]
+            .into_iter()
+            .fold(CausalOrder::Equal, CausalOrder::fold);
+        assert_eq!(all_equal, CausalOrder::Equal);
+    }
+
+    #[test]
+    fn fold_mixed_is_concurrent() {
+        let mixed = [Less, Greater]
+            .into_iter()
+            .fold(CausalOrder::Equal, CausalOrder::fold);
+        assert_eq!(mixed, CausalOrder::Concurrent);
+        // Concurrent is absorbing.
+        assert_eq!(mixed.fold(Equal), CausalOrder::Concurrent);
+        assert_eq!(mixed.fold(Less), CausalOrder::Concurrent);
+    }
+
+    #[test]
+    fn reverse_swaps_direction() {
+        assert_eq!(CausalOrder::Before.reverse(), CausalOrder::After);
+        assert_eq!(CausalOrder::After.reverse(), CausalOrder::Before);
+        assert_eq!(CausalOrder::Equal.reverse(), CausalOrder::Equal);
+        assert_eq!(CausalOrder::Concurrent.reverse(), CausalOrder::Concurrent);
+    }
+
+    #[test]
+    fn predicates() {
+        assert!(CausalOrder::Before.is_before());
+        assert!(CausalOrder::After.is_after());
+        assert!(CausalOrder::Concurrent.is_concurrent());
+        assert!(!CausalOrder::Equal.is_before());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(CausalOrder::Concurrent.to_string(), "||");
+        assert_eq!(CausalOrder::Before.to_string(), "->");
+    }
+}

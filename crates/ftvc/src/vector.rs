@@ -1,0 +1,193 @@
+//! A plain (Mattern/Fidge) vector clock, used by the failure-free fast
+//! path of some baselines and as the reference point for the FTVC.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{CausalOrder, ProcessId};
+
+/// A classic vector clock: one `u64` timestamp per process.
+///
+/// Unlike [`crate::Ftvc`], a plain vector clock cannot survive failures:
+/// a restarted process would need its (lost) timestamp back to keep the
+/// clock monotone. Baselines that assume a single failure or synchronous
+/// recovery (Peterson–Kearns, Sistla–Welch) use this type.
+///
+/// ```
+/// use dg_ftvc::{VectorClock, ProcessId};
+///
+/// let mut a = VectorClock::new(ProcessId(0), 2);
+/// let mut b = VectorClock::new(ProcessId(1), 2);
+/// b.observe(&a.stamp_for_send());
+/// assert!(a.happened_before(&b) || a.causal_compare(&b).is_concurrent());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct VectorClock {
+    owner: ProcessId,
+    stamps: Vec<u64>,
+}
+
+impl VectorClock {
+    /// Create the initial clock of `owner` in an `n`-process system; the
+    /// own component starts at `1`, all others at `0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `owner.index() >= n`.
+    pub fn new(owner: ProcessId, n: usize) -> VectorClock {
+        assert!(owner.index() < n, "owner out of range");
+        let mut stamps = vec![0; n];
+        stamps[owner.index()] = 1;
+        VectorClock { owner, stamps }
+    }
+
+    /// The owning process.
+    #[inline]
+    pub fn owner(&self) -> ProcessId {
+        self.owner
+    }
+
+    /// Number of components.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.stamps.len()
+    }
+
+    /// `true` iff the clock has no components.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.stamps.is_empty()
+    }
+
+    /// The timestamp recorded for process `p`.
+    #[inline]
+    pub fn stamp(&self, p: ProcessId) -> u64 {
+        self.stamps[p.index()]
+    }
+
+    /// All timestamps in process order.
+    #[inline]
+    pub fn stamps(&self) -> &[u64] {
+        &self.stamps
+    }
+
+    /// Clock to piggyback on a send; advances the own component afterwards.
+    #[must_use = "the returned stamp must be piggybacked on the message"]
+    pub fn stamp_for_send(&mut self) -> VectorClock {
+        let stamp = self.clone();
+        self.stamps[self.owner.index()] += 1;
+        stamp
+    }
+
+    /// Merge an incoming clock (componentwise max) and advance the own
+    /// component.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the clocks have different lengths.
+    pub fn observe(&mut self, incoming: &VectorClock) {
+        assert_eq!(self.stamps.len(), incoming.stamps.len());
+        for (mine, theirs) in self.stamps.iter_mut().zip(&incoming.stamps) {
+            *mine = (*mine).max(*theirs);
+        }
+        self.stamps[self.owner.index()] += 1;
+    }
+
+    /// Advance the own component without observing anything (internal
+    /// event / rollback tick).
+    pub fn tick(&mut self) {
+        self.stamps[self.owner.index()] += 1;
+    }
+
+    /// Overwrite the clock with restored contents (used by baselines when
+    /// restoring a checkpoint).
+    pub fn restore_from(&mut self, other: &VectorClock) {
+        assert_eq!(self.stamps.len(), other.stamps.len());
+        self.stamps.copy_from_slice(&other.stamps);
+    }
+
+    /// Compare under the vector partial order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the clocks have different lengths.
+    pub fn causal_compare(&self, other: &VectorClock) -> CausalOrder {
+        assert_eq!(self.stamps.len(), other.stamps.len());
+        self.stamps
+            .iter()
+            .zip(&other.stamps)
+            .map(|(a, b)| a.cmp(b))
+            .fold(CausalOrder::Equal, CausalOrder::fold)
+    }
+
+    /// `true` iff `self < other` in the vector partial order.
+    #[inline]
+    pub fn happened_before(&self, other: &VectorClock) -> bool {
+        self.causal_compare(other).is_before()
+    }
+
+    /// Raw constructor for tests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `owner.index() >= stamps.len()`.
+    pub fn from_stamps(owner: ProcessId, stamps: Vec<u64>) -> VectorClock {
+        assert!(owner.index() < stamps.len());
+        VectorClock { owner, stamps }
+    }
+}
+
+impl fmt::Display for VectorClock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "<")?;
+        for (i, s) in self.stamps.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{s}")?;
+        }
+        write!(f, ">")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn message_transfer_orders_states() {
+        let mut a = VectorClock::new(ProcessId(0), 2);
+        let mut b = VectorClock::new(ProcessId(1), 2);
+        let m = a.stamp_for_send();
+        b.observe(&m);
+        assert!(m.happened_before(&b));
+        assert_eq!(b.stamp(ProcessId(0)), 1);
+        assert_eq!(b.stamp(ProcessId(1)), 2);
+    }
+
+    #[test]
+    fn concurrent_detection() {
+        let mut a = VectorClock::new(ProcessId(0), 2);
+        let mut b = VectorClock::new(ProcessId(1), 2);
+        a.tick();
+        b.tick();
+        assert!(a.causal_compare(&b).is_concurrent());
+    }
+
+    #[test]
+    fn restore_overwrites() {
+        let mut a = VectorClock::new(ProcessId(0), 2);
+        let saved = a.clone();
+        a.tick();
+        a.tick();
+        a.restore_from(&saved);
+        assert_eq!(a, saved);
+    }
+
+    #[test]
+    fn display() {
+        let v = VectorClock::from_stamps(ProcessId(0), vec![3, 1, 4]);
+        assert_eq!(v.to_string(), "<3,1,4>");
+    }
+}

@@ -1,0 +1,235 @@
+//! Compact wire encoding for clocks.
+//!
+//! The benchmark harness measures piggyback overhead (experiment E1b/E4)
+//! by actually serializing the control information each protocol attaches
+//! to application messages. This module provides the LEB128-style varint
+//! encoding used for that measurement, so the paper's claim that an FTVC
+//! costs "O(n) timestamps plus log f bits of version per entry" is
+//! checked against real encoded bytes rather than struct sizes.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::{Entry, Ftvc, ProcessId, VectorClock};
+
+/// Error returned when decoding malformed clock bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The buffer ended in the middle of a value.
+    UnexpectedEnd,
+    /// A varint ran past its maximum width.
+    VarintOverflow,
+    /// The decoded owner index was out of range.
+    OwnerOutOfRange {
+        /// Decoded owner index.
+        owner: u64,
+        /// Decoded number of components.
+        len: u64,
+    },
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::UnexpectedEnd => write!(f, "buffer ended mid-value"),
+            DecodeError::VarintOverflow => write!(f, "varint exceeded 64 bits"),
+            DecodeError::OwnerOutOfRange { owner, len } => {
+                write!(f, "owner index {owner} out of range for {len} components")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Append `value` as a LEB128 varint.
+pub fn put_varint(buf: &mut BytesMut, mut value: u64) {
+    loop {
+        let byte = (value & 0x7f) as u8;
+        value >>= 7;
+        if value == 0 {
+            buf.put_u8(byte);
+            return;
+        }
+        buf.put_u8(byte | 0x80);
+    }
+}
+
+/// Decode a LEB128 varint.
+///
+/// # Errors
+///
+/// Returns [`DecodeError::UnexpectedEnd`] if the buffer is exhausted and
+/// [`DecodeError::VarintOverflow`] if the encoding exceeds 64 bits.
+pub fn get_varint(buf: &mut Bytes) -> Result<u64, DecodeError> {
+    let mut value = 0u64;
+    let mut shift = 0u32;
+    loop {
+        if !buf.has_remaining() {
+            return Err(DecodeError::UnexpectedEnd);
+        }
+        let byte = buf.get_u8();
+        if shift >= 64 {
+            return Err(DecodeError::VarintOverflow);
+        }
+        value |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(value);
+        }
+        shift += 7;
+    }
+}
+
+/// Number of bytes `value` occupies as a varint.
+pub fn varint_len(value: u64) -> usize {
+    if value == 0 {
+        return 1;
+    }
+    let bits = 64 - value.leading_zeros() as usize;
+    bits.div_ceil(7)
+}
+
+/// Encode an FTVC: `n`, owner, then `(version, ts)` varint pairs.
+pub fn encode_ftvc(clock: &Ftvc) -> Bytes {
+    let mut buf = BytesMut::with_capacity(2 + clock.len() * 3);
+    put_varint(&mut buf, clock.len() as u64);
+    put_varint(&mut buf, clock.owner().0 as u64);
+    for (_, e) in clock.iter() {
+        put_varint(&mut buf, u64::from(e.version.0));
+        put_varint(&mut buf, e.ts);
+    }
+    buf.freeze()
+}
+
+/// Decode an FTVC produced by [`encode_ftvc`].
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] on truncated or malformed input.
+pub fn decode_ftvc(mut bytes: Bytes) -> Result<Ftvc, DecodeError> {
+    let n = get_varint(&mut bytes)?;
+    let owner = get_varint(&mut bytes)?;
+    if owner >= n {
+        return Err(DecodeError::OwnerOutOfRange { owner, len: n });
+    }
+    let mut parts = Vec::with_capacity(n as usize);
+    for _ in 0..n {
+        let version = get_varint(&mut bytes)? as u32;
+        let ts = get_varint(&mut bytes)?;
+        parts.push((version, ts));
+    }
+    Ok(Ftvc::from_parts(ProcessId(owner as u16), &parts))
+}
+
+/// Encoded size of an FTVC without materializing the buffer.
+pub fn ftvc_wire_len(clock: &Ftvc) -> usize {
+    varint_len(clock.len() as u64)
+        + varint_len(clock.owner().0 as u64)
+        + clock
+            .iter()
+            .map(|(_, e)| varint_len(u64::from(e.version.0)) + varint_len(e.ts))
+            .sum::<usize>()
+}
+
+/// Encode a plain vector clock: `n`, owner, then `ts` varints.
+pub fn encode_vector(clock: &VectorClock) -> Bytes {
+    let mut buf = BytesMut::with_capacity(2 + clock.len() * 2);
+    put_varint(&mut buf, clock.len() as u64);
+    put_varint(&mut buf, clock.owner().0 as u64);
+    for &s in clock.stamps() {
+        put_varint(&mut buf, s);
+    }
+    buf.freeze()
+}
+
+/// Decode a vector clock produced by [`encode_vector`].
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] on truncated or malformed input.
+pub fn decode_vector(mut bytes: Bytes) -> Result<VectorClock, DecodeError> {
+    let n = get_varint(&mut bytes)?;
+    let owner = get_varint(&mut bytes)?;
+    if owner >= n {
+        return Err(DecodeError::OwnerOutOfRange { owner, len: n });
+    }
+    let mut stamps = Vec::with_capacity(n as usize);
+    for _ in 0..n {
+        stamps.push(get_varint(&mut bytes)?);
+    }
+    Ok(VectorClock::from_stamps(ProcessId(owner as u16), stamps))
+}
+
+/// Encoded size of a single token: one `(process, version, ts)` entry,
+/// matching the paper's "size of a token is just one entry of the vector
+/// clock" (Section 6.9).
+pub fn token_wire_len(p: ProcessId, entry: Entry) -> usize {
+    varint_len(p.0 as u64) + varint_len(u64::from(entry.version.0)) + varint_len(entry.ts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn varint_roundtrip_boundaries() {
+        for v in [0u64, 1, 127, 128, 16_383, 16_384, u32::MAX as u64, u64::MAX] {
+            let mut buf = BytesMut::new();
+            put_varint(&mut buf, v);
+            assert_eq!(buf.len(), varint_len(v), "len mismatch for {v}");
+            let mut bytes = buf.freeze();
+            assert_eq!(get_varint(&mut bytes).unwrap(), v);
+            assert!(!bytes.has_remaining());
+        }
+    }
+
+    #[test]
+    fn truncated_varint_errors() {
+        let mut bytes = Bytes::from_static(&[0x80]);
+        assert_eq!(get_varint(&mut bytes), Err(DecodeError::UnexpectedEnd));
+    }
+
+    #[test]
+    fn overlong_varint_errors() {
+        let mut bytes = Bytes::from_static(&[0xff; 11]);
+        assert_eq!(get_varint(&mut bytes), Err(DecodeError::VarintOverflow));
+    }
+
+    #[test]
+    fn ftvc_roundtrip() {
+        let c = Ftvc::from_parts(ProcessId(1), &[(0, 5), (3, 0), (1, 200)]);
+        let bytes = encode_ftvc(&c);
+        assert_eq!(bytes.len(), ftvc_wire_len(&c));
+        let back = decode_ftvc(bytes).unwrap();
+        assert_eq!(back, c);
+    }
+
+    #[test]
+    fn vector_roundtrip() {
+        let c = VectorClock::from_stamps(ProcessId(2), vec![9, 0, 128, 7]);
+        let back = decode_vector(encode_vector(&c)).unwrap();
+        assert_eq!(back, c);
+    }
+
+    #[test]
+    fn owner_out_of_range_rejected() {
+        let mut buf = BytesMut::new();
+        put_varint(&mut buf, 2); // n = 2
+        put_varint(&mut buf, 5); // owner = 5 (invalid)
+        let err = decode_ftvc(buf.freeze()).unwrap_err();
+        assert!(matches!(err, DecodeError::OwnerOutOfRange { owner: 5, len: 2 }));
+    }
+
+    #[test]
+    fn fresh_clock_encodes_small() {
+        // A fresh 8-process FTVC: all versions/ts fit in one byte each.
+        let c = Ftvc::new(ProcessId(0), 8);
+        assert_eq!(ftvc_wire_len(&c), 2 + 8 * 2);
+    }
+
+    #[test]
+    fn token_len_is_single_entry() {
+        let len = token_wire_len(ProcessId(3), Entry::new(1, 300));
+        // process(1) + version(1) + ts(2 bytes for 300)
+        assert_eq!(len, 4);
+    }
+}

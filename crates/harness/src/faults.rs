@@ -1,0 +1,177 @@
+//! Declarative fault schedules.
+
+use dg_ftvc::ProcessId;
+use dg_simnet::{Actor, Sim};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// One scheduled crash.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CrashSpec {
+    /// The process to crash.
+    pub process: ProcessId,
+    /// Absolute simulated time of the crash (microseconds).
+    pub at: u64,
+    /// How long the process stays down; `None` uses the network default.
+    pub downtime: Option<u64>,
+}
+
+/// One scheduled partition: the system splits into two sides for
+/// `[start, end)`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PartitionSpec {
+    /// Side assignment, one entry per process (0 or 1).
+    pub group_of: Vec<u8>,
+    /// Partition start time.
+    pub start: u64,
+    /// Heal time.
+    pub end: u64,
+}
+
+/// A complete fault schedule for one run.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Crashes, in any order.
+    pub crashes: Vec<CrashSpec>,
+    /// Partitions (non-overlapping).
+    pub partitions: Vec<PartitionSpec>,
+}
+
+impl FaultPlan {
+    /// The empty (failure-free) plan.
+    pub fn none() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// A single crash of `process` at time `at`.
+    pub fn single_crash(process: ProcessId, at: u64) -> FaultPlan {
+        FaultPlan {
+            crashes: vec![CrashSpec {
+                process,
+                at,
+                downtime: None,
+            }],
+            partitions: Vec::new(),
+        }
+    }
+
+    /// `k` distinct processes crash at the same instant (the concurrent-
+    /// failures scenario of Table 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k > n`.
+    pub fn concurrent_crashes(n: usize, k: usize, at: u64) -> FaultPlan {
+        assert!(k <= n, "cannot crash more processes than exist");
+        FaultPlan {
+            crashes: (0..k as u16)
+                .map(|i| CrashSpec {
+                    process: ProcessId(i),
+                    at,
+                    downtime: None,
+                })
+                .collect(),
+            partitions: Vec::new(),
+        }
+    }
+
+    /// A seeded random plan: `crashes` crashes of random processes at
+    /// random times in `[window.0, window.1)`. Distinct draws may crash
+    /// the same process repeatedly — that is intended.
+    pub fn random(n: usize, crashes: usize, window: (u64, u64), seed: u64) -> FaultPlan {
+        assert!(window.0 < window.1);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let crashes = (0..crashes)
+            .map(|_| CrashSpec {
+                process: ProcessId(rng.gen_range(0..n as u16)),
+                at: rng.gen_range(window.0..window.1),
+                downtime: None,
+            })
+            .collect();
+        FaultPlan {
+            crashes,
+            partitions: Vec::new(),
+        }
+    }
+
+    /// Add a crash (builder style).
+    #[must_use]
+    pub fn with_crash(mut self, process: ProcessId, at: u64) -> FaultPlan {
+        self.crashes.push(CrashSpec {
+            process,
+            at,
+            downtime: None,
+        });
+        self
+    }
+
+    /// Add a two-sided partition (builder style).
+    #[must_use]
+    pub fn with_partition(mut self, group_of: Vec<u8>, start: u64, end: u64) -> FaultPlan {
+        self.partitions.push(PartitionSpec {
+            group_of,
+            start,
+            end,
+        });
+        self
+    }
+
+    /// Total number of scheduled crashes.
+    pub fn crash_count(&self) -> usize {
+        self.crashes.len()
+    }
+
+    /// Install the plan into a simulation.
+    pub fn apply<A: Actor>(&self, sim: &mut Sim<A>) {
+        for c in &self.crashes {
+            match c.downtime {
+                Some(d) => sim.schedule_crash_with_downtime(c.process, c.at, d),
+                None => sim.schedule_crash(c.process, c.at),
+            }
+        }
+        for p in &self.partitions {
+            sim.schedule_partition(p.group_of.clone(), p.start, p.end);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders() {
+        let plan = FaultPlan::none()
+            .with_crash(ProcessId(1), 500)
+            .with_partition(vec![0, 1], 100, 200);
+        assert_eq!(plan.crash_count(), 1);
+        assert_eq!(plan.partitions.len(), 1);
+    }
+
+    #[test]
+    fn concurrent_plan_targets_distinct_processes() {
+        let plan = FaultPlan::concurrent_crashes(5, 3, 1_000);
+        assert_eq!(plan.crash_count(), 3);
+        let mut ids: Vec<_> = plan.crashes.iter().map(|c| c.process).collect();
+        ids.dedup();
+        assert_eq!(ids.len(), 3);
+        assert!(plan.crashes.iter().all(|c| c.at == 1_000));
+    }
+
+    #[test]
+    fn random_plan_is_deterministic_per_seed() {
+        let a = FaultPlan::random(4, 5, (0, 10_000), 7);
+        let b = FaultPlan::random(4, 5, (0, 10_000), 7);
+        assert_eq!(a, b);
+        let c = FaultPlan::random(4, 5, (0, 10_000), 8);
+        assert_ne!(a, c);
+        assert!(a.crashes.iter().all(|c| c.at < 10_000));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot crash more")]
+    fn concurrent_overflow_panics() {
+        let _ = FaultPlan::concurrent_crashes(2, 3, 0);
+    }
+}

@@ -1,0 +1,253 @@
+//! The consistency oracle.
+//!
+//! After a run, the oracle checks the paper's correctness claims against
+//! ground truth the protocol itself cannot observe: the restoration
+//! points of every failure (which delimit the *lost* state intervals)
+//! and the final clocks of every process. A violation message pinpoints
+//! which claim broke and where.
+//!
+//! Checked claims:
+//!
+//! 1. **No surviving orphans** (Theorem 2): at quiescence, no process's
+//!    clock — and hence no process's state — depends on a lost state
+//!    `(v, ts)` of any failed process (`ts` beyond that version's
+//!    restoration point).
+//! 2. **Minimal rollback** (Theorem 3): every process rolled back at most
+//!    once per failure.
+//! 3. **Completion**: no postponed messages linger (all tokens were
+//!    delivered and acted upon).
+//! 4. **Token propagation**: every process's token frontier for `P_j`
+//!    equals `P_j`'s final version.
+
+use dg_core::{Application, DgProcess, ProcessId, Version};
+use dg_simnet::Sim;
+
+use crate::DgRunOutcome;
+
+/// A single oracle violation, human-readable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation(pub String);
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Check all oracle invariants on a finished Damani–Garg run.
+///
+/// # Errors
+///
+/// Returns every violation found (empty `Ok(())` means the run upholds
+/// the paper's guarantees).
+pub fn check<A: Application>(outcome: &DgRunOutcome<A>) -> Result<(), Vec<Violation>> {
+    let mut violations = Vec::new();
+    check_sim(&outcome.sim, &mut violations);
+    if !outcome.stats.quiescent {
+        violations.push(Violation(
+            "run did not quiesce (hit max_time or max_events)".into(),
+        ));
+    }
+    if violations.is_empty() {
+        Ok(())
+    } else {
+        Err(violations)
+    }
+}
+
+/// Check the state-dependent invariants of a (possibly still running)
+/// simulation.
+pub fn check_sim<A: Application>(sim: &Sim<DgProcess<A>>, violations: &mut Vec<Violation>) {
+    let actors = sim.actors();
+
+    // Ground truth: lost intervals per (process, version).
+    // restorations[p] = [(version, restored_ts), ...]
+    let restorations: Vec<&[(Version, u64)]> = actors
+        .iter()
+        .map(|a| a.stats().restorations.as_slice())
+        .collect();
+
+    // 1. No surviving orphan dependencies.
+    for actor in actors {
+        for failed in ProcessId::all(actors.len()) {
+            for &(version, restored_ts) in restorations[failed.index()] {
+                let dep = actor.clock().entry(failed);
+                if dep.version == version && dep.ts > restored_ts {
+                    violations.push(Violation(format!(
+                        "{} depends on lost state ({},{}) of {} (restored at ts {})",
+                        actor.id(),
+                        version,
+                        dep.ts,
+                        failed,
+                        restored_ts
+                    )));
+                }
+            }
+        }
+    }
+
+    // 2. At most one rollback per failure per process.
+    for actor in actors {
+        for (failure, count) in &actor.stats().rollbacks_by_failure {
+            if *count > 1 {
+                violations.push(Violation(format!(
+                    "{} rolled back {} times for failure of {} {}",
+                    actor.id(),
+                    count,
+                    failure.process,
+                    failure.version
+                )));
+            }
+        }
+    }
+
+    // 3. No postponed messages left behind.
+    for actor in actors {
+        if actor.postponed_len() > 0 {
+            violations.push(Violation(format!(
+                "{} still holds {} postponed messages",
+                actor.id(),
+                actor.postponed_len()
+            )));
+        }
+    }
+
+    // 4'. The history dominates the clock: for every dependency the
+    // clock records, a history record at least as high must exist (the
+    // history is the clock's superset by construction — Figure 3 records
+    // every observed component).
+    for actor in actors {
+        for (j, entry) in actor.clock().iter() {
+            let record = actor.history().record(j, entry.version);
+            let covered = match record {
+                Some(r) => r.ts >= entry.ts || j == actor.id(),
+                None => j == actor.id(),
+            };
+            if !covered {
+                violations.push(Violation(format!(
+                    "{}'s history for {} {} lags its clock ({:?} vs ts {})",
+                    actor.id(),
+                    j,
+                    entry.version,
+                    record,
+                    entry.ts
+                )));
+            }
+        }
+    }
+
+    // 5. Version integrity: a process's incarnation number equals its
+    // restart count, always — a rollback must never resurrect a dead
+    // version (the regression behind the cross-restart rollback fix).
+    for actor in actors {
+        if u64::from(actor.version().0) != actor.stats().restarts {
+            violations.push(Violation(format!(
+                "{} is at version {} after {} restarts",
+                actor.id(),
+                actor.version(),
+                actor.stats().restarts
+            )));
+        }
+    }
+
+    // 4. Token frontiers caught up with every process's final version.
+    for actor in actors {
+        for peer in ProcessId::all(actors.len()) {
+            let final_version = actors[peer.index()].version();
+            let frontier = actor.history().token_frontier(peer);
+            let known = if actor.id() == peer {
+                // A process knows its own versions without tokens.
+                final_version
+            } else {
+                frontier
+            };
+            if known < final_version {
+                violations.push(Violation(format!(
+                    "{} only has tokens for {} versions of {} (final version {})",
+                    actor.id(),
+                    frontier.0,
+                    peer,
+                    final_version
+                )));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{run_dg, FaultPlan};
+    use dg_core::{DgConfig, Effects};
+    use dg_simnet::NetConfig;
+
+    #[derive(Clone)]
+    struct Mesh {
+        budget: u64,
+        acc: u64,
+    }
+
+    impl Application for Mesh {
+        type Msg = u64;
+
+        fn on_start(&mut self, me: ProcessId, n: usize) -> Effects<u64> {
+            // Every process seeds its neighbour to create cross traffic.
+            Effects::send(ProcessId((me.0 + 1) % n as u16), self.budget)
+        }
+
+        fn on_message(&mut self, me: ProcessId, _from: ProcessId, msg: &u64, n: usize) -> Effects<u64> {
+            self.acc = self.acc.wrapping_mul(1315423911).wrapping_add(*msg);
+            if *msg > 0 {
+                Effects::send(ProcessId((me.0 + 3) % n as u16), msg - 1)
+            } else {
+                Effects::none()
+            }
+        }
+
+        fn digest(&self) -> u64 {
+            self.acc
+        }
+    }
+
+    #[test]
+    fn oracle_passes_on_clean_run() {
+        let out = run_dg(
+            4,
+            |_| Mesh { budget: 20, acc: 0 },
+            DgConfig::fast_test(),
+            NetConfig::with_seed(3),
+            &FaultPlan::none(),
+        );
+        check(&out).expect("failure-free run must satisfy the oracle");
+    }
+
+    #[test]
+    fn oracle_passes_under_random_faults() {
+        for seed in 0..15 {
+            let plan = FaultPlan::random(4, 2, (1_000, 20_000), seed);
+            let out = run_dg(
+                4,
+                |_| Mesh { budget: 25, acc: 0 },
+                DgConfig::fast_test().flush_every(15_000),
+                NetConfig::with_seed(seed * 31 + 5),
+                &plan,
+            );
+            if let Err(violations) = check(&out) {
+                panic!("seed {seed}: oracle violations: {violations:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn oracle_passes_with_concurrent_failures() {
+        let out = run_dg(
+            6,
+            |_| Mesh { budget: 15, acc: 0 },
+            DgConfig::fast_test().flush_every(25_000),
+            NetConfig::with_seed(11),
+            &FaultPlan::concurrent_crashes(6, 3, 3_000),
+        );
+        check(&out).expect("concurrent failures must satisfy the oracle");
+        assert_eq!(out.summary.restarts, 3);
+    }
+}

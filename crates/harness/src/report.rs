@@ -1,0 +1,148 @@
+//! Cross-protocol comparable metrics.
+
+use serde::{Deserialize, Serialize};
+
+/// Per-process metrics every protocol in the workspace reports, so the
+/// Table 1 reproduction compares identical quantities.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ProtoReport {
+    /// Application messages delivered to the application layer.
+    pub delivered: u64,
+    /// Application messages sent.
+    pub sent: u64,
+    /// Rollbacks executed (orphan recoveries; **not** counting the failed
+    /// process's own restart).
+    pub rollbacks: u64,
+    /// Largest number of rollbacks attributable to a single failure —
+    /// Table 1's "number of rollbacks per failure" column.
+    pub max_rollbacks_per_failure: u64,
+    /// Restarts after own failures.
+    pub restarts: u64,
+    /// Control-information bytes piggybacked on application messages.
+    pub piggyback_bytes: u64,
+    /// Bytes of dedicated control traffic (tokens, coordination rounds).
+    pub control_bytes: u64,
+    /// Dedicated control messages sent (tokens, coordination rounds,
+    /// acks) — Table 1's blocking/synchronization cost indicator.
+    pub control_messages: u64,
+    /// Simulated time spent with recovery blocked on other processes
+    /// (zero for fully asynchronous protocols — Table 1's "asynchronous
+    /// recovery" column, measured rather than asserted).
+    pub recovery_blocked_us: u64,
+    /// Application deliveries that were undone (lost or rolled back) —
+    /// the "work wasted" measure behind maximum-recoverable-state (E8).
+    pub deliveries_undone: u64,
+    /// Application-state digest at the end of the run.
+    pub app_digest: u64,
+}
+
+impl ProtoReport {
+    /// Mean piggyback bytes per sent message.
+    pub fn piggyback_per_message(&self) -> f64 {
+        if self.sent == 0 {
+            0.0
+        } else {
+            self.piggyback_bytes as f64 / self.sent as f64
+        }
+    }
+}
+
+/// System-wide aggregation of per-process reports.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SystemSummary {
+    /// Sum of deliveries.
+    pub delivered: u64,
+    /// Sum of sends.
+    pub sent: u64,
+    /// Sum of rollbacks.
+    pub rollbacks: u64,
+    /// Max over processes of max-rollbacks-per-failure.
+    pub max_rollbacks_per_failure: u64,
+    /// Sum of restarts.
+    pub restarts: u64,
+    /// Mean piggyback bytes per message, over all processes.
+    pub mean_piggyback: f64,
+    /// Sum of control messages.
+    pub control_messages: u64,
+    /// Sum of control bytes.
+    pub control_bytes: u64,
+    /// Max over processes of recovery blocked time.
+    pub max_recovery_blocked_us: u64,
+    /// Sum of undone deliveries.
+    pub deliveries_undone: u64,
+}
+
+impl SystemSummary {
+    /// Aggregate per-process reports.
+    pub fn from_reports(reports: &[ProtoReport]) -> SystemSummary {
+        let sent: u64 = reports.iter().map(|r| r.sent).sum();
+        let piggyback: u64 = reports.iter().map(|r| r.piggyback_bytes).sum();
+        SystemSummary {
+            delivered: reports.iter().map(|r| r.delivered).sum(),
+            sent,
+            rollbacks: reports.iter().map(|r| r.rollbacks).sum(),
+            max_rollbacks_per_failure: reports
+                .iter()
+                .map(|r| r.max_rollbacks_per_failure)
+                .max()
+                .unwrap_or(0),
+            restarts: reports.iter().map(|r| r.restarts).sum(),
+            mean_piggyback: if sent == 0 {
+                0.0
+            } else {
+                piggyback as f64 / sent as f64
+            },
+            control_messages: reports.iter().map(|r| r.control_messages).sum(),
+            control_bytes: reports.iter().map(|r| r.control_bytes).sum(),
+            max_recovery_blocked_us: reports
+                .iter()
+                .map(|r| r.recovery_blocked_us)
+                .max()
+                .unwrap_or(0),
+            deliveries_undone: reports.iter().map(|r| r.deliveries_undone).sum(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregation() {
+        let reports = vec![
+            ProtoReport {
+                delivered: 10,
+                sent: 5,
+                rollbacks: 1,
+                max_rollbacks_per_failure: 1,
+                piggyback_bytes: 50,
+                recovery_blocked_us: 7,
+                ..ProtoReport::default()
+            },
+            ProtoReport {
+                delivered: 20,
+                sent: 15,
+                rollbacks: 2,
+                max_rollbacks_per_failure: 2,
+                piggyback_bytes: 150,
+                recovery_blocked_us: 3,
+                ..ProtoReport::default()
+            },
+        ];
+        let s = SystemSummary::from_reports(&reports);
+        assert_eq!(s.delivered, 30);
+        assert_eq!(s.sent, 20);
+        assert_eq!(s.rollbacks, 3);
+        assert_eq!(s.max_rollbacks_per_failure, 2);
+        assert_eq!(s.mean_piggyback, 10.0);
+        assert_eq!(s.max_recovery_blocked_us, 7);
+    }
+
+    #[test]
+    fn empty_reports() {
+        let s = SystemSummary::from_reports(&[]);
+        assert_eq!(s.mean_piggyback, 0.0);
+        assert_eq!(s.max_rollbacks_per_failure, 0);
+    }
+}

@@ -1,0 +1,140 @@
+//! Exhaustive interleaving exploration of small Damani–Garg systems:
+//! every reachable schedule (within the budgets) satisfies the protocol
+//! invariants. Complements the randomized suites with complete coverage
+//! of tiny configurations.
+
+use dg_core::{Application, DgConfig, Effects, ProcessId};
+use dg_harness::explorer::{explore, ExploreConfig};
+
+/// Tiny two-way chatter: each process seeds one chain of `budget` hops.
+#[derive(Clone)]
+struct Tiny {
+    budget: u32,
+    seen: u64,
+}
+
+impl Application for Tiny {
+    type Msg = u32;
+
+    fn on_start(&mut self, me: ProcessId, n: usize) -> Effects<u32> {
+        Effects::send(ProcessId((me.0 + 1) % n as u16), self.budget)
+    }
+
+    fn on_message(&mut self, me: ProcessId, _from: ProcessId, msg: &u32, n: usize) -> Effects<u32> {
+        self.seen = self.seen.wrapping_mul(31).wrapping_add(u64::from(*msg));
+        if *msg > 0 {
+            Effects::send(ProcessId((me.0 + 1) % n as u16), msg - 1)
+        } else {
+            Effects::none()
+        }
+    }
+
+    fn digest(&self) -> u64 {
+        self.seen
+    }
+}
+
+/// Debug builds explore a smaller (still large) budget; release and the
+/// soak runs get the full space.
+fn budget(full: u64) -> u64 {
+    if cfg!(debug_assertions) {
+        full / 10
+    } else {
+        full
+    }
+}
+
+#[test]
+fn two_processes_one_crash_every_interleaving() {
+    let report = explore(
+        2,
+        |_| Tiny { budget: 2, seen: 0 },
+        DgConfig::fast_test(),
+        ExploreConfig {
+            dedup: true,
+            max_crashes: 1,
+            max_flushes: 1,
+            max_checkpoints: 1,
+            max_states: budget(500_000),
+            max_depth: 40,
+        },
+    );
+    assert!(
+        report.violations.is_empty(),
+        "violations found: {:?}",
+        report.violations
+    );
+    assert!(report.terminals > 0, "exploration found no terminal states");
+    assert!(
+        report.states > 1_000,
+        "suspiciously small exploration: {} states",
+        report.states
+    );
+}
+
+#[test]
+fn three_processes_shallow_budgets() {
+    let report = explore(
+        3,
+        |_| Tiny { budget: 1, seen: 0 },
+        DgConfig::fast_test(),
+        ExploreConfig {
+            dedup: true,
+            max_crashes: 1,
+            max_flushes: 0,
+            max_checkpoints: 1,
+            max_states: budget(400_000),
+            max_depth: 28,
+        },
+    );
+    assert!(
+        report.violations.is_empty(),
+        "violations found: {:?}",
+        report.violations
+    );
+    assert!(report.terminals > 0 || report.truncated);
+}
+
+#[test]
+fn crash_free_exploration_is_complete_and_clean() {
+    let report = explore(
+        2,
+        |_| Tiny { budget: 3, seen: 0 },
+        DgConfig::fast_test(),
+        ExploreConfig {
+            // Strict enumeration (no digest pruning): the claim here is
+            // literal completeness of the crash-free space.
+            dedup: false,
+            max_crashes: 0,
+            max_flushes: 1,
+            max_checkpoints: 0,
+            max_states: 300_000,
+            max_depth: 40,
+        },
+    );
+    assert!(!report.truncated, "crash-free space should be fully covered");
+    assert!(report.violations.is_empty(), "{:?}", report.violations);
+    assert!(report.terminals > 0);
+}
+
+#[test]
+fn retransmission_configuration_explored() {
+    let report = explore(
+        2,
+        |_| Tiny { budget: 2, seen: 0 },
+        DgConfig::fast_test().with_retransmit(true),
+        ExploreConfig {
+            dedup: true,
+            max_crashes: 1,
+            max_flushes: 1,
+            max_checkpoints: 0,
+            max_states: budget(500_000),
+            max_depth: 44,
+        },
+    );
+    assert!(
+        report.violations.is_empty(),
+        "violations found: {:?}",
+        report.violations
+    );
+}

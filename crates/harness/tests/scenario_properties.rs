@@ -1,0 +1,119 @@
+//! Property-based end-to-end model checking: proptest generates the
+//! system size, workload shape, network regime, and fault plan; every
+//! generated scenario must satisfy the consistency oracle. This is the
+//! strongest statement of the paper's Theorems 2–3 the workspace makes:
+//! no reachable schedule in the sampled space violates them.
+
+use dg_apps::MeshChatter;
+use dg_core::{DgConfig, ProcessId};
+use dg_harness::{oracle, run_dg, FaultPlan};
+use dg_simnet::{DelayModel, NetConfig};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct Scenario {
+    n: usize,
+    fanout: u32,
+    ttl: u32,
+    seed: u64,
+    delay_max: u64,
+    flush_interval: u64,
+    checkpoint_interval: u64,
+    crashes: Vec<(u16, u64)>,
+    partition: Option<(u64, u64)>,
+    duplicates: bool,
+    retransmit: bool,
+}
+
+fn scenario() -> impl Strategy<Value = Scenario> {
+    (
+        2usize..7,                    // n
+        1u32..4,                      // fanout
+        5u32..25,                     // ttl
+        any::<u64>(),                 // seed
+        200u64..20_000,               // delay_max
+        1_000u64..40_000,             // flush interval
+        5_000u64..100_000,            // checkpoint interval
+        proptest::collection::vec((0u16..7, 500u64..40_000), 0..4),
+        proptest::option::of((1_000u64..5_000, 50_000u64..200_000)),
+        any::<bool>(),
+        any::<bool>(),
+    )
+        .prop_map(
+            |(
+                n,
+                fanout,
+                ttl,
+                seed,
+                delay_max,
+                flush_interval,
+                checkpoint_interval,
+                crashes,
+                partition,
+                duplicates,
+                retransmit,
+            )| Scenario {
+                n,
+                fanout,
+                ttl,
+                seed,
+                delay_max,
+                flush_interval,
+                checkpoint_interval,
+                crashes: crashes
+                    .into_iter()
+                    .map(|(p, at)| (p % n as u16, at))
+                    .collect(),
+                partition,
+                duplicates,
+                retransmit,
+            },
+        )
+}
+
+proptest! {
+    // End-to-end simulations are comparatively expensive; 64 cases per
+    // run still samples thousands of distinct schedules across CI runs.
+    // Override with DG_SCENARIO_CASES for deeper soak runs.
+    #![proptest_config(ProptestConfig {
+        cases: std::env::var("DG_SCENARIO_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(64),
+        ..ProptestConfig::default()
+    })]
+
+    #[test]
+    fn every_generated_scenario_satisfies_the_oracle(s in scenario()) {
+        let mut plan = FaultPlan::none();
+        for &(p, at) in &s.crashes {
+            plan = plan.with_crash(ProcessId(p), at);
+        }
+        if let Some((start, end)) = s.partition {
+            if s.n >= 2 {
+                let group_of: Vec<u8> = (0..s.n).map(|i| u8::from(i % 2 == 0)).collect();
+                plan = plan.with_partition(group_of, start, end);
+            }
+        }
+        let net = NetConfig::with_seed(s.seed)
+            .delay_model(DelayModel::Uniform { min: 1, max: s.delay_max })
+            .duplicates(if s.duplicates { 0.05 } else { 0.0 });
+        let config = DgConfig::fast_test()
+            .flush_every(s.flush_interval)
+            .checkpoint_every(s.checkpoint_interval)
+            .with_retransmit(s.retransmit);
+        let out = run_dg(
+            s.n,
+            |p| MeshChatter::new(s.fanout, s.ttl, s.seed ^ p.0 as u64),
+            config,
+            net,
+            &plan,
+        );
+        prop_assert!(out.stats.quiescent, "scenario did not quiesce: {s:?}");
+        if let Err(violations) = oracle::check(&out) {
+            return Err(TestCaseError::fail(format!(
+                "oracle violations in {s:?}: {violations:?}"
+            )));
+        }
+    }
+}

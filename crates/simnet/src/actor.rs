@@ -1,0 +1,177 @@
+//! The actor trait and the per-event context handed to actors.
+
+use dg_ftvc::ProcessId;
+use rand::rngs::StdRng;
+
+use crate::event::MessageClass;
+use crate::SimTime;
+
+/// Handle for a pending timer, usable with [`Context::cancel_timer`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TimerId(pub(crate) u64);
+
+/// A process in the simulated system.
+///
+/// Actors are purely event-driven and must not keep state outside `self`:
+/// the simulator calls exactly one handler at a time, and a crash is
+/// modeled by [`Actor::on_crash`], in which the actor must discard
+/// everything that would live in volatile memory on a real machine.
+pub trait Actor {
+    /// The message type exchanged between actors of this system. `Clone`
+    /// is required because the network may duplicate deliveries (see
+    /// [`crate::NetConfig::duplicates`]) and broadcasts fan one value out
+    /// to many peers.
+    type Msg: Clone;
+
+    /// Called once at simulation start (time zero).
+    fn on_start(&mut self, ctx: &mut Context<'_, Self::Msg>) {
+        let _ = ctx;
+    }
+
+    /// A message from `from` was delivered.
+    fn on_message(&mut self, from: ProcessId, msg: Self::Msg, ctx: &mut Context<'_, Self::Msg>);
+
+    /// A timer armed with [`Context::set_timer`] fired.
+    fn on_timer(&mut self, kind: u32, ctx: &mut Context<'_, Self::Msg>) {
+        let _ = (kind, ctx);
+    }
+
+    /// The process crashed: discard volatile state. No context is
+    /// available — a crashed process cannot send or schedule anything.
+    fn on_crash(&mut self) {}
+
+    /// The process restarted after a crash: recover from stable state.
+    fn on_restart(&mut self, ctx: &mut Context<'_, Self::Msg>) {
+        let _ = ctx;
+    }
+}
+
+pub(crate) enum Action<M> {
+    Send {
+        to: ProcessId,
+        msg: M,
+        class: MessageClass,
+    },
+    SetTimer {
+        delay: u64,
+        kind: u32,
+        id: u64,
+        maintenance: bool,
+    },
+    CancelTimer(u64),
+    Stall(u64),
+}
+
+/// Execution context passed to every actor handler.
+///
+/// All side effects — sending, timers, stalls — are buffered and applied
+/// by the simulator after the handler returns, which keeps handlers
+/// deterministic and panic-safe.
+pub struct Context<'a, M> {
+    pub(crate) me: ProcessId,
+    pub(crate) now: SimTime,
+    pub(crate) n: usize,
+    pub(crate) rng: &'a mut StdRng,
+    pub(crate) actions: Vec<Action<M>>,
+    pub(crate) next_timer_id: &'a mut u64,
+}
+
+impl<'a, M> Context<'a, M> {
+    /// The id of the process whose handler is running.
+    #[inline]
+    pub fn me(&self) -> ProcessId {
+        self.me
+    }
+
+    /// Current simulated time.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of processes in the system.
+    #[inline]
+    pub fn system_size(&self) -> usize {
+        self.n
+    }
+
+    /// The simulation's deterministic RNG. Workloads that need randomness
+    /// must draw from here (never from the OS) to stay reproducible.
+    #[inline]
+    pub fn rng(&mut self) -> &mut StdRng {
+        self.rng
+    }
+
+    /// Send an application message to `to`.
+    pub fn send(&mut self, to: ProcessId, msg: M) {
+        self.actions.push(Action::Send {
+            to,
+            msg,
+            class: MessageClass::App,
+        });
+    }
+
+    /// Send a control-plane message (recovery token or coordination round).
+    pub fn send_control(&mut self, to: ProcessId, msg: M) {
+        self.actions.push(Action::Send {
+            to,
+            msg,
+            class: MessageClass::Control,
+        });
+    }
+
+    /// Broadcast a control message to every *other* process.
+    pub fn broadcast_control(&mut self, msg: M)
+    where
+        M: Clone,
+    {
+        for p in ProcessId::all(self.n) {
+            if p != self.me {
+                self.send_control(p, msg.clone());
+            }
+        }
+    }
+
+    /// Arm a one-shot timer firing `delay` microseconds from now. The
+    /// timer is silently discarded if the process crashes first.
+    pub fn set_timer(&mut self, delay: u64, kind: u32) -> TimerId {
+        let id = *self.next_timer_id;
+        *self.next_timer_id += 1;
+        self.actions.push(Action::SetTimer {
+            delay,
+            kind,
+            id,
+            maintenance: false,
+        });
+        TimerId(id)
+    }
+
+    /// Arm a *maintenance* timer: periodic background work (checkpoints,
+    /// flushes, gossip) that re-arms itself forever. The simulation is
+    /// considered quiescent — and [`crate::Sim::run`] returns — once only
+    /// maintenance timers remain in the event queue.
+    pub fn set_maintenance_timer(&mut self, delay: u64, kind: u32) -> TimerId {
+        let id = *self.next_timer_id;
+        *self.next_timer_id += 1;
+        self.actions.push(Action::SetTimer {
+            delay,
+            kind,
+            id,
+            maintenance: true,
+        });
+        TimerId(id)
+    }
+
+    /// Cancel a pending timer. Cancelling an already-fired timer is a
+    /// no-op.
+    pub fn cancel_timer(&mut self, timer: TimerId) {
+        self.actions.push(Action::CancelTimer(timer.0));
+    }
+
+    /// Model local work or a synchronous device wait: the process accepts
+    /// no further events until `duration` microseconds from now. Used to
+    /// charge stable-storage latencies to the protocols that incur them.
+    pub fn stall(&mut self, duration: u64) {
+        self.actions.push(Action::Stall(duration));
+    }
+}

@@ -1,0 +1,187 @@
+//! Simulation configuration.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Per-message network delay model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DelayModel {
+    /// Every message takes exactly this many microseconds.
+    Fixed(u64),
+    /// Delays drawn uniformly from `[min, max]` — with a wide range this
+    /// produces heavy reordering, the adversarial regime for protocols
+    /// that assume FIFO.
+    Uniform {
+        /// Minimum delay in microseconds.
+        min: u64,
+        /// Maximum delay in microseconds (inclusive).
+        max: u64,
+    },
+}
+
+impl DelayModel {
+    /// Draw one delay.
+    pub fn sample(self, rng: &mut StdRng) -> u64 {
+        match self {
+            DelayModel::Fixed(d) => d,
+            DelayModel::Uniform { min, max } => {
+                debug_assert!(min <= max);
+                rng.gen_range(min..=max)
+            }
+        }
+    }
+
+    /// The largest delay this model can produce.
+    pub fn max_delay(self) -> u64 {
+        match self {
+            DelayModel::Fixed(d) => d,
+            DelayModel::Uniform { max, .. } => max,
+        }
+    }
+}
+
+impl Default for DelayModel {
+    /// A wide uniform delay — deliberately reordering-heavy.
+    fn default() -> Self {
+        DelayModel::Uniform { min: 20, max: 400 }
+    }
+}
+
+/// Network and scheduling configuration for a [`crate::Sim`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NetConfig {
+    /// RNG seed; two runs with equal config and actors are identical.
+    pub rng_seed: u64,
+    /// Delay model for application messages.
+    pub delay: DelayModel,
+    /// Delay model for control messages (tokens). Control traffic is
+    /// reliable but may be arbitrarily reordered with respect to
+    /// application messages, as the paper requires.
+    pub control_delay: DelayModel,
+    /// Enforce per-link FIFO delivery (required by the Strom–Yemini,
+    /// Sistla–Welch and Peterson–Kearns baselines; **off** for
+    /// Damani–Garg, which assumes nothing).
+    pub fifo: bool,
+    /// How long a crashed process stays down before restarting.
+    pub restart_delay: u64,
+    /// Probability (0.0–1.0) that an application message is delivered
+    /// twice (an independent second copy with its own delay). The paper
+    /// assumes reliable channels, not exactly-once ones; duplication
+    /// exercises the protocol's idempotence.
+    pub duplicate_prob: f64,
+    /// Hard stop: the simulation ends at this time even if events remain.
+    pub max_time: u64,
+    /// Safety valve against runaway actors: maximum events processed.
+    pub max_events: u64,
+}
+
+impl NetConfig {
+    /// Configuration with the given seed and defaults everywhere else.
+    pub fn with_seed(seed: u64) -> NetConfig {
+        NetConfig {
+            rng_seed: seed,
+            ..NetConfig::default()
+        }
+    }
+
+    /// Builder-style seed setter.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> NetConfig {
+        self.rng_seed = seed;
+        self
+    }
+
+    /// Builder-style delay-model setter (applies to app messages).
+    #[must_use]
+    pub fn delay_model(mut self, delay: DelayModel) -> NetConfig {
+        self.delay = delay;
+        self
+    }
+
+    /// Builder-style FIFO setter.
+    #[must_use]
+    pub fn fifo(mut self, fifo: bool) -> NetConfig {
+        self.fifo = fifo;
+        self
+    }
+
+    /// Builder-style restart-delay setter.
+    #[must_use]
+    pub fn restart_delay(mut self, delay: u64) -> NetConfig {
+        self.restart_delay = delay;
+        self
+    }
+
+    /// Builder-style max-time setter.
+    #[must_use]
+    pub fn max_time(mut self, t: u64) -> NetConfig {
+        self.max_time = t;
+        self
+    }
+
+    /// Builder-style duplicate-delivery probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `p` is within `[0, 1]`.
+    #[must_use]
+    pub fn duplicates(mut self, p: f64) -> NetConfig {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        self.duplicate_prob = p;
+        self
+    }
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            rng_seed: 0,
+            delay: DelayModel::default(),
+            control_delay: DelayModel::Uniform { min: 20, max: 300 },
+            fifo: false,
+            duplicate_prob: 0.0,
+            restart_delay: 2_000,
+            max_time: 600_000_000,
+            max_events: 50_000_000,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_sampling_stays_in_range() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let m = DelayModel::Uniform { min: 5, max: 9 };
+        for _ in 0..200 {
+            let d = m.sample(&mut rng);
+            assert!((5..=9).contains(&d));
+        }
+    }
+
+    #[test]
+    fn fixed_sampling_is_constant() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(DelayModel::Fixed(3).sample(&mut rng), 3);
+        assert_eq!(DelayModel::Fixed(3).max_delay(), 3);
+    }
+
+    #[test]
+    fn builder_chain() {
+        let c = NetConfig::default()
+            .seed(9)
+            .fifo(true)
+            .delay_model(DelayModel::Fixed(10))
+            .restart_delay(77)
+            .max_time(1_000);
+        assert_eq!(c.rng_seed, 9);
+        assert!(c.fifo);
+        assert_eq!(c.delay, DelayModel::Fixed(10));
+        assert_eq!(c.restart_delay, 77);
+        assert_eq!(c.max_time, 1_000);
+    }
+}

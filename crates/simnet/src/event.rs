@@ -1,0 +1,107 @@
+//! Internal event representation and the priority queue ordering.
+
+use dg_ftvc::ProcessId;
+
+use crate::SimTime;
+
+/// Whether a message travels on the application plane or the control
+/// (recovery token) plane.
+///
+/// Both planes are reliable and unordered; they differ only in the delay
+/// model applied and in the statistics bucket they are counted under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MessageClass {
+    /// Application payload (counts toward piggyback/byte statistics).
+    App,
+    /// Recovery control traffic (tokens, recovery coordination rounds).
+    Control,
+}
+
+#[derive(Debug)]
+pub(crate) enum EventKind<M> {
+    Deliver {
+        from: ProcessId,
+        to: ProcessId,
+        msg: M,
+        class: MessageClass,
+    },
+    Timer {
+        p: ProcessId,
+        kind: u32,
+        id: u64,
+        epoch: u32,
+    },
+    Crash {
+        p: ProcessId,
+        downtime: u64,
+    },
+    Restart {
+        p: ProcessId,
+    },
+    PartitionStart {
+        /// `group_of[i]` = partition side of process i.
+        group_of: Vec<u8>,
+    },
+    PartitionEnd,
+}
+
+#[derive(Debug)]
+pub(crate) struct Event<M> {
+    pub at: SimTime,
+    pub seq: u64,
+    /// Maintenance events (periodic checkpoint/flush/gossip timers) keep
+    /// re-arming forever; the simulation is quiescent when only they
+    /// remain.
+    pub maintenance: bool,
+    pub kind: EventKind<M>,
+}
+
+// Order for the min-heap: earliest time first, then insertion order.
+impl<M> PartialEq for Event<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<M> Eq for Event<M> {}
+impl<M> PartialOrd for Event<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Event<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the earliest event.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BinaryHeap;
+
+    fn ev(at: u64, seq: u64) -> Event<()> {
+        Event {
+            at: SimTime(at),
+            seq,
+            maintenance: false,
+            kind: EventKind::PartitionEnd,
+        }
+    }
+
+    #[test]
+    fn heap_pops_earliest_first_then_fifo() {
+        let mut heap = BinaryHeap::new();
+        heap.push(ev(10, 2));
+        heap.push(ev(5, 3));
+        heap.push(ev(10, 1));
+        heap.push(ev(5, 0));
+        let order: Vec<(u64, u64)> = std::iter::from_fn(|| heap.pop())
+            .map(|e| (e.at.0, e.seq))
+            .collect();
+        assert_eq!(order, vec![(5, 0), (5, 3), (10, 1), (10, 2)]);
+    }
+}

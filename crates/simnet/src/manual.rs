@@ -1,0 +1,187 @@
+//! Manually drive actors outside a simulation.
+//!
+//! The discrete-event simulator owns scheduling; this module hands that
+//! control to the caller instead: construct a [`Driver`], feed events to
+//! an actor one at a time, and receive its outputs as plain data. The
+//! exhaustive interleaving explorer (`dg-harness`'s `explorer` module)
+//! is built on this — it enumerates *every* order of event delivery for
+//! small systems, which the time-ordered simulator cannot do.
+
+use dg_ftvc::ProcessId;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::actor::{Action, Actor, Context};
+use crate::event::MessageClass;
+use crate::SimTime;
+
+/// An output produced by a manually-driven actor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OutEvent<M> {
+    /// The actor sent a message.
+    Send {
+        /// Destination process.
+        to: ProcessId,
+        /// Payload.
+        msg: M,
+        /// `true` for control-plane traffic (tokens, coordination).
+        control: bool,
+    },
+    /// The actor armed a timer.
+    Timer {
+        /// Requested delay (informational; the caller schedules).
+        delay: u64,
+        /// Timer kind to hand back via [`Driver::timer`].
+        kind: u32,
+        /// Whether it was a maintenance timer.
+        maintenance: bool,
+    },
+}
+
+/// Drives actors by direct calls, collecting their outputs.
+///
+/// The driver advances a logical clock by a fixed step per event so that
+/// actors observe monotone time; stalls and timer cancellation are
+/// accepted and ignored (the caller owns all scheduling decisions).
+#[derive(Debug)]
+pub struct Driver {
+    rng: StdRng,
+    now: SimTime,
+    next_timer_id: u64,
+    n: usize,
+}
+
+impl Driver {
+    /// A driver for an `n`-process system with a deterministic RNG.
+    pub fn new(n: usize, seed: u64) -> Driver {
+        Driver {
+            rng: StdRng::seed_from_u64(seed),
+            now: SimTime::ZERO,
+            next_timer_id: 0,
+            n,
+        }
+    }
+
+    /// Current logical time observed by driven actors.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    fn dispatch<A: Actor, F>(&mut self, f: F) -> Vec<OutEvent<A::Msg>>
+    where
+        F: FnOnce(&mut Context<'_, A::Msg>),
+    {
+        self.now += 1;
+        let mut ctx = Context {
+            me: ProcessId(0), // overwritten below per call
+            now: self.now,
+            n: self.n,
+            rng: &mut self.rng,
+            actions: Vec::new(),
+            next_timer_id: &mut self.next_timer_id,
+        };
+        f(&mut ctx);
+        ctx.actions
+            .into_iter()
+            .filter_map(|action| match action {
+                Action::Send { to, msg, class } => Some(OutEvent::Send {
+                    to,
+                    msg,
+                    control: class == MessageClass::Control,
+                }),
+                Action::SetTimer {
+                    delay,
+                    kind,
+                    maintenance,
+                    ..
+                } => Some(OutEvent::Timer {
+                    delay,
+                    kind,
+                    maintenance,
+                }),
+                Action::CancelTimer(_) | Action::Stall(_) => None,
+            })
+            .collect()
+    }
+
+    /// Call the actor's `on_start`.
+    pub fn start<A: Actor>(&mut self, me: ProcessId, actor: &mut A) -> Vec<OutEvent<A::Msg>> {
+        self.dispatch::<A, _>(|ctx| {
+            ctx.me = me;
+            actor.on_start(ctx);
+        })
+    }
+
+    /// Deliver a message to the actor.
+    pub fn message<A: Actor>(
+        &mut self,
+        me: ProcessId,
+        actor: &mut A,
+        from: ProcessId,
+        msg: A::Msg,
+    ) -> Vec<OutEvent<A::Msg>> {
+        self.dispatch::<A, _>(|ctx| {
+            ctx.me = me;
+            actor.on_message(from, msg, ctx);
+        })
+    }
+
+    /// Fire a timer of the given kind on the actor.
+    pub fn timer<A: Actor>(&mut self, me: ProcessId, actor: &mut A, kind: u32) -> Vec<OutEvent<A::Msg>> {
+        self.dispatch::<A, _>(|ctx| {
+            ctx.me = me;
+            actor.on_timer(kind, ctx);
+        })
+    }
+
+    /// Crash the actor and immediately restart it (an atomic
+    /// crash-recovery step; in-flight messages stay with the caller and
+    /// remain deliverable afterwards, which matches the simulator's
+    /// parking semantics).
+    pub fn crash_restart<A: Actor>(&mut self, me: ProcessId, actor: &mut A) -> Vec<OutEvent<A::Msg>> {
+        actor.on_crash();
+        self.dispatch::<A, _>(|ctx| {
+            ctx.me = me;
+            actor.on_restart(ctx);
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Echo {
+        got: Vec<u32>,
+    }
+
+    impl Actor for Echo {
+        type Msg = u32;
+
+        fn on_start(&mut self, ctx: &mut Context<'_, u32>) {
+            ctx.send(ProcessId(1), 1);
+            ctx.set_maintenance_timer(100, 7);
+        }
+
+        fn on_message(&mut self, from: ProcessId, msg: u32, ctx: &mut Context<'_, u32>) {
+            self.got.push(msg);
+            if msg > 0 {
+                ctx.send(from, msg - 1);
+            }
+        }
+    }
+
+    #[test]
+    fn driver_collects_actions() {
+        let mut d = Driver::new(2, 0);
+        let mut a = Echo { got: vec![] };
+        let out = d.start(ProcessId(0), &mut a);
+        assert_eq!(out.len(), 2);
+        assert!(matches!(out[0], OutEvent::Send { to: ProcessId(1), msg: 1, control: false }));
+        assert!(matches!(out[1], OutEvent::Timer { kind: 7, maintenance: true, .. }));
+        let out = d.message(ProcessId(0), &mut a, ProcessId(1), 3);
+        assert_eq!(out.len(), 1);
+        assert_eq!(a.got, vec![3]);
+        assert!(d.now() > SimTime::ZERO);
+    }
+}

@@ -1,0 +1,813 @@
+//! The simulation engine.
+
+use std::collections::BinaryHeap;
+
+use dg_ftvc::ProcessId;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use crate::actor::{Action, Actor, Context};
+use crate::event::{Event, EventKind, MessageClass};
+use crate::trace::{Trace, TraceKind};
+use crate::{NetConfig, SimTime};
+
+/// Counters reported by [`Sim::run`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RunStats {
+    /// Total events processed.
+    pub events: u64,
+    /// Application messages delivered.
+    pub app_delivered: u64,
+    /// Control messages delivered.
+    pub control_delivered: u64,
+    /// Messages parked because the destination was down, then redelivered.
+    pub parked_redelivered: u64,
+    /// Messages held at a partition cut, then released.
+    pub partition_held: u64,
+    /// Duplicate application-message copies injected by the network.
+    pub duplicates_injected: u64,
+    /// Crash events executed.
+    pub crashes: u64,
+    /// Timer events that fired (excluding ones invalidated by a crash).
+    pub timers_fired: u64,
+    /// Simulated time when the run ended.
+    pub end_time: SimTime,
+    /// `true` if the run stopped because the event queue drained.
+    pub quiescent: bool,
+}
+
+struct ProcState<M> {
+    up: bool,
+    /// Incremented on every crash; timer events from older epochs are stale.
+    epoch: u32,
+    /// Process is busy (e.g. synchronous stable write) until this time.
+    busy_until: SimTime,
+    /// Messages that arrived while the process was down.
+    parked: Vec<(ProcessId, M, MessageClass)>,
+    /// Cancelled timer ids not yet seen by the queue.
+    cancelled: Vec<u64>,
+    /// Per-source last scheduled delivery time, for FIFO mode.
+    fifo_frontier: Vec<SimTime>,
+}
+
+/// A deterministic simulation of `n` actors exchanging messages.
+///
+/// Construct with [`Sim::new`], inject faults with [`Sim::schedule_crash`]
+/// and [`Sim::schedule_partition`], then call [`Sim::run`].
+pub struct Sim<A: Actor> {
+    config: NetConfig,
+    actors: Vec<A>,
+    procs: Vec<ProcState<A::Msg>>,
+    queue: BinaryHeap<Event<A::Msg>>,
+    rng: StdRng,
+    now: SimTime,
+    next_seq: u64,
+    next_timer_id: u64,
+    /// Current partition: side of each process, if a partition is active.
+    partition: Option<Vec<u8>>,
+    /// Messages held at the partition cut: (from, to, msg, class).
+    held: Vec<(ProcessId, ProcessId, A::Msg, MessageClass)>,
+    stats: RunStats,
+    started: bool,
+    /// Number of queued events that are not maintenance timers; the run
+    /// is quiescent when this reaches zero.
+    live_events: u64,
+    trace: Option<Trace>,
+}
+
+impl<A: Actor> Sim<A> {
+    /// Create a simulation over the given actors. `actors[i]` is process
+    /// `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `actors` is empty.
+    pub fn new(config: NetConfig, actors: Vec<A>) -> Sim<A> {
+        assert!(!actors.is_empty(), "a simulation needs at least one actor");
+        let n = actors.len();
+        let rng = StdRng::seed_from_u64(config.rng_seed);
+        let procs = (0..n)
+            .map(|_| ProcState {
+                up: true,
+                epoch: 0,
+                busy_until: SimTime::ZERO,
+                parked: Vec::new(),
+                cancelled: Vec::new(),
+                fifo_frontier: vec![SimTime::ZERO; n],
+            })
+            .collect();
+        Sim {
+            config,
+            actors,
+            procs,
+            queue: BinaryHeap::new(),
+            rng,
+            now: SimTime::ZERO,
+            next_seq: 0,
+            next_timer_id: 0,
+            partition: None,
+            held: Vec::new(),
+            stats: RunStats::default(),
+            started: false,
+            live_events: 0,
+            trace: None,
+        }
+    }
+
+    /// Number of processes.
+    pub fn system_size(&self) -> usize {
+        self.actors.len()
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Borrow an actor (e.g. to inspect final state after [`Sim::run`]).
+    pub fn actor(&self, p: ProcessId) -> &A {
+        &self.actors[p.index()]
+    }
+
+    /// Mutably borrow an actor. Prefer driving actors through events; this
+    /// exists for test setup.
+    pub fn actor_mut(&mut self, p: ProcessId) -> &mut A {
+        &mut self.actors[p.index()]
+    }
+
+    /// All actors in process order.
+    pub fn actors(&self) -> &[A] {
+        &self.actors
+    }
+
+    /// Statistics accumulated so far.
+    pub fn stats(&self) -> RunStats {
+        self.stats
+    }
+
+    /// Record scheduling decisions into a bounded trace (the last
+    /// `capacity` events; see [`Trace::render`]). Call before `run`.
+    pub fn enable_trace(&mut self, capacity: usize) {
+        self.trace = Some(Trace::new(capacity));
+    }
+
+    /// The recorded trace, if tracing was enabled.
+    pub fn trace(&self) -> Option<&Trace> {
+        self.trace.as_ref()
+    }
+
+    fn record(&mut self, kind: TraceKind) {
+        let now = self.now;
+        if let Some(trace) = &mut self.trace {
+            trace.push(now, kind);
+        }
+    }
+
+    /// Schedule a crash of `p` at absolute time `at`; the process restarts
+    /// after the configured restart delay.
+    pub fn schedule_crash(&mut self, p: ProcessId, at: u64) {
+        self.push(SimTime(at), EventKind::Crash {
+            p,
+            downtime: self.config.restart_delay,
+        });
+    }
+
+    /// Schedule a crash with an explicit downtime.
+    pub fn schedule_crash_with_downtime(&mut self, p: ProcessId, at: u64, downtime: u64) {
+        self.push(SimTime(at), EventKind::Crash { p, downtime });
+    }
+
+    /// Schedule a network partition from `start` to `end`. `group_of[i]`
+    /// assigns process `i` to a side; messages between different sides are
+    /// held until `end`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `group_of.len()` differs from the system size, or if the
+    /// partition would overlap another scheduled partition (at most one
+    /// may be active at a time).
+    pub fn schedule_partition(&mut self, group_of: Vec<u8>, start: u64, end: u64) {
+        assert_eq!(group_of.len(), self.actors.len());
+        assert!(start < end, "partition must have positive duration");
+        self.push(SimTime(start), EventKind::PartitionStart { group_of });
+        self.push(SimTime(end), EventKind::PartitionEnd);
+    }
+
+    fn push(&mut self, at: SimTime, kind: EventKind<A::Msg>) {
+        self.push_tagged(at, kind, false);
+    }
+
+    fn push_tagged(&mut self, at: SimTime, kind: EventKind<A::Msg>, maintenance: bool) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        if !maintenance {
+            self.live_events += 1;
+        }
+        self.queue.push(Event {
+            at,
+            seq,
+            maintenance,
+            kind,
+        });
+    }
+
+    /// Run until the event queue drains, `max_time` passes, or `max_events`
+    /// have been processed. Returns the final statistics.
+    pub fn run(&mut self) -> RunStats {
+        if !self.started {
+            self.started = true;
+            for i in 0..self.actors.len() {
+                self.dispatch_start(ProcessId(i as u16));
+            }
+        }
+        while self.live_events > 0 {
+            let Some(event) = self.queue.pop() else { break };
+            if event.at.as_micros() > self.config.max_time
+                || self.stats.events >= self.config.max_events
+            {
+                self.queue.push(event);
+                self.now = SimTime(self.config.max_time.min(self.now.as_micros().max(1)));
+                self.stats.end_time = self.now;
+                self.stats.quiescent = false;
+                return self.stats;
+            }
+            if !event.maintenance {
+                self.live_events -= 1;
+            }
+            debug_assert!(event.at >= self.now, "time went backwards");
+            self.now = event.at;
+            self.stats.events += 1;
+            self.handle(event);
+        }
+        self.stats.end_time = self.now;
+        self.stats.quiescent = true;
+        self.stats
+    }
+
+    fn handle(&mut self, event: Event<A::Msg>) {
+        let maintenance = event.maintenance;
+        match event.kind {
+            EventKind::Deliver {
+                from,
+                to,
+                msg,
+                class,
+            } => self.handle_deliver(from, to, msg, class),
+            EventKind::Timer { p, kind, id, epoch } => {
+                let st = &mut self.procs[p.index()];
+                if !st.up || st.epoch != epoch {
+                    return; // stale timer from before a crash
+                }
+                if let Some(pos) = st.cancelled.iter().position(|&c| c == id) {
+                    st.cancelled.swap_remove(pos);
+                    return;
+                }
+                let busy_until = st.busy_until;
+                if busy_until > self.now {
+                    self.push_tagged(busy_until, EventKind::Timer { p, kind, id, epoch }, maintenance);
+                    return;
+                }
+                self.stats.timers_fired += 1;
+                self.record(TraceKind::TimerFired { p, kind });
+                self.dispatch_timer(p, kind);
+            }
+            EventKind::Crash { p, downtime } => {
+                let st = &mut self.procs[p.index()];
+                if !st.up {
+                    return; // already down; ignore overlapping crash
+                }
+                st.up = false;
+                st.epoch += 1;
+                st.busy_until = SimTime::ZERO;
+                st.cancelled.clear();
+                self.stats.crashes += 1;
+                self.record(TraceKind::Crashed { p });
+                self.actors[p.index()].on_crash();
+                self.push(self.now + downtime.max(1), EventKind::Restart { p });
+            }
+            EventKind::Restart { p } => {
+                self.procs[p.index()].up = true;
+                self.record(TraceKind::Restarted { p });
+                self.dispatch_restart(p);
+                // Redeliver parked messages with fresh network delays.
+                let parked = std::mem::take(&mut self.procs[p.index()].parked);
+                for (from, msg, class) in parked {
+                    self.stats.parked_redelivered += 1;
+                    self.schedule_delivery(from, p, msg, class);
+                }
+            }
+            EventKind::PartitionStart { group_of } => {
+                assert!(
+                    self.partition.is_none(),
+                    "overlapping partitions are not supported"
+                );
+                self.record(TraceKind::PartitionStarted);
+                self.partition = Some(group_of);
+            }
+            EventKind::PartitionEnd => {
+                self.record(TraceKind::PartitionHealed);
+                self.partition = None;
+                let held = std::mem::take(&mut self.held);
+                for (from, to, msg, class) in held {
+                    self.stats.partition_held += 1;
+                    self.schedule_delivery(from, to, msg, class);
+                }
+            }
+        }
+    }
+
+    fn handle_deliver(&mut self, from: ProcessId, to: ProcessId, msg: A::Msg, class: MessageClass) {
+        if let Some(groups) = &self.partition {
+            if groups[from.index()] != groups[to.index()] {
+                self.record(TraceKind::Held { from, to });
+                self.held.push((from, to, msg, class));
+                return;
+            }
+        }
+        if !self.procs[to.index()].up {
+            self.record(TraceKind::Parked { to });
+            self.procs[to.index()].parked.push((from, msg, class));
+            return;
+        }
+        let st = &mut self.procs[to.index()];
+        if st.busy_until > self.now {
+            // Receiver is stalled (synchronous storage write): retry then.
+            let at = st.busy_until;
+            self.push(at, EventKind::Deliver {
+                from,
+                to,
+                msg,
+                class,
+            });
+            return;
+        }
+        match class {
+            MessageClass::App => self.stats.app_delivered += 1,
+            MessageClass::Control => self.stats.control_delivered += 1,
+        }
+        self.record(TraceKind::Delivered {
+            from,
+            to,
+            control: class == MessageClass::Control,
+        });
+        self.dispatch_message(to, from, msg);
+    }
+
+    fn dispatch_start(&mut self, p: ProcessId) {
+        let mut actions = Vec::new();
+        {
+            let mut ctx = Context {
+                me: p,
+                now: self.now,
+                n: self.actors.len(),
+                rng: &mut self.rng,
+                actions: Vec::new(),
+                next_timer_id: &mut self.next_timer_id,
+            };
+            self.actors[p.index()].on_start(&mut ctx);
+            actions.append(&mut ctx.actions);
+        }
+        self.apply_actions(p, actions);
+    }
+
+    fn dispatch_message(&mut self, p: ProcessId, from: ProcessId, msg: A::Msg) {
+        let mut actions = Vec::new();
+        {
+            let mut ctx = Context {
+                me: p,
+                now: self.now,
+                n: self.actors.len(),
+                rng: &mut self.rng,
+                actions: Vec::new(),
+                next_timer_id: &mut self.next_timer_id,
+            };
+            self.actors[p.index()].on_message(from, msg, &mut ctx);
+            actions.append(&mut ctx.actions);
+        }
+        self.apply_actions(p, actions);
+    }
+
+    fn dispatch_timer(&mut self, p: ProcessId, kind: u32) {
+        let mut actions = Vec::new();
+        {
+            let mut ctx = Context {
+                me: p,
+                now: self.now,
+                n: self.actors.len(),
+                rng: &mut self.rng,
+                actions: Vec::new(),
+                next_timer_id: &mut self.next_timer_id,
+            };
+            self.actors[p.index()].on_timer(kind, &mut ctx);
+            actions.append(&mut ctx.actions);
+        }
+        self.apply_actions(p, actions);
+    }
+
+    fn dispatch_restart(&mut self, p: ProcessId) {
+        let mut actions = Vec::new();
+        {
+            let mut ctx = Context {
+                me: p,
+                now: self.now,
+                n: self.actors.len(),
+                rng: &mut self.rng,
+                actions: Vec::new(),
+                next_timer_id: &mut self.next_timer_id,
+            };
+            self.actors[p.index()].on_restart(&mut ctx);
+            actions.append(&mut ctx.actions);
+        }
+        self.apply_actions(p, actions);
+    }
+
+    fn apply_actions(&mut self, p: ProcessId, actions: Vec<Action<A::Msg>>) {
+        let mut extra_send_delay = 0u64;
+        for action in actions {
+            match action {
+                Action::Send { to, msg, class } => {
+                    self.schedule_delivery_with_extra(p, to, msg, class, extra_send_delay);
+                }
+                Action::SetTimer {
+                    delay,
+                    kind,
+                    id,
+                    maintenance,
+                } => {
+                    let epoch = self.procs[p.index()].epoch;
+                    self.push_tagged(
+                        self.now + delay.max(1),
+                        EventKind::Timer { p, kind, id, epoch },
+                        maintenance,
+                    );
+                }
+                Action::CancelTimer(id) => {
+                    self.procs[p.index()].cancelled.push(id);
+                }
+                Action::Stall(d) => {
+                    let st = &mut self.procs[p.index()];
+                    let base = st.busy_until.max(self.now);
+                    st.busy_until = base + d;
+                    // Sends issued after the stall leave once the device
+                    // write completes.
+                    extra_send_delay += d;
+                }
+            }
+        }
+    }
+
+    fn schedule_delivery(&mut self, from: ProcessId, to: ProcessId, msg: A::Msg, class: MessageClass) {
+        self.schedule_delivery_with_extra(from, to, msg, class, 0);
+    }
+
+    fn schedule_delivery_with_extra(
+        &mut self,
+        from: ProcessId,
+        to: ProcessId,
+        msg: A::Msg,
+        class: MessageClass,
+        extra: u64,
+    ) {
+        let model = match class {
+            MessageClass::App => self.config.delay,
+            MessageClass::Control => self.config.control_delay,
+        };
+        // Network-level duplication: deliver an independent second copy
+        // (the channels are reliable, not exactly-once).
+        if class == MessageClass::App && self.config.duplicate_prob > 0.0 {
+            use rand::Rng;
+            if self.rng.gen_bool(self.config.duplicate_prob) {
+                self.stats.duplicates_injected += 1;
+                self.record(TraceKind::DuplicateInjected { from, to });
+                let dup_delay = model.sample(&mut self.rng) + extra;
+                let at = self.now + dup_delay.max(1);
+                self.push(at, EventKind::Deliver {
+                    from,
+                    to,
+                    msg: msg.clone(),
+                    class,
+                });
+            }
+        }
+        let delay = model.sample(&mut self.rng) + extra;
+        let mut at = self.now + delay.max(1);
+        if self.config.fifo && class == MessageClass::App {
+            let frontier = &mut self.procs[to.index()].fifo_frontier[from.index()];
+            if at <= *frontier {
+                at = *frontier + 1;
+            }
+            *frontier = at;
+        }
+        self.push(at, EventKind::Deliver {
+            from,
+            to,
+            msg,
+            class,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DelayModel;
+
+    /// Ping-pong actor: counts messages, echoes until payload reaches 0.
+    struct Pong {
+        received: Vec<u32>,
+        crashed: u32,
+        restarted: u32,
+    }
+
+    impl Pong {
+        fn new() -> Pong {
+            Pong {
+                received: Vec::new(),
+                crashed: 0,
+                restarted: 0,
+            }
+        }
+    }
+
+    impl Actor for Pong {
+        type Msg = u32;
+
+        fn on_start(&mut self, ctx: &mut Context<'_, u32>) {
+            if ctx.me() == ProcessId(0) {
+                ctx.send(ProcessId(1), 6);
+            }
+        }
+
+        fn on_message(&mut self, from: ProcessId, msg: u32, ctx: &mut Context<'_, u32>) {
+            self.received.push(msg);
+            if msg > 0 {
+                ctx.send(from, msg - 1);
+            }
+        }
+
+        fn on_crash(&mut self) {
+            self.crashed += 1;
+        }
+
+        fn on_restart(&mut self, _ctx: &mut Context<'_, u32>) {
+            self.restarted += 1;
+        }
+    }
+
+    fn two_pongs(seed: u64) -> Sim<Pong> {
+        Sim::new(NetConfig::with_seed(seed), vec![Pong::new(), Pong::new()])
+    }
+
+    #[test]
+    fn ping_pong_runs_to_quiescence() {
+        let mut sim = two_pongs(7);
+        let stats = sim.run();
+        assert!(stats.quiescent);
+        assert_eq!(stats.app_delivered, 7);
+        let total: usize = sim.actors().iter().map(|a| a.received.len()).sum();
+        assert_eq!(total, 7);
+    }
+
+    #[test]
+    fn identical_seeds_identical_runs() {
+        let run = |seed| {
+            let mut sim = two_pongs(seed);
+            sim.run();
+            (
+                sim.stats(),
+                sim.actor(ProcessId(0)).received.clone(),
+                sim.actor(ProcessId(1)).received.clone(),
+            )
+        };
+        assert_eq!(run(5), run(5));
+    }
+
+    #[test]
+    fn crash_invokes_hooks_and_parks_messages() {
+        let mut sim = two_pongs(3);
+        // Crash P1 immediately; the opening message (in flight) must be
+        // parked and redelivered after restart.
+        sim.schedule_crash(ProcessId(1), 1);
+        let stats = sim.run();
+        assert_eq!(sim.actor(ProcessId(1)).crashed, 1);
+        assert_eq!(sim.actor(ProcessId(1)).restarted, 1);
+        assert!(stats.parked_redelivered >= 1);
+        assert!(stats.quiescent);
+        // All 7 messages still delivered: the network is reliable.
+        assert_eq!(stats.app_delivered, 7);
+    }
+
+    #[test]
+    fn partition_holds_and_releases() {
+        let mut sim = two_pongs(11);
+        sim.schedule_partition(vec![0, 1], 1, 50_000);
+        let stats = sim.run();
+        assert!(stats.partition_held >= 1);
+        assert_eq!(stats.app_delivered, 7);
+        assert!(stats.end_time.as_micros() >= 50_000);
+    }
+
+    #[test]
+    fn fifo_mode_orders_per_link() {
+        struct Burst {
+            got: Vec<u32>,
+        }
+        impl Actor for Burst {
+            type Msg = u32;
+            fn on_start(&mut self, ctx: &mut Context<'_, u32>) {
+                if ctx.me() == ProcessId(0) {
+                    for i in 0..50 {
+                        ctx.send(ProcessId(1), i);
+                    }
+                }
+            }
+            fn on_message(&mut self, _from: ProcessId, msg: u32, _ctx: &mut Context<'_, u32>) {
+                self.got.push(msg);
+            }
+        }
+        let config = NetConfig::with_seed(2)
+            .fifo(true)
+            .delay_model(DelayModel::Uniform { min: 1, max: 10_000 });
+        let mut sim = Sim::new(config, vec![Burst { got: vec![] }, Burst { got: vec![] }]);
+        sim.run();
+        let got = &sim.actor(ProcessId(1)).got;
+        assert_eq!(got.len(), 50);
+        assert!(got.windows(2).all(|w| w[0] < w[1]), "FIFO order violated");
+    }
+
+    #[test]
+    fn non_fifo_mode_reorders_with_wide_delays() {
+        struct Burst {
+            got: Vec<u32>,
+        }
+        impl Actor for Burst {
+            type Msg = u32;
+            fn on_start(&mut self, ctx: &mut Context<'_, u32>) {
+                if ctx.me() == ProcessId(0) {
+                    for i in 0..50 {
+                        ctx.send(ProcessId(1), i);
+                    }
+                }
+            }
+            fn on_message(&mut self, _from: ProcessId, msg: u32, _ctx: &mut Context<'_, u32>) {
+                self.got.push(msg);
+            }
+        }
+        let config = NetConfig::with_seed(2)
+            .delay_model(DelayModel::Uniform { min: 1, max: 10_000 });
+        let mut sim = Sim::new(config, vec![Burst { got: vec![] }, Burst { got: vec![] }]);
+        sim.run();
+        let got = &sim.actor(ProcessId(1)).got;
+        assert_eq!(got.len(), 50);
+        assert!(
+            got.windows(2).any(|w| w[0] > w[1]),
+            "expected at least one reordering with wide uniform delays"
+        );
+    }
+
+    #[test]
+    fn stall_defers_subsequent_deliveries() {
+        struct Slow {
+            handled_at: Vec<u64>,
+        }
+        impl Actor for Slow {
+            type Msg = u32;
+            fn on_start(&mut self, ctx: &mut Context<'_, u32>) {
+                if ctx.me() == ProcessId(0) {
+                    ctx.send(ProcessId(1), 0);
+                    ctx.send(ProcessId(1), 1);
+                }
+            }
+            fn on_message(&mut self, _from: ProcessId, _msg: u32, ctx: &mut Context<'_, u32>) {
+                self.handled_at.push(ctx.now().as_micros());
+                ctx.stall(5_000);
+            }
+        }
+        let config = NetConfig::with_seed(1).delay_model(DelayModel::Fixed(10));
+        let mut sim = Sim::new(config, vec![
+            Slow { handled_at: vec![] },
+            Slow { handled_at: vec![] },
+        ]);
+        sim.run();
+        let times = &sim.actor(ProcessId(1)).handled_at;
+        assert_eq!(times.len(), 2);
+        assert!(
+            times[1] >= times[0] + 5_000,
+            "second delivery should wait out the stall: {times:?}"
+        );
+    }
+
+    #[test]
+    fn timers_fire_and_cancel() {
+        struct Timed {
+            fired: Vec<u32>,
+        }
+        impl Actor for Timed {
+            type Msg = ();
+            fn on_start(&mut self, ctx: &mut Context<'_, ()>) {
+                ctx.set_timer(100, 1);
+                let t = ctx.set_timer(200, 2);
+                ctx.cancel_timer(t);
+                ctx.set_timer(300, 3);
+            }
+            fn on_message(&mut self, _from: ProcessId, _msg: (), _ctx: &mut Context<'_, ()>) {}
+            fn on_timer(&mut self, kind: u32, _ctx: &mut Context<'_, ()>) {
+                self.fired.push(kind);
+            }
+        }
+        let mut sim = Sim::new(NetConfig::with_seed(0), vec![Timed { fired: vec![] }]);
+        sim.run();
+        assert_eq!(sim.actor(ProcessId(0)).fired, vec![1, 3]);
+    }
+
+    #[test]
+    fn crash_invalidates_pending_timers() {
+        struct Timed {
+            fired: u32,
+        }
+        impl Actor for Timed {
+            type Msg = ();
+            fn on_start(&mut self, ctx: &mut Context<'_, ()>) {
+                ctx.set_timer(10_000, 1);
+            }
+            fn on_message(&mut self, _from: ProcessId, _msg: (), _ctx: &mut Context<'_, ()>) {}
+            fn on_timer(&mut self, _kind: u32, _ctx: &mut Context<'_, ()>) {
+                self.fired += 1;
+            }
+        }
+        let mut sim = Sim::new(NetConfig::with_seed(0), vec![Timed { fired: 0 }]);
+        sim.schedule_crash(ProcessId(0), 100);
+        sim.run();
+        assert_eq!(sim.actor(ProcessId(0)).fired, 0);
+    }
+
+    #[test]
+    fn max_time_stops_infinite_systems() {
+        struct Loopy;
+        impl Actor for Loopy {
+            type Msg = u32;
+            fn on_start(&mut self, ctx: &mut Context<'_, u32>) {
+                ctx.send(ctx.me(), 0);
+            }
+            fn on_message(&mut self, _from: ProcessId, msg: u32, ctx: &mut Context<'_, u32>) {
+                ctx.send(ctx.me(), msg.wrapping_add(1));
+            }
+        }
+        let config = NetConfig::with_seed(0).max_time(10_000);
+        let mut sim = Sim::new(config, vec![Loopy]);
+        let stats = sim.run();
+        assert!(!stats.quiescent);
+        assert!(stats.end_time.as_micros() <= 10_000);
+    }
+}
+
+#[cfg(test)]
+mod trace_tests {
+    use super::*;
+    use crate::TraceKind;
+
+    struct Fwd;
+    impl Actor for Fwd {
+        type Msg = u32;
+        fn on_start(&mut self, ctx: &mut Context<'_, u32>) {
+            if ctx.me() == ProcessId(0) {
+                ctx.send(ProcessId(1), 3);
+            }
+        }
+        fn on_message(&mut self, from: ProcessId, msg: u32, ctx: &mut Context<'_, u32>) {
+            if msg > 0 {
+                ctx.send(from, msg - 1);
+            }
+        }
+    }
+
+    #[test]
+    fn trace_records_deliveries_and_crashes() {
+        let mut sim = Sim::new(NetConfig::with_seed(1), vec![Fwd, Fwd]);
+        sim.enable_trace(64);
+        sim.schedule_crash(ProcessId(1), 50);
+        sim.run();
+        let trace = sim.trace().expect("tracing enabled");
+        assert!(!trace.is_empty());
+        let kinds: Vec<_> = trace.events().map(|e| e.kind).collect();
+        assert!(kinds
+            .iter()
+            .any(|k| matches!(k, TraceKind::Crashed { p: ProcessId(1) })));
+        assert!(kinds
+            .iter()
+            .any(|k| matches!(k, TraceKind::Restarted { p: ProcessId(1) })));
+        assert!(kinds
+            .iter()
+            .any(|k| matches!(k, TraceKind::Delivered { .. })));
+        // Renders without panicking and mentions the crash.
+        assert!(trace.render().contains("P1 CRASHED"));
+    }
+
+    #[test]
+    fn trace_is_off_by_default() {
+        let mut sim = Sim::new(NetConfig::with_seed(1), vec![Fwd, Fwd]);
+        sim.run();
+        assert!(sim.trace().is_none());
+    }
+}

@@ -1,0 +1,327 @@
+//! A real-concurrency runtime for the same [`Actor`] trait.
+//!
+//! The deterministic simulator ([`crate::Sim`]) is the reference
+//! substrate for every experiment, but the protocols themselves are
+//! substrate-agnostic: this module runs the *same actors* on OS threads
+//! connected by crossbeam channels, with wall-clock timers and real
+//! nondeterministic interleavings. It exists to demonstrate that nothing
+//! in the recovery logic depends on simulation artifacts (see
+//! `examples/threaded.rs`), not to replace the simulator — randomized
+//! *verification* needs the deterministic replay only the simulator
+//! provides.
+//!
+//! Semantics mirror the simulator:
+//!
+//! * messages are reliable and unordered across senders (per-channel
+//!   FIFO exists but cross-channel interleaving is real);
+//! * a crash calls [`Actor::on_crash`], buffers inbound messages for the
+//!   downtime, then calls [`Actor::on_restart`] and redelivers;
+//! * `Context::stall` sleeps, charging storage latencies in real time;
+//! * timers (including maintenance timers) fire on wall-clock deadlines.
+//!
+//! The run is bounded by a wall-clock budget rather than quiescence.
+
+use std::thread;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use dg_ftvc::ProcessId;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::actor::{Action, Actor, Context};
+use crate::SimTime;
+
+enum ThreadEvent<M> {
+    Deliver { from: ProcessId, msg: M },
+    Crash { downtime: Duration },
+    Shutdown,
+}
+
+/// A peer's inbox endpoint.
+type Inbox<M> = Sender<(ProcessId, ThreadEvent<M>)>;
+
+/// A scheduled crash for the threaded runtime.
+#[derive(Debug, Clone, Copy)]
+pub struct ThreadedCrash {
+    /// Which process to crash.
+    pub process: ProcessId,
+    /// Wall-clock offset from the start of the run.
+    pub at: Duration,
+    /// How long the process stays down.
+    pub downtime: Duration,
+}
+
+/// Configuration of a threaded run.
+#[derive(Debug, Clone)]
+pub struct ThreadedConfig {
+    /// Seed for the per-thread RNGs (the interleaving itself is real and
+    /// not reproducible — that is the point).
+    pub seed: u64,
+    /// Total wall-clock budget; all threads are shut down afterwards.
+    pub duration: Duration,
+    /// Crash schedule.
+    pub crashes: Vec<ThreadedCrash>,
+}
+
+impl Default for ThreadedConfig {
+    fn default() -> Self {
+        ThreadedConfig {
+            seed: 0,
+            duration: Duration::from_millis(200),
+            crashes: Vec::new(),
+        }
+    }
+}
+
+struct PendingTimer {
+    deadline: Instant,
+    kind: u32,
+    id: u64,
+}
+
+/// Run `actors` on one OS thread each until the configured duration
+/// elapses; returns the final actors (in process order).
+///
+/// # Panics
+///
+/// Panics if `actors` is empty or if an actor thread panics.
+pub fn run_threaded<A>(actors: Vec<A>, config: ThreadedConfig) -> Vec<A>
+where
+    A: Actor + Send + 'static,
+    A::Msg: Send + 'static,
+{
+    assert!(!actors.is_empty(), "need at least one actor");
+    let n = actors.len();
+    let epoch = Instant::now();
+
+    let mut senders: Vec<Inbox<A::Msg>> = Vec::with_capacity(n);
+    let mut receivers: Vec<Receiver<(ProcessId, ThreadEvent<A::Msg>)>> = Vec::with_capacity(n);
+    for _ in 0..n {
+        let (tx, rx) = unbounded();
+        senders.push(tx);
+        receivers.push(rx);
+    }
+
+    let mut handles = Vec::with_capacity(n);
+    for (i, mut actor) in actors.into_iter().enumerate() {
+        let me = ProcessId(i as u16);
+        let rx = receivers.remove(0);
+        let peers = senders.clone();
+        let seed = config.seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        handles.push(thread::spawn(move || {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut next_timer_id: u64 = 0;
+            let mut timers: Vec<PendingTimer> = Vec::new();
+            let mut cancelled: Vec<u64> = Vec::new();
+
+            let apply = |actor: &mut A,
+                         actions: Vec<Action<A::Msg>>,
+                         timers: &mut Vec<PendingTimer>,
+                         cancelled: &mut Vec<u64>,
+                         peers: &[Inbox<A::Msg>],
+                         me: ProcessId| {
+                let _ = actor;
+                for action in actions {
+                    match action {
+                        Action::Send { to, msg, class: _ } => {
+                            // Reliable channel; ignore peers that already
+                            // shut down at the end of the run.
+                            let _ = peers[to.index()].send((me, ThreadEvent::Deliver {
+                                from: me,
+                                msg,
+                            }));
+                        }
+                        Action::SetTimer {
+                            delay, kind, id, ..
+                        } => {
+                            timers.push(PendingTimer {
+                                deadline: Instant::now() + Duration::from_micros(delay),
+                                kind,
+                                id,
+                            });
+                        }
+                        Action::CancelTimer(id) => cancelled.push(id),
+                        Action::Stall(us) => thread::sleep(Duration::from_micros(us)),
+                    }
+                }
+            };
+
+            macro_rules! ctx_call {
+                ($method:ident $(, $arg:expr)*) => {{
+                    let mut ctx = Context {
+                        me,
+                        now: SimTime::from_micros(epoch.elapsed().as_micros() as u64),
+                        n,
+                        rng: &mut rng,
+                        actions: Vec::new(),
+                        next_timer_id: &mut next_timer_id,
+                    };
+                    actor.$method($($arg,)* &mut ctx);
+                    let actions = ctx.actions;
+                    apply(&mut actor, actions, &mut timers, &mut cancelled, &peers, me);
+                }};
+            }
+
+            ctx_call!(on_start);
+
+            'outer: loop {
+                // Fire due timers.
+                let now = Instant::now();
+                let mut i = 0;
+                while i < timers.len() {
+                    if timers[i].deadline <= now {
+                        let t = timers.swap_remove(i);
+                        if let Some(pos) = cancelled.iter().position(|&c| c == t.id) {
+                            cancelled.swap_remove(pos);
+                            continue;
+                        }
+                        ctx_call!(on_timer, t.kind);
+                    } else {
+                        i += 1;
+                    }
+                }
+                // Wait for the next event or timer deadline.
+                let next_deadline = timers.iter().map(|t| t.deadline).min();
+                let timeout = next_deadline
+                    .map(|d| d.saturating_duration_since(Instant::now()))
+                    .unwrap_or(Duration::from_millis(20));
+                match rx.recv_timeout(timeout) {
+                    Ok((_, ThreadEvent::Deliver { from, msg })) => {
+                        ctx_call!(on_message, from, msg);
+                    }
+                    Ok((_, ThreadEvent::Crash { downtime })) => {
+                        actor.on_crash();
+                        timers.clear();
+                        cancelled.clear();
+                        // Buffer messages while down, like the simulator
+                        // parks them.
+                        let wake = Instant::now() + downtime;
+                        let mut parked = Vec::new();
+                        loop {
+                            let left = wake.saturating_duration_since(Instant::now());
+                            if left.is_zero() {
+                                break;
+                            }
+                            match rx.recv_timeout(left) {
+                                Ok((_, ThreadEvent::Deliver { from, msg })) => {
+                                    parked.push((from, msg))
+                                }
+                                Ok((_, ThreadEvent::Crash { .. })) => {}
+                                Ok((_, ThreadEvent::Shutdown)) => break 'outer,
+                                Err(RecvTimeoutError::Timeout) => break,
+                                Err(RecvTimeoutError::Disconnected) => break 'outer,
+                            }
+                        }
+                        ctx_call!(on_restart);
+                        for (from, msg) in parked {
+                            ctx_call!(on_message, from, msg);
+                        }
+                    }
+                    Ok((_, ThreadEvent::Shutdown)) => break,
+                    Err(RecvTimeoutError::Timeout) => {}
+                    Err(RecvTimeoutError::Disconnected) => break,
+                }
+            }
+            actor
+        }));
+    }
+
+    // Fault injector + shutdown driver.
+    let mut crashes = config.crashes.clone();
+    crashes.sort_by_key(|c| c.at);
+    for crash in crashes {
+        let wait = crash.at.saturating_sub(epoch.elapsed());
+        thread::sleep(wait);
+        let _ = senders[crash.process.index()].send((crash.process, ThreadEvent::Crash {
+            downtime: crash.downtime,
+        }));
+    }
+    let remaining = config.duration.saturating_sub(epoch.elapsed());
+    thread::sleep(remaining);
+    for (i, tx) in senders.iter().enumerate() {
+        let _ = tx.send((ProcessId(i as u16), ThreadEvent::Shutdown));
+    }
+    handles
+        .into_iter()
+        .map(|h| h.join().expect("actor thread panicked"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Counter {
+        received: u64,
+        crashed: u64,
+        restarted: u64,
+    }
+
+    impl Actor for Counter {
+        type Msg = u64;
+
+        fn on_start(&mut self, ctx: &mut Context<'_, u64>) {
+            if ctx.me() == ProcessId(0) {
+                for p in 1..ctx.system_size() as u16 {
+                    ctx.send(ProcessId(p), 10);
+                }
+            }
+        }
+
+        fn on_message(&mut self, from: ProcessId, msg: u64, ctx: &mut Context<'_, u64>) {
+            self.received += 1;
+            if msg > 0 {
+                ctx.send(from, msg - 1);
+            }
+        }
+
+        fn on_crash(&mut self) {
+            self.crashed += 1;
+        }
+
+        fn on_restart(&mut self, _ctx: &mut Context<'_, u64>) {
+            self.restarted += 1;
+        }
+    }
+
+    #[test]
+    fn threaded_ping_pong_completes() {
+        let actors = (0..3)
+            .map(|_| Counter {
+                received: 0,
+                crashed: 0,
+                restarted: 0,
+            })
+            .collect();
+        let out = run_threaded(actors, ThreadedConfig {
+            duration: Duration::from_millis(300),
+            ..ThreadedConfig::default()
+        });
+        let total: u64 = out.iter().map(|a| a.received).sum();
+        // Two chains of 11 messages each.
+        assert_eq!(total, 22);
+    }
+
+    #[test]
+    fn threaded_crash_and_restart() {
+        let actors = (0..2)
+            .map(|_| Counter {
+                received: 0,
+                crashed: 0,
+                restarted: 0,
+            })
+            .collect();
+        let out = run_threaded(actors, ThreadedConfig {
+            duration: Duration::from_millis(400),
+            crashes: vec![ThreadedCrash {
+                process: ProcessId(1),
+                at: Duration::from_millis(20),
+                downtime: Duration::from_millis(50),
+            }],
+            ..ThreadedConfig::default()
+        });
+        assert_eq!(out[1].crashed, 1);
+        assert_eq!(out[1].restarted, 1);
+    }
+}

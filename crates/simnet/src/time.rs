@@ -1,0 +1,99 @@
+//! Simulated time.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+use serde::{Deserialize, Serialize};
+
+/// A point in simulated time, in abstract microseconds.
+///
+/// Only differences and ordering are meaningful; the unit is arbitrary but
+/// the workspace's delay and latency defaults are calibrated as if it were
+/// microseconds.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimTime(pub u64);
+
+impl SimTime {
+    /// Time zero, the start of every simulation.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// The largest representable time (used as "never").
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Construct from raw microseconds.
+    #[inline]
+    pub fn from_micros(us: u64) -> SimTime {
+        SimTime(us)
+    }
+
+    /// Construct from milliseconds.
+    #[inline]
+    pub fn from_millis(ms: u64) -> SimTime {
+        SimTime(ms * 1_000)
+    }
+
+    /// The raw microsecond count.
+    #[inline]
+    pub fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Saturating difference `self - earlier`.
+    #[inline]
+    #[must_use]
+    pub fn saturating_since(self, earlier: SimTime) -> u64 {
+        self.0.saturating_sub(earlier.0)
+    }
+}
+
+impl Add<u64> for SimTime {
+    type Output = SimTime;
+
+    #[inline]
+    fn add(self, delta: u64) -> SimTime {
+        SimTime(self.0 + delta)
+    }
+}
+
+impl AddAssign<u64> for SimTime {
+    #[inline]
+    fn add_assign(&mut self, delta: u64) {
+        self.0 += delta;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = u64;
+
+    #[inline]
+    fn sub(self, other: SimTime) -> u64 {
+        self.0 - other.0
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}us", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::from_millis(2);
+        assert_eq!(t.as_micros(), 2_000);
+        assert_eq!((t + 500).as_micros(), 2_500);
+        assert_eq!(t + 500 - t, 500);
+        assert_eq!(SimTime(5).saturating_since(SimTime(9)), 0);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(SimTime(7).to_string(), "7us");
+    }
+}

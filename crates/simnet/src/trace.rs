@@ -1,0 +1,189 @@
+//! Optional event tracing.
+//!
+//! When enabled with [`crate::Sim::enable_trace`], the simulator records
+//! every scheduling decision — deliveries, timer firings, crashes,
+//! restarts, partition cuts, parked and duplicated messages — into a
+//! bounded in-memory trace. Rendering the trace turns "the oracle failed
+//! on seed 17" into a readable schedule to debug against.
+
+use dg_ftvc::ProcessId;
+
+use crate::SimTime;
+
+/// What happened at one trace point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceKind {
+    /// A message was handed to its destination actor.
+    Delivered {
+        /// Transport-level sender.
+        from: ProcessId,
+        /// Destination.
+        to: ProcessId,
+        /// Control-plane traffic (tokens, coordination)?
+        control: bool,
+    },
+    /// A timer fired.
+    TimerFired {
+        /// Owning process.
+        p: ProcessId,
+        /// Timer kind.
+        kind: u32,
+    },
+    /// A process crashed.
+    Crashed {
+        /// The process.
+        p: ProcessId,
+    },
+    /// A process restarted.
+    Restarted {
+        /// The process.
+        p: ProcessId,
+    },
+    /// A partition began.
+    PartitionStarted,
+    /// The partition healed.
+    PartitionHealed,
+    /// A message arrived at a down process and was parked.
+    Parked {
+        /// Destination (down).
+        to: ProcessId,
+    },
+    /// A message was held at the partition cut.
+    Held {
+        /// Sender.
+        from: ProcessId,
+        /// Destination on the other side.
+        to: ProcessId,
+    },
+    /// The network injected a duplicate copy.
+    DuplicateInjected {
+        /// Sender.
+        from: ProcessId,
+        /// Destination.
+        to: ProcessId,
+    },
+}
+
+/// One recorded scheduling decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// When it happened.
+    pub at: SimTime,
+    /// What happened.
+    pub kind: TraceKind,
+}
+
+/// A bounded event trace (oldest events are dropped once full).
+#[derive(Debug, Clone)]
+pub struct Trace {
+    events: std::collections::VecDeque<TraceEvent>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl Trace {
+    pub(crate) fn new(capacity: usize) -> Trace {
+        Trace {
+            events: std::collections::VecDeque::with_capacity(capacity.min(4096)),
+            capacity: capacity.max(1),
+            dropped: 0,
+        }
+    }
+
+    pub(crate) fn push(&mut self, at: SimTime, kind: TraceKind) {
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(TraceEvent { at, kind });
+    }
+
+    /// Recorded events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter()
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `true` iff nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events evicted because the buffer was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Human-readable rendering, one line per event.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        if self.dropped > 0 {
+            out.push_str(&format!("... {} earlier events dropped ...\n", self.dropped));
+        }
+        for e in &self.events {
+            let line = match e.kind {
+                TraceKind::Delivered { from, to, control } => format!(
+                    "{:>10}  {} -> {} {}",
+                    e.at,
+                    from,
+                    to,
+                    if control { "[control]" } else { "" }
+                ),
+                TraceKind::TimerFired { p, kind } => {
+                    format!("{:>10}  {} timer kind={kind}", e.at, p)
+                }
+                TraceKind::Crashed { p } => format!("{:>10}  {} CRASHED", e.at, p),
+                TraceKind::Restarted { p } => format!("{:>10}  {} restarted", e.at, p),
+                TraceKind::PartitionStarted => format!("{:>10}  -- partition --", e.at),
+                TraceKind::PartitionHealed => format!("{:>10}  -- healed --", e.at),
+                TraceKind::Parked { to } => format!("{:>10}  parked for {}", e.at, to),
+                TraceKind::Held { from, to } => {
+                    format!("{:>10}  held at cut {} -> {}", e.at, from, to)
+                }
+                TraceKind::DuplicateInjected { from, to } => {
+                    format!("{:>10}  duplicate {} -> {}", e.at, from, to)
+                }
+            };
+            out.push_str(line.trim_end());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounded_with_drop_count() {
+        let mut t = Trace::new(2);
+        for i in 0..5 {
+            t.push(SimTime(i), TraceKind::PartitionStarted);
+        }
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.dropped(), 3);
+        let first = t.events().next().unwrap();
+        assert_eq!(first.at, SimTime(3));
+        assert!(t.render().contains("3 earlier events dropped"));
+    }
+
+    #[test]
+    fn render_lines() {
+        let mut t = Trace::new(8);
+        t.push(SimTime(5), TraceKind::Delivered {
+            from: ProcessId(0),
+            to: ProcessId(1),
+            control: true,
+        });
+        t.push(SimTime(9), TraceKind::Crashed { p: ProcessId(1) });
+        let s = t.render();
+        assert!(s.contains("P0 -> P1 [control]"));
+        assert!(s.contains("P1 CRASHED"));
+        assert!(!t.is_empty());
+    }
+}

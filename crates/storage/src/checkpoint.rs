@@ -1,0 +1,183 @@
+//! The checkpoint store.
+
+use serde::{Deserialize, Serialize};
+
+/// Monotone identifier of a checkpoint within one process's store.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct CheckpointId(pub u64);
+
+/// Stable store of a process's checkpoints, newest last.
+///
+/// A checkpoint payload `C` is opaque to the store; the recovery layer
+/// snapshots whatever it needs (application state, clock, history, log
+/// cursor) into `C`. Checkpoints survive crashes by construction — the
+/// store has no volatile region.
+///
+/// ```
+/// use dg_storage::CheckpointStore;
+///
+/// let mut store = CheckpointStore::new();
+/// let a = store.take("state-a");
+/// let b = store.take("state-b");
+/// assert_eq!(store.latest(), Some((b, &"state-b")));
+/// store.discard_after(a);           // rollback past b
+/// assert_eq!(store.latest(), Some((a, &"state-a")));
+/// ```
+#[derive(Debug, Clone)]
+pub struct CheckpointStore<C> {
+    items: Vec<(CheckpointId, C)>,
+    next_id: u64,
+}
+
+impl<C> Default for CheckpointStore<C> {
+    fn default() -> Self {
+        CheckpointStore::new()
+    }
+}
+
+impl<C> CheckpointStore<C> {
+    /// An empty store.
+    pub fn new() -> CheckpointStore<C> {
+        CheckpointStore {
+            items: Vec::new(),
+            next_id: 0,
+        }
+    }
+
+    /// Number of retained checkpoints.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// `true` iff no checkpoint has been taken (or all were discarded).
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Record a new checkpoint; it becomes the latest.
+    pub fn take(&mut self, payload: C) -> CheckpointId {
+        let id = CheckpointId(self.next_id);
+        self.next_id += 1;
+        self.items.push((id, payload));
+        id
+    }
+
+    /// The most recent checkpoint, if any.
+    pub fn latest(&self) -> Option<(CheckpointId, &C)> {
+        self.items.last().map(|(id, c)| (*id, c))
+    }
+
+    /// Iterate checkpoints newest-first (the rollback search order of
+    /// Figure 4: "restore the *maximum* checkpoint such that …").
+    pub fn iter_newest_first(&self) -> impl Iterator<Item = (CheckpointId, &C)> {
+        self.items.iter().rev().map(|(id, c)| (*id, c))
+    }
+
+    /// Iterate checkpoints oldest-first.
+    pub fn iter(&self) -> impl Iterator<Item = (CheckpointId, &C)> {
+        self.items.iter().map(|(id, c)| (*id, c))
+    }
+
+    /// Fetch a checkpoint by id.
+    pub fn get(&self, id: CheckpointId) -> Option<&C> {
+        self.items
+            .iter()
+            .find(|(cid, _)| *cid == id)
+            .map(|(_, c)| c)
+    }
+
+    /// Discard all checkpoints strictly newer than `id` (Figure 4: "discard
+    /// the checkpoints that follow"). Returns how many were discarded.
+    pub fn discard_after(&mut self, id: CheckpointId) -> usize {
+        let keep = self
+            .items
+            .iter()
+            .position(|(cid, _)| *cid > id)
+            .unwrap_or(self.items.len());
+        let discarded = self.items.len() - keep;
+        self.items.truncate(keep);
+        discarded
+    }
+
+    /// Garbage-collect checkpoints strictly older than `id`, always keeping
+    /// at least the checkpoint `id` itself if present. Returns how many
+    /// were reclaimed.
+    pub fn gc_before(&mut self, id: CheckpointId) -> usize {
+        let cut = self
+            .items
+            .iter()
+            .position(|(cid, _)| *cid >= id)
+            .unwrap_or(0);
+        self.items.drain(..cut);
+        cut
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_and_latest() {
+        let mut s = CheckpointStore::new();
+        assert!(s.is_empty());
+        let a = s.take(10);
+        let b = s.take(20);
+        assert!(a < b);
+        assert_eq!(s.latest(), Some((b, &20)));
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn newest_first_search_order() {
+        let mut s = CheckpointStore::new();
+        s.take('a');
+        s.take('b');
+        s.take('c');
+        let order: Vec<char> = s.iter_newest_first().map(|(_, c)| *c).collect();
+        assert_eq!(order, vec!['c', 'b', 'a']);
+    }
+
+    #[test]
+    fn discard_after_truncates() {
+        let mut s = CheckpointStore::new();
+        let a = s.take(1);
+        s.take(2);
+        s.take(3);
+        assert_eq!(s.discard_after(a), 2);
+        assert_eq!(s.latest(), Some((a, &1)));
+        // Discarding when nothing is newer is a no-op.
+        assert_eq!(s.discard_after(a), 0);
+    }
+
+    #[test]
+    fn ids_never_reused_after_discard() {
+        let mut s = CheckpointStore::new();
+        let a = s.take(1);
+        let b = s.take(2);
+        s.discard_after(a);
+        let c = s.take(3);
+        assert!(c > b, "discarded ids must not be reused");
+    }
+
+    #[test]
+    fn gc_keeps_floor_checkpoint() {
+        let mut s = CheckpointStore::new();
+        s.take(1);
+        let b = s.take(2);
+        s.take(3);
+        assert_eq!(s.gc_before(b), 1);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.get(b), Some(&2));
+    }
+
+    #[test]
+    fn get_by_id() {
+        let mut s = CheckpointStore::new();
+        let a = s.take("x");
+        assert_eq!(s.get(a), Some(&"x"));
+        assert_eq!(s.get(CheckpointId(99)), None);
+    }
+}

@@ -1,0 +1,347 @@
+//! A minimal self-contained binary codec.
+//!
+//! The workspace's offline dependency set includes `serde` but no wire
+//! format crate, so durable storage ([`crate::file`]) uses this small
+//! hand-rolled codec instead: little-endian fixed-width integers,
+//! length-prefixed byte strings and sequences, explicit option tags.
+//! Implement [`Codec`] for any payload you want to persist.
+//!
+//! ```
+//! use dg_storage::codec::{Codec, Reader, Writer};
+//!
+//! #[derive(Debug, PartialEq)]
+//! struct Point { x: u64, y: u64 }
+//!
+//! impl Codec for Point {
+//!     fn encode(&self, w: &mut Writer) {
+//!         self.x.encode(w);
+//!         self.y.encode(w);
+//!     }
+//!     fn decode(r: &mut Reader<'_>) -> Result<Self, dg_storage::codec::CodecError> {
+//!         Ok(Point { x: u64::decode(r)?, y: u64::decode(r)? })
+//!     }
+//! }
+//!
+//! let p = Point { x: 7, y: 9 };
+//! let bytes = dg_storage::codec::to_bytes(&p);
+//! assert_eq!(dg_storage::codec::from_bytes::<Point>(&bytes).unwrap(), p);
+//! ```
+
+use std::fmt;
+
+/// Error produced when decoding malformed bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// Input ended before the value was complete.
+    UnexpectedEnd,
+    /// An enum/option tag byte had an unknown value.
+    BadTag(u8),
+    /// A length prefix exceeded the remaining input.
+    BadLength(u64),
+    /// A string was not valid UTF-8.
+    BadUtf8,
+    /// Bytes remained after the top-level value (from [`from_bytes`]).
+    TrailingBytes(usize),
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::UnexpectedEnd => write!(f, "input ended mid-value"),
+            CodecError::BadTag(t) => write!(f, "unknown tag byte {t}"),
+            CodecError::BadLength(l) => write!(f, "length {l} exceeds remaining input"),
+            CodecError::BadUtf8 => write!(f, "invalid utf-8 in string"),
+            CodecError::TrailingBytes(n) => write!(f, "{n} trailing bytes after value"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Append-only encode buffer.
+#[derive(Debug, Default)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// An empty writer.
+    pub fn new() -> Writer {
+        Writer::default()
+    }
+
+    /// Append raw bytes.
+    pub fn put_bytes(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Append one byte.
+    pub fn put_u8(&mut self, b: u8) {
+        self.buf.push(b);
+    }
+
+    /// Finish and take the encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Current encoded length.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// `true` iff nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+}
+
+/// Sequential decode cursor.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// A reader over `buf`.
+    pub fn new(buf: &'a [u8]) -> Reader<'a> {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Take `n` raw bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::UnexpectedEnd`] if fewer than `n` bytes remain.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        if self.remaining() < n {
+            return Err(CodecError::UnexpectedEnd);
+        }
+        let slice = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    /// Take one byte.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::UnexpectedEnd`] at end of input.
+    pub fn take_u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take(1)?[0])
+    }
+}
+
+/// A type that can be persisted with this codec.
+pub trait Codec: Sized {
+    /// Append the encoding of `self`.
+    fn encode(&self, w: &mut Writer);
+
+    /// Decode one value.
+    ///
+    /// # Errors
+    ///
+    /// Any [`CodecError`] on malformed input.
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError>;
+}
+
+/// Encode a value to a fresh byte vector.
+pub fn to_bytes<T: Codec>(value: &T) -> Vec<u8> {
+    let mut w = Writer::new();
+    value.encode(&mut w);
+    w.into_bytes()
+}
+
+/// Decode a value, requiring the input to be fully consumed.
+///
+/// # Errors
+///
+/// Any [`CodecError`], including [`CodecError::TrailingBytes`].
+pub fn from_bytes<T: Codec>(bytes: &[u8]) -> Result<T, CodecError> {
+    let mut r = Reader::new(bytes);
+    let value = T::decode(&mut r)?;
+    if r.remaining() > 0 {
+        return Err(CodecError::TrailingBytes(r.remaining()));
+    }
+    Ok(value)
+}
+
+macro_rules! int_codec {
+    ($($ty:ty),*) => {$(
+        impl Codec for $ty {
+            fn encode(&self, w: &mut Writer) {
+                w.put_bytes(&self.to_le_bytes());
+            }
+            fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+                let bytes = r.take(std::mem::size_of::<$ty>())?;
+                Ok(<$ty>::from_le_bytes(bytes.try_into().expect("sized take")))
+            }
+        }
+    )*};
+}
+
+int_codec!(u8, u16, u32, u64, i64);
+
+impl Codec for bool {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u8(u8::from(*self));
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        match r.take_u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            t => Err(CodecError::BadTag(t)),
+        }
+    }
+}
+
+impl Codec for usize {
+    fn encode(&self, w: &mut Writer) {
+        (*self as u64).encode(w);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(u64::decode(r)? as usize)
+    }
+}
+
+impl Codec for String {
+    fn encode(&self, w: &mut Writer) {
+        self.len().encode(w);
+        w.put_bytes(self.as_bytes());
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        let len = u64::decode(r)?;
+        if len > r.remaining() as u64 {
+            return Err(CodecError::BadLength(len));
+        }
+        let bytes = r.take(len as usize)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| CodecError::BadUtf8)
+    }
+}
+
+impl<T: Codec> Codec for Vec<T> {
+    fn encode(&self, w: &mut Writer) {
+        self.len().encode(w);
+        for item in self {
+            item.encode(w);
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        let len = u64::decode(r)?;
+        // A length prefix can never exceed one element per remaining byte.
+        if len > r.remaining() as u64 {
+            return Err(CodecError::BadLength(len));
+        }
+        let mut items = Vec::with_capacity(len as usize);
+        for _ in 0..len {
+            items.push(T::decode(r)?);
+        }
+        Ok(items)
+    }
+}
+
+impl<T: Codec> Codec for Option<T> {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            None => w.put_u8(0),
+            Some(v) => {
+                w.put_u8(1);
+                v.encode(w);
+            }
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        match r.take_u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(T::decode(r)?)),
+            t => Err(CodecError::BadTag(t)),
+        }
+    }
+}
+
+impl<A: Codec, B: Codec> Codec for (A, B) {
+    fn encode(&self, w: &mut Writer) {
+        self.0.encode(w);
+        self.1.encode(w);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok((A::decode(r)?, B::decode(r)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integers_roundtrip() {
+        for v in [0u64, 1, u64::MAX] {
+            assert_eq!(from_bytes::<u64>(&to_bytes(&v)).unwrap(), v);
+        }
+        assert_eq!(from_bytes::<u16>(&to_bytes(&513u16)).unwrap(), 513);
+        assert_eq!(from_bytes::<i64>(&to_bytes(&-42i64)).unwrap(), -42);
+    }
+
+    #[test]
+    fn compounds_roundtrip() {
+        let v: Vec<(u32, Option<String>)> = vec![
+            (1, Some("hello".into())),
+            (2, None),
+            (3, Some(String::new())),
+        ];
+        assert_eq!(
+            from_bytes::<Vec<(u32, Option<String>)>>(&to_bytes(&v)).unwrap(),
+            v
+        );
+        assert!(from_bytes::<bool>(&to_bytes(&true)).unwrap());
+    }
+
+    #[test]
+    fn truncated_input_errors() {
+        let bytes = to_bytes(&7u64);
+        assert_eq!(
+            from_bytes::<u64>(&bytes[..4]),
+            Err(CodecError::UnexpectedEnd)
+        );
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut bytes = to_bytes(&7u32);
+        bytes.push(0);
+        assert_eq!(from_bytes::<u32>(&bytes), Err(CodecError::TrailingBytes(1)));
+    }
+
+    #[test]
+    fn bad_tags_rejected() {
+        assert_eq!(from_bytes::<bool>(&[2]), Err(CodecError::BadTag(2)));
+        assert_eq!(from_bytes::<Option<u8>>(&[9]), Err(CodecError::BadTag(9)));
+    }
+
+    #[test]
+    fn hostile_length_prefix_rejected() {
+        // A Vec claiming u64::MAX elements must fail fast, not allocate.
+        let bytes = to_bytes(&u64::MAX);
+        assert_eq!(
+            from_bytes::<Vec<u8>>(&bytes),
+            Err(CodecError::BadLength(u64::MAX))
+        );
+    }
+
+    #[test]
+    fn bad_utf8_rejected() {
+        let mut w = Writer::new();
+        2usize.encode(&mut w);
+        w.put_bytes(&[0xff, 0xfe]);
+        assert_eq!(
+            from_bytes::<String>(&w.into_bytes()),
+            Err(CodecError::BadUtf8)
+        );
+    }
+}

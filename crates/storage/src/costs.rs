@@ -1,0 +1,60 @@
+//! Latency model for storage operations.
+
+use serde::{Deserialize, Serialize};
+
+/// Simulated latencies (microseconds) charged for storage operations.
+///
+/// Protocols charge these to the simulator with `Context::stall`, so a
+/// protocol that writes synchronously (pessimistic logging, token
+/// logging, coordinated checkpointing) pays for it in schedule time —
+/// this is what makes the optimistic-versus-pessimistic throughput
+/// comparison of experiment E5 meaningful.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StorageCosts {
+    /// One synchronous stable write (forced log record, e.g. a token).
+    pub sync_write: u64,
+    /// Writing a checkpoint synchronously.
+    pub checkpoint_write: u64,
+    /// Per-entry cost of an asynchronous background flush. Charged when a
+    /// flush timer fires; it does not block receives in the meantime.
+    pub flush_per_entry: u64,
+}
+
+impl StorageCosts {
+    /// Costs resembling a mid-1990s disk relative to a LAN: a forced write
+    /// costs ~25x a typical one-way message delay.
+    pub fn disk() -> StorageCosts {
+        StorageCosts {
+            sync_write: 5_000,
+            checkpoint_write: 20_000,
+            flush_per_entry: 200,
+        }
+    }
+
+    /// Free storage, for tests that isolate protocol logic from latency.
+    pub fn free() -> StorageCosts {
+        StorageCosts {
+            sync_write: 0,
+            checkpoint_write: 0,
+            flush_per_entry: 0,
+        }
+    }
+}
+
+impl Default for StorageCosts {
+    fn default() -> Self {
+        StorageCosts::disk()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets() {
+        assert_eq!(StorageCosts::free().sync_write, 0);
+        assert!(StorageCosts::disk().sync_write > 0);
+        assert_eq!(StorageCosts::default(), StorageCosts::disk());
+    }
+}

@@ -1,0 +1,46 @@
+//! Stable-storage model for rollback recovery.
+//!
+//! The Damani–Garg protocol (and every baseline we compare it against)
+//! distinguishes two kinds of per-process state:
+//!
+//! * **volatile** — lost in a failure: the in-memory tail of the receive
+//!   log, postponed messages, application state;
+//! * **stable** — survives failures: checkpoints, the flushed prefix of
+//!   the receive log, synchronously-logged recovery tokens.
+//!
+//! This crate models that distinction explicitly. A process's durable
+//! facilities are a [`CheckpointStore`] and an [`EventLog`]; calling
+//! [`EventLog::crash`] erases exactly what a real power failure would.
+//! Latencies charged for storage operations are configured by
+//! [`StorageCosts`] and applied by the protocol layer via simulator
+//! stalls, so that pessimistic-versus-optimistic logging comparisons
+//! (experiment E5) measure real schedule effects rather than counters.
+//!
+//! ```
+//! use dg_storage::EventLog;
+//!
+//! let mut log: EventLog<&'static str> = EventLog::new();
+//! log.append_volatile("m1");
+//! log.flush();                       // async flush reached the disk
+//! log.append_volatile("m2");         // still only in memory
+//! log.append_stable("token");        // tokens are logged synchronously
+//! let lost = log.crash();
+//! assert_eq!(lost, 1);               // m2 is gone
+//! let survived: Vec<_> = log.live_events().cloned().collect();
+//! assert_eq!(survived, vec!["m1", "token"]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod checkpoint;
+pub mod codec;
+mod costs;
+pub mod file;
+mod log;
+mod send_log;
+
+pub use checkpoint::{CheckpointId, CheckpointStore};
+pub use costs::StorageCosts;
+pub use log::{EventLog, LogPos};
+pub use send_log::SendLog;

@@ -1,0 +1,293 @@
+//! The crash-aware receive log.
+
+use serde::{Deserialize, Serialize};
+
+/// Logical position in an [`EventLog`]. Positions are stable across
+/// crashes and garbage collection: entry `k` keeps position `k` forever.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct LogPos(pub u64);
+
+impl LogPos {
+    /// The position before the first entry.
+    pub const START: LogPos = LogPos(0);
+}
+
+#[derive(Debug, Clone)]
+enum Slot<E> {
+    /// A logged event and whether it has reached stable storage.
+    Live { event: E, stable: bool },
+    /// An event erased by a crash (was volatile) or by garbage collection.
+    Gone,
+}
+
+/// An append-only receive log with a volatile tail.
+///
+/// Entries appended with [`EventLog::append_volatile`] live in memory
+/// until [`EventLog::flush`] (the asynchronous background flush of the
+/// paper's model) marks everything currently in the log stable. Entries
+/// appended with [`EventLog::append_stable`] — recovery tokens — are
+/// individually durable at once but do **not** force earlier volatile
+/// entries to disk.
+///
+/// [`EventLog::crash`] implements a failure: every volatile entry is
+/// erased. [`EventLog::split_off_suffix`] implements the rollback
+/// discard: the suffix past a position is removed and returned so the
+/// protocol can re-inject the still-valid messages.
+#[derive(Debug, Clone)]
+pub struct EventLog<E> {
+    slots: Vec<Slot<E>>,
+    /// Number of slots dropped from the front by GC; logical position of
+    /// `slots[0]` is `base`.
+    base: u64,
+}
+
+impl<E> Default for EventLog<E> {
+    fn default() -> Self {
+        EventLog::new()
+    }
+}
+
+impl<E> EventLog<E> {
+    /// An empty log.
+    pub fn new() -> EventLog<E> {
+        EventLog {
+            slots: Vec::new(),
+            base: 0,
+        }
+    }
+
+    /// Position one past the last entry (where the next append will land).
+    pub fn end(&self) -> LogPos {
+        LogPos(self.base + self.slots.len() as u64)
+    }
+
+    /// Number of live (non-erased) entries currently in the log.
+    pub fn live_len(&self) -> usize {
+        self.slots
+            .iter()
+            .filter(|s| matches!(s, Slot::Live { .. }))
+            .count()
+    }
+
+    /// Number of live entries not yet stable.
+    pub fn unflushed_len(&self) -> usize {
+        self.slots
+            .iter()
+            .filter(|s| matches!(s, Slot::Live { stable: false, .. }))
+            .count()
+    }
+
+    /// Append a volatile entry; it will be lost by a [`EventLog::crash`]
+    /// unless a [`EventLog::flush`] happens first.
+    pub fn append_volatile(&mut self, event: E) -> LogPos {
+        let pos = self.end();
+        self.slots.push(Slot::Live {
+            event,
+            stable: false,
+        });
+        pos
+    }
+
+    /// Append an entry that is synchronously durable (recovery tokens).
+    pub fn append_stable(&mut self, event: E) -> LogPos {
+        let pos = self.end();
+        self.slots.push(Slot::Live {
+            event,
+            stable: true,
+        });
+        pos
+    }
+
+    /// Mark every live entry stable (the asynchronous flush completing, or
+    /// the forced flush at checkpoint time / before rollback). Returns how
+    /// many entries became stable.
+    pub fn flush(&mut self) -> usize {
+        let mut flushed = 0;
+        for slot in &mut self.slots {
+            if let Slot::Live { stable, .. } = slot {
+                if !*stable {
+                    *stable = true;
+                    flushed += 1;
+                }
+            }
+        }
+        flushed
+    }
+
+    /// A failure: erase all volatile entries. Returns how many were lost.
+    pub fn crash(&mut self) -> usize {
+        let mut lost = 0;
+        for slot in &mut self.slots {
+            if matches!(slot, Slot::Live { stable: false, .. }) {
+                *slot = Slot::Gone;
+                lost += 1;
+            }
+        }
+        lost
+    }
+
+    /// Iterate live events from `from` (inclusive) in log order.
+    pub fn live_events_from(&self, from: LogPos) -> impl Iterator<Item = &E> {
+        let skip = from.0.saturating_sub(self.base) as usize;
+        self.slots.iter().skip(skip).filter_map(|s| match s {
+            Slot::Live { event, .. } => Some(event),
+            Slot::Gone => None,
+        })
+    }
+
+    /// Iterate all live events in log order.
+    pub fn live_events(&self) -> impl Iterator<Item = &E> {
+        self.live_events_from(LogPos(self.base))
+    }
+
+    /// Iterate live events with their positions from `from` (inclusive).
+    pub fn live_entries_from(&self, from: LogPos) -> impl Iterator<Item = (LogPos, &E)> {
+        let skip = from.0.saturating_sub(self.base) as usize;
+        let base = self.base;
+        self.slots
+            .iter()
+            .enumerate()
+            .skip(skip)
+            .filter_map(move |(i, s)| match s {
+                Slot::Live { event, .. } => Some((LogPos(base + i as u64), event)),
+                Slot::Gone => None,
+            })
+    }
+
+    /// Remove the suffix starting at `at` and return its live events in
+    /// order (the rollback discard; the caller re-injects survivors).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is below the garbage-collected prefix.
+    pub fn split_off_suffix(&mut self, at: LogPos) -> Vec<E> {
+        assert!(
+            at.0 >= self.base,
+            "cannot split below the garbage-collected prefix"
+        );
+        let idx = (at.0 - self.base) as usize;
+        if idx >= self.slots.len() {
+            return Vec::new();
+        }
+        self.slots
+            .split_off(idx)
+            .into_iter()
+            .filter_map(|s| match s {
+                Slot::Live { event, .. } => Some(event),
+                Slot::Gone => None,
+            })
+            .collect()
+    }
+
+    /// Drop entries strictly below `upto` (they are no longer needed for
+    /// any recovery). Positions of remaining entries are unchanged.
+    pub fn gc_before(&mut self, upto: LogPos) -> usize {
+        if upto.0 <= self.base {
+            return 0;
+        }
+        let drop = ((upto.0 - self.base) as usize).min(self.slots.len());
+        self.slots.drain(..drop);
+        self.base += drop as u64;
+        drop
+    }
+
+    /// Lowest retained position.
+    pub fn gc_floor(&self) -> LogPos {
+        LogPos(self.base)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn volatile_entries_are_lost_in_a_crash() {
+        let mut log = EventLog::new();
+        log.append_volatile(1);
+        log.append_volatile(2);
+        log.flush();
+        log.append_volatile(3);
+        log.append_stable(4);
+        log.append_volatile(5);
+        assert_eq!(log.unflushed_len(), 2);
+        let lost = log.crash();
+        assert_eq!(lost, 2);
+        let survived: Vec<_> = log.live_events().copied().collect();
+        assert_eq!(survived, vec![1, 2, 4]);
+        // Positions are preserved: the next append lands after the hole.
+        assert_eq!(log.end(), LogPos(5));
+    }
+
+    #[test]
+    fn positions_stable_across_gc() {
+        let mut log = EventLog::new();
+        for i in 0..10 {
+            log.append_volatile(i);
+        }
+        log.flush();
+        assert_eq!(log.gc_before(LogPos(4)), 4);
+        let live: Vec<_> = log.live_entries_from(LogPos(0)).collect();
+        assert_eq!(live[0], (LogPos(4), &4));
+        assert_eq!(log.gc_floor(), LogPos(4));
+        // GC below the floor is a no-op.
+        assert_eq!(log.gc_before(LogPos(2)), 0);
+    }
+
+    #[test]
+    fn split_off_suffix_returns_live_events() {
+        let mut log = EventLog::new();
+        log.append_volatile("a");
+        log.append_volatile("b");
+        log.flush();
+        log.append_volatile("c");
+        log.crash(); // c lost
+        log.append_volatile("d");
+        let suffix = log.split_off_suffix(LogPos(1));
+        assert_eq!(suffix, vec!["b", "d"]);
+        assert_eq!(log.end(), LogPos(1));
+        let remaining: Vec<_> = log.live_events().copied().collect();
+        assert_eq!(remaining, vec!["a"]);
+    }
+
+    #[test]
+    fn split_past_end_is_empty() {
+        let mut log: EventLog<u8> = EventLog::new();
+        log.append_volatile(1);
+        assert!(log.split_off_suffix(LogPos(9)).is_empty());
+        assert_eq!(log.live_len(), 1);
+    }
+
+    #[test]
+    fn replay_from_midpoint() {
+        let mut log = EventLog::new();
+        for i in 0..5 {
+            log.append_volatile(i);
+        }
+        log.flush();
+        let tail: Vec<_> = log.live_events_from(LogPos(3)).copied().collect();
+        assert_eq!(tail, vec![3, 4]);
+    }
+
+    #[test]
+    fn flush_reports_newly_flushed_only() {
+        let mut log = EventLog::new();
+        log.append_volatile(1);
+        assert_eq!(log.flush(), 1);
+        assert_eq!(log.flush(), 0);
+        log.append_stable(2);
+        assert_eq!(log.flush(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "garbage-collected prefix")]
+    fn split_below_gc_floor_panics() {
+        let mut log: EventLog<u8> = EventLog::new();
+        log.append_volatile(1);
+        log.flush();
+        log.gc_before(LogPos(1));
+        let _ = log.split_off_suffix(LogPos(0));
+    }
+}

@@ -1,0 +1,154 @@
+//! Property-based tests of the storage substrate: the crash/flush laws
+//! of the event log, checkpoint-store ordering, and codec round-trips.
+
+use dg_storage::codec::{from_bytes, to_bytes};
+use dg_storage::{CheckpointStore, EventLog, LogPos};
+use proptest::prelude::*;
+
+/// One random log operation.
+#[derive(Debug, Clone)]
+enum LogOp {
+    AppendVolatile(u32),
+    AppendStable(u32),
+    Flush,
+    Crash,
+}
+
+fn log_op() -> impl Strategy<Value = LogOp> {
+    prop_oneof![
+        4 => any::<u32>().prop_map(LogOp::AppendVolatile),
+        2 => any::<u32>().prop_map(LogOp::AppendStable),
+        1 => Just(LogOp::Flush),
+        1 => Just(LogOp::Crash),
+    ]
+}
+
+/// Reference model: a vector of (value, stable) plus erased slots.
+#[derive(Debug, Default)]
+struct Model {
+    slots: Vec<Option<(u32, bool)>>,
+}
+
+impl Model {
+    fn apply(&mut self, op: &LogOp) {
+        match *op {
+            LogOp::AppendVolatile(v) => self.slots.push(Some((v, false))),
+            LogOp::AppendStable(v) => self.slots.push(Some((v, true))),
+            LogOp::Flush => {
+                for s in self.slots.iter_mut().flatten() {
+                    s.1 = true;
+                }
+            }
+            LogOp::Crash => {
+                for s in &mut self.slots {
+                    if matches!(s, Some((_, false))) {
+                        *s = None;
+                    }
+                }
+            }
+        }
+    }
+
+    fn live(&self) -> Vec<u32> {
+        self.slots.iter().flatten().map(|&(v, _)| v).collect()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The event log agrees with a simple reference model under any
+    /// sequence of appends, flushes, and crashes.
+    #[test]
+    fn event_log_matches_model(ops in proptest::collection::vec(log_op(), 0..60)) {
+        let mut log = EventLog::new();
+        let mut model = Model::default();
+        for op in &ops {
+            match *op {
+                LogOp::AppendVolatile(v) => {
+                    log.append_volatile(v);
+                }
+                LogOp::AppendStable(v) => {
+                    log.append_stable(v);
+                }
+                LogOp::Flush => {
+                    log.flush();
+                }
+                LogOp::Crash => {
+                    log.crash();
+                }
+            }
+            model.apply(op);
+            let live: Vec<u32> = log.live_events().copied().collect();
+            prop_assert_eq!(&live, &model.live());
+            prop_assert_eq!(log.end(), LogPos(model.slots.len() as u64));
+        }
+    }
+
+    /// A crash after a flush loses nothing; a second crash is a no-op.
+    #[test]
+    fn crash_after_flush_is_lossless(values in proptest::collection::vec(any::<u32>(), 0..40)) {
+        let mut log = EventLog::new();
+        for &v in &values {
+            log.append_volatile(v);
+        }
+        log.flush();
+        prop_assert_eq!(log.crash(), 0);
+        prop_assert_eq!(log.crash(), 0);
+        let live: Vec<u32> = log.live_events().copied().collect();
+        prop_assert_eq!(live, values);
+    }
+
+    /// split_off_suffix(at) ++ retained == original live events, and
+    /// positions stay stable.
+    #[test]
+    fn split_partitions_live_events(
+        values in proptest::collection::vec(any::<u32>(), 1..40),
+        at_frac in 0.0f64..1.0,
+    ) {
+        let mut log = EventLog::new();
+        for &v in &values {
+            log.append_volatile(v);
+        }
+        log.flush();
+        let at = LogPos((values.len() as f64 * at_frac) as u64);
+        let original: Vec<u32> = log.live_events().copied().collect();
+        let suffix = log.split_off_suffix(at);
+        let mut rejoined: Vec<u32> = log.live_events().copied().collect();
+        rejoined.extend(suffix);
+        prop_assert_eq!(rejoined, original);
+    }
+
+    /// Checkpoint ids are strictly increasing and discard_after keeps
+    /// exactly the prefix.
+    #[test]
+    fn checkpoint_store_ordering(count in 1usize..20, cut in 0usize..20) {
+        let mut store = CheckpointStore::new();
+        let ids: Vec<_> = (0..count).map(|i| store.take(i)).collect();
+        for w in ids.windows(2) {
+            prop_assert!(w[0] < w[1]);
+        }
+        let cut = cut.min(count - 1);
+        store.discard_after(ids[cut]);
+        prop_assert_eq!(store.len(), cut + 1);
+        prop_assert_eq!(store.latest().map(|(id, _)| id), Some(ids[cut]));
+    }
+
+    /// Codec round-trips arbitrary nested values.
+    #[test]
+    fn codec_roundtrip(
+        v in proptest::collection::vec((any::<u64>(), proptest::option::of(".{0,12}")), 0..20)
+    ) {
+        let encoded = to_bytes(&v);
+        let decoded: Vec<(u64, Option<String>)> = from_bytes(&encoded).unwrap();
+        prop_assert_eq!(decoded, v);
+    }
+
+    /// Decoding arbitrary bytes never panics (it may error).
+    #[test]
+    fn codec_never_panics_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let _ = from_bytes::<Vec<(u64, Option<String>)>>(&bytes);
+        let _ = from_bytes::<String>(&bytes);
+        let _ = from_bytes::<Vec<u8>>(&bytes);
+    }
+}

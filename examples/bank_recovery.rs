@@ -1,0 +1,76 @@
+//! A bank under fire: random transfers between accounts while processes
+//! crash randomly. With the paper's Remark-1 retransmission extension
+//! enabled, no money is ever created or destroyed — the run checks the
+//! conservation invariant after every fault schedule.
+//!
+//! ```sh
+//! cargo run --example bank_recovery
+//! ```
+
+use damani_garg::apps::Bank;
+use damani_garg::core::{DgConfig, ProcessId};
+use damani_garg::harness::{oracle, run_dg, FaultPlan};
+use damani_garg::simnet::NetConfig;
+
+fn main() {
+    let n = 5;
+    let initial = 1_000u64;
+    let mut total_restarts = 0;
+    let mut total_rollbacks = 0;
+
+    for seed in 0..5u64 {
+        let plan = FaultPlan::random(n, 2, (1_000, 30_000), seed);
+        let out = run_dg(
+            n,
+            |p| Bank::new(p, n, initial, 15, 7),
+            DgConfig::fast_test()
+                .flush_every(20_000)     // optimistic: real loss on crash
+                .with_retransmit(true),  // ... repaired by retransmission
+            NetConfig::with_seed(seed + 1),
+            &plan,
+        );
+        assert!(out.stats.quiescent);
+        oracle::check(&out).expect("recovery invariants");
+
+        let balances: Vec<u64> = out.sim.actors().iter().map(|a| a.app().balance).collect();
+        let total: u64 = balances.iter().sum();
+        println!(
+            "seed {seed}: {} crash(es) at {:?} -> balances {:?} (sum {total})",
+            plan.crash_count(),
+            plan.crashes.iter().map(|c| c.at).collect::<Vec<_>>(),
+            balances,
+        );
+        assert_eq!(total, n as u64 * initial, "money must be conserved");
+        total_restarts += out.summary.restarts;
+        total_rollbacks += out.summary.rollbacks;
+    }
+    println!(
+        "\nconservation held across all runs ({total_restarts} restarts, \
+         {total_rollbacks} orphan rollbacks)"
+    );
+
+    // Show what the BASE protocol (paper Figure 4, no extension) loses:
+    // crash-lost messages may strand in-flight transfers.
+    let out = run_dg(
+        n,
+        |p| Bank::new(p, n, initial, 15, 7),
+        DgConfig::fast_test()
+            .flush_every(10_000_000) // never flush: maximal loss
+            .checkpoint_every(10_000_000),
+        NetConfig::with_seed(3),
+        &FaultPlan::single_crash(ProcessId(1), 4_000),
+    );
+    let total: u64 = out.sim.actors().iter().map(|a| a.app().balance).sum();
+    let lost: u64 = out
+        .sim
+        .actors()
+        .iter()
+        .map(|a| a.stats().log_entries_lost)
+        .sum();
+    println!(
+        "\nbase protocol, no retransmission: {lost} log entries lost, \
+         final sum {total} (vs {}) — messages lost in a failure are gone, \
+         exactly as the paper's Remark 1 says",
+        n as u64 * initial
+    );
+}

@@ -1,0 +1,82 @@
+//! The FTVC beyond recovery: weak conjunctive predicate detection.
+//!
+//! The paper notes the fault-tolerant vector clock "is of independent
+//! interest as it can also be applied to other distributed algorithms
+//! such as distributed predicate detection". This example detects the
+//! global predicate "every account is below its opening balance at the
+//! same (consistent-cut) instant" over a bank run — across a failure —
+//! using FTVC stamps collected from useful states.
+//!
+//! ```sh
+//! cargo run --example predicate_detection
+//! ```
+
+use damani_garg::core::predicate::WcpDetector;
+use damani_garg::ftvc::{Ftvc, ProcessId};
+
+fn main() {
+    // Build a small 3-process execution by hand, stamping states with
+    // FTVCs. P1 fails along the way — the detector still orders the
+    // surviving candidates correctly (Theorem 1 covers useful states).
+    let n = 3;
+    let mut p0 = Ftvc::new(ProcessId(0), n);
+    let mut p1 = Ftvc::new(ProcessId(1), n);
+    let mut p2 = Ftvc::new(ProcessId(2), n);
+    let mut detector = WcpDetector::new(n);
+
+    // Local predicate ("balance below opening") becomes true at P0.
+    detector.add_candidate(p0.clone());
+
+    // P0 -> P1 transfer; P1's predicate becomes true on receipt.
+    let m = p0.stamp_for_send();
+    p1.observe(&m);
+    detector.add_candidate(p1.clone());
+
+    // P1 fails and recovers: new incarnation. Its pre-failure candidate
+    // above was a *useful* state (it survives in the recovered lineage up
+    // to the restoration point), so it stays valid.
+    p1.restart();
+
+    // P0's predicate holds again later — after the send, so this
+    // candidate is concurrent with P1's (P1 only saw the pre-send stamp).
+    detector.add_candidate(p0.clone());
+
+    // P2's predicate becomes true independently.
+    let _ = p2.stamp_for_send();
+    detector.add_candidate(p2.clone());
+
+    match detector.detect() {
+        Some(cut) => {
+            println!("weak conjunctive predicate DETECTED; witnessing cut:");
+            for clock in &cut {
+                println!("  {} at {clock}", clock.owner());
+            }
+            // The witness is a consistent cut: pairwise concurrent.
+            for i in 0..cut.len() {
+                for j in 0..cut.len() {
+                    if i != j {
+                        assert!(!cut[i].happened_before(&cut[j]));
+                    }
+                }
+            }
+            println!("verified: all witness states are pairwise concurrent");
+        }
+        None => {
+            println!("predicate not detected on any consistent cut");
+            // In this scripted run detection must succeed:
+            unreachable!("the three candidates are pairwise concurrent");
+        }
+    }
+
+    // Counter-demonstration: make P2's candidate causally after P0's —
+    // then no consistent cut exists among single candidates.
+    let mut det2 = WcpDetector::new(2);
+    let mut a = Ftvc::new(ProcessId(0), 2);
+    let mut b = Ftvc::new(ProcessId(1), 2);
+    det2.add_candidate(a.clone());
+    let m = a.stamp_for_send();
+    b.observe(&m);
+    det2.add_candidate(b.clone());
+    assert!(det2.detect().is_none());
+    println!("\ncontrol case: causally ordered candidates correctly yield no cut");
+}

@@ -1,0 +1,107 @@
+//! A miniature Table 1: run every protocol on the same workload and
+//! fault schedule, print the measured comparison.
+//!
+//! ```sh
+//! cargo run --release --example protocol_shootout
+//! ```
+
+use damani_garg::apps::MeshChatter;
+use damani_garg::baselines::{CoordinatedProcess, PkProcess, SblProcess, SjtProcess, SyProcess};
+use damani_garg::core::{DgConfig, DgProcess, ProcessId};
+use damani_garg::harness::{dg_report, run_actors, FaultPlan, SystemSummary};
+use damani_garg::simnet::NetConfig;
+use damani_garg::storage::StorageCosts;
+
+fn main() {
+    let n = 6;
+    let chat = MeshChatter::new(4, 30, 97);
+    let plan = FaultPlan::single_crash(ProcessId(0), 2_500);
+
+    println!(
+        "{:<22} {:>8} {:>12} {:>14} {:>12}",
+        "protocol", "restarts", "rollbacks", "piggyback B/m", "blocked us"
+    );
+
+    let print = |name: &str, s: &SystemSummary| {
+        println!(
+            "{:<22} {:>8} {:>12} {:>14.1} {:>12}",
+            name, s.restarts, s.max_rollbacks_per_failure, s.mean_piggyback, s.max_recovery_blocked_us
+        );
+    };
+
+    // Damani–Garg
+    let actors: Vec<DgProcess<MeshChatter>> = (0..n as u16)
+        .map(|i| {
+            DgProcess::new(
+                ProcessId(i),
+                n,
+                chat.clone(),
+                DgConfig::base()
+                    .with_costs(StorageCosts::free())
+                    .checkpoint_every(200_000)
+                    .flush_every(30_000),
+            )
+        })
+        .collect();
+    let out = run_actors(actors, NetConfig::with_seed(7), &plan, dg_report);
+    print("Damani-Garg", &out.summary);
+
+    // Smith–Johnson–Tygar
+    let actors: Vec<SjtProcess<MeshChatter>> = (0..n as u16)
+        .map(|i| {
+            SjtProcess::new(
+                ProcessId(i),
+                n,
+                chat.clone(),
+                DgConfig::base()
+                    .with_costs(StorageCosts::free())
+                    .checkpoint_every(200_000)
+                    .flush_every(30_000),
+            )
+        })
+        .collect();
+    let out = run_actors(actors, NetConfig::with_seed(7), &plan, SjtProcess::report);
+    print("Smith-Johnson-Tygar", &out.summary);
+
+    // Strom–Yemini (FIFO required)
+    let actors: Vec<SyProcess<MeshChatter>> = (0..n as u16)
+        .map(|i| SyProcess::new(ProcessId(i), n, chat.clone(), StorageCosts::free(), 200_000, 30_000))
+        .collect();
+    let out = run_actors(actors, NetConfig::with_seed(7).fifo(true), &plan, SyProcess::report);
+    print("Strom-Yemini", &out.summary);
+
+    // Peterson–Kearns (FIFO required)
+    let actors: Vec<PkProcess<MeshChatter>> = (0..n as u16)
+        .map(|i| {
+            PkProcess::new(ProcessId(i), n, chat.clone(), StorageCosts::free(), 200_000, 30_000)
+        })
+        .collect();
+    let out = run_actors(actors, NetConfig::with_seed(7).fifo(true), &plan, PkProcess::report);
+    print("Peterson-Kearns", &out.summary);
+
+    // Johnson–Zwaenepoel
+    let actors: Vec<SblProcess<MeshChatter>> = (0..n as u16)
+        .map(|i| SblProcess::new(ProcessId(i), n, chat.clone(), StorageCosts::free(), 200_000))
+        .collect();
+    let out = run_actors(actors, NetConfig::with_seed(7), &plan, SblProcess::report);
+    print("Johnson-Zwaenepoel", &out.summary);
+
+    // Koo–Toueg
+    let actors: Vec<CoordinatedProcess<MeshChatter>> = (0..n as u16)
+        .map(|i| {
+            CoordinatedProcess::new(ProcessId(i), n, chat.clone(), StorageCosts::free(), 50_000)
+        })
+        .collect();
+    let out = run_actors(
+        actors,
+        NetConfig::with_seed(7).max_time(60_000_000),
+        &plan,
+        CoordinatedProcess::report,
+    );
+    print("Koo-Toueg coord ckpt", &out.summary);
+
+    println!(
+        "\nThe full measured reproduction (more seeds, more columns) is\n\
+         `cargo run --release -p dg-bench --bin experiments -- table1`."
+    );
+}

@@ -1,0 +1,42 @@
+//! Umbrella crate for the Damani–Garg optimistic-recovery reproduction.
+//!
+//! Re-exports the workspace's crates under one roof so examples and
+//! downstream users can depend on a single package:
+//!
+//! * [`core`] — the protocol itself ([`core::DgProcess`], the
+//!   fault-tolerant vector clock, the history mechanism);
+//! * [`simnet`] — the deterministic discrete-event simulator;
+//! * [`storage`] — the stable-storage model;
+//! * [`harness`] — fault plans, runners, the consistency oracle;
+//! * [`apps`] — ready-made piecewise-deterministic workloads;
+//! * [`baselines`] — the Table 1 comparison protocols;
+//! * [`ftvc`] — the clock substrate on its own.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use damani_garg::core::{DgConfig, ProcessId};
+//! use damani_garg::harness::{oracle, run_dg, FaultPlan};
+//! use damani_garg::apps::RingCounter;
+//! use damani_garg::simnet::NetConfig;
+//!
+//! let out = run_dg(
+//!     3,
+//!     |_| RingCounter::new(5),
+//!     DgConfig::fast_test().flush_every(100),
+//!     NetConfig::with_seed(1),
+//!     &FaultPlan::single_crash(ProcessId(1), 2_000),
+//! );
+//! assert!(out.stats.quiescent);
+//! oracle::check(&out).unwrap();
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use dg_apps as apps;
+pub use dg_baselines as baselines;
+pub use dg_core as core;
+pub use dg_ftvc as ftvc;
+pub use dg_harness as harness;
+pub use dg_simnet as simnet;
+pub use dg_storage as storage;

@@ -1,0 +1,94 @@
+//! Experiment E2: replay of **Figure 1** of the paper — the worked
+//! 3-process execution with the failure of P1 — asserting the exact
+//! boxed FTVC values, the lost/orphan classification, and the paper's
+//! closing observation that the FTVC does *not* order lost or orphan
+//! states (`r20.c < s22.c` even though `r20 not-> s22`).
+
+use damani_garg::core::{History, ProcessId, Version};
+use damani_garg::ftvc::{CausalOrder, Entry, Ftvc};
+
+#[test]
+fn figure_1_replay() {
+    // Initialization (Figure 2): own timestamp 1, everything else (0,0).
+    let mut p0 = Ftvc::new(ProcessId(0), 3);
+    let mut p1 = Ftvc::new(ProcessId(1), 3);
+    let mut p2 = Ftvc::new(ProcessId(2), 3);
+    let mut h2 = History::new(ProcessId(2), 3);
+
+    // s00: P0 at (0,1)(0,0)(0,0) sends m1 to P1.
+    let s00 = p0.clone();
+    assert_eq!(s00, Ftvc::from_parts(ProcessId(0), &[(0, 1), (0, 0), (0, 0)]));
+    let m1 = p0.stamp_for_send();
+
+    // P0 moves to (0,2)... and sends m0' to P2 (giving P2 its (0,2) entry).
+    assert_eq!(p0, Ftvc::from_parts(ProcessId(0), &[(0, 2), (0, 0), (0, 0)]));
+    let m_p0_p2 = p0.stamp_for_send();
+    assert_eq!(p0, Ftvc::from_parts(ProcessId(0), &[(0, 3), (0, 0), (0, 0)]));
+
+    // s11: P1 receives m1 -> (0,1)(0,2)(0,0)  [boxed value in the figure]
+    p1.observe(&m1);
+    let s11 = p1.clone();
+    assert_eq!(s11, Ftvc::from_parts(ProcessId(1), &[(0, 1), (0, 2), (0, 0)]));
+
+    // P1 checkpoints s11, then advances: s12 sends m3 to P2.
+    let checkpoint_p1 = s11.clone();
+    let _m2_to_p0 = p1.stamp_for_send(); // s11 -> s12 transition
+    let s12 = p1.clone();
+    assert_eq!(s12, Ftvc::from_parts(ProcessId(1), &[(0, 1), (0, 3), (0, 0)]));
+    let m3 = p1.stamp_for_send(); // sent from s12
+    let f10 = p1.clone(); // P1 fails here
+    assert_eq!(f10, Ftvc::from_parts(ProcessId(1), &[(0, 1), (0, 4), (0, 0)]));
+
+    // P2: receives P0's message (reaching s21), then m3 (reaching s22).
+    p2.observe(&m_p0_p2);
+    h2.observe_clock(&m_p0_p2);
+    let s21 = p2.clone();
+    assert_eq!(s21, Ftvc::from_parts(ProcessId(2), &[(0, 2), (0, 0), (0, 2)]));
+    p2.observe(&m3);
+    h2.observe_clock(&m3);
+    let s22 = p2.clone();
+    // The figure's boxed value for s22: (0,2)(0,3)(0,3).
+    assert_eq!(s22, Ftvc::from_parts(ProcessId(2), &[(0, 2), (0, 3), (0, 3)]));
+
+    // ---- P1 fails at f10, restores s11, recovers, restarts as r10 ----
+    let mut restored = checkpoint_p1.clone();
+    let token_entry = restored.own_entry(); // (version 0, ts 2)
+    assert_eq!(token_entry, Entry::new(0, 2));
+    restored.restart();
+    let r10 = restored.clone();
+    // The figure's boxed value for r10: (0,1)(1,0)(0,0).
+    assert_eq!(r10, Ftvc::from_parts(ProcessId(1), &[(0, 1), (1, 0), (0, 0)]));
+
+    // ---- Lost / orphan classification ----
+    // s12 and f10 are lost: their own timestamps exceed the restored ts.
+    for lost in [&s12, &f10] {
+        assert!(lost.entry(ProcessId(1)).ts > token_entry.ts);
+    }
+    // s22 is an orphan: Lemma 3's test on P2's history fires.
+    assert!(h2.orphaned_by(ProcessId(1), token_entry));
+    // s21 (before m3) is NOT an orphan.
+    let mut h2_before = History::new(ProcessId(2), 3);
+    h2_before.observe_clock(&m_p0_p2);
+    assert!(!h2_before.orphaned_by(ProcessId(1), token_entry));
+
+    // ---- P2 rolls back: restore s21, tick -> r20 ----
+    let mut p2_rb = s21.clone();
+    p2_rb.rolled_back();
+    let r20 = p2_rb;
+
+    // Happened-before claims from the text:
+    // s00 -> s11, s00 -> s22.
+    assert!(s00.happened_before(&s11));
+    assert!(s00.happened_before(&s22));
+    // s11 -> r10 (restored state precedes the recovered incarnation).
+    assert!(s11.happened_before(&r10));
+
+    // The paper's closing observation about Figure 1: r20.c < s22.c even
+    // though r20 does NOT happen before s22 — the FTVC does not order
+    // lost or orphan states (Theorem 1 covers useful states only).
+    assert_eq!(r20.causal_compare(&s22), CausalOrder::Before);
+
+    // Sanity: both final recovered clocks agree P1 is at version 1 only
+    // after hearing from it; r20 never saw version 1.
+    assert_eq!(r20.entry(ProcessId(1)).version, Version(0));
+}
