@@ -116,7 +116,8 @@ impl Application for Bank {
                 self.balance += amount;
                 self.credits += 1;
                 // Receipt is an external output: committed exactly once.
-                Effects::send(from, BankMsg::Ack { seq }).and_output(BankMsg::Transfer { amount, seq })
+                Effects::send(from, BankMsg::Ack { seq })
+                    .and_output(BankMsg::Transfer { amount, seq })
             }
             BankMsg::Ack { .. } => {
                 self.acks += 1;

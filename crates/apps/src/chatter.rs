@@ -75,10 +75,13 @@ impl Application for MeshChatter {
         let sends = (0..self.fanout)
             .map(|i| {
                 let to = self.next_peer(me, n, i as u64);
-                (to, ChatMsg {
-                    ttl: self.ttl,
-                    payload: (me.0 as u64) << 16 | i as u64,
-                })
+                (
+                    to,
+                    ChatMsg {
+                        ttl: self.ttl,
+                        payload: (me.0 as u64) << 16 | i as u64,
+                    },
+                )
             })
             .collect();
         Effects::sends(sends)
@@ -98,10 +101,13 @@ impl Application for MeshChatter {
             .wrapping_add(msg.payload ^ (from.0 as u64));
         if msg.ttl > 1 {
             let to = self.next_peer(me, n, msg.payload.wrapping_add(msg.ttl as u64));
-            Effects::send(to, ChatMsg {
-                ttl: msg.ttl - 1,
-                payload: msg.payload.wrapping_mul(31).wrapping_add(1),
-            })
+            Effects::send(
+                to,
+                ChatMsg {
+                    ttl: msg.ttl - 1,
+                    payload: msg.payload.wrapping_mul(31).wrapping_add(1),
+                },
+            )
         } else {
             Effects::none()
         }

@@ -66,11 +66,14 @@ impl Gossip {
         // spreads across the whole system.
         let stride = 1 + (ttl as u16 % (n as u16 - 1));
         let to = ProcessId((me.0 + stride) % n as u16);
-        Effects::send(to, GossipMsg {
-            sum: send_sum,
-            weight: send_weight,
-            ttl: ttl - 1,
-        })
+        Effects::send(
+            to,
+            GossipMsg {
+                sum: send_sum,
+                weight: send_weight,
+                ttl: ttl - 1,
+            },
+        )
     }
 }
 

@@ -130,7 +130,13 @@ impl Application for KvStore {
         self.next_write(me, n)
     }
 
-    fn on_message(&mut self, me: ProcessId, _from: ProcessId, msg: &KvMsg, n: usize) -> Effects<KvMsg> {
+    fn on_message(
+        &mut self,
+        me: ProcessId,
+        _from: ProcessId,
+        msg: &KvMsg,
+        n: usize,
+    ) -> Effects<KvMsg> {
         let KvMsg::Replicate {
             origin,
             seq,

@@ -89,11 +89,14 @@ impl Pipeline {
         let seq = self.next_seq;
         self.next_seq += 1;
         let to = if n > 1 { ProcessId(1) } else { ProcessId(0) };
-        Effects::send(to, PipelineMsg {
-            seq,
-            value: seq,
-            credit: false,
-        })
+        Effects::send(
+            to,
+            PipelineMsg {
+                seq,
+                value: seq,
+                credit: false,
+            },
+        )
     }
 }
 
@@ -127,22 +130,28 @@ impl Application for Pipeline {
             PipelineRole::Stage => {
                 self.forwarded += 1;
                 let next = ProcessId(me.0 + 1);
-                Effects::send(next, PipelineMsg {
-                    seq: msg.seq,
-                    value: msg.value.wrapping_mul(3).wrapping_add(1),
-                    credit: false,
-                })
+                Effects::send(
+                    next,
+                    PipelineMsg {
+                        seq: msg.seq,
+                        value: msg.value.wrapping_mul(3).wrapping_add(1),
+                        credit: false,
+                    },
+                )
             }
             PipelineRole::Sink => {
                 self.received_count += 1;
                 self.seq_sum += msg.seq;
                 self.seq_xor ^= msg.seq;
                 // Return a credit and emit a receipt output.
-                Effects::send(ProcessId(0), PipelineMsg {
-                    seq: u64::MAX,
-                    value: 0,
-                    credit: true,
-                })
+                Effects::send(
+                    ProcessId(0),
+                    PipelineMsg {
+                        seq: u64::MAX,
+                        value: 0,
+                        credit: true,
+                    },
+                )
                 .and_output(*msg)
             }
         }

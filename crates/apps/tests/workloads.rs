@@ -162,7 +162,11 @@ fn gossip_mass_is_conserved_with_retransmission() {
     let total_weight: u64 = out.sim.actors().iter().map(|a| a.app().weight).sum();
     let expected_sum: u64 = (0..n as u64).map(|i| (100 + i * 10) * dg_apps::SCALE).sum();
     assert_eq!(total_sum, expected_sum, "gossip sum mass leaked");
-    assert_eq!(total_weight, n as u64 * dg_apps::SCALE, "weight mass leaked");
+    assert_eq!(
+        total_weight,
+        n as u64 * dg_apps::SCALE,
+        "weight mass leaked"
+    );
 }
 
 #[test]
@@ -213,5 +217,8 @@ fn chatter_digests_deterministic_under_same_seed() {
         &FaultPlan::none(),
     );
     let delivered: u64 = out.sim.actors().iter().map(|a| a.app().delivered).sum();
-    assert_eq!(delivered, out.sim.actor(ProcessId(0)).app().expected_deliveries(5));
+    assert_eq!(
+        delivered,
+        out.sim.actor(ProcessId(0)).app().expected_deliveries(5)
+    );
 }

@@ -173,10 +173,13 @@ impl<A: Application> CoordinatedProcess<A> {
             } else {
                 self.sent += 1;
                 self.piggyback_bytes += 1; // the epoch tag
-                ctx.send(to, CoordWire::App {
-                    epoch: self.epoch,
-                    payload,
-                });
+                ctx.send(
+                    to,
+                    CoordWire::App {
+                        epoch: self.epoch,
+                        payload,
+                    },
+                );
             }
         }
     }
@@ -186,14 +189,22 @@ impl<A: Application> CoordinatedProcess<A> {
         for (to, payload) in queued {
             self.sent += 1;
             self.piggyback_bytes += 1;
-            ctx.send(to, CoordWire::App {
-                epoch: self.epoch,
-                payload,
-            });
+            ctx.send(
+                to,
+                CoordWire::App {
+                    epoch: self.epoch,
+                    payload,
+                },
+            );
         }
     }
 
-    fn control(&mut self, to: ProcessId, wire: CoordWire<A::Msg>, ctx: &mut Context<'_, CoordWire<A::Msg>>) {
+    fn control(
+        &mut self,
+        to: ProcessId,
+        wire: CoordWire<A::Msg>,
+        ctx: &mut Context<'_, CoordWire<A::Msg>>,
+    ) {
         self.control_messages += 1;
         self.control_bytes += 5;
         ctx.send_control(to, wire);
@@ -241,7 +252,12 @@ impl<A: Application> Actor for CoordinatedProcess<A> {
         }
     }
 
-    fn on_message(&mut self, from: ProcessId, msg: CoordWire<A::Msg>, ctx: &mut Context<'_, CoordWire<A::Msg>>) {
+    fn on_message(
+        &mut self,
+        from: ProcessId,
+        msg: CoordWire<A::Msg>,
+        ctx: &mut Context<'_, CoordWire<A::Msg>>,
+    ) {
         match msg {
             CoordWire::App { epoch, payload } => {
                 if epoch != self.epoch {
@@ -318,7 +334,8 @@ impl<A: Application> Actor for CoordinatedProcess<A> {
                 self.rollback_acks_pending -= 1;
                 if self.rollback_acks_pending == 0 {
                     // Recovery complete: resume from the line.
-                    self.recovery_blocked_us += ctx.now().saturating_since(self.recovery_started_at);
+                    self.recovery_blocked_us +=
+                        ctx.now().saturating_since(self.recovery_started_at);
                     self.paused = false;
                     let mut fresh = self.committed.latest().map(|(_, c)| c.app.clone()).unwrap();
                     let effects = fresh.on_start(self.me, self.n);

@@ -24,16 +24,16 @@
 #![warn(missing_docs)]
 
 pub mod coordinated;
-pub mod peterson_kearns;
 pub mod pessimistic;
+pub mod peterson_kearns;
 pub mod sender_based;
 pub mod sistla_welch;
 pub mod sjt;
 pub mod strom_yemini;
 
 pub use coordinated::CoordinatedProcess;
-pub use peterson_kearns::PkProcess;
 pub use pessimistic::PessimisticProcess;
+pub use peterson_kearns::PkProcess;
 pub use sender_based::SblProcess;
 pub use sistla_welch::SwProcess;
 pub use sjt::SjtProcess;

@@ -43,7 +43,13 @@ pub struct PessimisticProcess<A: Application> {
 
 impl<A: Application> PessimisticProcess<A> {
     /// Create process `me` of `n` running `app`.
-    pub fn new(me: ProcessId, n: usize, app: A, costs: StorageCosts, checkpoint_interval: u64) -> Self {
+    pub fn new(
+        me: ProcessId,
+        n: usize,
+        app: A,
+        costs: StorageCosts,
+        checkpoint_interval: u64,
+    ) -> Self {
         PessimisticProcess {
             me,
             n,
@@ -140,11 +146,8 @@ impl<A: Application> Actor for PessimisticProcess<A> {
             .map(|(id, c)| (id, c.clone()))
             .expect("initial checkpoint exists");
         self.app = ckpt.app;
-        let entries: Vec<Logged<A::Msg>> = self
-            .log
-            .live_events_from(ckpt.log_end)
-            .cloned()
-            .collect();
+        let entries: Vec<Logged<A::Msg>> =
+            self.log.live_events_from(ckpt.log_end).cloned().collect();
         for e in entries {
             // Replay with suppressed sends (originals already left).
             let _ = self.app.on_message(self.me, e.from, &e.payload, self.n);
@@ -178,7 +181,13 @@ mod tests {
                 Effects::none()
             }
         }
-        fn on_message(&mut self, me: ProcessId, _from: ProcessId, msg: &u64, n: usize) -> Effects<u64> {
+        fn on_message(
+            &mut self,
+            me: ProcessId,
+            _from: ProcessId,
+            msg: &u64,
+            n: usize,
+        ) -> Effects<u64> {
             self.seen = *msg;
             if *msg < self.hops {
                 Effects::send(ProcessId((me.0 + 1) % n as u16), msg + 1)

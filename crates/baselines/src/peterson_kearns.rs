@@ -160,7 +160,12 @@ impl<A: Application> PkProcess<A> {
             delivered: self.delivered,
             sent: self.sent,
             rollbacks: self.rollbacks,
-            max_rollbacks_per_failure: self.rollbacks_by_failure.values().copied().max().unwrap_or(0),
+            max_rollbacks_per_failure: self
+                .rollbacks_by_failure
+                .values()
+                .copied()
+                .max()
+                .unwrap_or(0),
             restarts: self.restarts,
             piggyback_bytes: self.piggyback_bytes,
             control_bytes: self.control_bytes,
@@ -171,7 +176,12 @@ impl<A: Application> PkProcess<A> {
         }
     }
 
-    fn emit(&mut self, effects: Effects<A::Msg>, ctx: &mut Context<'_, PkWire<A::Msg>>, live: bool) {
+    fn emit(
+        &mut self,
+        effects: Effects<A::Msg>,
+        ctx: &mut Context<'_, PkWire<A::Msg>>,
+        live: bool,
+    ) {
         for (to, payload) in effects.sends {
             let stamp = self.clock.stamp_for_send();
             if live {
@@ -179,13 +189,17 @@ impl<A: Application> PkProcess<A> {
                 self.next_link_seq[to.index()] += 1;
                 self.sent += 1;
                 self.piggyback_bytes +=
-                    (clockwire::encode_vector(&stamp).len() + 4 + clockwire::varint_len(link_seq)) as u64;
-                ctx.send(to, PkWire::App {
-                    inc: self.inc,
-                    link_seq,
-                    clock: stamp,
-                    payload,
-                });
+                    (clockwire::encode_vector(&stamp).len() + 4 + clockwire::varint_len(link_seq))
+                        as u64;
+                ctx.send(
+                    to,
+                    PkWire::App {
+                        inc: self.inc,
+                        link_seq,
+                        clock: stamp,
+                        payload,
+                    },
+                );
             }
         }
     }
@@ -210,7 +224,9 @@ impl<A: Application> PkProcess<A> {
 
     fn replay(&mut self, entry: &Logged<A::Msg>) {
         self.clock.observe(&entry.clock);
-        let effects = self.app.on_message(self.me, entry.from, &entry.payload, self.n);
+        let effects = self
+            .app
+            .on_message(self.me, entry.from, &entry.payload, self.n);
         // Replay never re-sends; originals already left.
         for (_, _payload) in effects.sends {
             self.clock.tick(); // keep the clock trajectory identical
@@ -228,10 +244,7 @@ impl<A: Application> PkProcess<A> {
     }
 
     fn rollback_for(&mut self, failed: ProcessId, inc: u32, restored: &VectorClock) {
-        *self
-            .rollbacks_by_failure
-            .entry((failed, inc))
-            .or_insert(0) += 1;
+        *self.rollbacks_by_failure.entry((failed, inc)).or_insert(0) += 1;
         self.rollbacks += 1;
         self.log.flush();
         let limit = restored.stamp(failed);
@@ -266,7 +279,12 @@ impl<A: Application> PkProcess<A> {
         self.clock.tick();
     }
 
-    fn handle(&mut self, from: ProcessId, wire: PkWire<A::Msg>, ctx: &mut Context<'_, PkWire<A::Msg>>) {
+    fn handle(
+        &mut self,
+        from: ProcessId,
+        wire: PkWire<A::Msg>,
+        ctx: &mut Context<'_, PkWire<A::Msg>>,
+    ) {
         match wire {
             PkWire::App {
                 inc,
@@ -281,12 +299,15 @@ impl<A: Application> PkProcess<A> {
                 }
                 if inc > self.known_inc[from.index()] || self.recovering {
                     // Token not yet seen (or we are blocked): park.
-                    self.parked.push((from, PkWire::App {
-                        inc,
-                        link_seq,
-                        clock,
-                        payload,
-                    }));
+                    self.parked.push((
+                        from,
+                        PkWire::App {
+                            inc,
+                            link_seq,
+                            clock,
+                            payload,
+                        },
+                    ));
                     return;
                 }
                 // FIFO check (diagnostic).
@@ -297,7 +318,8 @@ impl<A: Application> PkProcess<A> {
                         self.fifo_violations += 1;
                     }
                 }
-                self.last_seen_seq.insert(key, link_seq.max(last.unwrap_or(0)));
+                self.last_seen_seq
+                    .insert(key, link_seq.max(last.unwrap_or(0)));
                 self.deliver(from, clock, payload, ctx);
             }
             PkWire::Token { inc, restored } => {
@@ -346,7 +368,12 @@ impl<A: Application> Actor for PkProcess<A> {
         ctx.set_maintenance_timer(self.flush_interval, TIMER_FLUSH);
     }
 
-    fn on_message(&mut self, from: ProcessId, msg: PkWire<A::Msg>, ctx: &mut Context<'_, PkWire<A::Msg>>) {
+    fn on_message(
+        &mut self,
+        from: ProcessId,
+        msg: PkWire<A::Msg>,
+        ctx: &mut Context<'_, PkWire<A::Msg>>,
+    ) {
         self.handle(from, msg, ctx);
     }
 
@@ -384,11 +411,8 @@ impl<A: Application> Actor for PkProcess<A> {
             .expect("initial checkpoint exists");
         self.app = ckpt.app;
         self.clock.restore_from(&ckpt.clock);
-        let entries: Vec<Logged<A::Msg>> = self
-            .log
-            .live_events_from(ckpt.log_end)
-            .cloned()
-            .collect();
+        let entries: Vec<Logged<A::Msg>> =
+            self.log.live_events_from(ckpt.log_end).cloned().collect();
         for e in &entries {
             self.replay(e);
         }
@@ -399,8 +423,8 @@ impl<A: Application> Actor for PkProcess<A> {
         self.acks_pending = self.n - 1;
         self.recovery_started_at = ctx.now();
         self.control_messages += (self.n - 1) as u64;
-        self.control_bytes += (self.n - 1) as u64
-            * (4 + clockwire::encode_vector(&self.clock).len() as u64);
+        self.control_bytes +=
+            (self.n - 1) as u64 * (4 + clockwire::encode_vector(&self.clock).len() as u64);
         ctx.broadcast_control(PkWire::Token {
             inc: self.inc,
             restored: self.clock.clone(),

@@ -114,7 +114,13 @@ pub struct SblProcess<A: Application> {
 
 impl<A: Application> SblProcess<A> {
     /// Create process `me` of `n` running `app`.
-    pub fn new(me: ProcessId, n: usize, app: A, costs: StorageCosts, checkpoint_interval: u64) -> Self {
+    pub fn new(
+        me: ProcessId,
+        n: usize,
+        app: A,
+        costs: StorageCosts,
+        checkpoint_interval: u64,
+    ) -> Self {
         SblProcess {
             me,
             n,
@@ -172,7 +178,12 @@ impl<A: Application> SblProcess<A> {
         }
     }
 
-    fn emit(&mut self, effects: Effects<A::Msg>, ctx: &mut Context<'_, SblWire<A::Msg>>, live: bool) {
+    fn emit(
+        &mut self,
+        effects: Effects<A::Msg>,
+        ctx: &mut Context<'_, SblWire<A::Msg>>,
+        live: bool,
+    ) {
         for (to, payload) in effects.sends {
             let ssn = self.next_ssn;
             self.next_ssn += 1;
@@ -326,7 +337,12 @@ impl<A: Application> Actor for SblProcess<A> {
         ctx.set_maintenance_timer(self.checkpoint_interval, TIMER_CHECKPOINT);
     }
 
-    fn on_message(&mut self, from: ProcessId, msg: SblWire<A::Msg>, ctx: &mut Context<'_, SblWire<A::Msg>>) {
+    fn on_message(
+        &mut self,
+        from: ProcessId,
+        msg: SblWire<A::Msg>,
+        ctx: &mut Context<'_, SblWire<A::Msg>>,
+    ) {
         self.handle_wire(from, msg, ctx);
     }
 

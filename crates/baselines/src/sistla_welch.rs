@@ -185,18 +185,25 @@ impl<A: Application> SwProcess<A> {
         }
     }
 
-    fn emit(&mut self, effects: Effects<A::Msg>, ctx: &mut Context<'_, SwWire<A::Msg>>, live: bool) {
+    fn emit(
+        &mut self,
+        effects: Effects<A::Msg>,
+        ctx: &mut Context<'_, SwWire<A::Msg>>,
+        live: bool,
+    ) {
         for (to, payload) in effects.sends {
             let stamp = self.clock.stamp_for_send();
             if live {
                 self.sent += 1;
-                self.piggyback_bytes +=
-                    (clockwire::encode_vector(&stamp).len() + 4) as u64;
-                ctx.send(to, SwWire::App {
-                    session: self.session,
-                    clock: stamp,
-                    payload,
-                });
+                self.piggyback_bytes += (clockwire::encode_vector(&stamp).len() + 4) as u64;
+                ctx.send(
+                    to,
+                    SwWire::App {
+                        session: self.session,
+                        clock: stamp,
+                        payload,
+                    },
+                );
             }
         }
     }
@@ -221,7 +228,9 @@ impl<A: Application> SwProcess<A> {
 
     fn replay(&mut self, entry: &Logged<A::Msg>) {
         self.clock.observe(&entry.clock);
-        let effects = self.app.on_message(self.me, entry.from, &entry.payload, self.n);
+        let effects = self
+            .app
+            .on_message(self.me, entry.from, &entry.payload, self.n);
         for _ in effects.sends {
             self.clock.tick();
         }
@@ -277,13 +286,24 @@ impl<A: Application> SwProcess<A> {
         self.clock.tick();
     }
 
-    fn control(&mut self, to: ProcessId, bytes: u64, wire: SwWire<A::Msg>, ctx: &mut Context<'_, SwWire<A::Msg>>) {
+    fn control(
+        &mut self,
+        to: ProcessId,
+        bytes: u64,
+        wire: SwWire<A::Msg>,
+        ctx: &mut Context<'_, SwWire<A::Msg>>,
+    ) {
         self.control_messages += 1;
         self.control_bytes += bytes;
         ctx.send_control(to, wire);
     }
 
-    fn handle(&mut self, from: ProcessId, wire: SwWire<A::Msg>, ctx: &mut Context<'_, SwWire<A::Msg>>) {
+    fn handle(
+        &mut self,
+        from: ProcessId,
+        wire: SwWire<A::Msg>,
+        ctx: &mut Context<'_, SwWire<A::Msg>>,
+    ) {
         match wire {
             SwWire::App {
                 session,
@@ -295,11 +315,14 @@ impl<A: Application> SwProcess<A> {
                     return;
                 }
                 if session > self.known_session[from.index()] || self.collecting {
-                    self.parked.push((from, SwWire::App {
-                        session,
-                        clock,
-                        payload,
-                    }));
+                    self.parked.push((
+                        from,
+                        SwWire::App {
+                            session,
+                            clock,
+                            payload,
+                        },
+                    ));
                     return;
                 }
                 self.deliver(from, clock, payload, ctx);
@@ -334,10 +357,7 @@ impl<A: Application> SwProcess<A> {
                     // covers (they reported the min already), and nothing
                     // beyond our own restored stamp survives anyway.
                     let line = self.clock.stamp(self.me).max(self.min_line);
-                    let wire = SwWire::SessionClose {
-                        session,
-                        line,
-                    };
+                    let wire = SwWire::SessionClose { session, line };
                     for p in dg_ftvc::ProcessId::all(self.n) {
                         if p != self.me {
                             self.control(p, 12, wire.clone(), ctx);
@@ -375,7 +395,12 @@ impl<A: Application> Actor for SwProcess<A> {
         ctx.set_maintenance_timer(self.flush_interval, TIMER_FLUSH);
     }
 
-    fn on_message(&mut self, from: ProcessId, msg: SwWire<A::Msg>, ctx: &mut Context<'_, SwWire<A::Msg>>) {
+    fn on_message(
+        &mut self,
+        from: ProcessId,
+        msg: SwWire<A::Msg>,
+        ctx: &mut Context<'_, SwWire<A::Msg>>,
+    ) {
         self.handle(from, msg, ctx);
     }
 
@@ -413,11 +438,8 @@ impl<A: Application> Actor for SwProcess<A> {
             .expect("initial checkpoint exists");
         self.app = ckpt.app;
         self.clock.restore_from(&ckpt.clock);
-        let entries: Vec<Logged<A::Msg>> = self
-            .log
-            .live_events_from(ckpt.log_end)
-            .cloned()
-            .collect();
+        let entries: Vec<Logged<A::Msg>> =
+            self.log.live_events_from(ckpt.log_end).cloned().collect();
         for e in &entries {
             self.replay(e);
         }

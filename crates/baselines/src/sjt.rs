@@ -118,10 +118,8 @@ impl<A: Application> SjtProcess<A> {
             });
             if let Some(existing) = row.get_mut(&entry.version) {
                 if existing.entry(j) < entry {
-                    let mut parts: Vec<(u32, u64)> = existing
-                        .iter()
-                        .map(|(_, e)| (e.version.0, e.ts))
-                        .collect();
+                    let mut parts: Vec<(u32, u64)> =
+                        existing.iter().map(|(_, e)| (e.version.0, e.ts)).collect();
                     parts[j.index()] = (entry.version.0, entry.ts);
                     *existing = Ftvc::from_parts(j, &parts);
                 }
@@ -155,7 +153,12 @@ impl<A: Application> Actor for SjtProcess<A> {
         self.metered(|inner| inner.on_start(ctx));
     }
 
-    fn on_message(&mut self, from: ProcessId, msg: Wire<A::Msg>, ctx: &mut Context<'_, Wire<A::Msg>>) {
+    fn on_message(
+        &mut self,
+        from: ProcessId,
+        msg: Wire<A::Msg>,
+        ctx: &mut Context<'_, Wire<A::Msg>>,
+    ) {
         match &msg {
             Wire::App(env) | Wire::Resend(env) => self.absorb_clock(&env.clock.clone()),
             Wire::Token(token) => {
@@ -163,7 +166,7 @@ impl<A: Application> Actor for SjtProcess<A> {
                     self.absorb_clock(&clock.clone());
                 }
             }
-            Wire::Frontier(..) => {}
+            Wire::TokenAck(_) | Wire::Frontier(..) => {}
         }
         self.metered(|inner| inner.on_message(from, msg, ctx));
     }
@@ -208,7 +211,13 @@ mod tests {
                 Effects::none()
             }
         }
-        fn on_message(&mut self, me: ProcessId, _from: ProcessId, msg: &u64, n: usize) -> Effects<u64> {
+        fn on_message(
+            &mut self,
+            me: ProcessId,
+            _from: ProcessId,
+            msg: &u64,
+            n: usize,
+        ) -> Effects<u64> {
             self.seen = *msg;
             if *msg < self.hops {
                 Effects::send(ProcessId((me.0 + 1) % n as u16), msg + 1)
@@ -248,7 +257,11 @@ mod tests {
         assert_eq!(sim.actor(ProcessId(1)).report().restarts, 1);
         // The matrix piggyback dwarfs a single FTVC: at least n times the
         // DG bytes on the same traffic.
-        let sjt_bytes: u64 = sim.actors().iter().map(|a| a.report().piggyback_bytes).sum();
+        let sjt_bytes: u64 = sim
+            .actors()
+            .iter()
+            .map(|a| a.report().piggyback_bytes)
+            .sum();
         let dg_bytes: u64 = sim
             .actors()
             .iter()
@@ -268,7 +281,12 @@ mod tests {
         let stats = sim.run();
         assert!(stats.quiescent);
         // Some process's matrix must cover multiple incarnations of P1.
-        let max_entries = sim.actors().iter().map(|a| a.matrix_entries()).max().unwrap();
+        let max_entries = sim
+            .actors()
+            .iter()
+            .map(|a| a.matrix_entries())
+            .max()
+            .unwrap();
         assert!(
             max_entries > 3 * 3,
             "matrix should exceed one row per process after repeated failures: {max_entries}"

@@ -183,17 +183,25 @@ impl<A: Application> SyProcess<A> {
             .sum()
     }
 
-    fn emit(&mut self, effects: Effects<A::Msg>, ctx: &mut Context<'_, SyWire<A::Msg>>, live: bool) {
+    fn emit(
+        &mut self,
+        effects: Effects<A::Msg>,
+        ctx: &mut Context<'_, SyWire<A::Msg>>,
+        live: bool,
+    ) {
         for (to, payload) in effects.sends {
             // Sending creates a new state interval.
             self.dv[self.me.index()].ts += 1;
             if live {
                 self.sent += 1;
                 self.piggyback_bytes += Self::dv_bytes(&self.dv);
-                ctx.send(to, SyWire::App {
-                    dv: self.dv.clone(),
-                    payload,
-                });
+                ctx.send(
+                    to,
+                    SyWire::App {
+                        dv: self.dv.clone(),
+                        payload,
+                    },
+                );
             }
         }
     }
@@ -201,9 +209,9 @@ impl<A: Application> SyProcess<A> {
     /// `true` iff the carried dependency vector names a state interval an
     /// announcement already declared lost.
     fn dv_is_obsolete(&self, dv: &[Entry]) -> bool {
-        dv.iter().enumerate().any(|(j, e)| {
-            matches!(self.table[j].get(&e.version), Some(&end) if e.ts > end)
-        })
+        dv.iter()
+            .enumerate()
+            .any(|(j, e)| matches!(self.table[j].get(&e.version), Some(&end) if e.ts > end))
     }
 
     fn deliver(
@@ -234,7 +242,9 @@ impl<A: Application> SyProcess<A> {
         let mine = &mut self.dv[entry.from.index()];
         *mine = (*mine).max(entry.sender_entry);
         self.dv[self.me.index()].ts += 1;
-        let effects = self.app.on_message(self.me, entry.from, &entry.payload, self.n);
+        let effects = self
+            .app
+            .on_message(self.me, entry.from, &entry.payload, self.n);
         for _ in effects.sends {
             self.dv[self.me.index()].ts += 1;
         }
@@ -306,7 +316,13 @@ impl<A: Application> SyProcess<A> {
         self.announce(old_inc, survived_idx, root, ctx);
     }
 
-    fn announce(&mut self, inc: u32, end_idx: u64, root: RootFailure, ctx: &mut Context<'_, SyWire<A::Msg>>) {
+    fn announce(
+        &mut self,
+        inc: u32,
+        end_idx: u64,
+        root: RootFailure,
+        ctx: &mut Context<'_, SyWire<A::Msg>>,
+    ) {
         self.control_messages += (self.n - 1) as u64;
         self.control_bytes += (self.n - 1) as u64 * 12;
         ctx.broadcast_control(SyWire::Announce {
@@ -317,7 +333,12 @@ impl<A: Application> SyProcess<A> {
         });
     }
 
-    fn handle(&mut self, from: ProcessId, wire: SyWire<A::Msg>, ctx: &mut Context<'_, SyWire<A::Msg>>) {
+    fn handle(
+        &mut self,
+        from: ProcessId,
+        wire: SyWire<A::Msg>,
+        ctx: &mut Context<'_, SyWire<A::Msg>>,
+    ) {
         match wire {
             SyWire::App { dv, payload } => {
                 // Park messages from incarnations we have not heard of.
@@ -367,7 +388,12 @@ impl<A: Application> Actor for SyProcess<A> {
         ctx.set_maintenance_timer(self.flush_interval, TIMER_FLUSH);
     }
 
-    fn on_message(&mut self, from: ProcessId, msg: SyWire<A::Msg>, ctx: &mut Context<'_, SyWire<A::Msg>>) {
+    fn on_message(
+        &mut self,
+        from: ProcessId,
+        msg: SyWire<A::Msg>,
+        ctx: &mut Context<'_, SyWire<A::Msg>>,
+    ) {
         self.handle(from, msg, ctx);
     }
 
@@ -402,11 +428,8 @@ impl<A: Application> Actor for SyProcess<A> {
             .expect("initial checkpoint exists");
         self.app = ckpt.app;
         self.dv = ckpt.dv.clone();
-        let entries: Vec<Logged<A::Msg>> = self
-            .log
-            .live_events_from(ckpt.log_end)
-            .cloned()
-            .collect();
+        let entries: Vec<Logged<A::Msg>> =
+            self.log.live_events_from(ckpt.log_end).cloned().collect();
         for e in &entries {
             self.replay(e);
         }

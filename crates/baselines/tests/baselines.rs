@@ -37,7 +37,12 @@ fn sender_based_recovers_exactly_and_blocks() {
     let stats = sim.run();
     assert!(stats.quiescent);
     // The ring completes: the senders' logs recover everything.
-    let max = sim.actors().iter().map(|a| a.app().high_water).max().unwrap();
+    let max = sim
+        .actors()
+        .iter()
+        .map(|a| a.app().high_water)
+        .max()
+        .unwrap();
     assert_eq!(max, 30, "sender-based recovery lost the ring token");
     let r = sim.actor(ProcessId(1)).report();
     assert_eq!(r.restarts, 1);
@@ -111,8 +116,15 @@ fn coordinated_rolls_everyone_to_the_line() {
         assert_eq!(r.rollbacks, 1, "P{i} should roll back to the line");
     }
     // Work since the last committed line was discarded somewhere.
-    let undone: u64 = sim.actors().iter().map(|a| a.report().deliveries_undone).sum();
-    assert!(undone > 0, "coordinated rollback must lose the work since the line");
+    let undone: u64 = sim
+        .actors()
+        .iter()
+        .map(|a| a.report().deliveries_undone)
+        .sum();
+    assert!(
+        undone > 0,
+        "coordinated rollback must lose the work since the line"
+    );
     // The failed process's recovery blocked on the rollback round.
     assert!(sim.actor(ProcessId(2)).report().recovery_blocked_us > 0);
 }
@@ -145,7 +157,10 @@ fn peterson_kearns_single_rollback_but_blocking() {
     assert!(stats.quiescent);
     for a in sim.actors() {
         let r = a.report();
-        assert!(r.max_rollbacks_per_failure <= 1, "PK rolls back at most once");
+        assert!(
+            r.max_rollbacks_per_failure <= 1,
+            "PK rolls back at most once"
+        );
         assert_eq!(a.fifo_violations, 0, "FIFO net must show no violations");
     }
     let r = sim.actor(ProcessId(1)).report();
@@ -160,8 +175,10 @@ fn peterson_kearns_single_rollback_but_blocking() {
 fn peterson_kearns_fifo_assumption_is_load_bearing() {
     // On a deliberately reordering network the per-link sequence check
     // trips, demonstrating why Table 1 lists FIFO as an assumption.
-    let net = NetConfig::with_seed(13)
-        .delay_model(DelayModel::Uniform { min: 1, max: 20_000 });
+    let net = NetConfig::with_seed(13).delay_model(DelayModel::Uniform {
+        min: 1,
+        max: 20_000,
+    });
     let mut sim = Sim::new(net, pk_actors(4, MeshChatter::new(4, 20, 3)));
     let stats = sim.run();
     assert!(stats.quiescent);
@@ -275,7 +292,10 @@ fn sistla_welch_single_rollback_blocking_recovery() {
     assert!(stats.quiescent);
     for a in sim.actors() {
         let r = a.report();
-        assert!(r.max_rollbacks_per_failure <= 1, "SW rolls back at most once");
+        assert!(
+            r.max_rollbacks_per_failure <= 1,
+            "SW rolls back at most once"
+        );
     }
     let r = sim.actor(ProcessId(1)).report();
     assert_eq!(r.restarts, 1);

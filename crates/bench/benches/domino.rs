@@ -18,9 +18,7 @@ fn bench_domino(c: &mut Criterion) {
     group.bench_with_input(BenchmarkId::new("strom_yemini", n), &n, |b, &n| {
         b.iter(|| {
             let actors: Vec<SyProcess<MeshChatter>> = ProcessId::all(n)
-                .map(|p| {
-                    SyProcess::new(p, n, chat.clone(), StorageCosts::free(), 200_000, 30_000)
-                })
+                .map(|p| SyProcess::new(p, n, chat.clone(), StorageCosts::free(), 200_000, 30_000))
                 .collect();
             let mut sim = Sim::new(
                 NetConfig::with_seed(3).fifo(true).max_time(60_000_000),

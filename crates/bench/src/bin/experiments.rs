@@ -2,9 +2,11 @@
 //!
 //! ```text
 //! experiments [all|table1|rollbacks|piggyback|asynchrony|concurrent|
-//!              ordering|overhead|optimism|domino|maxstate|commit|gc]
+//!              ordering|overhead|optimism|domino|maxstate|commit|gc|lossy]
 //!             [--quick]
 //! ```
+//!
+//! Exits non-zero if any run violates the consistency oracle.
 
 use dg_bench::*;
 
@@ -41,7 +43,11 @@ fn main() {
     }
     if run("piggyback") {
         println!("== E1b: piggyback bytes per message vs n (f=2 failures) ==\n");
-        let ns: &[usize] = if quick { &[4, 8, 16] } else { &[2, 4, 8, 16, 32] };
+        let ns: &[usize] = if quick {
+            &[4, 8, 16]
+        } else {
+            &[2, 4, 8, 16, 32]
+        };
         show(&piggyback_scaling(ns, 2));
     }
     if run("asynchrony") {
@@ -83,12 +89,28 @@ fn main() {
     }
     if run("commit") {
         println!("== E10 (ablation): output-commit latency vs gossip interval ==\n");
-        let intervals: &[u64] = if quick { &[2_000, 50_000] } else { &[1_000, 5_000, 20_000, 100_000] };
+        let intervals: &[u64] = if quick {
+            &[2_000, 50_000]
+        } else {
+            &[1_000, 5_000, 20_000, 100_000]
+        };
         show(&output_commit_ablation(intervals));
     }
     if run("gc") {
         println!("== E11 (ablation): garbage collection bounds storage ==\n");
         let lengths: &[u64] = if quick { &[20, 80] } else { &[20, 40, 80, 160] };
         show(&gc_ablation(lengths));
+    }
+    let mut violations = 0u64;
+    if run("lossy") {
+        println!("== E12: recovery over a lossy control plane ==");
+        println!("   loss applied to every channel (tokens and acks included)\n");
+        let (t, v) = lossy(n.min(6), seeds);
+        show(&t);
+        violations += v;
+    }
+    if violations > 0 {
+        eprintln!("oracle violations detected: {violations}");
+        std::process::exit(1);
     }
 }

@@ -4,7 +4,7 @@ use dg_apps::MeshChatter;
 use dg_baselines::SyProcess;
 use dg_core::{DgConfig, ProcessId, Version};
 use dg_ftvc::{wire as clockwire, Entry, Ftvc};
-use dg_harness::FaultPlan;
+use dg_harness::{oracle, run_dg, FaultPlan};
 use dg_simnet::{DelayModel, NetConfig, Sim};
 use dg_storage::StorageCosts;
 
@@ -225,7 +225,10 @@ pub fn concurrent_failures(n: usize, ks: &[usize]) -> TextTable {
 pub fn ordering_assumptions(n: usize) -> TextTable {
     let chat = MeshChatter::new(4, 30, 17);
     let reordering = NetConfig::with_seed(23)
-        .delay_model(DelayModel::Uniform { min: 1, max: 20_000 })
+        .delay_model(DelayModel::Uniform {
+            min: 1,
+            max: 20_000,
+        })
         .max_time(60_000_000);
     let mut t = TextTable::new(vec!["protocol", "assumes", "violations on non-FIFO net"]);
 
@@ -494,16 +497,18 @@ pub fn optimism(flush_intervals: &[u64]) -> TextTable {
 /// Worst-case rollbacks per failure as system size (and hence dependency
 /// paths) grows: Strom–Yemini cascades versus Damani–Garg's constant 1.
 pub fn domino(sizes: &[usize], seeds: u64) -> TextTable {
-    let mut t = TextTable::new(vec!["n", "SY max rollbacks/failure", "DG max rollbacks/failure"]);
+    let mut t = TextTable::new(vec![
+        "n",
+        "SY max rollbacks/failure",
+        "DG max rollbacks/failure",
+    ]);
     for &n in sizes {
         let chat = MeshChatter::new(4, 14, 21);
         let mut sy_max = 0u64;
         let mut dg_max = 0u64;
         for seed in 0..seeds {
             let actors: Vec<SyProcess<MeshChatter>> = ProcessId::all(n)
-                .map(|p| {
-                    SyProcess::new(p, n, chat.clone(), StorageCosts::free(), 200_000, 30_000)
-                })
+                .map(|p| SyProcess::new(p, n, chat.clone(), StorageCosts::free(), 200_000, 30_000))
                 .collect();
             let mut sim = Sim::new(
                 NetConfig::with_seed(seed).fifo(true).max_time(60_000_000),
@@ -622,14 +627,15 @@ pub fn output_commit_ablation(gossip_intervals: &[u64]) -> TextTable {
         let actors: Vec<DgProcess<Bank>> = ProcessId::all(n)
             .map(|p| DgProcess::new(p, n, Bank::new(p, n, 500, 20, 9), config))
             .collect();
-        let mut sim = Sim::new(
-            NetConfig::with_seed(4).max_time(2_000_000),
-            actors,
-        );
+        let mut sim = Sim::new(NetConfig::with_seed(4).max_time(2_000_000), actors);
         sim.schedule_crash(ProcessId(1), 10_000);
         sim.run();
         let emitted: u64 = sim.actors().iter().map(|a| a.stats().outputs_emitted).sum();
-        let committed: u64 = sim.actors().iter().map(|a| a.stats().outputs_committed).sum();
+        let committed: u64 = sim
+            .actors()
+            .iter()
+            .map(|a| a.stats().outputs_committed)
+            .sum();
         let control = sim.stats().control_delivered;
         t.row(vec![
             interval.to_string(),
@@ -675,7 +681,11 @@ pub fn gc_ablation(run_lengths: &[u64]) -> TextTable {
             );
             let retained_ckpts: usize = sim.actors().iter().map(|a| a.checkpoint_count()).sum();
             let retained_log: usize = sim.actors().iter().map(|a| a.log_len()).sum();
-            let taken: u64 = sim.actors().iter().map(|a| a.stats().checkpoints_taken).sum();
+            let taken: u64 = sim
+                .actors()
+                .iter()
+                .map(|a| a.stats().checkpoints_taken)
+                .sum();
             t.row(vec![
                 (n as u64 * 4 * ttl).to_string(),
                 if gc { "on" } else { "off" }.to_string(),
@@ -686,4 +696,94 @@ pub fn gc_ablation(run_lengths: &[u64]) -> TextTable {
         }
     }
     t
+}
+
+// ---------------------------------------------------------------------
+// E12 — robustness: recovery over a lossy control plane
+// ---------------------------------------------------------------------
+
+/// Sweep the loss probability applied to *every* channel — tokens and
+/// acks included — and measure what the reliable-delivery sublayer pays
+/// to keep recovery correct: retransmissions, duplicate suppressions,
+/// the backoff it reached, and time to quiescence (the recovery-latency
+/// proxy). Each cell aggregates `seeds` runs, every run with a plain
+/// crash plus a crash-during-recovery (recovery checkpoint corrupted on
+/// odd seeds). Every run is also checked against the consistency
+/// oracle; the second return value is the number of violations found
+/// (the driver exits non-zero if any).
+pub fn lossy(n: usize, seeds: u64) -> (TextTable, u64) {
+    let chat = default_chatter();
+    let mut t = TextTable::new(vec![
+        "loss prob",
+        "quiesced",
+        "ctrl dropped",
+        "token retx",
+        "acks sent",
+        "dup tokens",
+        "max backoff (us)",
+        "mean end (ms)",
+        "oracle",
+    ]);
+    let mut total_violations = 0u64;
+    for &loss in &[0.0f64, 0.05, 0.1, 0.2, 0.3] {
+        let mut quiesced = 0u64;
+        let mut ctrl_dropped = 0u64;
+        let mut retx = 0u64;
+        let mut acks = 0u64;
+        let mut dups = 0u64;
+        let mut max_backoff = 0u64;
+        let mut end_sum = 0u64;
+        let mut violations = 0u64;
+        for seed in 0..seeds {
+            let config = DgConfig::base()
+                .with_costs(StorageCosts::free())
+                .checkpoint_every(20_000)
+                .flush_every(5_000)
+                .with_reliable_tokens(true)
+                .token_retry(2_000, 64_000)
+                .with_retransmit(true);
+            let plan = FaultPlan::single_crash(ProcessId(0), 2_500).with_crash_during_recovery(
+                ProcessId(1),
+                9_000 + seed * 173,
+                2_000,
+                seed % 2 == 1,
+            );
+            let out = run_dg(
+                n,
+                |_| chat.clone(),
+                config,
+                NetConfig::with_seed(seed * 89 + 3).loss_all(loss),
+                &plan,
+            );
+            quiesced += u64::from(out.stats.quiescent);
+            ctrl_dropped += out.stats.control_dropped;
+            end_sum += out.stats.end_time.as_micros();
+            for a in out.sim.actors() {
+                retx += a.stats().token_retransmits;
+                acks += a.stats().token_acks_sent;
+                dups += a.stats().duplicate_tokens_dropped;
+                max_backoff = max_backoff.max(a.stats().max_token_backoff);
+            }
+            if let Err(v) = oracle::check(&out) {
+                violations += v.len() as u64;
+            }
+        }
+        total_violations += violations;
+        t.row(vec![
+            format!("{loss:.2}"),
+            format!("{quiesced}/{seeds}"),
+            ctrl_dropped.to_string(),
+            retx.to_string(),
+            acks.to_string(),
+            dups.to_string(),
+            max_backoff.to_string(),
+            format!("{:.1}", end_sum as f64 / seeds as f64 / 1_000.0),
+            if violations == 0 {
+                "green".to_string()
+            } else {
+                format!("{violations} VIOLATIONS")
+            },
+        ]);
+    }
+    (t, total_violations)
 }

@@ -1,9 +1,7 @@
 //! Uniform runner over all seven protocols.
 
 use dg_apps::MeshChatter;
-use dg_baselines::{
-    CoordinatedProcess, PkProcess, SblProcess, SjtProcess, SwProcess, SyProcess,
-};
+use dg_baselines::{CoordinatedProcess, PkProcess, SblProcess, SjtProcess, SwProcess, SyProcess};
 use dg_core::{DgConfig, DgProcess, ProcessId};
 use dg_harness::{dg_report, run_actors, FaultPlan, SystemSummary};
 use dg_simnet::{NetConfig, RunStats, Sim};
@@ -172,9 +170,7 @@ pub fn run_protocol(
         }
         Protocol::SenderBased => {
             let actors: Vec<SblProcess<MeshChatter>> = ProcessId::all(n)
-                .map(|p| {
-                    SblProcess::new(p, n, chat.clone(), cfg.costs, cfg.checkpoint_interval)
-                })
+                .map(|p| SblProcess::new(p, n, chat.clone(), cfg.costs, cfg.checkpoint_interval))
                 .collect();
             let out = run_actors(actors, net, plan, |a| a.report());
             ExpRun {

@@ -126,6 +126,9 @@ mod tests {
         assert!(!e.is_empty());
         assert!(Effects::<u32>::none().is_empty());
         assert_eq!(Effects::<u32>::output(9).outputs, vec![9]);
-        assert_eq!(Effects::<u32>::sends(vec![(ProcessId(0), 1)]).sends.len(), 1);
+        assert_eq!(
+            Effects::<u32>::sends(vec![(ProcessId(0), 1)]).sends.len(),
+            1
+        );
     }
 }

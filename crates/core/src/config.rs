@@ -25,6 +25,18 @@ pub struct DgConfig {
     /// gossiped global stability frontier proves unnecessary (paper,
     /// Remark 2 / Wang et al.). Requires `gossip_interval`.
     pub garbage_collect: bool,
+    /// Reliable token delivery: acknowledge every received token and
+    /// retransmit unacknowledged tokens with exponential backoff. The
+    /// paper assumes a reliable control plane; this sublayer *implements*
+    /// that assumption over lossy channels, so it is off in the base
+    /// configuration and required whenever the network drops control
+    /// messages.
+    pub reliable_tokens: bool,
+    /// Initial retransmission timeout for unacknowledged tokens
+    /// (microseconds). Doubles on every retry.
+    pub token_retry_timeout: u64,
+    /// Upper bound on the exponential backoff (microseconds).
+    pub token_backoff_cap: u64,
 }
 
 impl DgConfig {
@@ -38,6 +50,9 @@ impl DgConfig {
             retransmit_lost: false,
             gossip_interval: None,
             garbage_collect: false,
+            reliable_tokens: false,
+            token_retry_timeout: 2_000,
+            token_backoff_cap: 64_000,
         }
     }
 
@@ -94,6 +109,28 @@ impl DgConfig {
         self.garbage_collect = on;
         self
     }
+
+    /// Builder-style reliable-token toggle.
+    #[must_use]
+    pub fn with_reliable_tokens(mut self, on: bool) -> DgConfig {
+        self.reliable_tokens = on;
+        self
+    }
+
+    /// Builder-style token retransmission timing: initial retry timeout
+    /// and backoff cap, both in microseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initial` is zero or `cap < initial`.
+    #[must_use]
+    pub fn token_retry(mut self, initial: u64, cap: u64) -> DgConfig {
+        assert!(initial > 0, "retry timeout must be positive");
+        assert!(cap >= initial, "backoff cap below initial timeout");
+        self.token_retry_timeout = initial;
+        self.token_backoff_cap = cap;
+        self
+    }
 }
 
 impl Default for DgConfig {
@@ -129,5 +166,22 @@ mod tests {
         assert!(!c.retransmit_lost);
         assert!(c.gossip_interval.is_none());
         assert!(!c.garbage_collect);
+        assert!(!c.reliable_tokens);
+    }
+
+    #[test]
+    fn token_retry_builder() {
+        let c = DgConfig::base()
+            .with_reliable_tokens(true)
+            .token_retry(500, 8_000);
+        assert!(c.reliable_tokens);
+        assert_eq!(c.token_retry_timeout, 500);
+        assert_eq!(c.token_backoff_cap, 8_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "backoff cap below initial timeout")]
+    fn token_retry_validates_cap() {
+        let _ = DgConfig::base().token_retry(1_000, 10);
     }
 }

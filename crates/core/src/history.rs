@@ -70,10 +70,13 @@ impl History {
         let mut tables = vec![BTreeMap::new(); n];
         for (j, table) in tables.iter_mut().enumerate() {
             let ts = if j == me.index() { 1 } else { 0 };
-            table.insert(Version::ZERO, HistoryRecord {
-                kind: RecordKind::Message,
-                ts,
-            });
+            table.insert(
+                Version::ZERO,
+                HistoryRecord {
+                    kind: RecordKind::Message,
+                    ts,
+                },
+            );
         }
         History { tables }
     }
@@ -114,10 +117,13 @@ impl History {
                 }
             },
             None => {
-                table.insert(entry.version, HistoryRecord {
-                    kind: RecordKind::Message,
-                    ts: entry.ts,
-                });
+                table.insert(
+                    entry.version,
+                    HistoryRecord {
+                        kind: RecordKind::Message,
+                        ts: entry.ts,
+                    },
+                );
             }
         }
     }
@@ -133,10 +139,13 @@ impl History {
     /// Record a token `(v, t)` from process `j` (Figure 3, *Receive
     /// token*). Replaces any message record for that version.
     pub fn record_token(&mut self, j: ProcessId, entry: Entry) {
-        self.tables[j.index()].insert(entry.version, HistoryRecord {
-            kind: RecordKind::Token,
-            ts: entry.ts,
-        });
+        self.tables[j.index()].insert(
+            entry.version,
+            HistoryRecord {
+                kind: RecordKind::Token,
+                ts: entry.ts,
+            },
+        );
     }
 
     /// Lemma 4 — the obsolete-message test: `true` iff some component
@@ -169,7 +178,10 @@ impl History {
         let mut v = 0u32;
         while matches!(
             table.get(&Version(v)),
-            Some(HistoryRecord { kind: RecordKind::Token, .. })
+            Some(HistoryRecord {
+                kind: RecordKind::Token,
+                ..
+            })
         ) {
             v += 1;
         }
@@ -208,11 +220,17 @@ mod tests {
         let h = History::new(ProcessId(1), 3);
         assert_eq!(
             h.record(ProcessId(0), Version(0)),
-            Some(HistoryRecord { kind: RecordKind::Message, ts: 0 })
+            Some(HistoryRecord {
+                kind: RecordKind::Message,
+                ts: 0
+            })
         );
         assert_eq!(
             h.record(ProcessId(1), Version(0)),
-            Some(HistoryRecord { kind: RecordKind::Message, ts: 1 })
+            Some(HistoryRecord {
+                kind: RecordKind::Message,
+                ts: 1
+            })
         );
         assert_eq!(h.total_records(), 3);
     }
@@ -244,7 +262,10 @@ mod tests {
         h.record_token(ProcessId(1), entry(0, 3));
         assert_eq!(
             h.record(ProcessId(1), Version(0)),
-            Some(HistoryRecord { kind: RecordKind::Token, ts: 3 })
+            Some(HistoryRecord {
+                kind: RecordKind::Token,
+                ts: 3
+            })
         );
     }
 
@@ -258,7 +279,10 @@ mod tests {
         h.record_message_entry(ProcessId(1), entry(0, 2)); // passes obsolete test
         assert_eq!(
             h.record(ProcessId(1), Version(0)),
-            Some(HistoryRecord { kind: RecordKind::Token, ts: 3 })
+            Some(HistoryRecord {
+                kind: RecordKind::Token,
+                ts: 3
+            })
         );
         // The later obsolete message is still detected.
         let obsolete_clock = Ftvc::from_parts(ProcessId(1), &[(0, 0), (0, 7)]);
@@ -343,9 +367,24 @@ mod tests {
         h.record_token(ProcessId(1), entry(0, 3));
         h.record_message_entry(ProcessId(1), entry(1, 1));
         let row: Vec<_> = h.records_for(ProcessId(1)).collect();
-        assert_eq!(row, vec![
-            (Version(0), HistoryRecord { kind: RecordKind::Token, ts: 3 }),
-            (Version(1), HistoryRecord { kind: RecordKind::Message, ts: 1 }),
-        ]);
+        assert_eq!(
+            row,
+            vec![
+                (
+                    Version(0),
+                    HistoryRecord {
+                        kind: RecordKind::Token,
+                        ts: 3
+                    }
+                ),
+                (
+                    Version(1),
+                    HistoryRecord {
+                        kind: RecordKind::Message,
+                        ts: 1
+                    }
+                ),
+            ]
+        );
     }
 }

@@ -96,6 +96,12 @@ pub enum Wire<M> {
     App(Envelope<M>),
     /// A recovery token.
     Token(Token),
+    /// Acknowledgement of a recovery token, addressed to the token's
+    /// originator (the reliable-delivery sublayer). `entry` names the
+    /// acknowledged token — token identity is `(originator, version)`,
+    /// and the restoration timestamp rides along for the exact match.
+    /// The acknowledging process is the transport-level sender.
+    TokenAck(Entry),
     /// A retransmitted application message (send-history extension). The
     /// receiver deduplicates by [`Envelope::id`].
     Resend(Envelope<M>),
@@ -143,8 +149,14 @@ mod tests {
     #[test]
     fn distinct_sends_have_distinct_ids() {
         let mut c = Ftvc::new(ProcessId(0), 2);
-        let a = Envelope { payload: (), clock: c.stamp_for_send() };
-        let b = Envelope { payload: (), clock: c.stamp_for_send() };
+        let a = Envelope {
+            payload: (),
+            clock: c.stamp_for_send(),
+        };
+        let b = Envelope {
+            payload: (),
+            clock: c.stamp_for_send(),
+        };
         assert_ne!(a.id(), b.id());
     }
 
@@ -169,6 +181,9 @@ mod tests {
             ..t.clone()
         };
         assert!(t.wire_bytes() < with_clock.wire_bytes());
-        assert_eq!(t.wire_bytes(), wire::token_wire_len(ProcessId(2), Entry::new(0, 300)));
+        assert_eq!(
+            t.wire_bytes(),
+            wire::token_wire_len(ProcessId(2), Entry::new(0, 300))
+        );
     }
 }

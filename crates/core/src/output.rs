@@ -40,7 +40,12 @@ pub struct PendingOutput<M> {
 
 /// `true` iff dependency `dep` on process `j` is stable given `j`'s
 /// gossiped frontier and the local history's token records.
-pub(crate) fn entry_is_stable(dep: Entry, frontier: Entry, history: &History, j: ProcessId) -> bool {
+pub(crate) fn entry_is_stable(
+    dep: Entry,
+    frontier: Entry,
+    history: &History,
+    j: ProcessId,
+) -> bool {
     use std::cmp::Ordering;
     match dep.version.cmp(&frontier.version) {
         Ordering::Equal => dep.ts <= frontier.ts,

@@ -3,7 +3,7 @@
 use std::collections::HashSet;
 
 use dg_ftvc::{Entry, Ftvc, ProcessId, Version};
-use dg_simnet::{Actor, Context};
+use dg_simnet::{Actor, Context, FaultKind};
 use dg_storage::{CheckpointStore, EventLog, LogPos, SendLog};
 
 use crate::app::{Application, Effects};
@@ -22,8 +22,13 @@ pub mod timers {
     pub const FLUSH: u32 = 2;
     /// Broadcast the stability frontier (output commit / GC).
     pub const GOSSIP: u32 = 3;
+    /// Retransmit unacknowledged recovery tokens (reliable delivery).
+    pub const TOKEN_RETRY: u32 = 4;
 }
-use timers::{CHECKPOINT as TIMER_CHECKPOINT, FLUSH as TIMER_FLUSH, GOSSIP as TIMER_GOSSIP};
+use timers::{
+    CHECKPOINT as TIMER_CHECKPOINT, FLUSH as TIMER_FLUSH, GOSSIP as TIMER_GOSSIP,
+    TOKEN_RETRY as TIMER_TOKEN_RETRY,
+};
 
 /// One entry of the unified stable log: received application messages
 /// (flushed asynchronously) and received tokens (logged synchronously).
@@ -46,6 +51,23 @@ struct Checkpoint<A> {
     /// state could double-accept a retransmission it already absorbed
     /// before the checkpoint (found by the conservation fuzz tests).
     received_ids: HashSet<crate::message::MsgId>,
+}
+
+/// One of this process's own recovery tokens still awaiting
+/// acknowledgement from some peers (reliable-delivery sublayer). Kept
+/// with the stable state: it is metadata about a token that is already
+/// durably implied by the restoration record, so a crash must not erase
+/// the obligation to keep retransmitting it.
+#[derive(Debug, Clone)]
+struct PendingToken {
+    token: Token,
+    /// Peers that have not acknowledged this token yet.
+    unacked: Vec<ProcessId>,
+    /// Absolute time of the next retransmission.
+    next_retry: u64,
+    /// Current retransmission timeout; doubles per retry, capped at
+    /// [`DgConfig::token_backoff_cap`].
+    backoff: u64,
 }
 
 /// A process running the Damani–Garg optimistic recovery protocol around
@@ -78,6 +100,9 @@ pub struct DgProcess<A: Application> {
     // ---- stable state (survives crashes) ----
     checkpoints: CheckpointStore<Checkpoint<A>>,
     log: EventLog<LogEvent<A::Msg>>,
+    /// Own tokens awaiting acknowledgement (empty unless
+    /// [`DgConfig::reliable_tokens`] is on).
+    pending_tokens: Vec<PendingToken>,
 
     stats: ProcessStats,
 }
@@ -108,6 +133,7 @@ impl<A: Application> DgProcess<A> {
             down: false,
             checkpoints: CheckpointStore::new(),
             log: EventLog::new(),
+            pending_tokens: Vec::new(),
             stats: ProcessStats::default(),
         }
     }
@@ -162,6 +188,13 @@ impl<A: Application> DgProcess<A> {
         self.checkpoints.len()
     }
 
+    /// Own recovery tokens not yet acknowledged by every peer. With
+    /// [`DgConfig::reliable_tokens`] on, the oracle requires this to be
+    /// zero at quiescence: every token reached every peer.
+    pub fn pending_token_count(&self) -> usize {
+        self.pending_tokens.len()
+    }
+
     /// Live entries currently in the stable/volatile log.
     pub fn log_len(&self) -> usize {
         self.log.live_len()
@@ -200,6 +233,10 @@ impl<A: Application> DgProcess<A> {
         }
         mix(self.stats.restarts);
         mix(self.stats.rollbacks);
+        for p in &self.pending_tokens {
+            mix(u64::from(p.token.entry.version.0));
+            mix(p.unacked.len() as u64);
+        }
         h
     }
 
@@ -335,8 +372,12 @@ impl<A: Application> DgProcess<A> {
 
     fn receive_token(&mut self, token: Token, ctx: &mut Context<'_, Wire<A::Msg>>) {
         self.stats.tokens_received += 1;
-        // Deduplicate re-injected or re-broadcast tokens.
+        // Deduplicate re-injected or retransmitted tokens: one history
+        // record per `(process, version)` with an exact `(version, ts)`
+        // match makes token handling idempotent, so the reliable-delivery
+        // sublayer may retransmit freely.
         if self.history.has_token(token.from, token.entry) {
+            self.stats.duplicate_tokens_dropped += 1;
             self.deliver_postponed(ctx);
             return;
         }
@@ -428,6 +469,71 @@ impl<A: Application> DgProcess<A> {
     }
 
     // ----------------------------------------------------------------
+    // Reliable token delivery (ack / retransmit / backoff).
+    // ----------------------------------------------------------------
+
+    /// Start tracking a freshly broadcast token for acknowledgement.
+    fn track_token(&mut self, token: Token, ctx: &mut Context<'_, Wire<A::Msg>>) {
+        let unacked: Vec<ProcessId> = ProcessId::all(self.n).filter(|&p| p != self.me).collect();
+        if unacked.is_empty() {
+            return;
+        }
+        let backoff = self.config.token_retry_timeout;
+        self.pending_tokens.push(PendingToken {
+            token,
+            unacked,
+            next_retry: ctx.now().as_micros() + backoff,
+            backoff,
+        });
+        self.arm_token_retry(ctx);
+    }
+
+    /// Arm a one-shot (non-maintenance) timer for the earliest pending
+    /// retransmission. Being non-maintenance, it keeps the simulation
+    /// alive until every token is acknowledged — quiescence then implies
+    /// delivery. Redundant timers are harmless: a firing with nothing due
+    /// re-arms only if something is still pending.
+    fn arm_token_retry(&mut self, ctx: &mut Context<'_, Wire<A::Msg>>) {
+        let Some(due) = self.pending_tokens.iter().map(|p| p.next_retry).min() else {
+            return;
+        };
+        let delay = due.saturating_sub(ctx.now().as_micros()).max(1);
+        ctx.set_timer(delay, TIMER_TOKEN_RETRY);
+    }
+
+    /// Retransmit every due token to its unacknowledged peers, doubling
+    /// its backoff (capped), then re-arm for the next deadline.
+    fn retry_pending_tokens(&mut self, ctx: &mut Context<'_, Wire<A::Msg>>) {
+        let now = ctx.now().as_micros();
+        let cap = self.config.token_backoff_cap;
+        for p in &mut self.pending_tokens {
+            if p.next_retry > now {
+                continue;
+            }
+            for &peer in &p.unacked {
+                ctx.send_control(peer, Wire::Token(p.token.clone()));
+                self.stats.token_retransmits += 1;
+                self.stats.token_bytes += p.token.wire_bytes() as u64;
+            }
+            p.backoff = (p.backoff * 2).min(cap);
+            self.stats.max_token_backoff = self.stats.max_token_backoff.max(p.backoff);
+            p.next_retry = now + p.backoff;
+        }
+        self.arm_token_retry(ctx);
+    }
+
+    /// An acknowledgement for our token `entry` arrived from `from`.
+    fn receive_token_ack(&mut self, from: ProcessId, entry: Entry) {
+        self.stats.token_acks_received += 1;
+        for p in &mut self.pending_tokens {
+            if p.token.entry == entry {
+                p.unacked.retain(|&q| q != from);
+            }
+        }
+        self.pending_tokens.retain(|p| !p.unacked.is_empty());
+    }
+
+    // ----------------------------------------------------------------
     // Rollback (Figure 4, "Rollback").
     // ----------------------------------------------------------------
 
@@ -450,10 +556,11 @@ impl<A: Application> DgProcess<A> {
         // is lost in a rollback.
         self.log.flush();
 
-        // Find the maximum checkpoint whose history is not orphaned.
+        // Find the maximum *intact* checkpoint whose history is not
+        // orphaned (a storage fault may have damaged newer frames).
         let (ckpt_id, ckpt) = self
             .checkpoints
-            .iter_newest_first()
+            .iter_newest_first_intact()
             .find(|(_, c)| !c.history.orphaned_by(j, token_entry))
             .map(|(id, c)| (id, c.clone()))
             .expect("the initial checkpoint is never an orphan");
@@ -566,7 +673,12 @@ impl<A: Application> DgProcess<A> {
         }
     }
 
-    fn receive_frontier(&mut self, p: ProcessId, entry: Entry, ctx: &mut Context<'_, Wire<A::Msg>>) {
+    fn receive_frontier(
+        &mut self,
+        p: ProcessId,
+        entry: Entry,
+        ctx: &mut Context<'_, Wire<A::Msg>>,
+    ) {
         let current = &mut self.frontiers[p.index()];
         *current = (*current).max(entry);
         self.frontiers[self.me.index()] = self.my_stable_entry;
@@ -613,11 +725,28 @@ impl<A: Application> Actor for DgProcess<A> {
         self.arm_timers(ctx);
     }
 
-    fn on_message(&mut self, _from: ProcessId, msg: Wire<A::Msg>, ctx: &mut Context<'_, Wire<A::Msg>>) {
+    fn on_message(
+        &mut self,
+        from: ProcessId,
+        msg: Wire<A::Msg>,
+        ctx: &mut Context<'_, Wire<A::Msg>>,
+    ) {
         debug_assert!(!self.down, "simulator delivered to a down process");
         match msg {
             Wire::App(env) | Wire::Resend(env) => self.receive_app(env, ctx),
-            Wire::Token(token) => self.receive_token(token, ctx),
+            Wire::Token(token) => {
+                // Acknowledge every *network* receipt — including ones the
+                // dedup below will suppress, since acking duplicates is
+                // precisely what stops further retransmissions. Local
+                // suffix re-injections call `receive_token` directly and
+                // are never acked.
+                if self.config.reliable_tokens {
+                    self.stats.token_acks_sent += 1;
+                    ctx.send_control(token.from, Wire::TokenAck(token.entry));
+                }
+                self.receive_token(token, ctx);
+            }
+            Wire::TokenAck(entry) => self.receive_token_ack(from, entry),
             Wire::Frontier(p, entry) => self.receive_frontier(p, entry, ctx),
         }
     }
@@ -645,7 +774,19 @@ impl<A: Application> Actor for DgProcess<A> {
                     ctx.set_maintenance_timer(gossip, TIMER_GOSSIP);
                 }
             }
+            TIMER_TOKEN_RETRY => self.retry_pending_tokens(ctx),
             _ => unreachable!("unknown timer kind {kind}"),
+        }
+    }
+
+    fn on_fault(&mut self, kind: FaultKind) {
+        match kind {
+            FaultKind::CorruptLatestCheckpoint => {
+                // The store refuses to damage the last intact frame: the
+                // protocol is only recoverable at all under the paper's
+                // assumption that the initial checkpoint survives.
+                let _ = self.checkpoints.mark_latest_corrupt();
+            }
         }
     }
 
@@ -664,20 +805,21 @@ impl<A: Application> Actor for DgProcess<A> {
     fn on_restart(&mut self, ctx: &mut Context<'_, Wire<A::Msg>>) {
         // Figure 4, "Restart": restore the last checkpoint, replay the
         // stable log, broadcast the token, bump the version, checkpoint.
+        // Storage faults may have damaged recent frames, so restore the
+        // newest checkpoint that still *verifies*; the store guarantees
+        // at least one survives (the paper's assumption that the initial
+        // checkpoint is never lost).
         let (_, ckpt) = self
             .checkpoints
-            .latest()
+            .latest_intact()
             .map(|(id, c)| (id, c.clone()))
-            .expect("a process always has its initial checkpoint");
+            .expect("a process always has an intact checkpoint");
         self.app = ckpt.app;
         self.clock = ckpt.clock;
         self.history = ckpt.history;
         self.received_ids = ckpt.received_ids;
-        let entries: Vec<LogEvent<A::Msg>> = self
-            .log
-            .live_events_from(ckpt.log_end)
-            .cloned()
-            .collect();
+        let entries: Vec<LogEvent<A::Msg>> =
+            self.log.live_events_from(ckpt.log_end).cloned().collect();
         for event in entries {
             match event {
                 LogEvent::Message(env) => self.replay_deliver(&env, true),
@@ -690,6 +832,25 @@ impl<A: Application> Actor for DgProcess<A> {
                 }
             }
         }
+        // If the fallback skipped damaged frames from a previous
+        // incarnation, the restored clock is stuck in an old version that
+        // our own earlier tokens already declared dead — a process must
+        // never compute in one again. Re-record those tokens and
+        // re-establish the current incarnation on top of the replayed
+        // prefix (same cross-restart situation, and same resolution, as
+        // the rollback path above).
+        let current_version = Version(self.stats.restorations.len() as u32);
+        if self.clock.version() < current_version {
+            let me = self.me;
+            for &(version, ts) in &self.stats.restorations {
+                if version >= self.clock.version() {
+                    self.history.record_token(me, Entry { version, ts });
+                }
+            }
+            while self.clock.version() < current_version {
+                self.clock.restart();
+            }
+        }
         // Broadcast the token about the failed version: (version,
         // timestamp at the point of restoration).
         let failed = self.clock.own_entry();
@@ -700,7 +861,17 @@ impl<A: Application> Actor for DgProcess<A> {
         };
         self.stats.tokens_sent += 1;
         self.stats.token_bytes += token.wire_bytes() as u64;
-        ctx.broadcast_control(Wire::Token(token));
+        ctx.broadcast_control(Wire::Token(token.clone()));
+        if self.config.reliable_tokens {
+            // Track the new token; the crash also killed any armed retry
+            // timer, so mark surviving pending tokens due immediately and
+            // let `track_token`'s re-arm cover them all.
+            let now = ctx.now().as_micros();
+            for p in &mut self.pending_tokens {
+                p.next_retry = now;
+            }
+            self.track_token(token, ctx);
+        }
         // Record our own token (Figure 3, "On Restart").
         self.history.record_token(self.me, failed);
         // New incarnation (Figure 2, "On Restart").

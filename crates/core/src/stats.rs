@@ -6,9 +6,7 @@ use dg_ftvc::{ProcessId, Version};
 use serde::{Deserialize, Serialize};
 
 /// Identity of one failure event: which process, which version failed.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct FailureId {
     /// The process that failed.
     pub process: ProcessId,
@@ -60,6 +58,19 @@ pub struct ProcessStats {
     pub token_bytes: u64,
     /// Messages retransmitted from the send history (extension).
     pub retransmitted: u64,
+    /// Recovery tokens retransmitted by the reliable-delivery sublayer
+    /// (the original broadcast is counted under `tokens_sent` only).
+    pub token_retransmits: u64,
+    /// Token acknowledgements received.
+    pub token_acks_received: u64,
+    /// Token acknowledgements sent (one per token receipt, duplicates
+    /// included — acking a duplicate is what stops further retries).
+    pub token_acks_sent: u64,
+    /// Duplicate tokens suppressed by the `(process, version)` dedup.
+    pub duplicate_tokens_dropped: u64,
+    /// Largest retransmission backoff reached (microseconds); bounded by
+    /// [`crate::DgConfig::token_backoff_cap`].
+    pub max_token_backoff: u64,
     /// Outputs the application produced.
     pub outputs_emitted: u64,
     /// Outputs committed to the environment (provably stable).
@@ -87,7 +98,11 @@ impl ProcessStats {
     /// to any single failure — the Table 1 "rollbacks per failure" metric
     /// (the paper guarantees this is at most 1 for Damani–Garg).
     pub fn max_rollbacks_per_failure(&self) -> u64 {
-        self.rollbacks_by_failure.values().copied().max().unwrap_or(0)
+        self.rollbacks_by_failure
+            .values()
+            .copied()
+            .max()
+            .unwrap_or(0)
     }
 
     /// Mean piggyback bytes per sent application message.

@@ -61,7 +61,17 @@ fn run_one(seed: u64) -> (Sim<DgProcess<Chat>>, bool) {
         .flush_every(1_000_000)
         .checkpoint_every(1_000_000);
     let actors = (0..3u16)
-        .map(|i| DgProcess::new(ProcessId(i), 3, Chat { budget: 60, seen: 0 }, config))
+        .map(|i| {
+            DgProcess::new(
+                ProcessId(i),
+                3,
+                Chat {
+                    budget: 60,
+                    seen: 0,
+                },
+                config,
+            )
+        })
         .collect();
     let mut sim = Sim::new(net, actors);
     sim.schedule_crash(ProcessId(1), 2_000);
@@ -92,9 +102,7 @@ fn version_never_regresses_across_boundary_crossing_rollbacks() {
             );
             // And nobody ends up depending on anyone's lost states.
             for peer in ProcessId::all(3) {
-                for &(version, restored_ts) in
-                    &sim.actors()[peer.index()].stats().restorations
-                {
+                for &(version, restored_ts) in &sim.actors()[peer.index()].stats().restorations {
                     let dep = actor.clock().entry(peer);
                     if dep.version == version {
                         assert!(
@@ -131,7 +139,17 @@ fn crossing_rollback_retakes_a_version_pinning_checkpoint() {
             .flush_every(1_000_000)
             .checkpoint_every(1_000_000);
         let actors = (0..3u16)
-            .map(|i| DgProcess::new(ProcessId(i), 3, Chat { budget: 60, seen: 0 }, config))
+            .map(|i| {
+                DgProcess::new(
+                    ProcessId(i),
+                    3,
+                    Chat {
+                        budget: 60,
+                        seen: 0,
+                    },
+                    config,
+                )
+            })
             .collect();
         let mut sim = Sim::new(net, actors);
         sim.schedule_crash(ProcessId(1), 2_000);

@@ -21,9 +21,7 @@ fn op_strategy(n: u16) -> impl Strategy<Value = Op> {
 
 fn apply(history: &mut History, op: &Op) {
     match *op {
-        Op::Message { j, v, ts } => {
-            history.record_message_entry(ProcessId(j), Entry::new(v, ts))
-        }
+        Op::Message { j, v, ts } => history.record_message_entry(ProcessId(j), Entry::new(v, ts)),
         Op::Token { j, v, ts } => history.record_token(ProcessId(j), Entry::new(v, ts)),
     }
 }

@@ -3,7 +3,7 @@
 //! discards, postponement, retransmission, output commit and GC.
 
 use dg_core::{Application, DgConfig, DgProcess, Effects, ProcessId, Version};
-use dg_simnet::{DelayModel, NetConfig, Sim};
+use dg_simnet::{DelayModel, FaultKind, NetConfig, Sim};
 
 /// A chatty workload: process 0 seeds `rounds` ping-pong exchanges with
 /// every other process; each process folds the payloads it sees into a
@@ -103,7 +103,10 @@ fn identical_seeds_are_bit_identical() {
     let digests = |seed| {
         let mut sim = system(4, 8, DgConfig::fast_test(), seed);
         sim.run();
-        sim.actors().iter().map(|a| a.app().digest()).collect::<Vec<_>>()
+        sim.actors()
+            .iter()
+            .map(|a| a.app().digest())
+            .collect::<Vec<_>>()
     };
     assert_eq!(digests(42), digests(42));
 }
@@ -135,7 +138,9 @@ fn rollbacks_are_at_most_one_per_failure() {
     // Heavy traffic + a crash with a long unflushed window maximizes the
     // chance of orphans; the paper guarantees each process rolls back at
     // most once per failure.
-    let config = DgConfig::fast_test().flush_every(40_000).checkpoint_every(60_000);
+    let config = DgConfig::fast_test()
+        .flush_every(40_000)
+        .checkpoint_every(60_000);
     for seed in 0..20 {
         let mut sim = system(5, 15, config, seed);
         sim.schedule_crash(ProcessId(1), 2_000 + seed * 137);
@@ -156,7 +161,9 @@ fn rollbacks_are_at_most_one_per_failure() {
 fn orphans_roll_back_and_system_stays_consistent() {
     // Find a seed where the crash actually creates orphans, then check
     // the consistency conditions at quiescence.
-    let config = DgConfig::fast_test().flush_every(50_000).checkpoint_every(80_000);
+    let config = DgConfig::fast_test()
+        .flush_every(50_000)
+        .checkpoint_every(80_000);
     let mut saw_rollback = false;
     for seed in 0..40 {
         let mut sim = system(4, 15, config, seed);
@@ -284,8 +291,7 @@ fn obsolete_messages_are_discarded_under_heavy_loss() {
 fn postponement_waits_for_missing_tokens() {
     // Slow control plane: tokens crawl, so messages from a process's new
     // version race ahead of the token announcing the old version's death.
-    let net = NetConfig::with_seed(9)
-        .delay_model(DelayModel::Uniform { min: 10, max: 200 });
+    let net = NetConfig::with_seed(9).delay_model(DelayModel::Uniform { min: 10, max: 200 });
     let net = NetConfig {
         control_delay: DelayModel::Fixed(50_000),
         ..net
@@ -387,10 +393,7 @@ fn output_commit_releases_exactly_once() {
             )
         })
         .collect();
-    let mut sim = Sim::new(
-        NetConfig::with_seed(4).max_time(2_000_000),
-        actors,
-    );
+    let mut sim = Sim::new(NetConfig::with_seed(4).max_time(2_000_000), actors);
     sim.schedule_crash(ProcessId(1), 5_000);
     sim.run();
     for actor in sim.actors() {
@@ -407,7 +410,11 @@ fn output_commit_releases_exactly_once() {
         assert_eq!(outs.len() as u64, committed);
     }
     // Most outputs commit eventually (gossip-paced).
-    let total_committed: u64 = sim.actors().iter().map(|a| a.stats().outputs_committed).sum();
+    let total_committed: u64 = sim
+        .actors()
+        .iter()
+        .map(|a| a.stats().outputs_committed)
+        .sum();
     assert!(total_committed > 0, "no outputs ever committed");
 }
 
@@ -434,6 +441,290 @@ fn garbage_collection_reclaims_storage() {
 }
 
 #[test]
+fn reliable_tokens_survive_control_loss() {
+    // 40% of control messages vanish; the ack/retransmit sublayer must
+    // still get every token to every peer.
+    let config = DgConfig::fast_test()
+        .with_reliable_tokens(true)
+        .token_retry(1_000, 32_000);
+    let mut total_retransmits = 0u64;
+    for seed in 0..10 {
+        let net = NetConfig::with_seed(seed).control_loss(0.4);
+        let actors = (0..4u16)
+            .map(|i| DgProcess::new(ProcessId(i), 4, Chatter::new(10), config))
+            .collect();
+        let mut sim = Sim::new(net, actors);
+        sim.schedule_crash(ProcessId(2), 3_000);
+        let stats = sim.run();
+        assert!(stats.quiescent, "seed {seed} did not quiesce");
+        for actor in sim.actors() {
+            assert_eq!(
+                actor.pending_token_count(),
+                0,
+                "seed {seed}: {} still has unacknowledged tokens",
+                actor.id()
+            );
+            total_retransmits += actor.stats().token_retransmits;
+        }
+        for p in [0u16, 1, 3] {
+            assert_eq!(
+                sim.actor(ProcessId(p))
+                    .history()
+                    .token_frontier(ProcessId(2)),
+                Version(1),
+                "seed {seed}: P{p} never applied the token"
+            );
+        }
+    }
+    assert!(
+        total_retransmits > 0,
+        "40% control loss across 10 seeds never triggered a retransmission"
+    );
+}
+
+#[test]
+fn acks_stop_retransmission_on_a_clean_network() {
+    // Lossless network, generous retry timeout: every ack lands before
+    // the first retry fires, so the sublayer adds zero retransmissions.
+    let config = DgConfig::fast_test()
+        .with_reliable_tokens(true)
+        .token_retry(50_000, 400_000);
+    let mut sim = system(4, 10, config, 7);
+    sim.schedule_crash(ProcessId(2), 3_000);
+    let stats = sim.run();
+    assert!(stats.quiescent);
+    let p2 = sim.actor(ProcessId(2));
+    assert_eq!(p2.stats().token_retransmits, 0);
+    assert_eq!(p2.stats().token_acks_received, 3);
+    assert_eq!(p2.pending_token_count(), 0);
+    let acks_sent: u64 = sim.actors().iter().map(|a| a.stats().token_acks_sent).sum();
+    assert_eq!(acks_sent, 3);
+}
+
+#[test]
+fn retransmitted_tokens_are_deduplicated() {
+    // Lost acks force retransmissions of tokens that already arrived; the
+    // (process, version) dedup must absorb them without reprocessing.
+    let config = DgConfig::fast_test()
+        .with_reliable_tokens(true)
+        .token_retry(500, 16_000);
+    let mut total_dups = 0u64;
+    for seed in 0..10 {
+        let net = NetConfig::with_seed(seed).control_loss(0.5);
+        let actors = (0..3u16)
+            .map(|i| DgProcess::new(ProcessId(i), 3, Chatter::new(8), config))
+            .collect();
+        let mut sim = Sim::new(net, actors);
+        sim.schedule_crash(ProcessId(1), 2_500);
+        let stats = sim.run();
+        assert!(stats.quiescent, "seed {seed} did not quiesce");
+        for actor in sim.actors() {
+            total_dups += actor.stats().duplicate_tokens_dropped;
+            assert!(actor.stats().max_rollbacks_per_failure() <= 1);
+        }
+        for p in [0u16, 2] {
+            assert_eq!(
+                sim.actor(ProcessId(p))
+                    .history()
+                    .token_frontier(ProcessId(1)),
+                Version(1)
+            );
+        }
+    }
+    assert!(total_dups > 0, "lost acks never produced a duplicate token");
+}
+
+#[test]
+fn backoff_doubles_and_caps_during_an_outage() {
+    // A total blackout of every channel right after the restart: each
+    // retry fails, so the backoff must climb — and stop at the cap.
+    let cap = 8_000;
+    let config = DgConfig::fast_test()
+        .with_reliable_tokens(true)
+        .token_retry(1_000, cap);
+    let net = NetConfig::with_seed(3).burst(4_000, 120_000, 1.0);
+    let actors = (0..3u16)
+        .map(|i| DgProcess::new(ProcessId(i), 3, Chatter::new(6), config))
+        .collect();
+    let mut sim = Sim::new(net, actors);
+    sim.schedule_crash(ProcessId(1), 2_000);
+    let stats = sim.run();
+    assert!(stats.quiescent);
+    let p1 = sim.actor(ProcessId(1));
+    assert_eq!(
+        p1.stats().max_token_backoff,
+        cap,
+        "backoff never reached the cap"
+    );
+    assert!(
+        p1.stats().token_retransmits >= 5,
+        "the outage barely retried"
+    );
+    // Once the burst window closed, delivery completed.
+    assert_eq!(p1.pending_token_count(), 0);
+    for p in [0u16, 2] {
+        assert_eq!(
+            sim.actor(ProcessId(p))
+                .history()
+                .token_frontier(ProcessId(1)),
+            Version(1)
+        );
+    }
+}
+
+#[test]
+fn pending_tokens_survive_a_second_crash() {
+    // P1 crashes, restarts, and crashes again while its first token is
+    // still undelivered (all channels black). The pending-token list is
+    // stable state: after the second restart both tokens must still reach
+    // every peer.
+    let config = DgConfig::fast_test()
+        .with_reliable_tokens(true)
+        .token_retry(1_000, 16_000);
+    let net = NetConfig::with_seed(5).burst(1_500, 200_000, 1.0);
+    let actors = (0..3u16)
+        .map(|i| DgProcess::new(ProcessId(i), 3, Chatter::new(6), config))
+        .collect();
+    let mut sim = Sim::new(net, actors);
+    sim.schedule_crash(ProcessId(1), 2_000);
+    sim.schedule_crash(ProcessId(1), 60_000);
+    let stats = sim.run();
+    assert!(stats.quiescent);
+    let p1 = sim.actor(ProcessId(1));
+    assert_eq!(p1.stats().restarts, 2);
+    assert_eq!(p1.pending_token_count(), 0);
+    for p in [0u16, 2] {
+        assert_eq!(
+            sim.actor(ProcessId(p))
+                .history()
+                .token_frontier(ProcessId(1)),
+            Version(2),
+            "a token from before the second crash was lost"
+        );
+    }
+}
+
+#[test]
+fn corrupt_checkpoint_falls_back_to_older_one() {
+    // Damage the newest checkpoint just before a crash: recovery must
+    // restore the previous intact one and rebuild from the log instead of
+    // panicking on the bad frame.
+    let config = DgConfig::fast_test();
+    let mut sim = system(3, 15, config, 13);
+    // fast_test checkpoints every 10ms, so by t=24ms there are several.
+    sim.schedule_fault(ProcessId(1), 24_000, FaultKind::CorruptLatestCheckpoint);
+    sim.schedule_crash(ProcessId(1), 25_000);
+    let stats = sim.run();
+    assert!(stats.quiescent);
+    assert_eq!(stats.faults_injected, 1);
+    let p1 = sim.actor(ProcessId(1));
+    assert_eq!(p1.stats().restarts, 1);
+    assert_eq!(p1.version(), Version(1));
+    for p in [0u16, 2] {
+        assert_eq!(
+            sim.actor(ProcessId(p))
+                .history()
+                .token_frontier(ProcessId(1)),
+            Version(1)
+        );
+    }
+    for actor in sim.actors() {
+        assert!(actor.stats().max_rollbacks_per_failure() <= 1);
+        assert_eq!(actor.postponed_len(), 0);
+    }
+}
+
+#[test]
+fn corrupting_the_only_checkpoint_is_refused() {
+    // At t=1ms only the initial checkpoint exists; the paper's
+    // recoverability assumption says it is never lost, so the fault is a
+    // no-op and recovery proceeds normally.
+    let config = DgConfig::fast_test();
+    let mut sim = system(3, 10, config, 2);
+    sim.schedule_fault(ProcessId(1), 1_000, FaultKind::CorruptLatestCheckpoint);
+    sim.schedule_crash(ProcessId(1), 2_000);
+    let stats = sim.run();
+    assert!(stats.quiescent);
+    assert_eq!(sim.actor(ProcessId(1)).stats().restarts, 1);
+    assert_eq!(sim.actor(ProcessId(1)).version(), Version(1));
+}
+
+#[test]
+fn crash_during_recovery_with_corrupt_recovery_checkpoint() {
+    // The hardest storage-fault case: P1 crashes, restarts (writing the
+    // recovery checkpoint that pins version 1), that very checkpoint is
+    // damaged, and P1 crashes again before taking another. The second
+    // restart must fall back to a version-0-era checkpoint and
+    // re-establish the current incarnation rather than resurrect a dead
+    // version.
+    let config = DgConfig::fast_test();
+    let net = NetConfig::with_seed(17).restart_delay(2_000);
+    let actors = (0..3u16)
+        .map(|i| DgProcess::new(ProcessId(i), 3, Chatter::new(15), config))
+        .collect();
+    let mut sim = Sim::new(net, actors);
+    sim.schedule_crash(ProcessId(1), 15_000); // restart at 17_000
+    sim.schedule_fault(ProcessId(1), 17_500, FaultKind::CorruptLatestCheckpoint);
+    sim.schedule_crash(ProcessId(1), 18_000);
+    let stats = sim.run();
+    assert!(stats.quiescent);
+    let p1 = sim.actor(ProcessId(1));
+    assert_eq!(p1.stats().restarts, 2);
+    assert_eq!(p1.version(), Version(2), "the dead version was resurrected");
+    assert_eq!(p1.stats().restorations.len(), 2);
+    for p in [0u16, 2] {
+        assert_eq!(
+            sim.actor(ProcessId(p))
+                .history()
+                .token_frontier(ProcessId(1)),
+            Version(2),
+            "a token announcing a failed version never arrived"
+        );
+    }
+    for actor in sim.actors() {
+        assert!(actor.stats().max_rollbacks_per_failure() <= 1);
+        assert_eq!(actor.postponed_len(), 0);
+    }
+}
+
+#[test]
+fn crash_during_recovery_under_control_loss() {
+    // Crash-during-recovery composed with a lossy control plane: the
+    // second crash lands right after the first restart, while tokens may
+    // still be in retransmission. Reliable delivery plus the stable
+    // pending-token list must still get every token out.
+    let config = DgConfig::fast_test()
+        .with_reliable_tokens(true)
+        .token_retry(1_000, 16_000);
+    for seed in 0..10 {
+        let net = NetConfig::with_seed(seed)
+            .control_loss(0.3)
+            .restart_delay(2_000);
+        let actors = (0..4u16)
+            .map(|i| DgProcess::new(ProcessId(i), 4, Chatter::new(10), config))
+            .collect();
+        let mut sim = Sim::new(net, actors);
+        sim.schedule_crash(ProcessId(2), 12_000); // restart at 14_000
+        sim.schedule_fault(ProcessId(2), 14_500, FaultKind::CorruptLatestCheckpoint);
+        sim.schedule_crash(ProcessId(2), 15_000);
+        let stats = sim.run();
+        assert!(stats.quiescent, "seed {seed} did not quiesce");
+        let p2 = sim.actor(ProcessId(2));
+        assert_eq!(p2.stats().restarts, 2, "seed {seed}");
+        assert_eq!(p2.pending_token_count(), 0, "seed {seed}");
+        for p in [0u16, 1, 3] {
+            assert_eq!(
+                sim.actor(ProcessId(p))
+                    .history()
+                    .token_frontier(ProcessId(2)),
+                Version(2),
+                "seed {seed}: P{p} is missing a token"
+            );
+        }
+    }
+}
+
+#[test]
 fn replayed_state_matches_original_digest() {
     // Run failure-free to get the reference digests, then run the same
     // seed with a crash that loses nothing (flush constantly): the final
@@ -441,7 +732,10 @@ fn replayed_state_matches_original_digest() {
     let reference = {
         let mut sim = system(3, 10, DgConfig::fast_test().flush_every(100), 21);
         sim.run();
-        sim.actors().iter().map(|a| a.app().digest()).collect::<Vec<_>>()
+        sim.actors()
+            .iter()
+            .map(|a| a.app().digest())
+            .collect::<Vec<_>>()
     };
     let mut sim = system(3, 10, DgConfig::fast_test().flush_every(100), 21);
     sim.schedule_crash(ProcessId(1), 20_000);

@@ -332,7 +332,10 @@ mod tests {
         let mut p2 = Ftvc::new(ProcessId(2), 3);
 
         // s00: P0 at (0,1)(0,0)(0,0); sends to P1.
-        assert_eq!(p0.entries(), Ftvc::from_parts(ProcessId(0), &[(0, 1), (0, 0), (0, 0)]).entries());
+        assert_eq!(
+            p0.entries(),
+            Ftvc::from_parts(ProcessId(0), &[(0, 1), (0, 0), (0, 0)]).entries()
+        );
         let m_01 = p0.stamp_for_send();
         // s11: P1 receives -> (0,1)(0,2)(0,0)
         p1.observe(&m_01);

@@ -18,7 +18,9 @@ use std::fmt;
 /// b.observe(t);
 /// assert!(b.now() > t);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct LamportClock(u64);
 
 impl LamportClock {

@@ -216,7 +216,10 @@ mod tests {
         put_varint(&mut buf, 2); // n = 2
         put_varint(&mut buf, 5); // owner = 5 (invalid)
         let err = decode_ftvc(buf.freeze()).unwrap_err();
-        assert!(matches!(err, DecodeError::OwnerOutOfRange { owner: 5, len: 2 }));
+        assert!(matches!(
+            err,
+            DecodeError::OwnerOutOfRange { owner: 5, len: 2 }
+        ));
     }
 
     #[test]

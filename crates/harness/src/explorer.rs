@@ -240,6 +240,7 @@ fn wire_digest<M>(wire: &Wire<M>) -> u64 {
         Wire::Frontier(p, e) => {
             (u64::from(p.0) << 40) ^ (u64::from(e.version.0) << 20) ^ e.ts ^ 0x4444
         }
+        Wire::TokenAck(e) => (u64::from(e.version.0) << 20) ^ e.ts ^ 0x5555,
     }
 }
 
@@ -251,6 +252,9 @@ fn wire_sender<M>(wire: &Wire<M>) -> ProcessId {
         Wire::App(env) | Wire::Resend(env) => env.sender(),
         Wire::Token(t) => t.from,
         Wire::Frontier(p, _) => *p,
+        // Acks carry no payload-level sender; the explorer never enables
+        // the reliable-token sublayer, so none are ever in flight.
+        Wire::TokenAck(_) => unreachable!("explorer configs do not enable reliable tokens"),
     }
 }
 

@@ -1,7 +1,7 @@
 //! Declarative fault schedules.
 
 use dg_ftvc::ProcessId;
-use dg_simnet::{Actor, Sim};
+use dg_simnet::{Actor, FaultKind, Sim};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -29,13 +29,63 @@ pub struct PartitionSpec {
     pub end: u64,
 }
 
+/// One scheduled loss window: every message (application *and* control)
+/// entering the network during `[start, end)` is dropped with the given
+/// probability, overriding the steady-state loss rates.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DropSpec {
+    /// Window start (absolute, microseconds).
+    pub start: u64,
+    /// Window end (exclusive).
+    pub end: u64,
+    /// Drop probability inside the window.
+    pub loss_prob: f64,
+}
+
+/// One scheduled storage fault: damage the target's newest intact
+/// checkpoint frame at time `at` (a no-op if only one intact frame
+/// remains — the initial checkpoint is assumed never lost).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CorruptSpec {
+    /// The process whose stable storage is damaged.
+    pub process: ProcessId,
+    /// Absolute time of the fault.
+    pub at: u64,
+}
+
+/// A crash-during-recovery scenario: `process` crashes at `at`, restarts
+/// after `downtime`, and crashes *again* immediately after re-entering
+/// service — before any further checkpoint — optionally with its
+/// just-written recovery checkpoint corrupted in between. Handlers are
+/// atomic in the simulator, so "mid-recovery" is modeled as the instant
+/// after the restart handler, inside the recovery checkpoint's stall
+/// window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CrashDuringRecovery {
+    /// The process to fail twice.
+    pub process: ProcessId,
+    /// Time of the first crash.
+    pub at: u64,
+    /// Downtime of the first crash (the second uses the network default).
+    pub downtime: u64,
+    /// Also damage the recovery checkpoint written by the first restart,
+    /// forcing the second restart to fall back across incarnations.
+    pub corrupt_recovery_checkpoint: bool,
+}
+
 /// A complete fault schedule for one run.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct FaultPlan {
     /// Crashes, in any order.
     pub crashes: Vec<CrashSpec>,
     /// Partitions (non-overlapping).
     pub partitions: Vec<PartitionSpec>,
+    /// Burst-loss windows.
+    pub drops: Vec<DropSpec>,
+    /// Checkpoint-corruption faults.
+    pub corruptions: Vec<CorruptSpec>,
+    /// Crash-during-recovery scenarios.
+    pub recovery_crashes: Vec<CrashDuringRecovery>,
 }
 
 impl FaultPlan {
@@ -52,7 +102,7 @@ impl FaultPlan {
                 at,
                 downtime: None,
             }],
-            partitions: Vec::new(),
+            ..FaultPlan::default()
         }
     }
 
@@ -72,7 +122,7 @@ impl FaultPlan {
                     downtime: None,
                 })
                 .collect(),
-            partitions: Vec::new(),
+            ..FaultPlan::default()
         }
     }
 
@@ -91,8 +141,43 @@ impl FaultPlan {
             .collect();
         FaultPlan {
             crashes,
-            partitions: Vec::new(),
+            ..FaultPlan::default()
         }
+    }
+
+    /// A seeded chaos plan: random crashes plus, with seed-dependent
+    /// probability, checkpoint corruptions, a crash-during-recovery
+    /// scenario, and a total-blackout loss window — the adversarial mix
+    /// the robustness suite sweeps. Deterministic per `(n, seed)`.
+    pub fn chaos(n: usize, window: (u64, u64), seed: u64) -> FaultPlan {
+        assert!(window.0 < window.1);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x00c4_a05c_4a05_c4a0);
+        let span = window.1 - window.0;
+        let crash_seed = rng.gen_range(0..u64::MAX);
+        let mut plan = FaultPlan::random(n, rng.gen_range(1..=3), window, crash_seed);
+        for _ in 0..rng.gen_range(0u32..=2) {
+            plan.corruptions.push(CorruptSpec {
+                process: ProcessId(rng.gen_range(0..n as u16)),
+                at: rng.gen_range(window.0..window.1),
+            });
+        }
+        if rng.gen_bool(0.6) {
+            plan.recovery_crashes.push(CrashDuringRecovery {
+                process: ProcessId(rng.gen_range(0..n as u16)),
+                at: rng.gen_range(window.0..window.1),
+                downtime: rng.gen_range(500..3_000),
+                corrupt_recovery_checkpoint: rng.gen_bool(0.5),
+            });
+        }
+        if rng.gen_bool(0.4) {
+            let start = rng.gen_range(window.0..window.1);
+            plan.drops.push(DropSpec {
+                start,
+                end: start + rng.gen_range(1_000..span / 2 + 1_001),
+                loss_prob: 1.0,
+            });
+        }
+        plan
     }
 
     /// Add a crash (builder style).
@@ -117,9 +202,46 @@ impl FaultPlan {
         self
     }
 
-    /// Total number of scheduled crashes.
+    /// Add a burst-loss window (builder style).
+    #[must_use]
+    pub fn with_drop_window(mut self, start: u64, end: u64, loss_prob: f64) -> FaultPlan {
+        self.drops.push(DropSpec {
+            start,
+            end,
+            loss_prob,
+        });
+        self
+    }
+
+    /// Add a checkpoint corruption (builder style).
+    #[must_use]
+    pub fn with_corruption(mut self, process: ProcessId, at: u64) -> FaultPlan {
+        self.corruptions.push(CorruptSpec { process, at });
+        self
+    }
+
+    /// Add a crash-during-recovery scenario (builder style).
+    #[must_use]
+    pub fn with_crash_during_recovery(
+        mut self,
+        process: ProcessId,
+        at: u64,
+        downtime: u64,
+        corrupt_recovery_checkpoint: bool,
+    ) -> FaultPlan {
+        self.recovery_crashes.push(CrashDuringRecovery {
+            process,
+            at,
+            downtime,
+            corrupt_recovery_checkpoint,
+        });
+        self
+    }
+
+    /// Total number of scheduled crashes (a crash-during-recovery
+    /// scenario contributes two).
     pub fn crash_count(&self) -> usize {
-        self.crashes.len()
+        self.crashes.len() + 2 * self.recovery_crashes.len()
     }
 
     /// Install the plan into a simulation.
@@ -133,6 +255,25 @@ impl FaultPlan {
         for p in &self.partitions {
             sim.schedule_partition(p.group_of.clone(), p.start, p.end);
         }
+        for d in &self.drops {
+            sim.add_loss_burst(d.start, d.end, d.loss_prob);
+        }
+        for c in &self.corruptions {
+            sim.schedule_fault(c.process, c.at, FaultKind::CorruptLatestCheckpoint);
+        }
+        for r in &self.recovery_crashes {
+            // First crash; the restart runs at `at + downtime` and writes
+            // the recovery checkpoint. One microsecond later — inside the
+            // checkpoint's stall window, before any other handler can run
+            // on this process — the optional storage fault lands; one more
+            // and the process is down again.
+            sim.schedule_crash_with_downtime(r.process, r.at, r.downtime);
+            let restart = r.at + r.downtime.max(1);
+            if r.corrupt_recovery_checkpoint {
+                sim.schedule_fault(r.process, restart + 1, FaultKind::CorruptLatestCheckpoint);
+            }
+            sim.schedule_crash(r.process, restart + 2);
+        }
     }
 }
 
@@ -144,9 +285,40 @@ mod tests {
     fn builders() {
         let plan = FaultPlan::none()
             .with_crash(ProcessId(1), 500)
-            .with_partition(vec![0, 1], 100, 200);
-        assert_eq!(plan.crash_count(), 1);
+            .with_partition(vec![0, 1], 100, 200)
+            .with_drop_window(300, 900, 0.5)
+            .with_corruption(ProcessId(0), 400)
+            .with_crash_during_recovery(ProcessId(1), 1_000, 500, true);
+        assert_eq!(plan.crash_count(), 3, "a recovery crash counts twice");
         assert_eq!(plan.partitions.len(), 1);
+        assert_eq!(plan.drops.len(), 1);
+        assert_eq!(plan.corruptions.len(), 1);
+        assert_eq!(plan.recovery_crashes.len(), 1);
+    }
+
+    #[test]
+    fn chaos_plan_is_deterministic_per_seed() {
+        let a = FaultPlan::chaos(4, (1_000, 30_000), 12);
+        let b = FaultPlan::chaos(4, (1_000, 30_000), 12);
+        assert_eq!(a, b);
+        assert_ne!(a, FaultPlan::chaos(4, (1_000, 30_000), 13));
+        assert!(a.crash_count() >= 1);
+    }
+
+    #[test]
+    fn chaos_sweep_exercises_every_fault_class() {
+        let mut saw = (false, false, false, false);
+        for seed in 0..40 {
+            let plan = FaultPlan::chaos(5, (1_000, 40_000), seed);
+            saw.0 |= !plan.crashes.is_empty();
+            saw.1 |= !plan.corruptions.is_empty();
+            saw.2 |= plan
+                .recovery_crashes
+                .iter()
+                .any(|r| r.corrupt_recovery_checkpoint);
+            saw.3 |= !plan.drops.is_empty();
+        }
+        assert_eq!(saw, (true, true, true, true), "chaos mix is degenerate");
     }
 
     #[test]

@@ -18,6 +18,12 @@
 //!    delivered and acted upon).
 //! 4. **Token propagation**: every process's token frontier for `P_j`
 //!    equals `P_j`'s final version.
+//! 5. **Version integrity**: a process's incarnation number equals its
+//!    restart count — rollbacks and storage-fault fallbacks never
+//!    resurrect a dead version.
+//! 6. **Reliable delivery drained**: no process still holds
+//!    unacknowledged tokens at quiescence, and every effective crash was
+//!    answered by exactly one restart.
 
 use dg_core::{Application, DgProcess, ProcessId, Version};
 use dg_simnet::Sim;
@@ -47,6 +53,19 @@ pub fn check<A: Application>(outcome: &DgRunOutcome<A>) -> Result<(), Vec<Violat
         violations.push(Violation(
             "run did not quiesce (hit max_time or max_events)".into(),
         ));
+    }
+    // 6b. Every effective crash was answered by exactly one restart.
+    let restarts: u64 = outcome
+        .sim
+        .actors()
+        .iter()
+        .map(|a| a.stats().restarts)
+        .sum();
+    if restarts != outcome.stats.crashes {
+        violations.push(Violation(format!(
+            "{} crashes but {} restarts across the system",
+            outcome.stats.crashes, restarts
+        )));
     }
     if violations.is_empty() {
         Ok(())
@@ -150,6 +169,17 @@ pub fn check_sim<A: Application>(sim: &Sim<DgProcess<A>>, violations: &mut Vec<V
         }
     }
 
+    // 6a. Reliable delivery drained: no unacknowledged tokens remain.
+    for actor in actors {
+        if actor.pending_token_count() > 0 {
+            violations.push(Violation(format!(
+                "{} still has {} unacknowledged tokens",
+                actor.id(),
+                actor.pending_token_count()
+            )));
+        }
+    }
+
     // 4. Token frontiers caught up with every process's final version.
     for actor in actors {
         for peer in ProcessId::all(actors.len()) {
@@ -195,7 +225,13 @@ mod tests {
             Effects::send(ProcessId((me.0 + 1) % n as u16), self.budget)
         }
 
-        fn on_message(&mut self, me: ProcessId, _from: ProcessId, msg: &u64, n: usize) -> Effects<u64> {
+        fn on_message(
+            &mut self,
+            me: ProcessId,
+            _from: ProcessId,
+            msg: &u64,
+            n: usize,
+        ) -> Effects<u64> {
             self.acc = self.acc.wrapping_mul(1315423911).wrapping_add(*msg);
             if *msg > 0 {
                 Effects::send(ProcessId((me.0 + 3) % n as u16), msg - 1)

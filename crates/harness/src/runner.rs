@@ -104,7 +104,13 @@ mod tests {
             }
         }
 
-        fn on_message(&mut self, me: ProcessId, _from: ProcessId, msg: &u64, n: usize) -> Effects<u64> {
+        fn on_message(
+            &mut self,
+            me: ProcessId,
+            _from: ProcessId,
+            msg: &u64,
+            n: usize,
+        ) -> Effects<u64> {
             self.seen = *msg;
             if *msg < self.hops {
                 Effects::send(ProcessId((me.0 + 1) % n as u16), *msg + 1)
@@ -120,12 +126,14 @@ mod tests {
 
     #[test]
     fn run_dg_completes_with_crash() {
-        // Flush aggressively so the crash cannot lose the ring token and
-        // stall the (purely serial) workload.
+        // Retransmission (paper, Remark 1) guarantees the serial ring
+        // workload survives the crash under any schedule: even if the
+        // in-flight token is lost from the volatile log, the sender
+        // resends it after the recovery token arrives.
         let out = run_dg(
             3,
             |_| Ring { hops: 30, seen: 0 },
-            DgConfig::fast_test().flush_every(100),
+            DgConfig::fast_test().flush_every(100).with_retransmit(true),
             NetConfig::with_seed(5),
             &FaultPlan::single_crash(ProcessId(1), 2_000),
         );

@@ -112,7 +112,10 @@ fn crash_free_exploration_is_complete_and_clean() {
             max_depth: 40,
         },
     );
-    assert!(!report.truncated, "crash-free space should be fully covered");
+    assert!(
+        !report.truncated,
+        "crash-free space should be fully covered"
+    );
     assert!(report.violations.is_empty(), "{:?}", report.violations);
     assert!(report.terminals > 0);
 }

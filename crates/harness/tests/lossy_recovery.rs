@@ -1,0 +1,174 @@
+//! Robustness suite: recovery over a lossy control plane.
+//!
+//! The paper assumes reliable channels; the reliable-token sublayer
+//! (ack / retransmit / exponential backoff) implements that assumption
+//! over a network that drops messages. These tests script the individual
+//! failure modes — a dropped token that must be retransmitted, a crash
+//! in the middle of recovery, a corrupted recovery checkpoint — and then
+//! fuzz the full mix against the consistency oracle.
+
+use dg_core::{Application, DgConfig, Effects, ProcessId, Version};
+use dg_harness::{oracle, run_dg, FaultPlan};
+use dg_simnet::NetConfig;
+
+/// Mesh workload: every process seeds its neighbour, replies fan out —
+/// enough cross traffic to make orphans likely after a crash.
+#[derive(Clone)]
+struct Mesh {
+    budget: u64,
+    acc: u64,
+}
+
+impl Mesh {
+    fn new(budget: u64) -> Mesh {
+        Mesh { budget, acc: 0 }
+    }
+}
+
+impl Application for Mesh {
+    type Msg = u64;
+
+    fn on_start(&mut self, me: ProcessId, n: usize) -> Effects<u64> {
+        Effects::send(ProcessId((me.0 + 1) % n as u16), self.budget)
+    }
+
+    fn on_message(&mut self, me: ProcessId, _from: ProcessId, msg: &u64, n: usize) -> Effects<u64> {
+        self.acc = self.acc.wrapping_mul(1315423911).wrapping_add(*msg);
+        if *msg > 0 {
+            Effects::send(ProcessId((me.0 + 3) % n as u16), msg - 1)
+        } else {
+            Effects::none()
+        }
+    }
+
+    fn digest(&self) -> u64 {
+        self.acc
+    }
+}
+
+fn robust_config() -> DgConfig {
+    DgConfig::fast_test()
+        .with_reliable_tokens(true)
+        .token_retry(1_000, 32_000)
+        .with_retransmit(true)
+}
+
+#[test]
+fn dropped_token_is_retransmitted_until_acknowledged() {
+    // A total blackout swallows the restart's token broadcast (and the
+    // first retries). Once the window lifts, retransmission must finish
+    // the job: every peer ends with the token applied.
+    let plan = FaultPlan::single_crash(ProcessId(1), 5_000).with_drop_window(5_000, 40_000, 1.0);
+    let out = run_dg(
+        4,
+        |_| Mesh::new(12),
+        robust_config(),
+        NetConfig::with_seed(2),
+        &plan,
+    );
+    oracle::check(&out).expect("oracle violations");
+    let p1 = &out.sim.actors()[1];
+    assert!(
+        p1.stats().token_retransmits > 0,
+        "the blackout should have forced retransmissions"
+    );
+    assert!(p1.stats().max_token_backoff > 1_000, "backoff never grew");
+    assert_eq!(p1.pending_token_count(), 0);
+    for p in [0usize, 2, 3] {
+        assert_eq!(
+            out.sim.actors()[p].history().token_frontier(ProcessId(1)),
+            Version(1)
+        );
+    }
+}
+
+#[test]
+fn crash_during_recovery_re_enters_restart_cleanly() {
+    // The process fails again right after its restart handler ran —
+    // inside the recovery checkpoint's stall window, before any further
+    // checkpoint. The second restart must recover to version 2.
+    let plan = FaultPlan::none().with_crash_during_recovery(ProcessId(2), 8_000, 2_000, false);
+    let out = run_dg(
+        4,
+        |_| Mesh::new(12),
+        robust_config(),
+        NetConfig::with_seed(6),
+        &plan,
+    );
+    oracle::check(&out).expect("oracle violations");
+    assert_eq!(out.stats.crashes, 2);
+    let p2 = &out.sim.actors()[2];
+    assert_eq!(p2.stats().restarts, 2);
+    assert_eq!(p2.version(), Version(2));
+}
+
+#[test]
+fn corrupted_recovery_checkpoint_falls_back_across_incarnations() {
+    // Same scenario, but the recovery checkpoint written by the first
+    // restart is damaged before the second crash: recovery must fall
+    // back to a version-0-era checkpoint and still re-establish the
+    // correct incarnation instead of resurrecting the dead version.
+    let plan = FaultPlan::none().with_crash_during_recovery(ProcessId(2), 8_000, 2_000, true);
+    let out = run_dg(
+        4,
+        |_| Mesh::new(12),
+        robust_config(),
+        NetConfig::with_seed(6),
+        &plan,
+    );
+    oracle::check(&out).expect("oracle violations");
+    let p2 = &out.sim.actors()[2];
+    assert_eq!(p2.stats().restarts, 2);
+    assert_eq!(p2.version(), Version(2));
+    assert_eq!(p2.stats().restorations.len(), 2);
+}
+
+#[test]
+fn fuzz_lossy_recovery_across_loss_rates() {
+    // The acceptance sweep: loss on ALL channels (tokens included) at
+    // 0.0 / 0.1 / 0.3, twenty seeds each, every run with two crashes of
+    // which one is a crash-during-recovery (corrupting the recovery
+    // checkpoint on odd seeds). Every run must quiesce with the oracle
+    // green.
+    for &loss in &[0.0f64, 0.1, 0.3] {
+        for seed in 0..20u64 {
+            let plan = FaultPlan::none()
+                .with_crash(ProcessId(1), 3_000 + seed * 211)
+                .with_crash_during_recovery(ProcessId(2), 9_000 + seed * 157, 2_000, seed % 2 == 1);
+            let out = run_dg(
+                4,
+                |_| Mesh::new(10),
+                robust_config(),
+                NetConfig::with_seed(seed * 97 + 13).loss_all(loss),
+                &plan,
+            );
+            assert!(
+                out.stats.quiescent,
+                "loss {loss} seed {seed}: run did not quiesce"
+            );
+            if let Err(violations) = oracle::check(&out) {
+                panic!("loss {loss} seed {seed}: oracle violations: {violations:#?}");
+            }
+        }
+    }
+}
+
+#[test]
+fn fuzz_chaos_plans_under_loss() {
+    // Seeded chaos: random crashes, corruptions, crash-during-recovery
+    // and blackout windows, on top of 10% steady loss everywhere.
+    for seed in 0..25u64 {
+        let plan = FaultPlan::chaos(5, (2_000, 40_000), seed);
+        let out = run_dg(
+            5,
+            |_| Mesh::new(10),
+            robust_config(),
+            NetConfig::with_seed(seed * 31 + 7).loss_all(0.1),
+            &plan,
+        );
+        assert!(out.stats.quiescent, "seed {seed}: run did not quiesce");
+        if let Err(violations) = oracle::check(&out) {
+            panic!("seed {seed}: plan {plan:?}\noracle violations: {violations:#?}");
+        }
+    }
+}

@@ -27,13 +27,13 @@ struct Scenario {
 
 fn scenario() -> impl Strategy<Value = Scenario> {
     (
-        2usize..7,                    // n
-        1u32..4,                      // fanout
-        5u32..25,                     // ttl
-        any::<u64>(),                 // seed
-        200u64..20_000,               // delay_max
-        1_000u64..40_000,             // flush interval
-        5_000u64..100_000,            // checkpoint interval
+        2usize..7,         // n
+        1u32..4,           // fanout
+        5u32..25,          // ttl
+        any::<u64>(),      // seed
+        200u64..20_000,    // delay_max
+        1_000u64..40_000,  // flush interval
+        5_000u64..100_000, // checkpoint interval
         proptest::collection::vec((0u16..7, 500u64..40_000), 0..4),
         proptest::option::of((1_000u64..5_000, 50_000u64..200_000)),
         any::<bool>(),

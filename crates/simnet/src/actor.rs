@@ -10,6 +10,20 @@ use crate::SimTime;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct TimerId(pub(crate) u64);
 
+/// A storage or process fault injectable with [`crate::Sim::schedule_fault`].
+///
+/// Faults model damage the environment does *to* a process, as opposed to
+/// crashes (which destroy volatile state only). They are delivered through
+/// [`Actor::on_fault`] whether or not the process is up, since stable
+/// storage exists independently of the running process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// The newest checkpoint frame on stable storage is damaged: its
+    /// checksum will no longer verify, so recovery must fall back to an
+    /// older intact checkpoint.
+    CorruptLatestCheckpoint,
+}
+
 /// A process in the simulated system.
 ///
 /// Actors are purely event-driven and must not keep state outside `self`:
@@ -43,6 +57,15 @@ pub trait Actor {
     /// The process restarted after a crash: recover from stable state.
     fn on_restart(&mut self, ctx: &mut Context<'_, Self::Msg>) {
         let _ = ctx;
+    }
+
+    /// An environmental fault (see [`FaultKind`]) struck this process's
+    /// storage. No context is available: like a crash, a fault is done
+    /// *to* the process, which gets no chance to react on the spot — its
+    /// effects surface later, e.g. when recovery next reads the damaged
+    /// frame.
+    fn on_fault(&mut self, kind: FaultKind) {
+        let _ = kind;
     }
 }
 

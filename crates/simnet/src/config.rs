@@ -48,6 +48,42 @@ impl Default for DelayModel {
     }
 }
 
+/// A scheduled window of elevated (usually total) message loss, modeling
+/// a bursty outage — a flapping switch port, a routing transient.
+///
+/// During `[start, end)` every message scheduled for delivery, of either
+/// class, is dropped with probability `loss_prob` **instead of** the
+/// steady-state per-class probability (the window overrides, it does not
+/// compound).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LossBurst {
+    /// First instant (inclusive) of the window, in simulated microseconds.
+    pub start: u64,
+    /// First instant past the window (exclusive).
+    pub end: u64,
+    /// Drop probability inside the window.
+    pub loss_prob: f64,
+}
+
+impl LossBurst {
+    /// `true` iff `t` falls inside the window.
+    pub fn contains(&self, t: u64) -> bool {
+        (self.start..self.end).contains(&t)
+    }
+}
+
+/// A per-link loss override `(from, to, prob)` replacing the per-class
+/// steady-state probability on that directed link (both classes).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkLoss {
+    /// Transport-level sender.
+    pub from: u16,
+    /// Destination.
+    pub to: u16,
+    /// Drop probability on this directed link.
+    pub loss_prob: f64,
+}
+
 /// Network and scheduling configuration for a [`crate::Sim`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct NetConfig {
@@ -55,9 +91,11 @@ pub struct NetConfig {
     pub rng_seed: u64,
     /// Delay model for application messages.
     pub delay: DelayModel,
-    /// Delay model for control messages (tokens). Control traffic is
-    /// reliable but may be arbitrarily reordered with respect to
-    /// application messages, as the paper requires.
+    /// Delay model for control messages (tokens). Control traffic may be
+    /// arbitrarily reordered with respect to application messages, as the
+    /// paper requires; with [`NetConfig::control_loss_prob`] zero it is
+    /// also reliable (the paper's assumption). Raising it models a lossy
+    /// control plane, which the reliable-token sublayer must then mask.
     pub control_delay: DelayModel,
     /// Enforce per-link FIFO delivery (required by the Strom–Yemini,
     /// Sistla–Welch and Peterson–Kearns baselines; **off** for
@@ -70,6 +108,24 @@ pub struct NetConfig {
     /// assumes reliable channels, not exactly-once ones; duplication
     /// exercises the protocol's idempotence.
     pub duplicate_prob: f64,
+    /// Steady-state probability (0.0–1.0) that an **application** message
+    /// is silently dropped in transit.
+    pub loss_prob: f64,
+    /// Steady-state probability (0.0–1.0) that a **control** message
+    /// (token, ack, frontier gossip) is silently dropped. Kept separate
+    /// from [`NetConfig::loss_prob`] so experiments can stress the
+    /// control plane and the data plane independently.
+    pub control_loss_prob: f64,
+    /// Extra delivery jitter: each message's sampled delay is inflated by
+    /// a further uniform draw from `[0, delay_jitter]`. Zero disables the
+    /// draw entirely (identical RNG stream to older configs).
+    pub delay_jitter: u64,
+    /// Scheduled burst-loss windows (override the steady-state rates
+    /// while active).
+    pub bursts: Vec<LossBurst>,
+    /// Per-link loss overrides (override the per-class steady-state rate
+    /// on a directed link; bursts still take precedence).
+    pub link_loss: Vec<LinkLoss>,
     /// Hard stop: the simulation ends at this time even if events remain.
     pub max_time: u64,
     /// Safety valve against runaway actors: maximum events processed.
@@ -131,6 +187,79 @@ impl NetConfig {
         self.duplicate_prob = p;
         self
     }
+
+    /// Builder-style application-message loss probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `p` is within `[0, 1]`.
+    #[must_use]
+    pub fn loss(mut self, p: f64) -> NetConfig {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        self.loss_prob = p;
+        self
+    }
+
+    /// Builder-style control-message (token) loss probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `p` is within `[0, 1]`.
+    #[must_use]
+    pub fn control_loss(mut self, p: f64) -> NetConfig {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        self.control_loss_prob = p;
+        self
+    }
+
+    /// Builder: the same loss probability on every channel, application
+    /// and control alike — the acceptance regime of the lossy
+    /// experiments.
+    #[must_use]
+    pub fn loss_all(self, p: f64) -> NetConfig {
+        self.loss(p).control_loss(p)
+    }
+
+    /// Builder-style extra delivery jitter bound (microseconds).
+    #[must_use]
+    pub fn jitter(mut self, max_extra: u64) -> NetConfig {
+        self.delay_jitter = max_extra;
+        self
+    }
+
+    /// Builder: add a burst-loss window.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `start < end` and `p` is within `[0, 1]`.
+    #[must_use]
+    pub fn burst(mut self, start: u64, end: u64, p: f64) -> NetConfig {
+        assert!(start < end, "empty burst window");
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        self.bursts.push(LossBurst {
+            start,
+            end,
+            loss_prob: p,
+        });
+        self
+    }
+
+    /// Builder: add a per-link loss override for the directed link
+    /// `from -> to`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `p` is within `[0, 1]`.
+    #[must_use]
+    pub fn link_loss(mut self, from: u16, to: u16, p: f64) -> NetConfig {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        self.link_loss.push(LinkLoss {
+            from,
+            to,
+            loss_prob: p,
+        });
+        self
+    }
 }
 
 impl Default for NetConfig {
@@ -141,6 +270,11 @@ impl Default for NetConfig {
             control_delay: DelayModel::Uniform { min: 20, max: 300 },
             fifo: false,
             duplicate_prob: 0.0,
+            loss_prob: 0.0,
+            control_loss_prob: 0.0,
+            delay_jitter: 0,
+            bursts: Vec::new(),
+            link_loss: Vec::new(),
             restart_delay: 2_000,
             max_time: 600_000_000,
             max_events: 50_000_000,
@@ -183,5 +317,31 @@ mod tests {
         assert_eq!(c.delay, DelayModel::Fixed(10));
         assert_eq!(c.restart_delay, 77);
         assert_eq!(c.max_time, 1_000);
+    }
+
+    #[test]
+    fn loss_builders() {
+        let c = NetConfig::default()
+            .loss(0.1)
+            .control_loss(0.3)
+            .jitter(500)
+            .burst(1_000, 2_000, 1.0)
+            .link_loss(0, 2, 0.5);
+        assert_eq!(c.loss_prob, 0.1);
+        assert_eq!(c.control_loss_prob, 0.3);
+        assert_eq!(c.delay_jitter, 500);
+        assert!(c.bursts[0].contains(1_000));
+        assert!(c.bursts[0].contains(1_999));
+        assert!(!c.bursts[0].contains(2_000));
+        assert_eq!(c.link_loss[0].loss_prob, 0.5);
+        let all = NetConfig::default().loss_all(0.3);
+        assert_eq!(all.loss_prob, 0.3);
+        assert_eq!(all.control_loss_prob, 0.3);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability out of range")]
+    fn loss_probability_is_validated() {
+        let _ = NetConfig::default().loss(1.5);
     }
 }

@@ -2,13 +2,16 @@
 
 use dg_ftvc::ProcessId;
 
+use crate::actor::FaultKind;
 use crate::SimTime;
 
 /// Whether a message travels on the application plane or the control
 /// (recovery token) plane.
 ///
-/// Both planes are reliable and unordered; they differ only in the delay
-/// model applied and in the statistics bucket they are counted under.
+/// Both planes are unordered; they differ in the delay model applied, in
+/// the loss probability applied (see [`crate::NetConfig::loss`] and
+/// [`crate::NetConfig::control_loss`]) and in the statistics bucket they
+/// are counted under.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum MessageClass {
     /// Application payload (counts toward piggyback/byte statistics).
@@ -43,6 +46,10 @@ pub(crate) enum EventKind<M> {
         group_of: Vec<u8>,
     },
     PartitionEnd,
+    Fault {
+        p: ProcessId,
+        kind: FaultKind,
+    },
 }
 
 #[derive(Debug)]

@@ -18,9 +18,18 @@
 //! * A crash wipes the actor's volatile state (the actor's
 //!   [`Actor::on_crash`] does the wiping) and silences it until the
 //!   scheduled restart. Messages arriving while a process is down are
-//!   *parked* and redelivered after the restart — the network is reliable;
-//!   what a failure loses is the process's unlogged volatile state, never
-//!   an undelivered message.
+//!   *parked* and redelivered after the restart — by default the network
+//!   is reliable; what a failure loses is the process's unlogged volatile
+//!   state, never an undelivered message.
+//! * Loss injection relaxes the reliability assumption on demand:
+//!   per-class steady-state drop rates ([`NetConfig::loss`],
+//!   [`NetConfig::control_loss`]), scheduled burst-loss windows
+//!   ([`NetConfig::burst`]), per-link overrides ([`NetConfig::link_loss`])
+//!   and extra delay jitter ([`NetConfig::jitter`]). Dropped messages are
+//!   counted in [`RunStats`] and visible in the trace.
+//! * Storage faults ([`FaultKind`]) can be injected at a point in time with
+//!   [`Sim::schedule_fault`], e.g. corrupting the newest checkpoint frame
+//!   to exercise recovery fallback paths.
 //! * At most one network partition is active at a time; messages crossing
 //!   the cut are held and delivered after the partition heals.
 //!
@@ -56,8 +65,8 @@ pub mod threaded;
 mod time;
 mod trace;
 
-pub use actor::{Actor, Context, TimerId};
-pub use config::{DelayModel, NetConfig};
+pub use actor::{Actor, Context, FaultKind, TimerId};
+pub use config::{DelayModel, LinkLoss, LossBurst, NetConfig};
 pub use dg_ftvc::ProcessId;
 pub use event::MessageClass;
 pub use sim::{RunStats, Sim};

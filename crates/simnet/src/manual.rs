@@ -127,7 +127,12 @@ impl Driver {
     }
 
     /// Fire a timer of the given kind on the actor.
-    pub fn timer<A: Actor>(&mut self, me: ProcessId, actor: &mut A, kind: u32) -> Vec<OutEvent<A::Msg>> {
+    pub fn timer<A: Actor>(
+        &mut self,
+        me: ProcessId,
+        actor: &mut A,
+        kind: u32,
+    ) -> Vec<OutEvent<A::Msg>> {
         self.dispatch::<A, _>(|ctx| {
             ctx.me = me;
             actor.on_timer(kind, ctx);
@@ -138,7 +143,11 @@ impl Driver {
     /// crash-recovery step; in-flight messages stay with the caller and
     /// remain deliverable afterwards, which matches the simulator's
     /// parking semantics).
-    pub fn crash_restart<A: Actor>(&mut self, me: ProcessId, actor: &mut A) -> Vec<OutEvent<A::Msg>> {
+    pub fn crash_restart<A: Actor>(
+        &mut self,
+        me: ProcessId,
+        actor: &mut A,
+    ) -> Vec<OutEvent<A::Msg>> {
         actor.on_crash();
         self.dispatch::<A, _>(|ctx| {
             ctx.me = me;
@@ -177,8 +186,22 @@ mod tests {
         let mut a = Echo { got: vec![] };
         let out = d.start(ProcessId(0), &mut a);
         assert_eq!(out.len(), 2);
-        assert!(matches!(out[0], OutEvent::Send { to: ProcessId(1), msg: 1, control: false }));
-        assert!(matches!(out[1], OutEvent::Timer { kind: 7, maintenance: true, .. }));
+        assert!(matches!(
+            out[0],
+            OutEvent::Send {
+                to: ProcessId(1),
+                msg: 1,
+                control: false
+            }
+        ));
+        assert!(matches!(
+            out[1],
+            OutEvent::Timer {
+                kind: 7,
+                maintenance: true,
+                ..
+            }
+        ));
         let out = d.message(ProcessId(0), &mut a, ProcessId(1), 3);
         assert_eq!(out.len(), 1);
         assert_eq!(a.got, vec![3]);

@@ -7,7 +7,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
-use crate::actor::{Action, Actor, Context};
+use crate::actor::{Action, Actor, Context, FaultKind};
 use crate::event::{Event, EventKind, MessageClass};
 use crate::trace::{Trace, TraceKind};
 use crate::{NetConfig, SimTime};
@@ -27,6 +27,12 @@ pub struct RunStats {
     pub partition_held: u64,
     /// Duplicate application-message copies injected by the network.
     pub duplicates_injected: u64,
+    /// Application messages dropped in transit by loss injection.
+    pub app_dropped: u64,
+    /// Control messages (tokens, acks) dropped in transit.
+    pub control_dropped: u64,
+    /// Storage/process faults injected via [`Sim::schedule_fault`].
+    pub faults_injected: u64,
     /// Crash events executed.
     pub crashes: u64,
     /// Timer events that fired (excluding ones invalidated by a crash).
@@ -167,15 +173,42 @@ impl<A: Actor> Sim<A> {
     /// Schedule a crash of `p` at absolute time `at`; the process restarts
     /// after the configured restart delay.
     pub fn schedule_crash(&mut self, p: ProcessId, at: u64) {
-        self.push(SimTime(at), EventKind::Crash {
-            p,
-            downtime: self.config.restart_delay,
-        });
+        self.push(
+            SimTime(at),
+            EventKind::Crash {
+                p,
+                downtime: self.config.restart_delay,
+            },
+        );
     }
 
     /// Schedule a crash with an explicit downtime.
     pub fn schedule_crash_with_downtime(&mut self, p: ProcessId, at: u64, downtime: u64) {
         self.push(SimTime(at), EventKind::Crash { p, downtime });
+    }
+
+    /// Schedule a storage/process fault against `p` at absolute time `at`.
+    /// The fault is applied whether or not the process is up — corrupting
+    /// stable storage does not require a running process.
+    pub fn schedule_fault(&mut self, p: ProcessId, at: u64, kind: FaultKind) {
+        self.push(SimTime(at), EventKind::Fault { p, kind });
+    }
+
+    /// Add a burst-loss window to the live network configuration. Fault
+    /// plans are applied after construction, so scheduled loss windows
+    /// arrive through here rather than the [`NetConfig`] builder.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start >= end` or `loss_prob` is outside `[0, 1]`.
+    pub fn add_loss_burst(&mut self, start: u64, end: u64, loss_prob: f64) {
+        assert!(start < end, "burst window must have positive duration");
+        assert!((0.0..=1.0).contains(&loss_prob), "probability out of range");
+        self.config.bursts.push(crate::config::LossBurst {
+            start,
+            end,
+            loss_prob,
+        });
     }
 
     /// Schedule a network partition from `start` to `end`. `group_of[i]`
@@ -265,7 +298,11 @@ impl<A: Actor> Sim<A> {
                 }
                 let busy_until = st.busy_until;
                 if busy_until > self.now {
-                    self.push_tagged(busy_until, EventKind::Timer { p, kind, id, epoch }, maintenance);
+                    self.push_tagged(
+                        busy_until,
+                        EventKind::Timer { p, kind, id, epoch },
+                        maintenance,
+                    );
                     return;
                 }
                 self.stats.timers_fired += 1;
@@ -314,6 +351,11 @@ impl<A: Actor> Sim<A> {
                     self.schedule_delivery(from, to, msg, class);
                 }
             }
+            EventKind::Fault { p, kind } => {
+                self.stats.faults_injected += 1;
+                self.record(TraceKind::FaultInjected { p });
+                self.actors[p.index()].on_fault(kind);
+            }
         }
     }
 
@@ -334,12 +376,15 @@ impl<A: Actor> Sim<A> {
         if st.busy_until > self.now {
             // Receiver is stalled (synchronous storage write): retry then.
             let at = st.busy_until;
-            self.push(at, EventKind::Deliver {
-                from,
-                to,
-                msg,
-                class,
-            });
+            self.push(
+                at,
+                EventKind::Deliver {
+                    from,
+                    to,
+                    msg,
+                    class,
+                },
+            );
             return;
         }
         match class {
@@ -457,8 +502,68 @@ impl<A: Actor> Sim<A> {
         }
     }
 
-    fn schedule_delivery(&mut self, from: ProcessId, to: ProcessId, msg: A::Msg, class: MessageClass) {
+    fn schedule_delivery(
+        &mut self,
+        from: ProcessId,
+        to: ProcessId,
+        msg: A::Msg,
+        class: MessageClass,
+    ) {
         self.schedule_delivery_with_extra(from, to, msg, class, 0);
+    }
+
+    /// The drop probability for one message copy on `from -> to` at the
+    /// current time. Precedence: an active burst window overrides a
+    /// per-link override, which overrides the per-class steady rate.
+    fn drop_chance(&self, from: ProcessId, to: ProcessId, class: MessageClass) -> f64 {
+        let now = self.now.as_micros();
+        if let Some(burst) = self.config.bursts.iter().find(|b| b.contains(now)) {
+            return burst.loss_prob;
+        }
+        if let Some(link) = self
+            .config
+            .link_loss
+            .iter()
+            .find(|l| l.from == from.0 && l.to == to.0)
+        {
+            return link.loss_prob;
+        }
+        match class {
+            MessageClass::App => self.config.loss_prob,
+            MessageClass::Control => self.config.control_loss_prob,
+        }
+    }
+
+    /// Draw the loss decision for one copy. Only consults the RNG when the
+    /// probability is positive, so lossless configurations keep the exact
+    /// event schedule of builds without loss injection.
+    fn drops_copy(&mut self, from: ProcessId, to: ProcessId, class: MessageClass) -> bool {
+        use rand::Rng;
+        let p = self.drop_chance(from, to, class);
+        if p <= 0.0 || !self.rng.gen_bool(p) {
+            return false;
+        }
+        match class {
+            MessageClass::App => self.stats.app_dropped += 1,
+            MessageClass::Control => self.stats.control_dropped += 1,
+        }
+        self.record(TraceKind::Dropped {
+            from,
+            to,
+            control: class == MessageClass::Control,
+        });
+        true
+    }
+
+    /// One message copy's transit time: the class's delay model, plus the
+    /// sender-side stall backlog, plus optional uniform jitter.
+    fn sample_delay(&mut self, model: crate::DelayModel, extra: u64) -> u64 {
+        use rand::Rng;
+        let mut delay = model.sample(&mut self.rng) + extra;
+        if self.config.delay_jitter > 0 {
+            delay += self.rng.gen_range(0..=self.config.delay_jitter);
+        }
+        delay
     }
 
     fn schedule_delivery_with_extra(
@@ -474,23 +579,31 @@ impl<A: Actor> Sim<A> {
             MessageClass::Control => self.config.control_delay,
         };
         // Network-level duplication: deliver an independent second copy
-        // (the channels are reliable, not exactly-once).
+        // (each copy faces the loss lottery independently).
         if class == MessageClass::App && self.config.duplicate_prob > 0.0 {
             use rand::Rng;
-            if self.rng.gen_bool(self.config.duplicate_prob) {
+            if self.rng.gen_bool(self.config.duplicate_prob) && !self.drops_copy(from, to, class) {
                 self.stats.duplicates_injected += 1;
                 self.record(TraceKind::DuplicateInjected { from, to });
-                let dup_delay = model.sample(&mut self.rng) + extra;
+                let dup_delay = self.sample_delay(model, extra);
                 let at = self.now + dup_delay.max(1);
-                self.push(at, EventKind::Deliver {
-                    from,
-                    to,
-                    msg: msg.clone(),
-                    class,
-                });
+                self.push(
+                    at,
+                    EventKind::Deliver {
+                        from,
+                        to,
+                        msg: msg.clone(),
+                        class,
+                    },
+                );
             }
         }
-        let delay = model.sample(&mut self.rng) + extra;
+        // A dropped message is simply never enqueued; `live_events`
+        // accounting stays exact and quiescence detection is unaffected.
+        if self.drops_copy(from, to, class) {
+            return;
+        }
+        let delay = self.sample_delay(model, extra);
         let mut at = self.now + delay.max(1);
         if self.config.fifo && class == MessageClass::App {
             let frontier = &mut self.procs[to.index()].fifo_frontier[from.index()];
@@ -499,12 +612,15 @@ impl<A: Actor> Sim<A> {
             }
             *frontier = at;
         }
-        self.push(at, EventKind::Deliver {
-            from,
-            to,
-            msg,
-            class,
-        });
+        self.push(
+            at,
+            EventKind::Deliver {
+                from,
+                to,
+                msg,
+                class,
+            },
+        );
     }
 }
 
@@ -628,7 +744,10 @@ mod tests {
         }
         let config = NetConfig::with_seed(2)
             .fifo(true)
-            .delay_model(DelayModel::Uniform { min: 1, max: 10_000 });
+            .delay_model(DelayModel::Uniform {
+                min: 1,
+                max: 10_000,
+            });
         let mut sim = Sim::new(config, vec![Burst { got: vec![] }, Burst { got: vec![] }]);
         sim.run();
         let got = &sim.actor(ProcessId(1)).got;
@@ -654,8 +773,10 @@ mod tests {
                 self.got.push(msg);
             }
         }
-        let config = NetConfig::with_seed(2)
-            .delay_model(DelayModel::Uniform { min: 1, max: 10_000 });
+        let config = NetConfig::with_seed(2).delay_model(DelayModel::Uniform {
+            min: 1,
+            max: 10_000,
+        });
         let mut sim = Sim::new(config, vec![Burst { got: vec![] }, Burst { got: vec![] }]);
         sim.run();
         let got = &sim.actor(ProcessId(1)).got;
@@ -685,10 +806,10 @@ mod tests {
             }
         }
         let config = NetConfig::with_seed(1).delay_model(DelayModel::Fixed(10));
-        let mut sim = Sim::new(config, vec![
-            Slow { handled_at: vec![] },
-            Slow { handled_at: vec![] },
-        ]);
+        let mut sim = Sim::new(
+            config,
+            vec![Slow { handled_at: vec![] }, Slow { handled_at: vec![] }],
+        );
         sim.run();
         let times = &sim.actor(ProcessId(1)).handled_at;
         assert_eq!(times.len(), 2);
@@ -740,6 +861,141 @@ mod tests {
         sim.schedule_crash(ProcessId(0), 100);
         sim.run();
         assert_eq!(sim.actor(ProcessId(0)).fired, 0);
+    }
+
+    #[test]
+    fn total_loss_drops_everything() {
+        let mut sim = Sim::new(
+            NetConfig::with_seed(7).loss(1.0),
+            vec![Pong::new(), Pong::new()],
+        );
+        let stats = sim.run();
+        assert!(stats.quiescent);
+        assert_eq!(stats.app_delivered, 0);
+        assert_eq!(stats.app_dropped, 1); // the opening send
+        assert_eq!(stats.control_dropped, 0);
+    }
+
+    #[test]
+    fn loss_zero_matches_lossless_schedule() {
+        // p = 0 must not consult the RNG, so the schedule is identical to
+        // a config without loss fields at all.
+        let mut base = two_pongs(5);
+        let mut with_zero = Sim::new(
+            NetConfig::with_seed(5).loss(0.0).control_loss(0.0),
+            vec![Pong::new(), Pong::new()],
+        );
+        assert_eq!(base.run(), with_zero.run());
+    }
+
+    #[test]
+    fn partial_loss_drops_some_messages() {
+        // Two chatty processes under 30% loss: some messages get through,
+        // some are dropped, and delivered + dropped accounts for all.
+        struct Chat {
+            got: u32,
+        }
+        impl Actor for Chat {
+            type Msg = u32;
+            fn on_start(&mut self, ctx: &mut Context<'_, u32>) {
+                for i in 0..100 {
+                    let peer = ProcessId(1 - ctx.me().0);
+                    ctx.send(peer, i);
+                }
+            }
+            fn on_message(&mut self, _from: ProcessId, _msg: u32, _ctx: &mut Context<'_, u32>) {
+                self.got += 1;
+            }
+        }
+        let mut sim = Sim::new(
+            NetConfig::with_seed(3).loss(0.3),
+            vec![Chat { got: 0 }, Chat { got: 0 }],
+        );
+        let stats = sim.run();
+        assert!(stats.app_dropped > 0, "expected drops at 30% loss");
+        assert!(stats.app_delivered > 0, "expected survivors at 30% loss");
+        assert_eq!(stats.app_delivered + stats.app_dropped, 200);
+    }
+
+    #[test]
+    fn burst_window_overrides_steady_rate() {
+        // No steady-state loss, but a total-loss burst covering the whole
+        // run: everything sent during the window is dropped.
+        let mut sim = Sim::new(
+            NetConfig::with_seed(7).burst(0, 1_000_000, 1.0),
+            vec![Pong::new(), Pong::new()],
+        );
+        let stats = sim.run();
+        assert_eq!(stats.app_delivered, 0);
+        assert_eq!(stats.app_dropped, 1);
+    }
+
+    #[test]
+    fn link_loss_is_directional() {
+        // P0 -> P1 always drops; the reverse link is clean. The opening
+        // message dies, so nothing ever flows back.
+        let mut sim = Sim::new(
+            NetConfig::with_seed(2).link_loss(0, 1, 1.0),
+            vec![Pong::new(), Pong::new()],
+        );
+        let stats = sim.run();
+        assert_eq!(stats.app_delivered, 0);
+        assert_eq!(stats.app_dropped, 1);
+
+        // Same config, roles swapped: the lossy direction is never used
+        // beyond the replies, so some traffic still flows.
+        let mut rev = Sim::new(
+            NetConfig::with_seed(2).link_loss(1, 0, 1.0),
+            vec![Pong::new(), Pong::new()],
+        );
+        let rev_stats = rev.run();
+        assert_eq!(rev_stats.app_delivered, 1); // P1 gets the opener; its reply dies
+        assert_eq!(rev_stats.app_dropped, 1);
+    }
+
+    #[test]
+    fn jitter_inflates_delays_deterministically() {
+        let run = |jitter| {
+            let mut sim = Sim::new(
+                NetConfig::with_seed(9)
+                    .delay_model(DelayModel::Fixed(10))
+                    .jitter(jitter),
+                vec![Pong::new(), Pong::new()],
+            );
+            sim.run()
+        };
+        let fixed = run(0);
+        let jittered = run(50_000);
+        assert_eq!(fixed.app_delivered, jittered.app_delivered);
+        assert!(
+            jittered.end_time > fixed.end_time,
+            "jitter should stretch the schedule: {:?} vs {:?}",
+            jittered.end_time,
+            fixed.end_time
+        );
+        assert_eq!(run(50_000), run(50_000), "jitter must stay deterministic");
+    }
+
+    #[test]
+    fn fault_injection_reaches_the_actor() {
+        struct Faulty {
+            hits: u32,
+        }
+        impl Actor for Faulty {
+            type Msg = ();
+            fn on_message(&mut self, _from: ProcessId, _msg: (), _ctx: &mut Context<'_, ()>) {}
+            fn on_fault(&mut self, kind: FaultKind) {
+                assert_eq!(kind, FaultKind::CorruptLatestCheckpoint);
+                self.hits += 1;
+            }
+        }
+        let mut sim = Sim::new(NetConfig::with_seed(0), vec![Faulty { hits: 0 }]);
+        sim.schedule_fault(ProcessId(0), 500, FaultKind::CorruptLatestCheckpoint);
+        // Faults land even while the process is down.
+        sim.schedule_crash(ProcessId(0), 400);
+        let stats = sim.run();
+        assert_eq!(sim.actor(ProcessId(0)).hits, 1);
+        assert_eq!(stats.faults_injected, 1);
     }
 
     #[test]

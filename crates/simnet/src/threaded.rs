@@ -127,10 +127,8 @@ where
                         Action::Send { to, msg, class: _ } => {
                             // Reliable channel; ignore peers that already
                             // shut down at the end of the run.
-                            let _ = peers[to.index()].send((me, ThreadEvent::Deliver {
-                                from: me,
-                                msg,
-                            }));
+                            let _ = peers[to.index()]
+                                .send((me, ThreadEvent::Deliver { from: me, msg }));
                         }
                         Action::SetTimer {
                             delay, kind, id, ..
@@ -233,9 +231,12 @@ where
     for crash in crashes {
         let wait = crash.at.saturating_sub(epoch.elapsed());
         thread::sleep(wait);
-        let _ = senders[crash.process.index()].send((crash.process, ThreadEvent::Crash {
-            downtime: crash.downtime,
-        }));
+        let _ = senders[crash.process.index()].send((
+            crash.process,
+            ThreadEvent::Crash {
+                downtime: crash.downtime,
+            },
+        ));
     }
     let remaining = config.duration.saturating_sub(epoch.elapsed());
     thread::sleep(remaining);
@@ -294,10 +295,13 @@ mod tests {
                 restarted: 0,
             })
             .collect();
-        let out = run_threaded(actors, ThreadedConfig {
-            duration: Duration::from_millis(300),
-            ..ThreadedConfig::default()
-        });
+        let out = run_threaded(
+            actors,
+            ThreadedConfig {
+                duration: Duration::from_millis(300),
+                ..ThreadedConfig::default()
+            },
+        );
         let total: u64 = out.iter().map(|a| a.received).sum();
         // Two chains of 11 messages each.
         assert_eq!(total, 22);
@@ -312,15 +316,18 @@ mod tests {
                 restarted: 0,
             })
             .collect();
-        let out = run_threaded(actors, ThreadedConfig {
-            duration: Duration::from_millis(400),
-            crashes: vec![ThreadedCrash {
-                process: ProcessId(1),
-                at: Duration::from_millis(20),
-                downtime: Duration::from_millis(50),
-            }],
-            ..ThreadedConfig::default()
-        });
+        let out = run_threaded(
+            actors,
+            ThreadedConfig {
+                duration: Duration::from_millis(400),
+                crashes: vec![ThreadedCrash {
+                    process: ProcessId(1),
+                    at: Duration::from_millis(20),
+                    downtime: Duration::from_millis(50),
+                }],
+                ..ThreadedConfig::default()
+            },
+        );
         assert_eq!(out[1].crashed, 1);
         assert_eq!(out[1].restarted, 1);
     }

@@ -62,6 +62,20 @@ pub enum TraceKind {
         /// Destination.
         to: ProcessId,
     },
+    /// The network dropped a message in transit.
+    Dropped {
+        /// Sender.
+        from: ProcessId,
+        /// Intended destination.
+        to: ProcessId,
+        /// Control-plane traffic (tokens, acks)?
+        control: bool,
+    },
+    /// A storage/process fault was injected.
+    FaultInjected {
+        /// The afflicted process.
+        p: ProcessId,
+    },
 }
 
 /// One recorded scheduling decision.
@@ -122,7 +136,10 @@ impl Trace {
     pub fn render(&self) -> String {
         let mut out = String::new();
         if self.dropped > 0 {
-            out.push_str(&format!("... {} earlier events dropped ...\n", self.dropped));
+            out.push_str(&format!(
+                "... {} earlier events dropped ...\n",
+                self.dropped
+            ));
         }
         for e in &self.events {
             let line = match e.kind {
@@ -146,6 +163,16 @@ impl Trace {
                 }
                 TraceKind::DuplicateInjected { from, to } => {
                     format!("{:>10}  duplicate {} -> {}", e.at, from, to)
+                }
+                TraceKind::Dropped { from, to, control } => format!(
+                    "{:>10}  DROPPED {} -> {} {}",
+                    e.at,
+                    from,
+                    to,
+                    if control { "[control]" } else { "" }
+                ),
+                TraceKind::FaultInjected { p } => {
+                    format!("{:>10}  {} storage fault injected", e.at, p)
                 }
             };
             out.push_str(line.trim_end());
@@ -175,11 +202,14 @@ mod tests {
     #[test]
     fn render_lines() {
         let mut t = Trace::new(8);
-        t.push(SimTime(5), TraceKind::Delivered {
-            from: ProcessId(0),
-            to: ProcessId(1),
-            control: true,
-        });
+        t.push(
+            SimTime(5),
+            TraceKind::Delivered {
+                from: ProcessId(0),
+                to: ProcessId(1),
+                control: true,
+            },
+        );
         t.push(SimTime(9), TraceKind::Crashed { p: ProcessId(1) });
         let s = t.render();
         assert!(s.contains("P0 -> P1 [control]"));

@@ -29,6 +29,11 @@ pub struct CheckpointId(pub u64);
 pub struct CheckpointStore<C> {
     items: Vec<(CheckpointId, C)>,
     next_id: u64,
+    /// Checkpoints whose frames no longer verify (storage faults). They
+    /// stay in `items` — the damage is discovered at *read* time, exactly
+    /// like a checksum mismatch in [`crate::file::FileBackend`] — but the
+    /// `*_intact` accessors skip them.
+    corrupt: std::collections::BTreeSet<CheckpointId>,
 }
 
 impl<C> Default for CheckpointStore<C> {
@@ -43,6 +48,7 @@ impl<C> CheckpointStore<C> {
         CheckpointStore {
             items: Vec::new(),
             next_id: 0,
+            corrupt: std::collections::BTreeSet::new(),
         }
     }
 
@@ -80,6 +86,49 @@ impl<C> CheckpointStore<C> {
         self.items.iter().map(|(id, c)| (*id, c))
     }
 
+    /// Damage the newest *intact* checkpoint: its frame will no longer
+    /// verify, so recovery must fall back to an older one. Refuses (and
+    /// returns `None`) when at most one intact checkpoint remains — the
+    /// protocol's recoverability assumption is that the initial
+    /// checkpoint is never lost.
+    pub fn mark_latest_corrupt(&mut self) -> Option<CheckpointId> {
+        let mut intact = self
+            .items
+            .iter()
+            .rev()
+            .map(|(id, _)| *id)
+            .filter(|id| !self.corrupt.contains(id));
+        let newest = intact.next()?;
+        intact.next()?; // refuse to damage the last intact checkpoint
+        self.corrupt.insert(newest);
+        Some(newest)
+    }
+
+    /// Whether `id`'s frame fails verification.
+    pub fn is_corrupt(&self, id: CheckpointId) -> bool {
+        self.corrupt.contains(&id)
+    }
+
+    /// Number of retained checkpoints whose frames no longer verify.
+    pub fn corrupt_count(&self) -> usize {
+        self.corrupt.len()
+    }
+
+    /// The most recent checkpoint that still verifies, if any.
+    pub fn latest_intact(&self) -> Option<(CheckpointId, &C)> {
+        self.iter_newest_first_intact().next()
+    }
+
+    /// Iterate verifying checkpoints newest-first — the rollback/restart
+    /// search order once storage faults are possible.
+    pub fn iter_newest_first_intact(&self) -> impl Iterator<Item = (CheckpointId, &C)> {
+        self.items
+            .iter()
+            .rev()
+            .filter(|(id, _)| !self.corrupt.contains(id))
+            .map(|(id, c)| (*id, c))
+    }
+
     /// Fetch a checkpoint by id.
     pub fn get(&self, id: CheckpointId) -> Option<&C> {
         self.items
@@ -98,6 +147,7 @@ impl<C> CheckpointStore<C> {
             .unwrap_or(self.items.len());
         let discarded = self.items.len() - keep;
         self.items.truncate(keep);
+        self.corrupt.retain(|cid| *cid <= id);
         discarded
     }
 
@@ -111,6 +161,7 @@ impl<C> CheckpointStore<C> {
             .position(|(cid, _)| *cid >= id)
             .unwrap_or(0);
         self.items.drain(..cut);
+        self.corrupt.retain(|cid| *cid >= id);
         cut
     }
 }
@@ -171,6 +222,59 @@ mod tests {
         assert_eq!(s.gc_before(b), 1);
         assert_eq!(s.len(), 2);
         assert_eq!(s.get(b), Some(&2));
+    }
+
+    #[test]
+    fn corruption_falls_back_to_older_checkpoint() {
+        let mut s = CheckpointStore::new();
+        let a = s.take(1);
+        let b = s.take(2);
+        let c = s.take(3);
+        assert_eq!(s.mark_latest_corrupt(), Some(c));
+        assert!(s.is_corrupt(c));
+        assert_eq!(
+            s.latest(),
+            Some((c, &3)),
+            "corrupt frames are still present"
+        );
+        assert_eq!(s.latest_intact(), Some((b, &2)));
+        let order: Vec<_> = s.iter_newest_first_intact().map(|(id, _)| id).collect();
+        assert_eq!(order, vec![b, a]);
+        assert_eq!(s.corrupt_count(), 1);
+    }
+
+    #[test]
+    fn last_intact_checkpoint_cannot_be_corrupted() {
+        let mut s = CheckpointStore::new();
+        let a = s.take(1);
+        let b = s.take(2);
+        assert_eq!(s.mark_latest_corrupt(), Some(b));
+        // Only `a` verifies now; the store refuses to damage it.
+        assert_eq!(s.mark_latest_corrupt(), None);
+        assert_eq!(s.latest_intact(), Some((a, &1)));
+    }
+
+    #[test]
+    fn discard_and_gc_forget_corruption_marks() {
+        let mut s = CheckpointStore::new();
+        let a = s.take(1);
+        s.take(2);
+        s.take(3);
+        let c = s.mark_latest_corrupt().unwrap();
+        s.discard_after(a);
+        assert!(!s.is_corrupt(c), "discarded frames shed their marks");
+        assert_eq!(s.corrupt_count(), 0);
+
+        let mut s = CheckpointStore::new();
+        s.take(1);
+        s.take(2);
+        let d = s.take(3);
+        s.take(4);
+        let damaged = s.mark_latest_corrupt().unwrap();
+        s.gc_before(d);
+        // The damaged newest frame is at or after the GC floor: kept.
+        assert!(s.is_corrupt(damaged));
+        assert_eq!(s.corrupt_count(), 1);
     }
 
     #[test]

@@ -178,33 +178,41 @@ impl<T: Codec> FileBackend<T> {
         Ok(id)
     }
 
-    /// Load the newest intact checkpoint, if any.
+    /// Load the newest intact checkpoint, if any: ids are walked
+    /// newest-first and frames that fail verification (short file,
+    /// checksum mismatch, undecodable body) are skipped, so a damaged
+    /// latest snapshot falls back to the previous good one instead of
+    /// aborting recovery.
     ///
     /// # Errors
     ///
-    /// Propagates filesystem errors; returns `InvalidData` on checksum
-    /// mismatch.
+    /// Propagates filesystem errors; returns `InvalidData` only when
+    /// checkpoint files exist but none of them verifies.
     pub fn latest_checkpoint<C: Codec>(&self) -> io::Result<Option<(u64, C)>> {
         let ids = Self::checkpoint_ids(&self.dir)?;
-        let Some(&id) = ids.last() else {
+        if ids.is_empty() {
             return Ok(None);
-        };
-        let mut bytes = Vec::new();
-        File::open(self.dir.join(format!("checkpoint-{id}.bin")))?.read_to_end(&mut bytes)?;
-        if bytes.len() < 8 {
-            return Err(io::Error::new(io::ErrorKind::InvalidData, "short checkpoint"));
         }
-        let checksum = u64::from_le_bytes(bytes[..8].try_into().expect("sized"));
-        let body = &bytes[8..];
-        if fnv1a(body) != checksum {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                "checkpoint checksum mismatch",
-            ));
+        for &id in ids.iter().rev() {
+            let mut bytes = Vec::new();
+            File::open(self.dir.join(format!("checkpoint-{id}.bin")))?.read_to_end(&mut bytes)?;
+            if bytes.len() < 8 {
+                continue; // torn frame
+            }
+            let checksum = u64::from_le_bytes(bytes[..8].try_into().expect("sized"));
+            let body = &bytes[8..];
+            if fnv1a(body) != checksum {
+                continue; // damaged frame
+            }
+            let Ok(snapshot) = from_bytes::<C>(body) else {
+                continue; // verifies but does not decode: treat as damaged
+            };
+            return Ok(Some((id, snapshot)));
         }
-        let snapshot = from_bytes::<C>(body)
-            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
-        Ok(Some((id, snapshot)))
+        Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "no intact checkpoint on stable storage",
+        ))
     }
 
     /// Delete checkpoints strictly older than `keep_from` and truncate
@@ -236,10 +244,8 @@ mod tests {
     use super::*;
 
     fn tempdir(name: &str) -> PathBuf {
-        let dir = std::env::temp_dir().join(format!(
-            "dg-storage-test-{name}-{}",
-            std::process::id()
-        ));
+        let dir =
+            std::env::temp_dir().join(format!("dg-storage-test-{name}-{}", std::process::id()));
         let _ = fs::remove_dir_all(&dir);
         dir
     }
@@ -310,6 +316,45 @@ mod tests {
         assert_eq!(id, 2);
         // New ids keep counting after reopen.
         assert_eq!(b.write_checkpoint(&400u64).unwrap(), 3);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn damaged_latest_checkpoint_falls_back_to_previous() {
+        let dir = tempdir("ckpt-fallback");
+        {
+            let mut b: FileBackend<u64> = FileBackend::open(&dir).unwrap();
+            b.write_checkpoint(&100u64).unwrap();
+            b.write_checkpoint(&200u64).unwrap();
+        }
+        // Flip a bit inside the newest frame's body.
+        let path = dir.join("checkpoint-1.bin");
+        let mut bytes = fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xff;
+        fs::write(&path, &bytes).unwrap();
+        let b: FileBackend<u64> = FileBackend::open(&dir).unwrap();
+        let (id, snap) = b.latest_checkpoint::<u64>().unwrap().unwrap();
+        assert_eq!(
+            (id, snap),
+            (0, 100),
+            "recovery must fall back past the damage"
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn all_checkpoints_damaged_is_an_error() {
+        let dir = tempdir("ckpt-all-bad");
+        {
+            let mut b: FileBackend<u64> = FileBackend::open(&dir).unwrap();
+            b.write_checkpoint(&100u64).unwrap();
+        }
+        let path = dir.join("checkpoint-0.bin");
+        fs::write(&path, b"garbage").unwrap();
+        let b: FileBackend<u64> = FileBackend::open(&dir).unwrap();
+        let err = b.latest_checkpoint::<u64>().unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
         let _ = fs::remove_dir_all(&dir);
     }
 

@@ -24,8 +24,8 @@ fn main() {
             n,
             |p| Bank::new(p, n, initial, 15, 7),
             DgConfig::fast_test()
-                .flush_every(20_000)     // optimistic: real loss on crash
-                .with_retransmit(true),  // ... repaired by retransmission
+                .flush_every(20_000) // optimistic: real loss on crash
+                .with_retransmit(true), // ... repaired by retransmission
             NetConfig::with_seed(seed + 1),
             &plan,
         );

@@ -35,7 +35,11 @@ fn main() {
     sim.run();
     let dg = sim.actor(ProcessId(0));
     println!("Damani-Garg:");
-    println!("  P0 restarted: {} time(s), version {:?}", dg.stats().restarts, dg.version());
+    println!(
+        "  P0 restarted: {} time(s), version {:?}",
+        dg.stats().restarts,
+        dg.version()
+    );
     println!("  recovery blocked on peers: 0us (it broadcasts a token and keeps going)");
     println!(
         "  post-restart deliveries while still partitioned: {}",
@@ -44,9 +48,7 @@ fn main() {
 
     // --- Johnson–Zwaenepoel ---
     let actors: Vec<SblProcess<MeshChatter>> = (0..n as u16)
-        .map(|i| {
-            SblProcess::new(ProcessId(i), n, chat.clone(), StorageCosts::free(), 50_000)
-        })
+        .map(|i| SblProcess::new(ProcessId(i), n, chat.clone(), StorageCosts::free(), 50_000))
         .collect();
     let mut sim = Sim::new(NetConfig::with_seed(2), actors);
     sim.schedule_partition(groups, PARTITION_START, PARTITION_END);

@@ -25,7 +25,11 @@ fn main() {
     let print = |name: &str, s: &SystemSummary| {
         println!(
             "{:<22} {:>8} {:>12} {:>14.1} {:>12}",
-            name, s.restarts, s.max_rollbacks_per_failure, s.mean_piggyback, s.max_recovery_blocked_us
+            name,
+            s.restarts,
+            s.max_rollbacks_per_failure,
+            s.mean_piggyback,
+            s.max_recovery_blocked_us
         );
     };
 
@@ -65,18 +69,44 @@ fn main() {
 
     // Strom–Yemini (FIFO required)
     let actors: Vec<SyProcess<MeshChatter>> = (0..n as u16)
-        .map(|i| SyProcess::new(ProcessId(i), n, chat.clone(), StorageCosts::free(), 200_000, 30_000))
+        .map(|i| {
+            SyProcess::new(
+                ProcessId(i),
+                n,
+                chat.clone(),
+                StorageCosts::free(),
+                200_000,
+                30_000,
+            )
+        })
         .collect();
-    let out = run_actors(actors, NetConfig::with_seed(7).fifo(true), &plan, SyProcess::report);
+    let out = run_actors(
+        actors,
+        NetConfig::with_seed(7).fifo(true),
+        &plan,
+        SyProcess::report,
+    );
     print("Strom-Yemini", &out.summary);
 
     // Peterson–Kearns (FIFO required)
     let actors: Vec<PkProcess<MeshChatter>> = (0..n as u16)
         .map(|i| {
-            PkProcess::new(ProcessId(i), n, chat.clone(), StorageCosts::free(), 200_000, 30_000)
+            PkProcess::new(
+                ProcessId(i),
+                n,
+                chat.clone(),
+                StorageCosts::free(),
+                200_000,
+                30_000,
+            )
         })
         .collect();
-    let out = run_actors(actors, NetConfig::with_seed(7).fifo(true), &plan, PkProcess::report);
+    let out = run_actors(
+        actors,
+        NetConfig::with_seed(7).fifo(true),
+        &plan,
+        PkProcess::report,
+    );
     print("Peterson-Kearns", &out.summary);
 
     // Johnson–Zwaenepoel

@@ -32,15 +32,18 @@ fn main() {
         })
         .collect();
 
-    let out = run_threaded(actors, ThreadedConfig {
-        seed: 7,
-        duration: Duration::from_millis(400),
-        crashes: vec![ThreadedCrash {
-            process: ProcessId(1),
-            at: Duration::from_millis(30),
-            downtime: Duration::from_millis(40),
-        }],
-    });
+    let out = run_threaded(
+        actors,
+        ThreadedConfig {
+            seed: 7,
+            duration: Duration::from_millis(400),
+            crashes: vec![ThreadedCrash {
+                process: ProcessId(1),
+                at: Duration::from_millis(30),
+                downtime: Duration::from_millis(40),
+            }],
+        },
+    );
 
     println!("threaded run over {} OS threads:", n);
     for p in &out {

@@ -1,0 +1,161 @@
+//! Offline stand-in for the parts of `bytes` this workspace uses.
+//!
+//! The wire-encoding module (`dg-ftvc::wire`) needs an append buffer
+//! ([`BytesMut`]), a consuming read cursor ([`Bytes`]), and the
+//! [`Buf`]/[`BufMut`] trait names it imports. Zero-copy reference
+//! counting — the real crate's raison d'être — is irrelevant to byte
+//! counting benchmarks, so these are plain `Vec<u8>` wrappers.
+
+/// Read-side cursor over an immutable byte buffer.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Bytes {
+    data: Vec<u8>,
+    pos: usize,
+}
+
+impl Bytes {
+    /// Wrap a static byte slice.
+    pub fn from_static(bytes: &'static [u8]) -> Bytes {
+        Bytes {
+            data: bytes.to_vec(),
+            pos: 0,
+        }
+    }
+
+    /// Unconsumed length.
+    pub fn len(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    /// `true` iff fully consumed.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The unconsumed bytes as a slice.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data[self.pos..]
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Bytes {
+        Bytes { data, pos: 0 }
+    }
+}
+
+/// Growable write buffer.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty buffer.
+    pub fn new() -> BytesMut {
+        BytesMut::default()
+    }
+
+    /// An empty buffer with reserved capacity.
+    pub fn with_capacity(cap: usize) -> BytesMut {
+        BytesMut {
+            data: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` iff nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Finish writing and convert into a read cursor.
+    pub fn freeze(self) -> Bytes {
+        Bytes {
+            data: self.data,
+            pos: 0,
+        }
+    }
+}
+
+/// Read-side trait (the subset of `bytes::Buf` the workspace uses).
+pub trait Buf {
+    /// `true` iff at least one byte remains.
+    fn has_remaining(&self) -> bool;
+    /// Consume and return the next byte.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no bytes remain.
+    fn get_u8(&mut self) -> u8;
+    /// Number of unconsumed bytes.
+    fn remaining(&self) -> usize;
+}
+
+impl Buf for Bytes {
+    fn has_remaining(&self) -> bool {
+        self.pos < self.data.len()
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        assert!(self.has_remaining(), "get_u8 past end of buffer");
+        let b = self.data[self.pos];
+        self.pos += 1;
+        b
+    }
+
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+}
+
+/// Write-side trait (the subset of `bytes::BufMut` the workspace uses).
+pub trait BufMut {
+    /// Append one byte.
+    fn put_u8(&mut self, b: u8);
+}
+
+impl BufMut for BytesMut {
+    fn put_u8(&mut self, b: u8) {
+        self.data.push(b);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_freeze_read_roundtrip() {
+        let mut w = BytesMut::with_capacity(4);
+        w.put_u8(1);
+        w.put_u8(2);
+        assert_eq!(w.len(), 2);
+        let mut r = w.freeze();
+        assert_eq!(r.len(), 2);
+        assert!(r.has_remaining());
+        assert_eq!(r.get_u8(), 1);
+        assert_eq!(r.get_u8(), 2);
+        assert!(!r.has_remaining());
+        assert_eq!(r.len(), 0);
+    }
+
+    #[test]
+    fn from_static_reads() {
+        let mut b = Bytes::from_static(&[7, 8]);
+        assert_eq!(b.remaining(), 2);
+        assert_eq!(b.get_u8(), 7);
+        assert_eq!(b.as_slice(), &[8]);
+    }
+
+    #[test]
+    #[should_panic(expected = "past end")]
+    fn reading_past_end_panics() {
+        let mut b = Bytes::from_static(&[]);
+        let _ = b.get_u8();
+    }
+}

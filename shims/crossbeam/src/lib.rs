@@ -1,0 +1,34 @@
+//! Offline stand-in for the `crossbeam::channel` subset this workspace
+//! uses.
+//!
+//! The threaded runtime needs unbounded MPSC channels with
+//! `recv_timeout`; `std::sync::mpsc` provides exactly that surface (its
+//! `Sender` is `Clone`, and each `Receiver` is owned by one thread), so
+//! the shim is a thin re-export.
+
+/// Channel types under the `crossbeam::channel` path.
+pub mod channel {
+    pub use std::sync::mpsc::{Receiver, RecvTimeoutError, SendError, Sender};
+
+    /// An unbounded MPSC channel, mirroring `crossbeam::channel::unbounded`.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::{unbounded, RecvTimeoutError};
+    use std::time::Duration;
+
+    #[test]
+    fn send_recv_and_timeout() {
+        let (tx, rx) = unbounded();
+        tx.send(5u32).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(50)).unwrap(), 5);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(1)),
+            Err(RecvTimeoutError::Timeout)
+        );
+    }
+}

@@ -1,0 +1,22 @@
+//! Offline stand-in for `serde`.
+//!
+//! The container this workspace builds in has no crates.io access, so
+//! the real `serde` cannot be fetched. The workspace only *decorates*
+//! types with `#[derive(Serialize, Deserialize)]` — actual persistence
+//! goes through `dg-storage::codec` — so a pair of marker traits plus
+//! no-op derive macros (see the `serde_derive` shim) is sufficient and
+//! keeps every type definition source-compatible with the real crate.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize`. Never used as a bound in
+/// this workspace.
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize`. Never used as a bound in
+/// this workspace.
+pub trait Deserialize<'de>: Sized {}
+
+/// Marker trait mirroring `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}

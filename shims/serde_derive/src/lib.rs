@@ -1,0 +1,24 @@
+//! No-op derive macros standing in for `serde_derive`.
+//!
+//! The workspace builds in a fully offline container with no registry
+//! access, so the real `serde` cannot be vendored. Nothing in the
+//! workspace actually serializes through serde (durable storage uses the
+//! hand-rolled `dg-storage::codec`); the derives exist purely so type
+//! definitions can keep their `#[derive(Serialize, Deserialize)]`
+//! decoration. Expanding to an empty token stream is therefore sound:
+//! the marker traits in the sibling `serde` shim are never used as
+//! bounds.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; accepts (and ignores) `#[serde(...)]` attributes.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; accepts (and ignores) `#[serde(...)]` attributes.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -30,8 +30,10 @@ fn fuzz_chatter_with_random_faults() {
 fn fuzz_with_extreme_reordering() {
     // Very wide delay distribution: tokens and messages race hard.
     for seed in 0..10u64 {
-        let net = NetConfig::with_seed(seed)
-            .delay_model(DelayModel::Uniform { min: 1, max: 30_000 });
+        let net = NetConfig::with_seed(seed).delay_model(DelayModel::Uniform {
+            min: 1,
+            max: 30_000,
+        });
         let out = run_dg(
             4,
             |p| MeshChatter::new(3, 15, 100 + p.0 as u64),
@@ -142,8 +144,8 @@ fn fuzz_crash_during_partitions() {
     for seed in 0..8u64 {
         let n = 6;
         let group_of: Vec<u8> = (0..n).map(|i| u8::from(i % 2 == 0)).collect();
-        let plan = FaultPlan::single_crash(ProcessId(2), 6_000)
-            .with_partition(group_of, 2_000, 150_000);
+        let plan =
+            FaultPlan::single_crash(ProcessId(2), 6_000).with_partition(group_of, 2_000, 150_000);
         let out = run_dg(
             n,
             |p| MeshChatter::new(3, 20, 55 + p.0 as u64),
@@ -204,7 +206,12 @@ fn fuzz_kvstore_converges_with_retransmission() {
         assert!(out.stats.quiescent, "seed {seed}");
         oracle::check(&out).unwrap_or_else(|v| panic!("seed {seed}: {v:?}"));
         // Convergence: every replica holds the same map.
-        let digests: Vec<u64> = out.sim.actors().iter().map(|a| a.app().map_digest()).collect();
+        let digests: Vec<u64> = out
+            .sim
+            .actors()
+            .iter()
+            .map(|a| a.app().map_digest())
+            .collect();
         assert!(
             digests.windows(2).all(|w| w[0] == w[1]),
             "seed {seed}: replicas diverged: {digests:?}"
@@ -236,7 +243,11 @@ fn fuzz_network_duplication_is_harmless() {
         );
         oracle::check(&out).unwrap_or_else(|v| panic!("seed {seed}: {v:?}"));
         let total: u64 = out.sim.actors().iter().map(|a| a.app().balance).sum();
-        assert_eq!(total, n as u64 * 400, "seed {seed}: duplicates created money");
+        assert_eq!(
+            total,
+            n as u64 * 400,
+            "seed {seed}: duplicates created money"
+        );
 
         let out = run_dg(
             n,
@@ -246,8 +257,16 @@ fn fuzz_network_duplication_is_harmless() {
             &FaultPlan::none(),
         );
         assert!(out.stats.quiescent);
-        let digests: Vec<u64> = out.sim.actors().iter().map(|a| a.app().map_digest()).collect();
-        assert!(digests.windows(2).all(|w| w[0] == w[1]), "seed {seed}: diverged");
+        let digests: Vec<u64> = out
+            .sim
+            .actors()
+            .iter()
+            .map(|a| a.app().map_digest())
+            .collect();
+        assert!(
+            digests.windows(2).all(|w| w[0] == w[1]),
+            "seed {seed}: diverged"
+        );
     }
 }
 

@@ -17,38 +17,62 @@ fn figure_1_replay() {
 
     // s00: P0 at (0,1)(0,0)(0,0) sends m1 to P1.
     let s00 = p0.clone();
-    assert_eq!(s00, Ftvc::from_parts(ProcessId(0), &[(0, 1), (0, 0), (0, 0)]));
+    assert_eq!(
+        s00,
+        Ftvc::from_parts(ProcessId(0), &[(0, 1), (0, 0), (0, 0)])
+    );
     let m1 = p0.stamp_for_send();
 
     // P0 moves to (0,2)... and sends m0' to P2 (giving P2 its (0,2) entry).
-    assert_eq!(p0, Ftvc::from_parts(ProcessId(0), &[(0, 2), (0, 0), (0, 0)]));
+    assert_eq!(
+        p0,
+        Ftvc::from_parts(ProcessId(0), &[(0, 2), (0, 0), (0, 0)])
+    );
     let m_p0_p2 = p0.stamp_for_send();
-    assert_eq!(p0, Ftvc::from_parts(ProcessId(0), &[(0, 3), (0, 0), (0, 0)]));
+    assert_eq!(
+        p0,
+        Ftvc::from_parts(ProcessId(0), &[(0, 3), (0, 0), (0, 0)])
+    );
 
     // s11: P1 receives m1 -> (0,1)(0,2)(0,0)  [boxed value in the figure]
     p1.observe(&m1);
     let s11 = p1.clone();
-    assert_eq!(s11, Ftvc::from_parts(ProcessId(1), &[(0, 1), (0, 2), (0, 0)]));
+    assert_eq!(
+        s11,
+        Ftvc::from_parts(ProcessId(1), &[(0, 1), (0, 2), (0, 0)])
+    );
 
     // P1 checkpoints s11, then advances: s12 sends m3 to P2.
     let checkpoint_p1 = s11.clone();
     let _m2_to_p0 = p1.stamp_for_send(); // s11 -> s12 transition
     let s12 = p1.clone();
-    assert_eq!(s12, Ftvc::from_parts(ProcessId(1), &[(0, 1), (0, 3), (0, 0)]));
+    assert_eq!(
+        s12,
+        Ftvc::from_parts(ProcessId(1), &[(0, 1), (0, 3), (0, 0)])
+    );
     let m3 = p1.stamp_for_send(); // sent from s12
     let f10 = p1.clone(); // P1 fails here
-    assert_eq!(f10, Ftvc::from_parts(ProcessId(1), &[(0, 1), (0, 4), (0, 0)]));
+    assert_eq!(
+        f10,
+        Ftvc::from_parts(ProcessId(1), &[(0, 1), (0, 4), (0, 0)])
+    );
 
     // P2: receives P0's message (reaching s21), then m3 (reaching s22).
     p2.observe(&m_p0_p2);
     h2.observe_clock(&m_p0_p2);
     let s21 = p2.clone();
-    assert_eq!(s21, Ftvc::from_parts(ProcessId(2), &[(0, 2), (0, 0), (0, 2)]));
+    assert_eq!(
+        s21,
+        Ftvc::from_parts(ProcessId(2), &[(0, 2), (0, 0), (0, 2)])
+    );
     p2.observe(&m3);
     h2.observe_clock(&m3);
     let s22 = p2.clone();
     // The figure's boxed value for s22: (0,2)(0,3)(0,3).
-    assert_eq!(s22, Ftvc::from_parts(ProcessId(2), &[(0, 2), (0, 3), (0, 3)]));
+    assert_eq!(
+        s22,
+        Ftvc::from_parts(ProcessId(2), &[(0, 2), (0, 3), (0, 3)])
+    );
 
     // ---- P1 fails at f10, restores s11, recovers, restarts as r10 ----
     let mut restored = checkpoint_p1.clone();
@@ -57,7 +81,10 @@ fn figure_1_replay() {
     restored.restart();
     let r10 = restored.clone();
     // The figure's boxed value for r10: (0,1)(1,0)(0,0).
-    assert_eq!(r10, Ftvc::from_parts(ProcessId(1), &[(0, 1), (1, 0), (0, 0)]));
+    assert_eq!(
+        r10,
+        Ftvc::from_parts(ProcessId(1), &[(0, 1), (1, 0), (0, 0)])
+    );
 
     // ---- Lost / orphan classification ----
     // s12 and f10 are lost: their own timestamps exceed the restored ts.

@@ -37,7 +37,13 @@ impl Application for Script {
         Effects::none()
     }
 
-    fn on_message(&mut self, me: ProcessId, _from: ProcessId, msg: &Msg, _n: usize) -> Effects<Msg> {
+    fn on_message(
+        &mut self,
+        me: ProcessId,
+        _from: ProcessId,
+        msg: &Msg,
+        _n: usize,
+    ) -> Effects<Msg> {
         match (me, msg) {
             (ProcessId(0), Msg::Ask(k)) => Effects::send(ProcessId(1), Msg::Ask(*k)),
             (ProcessId(1), Msg::Ask(k)) => Effects::send(ProcessId(0), Msg::Answer(*k)),
@@ -51,7 +57,9 @@ impl Application for Script {
     }
 
     fn digest(&self) -> u64 {
-        self.forwards_seen.iter().fold(0, |h, &k| h * 31 + u64::from(k))
+        self.forwards_seen
+            .iter()
+            .fold(0, |h, &k| h * 31 + u64::from(k))
     }
 }
 
@@ -99,9 +107,30 @@ fn figure_5_protocol_level() {
         .flush_every(1_000_000)
         .checkpoint_every(1_000_000);
     let mut driver = Driver::new(n, 0);
-    let mut p0 = DgProcess::new(ProcessId(0), n, Script { forwards_seen: vec![] }, cfg);
-    let mut p1 = DgProcess::new(ProcessId(1), n, Script { forwards_seen: vec![] }, cfg);
-    let mut p2 = DgProcess::new(ProcessId(2), n, Script { forwards_seen: vec![] }, cfg);
+    let mut p0 = DgProcess::new(
+        ProcessId(0),
+        n,
+        Script {
+            forwards_seen: vec![],
+        },
+        cfg,
+    );
+    let mut p1 = DgProcess::new(
+        ProcessId(1),
+        n,
+        Script {
+            forwards_seen: vec![],
+        },
+        cfg,
+    );
+    let mut p2 = DgProcess::new(
+        ProcessId(2),
+        n,
+        Script {
+            forwards_seen: vec![],
+        },
+        cfg,
+    );
     driver.start(ProcessId(0), &mut p0);
     driver.start(ProcessId(1), &mut p1);
     driver.start(ProcessId(2), &mut p2);
@@ -165,7 +194,11 @@ fn figure_5_protocol_level() {
         1,
         "m0 was sent by P0's orphan state: Lemma 4 discards it at P2"
     );
-    assert_eq!(p2.stats().rollbacks, 0, "a discarded message causes no rollback");
+    assert_eq!(
+        p2.stats().rollbacks,
+        0,
+        "a discarded message causes no rollback"
+    );
     assert!(
         p2.app().forwards_seen.is_empty(),
         "the obsolete forward never reached the application"
