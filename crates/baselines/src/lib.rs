@@ -33,8 +33,8 @@ pub mod strom_yemini;
 
 pub use coordinated::CoordinatedProcess;
 pub use pessimistic::PessimisticProcess;
-pub use peterson_kearns::PkProcess;
+pub use peterson_kearns::{PkEngine, PkProcess};
 pub use sender_based::SblProcess;
 pub use sistla_welch::SwProcess;
 pub use sjt::SjtProcess;
-pub use strom_yemini::SyProcess;
+pub use strom_yemini::{SyEngine, SyProcess};

@@ -12,15 +12,20 @@
 //!
 //! The FIFO assumption is made observable: application messages carry a
 //! per-link sequence number, and out-of-order delivery is counted in
-//! [`PkProcess::fifo_violations`] (experiment E1e runs this protocol on
+//! [`PkEngine::fifo_violations`] (experiment E1e runs this protocol on
 //! the non-FIFO network to show the assumption is load-bearing).
+//!
+//! The protocol is a sans-IO [`PkEngine`] on the same
+//! [`Input`]/[`Effect`] interface as the Damani–Garg [`dg_core::Engine`];
+//! [`PkProcess`] is its simulator actor adapter. Time (for the
+//! recovery-blocked measurement) enters only through `Input::*::now`.
 
 use std::collections::HashMap;
 
-use dg_core::{Application, Effects, ProcessId};
+use dg_core::{run_effects, Application, Effect, Effects, Input, ProcessId, ProtocolEngine};
 use dg_ftvc::{wire as clockwire, VectorClock};
 use dg_harness::ProtoReport;
-use dg_simnet::{Actor, Context, SimTime};
+use dg_simnet::{Actor, Context};
 use dg_storage::{CheckpointStore, EventLog, LogPos, StorageCosts};
 
 const TIMER_CHECKPOINT: u32 = 1;
@@ -68,8 +73,13 @@ struct Ckpt<A> {
     log_end: LogPos,
 }
 
-/// A process under Peterson–Kearns vector-time rollback recovery.
-pub struct PkProcess<A: Application> {
+/// The Peterson–Kearns protocol as a transport-agnostic state machine.
+///
+/// Same contract as [`dg_core::Engine`]: one [`Input`] in, an ordered
+/// [`Effect`] batch out, no IO, no clock reads, no randomness. The
+/// synchronous-recovery blocking time is measured from the `now`
+/// timestamps the runtime supplies.
+pub struct PkEngine<A: Application> {
     me: ProcessId,
     n: usize,
     costs: StorageCosts,
@@ -88,12 +98,15 @@ pub struct PkProcess<A: Application> {
     /// Blocked awaiting rollback acks.
     recovering: bool,
     acks_pending: usize,
-    recovery_started_at: SimTime,
+    /// Microsecond timestamp at which the current recovery began.
+    recovery_started_at: u64,
     /// FIFO bookkeeping.
     next_link_seq: Vec<u64>,
     last_seen_seq: HashMap<(ProcessId, u32), u64>,
     /// Out-of-order deliveries observed (should be 0 on a FIFO network).
-    pub fifo_violations: u64,
+    fifo_violations: u64,
+    /// Effects accumulated by the current `handle` call.
+    effects: Vec<Effect<PkWire<A::Msg>>>,
 
     delivered: u64,
     sent: u64,
@@ -107,8 +120,8 @@ pub struct PkProcess<A: Application> {
     deliveries_undone: u64,
 }
 
-impl<A: Application> PkProcess<A> {
-    /// Create process `me` of `n` running `app`.
+impl<A: Application> PkEngine<A> {
+    /// Create the engine for process `me` of `n` running `app`.
     pub fn new(
         me: ProcessId,
         n: usize,
@@ -117,7 +130,7 @@ impl<A: Application> PkProcess<A> {
         checkpoint_interval: u64,
         flush_interval: u64,
     ) -> Self {
-        PkProcess {
+        PkEngine {
             me,
             n,
             costs,
@@ -132,10 +145,11 @@ impl<A: Application> PkProcess<A> {
             parked: Vec::new(),
             recovering: false,
             acks_pending: 0,
-            recovery_started_at: SimTime::ZERO,
+            recovery_started_at: 0,
             next_link_seq: vec![0; n],
             last_seen_seq: HashMap::new(),
             fifo_violations: 0,
+            effects: Vec::new(),
             delivered: 0,
             sent: 0,
             restarts: 0,
@@ -152,6 +166,11 @@ impl<A: Application> PkProcess<A> {
     /// The application state.
     pub fn app(&self) -> &A {
         &self.app
+    }
+
+    /// Out-of-order deliveries observed (0 on a FIFO network).
+    pub fn fifo_violations(&self) -> u64 {
+        self.fifo_violations
     }
 
     /// Comparable metrics.
@@ -176,12 +195,7 @@ impl<A: Application> PkProcess<A> {
         }
     }
 
-    fn emit(
-        &mut self,
-        effects: Effects<A::Msg>,
-        ctx: &mut Context<'_, PkWire<A::Msg>>,
-        live: bool,
-    ) {
+    fn emit(&mut self, effects: Effects<A::Msg>, live: bool) {
         for (to, payload) in effects.sends {
             let stamp = self.clock.stamp_for_send();
             if live {
@@ -191,26 +205,21 @@ impl<A: Application> PkProcess<A> {
                 self.piggyback_bytes +=
                     (clockwire::encode_vector(&stamp).len() + 4 + clockwire::varint_len(link_seq))
                         as u64;
-                ctx.send(
+                self.effects.push(Effect::Send {
                     to,
-                    PkWire::App {
+                    wire: PkWire::App {
                         inc: self.inc,
                         link_seq,
                         clock: stamp,
                         payload,
                     },
-                );
+                    control: false,
+                });
             }
         }
     }
 
-    fn deliver(
-        &mut self,
-        from: ProcessId,
-        clock: VectorClock,
-        payload: A::Msg,
-        ctx: &mut Context<'_, PkWire<A::Msg>>,
-    ) {
+    fn deliver(&mut self, from: ProcessId, clock: VectorClock, payload: A::Msg) {
         self.log.append_volatile(Logged {
             from,
             clock: clock.clone(),
@@ -219,7 +228,7 @@ impl<A: Application> PkProcess<A> {
         self.clock.observe(&clock);
         self.delivered += 1;
         let effects = self.app.on_message(self.me, from, &payload, self.n);
-        self.emit(effects, ctx, true);
+        self.emit(effects, true);
     }
 
     fn replay(&mut self, entry: &Logged<A::Msg>) {
@@ -233,14 +242,16 @@ impl<A: Application> PkProcess<A> {
         }
     }
 
-    fn take_checkpoint(&mut self, ctx: &mut Context<'_, PkWire<A::Msg>>) {
+    fn take_checkpoint(&mut self) {
         self.log.flush();
         self.checkpoints.take(Ckpt {
             app: self.app.clone(),
             clock: self.clock.clone(),
             log_end: self.log.end(),
         });
-        ctx.stall(self.costs.checkpoint_write);
+        self.effects.push(Effect::Checkpoint {
+            cost_us: self.costs.checkpoint_write,
+        });
     }
 
     fn rollback_for(&mut self, failed: ProcessId, inc: u32, restored: &VectorClock) {
@@ -279,12 +290,7 @@ impl<A: Application> PkProcess<A> {
         self.clock.tick();
     }
 
-    fn handle(
-        &mut self,
-        from: ProcessId,
-        wire: PkWire<A::Msg>,
-        ctx: &mut Context<'_, PkWire<A::Msg>>,
-    ) {
+    fn on_wire(&mut self, from: ProcessId, wire: PkWire<A::Msg>, now: u64) {
         match wire {
             PkWire::App {
                 inc,
@@ -320,7 +326,7 @@ impl<A: Application> PkProcess<A> {
                 }
                 self.last_seen_seq
                     .insert(key, link_seq.max(last.unwrap_or(0)));
-                self.deliver(from, clock, payload, ctx);
+                self.deliver(from, clock, payload);
             }
             PkWire::Token { inc, restored } => {
                 self.known_inc[from.index()] = inc;
@@ -329,68 +335,68 @@ impl<A: Application> PkProcess<A> {
                 }
                 self.control_messages += 1;
                 self.control_bytes += 4;
-                ctx.send_control(from, PkWire::Ack { inc });
-                self.release_parked(ctx);
+                self.effects.push(Effect::Send {
+                    to: from,
+                    wire: PkWire::Ack { inc },
+                    control: true,
+                });
+                self.release_parked(now);
             }
             PkWire::Ack { inc } => {
                 if self.recovering && inc == self.inc && self.acks_pending > 0 {
                     self.acks_pending -= 1;
                     if self.acks_pending == 0 {
                         self.recovering = false;
-                        self.recovery_blocked_us +=
-                            ctx.now().saturating_since(self.recovery_started_at);
-                        self.release_parked(ctx);
+                        self.recovery_blocked_us += now.saturating_sub(self.recovery_started_at);
+                        self.release_parked(now);
                     }
                 }
             }
         }
     }
 
-    fn release_parked(&mut self, ctx: &mut Context<'_, PkWire<A::Msg>>) {
+    fn release_parked(&mut self, now: u64) {
         if self.recovering {
             return;
         }
         let parked = std::mem::take(&mut self.parked);
         for (from, wire) in parked {
-            self.handle(from, wire, ctx);
+            self.on_wire(from, wire, now);
         }
     }
-}
 
-impl<A: Application> Actor for PkProcess<A> {
-    type Msg = PkWire<A::Msg>;
-
-    fn on_start(&mut self, ctx: &mut Context<'_, PkWire<A::Msg>>) {
+    fn on_start(&mut self) {
         let effects = self.app.on_start(self.me, self.n);
-        self.emit(effects, ctx, true);
-        self.take_checkpoint(ctx);
-        ctx.set_maintenance_timer(self.checkpoint_interval, TIMER_CHECKPOINT);
-        ctx.set_maintenance_timer(self.flush_interval, TIMER_FLUSH);
+        self.emit(effects, true);
+        self.take_checkpoint();
+        self.arm_maintenance_timers();
     }
 
-    fn on_message(
-        &mut self,
-        from: ProcessId,
-        msg: PkWire<A::Msg>,
-        ctx: &mut Context<'_, PkWire<A::Msg>>,
-    ) {
-        self.handle(from, msg, ctx);
-    }
-
-    fn on_timer(&mut self, kind: u32, ctx: &mut Context<'_, PkWire<A::Msg>>) {
+    fn on_tick(&mut self, kind: u32) {
         match kind {
             TIMER_CHECKPOINT => {
                 if !self.recovering {
-                    self.take_checkpoint(ctx);
+                    self.take_checkpoint();
                 }
-                ctx.set_maintenance_timer(self.checkpoint_interval, TIMER_CHECKPOINT);
+                self.effects.push(Effect::SetTimer {
+                    delay: self.checkpoint_interval,
+                    kind: TIMER_CHECKPOINT,
+                    maintenance: true,
+                });
             }
             TIMER_FLUSH => {
                 let flushed = self.log.flush();
                 if flushed > 0 {
-                    ctx.stall(self.costs.flush_per_entry * flushed as u64);
+                    self.effects.push(Effect::LogWrite {
+                        entries: flushed,
+                        cost_us: self.costs.flush_per_entry * flushed as u64,
+                    });
                 }
-                ctx.set_maintenance_timer(self.flush_interval, TIMER_FLUSH);
+                self.effects.push(Effect::SetTimer {
+                    delay: self.flush_interval,
+                    kind: TIMER_FLUSH,
+                    maintenance: true,
+                });
             }
             _ => unreachable!(),
         }
@@ -401,9 +407,10 @@ impl<A: Application> Actor for PkProcess<A> {
         self.deliveries_undone += lost as u64;
         self.parked.clear();
         self.last_seen_seq.clear();
+        self.effects.clear();
     }
 
-    fn on_restart(&mut self, ctx: &mut Context<'_, PkWire<A::Msg>>) {
+    fn on_restart(&mut self, now: u64) {
         let (_, ckpt) = self
             .checkpoints
             .latest()
@@ -421,16 +428,159 @@ impl<A: Application> Actor for PkProcess<A> {
         self.restarts += 1;
         self.recovering = self.n > 1;
         self.acks_pending = self.n - 1;
-        self.recovery_started_at = ctx.now();
+        self.recovery_started_at = now;
         self.control_messages += (self.n - 1) as u64;
         self.control_bytes +=
             (self.n - 1) as u64 * (4 + clockwire::encode_vector(&self.clock).len() as u64);
-        ctx.broadcast_control(PkWire::Token {
-            inc: self.inc,
-            restored: self.clock.clone(),
+        self.effects.push(Effect::Broadcast {
+            wire: PkWire::Token {
+                inc: self.inc,
+                restored: self.clock.clone(),
+            },
         });
-        self.take_checkpoint(ctx);
-        ctx.set_maintenance_timer(self.checkpoint_interval, TIMER_CHECKPOINT);
-        ctx.set_maintenance_timer(self.flush_interval, TIMER_FLUSH);
+        self.take_checkpoint();
+        self.arm_maintenance_timers();
+    }
+
+    fn arm_maintenance_timers(&mut self) {
+        self.effects.push(Effect::SetTimer {
+            delay: self.checkpoint_interval,
+            kind: TIMER_CHECKPOINT,
+            maintenance: true,
+        });
+        self.effects.push(Effect::SetTimer {
+            delay: self.flush_interval,
+            kind: TIMER_FLUSH,
+            maintenance: true,
+        });
+    }
+}
+
+impl<A: Application> ProtocolEngine for PkEngine<A> {
+    type Wire = PkWire<A::Msg>;
+    type Cmd = ();
+    type Out = ();
+
+    fn handle(&mut self, input: Input<PkWire<A::Msg>>) -> Vec<Effect<PkWire<A::Msg>>> {
+        match input {
+            Input::Start { .. } => self.on_start(),
+            Input::Deliver { from, wire, now } => self.on_wire(from, wire, now),
+            Input::Tick { kind, .. } => self.on_tick(kind),
+            Input::AppSend { .. } => {} // external command injection unsupported
+            Input::Crash => self.on_crash(),
+            Input::Restart { now } => self.on_restart(now),
+            Input::Fault(_) => {} // no storage-fault model in this baseline
+        }
+        std::mem::take(&mut self.effects)
+    }
+
+    fn state_digest(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |v: u64| {
+            h ^= v;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        };
+        for j in dg_core::ProcessId::all(self.n) {
+            mix(self.clock.stamp(j));
+        }
+        mix(u64::from(self.inc));
+        for inc in &self.known_inc {
+            mix(u64::from(*inc));
+        }
+        mix(self.delivered);
+        mix(self.sent);
+        mix(self.rollbacks);
+        mix(self.restarts);
+        mix(self.parked.len() as u64);
+        mix(u64::from(self.recovering));
+        mix(self.app.digest());
+        h
+    }
+}
+
+/// A process under Peterson–Kearns vector-time rollback recovery, as a
+/// simulator actor (a thin adapter over [`PkEngine`]).
+pub struct PkProcess<A: Application> {
+    engine: PkEngine<A>,
+}
+
+impl<A: Application> PkProcess<A> {
+    /// Create process `me` of `n` running `app`.
+    pub fn new(
+        me: ProcessId,
+        n: usize,
+        app: A,
+        costs: StorageCosts,
+        checkpoint_interval: u64,
+        flush_interval: u64,
+    ) -> Self {
+        PkProcess {
+            engine: PkEngine::new(me, n, app, costs, checkpoint_interval, flush_interval),
+        }
+    }
+
+    /// The underlying transport-agnostic engine.
+    pub fn engine(&self) -> &PkEngine<A> {
+        &self.engine
+    }
+
+    /// The application state.
+    pub fn app(&self) -> &A {
+        self.engine.app()
+    }
+
+    /// Out-of-order deliveries observed (0 on a FIFO network).
+    pub fn fifo_violations(&self) -> u64 {
+        self.engine.fifo_violations()
+    }
+
+    /// Comparable metrics.
+    pub fn report(&self) -> ProtoReport {
+        self.engine.report()
+    }
+}
+
+impl<A: Application> Actor for PkProcess<A> {
+    type Msg = PkWire<A::Msg>;
+
+    fn on_start(&mut self, ctx: &mut Context<'_, PkWire<A::Msg>>) {
+        let effects = self.engine.handle(Input::Start {
+            now: ctx.now().as_micros(),
+        });
+        run_effects(effects, ctx);
+    }
+
+    fn on_message(
+        &mut self,
+        from: ProcessId,
+        msg: PkWire<A::Msg>,
+        ctx: &mut Context<'_, PkWire<A::Msg>>,
+    ) {
+        let effects = self.engine.handle(Input::Deliver {
+            from,
+            wire: msg,
+            now: ctx.now().as_micros(),
+        });
+        run_effects(effects, ctx);
+    }
+
+    fn on_timer(&mut self, kind: u32, ctx: &mut Context<'_, PkWire<A::Msg>>) {
+        let effects = self.engine.handle(Input::Tick {
+            kind,
+            now: ctx.now().as_micros(),
+        });
+        run_effects(effects, ctx);
+    }
+
+    fn on_crash(&mut self) {
+        let effects = self.engine.handle(Input::Crash);
+        debug_assert!(effects.is_empty(), "a crashed process acts silently");
+    }
+
+    fn on_restart(&mut self, ctx: &mut Context<'_, PkWire<A::Msg>>) {
+        let effects = self.engine.handle(Input::Restart {
+            now: ctx.now().as_micros(),
+        });
+        run_effects(effects, ctx);
     }
 }

@@ -19,10 +19,14 @@
 //! Like the original, the protocol assumes FIFO channels; messages
 //! referencing an incarnation the receiver has not yet heard of are
 //! parked until the announcement arrives.
+//!
+//! The protocol is a sans-IO [`SyEngine`] on the same
+//! [`Input`]/[`Effect`] interface as the Damani–Garg [`dg_core::Engine`];
+//! [`SyProcess`] is its simulator actor adapter.
 
 use std::collections::{BTreeMap, HashMap};
 
-use dg_core::{Application, Effects, ProcessId};
+use dg_core::{run_effects, Application, Effect, Effects, Input, ProcessId, ProtocolEngine};
 use dg_ftvc::{wire::varint_len, Entry, Version};
 use dg_harness::ProtoReport;
 use dg_simnet::{Actor, Context};
@@ -74,8 +78,14 @@ struct Ckpt<A> {
     log_end: LogPos,
 }
 
-/// A process under Strom–Yemini optimistic recovery.
-pub struct SyProcess<A: Application> {
+/// The Strom–Yemini protocol as a transport-agnostic state machine.
+///
+/// Same contract as [`dg_core::Engine`]: one [`Input`] in, an ordered
+/// [`Effect`] batch out, no IO, no clock reads, no randomness. Effect
+/// positions (in particular storage-latency charges) match where the
+/// pre-refactor actor issued its context calls, so simulated schedules
+/// are unchanged.
+pub struct SyEngine<A: Application> {
     me: ProcessId,
     n: usize,
     costs: StorageCosts,
@@ -94,6 +104,8 @@ pub struct SyProcess<A: Application> {
     known_inc: Vec<u32>,
     /// Messages parked for unknown incarnations.
     parked: Vec<(ProcessId, SyWire<A::Msg>)>,
+    /// Effects accumulated by the current `handle` call.
+    effects: Vec<Effect<SyWire<A::Msg>>>,
 
     delivered: u64,
     sent: u64,
@@ -107,8 +119,8 @@ pub struct SyProcess<A: Application> {
     obsolete_discarded: u64,
 }
 
-impl<A: Application> SyProcess<A> {
-    /// Create process `me` of `n` running `app`.
+impl<A: Application> SyEngine<A> {
+    /// Create the engine for process `me` of `n` running `app`.
     pub fn new(
         me: ProcessId,
         n: usize,
@@ -119,7 +131,7 @@ impl<A: Application> SyProcess<A> {
     ) -> Self {
         let mut dv = vec![Entry::ZERO; n];
         dv[me.index()] = Entry::new(0, 1);
-        SyProcess {
+        SyEngine {
             me,
             n,
             costs,
@@ -132,6 +144,7 @@ impl<A: Application> SyProcess<A> {
             table: vec![BTreeMap::new(); n],
             known_inc: vec![0; n],
             parked: Vec::new(),
+            effects: Vec::new(),
             delivered: 0,
             sent: 0,
             restarts: 0,
@@ -183,25 +196,21 @@ impl<A: Application> SyProcess<A> {
             .sum()
     }
 
-    fn emit(
-        &mut self,
-        effects: Effects<A::Msg>,
-        ctx: &mut Context<'_, SyWire<A::Msg>>,
-        live: bool,
-    ) {
+    fn emit(&mut self, effects: Effects<A::Msg>, live: bool) {
         for (to, payload) in effects.sends {
             // Sending creates a new state interval.
             self.dv[self.me.index()].ts += 1;
             if live {
                 self.sent += 1;
                 self.piggyback_bytes += Self::dv_bytes(&self.dv);
-                ctx.send(
+                self.effects.push(Effect::Send {
                     to,
-                    SyWire::App {
+                    wire: SyWire::App {
                         dv: self.dv.clone(),
                         payload,
                     },
-                );
+                    control: false,
+                });
             }
         }
     }
@@ -214,13 +223,7 @@ impl<A: Application> SyProcess<A> {
             .any(|(j, e)| matches!(self.table[j].get(&e.version), Some(&end) if e.ts > end))
     }
 
-    fn deliver(
-        &mut self,
-        from: ProcessId,
-        dv: Vec<Entry>,
-        payload: A::Msg,
-        ctx: &mut Context<'_, SyWire<A::Msg>>,
-    ) {
+    fn deliver(&mut self, from: ProcessId, dv: Vec<Entry>, payload: A::Msg) {
         let sender_entry = dv[from.index()];
         self.log.append_volatile(Logged {
             from,
@@ -235,7 +238,7 @@ impl<A: Application> SyProcess<A> {
         self.dv[self.me.index()].ts += 1;
         self.delivered += 1;
         let effects = self.app.on_message(self.me, from, &payload, self.n);
-        self.emit(effects, ctx, true);
+        self.emit(effects, true);
     }
 
     fn replay(&mut self, entry: &Logged<A::Msg>) {
@@ -250,26 +253,21 @@ impl<A: Application> SyProcess<A> {
         }
     }
 
-    fn take_checkpoint(&mut self, ctx: &mut Context<'_, SyWire<A::Msg>>) {
+    fn take_checkpoint(&mut self) {
         self.log.flush();
         self.checkpoints.take(Ckpt {
             app: self.app.clone(),
             dv: self.dv.clone(),
             log_end: self.log.end(),
         });
-        ctx.stall(self.costs.checkpoint_write);
+        self.effects.push(Effect::Checkpoint {
+            cost_us: self.costs.checkpoint_write,
+        });
     }
 
     /// Roll back so that the dependency on `about`'s incarnation `inc`
     /// does not exceed `end_idx`; then announce the new incarnation.
-    fn rollback(
-        &mut self,
-        about: ProcessId,
-        inc: u32,
-        end_idx: u64,
-        root: RootFailure,
-        ctx: &mut Context<'_, SyWire<A::Msg>>,
-    ) {
+    fn rollback(&mut self, about: ProcessId, inc: u32, end_idx: u64, root: RootFailure) {
         self.rollbacks += 1;
         *self.rollbacks_by_root.entry(root).or_insert(0) += 1;
         self.log.flush();
@@ -313,32 +311,23 @@ impl<A: Application> SyProcess<A> {
         self.dv[self.me.index()] = Entry::new(new_inc, 0);
         self.known_inc[self.me.index()] = new_inc;
         self.table[self.me.index()].insert(Version(old_inc), survived_idx);
-        self.announce(old_inc, survived_idx, root, ctx);
+        self.announce(old_inc, survived_idx, root);
     }
 
-    fn announce(
-        &mut self,
-        inc: u32,
-        end_idx: u64,
-        root: RootFailure,
-        ctx: &mut Context<'_, SyWire<A::Msg>>,
-    ) {
+    fn announce(&mut self, inc: u32, end_idx: u64, root: RootFailure) {
         self.control_messages += (self.n - 1) as u64;
         self.control_bytes += (self.n - 1) as u64 * 12;
-        ctx.broadcast_control(SyWire::Announce {
-            about: self.me,
-            inc,
-            end_idx,
-            root,
+        self.effects.push(Effect::Broadcast {
+            wire: SyWire::Announce {
+                about: self.me,
+                inc,
+                end_idx,
+                root,
+            },
         });
     }
 
-    fn handle(
-        &mut self,
-        from: ProcessId,
-        wire: SyWire<A::Msg>,
-        ctx: &mut Context<'_, SyWire<A::Msg>>,
-    ) {
+    fn on_wire(&mut self, from: ProcessId, wire: SyWire<A::Msg>) {
         match wire {
             SyWire::App { dv, payload } => {
                 // Park messages from incarnations we have not heard of.
@@ -351,7 +340,7 @@ impl<A: Application> SyProcess<A> {
                     self.obsolete_discarded += 1;
                     return;
                 }
-                self.deliver(from, dv, payload, ctx);
+                self.deliver(from, dv, payload);
             }
             SyWire::Announce {
                 about,
@@ -364,51 +353,48 @@ impl<A: Application> SyProcess<A> {
                 // Orphan test against *direct* dependency only.
                 let e = self.dv[about.index()];
                 if e.version.0 == inc && e.ts > end_idx {
-                    self.rollback(about, inc, end_idx, root, ctx);
+                    self.rollback(about, inc, end_idx, root);
                 }
                 // Release parked messages that now reference known
                 // incarnations (or are now detectably obsolete).
                 let parked = std::mem::take(&mut self.parked);
                 for (pfrom, pwire) in parked {
-                    self.handle(pfrom, pwire, ctx);
+                    self.on_wire(pfrom, pwire);
                 }
             }
         }
     }
-}
 
-impl<A: Application> Actor for SyProcess<A> {
-    type Msg = SyWire<A::Msg>;
-
-    fn on_start(&mut self, ctx: &mut Context<'_, SyWire<A::Msg>>) {
+    fn on_start(&mut self) {
         let effects = self.app.on_start(self.me, self.n);
-        self.emit(effects, ctx, true);
-        self.take_checkpoint(ctx);
-        ctx.set_maintenance_timer(self.checkpoint_interval, TIMER_CHECKPOINT);
-        ctx.set_maintenance_timer(self.flush_interval, TIMER_FLUSH);
+        self.emit(effects, true);
+        self.take_checkpoint();
+        self.arm_maintenance_timers();
     }
 
-    fn on_message(
-        &mut self,
-        from: ProcessId,
-        msg: SyWire<A::Msg>,
-        ctx: &mut Context<'_, SyWire<A::Msg>>,
-    ) {
-        self.handle(from, msg, ctx);
-    }
-
-    fn on_timer(&mut self, kind: u32, ctx: &mut Context<'_, SyWire<A::Msg>>) {
+    fn on_tick(&mut self, kind: u32) {
         match kind {
             TIMER_CHECKPOINT => {
-                self.take_checkpoint(ctx);
-                ctx.set_maintenance_timer(self.checkpoint_interval, TIMER_CHECKPOINT);
+                self.take_checkpoint();
+                self.effects.push(Effect::SetTimer {
+                    delay: self.checkpoint_interval,
+                    kind: TIMER_CHECKPOINT,
+                    maintenance: true,
+                });
             }
             TIMER_FLUSH => {
                 let flushed = self.log.flush();
                 if flushed > 0 {
-                    ctx.stall(self.costs.flush_per_entry * flushed as u64);
+                    self.effects.push(Effect::LogWrite {
+                        entries: flushed,
+                        cost_us: self.costs.flush_per_entry * flushed as u64,
+                    });
                 }
-                ctx.set_maintenance_timer(self.flush_interval, TIMER_FLUSH);
+                self.effects.push(Effect::SetTimer {
+                    delay: self.flush_interval,
+                    kind: TIMER_FLUSH,
+                    maintenance: true,
+                });
             }
             _ => unreachable!(),
         }
@@ -418,9 +404,10 @@ impl<A: Application> Actor for SyProcess<A> {
         let lost = self.log.crash();
         self.deliveries_undone += lost as u64;
         self.parked.clear();
+        self.effects.clear();
     }
 
-    fn on_restart(&mut self, ctx: &mut Context<'_, SyWire<A::Msg>>) {
+    fn on_restart(&mut self) {
         let (_, ckpt) = self
             .checkpoints
             .latest()
@@ -441,9 +428,149 @@ impl<A: Application> Actor for SyProcess<A> {
         self.known_inc[self.me.index()] = new_inc;
         self.table[self.me.index()].insert(Version(old_inc), survived_idx);
         // The failure is its own root.
-        self.announce(old_inc, survived_idx, (self.me, old_inc), ctx);
-        self.take_checkpoint(ctx);
-        ctx.set_maintenance_timer(self.checkpoint_interval, TIMER_CHECKPOINT);
-        ctx.set_maintenance_timer(self.flush_interval, TIMER_FLUSH);
+        self.announce(old_inc, survived_idx, (self.me, old_inc));
+        self.take_checkpoint();
+        self.arm_maintenance_timers();
+    }
+
+    fn arm_maintenance_timers(&mut self) {
+        self.effects.push(Effect::SetTimer {
+            delay: self.checkpoint_interval,
+            kind: TIMER_CHECKPOINT,
+            maintenance: true,
+        });
+        self.effects.push(Effect::SetTimer {
+            delay: self.flush_interval,
+            kind: TIMER_FLUSH,
+            maintenance: true,
+        });
+    }
+}
+
+impl<A: Application> ProtocolEngine for SyEngine<A> {
+    type Wire = SyWire<A::Msg>;
+    type Cmd = ();
+    type Out = ();
+
+    fn handle(&mut self, input: Input<SyWire<A::Msg>>) -> Vec<Effect<SyWire<A::Msg>>> {
+        match input {
+            Input::Start { .. } => self.on_start(),
+            Input::Deliver { from, wire, .. } => self.on_wire(from, wire),
+            Input::Tick { kind, .. } => self.on_tick(kind),
+            Input::AppSend { .. } => {} // external command injection unsupported
+            Input::Crash => self.on_crash(),
+            Input::Restart { .. } => self.on_restart(),
+            Input::Fault(_) => {} // no storage-fault model in this baseline
+        }
+        std::mem::take(&mut self.effects)
+    }
+
+    fn state_digest(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |v: u64| {
+            h ^= v;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        };
+        for e in &self.dv {
+            mix(u64::from(e.version.0));
+            mix(e.ts);
+        }
+        for inc in &self.known_inc {
+            mix(u64::from(*inc));
+        }
+        mix(self.delivered);
+        mix(self.sent);
+        mix(self.rollbacks);
+        mix(self.restarts);
+        mix(self.parked.len() as u64);
+        mix(self.app.digest());
+        h
+    }
+}
+
+/// A process under Strom–Yemini optimistic recovery, as a simulator
+/// actor (a thin adapter over [`SyEngine`]).
+pub struct SyProcess<A: Application> {
+    engine: SyEngine<A>,
+}
+
+impl<A: Application> SyProcess<A> {
+    /// Create process `me` of `n` running `app`.
+    pub fn new(
+        me: ProcessId,
+        n: usize,
+        app: A,
+        costs: StorageCosts,
+        checkpoint_interval: u64,
+        flush_interval: u64,
+    ) -> Self {
+        SyProcess {
+            engine: SyEngine::new(me, n, app, costs, checkpoint_interval, flush_interval),
+        }
+    }
+
+    /// The underlying transport-agnostic engine.
+    pub fn engine(&self) -> &SyEngine<A> {
+        &self.engine
+    }
+
+    /// The application state.
+    pub fn app(&self) -> &A {
+        self.engine.app()
+    }
+
+    /// Rollbacks attributed to each root failure (cascades included).
+    pub fn rollbacks_by_root(&self) -> &HashMap<RootFailure, u64> {
+        self.engine.rollbacks_by_root()
+    }
+
+    /// Comparable metrics.
+    pub fn report(&self) -> ProtoReport {
+        self.engine.report()
+    }
+}
+
+impl<A: Application> Actor for SyProcess<A> {
+    type Msg = SyWire<A::Msg>;
+
+    fn on_start(&mut self, ctx: &mut Context<'_, SyWire<A::Msg>>) {
+        let effects = self.engine.handle(Input::Start {
+            now: ctx.now().as_micros(),
+        });
+        run_effects(effects, ctx);
+    }
+
+    fn on_message(
+        &mut self,
+        from: ProcessId,
+        msg: SyWire<A::Msg>,
+        ctx: &mut Context<'_, SyWire<A::Msg>>,
+    ) {
+        let effects = self.engine.handle(Input::Deliver {
+            from,
+            wire: msg,
+            now: ctx.now().as_micros(),
+        });
+        run_effects(effects, ctx);
+    }
+
+    fn on_timer(&mut self, kind: u32, ctx: &mut Context<'_, SyWire<A::Msg>>) {
+        let effects = self.engine.handle(Input::Tick {
+            kind,
+            now: ctx.now().as_micros(),
+        });
+        run_effects(effects, ctx);
+    }
+
+    fn on_crash(&mut self) {
+        let effects = self.engine.handle(Input::Crash);
+        debug_assert!(effects.is_empty(), "a crashed process acts silently");
+    }
+
+    fn on_restart(&mut self, ctx: &mut Context<'_, SyWire<A::Msg>>) {
+        let effects = self.engine.handle(Input::Restart {
+            now: ctx.now().as_micros(),
+        });
+        run_effects(effects, ctx);
     }
 }

@@ -161,7 +161,7 @@ fn peterson_kearns_single_rollback_but_blocking() {
             r.max_rollbacks_per_failure <= 1,
             "PK rolls back at most once"
         );
-        assert_eq!(a.fifo_violations, 0, "FIFO net must show no violations");
+        assert_eq!(a.fifo_violations(), 0, "FIFO net must show no violations");
     }
     let r = sim.actor(ProcessId(1)).report();
     assert_eq!(r.restarts, 1);
@@ -182,7 +182,7 @@ fn peterson_kearns_fifo_assumption_is_load_bearing() {
     let mut sim = Sim::new(net, pk_actors(4, MeshChatter::new(4, 20, 3)));
     let stats = sim.run();
     assert!(stats.quiescent);
-    let violations: u64 = sim.actors().iter().map(|a| a.fifo_violations).sum();
+    let violations: u64 = sim.actors().iter().map(|a| a.fifo_violations()).sum();
     assert!(
         violations > 0,
         "wide-delay non-FIFO network should reorder some link"

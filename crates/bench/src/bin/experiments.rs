@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! experiments [all|table1|rollbacks|piggyback|asynchrony|concurrent|
-//!              ordering|overhead|optimism|domino|maxstate|commit|gc|lossy]
+//!              ordering|overhead|optimism|domino|maxstate|commit|gc|lossy|engine]
 //!             [--quick]
 //! ```
 //!
@@ -100,6 +100,15 @@ fn main() {
         println!("== E11 (ablation): garbage collection bounds storage ==\n");
         let lengths: &[u64] = if quick { &[20, 80] } else { &[20, 40, 80, 160] };
         show(&gc_ablation(lengths));
+    }
+    if run("engine") {
+        println!("== E13: engine-only event throughput (sans-IO vs simnet actor) ==\n");
+        let repeats = if quick { 8 } else { 32 };
+        let (t, json) = engine_throughput(repeats);
+        show(&t);
+        std::fs::write("BENCH_engine.json", json).expect("write BENCH_engine.json");
+        println!("wrote BENCH_engine.json");
+        println!();
     }
     let mut violations = 0u64;
     if run("lossy") {

@@ -240,7 +240,7 @@ pub fn ordering_assumptions(n: usize) -> TextTable {
         .collect();
     let mut sim = Sim::new(reordering.clone(), actors);
     sim.run();
-    let pk_violations: u64 = sim.actors().iter().map(|a| a.fifo_violations).sum();
+    let pk_violations: u64 = sim.actors().iter().map(|a| a.fifo_violations()).sum();
     t.row(vec![
         Protocol::PetersonKearns.name().to_string(),
         "FIFO".to_string(),
@@ -786,4 +786,246 @@ pub fn lossy(n: usize, seeds: u64) -> (TextTable, u64) {
         ]);
     }
     (t, total_violations)
+}
+
+// ---------------------------------------------------------------------
+// E13 — engine-only event throughput (the sans-IO boundary's price tag)
+// ---------------------------------------------------------------------
+
+/// Measure raw [`Engine::handle`] dispatch throughput — inputs/sec with
+/// no network, no scheduler, no IO — against the same protocol running
+/// as a `DgProcess` actor under the discrete-event simulator (the only
+/// way to run it before the sans-IO refactor). The gap is what the
+/// runtime around the engine costs; the engine number is the ceiling
+/// any runtime (simnet, threaded, netrun) can hope to reach.
+///
+/// Method: a minimal deterministic router records the full `Input`
+/// trace of an `n`-process mesh-chatter run with one crash/restart;
+/// the engine row replays that trace into fresh engines `repeats`
+/// times and reports aggregate inputs/sec. The simnet row runs the
+/// equivalent workload end-to-end and reports simulator events/sec.
+///
+/// Returns the table and a JSON record for `BENCH_engine.json`.
+pub fn engine_throughput(repeats: u32) -> (TextTable, String) {
+    use std::collections::VecDeque;
+    use std::time::Instant;
+
+    use dg_apps::ChatMsg;
+    use dg_core::engine::{Effect, Engine, Input, ProtocolEngine};
+    use dg_core::Wire;
+
+    let n = 4usize;
+    let chat = MeshChatter::new(4, 400, 97);
+    let config = DgConfig::fast_test()
+        .with_retransmit(true)
+        .with_gossip(8_000)
+        .with_gc(true)
+        .with_history_gc(true)
+        .with_reliable_tokens(true);
+
+    // --- Record: FIFO router, logical time, one crash/restart. -------
+    type In = Input<Wire<ChatMsg>, ChatMsg>;
+    let mut engines: Vec<Engine<MeshChatter>> = (0..n)
+        .map(|p| Engine::new(ProcessId(p as u16), n, chat.clone(), config))
+        .collect();
+    let mut traces: Vec<Vec<In>> = vec![Vec::new(); n];
+    let mut net: VecDeque<(ProcessId, ProcessId, Wire<ChatMsg>)> = VecDeque::new();
+    let mut timers: Vec<Vec<(u64, u32)>> = vec![Vec::new(); n];
+    let mut now = 0u64;
+    let mut down = vec![false; n];
+    let mut parked: Vec<Vec<(ProcessId, Wire<ChatMsg>)>> = vec![Vec::new(); n];
+
+    let feed = |engines: &mut Vec<Engine<MeshChatter>>,
+                traces: &mut Vec<Vec<In>>,
+                timers: &mut Vec<Vec<(u64, u32)>>,
+                net: &mut VecDeque<(ProcessId, ProcessId, Wire<ChatMsg>)>,
+                now: u64,
+                p: ProcessId,
+                input: In| {
+        let effects = engines[p.index()].handle(input.clone());
+        traces[p.index()].push(input);
+        for eff in effects {
+            match eff {
+                Effect::Send { to, wire, .. } => net.push_back((to, p, wire)),
+                Effect::Broadcast { wire, .. } => {
+                    for q in ProcessId::all(engines.len()) {
+                        if q != p {
+                            net.push_back((q, p, wire.clone()));
+                        }
+                    }
+                }
+                Effect::SetTimer { delay, kind, .. } => {
+                    timers[p.index()].push((now + delay, kind));
+                }
+                _ => {}
+            }
+        }
+    };
+
+    for p in ProcessId::all(n) {
+        feed(
+            &mut engines,
+            &mut traces,
+            &mut timers,
+            &mut net,
+            now,
+            p,
+            Input::Start { now },
+        );
+    }
+    let mut steps = 0u64;
+    loop {
+        steps += 1;
+        now += 30;
+        if steps == 2_000 {
+            down[1] = true;
+            timers[1].clear();
+            feed(
+                &mut engines,
+                &mut traces,
+                &mut timers,
+                &mut net,
+                now,
+                ProcessId(1),
+                Input::Crash,
+            );
+            continue;
+        }
+        if steps == 2_400 {
+            down[1] = false;
+            feed(
+                &mut engines,
+                &mut traces,
+                &mut timers,
+                &mut net,
+                now,
+                ProcessId(1),
+                Input::Restart { now },
+            );
+            for (from, wire) in std::mem::take(&mut parked[1]) {
+                now += 1;
+                feed(
+                    &mut engines,
+                    &mut traces,
+                    &mut timers,
+                    &mut net,
+                    now,
+                    ProcessId(1),
+                    Input::Deliver { from, wire, now },
+                );
+            }
+            continue;
+        }
+        if let Some((to, from, wire)) = net.pop_front() {
+            if down[to.index()] {
+                parked[to.index()].push((from, wire));
+            } else {
+                feed(
+                    &mut engines,
+                    &mut traces,
+                    &mut timers,
+                    &mut net,
+                    now,
+                    to,
+                    Input::Deliver { from, wire, now },
+                );
+            }
+            continue;
+        }
+        // Network drained: fire the earliest pending timer.
+        let due = (0..n)
+            .filter(|&i| !down[i])
+            .flat_map(|i| timers[i].iter().enumerate().map(move |(s, t)| (i, s, t.0)))
+            .min_by_key(|&(_, _, d)| d)
+            .map(|(i, s, _)| (i, s));
+        match due {
+            Some((idx, slot)) => {
+                let (at, kind) = timers[idx].remove(slot);
+                now = now.max(at);
+                feed(
+                    &mut engines,
+                    &mut traces,
+                    &mut timers,
+                    &mut net,
+                    now,
+                    ProcessId(idx as u16),
+                    Input::Tick { kind, now },
+                );
+            }
+            None => break,
+        }
+        if steps >= 50_000 {
+            // The app workload is TTL-bounded but maintenance timers
+            // (flush/checkpoint/gossip) re-arm forever; cut the trace
+            // once it holds a healthy mix of both kinds of traffic.
+            break;
+        }
+    }
+    let total_inputs: u64 = traces.iter().map(|t| t.len() as u64).sum();
+
+    // --- Engine row: replay the trace into fresh engines. ------------
+    let t0 = Instant::now();
+    for _ in 0..repeats {
+        let mut fresh: Vec<Engine<MeshChatter>> = (0..n)
+            .map(|p| Engine::new(ProcessId(p as u16), n, chat.clone(), config))
+            .collect();
+        for (i, trace) in traces.iter().enumerate() {
+            for input in trace {
+                std::hint::black_box(fresh[i].handle(input.clone()));
+            }
+        }
+    }
+    let engine_elapsed = t0.elapsed();
+    let engine_inputs = total_inputs * u64::from(repeats);
+    let engine_rate = engine_inputs as f64 / engine_elapsed.as_secs_f64();
+
+    // --- Simnet row: the pre-refactor path, end to end. --------------
+    let plan = FaultPlan::single_crash(ProcessId(1), 60_000);
+    let t1 = Instant::now();
+    let mut sim_events = 0u64;
+    let mut sim_runs = 0u64;
+    for seed in 0..repeats.min(16) {
+        let out = run_dg(
+            n,
+            |_| chat.clone(),
+            config,
+            NetConfig::with_seed(u64::from(seed) * 7 + 1),
+            &plan,
+        );
+        oracle::check(&out).expect("E13 simnet run violates the oracle");
+        sim_events += out.stats.events;
+        sim_runs += 1;
+    }
+    let sim_elapsed = t1.elapsed();
+    let sim_rate = sim_events as f64 / sim_elapsed.as_secs_f64();
+
+    let mut t = TextTable::new(vec![
+        "path",
+        "events",
+        "elapsed (ms)",
+        "events/sec",
+        "relative",
+    ]);
+    t.row(vec![
+        "engine replay (sans-IO)".to_string(),
+        engine_inputs.to_string(),
+        format!("{:.1}", engine_elapsed.as_secs_f64() * 1_000.0),
+        format!("{engine_rate:.0}"),
+        "1.00".to_string(),
+    ]);
+    t.row(vec![
+        "DgProcess under simnet".to_string(),
+        sim_events.to_string(),
+        format!("{:.1}", sim_elapsed.as_secs_f64() * 1_000.0),
+        format!("{sim_rate:.0}"),
+        format!("{:.2}", sim_rate / engine_rate),
+    ]);
+
+    let json = format!(
+        "{{\n  \"experiment\": \"E13_engine_throughput\",\n  \"n\": {n},\n  \"trace_inputs\": {total_inputs},\n  \"repeats\": {repeats},\n  \"engine\": {{ \"inputs\": {engine_inputs}, \"elapsed_us\": {}, \"inputs_per_sec\": {engine_rate:.0} }},\n  \"simnet_actor\": {{ \"runs\": {sim_runs}, \"events\": {sim_events}, \"elapsed_us\": {}, \"events_per_sec\": {sim_rate:.0} }},\n  \"simnet_relative_throughput\": {:.4}\n}}\n",
+        engine_elapsed.as_micros(),
+        sim_elapsed.as_micros(),
+        sim_rate / engine_rate,
+    );
+    (t, json)
 }

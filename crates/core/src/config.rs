@@ -25,6 +25,13 @@ pub struct DgConfig {
     /// gossiped global stability frontier proves unnecessary (paper,
     /// Remark 2 / Wang et al.). Requires `gossip_interval`.
     pub garbage_collect: bool,
+    /// Reclaim history-table records of dead (token-covered) versions
+    /// once the gossiped frontiers show their originator has moved on —
+    /// the paper's Section 6.9 channel-flush condition, approximated by
+    /// the frontier gossip. Bounds `History::total_records()` in long
+    /// runs with recurring failures (the netrun soak configuration).
+    /// Requires `gossip_interval`.
+    pub history_gc: bool,
     /// Reliable token delivery: acknowledge every received token and
     /// retransmit unacknowledged tokens with exponential backoff. The
     /// paper assumes a reliable control plane; this sublayer *implements*
@@ -50,6 +57,7 @@ impl DgConfig {
             retransmit_lost: false,
             gossip_interval: None,
             garbage_collect: false,
+            history_gc: false,
             reliable_tokens: false,
             token_retry_timeout: 2_000,
             token_backoff_cap: 64_000,
@@ -107,6 +115,14 @@ impl DgConfig {
     #[must_use]
     pub fn with_gc(mut self, on: bool) -> DgConfig {
         self.garbage_collect = on;
+        self
+    }
+
+    /// Builder-style history-GC toggle (implies gossip must be enabled
+    /// to have any effect).
+    #[must_use]
+    pub fn with_history_gc(mut self, on: bool) -> DgConfig {
+        self.history_gc = on;
         self
     }
 

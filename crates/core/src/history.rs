@@ -60,6 +60,12 @@ pub struct HistoryRecord {
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct History {
     tables: Vec<BTreeMap<Version, HistoryRecord>>,
+    /// Per-process GC floor: every version of `j` strictly below
+    /// `floors[j]` was token-covered and has been reclaimed. The token
+    /// frontier counts *from the floor*, so garbage collection never
+    /// regresses deliverability (the token-frontier accounting that
+    /// [`History::gc_versions_below`] maintains).
+    floors: Vec<Version>,
 }
 
 impl History {
@@ -78,7 +84,10 @@ impl History {
                 },
             );
         }
-        History { tables }
+        History {
+            tables,
+            floors: vec![Version::ZERO; n],
+        }
     }
 
     /// Number of processes covered.
@@ -175,7 +184,9 @@ impl History {
     /// `l < k` have arrived — Section 6.1 of the paper).
     pub fn token_frontier(&self, j: ProcessId) -> Version {
         let table = &self.tables[j.index()];
-        let mut v = 0u32;
+        // Versions below the GC floor were all token-covered before
+        // their records were reclaimed; counting resumes at the floor.
+        let mut v = self.floors[j.index()].0;
         while matches!(
             table.get(&Version(v)),
             Some(HistoryRecord {
@@ -198,12 +209,28 @@ impl History {
     }
 
     /// Garbage-collect records of `j` for versions strictly below `v`
-    /// (safe once every process's dependency on those versions is stable).
+    /// (safe once every process's dependency on those versions is stable
+    /// and no message of those versions is still in flight).
+    ///
+    /// The effective bound is capped at [`History::token_frontier`]: only
+    /// token-covered versions may be reclaimed, because the frontier
+    /// accounting then *remembers* them via the raised floor — reclaiming
+    /// an uncovered version would silently advance deliverability past a
+    /// token that never arrived.
     pub fn gc_versions_below(&mut self, j: ProcessId, v: Version) -> usize {
+        let bound = v.min(self.token_frontier(j));
         let table = &mut self.tables[j.index()];
         let before = table.len();
-        table.retain(|ver, _| *ver >= v);
+        table.retain(|ver, _| *ver >= bound);
+        let floor = &mut self.floors[j.index()];
+        *floor = (*floor).max(bound);
         before - table.len()
+    }
+
+    /// The GC floor for process `j`: every version strictly below it was
+    /// token-covered and reclaimed.
+    pub fn gc_floor(&self, j: ProcessId) -> Version {
+        self.floors[j.index()]
     }
 }
 
@@ -355,6 +382,29 @@ mod tests {
         h.record_message_entry(ProcessId(1), entry(2, 1));
         assert_eq!(h.gc_versions_below(ProcessId(1), Version(2)), 2);
         assert_eq!(h.records_for(ProcessId(1)).count(), 1);
+    }
+
+    #[test]
+    fn gc_preserves_token_frontier_accounting() {
+        let mut h = History::new(ProcessId(0), 2);
+        h.record_token(ProcessId(1), entry(0, 2));
+        h.record_token(ProcessId(1), entry(1, 5));
+        assert_eq!(h.token_frontier(ProcessId(1)), Version(2));
+        // The requested bound exceeds the frontier: capped at it.
+        assert_eq!(h.gc_versions_below(ProcessId(1), Version(5)), 2);
+        assert_eq!(
+            h.token_frontier(ProcessId(1)),
+            Version(2),
+            "the frontier must survive reclamation of its token records"
+        );
+        assert_eq!(h.gc_floor(ProcessId(1)), Version(2));
+        // An uncovered version is never reclaimed: the floor stays put.
+        h.record_message_entry(ProcessId(1), entry(3, 1));
+        assert_eq!(h.gc_versions_below(ProcessId(1), Version(4)), 0);
+        assert_eq!(h.gc_floor(ProcessId(1)), Version(2));
+        // Deliverability of version-2 messages is unchanged by the GC.
+        let v2_clock = Ftvc::from_parts(ProcessId(1), &[(0, 0), (2, 1)]);
+        assert!(!h.message_is_obsolete(&v2_clock));
     }
 
     #[test]

@@ -32,8 +32,13 @@
 //!   rolls back (at most once per failure) to its maximum non-orphan
 //!   state.
 //!
-//! The entry point is [`DgProcess`], a [`dg_simnet::Actor`] wrapping any
-//! piecewise-deterministic [`Application`].
+//! The protocol itself lives in the transport-agnostic [`Engine`] (the
+//! sans-IO pattern: `handle(Input) -> Vec<Effect>`, no IO, no clock, no
+//! RNG — see the [`engine`] module docs). The `simnet` cargo feature
+//! (default on) additionally provides [`DgProcess`], an actor adapter
+//! hosting the engine under the `dg_simnet` discrete-event simulator;
+//! the `dg-netrun` crate hosts the same engine on real OS threads and
+//! TCP sockets.
 //!
 //! ```
 //! use dg_core::{Application, DgConfig, DgProcess, Effects, ProcessId};
@@ -79,18 +84,23 @@
 
 mod app;
 mod config;
+pub mod engine;
 mod history;
 mod message;
 mod output;
 pub mod predicate;
+#[cfg(feature = "simnet")]
 mod process;
 mod stats;
+pub mod wirecodec;
 
 pub use app::{Application, Effects};
 pub use config::DgConfig;
 pub use dg_ftvc::{Entry, Ftvc, ProcessId, Version};
+pub use engine::{timers, Effect, Engine, EngineView, Input, ProtocolEngine, StorageFault};
 pub use history::{History, HistoryRecord, RecordKind};
 pub use message::{Envelope, MsgId, Token, Wire};
 pub use output::{OutputBuffer, OutputId, PendingOutput};
-pub use process::{timers, DgProcess};
+#[cfg(feature = "simnet")]
+pub use process::{run_effects, DgProcess};
 pub use stats::{FailureId, ProcessStats};

@@ -130,13 +130,22 @@ impl<M: Clone> OutputBuffer<M> {
         lost
     }
 
-    /// Rollback: drop the pending buffer; the rollback replay rebuilds it
-    /// (orphaned outputs simply never reappear). Returns how many pending
-    /// outputs were dropped.
-    pub fn clear_pending(&mut self) -> usize {
-        let n = self.pending.len();
-        self.pending.clear();
-        n
+    /// Rollback for failure token `(j, token)`: drop exactly the pending
+    /// outputs whose producing state is an orphan of that failure —
+    /// Lemma 3 applied to the output's dependency clock. Non-orphan
+    /// pending outputs survive: dependencies only grow along a process
+    /// trajectory, so everything emitted at or before the rollback point
+    /// is still valid, and the rollback replay only re-emits from its
+    /// checkpoint forward — clearing the whole buffer would silently
+    /// lose any older output whose commit gossip had not yet caught up.
+    /// Returns how many pending outputs were dropped.
+    pub fn discard_orphans(&mut self, j: ProcessId, token: Entry) -> usize {
+        let before = self.pending.len();
+        self.pending.retain(|p| {
+            let dep = p.clock.entry(j);
+            dep.version != token.version || dep.ts <= token.ts
+        });
+        before - self.pending.len()
     }
 
     /// Outputs committed so far, in commit order.

@@ -1,110 +1,80 @@
-//! The Damani–Garg process: Figure 4 of the paper as a [`dg_simnet::Actor`].
+//! The simulator adapter: the sans-IO [`Engine`] hosted as a
+//! [`dg_simnet::Actor`].
+//!
+//! All protocol logic lives in [`crate::engine`]; this module only
+//! translates simulator events into [`Input`]s and executes the returned
+//! [`Effect`]s against the simulator [`Context`]. The translation is
+//! position-preserving — stalls (storage latency) land exactly where the
+//! pre-refactor inlined implementation issued them, so simulated
+//! schedules are bit-identical across the refactor.
 
-use std::collections::HashSet;
-
-use dg_ftvc::{Entry, Ftvc, ProcessId, Version};
+use dg_ftvc::{Ftvc, ProcessId, Version};
 use dg_simnet::{Actor, Context, FaultKind};
-use dg_storage::{CheckpointStore, EventLog, LogPos, SendLog};
 
-use crate::app::{Application, Effects};
+use crate::app::Application;
 use crate::config::DgConfig;
+use crate::engine::{Effect, Engine, EngineView, Input, ProtocolEngine, StorageFault};
 use crate::history::History;
-use crate::message::{Envelope, Token, Wire};
-use crate::output::{entry_is_stable, OutputBuffer, OutputId};
-use crate::stats::{FailureId, ProcessStats};
+use crate::message::Wire;
+use crate::stats::ProcessStats;
 
-/// Timer kinds used by the protocol, public so manual drivers (the
-/// exhaustive interleaving explorer) can fire them as explicit actions.
-pub mod timers {
-    /// Take a periodic checkpoint.
-    pub const CHECKPOINT: u32 = 1;
-    /// Flush the volatile log to stable storage.
-    pub const FLUSH: u32 = 2;
-    /// Broadcast the stability frontier (output commit / GC).
-    pub const GOSSIP: u32 = 3;
-    /// Retransmit unacknowledged recovery tokens (reliable delivery).
-    pub const TOKEN_RETRY: u32 = 4;
-}
-use timers::{
-    CHECKPOINT as TIMER_CHECKPOINT, FLUSH as TIMER_FLUSH, GOSSIP as TIMER_GOSSIP,
-    TOKEN_RETRY as TIMER_TOKEN_RETRY,
-};
-
-/// One entry of the unified stable log: received application messages
-/// (flushed asynchronously) and received tokens (logged synchronously).
-#[derive(Debug, Clone)]
-enum LogEvent<M> {
-    Message(Envelope<M>),
-    Token(Token),
-}
-
-/// A checkpoint: the mutually consistent snapshot of application state,
-/// clock, history, and the log position up to which the snapshot
-/// accounts for deliveries.
-#[derive(Debug, Clone)]
-struct Checkpoint<A> {
-    app: A,
-    clock: Ftvc,
-    history: History,
-    log_end: LogPos,
-    /// Ids of deliveries reflected in `app` — without these, a restored
-    /// state could double-accept a retransmission it already absorbed
-    /// before the checkpoint (found by the conservation fuzz tests).
-    received_ids: HashSet<crate::message::MsgId>,
-}
-
-/// One of this process's own recovery tokens still awaiting
-/// acknowledgement from some peers (reliable-delivery sublayer). Kept
-/// with the stable state: it is metadata about a token that is already
-/// durably implied by the restoration record, so a crash must not erase
-/// the obligation to keep retransmitting it.
-#[derive(Debug, Clone)]
-struct PendingToken {
-    token: Token,
-    /// Peers that have not acknowledged this token yet.
-    unacked: Vec<ProcessId>,
-    /// Absolute time of the next retransmission.
-    next_retry: u64,
-    /// Current retransmission timeout; doubles per retry, capped at
-    /// [`DgConfig::token_backoff_cap`].
-    backoff: u64,
+/// Execute a batch of engine [`Effect`]s against a simulator [`Context`].
+///
+/// Shared by every actor adapter (Damani–Garg here, the baseline
+/// protocols in `dg-baselines`): sends map to context sends, timers to
+/// context timers, and storage costs to stalls at the same positions the
+/// engine incurred them — stall position matters, because the simulator
+/// charges storage latency to *subsequent* sends in the same handler.
+/// Returns the outputs committed by this batch (the engine also retains
+/// them; see [`Engine::committed_outputs`]).
+pub fn run_effects<W, O>(effects: Vec<Effect<W, O>>, ctx: &mut Context<'_, W>) -> Vec<O>
+where
+    W: Clone,
+{
+    let mut committed = Vec::new();
+    for effect in effects {
+        match effect {
+            Effect::Send { to, wire, control } => {
+                if control {
+                    ctx.send_control(to, wire);
+                } else {
+                    ctx.send(to, wire);
+                }
+            }
+            Effect::Broadcast { wire } => ctx.broadcast_control(wire),
+            Effect::SetTimer {
+                delay,
+                kind,
+                maintenance,
+            } => {
+                if maintenance {
+                    ctx.set_maintenance_timer(delay, kind);
+                } else {
+                    ctx.set_timer(delay, kind);
+                }
+            }
+            Effect::Checkpoint { cost_us } | Effect::LogWrite { cost_us, .. } => {
+                ctx.stall(cost_us);
+            }
+            Effect::Commit { outputs, cost_us } => {
+                ctx.stall(cost_us);
+                committed.extend(outputs);
+            }
+        }
+    }
+    committed
 }
 
 /// A process running the Damani–Garg optimistic recovery protocol around
-/// a piecewise-deterministic [`Application`].
+/// a piecewise-deterministic [`Application`], as a simulator actor.
 ///
-/// See the crate documentation for the protocol walkthrough and the
-/// `dg-harness` crate for running whole systems with fault injection.
-/// `Clone` snapshots the entire process (volatile and stable state),
-/// which the exhaustive interleaving explorer uses to branch executions.
+/// This is a thin adapter over [`Engine`]; see the `dg-harness` crate for
+/// running whole systems with fault injection. `Clone` snapshots the
+/// entire process (volatile and stable state), which the exhaustive
+/// interleaving explorer uses to branch executions.
 #[derive(Clone)]
 pub struct DgProcess<A: Application> {
-    me: ProcessId,
-    n: usize,
-    config: DgConfig,
-
-    // ---- volatile state (destroyed by a crash) ----
-    app: A,
-    clock: Ftvc,
-    history: History,
-    postponed: Vec<Envelope<A::Msg>>,
-    received_ids: HashSet<crate::message::MsgId>,
-    outputs: OutputBuffer<A::Msg>,
-    send_log: SendLog<(ProcessId, Envelope<A::Msg>)>,
-    /// Gossiped stable frontiers, one per process.
-    frontiers: Vec<Entry>,
-    /// Own stable frontier: own clock entry at the last flush/checkpoint.
-    my_stable_entry: Entry,
-    down: bool,
-
-    // ---- stable state (survives crashes) ----
-    checkpoints: CheckpointStore<Checkpoint<A>>,
-    log: EventLog<LogEvent<A::Msg>>,
-    /// Own tokens awaiting acknowledgement (empty unless
-    /// [`DgConfig::reliable_tokens`] is on).
-    pending_tokens: Vec<PendingToken>,
-
-    stats: ProcessStats,
+    engine: Engine<A>,
 }
 
 impl<A: Application> DgProcess<A> {
@@ -114,602 +84,115 @@ impl<A: Application> DgProcess<A> {
     ///
     /// Panics if `me.index() >= n`.
     pub fn new(me: ProcessId, n: usize, app: A, config: DgConfig) -> DgProcess<A> {
-        assert!(me.index() < n, "process id out of range");
-        let clock = Ftvc::new(me, n);
-        let my_stable_entry = clock.own_entry();
         DgProcess {
-            me,
-            n,
-            config,
-            app,
-            clock,
-            history: History::new(me, n),
-            postponed: Vec::new(),
-            received_ids: HashSet::new(),
-            outputs: OutputBuffer::new(),
-            send_log: SendLog::new(),
-            frontiers: vec![Entry::ZERO; n],
-            my_stable_entry,
-            down: false,
-            checkpoints: CheckpointStore::new(),
-            log: EventLog::new(),
-            pending_tokens: Vec::new(),
-            stats: ProcessStats::default(),
+            engine: Engine::new(me, n, app, config),
         }
+    }
+
+    /// The underlying transport-agnostic engine.
+    pub fn engine(&self) -> &Engine<A> {
+        &self.engine
+    }
+
+    /// Unwrap into the underlying engine (e.g. to rehost it on another
+    /// runtime).
+    pub fn into_engine(self) -> Engine<A> {
+        self.engine
     }
 
     /// This process's id.
     pub fn id(&self) -> ProcessId {
-        self.me
+        EngineView::id(&self.engine)
     }
 
     /// The application state.
     pub fn app(&self) -> &A {
-        &self.app
+        self.engine.app()
     }
 
     /// The current fault-tolerant vector clock.
     pub fn clock(&self) -> &Ftvc {
-        &self.clock
+        self.engine.clock()
     }
 
     /// The current history tables.
     pub fn history(&self) -> &History {
-        &self.history
+        self.engine.history()
     }
 
     /// The current incarnation number.
     pub fn version(&self) -> Version {
-        self.clock.version()
+        EngineView::version(&self.engine)
     }
 
     /// Protocol statistics.
     pub fn stats(&self) -> &ProcessStats {
-        &self.stats
+        EngineView::stats(&self.engine)
     }
 
     /// Messages currently postponed awaiting tokens.
     pub fn postponed_len(&self) -> usize {
-        self.postponed.len()
+        self.engine.postponed_len()
     }
 
     /// Committed external outputs, in commit order.
     pub fn committed_outputs(&self) -> impl Iterator<Item = &A::Msg> {
-        self.outputs.committed()
+        self.engine.committed_outputs()
     }
 
     /// Outputs still awaiting commit.
     pub fn pending_outputs(&self) -> usize {
-        self.outputs.pending_len()
+        self.engine.pending_outputs()
     }
 
     /// Number of retained checkpoints (after GC).
     pub fn checkpoint_count(&self) -> usize {
-        self.checkpoints.len()
+        self.engine.checkpoint_count()
     }
 
     /// Own recovery tokens not yet acknowledged by every peer. With
     /// [`DgConfig::reliable_tokens`] on, the oracle requires this to be
     /// zero at quiescence: every token reached every peer.
     pub fn pending_token_count(&self) -> usize {
-        self.pending_tokens.len()
+        self.engine.pending_token_count()
     }
 
     /// Live entries currently in the stable/volatile log.
     pub fn log_len(&self) -> usize {
-        self.log.live_len()
+        self.engine.log_len()
     }
 
-    /// A fingerprint of the full process state (application digest,
-    /// clock, history, log shape, postponed queue, counters relevant to
-    /// future behaviour). Used by the exhaustive explorer to prune
-    /// schedules that converged to an already-visited state.
+    /// A fingerprint of the full process state; see
+    /// [`EngineView::state_digest`].
     pub fn state_digest(&self) -> u64 {
-        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-        let mut mix = |word: u64| {
-            h ^= word;
-            h = h.wrapping_mul(0x0000_0100_0000_01B3);
-        };
-        mix(self.app.digest());
-        for (_, e) in self.clock.iter() {
-            mix(u64::from(e.version.0));
-            mix(e.ts);
-        }
-        for j in ProcessId::all(self.n) {
-            for (v, r) in self.history.records_for(j) {
-                mix(u64::from(v.0));
-                mix(r.ts);
-                mix(match r.kind {
-                    crate::history::RecordKind::Message => 1,
-                    crate::history::RecordKind::Token => 2,
-                });
-            }
-        }
-        mix(self.log.live_len() as u64);
-        mix(self.log.unflushed_len() as u64);
-        mix(self.checkpoints.len() as u64);
-        for env in &self.postponed {
-            mix(env.id().clock_digest);
-        }
-        mix(self.stats.restarts);
-        mix(self.stats.rollbacks);
-        for p in &self.pending_tokens {
-            mix(u64::from(p.token.entry.version.0));
-            mix(p.unacked.len() as u64);
-        }
-        h
+        EngineView::state_digest(&self.engine)
     }
+}
 
-    // ----------------------------------------------------------------
-    // Effects: stamping sends, queueing outputs.
-    // ----------------------------------------------------------------
-
-    /// Emit application effects produced by a *live* (non-replay) step.
-    fn emit_effects(&mut self, effects: Effects<A::Msg>, ctx: &mut Context<'_, Wire<A::Msg>>) {
-        for (index, value) in effects.outputs.into_iter().enumerate() {
-            let id = OutputId {
-                entry: self.clock.own_entry(),
-                index: index as u32,
-            };
-            if self.outputs.emit(id, value, self.clock.clone()) {
-                self.stats.outputs_emitted += 1;
-            }
-        }
-        for (to, payload) in effects.sends {
-            let stamp = self.clock.stamp_for_send();
-            let env = Envelope {
-                payload,
-                clock: stamp,
-            };
-            self.stats.messages_sent += 1;
-            self.stats.piggyback_bytes += env.piggyback_bytes() as u64;
-            if self.config.retransmit_lost {
-                self.send_log.record((to, env.clone()));
-            }
-            ctx.send(to, Wire::App(env));
-        }
+impl<A: Application> EngineView for DgProcess<A> {
+    fn id(&self) -> ProcessId {
+        EngineView::id(&self.engine)
     }
-
-    /// Re-emit effects during replay: sends are suppressed (their
-    /// originals already left this process before the failure/rollback),
-    /// but the clock must advance exactly as it did originally, and
-    /// outputs are re-queued (deduplicated against committed ids).
-    ///
-    /// `rebuild_send_log` is true only for **restart** replay, where the
-    /// crash erased the volatile send history. Rollback replay must NOT
-    /// re-record: the send log is intact, and the replayed trajectory can
-    /// diverge from the original (the orphan taint is excluded), which
-    /// would plant a second, differently-stamped copy of each send.
-    fn emit_effects_replay(&mut self, effects: Effects<A::Msg>, rebuild_send_log: bool) {
-        for (index, value) in effects.outputs.into_iter().enumerate() {
-            let id = OutputId {
-                entry: self.clock.own_entry(),
-                index: index as u32,
-            };
-            self.outputs.emit(id, value, self.clock.clone());
-        }
-        for (to, payload) in effects.sends {
-            let stamp = self.clock.stamp_for_send();
-            if self.config.retransmit_lost && rebuild_send_log {
-                let env = Envelope {
-                    payload,
-                    clock: stamp,
-                };
-                self.send_log.record((to, env));
-            }
-        }
+    fn clock(&self) -> &Ftvc {
+        EngineView::clock(&self.engine)
     }
-
-    // ----------------------------------------------------------------
-    // Receive path (Figure 4, "Receive message").
-    // ----------------------------------------------------------------
-
-    fn receive_app(&mut self, env: Envelope<A::Msg>, ctx: &mut Context<'_, Wire<A::Msg>>) {
-        // Duplicate suppression (needed for the retransmission extension;
-        // harmless otherwise — live ids are unique per send). A duplicate
-        // may already be waiting in the postponed queue, not just among
-        // past deliveries.
-        if self.received_ids.contains(&env.id())
-            || self.postponed.iter().any(|p| p.id() == env.id())
-        {
-            self.stats.duplicates_dropped += 1;
-            return;
-        }
-        // Obsolete test (Lemma 4).
-        if self.history.message_is_obsolete(&env.clock) {
-            self.stats.obsolete_discarded += 1;
-            return;
-        }
-        // Deliverability test (Section 6.1): every version the clock
-        // mentions must be token-covered below it.
-        if !self.deliverable(&env.clock) {
-            self.stats.postponed += 1;
-            self.postponed.push(env);
-            return;
-        }
-        self.deliver(env, ctx);
+    fn history(&self) -> &History {
+        EngineView::history(&self.engine)
     }
-
-    fn deliverable(&self, clock: &Ftvc) -> bool {
-        clock.iter().all(|(j, entry)| {
-            if j == self.me {
-                // Own versions are always known locally.
-                entry.version <= self.clock.version()
-            } else {
-                entry.version <= self.history.token_frontier(j)
-            }
-        })
+    fn version(&self) -> Version {
+        EngineView::version(&self.engine)
     }
-
-    /// Deliver a message live: log it, merge clock and history, run the
-    /// application, emit its effects.
-    fn deliver(&mut self, env: Envelope<A::Msg>, ctx: &mut Context<'_, Wire<A::Msg>>) {
-        self.log.append_volatile(LogEvent::Message(env.clone()));
-        self.received_ids.insert(env.id());
-        self.history.observe_clock(&env.clock);
-        self.clock.observe(&env.clock);
-        self.stats.messages_delivered += 1;
-        let from = env.sender();
-        let effects = self.app.on_message(self.me, from, &env.payload, self.n);
-        self.emit_effects(effects, ctx);
+    fn stats(&self) -> &ProcessStats {
+        EngineView::stats(&self.engine)
     }
-
-    /// Re-deliver a logged message during replay: identical state
-    /// transitions, suppressed sends, no re-logging.
-    fn replay_deliver(&mut self, env: &Envelope<A::Msg>, rebuild_send_log: bool) {
-        self.received_ids.insert(env.id());
-        self.history.observe_clock(&env.clock);
-        self.clock.observe(&env.clock);
-        self.stats.messages_replayed += 1;
-        let from = env.sender();
-        let effects = self.app.on_message(self.me, from, &env.payload, self.n);
-        self.emit_effects_replay(effects, rebuild_send_log);
+    fn postponed_len(&self) -> usize {
+        EngineView::postponed_len(&self.engine)
     }
-
-    // ----------------------------------------------------------------
-    // Token path (Figure 4, "Receive token").
-    // ----------------------------------------------------------------
-
-    fn receive_token(&mut self, token: Token, ctx: &mut Context<'_, Wire<A::Msg>>) {
-        self.stats.tokens_received += 1;
-        // Deduplicate re-injected or retransmitted tokens: one history
-        // record per `(process, version)` with an exact `(version, ts)`
-        // match makes token handling idempotent, so the reliable-delivery
-        // sublayer may retransmit freely.
-        if self.history.has_token(token.from, token.entry) {
-            self.stats.duplicate_tokens_dropped += 1;
-            self.deliver_postponed(ctx);
-            return;
-        }
-        // Orphan test (Lemma 3) — roll back *before* recording the token,
-        // so the rollback's checkpoint search sees the pre-token history.
-        let suffix = if self.history.orphaned_by(token.from, token.entry) {
-            self.rollback(token.from, token.entry)
-        } else {
-            Vec::new()
-        };
-        // Tokens are logged synchronously (Section 6.3); appending after
-        // the rollback keeps the token past the truncation point so a
-        // later restart replays it.
-        self.log.append_stable(LogEvent::Token(token.clone()));
-        ctx.stall(self.config.costs.sync_write);
-        self.history.record_token(token.from, token.entry);
-        // Re-inject the rollback suffix through the normal paths: the
-        // token is now recorded, so obsolete messages are filtered and
-        // surviving ones are re-delivered (paper Remark: "no message is
-        // lost" in a rollback).
-        for event in suffix {
-            match event {
-                LogEvent::Message(env) => {
-                    // The suffix was already received once; clear its id so
-                    // duplicate suppression does not eat the re-delivery.
-                    self.received_ids.remove(&env.id());
-                    self.receive_app(env, ctx);
-                }
-                LogEvent::Token(t) => self.receive_token(t, ctx),
-            }
-        }
-        // Deliver messages that were held for this token (Section 6.3).
-        self.deliver_postponed(ctx);
-        // Retransmission extension (paper Remark 1).
-        if self.config.retransmit_lost {
-            if let Some(restored) = token.full_clock.clone() {
-                self.retransmit_lost_messages(token.from, &restored, ctx);
-            }
-        }
+    fn pending_token_count(&self) -> usize {
+        EngineView::pending_token_count(&self.engine)
     }
-
-    fn deliver_postponed(&mut self, ctx: &mut Context<'_, Wire<A::Msg>>) {
-        loop {
-            let mut progressed = false;
-            let waiting = std::mem::take(&mut self.postponed);
-            for env in waiting {
-                if self.received_ids.contains(&env.id()) {
-                    self.stats.duplicates_dropped += 1;
-                    progressed = true;
-                } else if self.history.message_is_obsolete(&env.clock) {
-                    self.stats.obsolete_discarded += 1;
-                    progressed = true;
-                } else if self.deliverable(&env.clock) {
-                    self.stats.postponed_delivered += 1;
-                    self.deliver(env, ctx);
-                    progressed = true;
-                } else {
-                    self.postponed.push(env);
-                }
-            }
-            if !progressed || self.postponed.is_empty() {
-                return;
-            }
-        }
-    }
-
-    fn retransmit_lost_messages(
-        &mut self,
-        failed: ProcessId,
-        restored: &Ftvc,
-        ctx: &mut Context<'_, Wire<A::Msg>>,
-    ) {
-        let mut to_resend = Vec::new();
-        for (to, env) in self.send_log.iter() {
-            if *to != failed {
-                continue;
-            }
-            // If the send is causally reflected in the restored state, the
-            // failed process recovered it; otherwise it may be lost.
-            let covered = env.clock.happened_before(restored);
-            if !covered && !self.history.message_is_obsolete(&env.clock) {
-                to_resend.push(env.clone());
-            }
-        }
-        for env in to_resend {
-            self.stats.retransmitted += 1;
-            ctx.send(failed, Wire::Resend(env));
-        }
-    }
-
-    // ----------------------------------------------------------------
-    // Reliable token delivery (ack / retransmit / backoff).
-    // ----------------------------------------------------------------
-
-    /// Start tracking a freshly broadcast token for acknowledgement.
-    fn track_token(&mut self, token: Token, ctx: &mut Context<'_, Wire<A::Msg>>) {
-        let unacked: Vec<ProcessId> = ProcessId::all(self.n).filter(|&p| p != self.me).collect();
-        if unacked.is_empty() {
-            return;
-        }
-        let backoff = self.config.token_retry_timeout;
-        self.pending_tokens.push(PendingToken {
-            token,
-            unacked,
-            next_retry: ctx.now().as_micros() + backoff,
-            backoff,
-        });
-        self.arm_token_retry(ctx);
-    }
-
-    /// Arm a one-shot (non-maintenance) timer for the earliest pending
-    /// retransmission. Being non-maintenance, it keeps the simulation
-    /// alive until every token is acknowledged — quiescence then implies
-    /// delivery. Redundant timers are harmless: a firing with nothing due
-    /// re-arms only if something is still pending.
-    fn arm_token_retry(&mut self, ctx: &mut Context<'_, Wire<A::Msg>>) {
-        let Some(due) = self.pending_tokens.iter().map(|p| p.next_retry).min() else {
-            return;
-        };
-        let delay = due.saturating_sub(ctx.now().as_micros()).max(1);
-        ctx.set_timer(delay, TIMER_TOKEN_RETRY);
-    }
-
-    /// Retransmit every due token to its unacknowledged peers, doubling
-    /// its backoff (capped), then re-arm for the next deadline.
-    fn retry_pending_tokens(&mut self, ctx: &mut Context<'_, Wire<A::Msg>>) {
-        let now = ctx.now().as_micros();
-        let cap = self.config.token_backoff_cap;
-        for p in &mut self.pending_tokens {
-            if p.next_retry > now {
-                continue;
-            }
-            for &peer in &p.unacked {
-                ctx.send_control(peer, Wire::Token(p.token.clone()));
-                self.stats.token_retransmits += 1;
-                self.stats.token_bytes += p.token.wire_bytes() as u64;
-            }
-            p.backoff = (p.backoff * 2).min(cap);
-            self.stats.max_token_backoff = self.stats.max_token_backoff.max(p.backoff);
-            p.next_retry = now + p.backoff;
-        }
-        self.arm_token_retry(ctx);
-    }
-
-    /// An acknowledgement for our token `entry` arrived from `from`.
-    fn receive_token_ack(&mut self, from: ProcessId, entry: Entry) {
-        self.stats.token_acks_received += 1;
-        for p in &mut self.pending_tokens {
-            if p.token.entry == entry {
-                p.unacked.retain(|&q| q != from);
-            }
-        }
-        self.pending_tokens.retain(|p| !p.unacked.is_empty());
-    }
-
-    // ----------------------------------------------------------------
-    // Rollback (Figure 4, "Rollback").
-    // ----------------------------------------------------------------
-
-    /// Roll back to the maximum non-orphan state with respect to failure
-    /// `(j, token_entry)`. Returns the discarded log suffix for
-    /// re-injection by the caller.
-    ///
-    /// Deviation from Figure 4's literal text, documented in DESIGN.md:
-    /// the checkpoint condition uses Lemma 3's strict inequality (a
-    /// recorded dependency with `ts == token.ts` is the restored state
-    /// itself, which is not lost), and the discarded suffix is re-injected
-    /// rather than silently dropped.
-    fn rollback(&mut self, j: ProcessId, token_entry: Entry) -> Vec<LogEvent<A::Msg>> {
-        self.stats.record_rollback(FailureId {
-            process: j,
-            version: token_entry.version,
-        });
-        let current_version = self.clock.version();
-        // "log all the unlogged messages to the stable storage" — nothing
-        // is lost in a rollback.
-        self.log.flush();
-
-        // Find the maximum *intact* checkpoint whose history is not
-        // orphaned (a storage fault may have damaged newer frames).
-        let (ckpt_id, ckpt) = self
-            .checkpoints
-            .iter_newest_first_intact()
-            .find(|(_, c)| !c.history.orphaned_by(j, token_entry))
-            .map(|(id, c)| (id, c.clone()))
-            .expect("the initial checkpoint is never an orphan");
-        self.checkpoints.discard_after(ckpt_id);
-
-        self.app = ckpt.app;
-        self.clock = ckpt.clock;
-        self.history = ckpt.history;
-        self.received_ids = ckpt.received_ids;
-        self.outputs.clear_pending();
-
-        // Replay logged events while the resulting state stays non-orphan;
-        // stop at the first message that would re-orphan us.
-        let mut stop = self.log.end();
-        let mut stopped = false;
-        let entries: Vec<(LogPos, LogEvent<A::Msg>)> = self
-            .log
-            .live_entries_from(ckpt.log_end)
-            .map(|(pos, e)| (pos, e.clone()))
-            .collect();
-        for (pos, event) in entries {
-            match event {
-                LogEvent::Message(env) => {
-                    let e = env.clock.entry(j);
-                    if e.version == token_entry.version && e.ts > token_entry.ts {
-                        stop = pos;
-                        stopped = true;
-                        break;
-                    }
-                    self.replay_deliver(&env, false);
-                }
-                LogEvent::Token(t) => {
-                    debug_assert!(
-                        !self.history.orphaned_by(t.from, t.entry),
-                        "a logged token cannot orphan the replayed prefix"
-                    );
-                    self.history.record_token(t.from, t.entry);
-                }
-            }
-        }
-        let suffix = if stopped {
-            self.log.split_off_suffix(stop)
-        } else {
-            Vec::new()
-        };
-        if self.clock.version() < current_version {
-            // The search crossed a restart boundary: the post-failure
-            // restored state was itself an orphan of `j`'s failure (its
-            // token arrived only after our restart, so the post-restart
-            // checkpoint baked the orphan suffix in). The old versions
-            // were already declared dead by our own tokens — a process
-            // must never compute in one again — so re-establish the
-            // current incarnation on top of the rebuilt prefix. Timestamp
-            // reuse within the current version is the same situation as
-            // an ordinary rollback and is disambiguated the same way
-            // (clock digests in message ids; the orphan lineage is
-            // filtered by `j`'s token at every receiver).
-            let me = self.me;
-            for &(version, ts) in &self.stats.restorations {
-                if version >= self.clock.version() {
-                    self.history.record_token(me, Entry { version, ts });
-                }
-            }
-            while self.clock.version() < current_version {
-                self.clock.restart();
-            }
-            // A fresh checkpoint pins the re-established version, exactly
-            // like the checkpoint at the end of a restart (Section 6.2).
-            self.checkpoints.take(Checkpoint {
-                app: self.app.clone(),
-                clock: self.clock.clone(),
-                history: self.history.clone(),
-                log_end: self.log.end(),
-                received_ids: self.received_ids.clone(),
-            });
-            self.stats.checkpoints_taken += 1;
-        } else {
-            // The post-rollback state ticks its timestamp but keeps its
-            // version (Figure 2, "On Rollback").
-            self.clock.rolled_back();
-        }
-        suffix
-    }
-
-    // ----------------------------------------------------------------
-    // Checkpointing, flushing, gossip.
-    // ----------------------------------------------------------------
-
-    fn take_checkpoint(&mut self, ctx: &mut Context<'_, Wire<A::Msg>>) {
-        // "At the time of checkpointing, all unlogged messages are also
-        // logged."
-        self.log.flush();
-        self.my_stable_entry = self.clock.own_entry();
-        self.checkpoints.take(Checkpoint {
-            app: self.app.clone(),
-            clock: self.clock.clone(),
-            history: self.history.clone(),
-            log_end: self.log.end(),
-            received_ids: self.received_ids.clone(),
-        });
-        self.stats.checkpoints_taken += 1;
-        ctx.stall(self.config.costs.checkpoint_write);
-    }
-
-    fn arm_timers(&mut self, ctx: &mut Context<'_, Wire<A::Msg>>) {
-        ctx.set_maintenance_timer(self.config.checkpoint_interval, TIMER_CHECKPOINT);
-        ctx.set_maintenance_timer(self.config.flush_interval, TIMER_FLUSH);
-        if let Some(gossip) = self.config.gossip_interval {
-            ctx.set_maintenance_timer(gossip, TIMER_GOSSIP);
-        }
-    }
-
-    fn receive_frontier(
-        &mut self,
-        p: ProcessId,
-        entry: Entry,
-        ctx: &mut Context<'_, Wire<A::Msg>>,
-    ) {
-        let current = &mut self.frontiers[p.index()];
-        *current = (*current).max(entry);
-        self.frontiers[self.me.index()] = self.my_stable_entry;
-        let released = self.outputs.try_commit(&self.frontiers, &self.history);
-        if !released.is_empty() {
-            self.stats.outputs_committed += released.len() as u64;
-            // Committing is an external, stable action.
-            ctx.stall(self.config.costs.sync_write);
-        }
-        if self.config.garbage_collect {
-            self.collect_garbage();
-        }
-    }
-
-    /// Reclaim checkpoints and log prefix made obsolete by global
-    /// stability: the newest checkpoint whose full clock is stable can
-    /// never be rolled past, so everything older is garbage (paper,
-    /// Remark 2).
-    fn collect_garbage(&mut self) {
-        let stable_ckpt = self.checkpoints.iter_newest_first().find(|(_, c)| {
-            c.clock
-                .iter()
-                .all(|(j, dep)| entry_is_stable(dep, self.frontiers[j.index()], &self.history, j))
-        });
-        if let Some((id, c)) = stable_ckpt {
-            let log_floor = c.log_end;
-            let ckpts = self.checkpoints.gc_before(id);
-            let entries = self.log.gc_before(log_floor);
-            self.stats.gc_checkpoints += ckpts as u64;
-            self.stats.gc_log_entries += entries as u64;
-        }
+    fn state_digest(&self) -> u64 {
+        EngineView::state_digest(&self.engine)
     }
 }
 
@@ -717,12 +200,10 @@ impl<A: Application> Actor for DgProcess<A> {
     type Msg = Wire<A::Msg>;
 
     fn on_start(&mut self, ctx: &mut Context<'_, Wire<A::Msg>>) {
-        let effects = self.app.on_start(self.me, self.n);
-        self.emit_effects(effects, ctx);
-        // The initial checkpoint covers the post-`on_start` state, so a
-        // restart never re-runs `on_start` (its sends are already out).
-        self.take_checkpoint(ctx);
-        self.arm_timers(ctx);
+        let effects = self.engine.handle(Input::Start {
+            now: ctx.now().as_micros(),
+        });
+        run_effects(effects, ctx);
     }
 
     fn on_message(
@@ -731,157 +212,39 @@ impl<A: Application> Actor for DgProcess<A> {
         msg: Wire<A::Msg>,
         ctx: &mut Context<'_, Wire<A::Msg>>,
     ) {
-        debug_assert!(!self.down, "simulator delivered to a down process");
-        match msg {
-            Wire::App(env) | Wire::Resend(env) => self.receive_app(env, ctx),
-            Wire::Token(token) => {
-                // Acknowledge every *network* receipt — including ones the
-                // dedup below will suppress, since acking duplicates is
-                // precisely what stops further retransmissions. Local
-                // suffix re-injections call `receive_token` directly and
-                // are never acked.
-                if self.config.reliable_tokens {
-                    self.stats.token_acks_sent += 1;
-                    ctx.send_control(token.from, Wire::TokenAck(token.entry));
-                }
-                self.receive_token(token, ctx);
-            }
-            Wire::TokenAck(entry) => self.receive_token_ack(from, entry),
-            Wire::Frontier(p, entry) => self.receive_frontier(p, entry, ctx),
-        }
+        let effects = self.engine.handle(Input::Deliver {
+            from,
+            wire: msg,
+            now: ctx.now().as_micros(),
+        });
+        run_effects(effects, ctx);
     }
 
     fn on_timer(&mut self, kind: u32, ctx: &mut Context<'_, Wire<A::Msg>>) {
-        match kind {
-            TIMER_CHECKPOINT => {
-                self.take_checkpoint(ctx);
-                ctx.set_maintenance_timer(self.config.checkpoint_interval, TIMER_CHECKPOINT);
-            }
-            TIMER_FLUSH => {
-                let flushed = self.log.flush();
-                if flushed > 0 {
-                    self.stats.flushes += 1;
-                    ctx.stall(self.config.costs.flush_per_entry * flushed as u64);
-                }
-                self.my_stable_entry = self.clock.own_entry();
-                ctx.set_maintenance_timer(self.config.flush_interval, TIMER_FLUSH);
-            }
-            TIMER_GOSSIP => {
-                // Stability gossip travels on the control plane; it is not
-                // part of the piecewise-deterministic computation.
-                ctx.broadcast_control(Wire::Frontier(self.me, self.my_stable_entry));
-                if let Some(gossip) = self.config.gossip_interval {
-                    ctx.set_maintenance_timer(gossip, TIMER_GOSSIP);
-                }
-            }
-            TIMER_TOKEN_RETRY => self.retry_pending_tokens(ctx),
-            _ => unreachable!("unknown timer kind {kind}"),
-        }
-    }
-
-    fn on_fault(&mut self, kind: FaultKind) {
-        match kind {
-            FaultKind::CorruptLatestCheckpoint => {
-                // The store refuses to damage the last intact frame: the
-                // protocol is only recoverable at all under the paper's
-                // assumption that the initial checkpoint survives.
-                let _ = self.checkpoints.mark_latest_corrupt();
-            }
-        }
+        let effects = self.engine.handle(Input::Tick {
+            kind,
+            now: ctx.now().as_micros(),
+        });
+        run_effects(effects, ctx);
     }
 
     fn on_crash(&mut self) {
-        self.down = true;
-        // Everything volatile dies here; stable storage survives.
-        self.stats.log_entries_lost += self.log.crash() as u64;
-        self.stats.postponed_lost += self.postponed.len() as u64;
-        self.postponed.clear();
-        self.received_ids.clear();
-        self.outputs.crash();
-        self.send_log.clear();
-        self.frontiers = vec![Entry::ZERO; self.n];
+        let effects = self.engine.handle(Input::Crash);
+        debug_assert!(effects.is_empty(), "a crashed process acts silently");
     }
 
     fn on_restart(&mut self, ctx: &mut Context<'_, Wire<A::Msg>>) {
-        // Figure 4, "Restart": restore the last checkpoint, replay the
-        // stable log, broadcast the token, bump the version, checkpoint.
-        // Storage faults may have damaged recent frames, so restore the
-        // newest checkpoint that still *verifies*; the store guarantees
-        // at least one survives (the paper's assumption that the initial
-        // checkpoint is never lost).
-        let (_, ckpt) = self
-            .checkpoints
-            .latest_intact()
-            .map(|(id, c)| (id, c.clone()))
-            .expect("a process always has an intact checkpoint");
-        self.app = ckpt.app;
-        self.clock = ckpt.clock;
-        self.history = ckpt.history;
-        self.received_ids = ckpt.received_ids;
-        let entries: Vec<LogEvent<A::Msg>> =
-            self.log.live_events_from(ckpt.log_end).cloned().collect();
-        for event in entries {
-            match event {
-                LogEvent::Message(env) => self.replay_deliver(&env, true),
-                LogEvent::Token(t) => {
-                    debug_assert!(
-                        !self.history.orphaned_by(t.from, t.entry),
-                        "restart replay cannot be orphaned by its own logged tokens"
-                    );
-                    self.history.record_token(t.from, t.entry);
-                }
-            }
-        }
-        // If the fallback skipped damaged frames from a previous
-        // incarnation, the restored clock is stuck in an old version that
-        // our own earlier tokens already declared dead — a process must
-        // never compute in one again. Re-record those tokens and
-        // re-establish the current incarnation on top of the replayed
-        // prefix (same cross-restart situation, and same resolution, as
-        // the rollback path above).
-        let current_version = Version(self.stats.restorations.len() as u32);
-        if self.clock.version() < current_version {
-            let me = self.me;
-            for &(version, ts) in &self.stats.restorations {
-                if version >= self.clock.version() {
-                    self.history.record_token(me, Entry { version, ts });
-                }
-            }
-            while self.clock.version() < current_version {
-                self.clock.restart();
-            }
-        }
-        // Broadcast the token about the failed version: (version,
-        // timestamp at the point of restoration).
-        let failed = self.clock.own_entry();
-        let token = Token {
-            from: self.me,
-            entry: failed,
-            full_clock: self.config.retransmit_lost.then(|| self.clock.clone()),
+        let effects = self.engine.handle(Input::Restart {
+            now: ctx.now().as_micros(),
+        });
+        run_effects(effects, ctx);
+    }
+
+    fn on_fault(&mut self, kind: FaultKind) {
+        let fault = match kind {
+            FaultKind::CorruptLatestCheckpoint => StorageFault::CorruptLatestCheckpoint,
         };
-        self.stats.tokens_sent += 1;
-        self.stats.token_bytes += token.wire_bytes() as u64;
-        ctx.broadcast_control(Wire::Token(token.clone()));
-        if self.config.reliable_tokens {
-            // Track the new token; the crash also killed any armed retry
-            // timer, so mark surviving pending tokens due immediately and
-            // let `track_token`'s re-arm cover them all.
-            let now = ctx.now().as_micros();
-            for p in &mut self.pending_tokens {
-                p.next_retry = now;
-            }
-            self.track_token(token, ctx);
-        }
-        // Record our own token (Figure 3, "On Restart").
-        self.history.record_token(self.me, failed);
-        // New incarnation (Figure 2, "On Restart").
-        self.clock.restart();
-        self.stats.restarts += 1;
-        self.stats.restorations.push((failed.version, failed.ts));
-        // The new checkpoint preserves the new version number across
-        // further failures (Section 6.2).
-        self.take_checkpoint(ctx);
-        self.arm_timers(ctx);
-        self.down = false;
+        let effects = self.engine.handle(Input::Fault(fault));
+        debug_assert!(effects.is_empty(), "storage faults act silently");
     }
 }

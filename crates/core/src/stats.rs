@@ -81,6 +81,9 @@ pub struct ProcessStats {
     pub gc_checkpoints: u64,
     /// Log entries reclaimed by garbage collection.
     pub gc_log_entries: u64,
+    /// History-table records reclaimed by garbage collection (dead
+    /// versions whose tokens the frontier accounting subsumes).
+    pub gc_history_records: u64,
     /// Restorations performed by this process: for each of this process's
     /// own failures, the `(version, timestamp)` of the restored state —
     /// the oracle uses this to delimit lost intervals.

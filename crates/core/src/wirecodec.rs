@@ -1,0 +1,334 @@
+//! Byte-level codec for [`Wire`] messages.
+//!
+//! The simulator moves `Wire<M>` values between actors as in-memory
+//! clones; a real network runtime (the `dg-netrun` crate) needs bytes.
+//! This module encodes every protocol message with the same LEB128
+//! varint conventions as [`dg_ftvc::wire`] — so the piggyback-overhead
+//! numbers measured by the benchmarks are exactly the bytes that travel
+//! over real sockets.
+//!
+//! Application payloads are encoded through the [`Payload`] trait;
+//! implementations are provided for the integer types the workload apps
+//! use plus `Vec<u8>` for opaque blobs.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use dg_ftvc::wire::{decode_ftvc, encode_ftvc, get_varint, put_varint, DecodeError};
+use dg_ftvc::{Entry, ProcessId, Version};
+
+use crate::message::{Envelope, Token, Wire};
+
+/// Error returned when decoding a malformed [`Wire`] frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// The frame's leading tag byte named no known message kind.
+    BadTag(u8),
+    /// The buffer ended in the middle of a value.
+    UnexpectedEnd,
+    /// A nested clock failed to decode.
+    Clock(DecodeError),
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::BadTag(t) => write!(f, "unknown wire tag {t}"),
+            CodecError::UnexpectedEnd => write!(f, "frame ended mid-value"),
+            CodecError::Clock(e) => write!(f, "clock decode failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+impl From<DecodeError> for CodecError {
+    fn from(e: DecodeError) -> CodecError {
+        match e {
+            DecodeError::UnexpectedEnd => CodecError::UnexpectedEnd,
+            other => CodecError::Clock(other),
+        }
+    }
+}
+
+/// An application payload that can cross a real network.
+///
+/// Implementations must round-trip: `decode(encode(x)) == x`. The
+/// simulator never serializes, so only runtimes that move bytes (and
+/// the codec tests) exercise this.
+pub trait Payload: Sized + Clone {
+    /// Append this value's encoding to `buf`.
+    fn encode(&self, buf: &mut BytesMut);
+    /// Decode one value from the front of `buf`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CodecError`] on truncated or malformed input.
+    fn decode(buf: &mut Bytes) -> Result<Self, CodecError>;
+}
+
+impl Payload for u64 {
+    fn encode(&self, buf: &mut BytesMut) {
+        put_varint(buf, *self);
+    }
+    fn decode(buf: &mut Bytes) -> Result<u64, CodecError> {
+        Ok(get_varint(buf)?)
+    }
+}
+
+impl Payload for u32 {
+    fn encode(&self, buf: &mut BytesMut) {
+        put_varint(buf, u64::from(*self));
+    }
+    fn decode(buf: &mut Bytes) -> Result<u32, CodecError> {
+        Ok(get_varint(buf)? as u32)
+    }
+}
+
+impl Payload for Vec<u8> {
+    fn encode(&self, buf: &mut BytesMut) {
+        put_varint(buf, self.len() as u64);
+        buf.put_slice(self);
+    }
+    fn decode(buf: &mut Bytes) -> Result<Vec<u8>, CodecError> {
+        let len = get_varint(buf)? as usize;
+        if buf.remaining() < len {
+            return Err(CodecError::UnexpectedEnd);
+        }
+        let mut out = vec![0u8; len];
+        buf.copy_to_slice(&mut out);
+        Ok(out)
+    }
+}
+
+impl<A: Payload, B: Payload> Payload for (A, B) {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.0.encode(buf);
+        self.1.encode(buf);
+    }
+    fn decode(buf: &mut Bytes) -> Result<(A, B), CodecError> {
+        Ok((A::decode(buf)?, B::decode(buf)?))
+    }
+}
+
+const TAG_APP: u8 = 0;
+const TAG_TOKEN: u8 = 1;
+const TAG_TOKEN_ACK: u8 = 2;
+const TAG_RESEND: u8 = 3;
+const TAG_FRONTIER: u8 = 4;
+
+fn put_entry(buf: &mut BytesMut, entry: Entry) {
+    put_varint(buf, u64::from(entry.version.0));
+    put_varint(buf, entry.ts);
+}
+
+fn get_entry(buf: &mut Bytes) -> Result<Entry, CodecError> {
+    let version = get_varint(buf)? as u32;
+    let ts = get_varint(buf)?;
+    Ok(Entry {
+        version: Version(version),
+        ts,
+    })
+}
+
+fn put_clock(buf: &mut BytesMut, clock: &dg_ftvc::Ftvc) {
+    buf.put_slice(encode_ftvc(clock).as_slice());
+}
+
+fn put_envelope<M: Payload>(buf: &mut BytesMut, env: &Envelope<M>) {
+    put_clock(buf, &env.clock);
+    env.payload.encode(buf);
+}
+
+fn get_envelope<M: Payload>(buf: &mut Bytes) -> Result<Envelope<M>, CodecError> {
+    // `decode_ftvc` consumes from a shared view: clone the handle, let it
+    // advance, and re-slice. Cheaper: decode in place via the varint API.
+    let clock = {
+        let n = get_varint(buf)?;
+        let owner = get_varint(buf)?;
+        let mut parts = Vec::with_capacity(n as usize);
+        for _ in 0..n {
+            let version = get_varint(buf)? as u32;
+            let ts = get_varint(buf)?;
+            parts.push((version, ts));
+        }
+        if owner >= n {
+            return Err(CodecError::Clock(DecodeError::OwnerOutOfRange {
+                owner,
+                len: n,
+            }));
+        }
+        dg_ftvc::Ftvc::from_parts(ProcessId(owner as u16), &parts)
+    };
+    let payload = M::decode(buf)?;
+    Ok(Envelope { payload, clock })
+}
+
+/// Encode one [`Wire`] message to bytes (no length prefix; framing is the
+/// transport's job).
+pub fn encode_wire<M: Payload>(wire: &Wire<M>) -> Bytes {
+    let mut buf = BytesMut::with_capacity(64);
+    match wire {
+        Wire::App(env) => {
+            buf.put_u8(TAG_APP);
+            put_envelope(&mut buf, env);
+        }
+        Wire::Resend(env) => {
+            buf.put_u8(TAG_RESEND);
+            put_envelope(&mut buf, env);
+        }
+        Wire::Token(token) => {
+            buf.put_u8(TAG_TOKEN);
+            put_varint(&mut buf, u64::from(token.from.0));
+            put_entry(&mut buf, token.entry);
+            match &token.full_clock {
+                Some(clock) => {
+                    buf.put_u8(1);
+                    put_clock(&mut buf, clock);
+                }
+                None => buf.put_u8(0),
+            }
+        }
+        Wire::TokenAck(entry) => {
+            buf.put_u8(TAG_TOKEN_ACK);
+            put_entry(&mut buf, *entry);
+        }
+        Wire::Frontier(p, entry) => {
+            buf.put_u8(TAG_FRONTIER);
+            put_varint(&mut buf, u64::from(p.0));
+            put_entry(&mut buf, *entry);
+        }
+    }
+    buf.freeze()
+}
+
+/// Decode one [`Wire`] message produced by [`encode_wire`].
+///
+/// # Errors
+///
+/// Returns a [`CodecError`] on truncated or malformed input.
+pub fn decode_wire<M: Payload>(mut bytes: Bytes) -> Result<Wire<M>, CodecError> {
+    if !bytes.has_remaining() {
+        return Err(CodecError::UnexpectedEnd);
+    }
+    let tag = bytes.get_u8();
+    match tag {
+        TAG_APP => Ok(Wire::App(get_envelope(&mut bytes)?)),
+        TAG_RESEND => Ok(Wire::Resend(get_envelope(&mut bytes)?)),
+        TAG_TOKEN => {
+            let from = ProcessId(get_varint(&mut bytes)? as u16);
+            let entry = get_entry(&mut bytes)?;
+            if !bytes.has_remaining() {
+                return Err(CodecError::UnexpectedEnd);
+            }
+            let full_clock = match bytes.get_u8() {
+                0 => None,
+                _ => Some(decode_ftvc(bytes)?),
+            };
+            Ok(Wire::Token(Token {
+                from,
+                entry,
+                full_clock,
+            }))
+        }
+        TAG_TOKEN_ACK => Ok(Wire::TokenAck(get_entry(&mut bytes)?)),
+        TAG_FRONTIER => {
+            let p = ProcessId(get_varint(&mut bytes)? as u16);
+            let entry = get_entry(&mut bytes)?;
+            Ok(Wire::Frontier(p, entry))
+        }
+        other => Err(CodecError::BadTag(other)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dg_ftvc::Ftvc;
+
+    fn clock() -> Ftvc {
+        Ftvc::from_parts(ProcessId(1), &[(0, 4), (1, 700), (0, 0), (2, 31)])
+    }
+
+    fn roundtrip(wire: Wire<u64>) {
+        let bytes = encode_wire(&wire);
+        let back: Wire<u64> = decode_wire(bytes).expect("decodes");
+        assert_eq!(back, wire);
+    }
+
+    #[test]
+    fn app_roundtrip() {
+        roundtrip(Wire::App(Envelope {
+            payload: 123_456,
+            clock: clock(),
+        }));
+    }
+
+    #[test]
+    fn resend_roundtrip() {
+        roundtrip(Wire::Resend(Envelope {
+            payload: 0,
+            clock: clock(),
+        }));
+    }
+
+    #[test]
+    fn token_roundtrip_with_and_without_clock() {
+        roundtrip(Wire::Token(Token {
+            from: ProcessId(2),
+            entry: Entry::new(3, 999),
+            full_clock: None,
+        }));
+        roundtrip(Wire::Token(Token {
+            from: ProcessId(2),
+            entry: Entry::new(3, 999),
+            full_clock: Some(clock()),
+        }));
+    }
+
+    #[test]
+    fn ack_and_frontier_roundtrip() {
+        roundtrip(Wire::TokenAck(Entry::new(1, 88)));
+        roundtrip(Wire::Frontier(ProcessId(3), Entry::new(0, 12_000)));
+    }
+
+    #[test]
+    fn tuple_and_blob_payloads_roundtrip() {
+        let wire = Wire::App(Envelope {
+            payload: (7u32, vec![1u8, 2, 3, 255]),
+            clock: clock(),
+        });
+        let back: Wire<(u32, Vec<u8>)> = decode_wire(encode_wire(&wire)).unwrap();
+        assert_eq!(back, wire);
+    }
+
+    #[test]
+    fn truncation_is_an_error_not_a_panic() {
+        let bytes = encode_wire(&Wire::App(Envelope {
+            payload: 9u64,
+            clock: clock(),
+        }));
+        for cut in 0..bytes.len() {
+            let truncated = bytes.slice(0..cut);
+            assert!(
+                decode_wire::<u64>(truncated).is_err(),
+                "cut at {cut} must fail"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_tag_rejected() {
+        let err = decode_wire::<u64>(Bytes::from_static(&[9, 0, 0])).unwrap_err();
+        assert_eq!(err, CodecError::BadTag(9));
+    }
+
+    #[test]
+    fn app_frame_overhead_matches_piggyback_accounting() {
+        let env = Envelope {
+            payload: 5u64,
+            clock: clock(),
+        };
+        let bytes = encode_wire(&Wire::App(env.clone()));
+        // tag + clock + payload(1 byte varint)
+        assert_eq!(bytes.len(), 1 + env.piggyback_bytes() + 1);
+    }
+}

@@ -266,10 +266,11 @@ proptest! {
                 Op::Send { from, to } => {
                     let stamp = clocks[from as usize].stamp_for_send();
                     clocks[to as usize].observe(&stamp);
-                    for j in 0..n as usize {
-                        let k = known[from as usize][j];
-                        if known[to as usize][j] < k {
-                            known[to as usize][j] = k;
+                    let (src, dst) = (from as usize, to as usize);
+                    let sender_known = known[src].clone();
+                    for (k_to, k_from) in known[dst].iter_mut().zip(sender_known) {
+                        if *k_to < k_from {
+                            *k_to = k_from;
                         }
                     }
                 }
@@ -285,10 +286,10 @@ proptest! {
                 prop_assert_eq!(clock.version().0, failures[i]);
                 // Part 2: every other component's version is the highest
                 // causally-known version of that process.
-                for j in 0..n as usize {
+                for (j, &k) in known[i].iter().enumerate() {
                     prop_assert_eq!(
                         clock.entry(ProcessId(j as u16)).version.0,
-                        known[i][j],
+                        k,
                         "clock {} component {}", i, j
                     );
                 }

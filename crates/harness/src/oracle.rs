@@ -25,7 +25,7 @@
 //!    unacknowledged tokens at quiescence, and every effective crash was
 //!    answered by exactly one restart.
 
-use dg_core::{Application, DgProcess, ProcessId, Version};
+use dg_core::{Application, DgProcess, EngineView, ProcessId, Version};
 use dg_simnet::Sim;
 
 use crate::DgRunOutcome;
@@ -77,8 +77,20 @@ pub fn check<A: Application>(outcome: &DgRunOutcome<A>) -> Result<(), Vec<Violat
 /// Check the state-dependent invariants of a (possibly still running)
 /// simulation.
 pub fn check_sim<A: Application>(sim: &Sim<DgProcess<A>>, violations: &mut Vec<Violation>) {
-    let actors = sim.actors();
+    let views: Vec<&dyn EngineView> = sim.actors().iter().map(|a| a as &dyn EngineView).collect();
+    check_views(&views, violations);
+}
 
+/// Check the state-dependent invariants of any collection of protocol
+/// state views — one per process, indexed by [`ProcessId`].
+///
+/// This is the runtime-agnostic core of the oracle: the simulator calls
+/// it through [`check_sim`], and the `dg-netrun` TCP runtime calls it
+/// directly on the engines it recovers after a real-network run. The
+/// oracle sees only protocol state (through [`EngineView`]), so the
+/// same guarantees are checked no matter which runtime drove the
+/// engines.
+pub fn check_views(actors: &[&dyn EngineView], violations: &mut Vec<Violation>) {
     // Ground truth: lost intervals per (process, version).
     // restorations[p] = [(version, restored_ts), ...]
     let restorations: Vec<&[(Version, u64)]> = actors

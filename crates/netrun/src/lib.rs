@@ -1,0 +1,573 @@
+//! A real-network runtime for the sans-IO Damani–Garg [`Engine`]:
+//! one OS thread per process, TCP sockets between them.
+//!
+//! The discrete-event simulator (`dg-simnet`) and this crate drive the
+//! *identical* engine — this crate depends on `dg-core` with default
+//! features off, so nothing simulator-shaped can leak into the protocol.
+//! Everything runtime-specific lives here:
+//!
+//! * **Transport** — a full TCP mesh on loopback. Frames are
+//!   length-prefixed: `[u32 LE frame length][u16 LE sender id][wire
+//!   bytes]`, where the wire bytes are exactly the
+//!   [`dg_core::wirecodec`] encoding (so the piggyback sizes measured in
+//!   simulation are the bytes on the real wire).
+//! * **Time** — microseconds since cluster launch, read from the OS
+//!   monotonic clock and passed into the engine as `Input::*::now`. The
+//!   engine never reads a clock itself.
+//! * **Timers** — a per-node binary heap driving `Input::Tick`.
+//! * **Faults** — [`Cluster::crash`] delivers `Input::Crash`, parks
+//!   inbound frames for the downtime (the protocol does not assume
+//!   reliable channels, but parking mirrors the simulator's semantics
+//!   and keeps TCP connections alive across a process-level restart),
+//!   then delivers `Input::Restart` and replays the parked frames.
+//! * **Quiescence** — activity-based: the cluster is quiet when no
+//!   recovery work is pending anywhere and no non-gossip traffic has
+//!   moved for several consecutive probes.
+//!
+//! After [`Cluster::shutdown`] the engines come back to the caller, so
+//! tests run the *same* consistency oracle (`dg_harness::oracle::
+//! check_views`) against a real-network run as against a simulated one.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::BinaryHeap;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use dg_core::wirecodec::{decode_wire, encode_wire, Payload};
+use dg_core::{Application, DgConfig, Effect, Engine, EngineView, Input, ProtocolEngine, Wire};
+use dg_ftvc::ProcessId;
+
+/// Runtime knobs for a [`Cluster`].
+#[derive(Debug, Clone, Copy)]
+pub struct RunConfig {
+    /// Interval between quiescence probes.
+    pub probe_interval: Duration,
+    /// Consecutive quiet probes required to declare quiescence.
+    pub stable_probes: u32,
+}
+
+impl Default for RunConfig {
+    fn default() -> RunConfig {
+        RunConfig {
+            probe_interval: Duration::from_millis(120),
+            stable_probes: 3,
+        }
+    }
+}
+
+/// What a node reports when probed.
+#[derive(Debug, Clone, Copy, Default)]
+struct NodeStatus {
+    /// Monotone count of protocol-relevant events (non-gossip frames in,
+    /// sends out, crashes).
+    activity: u64,
+    down: bool,
+    postponed: usize,
+    pending_tokens: usize,
+    pending_outputs: usize,
+}
+
+enum Event {
+    /// A framed message arrived from `from`.
+    Frame { from: ProcessId, bytes: Vec<u8> },
+    /// Inject a crash; the node restarts itself after `downtime_us`.
+    Crash { downtime_us: u64 },
+    /// Report current status.
+    Probe { reply: mpsc::Sender<NodeStatus> },
+    /// Finish: the node thread returns its engine.
+    Stop,
+}
+
+/// Microseconds elapsed since `start`, saturating into `u64`.
+fn now_us(start: &Instant) -> u64 {
+    u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX)
+}
+
+// ---------------------------------------------------------------------
+// Outbound mesh
+// ---------------------------------------------------------------------
+
+/// Lazily connected outbound TCP connections to every peer.
+struct Mesh {
+    me: ProcessId,
+    addrs: Vec<SocketAddr>,
+    conns: Vec<Option<TcpStream>>,
+}
+
+impl Mesh {
+    fn new(me: ProcessId, addrs: Vec<SocketAddr>) -> Mesh {
+        let conns = addrs.iter().map(|_| None).collect();
+        Mesh { me, addrs, conns }
+    }
+
+    fn connect(&mut self, to: ProcessId) -> Option<&mut TcpStream> {
+        let slot = &mut self.conns[to.index()];
+        if slot.is_none() {
+            // Listeners are bound before any node thread starts, so a
+            // handful of quick retries covers transient refusals.
+            for _ in 0..5 {
+                match TcpStream::connect(self.addrs[to.index()]) {
+                    Ok(s) => {
+                        let _ = s.set_nodelay(true);
+                        *slot = Some(s);
+                        break;
+                    }
+                    Err(_) => thread::sleep(Duration::from_millis(10)),
+                }
+            }
+        }
+        slot.as_mut()
+    }
+
+    /// Send one frame. Connection failures drop the frame — the protocol
+    /// tolerates message loss (enable retransmission in the `DgConfig`).
+    fn send(&mut self, to: ProcessId, wire_bytes: &[u8]) {
+        let mut frame = Vec::with_capacity(6 + wire_bytes.len());
+        let len = (2 + wire_bytes.len()) as u32;
+        frame.extend_from_slice(&len.to_le_bytes());
+        frame.extend_from_slice(&self.me.0.to_le_bytes());
+        frame.extend_from_slice(wire_bytes);
+        for attempt in 0..2 {
+            let Some(conn) = self.connect(to) else { return };
+            match conn.write_all(&frame) {
+                Ok(()) => return,
+                Err(_) if attempt == 0 => self.conns[to.index()] = None, // reconnect once
+                Err(_) => return,
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Inbound side
+// ---------------------------------------------------------------------
+
+/// Accept loop: one reader thread per inbound connection, each pushing
+/// decoded frames into the node's event channel.
+fn acceptor(listener: TcpListener, tx: mpsc::Sender<Event>, stop: Arc<AtomicBool>) {
+    for stream in listener.incoming() {
+        if stop.load(Ordering::Relaxed) {
+            return;
+        }
+        let Ok(stream) = stream else { continue };
+        let _ = stream.set_nodelay(true);
+        let tx = tx.clone();
+        thread::spawn(move || reader(stream, &tx));
+    }
+}
+
+fn reader(mut stream: TcpStream, tx: &mpsc::Sender<Event>) {
+    loop {
+        let mut len_buf = [0u8; 4];
+        if stream.read_exact(&mut len_buf).is_err() {
+            return; // peer closed
+        }
+        let len = u32::from_le_bytes(len_buf) as usize;
+        if !(2..=1 << 24).contains(&len) {
+            return; // malformed frame; drop the connection
+        }
+        let mut frame = vec![0u8; len];
+        if stream.read_exact(&mut frame).is_err() {
+            return;
+        }
+        let from = ProcessId(u16::from_le_bytes([frame[0], frame[1]]));
+        let bytes = frame.split_off(2);
+        if tx.send(Event::Frame { from, bytes }).is_err() {
+            return; // node thread gone
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Node
+// ---------------------------------------------------------------------
+
+/// A pending timer: fires at `at` (cluster micros) with `kind`.
+/// `seq` breaks ties FIFO.
+#[derive(PartialEq, Eq, PartialOrd, Ord)]
+struct TimerEntry {
+    at: u64,
+    seq: u64,
+    kind: u32,
+}
+
+struct Node<A: Application>
+where
+    A::Msg: Payload,
+{
+    engine: Engine<A>,
+    mesh: Mesh,
+    n: usize,
+    start: Instant,
+    timers: BinaryHeap<std::cmp::Reverse<TimerEntry>>,
+    timer_seq: u64,
+    down: bool,
+    restart_at: Option<u64>,
+    parked: Vec<(ProcessId, Vec<u8>)>,
+    activity: u64,
+    has_gossip: bool,
+}
+
+impl<A: Application> Node<A>
+where
+    A::Msg: Payload,
+{
+    fn run(mut self, rx: &mpsc::Receiver<Event>) -> Engine<A> {
+        let now = now_us(&self.start);
+        let effects = self.engine.handle(Input::Start { now });
+        self.run_effects(effects);
+        loop {
+            self.pump_due();
+            let wait = self.wait_duration();
+            match rx.recv_timeout(wait) {
+                Ok(Event::Frame { from, bytes }) => self.on_frame(from, bytes),
+                Ok(Event::Crash { downtime_us }) => self.on_crash(downtime_us),
+                Ok(Event::Probe { reply }) => {
+                    let _ = reply.send(self.status());
+                }
+                Ok(Event::Stop) | Err(mpsc::RecvTimeoutError::Disconnected) => {
+                    return self.engine;
+                }
+                Err(mpsc::RecvTimeoutError::Timeout) => {} // pump_due handles it
+            }
+        }
+    }
+
+    fn wait_duration(&self) -> Duration {
+        let now = now_us(&self.start);
+        let deadline = if self.down {
+            self.restart_at
+        } else {
+            self.timers.peek().map(|t| t.0.at)
+        };
+        let us = deadline
+            .map_or(100_000, |d| d.saturating_sub(now))
+            .min(100_000);
+        Duration::from_micros(us.max(1))
+    }
+
+    /// Fire everything that is due: the restart first, then timers.
+    fn pump_due(&mut self) {
+        let now = now_us(&self.start);
+        if self.down {
+            if self.restart_at.is_some_and(|at| at <= now) {
+                self.restart_at = None;
+                self.down = false;
+                self.activity += 1;
+                let effects = self.engine.handle(Input::Restart { now });
+                self.run_effects(effects);
+                // Redeliver frames that arrived during the outage, in
+                // arrival order (the simulator parks the same way).
+                let parked = std::mem::take(&mut self.parked);
+                for (from, bytes) in parked {
+                    self.on_frame(from, bytes);
+                }
+            }
+            return;
+        }
+        while let Some(t) = self.timers.peek() {
+            if t.0.at > now_us(&self.start) {
+                break;
+            }
+            let t = self.timers.pop().expect("peeked");
+            let effects = self.engine.handle(Input::Tick {
+                kind: t.0.kind,
+                now: now_us(&self.start),
+            });
+            self.run_effects(effects);
+            if self.down {
+                break; // a tick cannot crash us, but stay defensive
+            }
+        }
+    }
+
+    fn on_frame(&mut self, from: ProcessId, bytes: Vec<u8>) {
+        if self.down {
+            self.parked.push((from, bytes));
+            return;
+        }
+        let Ok(wire) = decode_wire::<A::Msg>(bytes::Bytes::from(bytes)) else {
+            return; // corrupt frame: treat as message loss
+        };
+        if !matches!(wire, Wire::Frontier(..)) {
+            self.activity += 1;
+        }
+        let now = now_us(&self.start);
+        let effects = self.engine.handle(Input::Deliver { from, wire, now });
+        self.run_effects(effects);
+    }
+
+    fn on_crash(&mut self, downtime_us: u64) {
+        if self.down {
+            return; // already down; ignore overlapping crash
+        }
+        self.down = true;
+        self.activity += 1;
+        self.restart_at = Some(now_us(&self.start) + downtime_us.max(1));
+        self.timers.clear(); // crash invalidates pending timers
+        let effects = self.engine.handle(Input::Crash);
+        debug_assert!(effects.is_empty(), "a crashed process acts silently");
+    }
+
+    fn run_effects(&mut self, effects: Vec<Effect<Wire<A::Msg>, A::Msg>>) {
+        let now = now_us(&self.start);
+        for effect in effects {
+            match effect {
+                Effect::Send { to, wire, .. } => {
+                    self.activity += 1;
+                    let bytes = encode_wire(&wire);
+                    self.mesh.send(to, bytes.as_slice());
+                }
+                Effect::Broadcast { wire } => {
+                    // Frontier gossip is periodic background traffic; it
+                    // must not count as activity or quiescence never comes.
+                    if !matches!(wire, Wire::Frontier(..)) {
+                        self.activity += 1;
+                    }
+                    let bytes = encode_wire(&wire);
+                    for p in ProcessId::all(self.n) {
+                        if p != self.mesh.me {
+                            self.mesh.send(p, bytes.as_slice());
+                        }
+                    }
+                }
+                Effect::SetTimer { delay, kind, .. } => {
+                    self.timer_seq += 1;
+                    self.timers.push(std::cmp::Reverse(TimerEntry {
+                        at: now + delay,
+                        seq: self.timer_seq,
+                        kind,
+                    }));
+                }
+                // Real storage latency is not modeled: the engine already
+                // recorded the write in its own stable-storage model, and
+                // committed outputs stay readable via the engine.
+                Effect::Checkpoint { .. } | Effect::LogWrite { .. } | Effect::Commit { .. } => {}
+            }
+        }
+    }
+
+    fn status(&self) -> NodeStatus {
+        NodeStatus {
+            activity: self.activity,
+            down: self.down,
+            postponed: self.engine.postponed_len(),
+            pending_tokens: self.engine.pending_token_count(),
+            pending_outputs: if self.has_gossip {
+                self.engine.pending_outputs()
+            } else {
+                0 // no commit machinery configured; nothing will drain
+            },
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Cluster
+// ---------------------------------------------------------------------
+
+struct NodeHandle<A: Application>
+where
+    A::Msg: Payload,
+{
+    tx: mpsc::Sender<Event>,
+    join: JoinHandle<Engine<A>>,
+    addr: SocketAddr,
+}
+
+/// An `n`-process Damani–Garg system running over real TCP sockets on
+/// loopback, one OS thread per process.
+///
+/// ```no_run
+/// use dg_core::{Application, DgConfig, Effects, ProcessId};
+/// use dg_netrun::Cluster;
+/// use std::time::Duration;
+///
+/// #[derive(Clone)]
+/// struct Noop;
+/// impl Application for Noop {
+///     type Msg = u64;
+///     fn on_start(&mut self, _: ProcessId, _: usize) -> Effects<u64> { Effects::none() }
+///     fn on_message(&mut self, _: ProcessId, _: ProcessId, _: &u64, _: usize) -> Effects<u64> {
+///         Effects::none()
+///     }
+/// }
+///
+/// let cluster = Cluster::launch(4, |_| Noop, DgConfig::base()).unwrap();
+/// cluster.crash(ProcessId(2), Duration::from_millis(50));
+/// cluster.run_until_quiescent(Duration::from_secs(30));
+/// let engines = cluster.shutdown();
+/// assert_eq!(engines.len(), 4);
+/// ```
+pub struct Cluster<A: Application>
+where
+    A::Msg: Payload,
+{
+    nodes: Vec<NodeHandle<A>>,
+    stop: Arc<AtomicBool>,
+    run_config: RunConfig,
+}
+
+impl<A> Cluster<A>
+where
+    A: Application + Send + 'static,
+    A::Msg: Payload + Send,
+{
+    /// Launch `n` engine-hosting node threads with default runtime knobs.
+    ///
+    /// # Errors
+    ///
+    /// Returns any IO error from binding the loopback listeners.
+    pub fn launch(
+        n: usize,
+        make_app: impl Fn(ProcessId) -> A,
+        config: DgConfig,
+    ) -> std::io::Result<Cluster<A>> {
+        Cluster::launch_with(n, make_app, config, RunConfig::default())
+    }
+
+    /// Launch with explicit runtime knobs.
+    ///
+    /// # Errors
+    ///
+    /// Returns any IO error from binding the loopback listeners.
+    pub fn launch_with(
+        n: usize,
+        make_app: impl Fn(ProcessId) -> A,
+        config: DgConfig,
+        run_config: RunConfig,
+    ) -> std::io::Result<Cluster<A>> {
+        assert!(n >= 1, "a cluster needs at least one process");
+        let stop = Arc::new(AtomicBool::new(false));
+        let start = Instant::now();
+
+        // Bind every listener before any node starts so connects succeed.
+        let listeners: Vec<TcpListener> = (0..n)
+            .map(|_| TcpListener::bind("127.0.0.1:0"))
+            .collect::<std::io::Result<_>>()?;
+        let addrs: Vec<SocketAddr> = listeners
+            .iter()
+            .map(TcpListener::local_addr)
+            .collect::<std::io::Result<_>>()?;
+
+        let mut nodes = Vec::with_capacity(n);
+        for (i, listener) in listeners.into_iter().enumerate() {
+            let me = ProcessId(i as u16);
+            let (tx, rx) = mpsc::channel::<Event>();
+            thread::spawn({
+                let tx = tx.clone();
+                let stop = Arc::clone(&stop);
+                move || acceptor(listener, tx, stop)
+            });
+            let node = Node {
+                engine: Engine::new(me, n, make_app(me), config),
+                mesh: Mesh::new(me, addrs.clone()),
+                n,
+                start,
+                timers: BinaryHeap::new(),
+                timer_seq: 0,
+                down: false,
+                restart_at: None,
+                parked: Vec::new(),
+                activity: 0,
+                has_gossip: config.gossip_interval.is_some(),
+            };
+            let join = thread::Builder::new()
+                .name(format!("dg-node-{i}"))
+                .spawn(move || node.run(&rx))?;
+            nodes.push(NodeHandle {
+                tx,
+                join,
+                addr: addrs[i],
+            });
+        }
+        Ok(Cluster {
+            nodes,
+            stop,
+            run_config,
+        })
+    }
+
+    /// Number of processes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `true` iff the cluster has no processes (never, after `launch`).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Crash process `p` now; it recovers on its own after `downtime`.
+    pub fn crash(&self, p: ProcessId, downtime: Duration) {
+        let downtime_us = u64::try_from(downtime.as_micros()).unwrap_or(u64::MAX);
+        let _ = self.nodes[p.index()].tx.send(Event::Crash { downtime_us });
+    }
+
+    fn probe(&self) -> Vec<NodeStatus> {
+        self.nodes
+            .iter()
+            .map(|node| {
+                let (reply_tx, reply_rx) = mpsc::channel();
+                if node.tx.send(Event::Probe { reply: reply_tx }).is_err() {
+                    return NodeStatus::default();
+                }
+                reply_rx
+                    .recv_timeout(Duration::from_secs(5))
+                    .unwrap_or_default()
+            })
+            .collect()
+    }
+
+    /// Block until the system is quiescent: everyone up, no postponed
+    /// messages, no unacknowledged tokens, no uncommitted outputs, and
+    /// no non-gossip traffic across several consecutive probes.
+    ///
+    /// Returns `true` if quiescence was reached within `timeout`.
+    pub fn run_until_quiescent(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut last_activity: Option<u64> = None;
+        let mut stable = 0u32;
+        while Instant::now() < deadline {
+            thread::sleep(self.run_config.probe_interval);
+            let statuses = self.probe();
+            let quiet = statuses.iter().all(|s| {
+                !s.down && s.postponed == 0 && s.pending_tokens == 0 && s.pending_outputs == 0
+            });
+            let activity: u64 = statuses.iter().map(|s| s.activity).sum();
+            if quiet && last_activity == Some(activity) {
+                stable += 1;
+                if stable >= self.run_config.stable_probes {
+                    return true;
+                }
+            } else {
+                stable = 0;
+            }
+            last_activity = Some(activity);
+        }
+        false
+    }
+
+    /// Stop every node and return the engines for inspection (oracle
+    /// checks, digest comparison, output extraction).
+    pub fn shutdown(self) -> Vec<Engine<A>> {
+        self.stop.store(true, Ordering::Relaxed);
+        for node in &self.nodes {
+            let _ = node.tx.send(Event::Stop);
+        }
+        // Unblock each acceptor's `incoming()` so its thread exits.
+        for node in &self.nodes {
+            let _ = TcpStream::connect(node.addr);
+        }
+        self.nodes
+            .into_iter()
+            .map(|node| node.join.join().expect("node thread panicked"))
+            .collect()
+    }
+}

@@ -1,0 +1,72 @@
+//! Shared workload for the real-network tests: a single-token ring.
+//!
+//! Exactly one message is in flight at any moment, so every process's
+//! delivery sequence — and therefore its committed-output sequence — is
+//! schedule-independent. That is what makes byte-for-byte comparisons
+//! between a wall-clock TCP run and a seeded discrete-event run
+//! meaningful: any divergence is a protocol bug, not scheduling noise.
+//!
+//! Values `1..=limit` are the measured phase (recorded in the digest and
+//! emitted as external outputs); values above `limit` are a cooldown
+//! tail that keeps app-level traffic flowing while flush/gossip rounds
+//! stabilize and commit the measured outputs — in the simulator,
+//! maintenance timers alone do not keep the run alive.
+
+use dg_core::{Application, Effects, ProcessId};
+
+#[derive(Clone)]
+pub struct Ring {
+    pub limit: u64,
+    pub cooldown: u64,
+    pub last: u64,
+    pub digest: u64,
+}
+
+impl Ring {
+    pub fn new(limit: u64, cooldown: u64) -> Ring {
+        Ring {
+            limit,
+            cooldown,
+            last: 0,
+            digest: 0xcbf2_9ce4_8422_2325,
+        }
+    }
+}
+
+impl Application for Ring {
+    type Msg = u64;
+
+    fn on_start(&mut self, me: ProcessId, n: usize) -> Effects<u64> {
+        if me == ProcessId(0) {
+            Effects::send(ProcessId(1 % n as u16), 1)
+        } else {
+            Effects::none()
+        }
+    }
+
+    fn on_message(&mut self, me: ProcessId, _from: ProcessId, msg: &u64, n: usize) -> Effects<u64> {
+        self.last = *msg;
+        let mut effects = Effects::none();
+        if *msg <= self.limit {
+            self.digest = (self.digest ^ *msg).wrapping_mul(0x0000_0100_0000_01b3);
+            effects = effects.and_output(*msg);
+        }
+        if *msg < self.limit + self.cooldown {
+            let next = ProcessId((me.0 + 1) % n as u16);
+            effects = effects.and_send(next, *msg + 1);
+        }
+        effects
+    }
+
+    fn digest(&self) -> u64 {
+        self.digest
+    }
+}
+
+/// The output sequence process `p` must commit: the measured-phase token
+/// values it receives, in order. Value `v` lands on process `v mod n`.
+pub fn expected_outputs(p: ProcessId, n: usize, limit: u64) -> Vec<u64> {
+    (1..=limit)
+        .filter(|v| v % n as u64 == u64::from(p.0))
+        .collect()
+}

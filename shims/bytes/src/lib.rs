@@ -36,6 +36,19 @@ impl Bytes {
     pub fn as_slice(&self) -> &[u8] {
         &self.data[self.pos..]
     }
+
+    /// A new cursor over `range` of the unconsumed bytes (the real
+    /// crate's zero-copy sub-slice; here a copy).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn slice(&self, range: std::ops::Range<usize>) -> Bytes {
+        Bytes {
+            data: self.as_slice()[range].to_vec(),
+            pos: 0,
+        }
+    }
 }
 
 impl From<Vec<u8>> for Bytes {
@@ -94,6 +107,12 @@ pub trait Buf {
     fn get_u8(&mut self) -> u8;
     /// Number of unconsumed bytes.
     fn remaining(&self) -> usize;
+    /// Consume `dst.len()` bytes into `dst`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than `dst.len()` bytes remain.
+    fn copy_to_slice(&mut self, dst: &mut [u8]);
 }
 
 impl Buf for Bytes {
@@ -111,17 +130,32 @@ impl Buf for Bytes {
     fn remaining(&self) -> usize {
         self.len()
     }
+
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        assert!(
+            self.remaining() >= dst.len(),
+            "copy_to_slice past end of buffer"
+        );
+        dst.copy_from_slice(&self.data[self.pos..self.pos + dst.len()]);
+        self.pos += dst.len();
+    }
 }
 
 /// Write-side trait (the subset of `bytes::BufMut` the workspace uses).
 pub trait BufMut {
     /// Append one byte.
     fn put_u8(&mut self, b: u8);
+    /// Append a byte slice.
+    fn put_slice(&mut self, src: &[u8]);
 }
 
 impl BufMut for BytesMut {
     fn put_u8(&mut self, b: u8) {
         self.data.push(b);
+    }
+
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
     }
 }
 
