@@ -94,6 +94,23 @@ impl Application for MeshChatter {
         msg: &ChatMsg,
         n: usize,
     ) -> Effects<ChatMsg> {
+        let mut eff = Effects::none();
+        self.on_message_into(me, from, msg, n, &mut eff);
+        eff
+    }
+
+    // The bench workload rides the engine's zero-allocation delivery
+    // path: push into the engine-owned scratch instead of returning a
+    // fresh `Effects`. `on_message` above delegates here, so the two
+    // stay semantically identical by construction.
+    fn on_message_into(
+        &mut self,
+        me: ProcessId,
+        from: ProcessId,
+        msg: &ChatMsg,
+        n: usize,
+        eff: &mut Effects<ChatMsg>,
+    ) {
         self.delivered += 1;
         self.checksum = self
             .checksum
@@ -101,15 +118,13 @@ impl Application for MeshChatter {
             .wrapping_add(msg.payload ^ (from.0 as u64));
         if msg.ttl > 1 {
             let to = self.next_peer(me, n, msg.payload.wrapping_add(msg.ttl as u64));
-            Effects::send(
+            eff.sends.push((
                 to,
                 ChatMsg {
                     ttl: msg.ttl - 1,
                     payload: msg.payload.wrapping_mul(31).wrapping_add(1),
                 },
-            )
-        } else {
-            Effects::none()
+            ));
         }
     }
 

@@ -23,6 +23,7 @@ mod chatter;
 mod gossip;
 mod kvstore;
 mod pipeline;
+mod relay;
 mod ring;
 
 pub use bank::{Bank, BankMsg};
@@ -30,4 +31,5 @@ pub use chatter::{ChatMsg, MeshChatter};
 pub use gossip::{Gossip, GossipMsg, SCALE};
 pub use kvstore::{KvMsg, KvStore};
 pub use pipeline::{Pipeline, PipelineMsg, PipelineRole};
+pub use relay::Relay;
 pub use ring::RingCounter;

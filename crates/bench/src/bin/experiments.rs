@@ -2,13 +2,59 @@
 //!
 //! ```text
 //! experiments [all|table1|rollbacks|piggyback|asynchrony|concurrent|
-//!              ordering|overhead|optimism|domino|maxstate|commit|gc|lossy|engine]
+//!              ordering|overhead|optimism|domino|maxstate|commit|gc|lossy|
+//!              engine|hotpath]
 //!             [--quick]
 //! ```
 //!
 //! Exits non-zero if any run violates the consistency oracle.
+//!
+//! Built with `--features bench-alloc`, the binary installs a counting
+//! global allocator and the `hotpath` experiment reports allocations
+//! per engine input (otherwise that column reads `n/a`).
 
 use dg_bench::*;
+
+#[cfg(feature = "bench-alloc")]
+mod counting_alloc {
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    struct CountingAlloc;
+
+    static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+    unsafe impl GlobalAlloc for CountingAlloc {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            System.alloc(layout)
+        }
+        unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            System.alloc_zeroed(layout)
+        }
+        unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            System.realloc(ptr, layout, new_size)
+        }
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            System.dealloc(ptr, layout)
+        }
+    }
+
+    #[global_allocator]
+    static GLOBAL: CountingAlloc = CountingAlloc;
+
+    /// Total allocations so far (monotone).
+    pub fn allocations() -> u64 {
+        ALLOCS.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(feature = "bench-alloc")]
+const ALLOC_COUNTER: Option<fn() -> u64> = Some(counting_alloc::allocations);
+#[cfg(not(feature = "bench-alloc"))]
+const ALLOC_COUNTER: Option<fn() -> u64> = None;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -108,6 +154,14 @@ fn main() {
         show(&t);
         std::fs::write("BENCH_engine.json", json).expect("write BENCH_engine.json");
         println!("wrote BENCH_engine.json");
+        println!();
+    }
+    if run("hotpath") {
+        println!("== E14: hot-path throughput, wire bytes, and allocations ==\n");
+        let (t, json) = hotpath(quick, ALLOC_COUNTER);
+        show(&t);
+        std::fs::write("BENCH_hotpath.json", json).expect("write BENCH_hotpath.json");
+        println!("wrote BENCH_hotpath.json");
         println!();
     }
     let mut violations = 0u64;

@@ -792,38 +792,21 @@ pub fn lossy(n: usize, seeds: u64) -> (TextTable, u64) {
 // E13 — engine-only event throughput (the sans-IO boundary's price tag)
 // ---------------------------------------------------------------------
 
-/// Measure raw [`Engine::handle`] dispatch throughput — inputs/sec with
-/// no network, no scheduler, no IO — against the same protocol running
-/// as a `DgProcess` actor under the discrete-event simulator (the only
-/// way to run it before the sans-IO refactor). The gap is what the
-/// runtime around the engine costs; the engine number is the ceiling
-/// any runtime (simnet, threaded, netrun) can hope to reach.
-///
-/// Method: a minimal deterministic router records the full `Input`
-/// trace of an `n`-process mesh-chatter run with one crash/restart;
-/// the engine row replays that trace into fresh engines `repeats`
-/// times and reports aggregate inputs/sec. The simnet row runs the
-/// equivalent workload end-to-end and reports simulator events/sec.
-///
-/// Returns the table and a JSON record for `BENCH_engine.json`.
-pub fn engine_throughput(repeats: u32) -> (TextTable, String) {
+/// Per-process `Input` traces of an `n`-process mesh-chatter run with
+/// one crash/restart, recorded under a minimal deterministic FIFO
+/// router with logical time. E13 and E14 replay these traces into
+/// fresh engines to measure raw dispatch throughput.
+fn record_mesh_trace(
+    n: usize,
+    chat: &MeshChatter,
+    config: DgConfig,
+) -> Vec<Vec<dg_core::Input<dg_core::Wire<dg_apps::ChatMsg>, dg_apps::ChatMsg>>> {
     use std::collections::VecDeque;
-    use std::time::Instant;
 
     use dg_apps::ChatMsg;
     use dg_core::engine::{Effect, Engine, Input, ProtocolEngine};
     use dg_core::Wire;
 
-    let n = 4usize;
-    let chat = MeshChatter::new(4, 400, 97);
-    let config = DgConfig::fast_test()
-        .with_retransmit(true)
-        .with_gossip(8_000)
-        .with_gc(true)
-        .with_history_gc(true)
-        .with_reliable_tokens(true);
-
-    // --- Record: FIFO router, logical time, one crash/restart. -------
     type In = Input<Wire<ChatMsg>, ChatMsg>;
     let mut engines: Vec<Engine<MeshChatter>> = (0..n)
         .map(|p| Engine::new(ProcessId(p as u16), n, chat.clone(), config))
@@ -961,6 +944,42 @@ pub fn engine_throughput(repeats: u32) -> (TextTable, String) {
             break;
         }
     }
+    traces
+}
+
+/// Measure raw [`Engine::handle`] dispatch throughput — inputs/sec with
+/// no network, no scheduler, no IO — against the same protocol running
+/// as a `DgProcess` actor under the discrete-event simulator (the only
+/// way to run it before the sans-IO refactor). The gap is what the
+/// runtime around the engine costs; the engine number is the ceiling
+/// any runtime (simnet, threaded, netrun) can hope to reach.
+///
+/// Method: a minimal deterministic router records the full `Input`
+/// trace of an `n`-process mesh-chatter run with one crash/restart;
+/// the engine row replays that trace into fresh engines `repeats`
+/// times and reports aggregate inputs/sec. The simnet row runs the
+/// equivalent workload end-to-end and reports
+/// engine inputs/sec dispatched by its actors — the same unit, so the
+/// relative column compares like with like.
+///
+/// Returns the table and a JSON record for `BENCH_engine.json`.
+pub fn engine_throughput(repeats: u32) -> (TextTable, String) {
+    use std::time::Instant;
+
+    use dg_apps::ChatMsg;
+    use dg_core::engine::{Engine, Input, ProtocolEngine};
+    use dg_core::Wire;
+
+    let n = 4usize;
+    let chat = MeshChatter::new(4, 400, 97);
+    let config = DgConfig::fast_test()
+        .with_retransmit(true)
+        .with_gossip(8_000)
+        .with_gc(true)
+        .with_history_gc(true)
+        .with_reliable_tokens(true);
+    type In = Input<Wire<ChatMsg>, ChatMsg>;
+    let traces: Vec<Vec<In>> = record_mesh_trace(n, &chat, config);
     let total_inputs: u64 = traces.iter().map(|t| t.len() as u64).sum();
 
     // --- Engine row: replay the trace into fresh engines. ------------
@@ -983,6 +1002,7 @@ pub fn engine_throughput(repeats: u32) -> (TextTable, String) {
     let plan = FaultPlan::single_crash(ProcessId(1), 60_000);
     let t1 = Instant::now();
     let mut sim_events = 0u64;
+    let mut sim_inputs = 0u64;
     let mut sim_runs = 0u64;
     for seed in 0..repeats.min(16) {
         let out = run_dg(
@@ -994,16 +1014,25 @@ pub fn engine_throughput(repeats: u32) -> (TextTable, String) {
         );
         oracle::check(&out).expect("E13 simnet run violates the oracle");
         sim_events += out.stats.events;
+        // Engine inputs the actors actually dispatched — the same unit
+        // as the engine row, so the relative column compares like with
+        // like (simulator events include pure scheduler bookkeeping).
+        sim_inputs += out
+            .sim
+            .actors()
+            .iter()
+            .map(|a| a.stats().inputs)
+            .sum::<u64>();
         sim_runs += 1;
     }
     let sim_elapsed = t1.elapsed();
-    let sim_rate = sim_events as f64 / sim_elapsed.as_secs_f64();
+    let sim_rate = sim_inputs as f64 / sim_elapsed.as_secs_f64();
 
     let mut t = TextTable::new(vec![
         "path",
-        "events",
+        "inputs",
         "elapsed (ms)",
-        "events/sec",
+        "inputs/sec",
         "relative",
     ]);
     t.row(vec![
@@ -1015,17 +1044,228 @@ pub fn engine_throughput(repeats: u32) -> (TextTable, String) {
     ]);
     t.row(vec![
         "DgProcess under simnet".to_string(),
-        sim_events.to_string(),
+        sim_inputs.to_string(),
         format!("{:.1}", sim_elapsed.as_secs_f64() * 1_000.0),
         format!("{sim_rate:.0}"),
         format!("{:.2}", sim_rate / engine_rate),
     ]);
 
     let json = format!(
-        "{{\n  \"experiment\": \"E13_engine_throughput\",\n  \"n\": {n},\n  \"trace_inputs\": {total_inputs},\n  \"repeats\": {repeats},\n  \"engine\": {{ \"inputs\": {engine_inputs}, \"elapsed_us\": {}, \"inputs_per_sec\": {engine_rate:.0} }},\n  \"simnet_actor\": {{ \"runs\": {sim_runs}, \"events\": {sim_events}, \"elapsed_us\": {}, \"events_per_sec\": {sim_rate:.0} }},\n  \"simnet_relative_throughput\": {:.4}\n}}\n",
+        "{{\n  \"experiment\": \"E13_engine_throughput\",\n  \"n\": {n},\n  \"trace_inputs\": {total_inputs},\n  \"repeats\": {repeats},\n  \"engine\": {{ \"inputs\": {engine_inputs}, \"elapsed_us\": {}, \"inputs_per_sec\": {engine_rate:.0} }},\n  \"simnet_actor\": {{ \"runs\": {sim_runs}, \"inputs\": {sim_inputs}, \"events\": {sim_events}, \"elapsed_us\": {}, \"inputs_per_sec\": {sim_rate:.0} }},\n  \"simnet_relative_throughput\": {:.4}\n}}\n",
         engine_elapsed.as_micros(),
         sim_elapsed.as_micros(),
         sim_rate / engine_rate,
+    );
+    (t, json)
+}
+
+// ---------------------------------------------------------------------
+// E14 — hot-path microbenchmark (allocation-free engine dispatch)
+// ---------------------------------------------------------------------
+
+/// The E13 engine baseline recorded before the hot-path work (the
+/// `engine.inputs_per_sec` figure in the seed `BENCH_engine.json`); the
+/// E14 acceptance target is ≥ 1.5× this number at `n = 4`.
+pub const E13_BASELINE_INPUTS_PER_SEC: f64 = 3_331_001.0;
+
+/// Measure the allocation-free hot path along three axes, per system
+/// size `n` in {4, 8, 16, 32}:
+///
+/// * **inputs/sec** — the E13 methodology (replay a recorded
+///   mesh-chatter trace into fresh engines), but dispatched through
+///   [`ProtocolEngine::handle_into`] with one reused
+///   [`dg_core::EffectSink`] instead of per-call `handle` vectors. The
+///   speedup column compares the `n = 4` unit against the recorded E13
+///   baseline ([`E13_BASELINE_INPUTS_PER_SEC`]).
+/// * **clock bytes/message, full vs delta** — the piggybacked FTVC
+///   under the v1 full encoding vs the v2 delta framing, sampled on a
+///   stable sender→receiver pair (the receiver's floor is the last
+///   clock it saw from that sender, so only the sender's own entry
+///   changes between messages — the steady-traffic case the delta
+///   format exists for; a ring token is its worst case, since every
+///   entry advances per lap).
+/// * **allocs/input** — heap allocations per steady-state ring-relay
+///   delivery, measured by a counting global allocator when the caller
+///   provides one (`experiments hotpath` built with
+///   `--features bench-alloc`); the minimum over fixed-size batches, so
+///   amortized container growth does not mask a true per-delivery
+///   allocation. Zero is expected while `n` fits the inline clock
+///   representation (n ≤ 8); above that every wire clock clone must
+///   heap-allocate. Without the feature the column reads `n/a`/`null`.
+///
+/// Returns the table and a JSON record for `BENCH_hotpath.json`.
+pub fn hotpath(quick: bool, alloc_counter: Option<fn() -> u64>) -> (TextTable, String) {
+    use std::time::Instant;
+
+    use dg_apps::Relay;
+    use dg_core::engine::{Effect, Engine, Input, ProtocolEngine};
+    use dg_core::{EffectSink, Wire};
+
+    type Sink = EffectSink<Wire<u64>, u64>;
+
+    // Deliver the circulating ring token once; return the follow-on hop.
+    fn hop(
+        engines: &mut [Engine<Relay>],
+        sink: &mut Sink,
+        (to, from, wire): (ProcessId, ProcessId, Wire<u64>),
+        now: u64,
+    ) -> (ProcessId, ProcessId, Wire<u64>) {
+        engines[to.index()].handle_into(Input::Deliver { from, wire, now }, sink);
+        let mut next = None;
+        for eff in sink.drain() {
+            if let Effect::Send { to: nt, wire, .. } = eff {
+                next = Some((nt, to, wire));
+            }
+        }
+        next.expect("relay always forwards")
+    }
+
+    let repeats = if quick { 4u32 } else { 16 };
+    let chat = MeshChatter::new(4, 400, 97);
+    let trace_config = DgConfig::fast_test()
+        .with_retransmit(true)
+        .with_gossip(8_000)
+        .with_gc(true)
+        .with_history_gc(true)
+        .with_reliable_tokens(true);
+
+    let mut t = TextTable::new(vec![
+        "n",
+        "inputs/sec",
+        "speedup vs E13",
+        "clock B/msg full",
+        "clock B/msg delta",
+        "allocs/input",
+    ]);
+    let mut rows_json = Vec::new();
+
+    for &n in &[4usize, 8, 16, 32] {
+        // --- Throughput: E13's trace replay, through `handle_into`. --
+        let traces = record_mesh_trace(n, &chat, trace_config);
+        let trace_inputs: u64 = traces.iter().map(|tr| tr.len() as u64).sum();
+        let mut sink: EffectSink<Wire<dg_apps::ChatMsg>, dg_apps::ChatMsg> = EffectSink::new();
+        let t0 = Instant::now();
+        for _ in 0..repeats {
+            let mut fresh: Vec<Engine<MeshChatter>> = (0..n)
+                .map(|p| Engine::new(ProcessId(p as u16), n, chat.clone(), trace_config))
+                .collect();
+            for (i, trace) in traces.iter().enumerate() {
+                for input in trace {
+                    fresh[i].handle_into(input.clone(), &mut sink);
+                    std::hint::black_box(sink.as_slice());
+                    sink.clear();
+                }
+            }
+        }
+        let elapsed = t0.elapsed();
+        let inputs = trace_inputs * u64::from(repeats);
+        let rate = inputs as f64 / elapsed.as_secs_f64();
+        let speedup = rate / E13_BASELINE_INPUTS_PER_SEC;
+
+        // --- Ring-relay engines for the wire and allocation probes. --
+        let config = DgConfig::fast_test();
+        let mut engines: Vec<Engine<Relay>> = (0..n)
+            .map(|p| Engine::new(ProcessId(p as u16), n, Relay::new(u64::MAX), config))
+            .collect();
+        let mut sink: Sink = EffectSink::new();
+        let mut token = None;
+        for (p, engine) in engines.iter_mut().enumerate() {
+            engine.handle_into(Input::Start { now: 0 }, &mut sink);
+            for eff in sink.drain() {
+                if let Effect::Send { to, wire, .. } = eff {
+                    token = Some((to, ProcessId(p as u16), wire));
+                }
+            }
+        }
+        let mut token = token.expect("P0 seeds the token");
+        let mut now = 1u64;
+        for _ in 0..2_000 {
+            token = hop(&mut engines, &mut sink, token, now);
+            now += 1;
+        }
+
+        // --- Wire bytes: a stable P0 → P1 pair, full vs delta. -------
+        let (mut full_bytes, mut delta_bytes) = (0u64, 0u64);
+        let mut floor: Option<Ftvc> = None;
+        let samples = 2_000u64;
+        for i in 0..samples {
+            engines[0].handle_into(
+                Input::AppSend {
+                    to: ProcessId(1),
+                    payload: i,
+                    now,
+                },
+                &mut sink,
+            );
+            let mut sent = None;
+            for eff in sink.drain() {
+                if let Effect::Send { to, wire, .. } = eff {
+                    sent = Some((to, wire));
+                }
+            }
+            let (to, wire) = sent.expect("AppSend emits one send");
+            if let Wire::App(env) = &wire {
+                full_bytes += clockwire::ftvc_wire_len(&env.clock) as u64;
+                delta_bytes += match &floor {
+                    Some(f) => clockwire::ftvc_delta_wire_len(&env.clock, f) as u64,
+                    None => clockwire::ftvc_wire_len(&env.clock) as u64,
+                };
+                floor = Some(env.clock.clone());
+            }
+            engines[to.index()].handle_into(
+                Input::Deliver {
+                    from: ProcessId(0),
+                    wire,
+                    now,
+                },
+                &mut sink,
+            );
+            sink.clear(); // P1's follow-on send is dropped, not routed
+            now += 1;
+        }
+        let full_per_msg = full_bytes as f64 / samples as f64;
+        let delta_per_msg = delta_bytes as f64 / samples as f64;
+
+        // --- Allocations per ring delivery (min over batches). -------
+        let allocs_per_input = alloc_counter.map(|count| {
+            const BATCHES: u64 = 64;
+            const PER_BATCH: u64 = 256;
+            let mut min_allocs = u64::MAX;
+            for _ in 0..BATCHES {
+                let before = count();
+                for _ in 0..PER_BATCH {
+                    token = hop(&mut engines, &mut sink, token, now);
+                    now += 1;
+                }
+                min_allocs = min_allocs.min(count() - before);
+            }
+            min_allocs as f64 / PER_BATCH as f64
+        });
+
+        t.row(vec![
+            n.to_string(),
+            format!("{rate:.0}"),
+            format!("{speedup:.2}"),
+            format!("{full_per_msg:.1}"),
+            format!("{delta_per_msg:.1}"),
+            allocs_per_input.map_or("n/a".to_string(), |a| format!("{a:.3}")),
+        ]);
+        rows_json.push(format!(
+            "    {{ \"n\": {n}, \"inputs\": {inputs}, \"elapsed_us\": {}, \
+             \"inputs_per_sec\": {rate:.0}, \"speedup_vs_e13\": {speedup:.3}, \
+             \"clock_bytes_full\": {full_per_msg:.2}, \"clock_bytes_delta\": {delta_per_msg:.2}, \
+             \"allocs_per_input\": {} }}",
+            elapsed.as_micros(),
+            allocs_per_input.map_or("null".to_string(), |a| format!("{a:.4}")),
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"experiment\": \"E14_hotpath\",\n  \"quick\": {quick},\n  \
+         \"baseline_inputs_per_sec\": {E13_BASELINE_INPUTS_PER_SEC:.0},\n  \
+         \"target_speedup\": 1.5,\n  \"alloc_counter\": {},\n  \"rows\": [\n{}\n  ]\n}}\n",
+        alloc_counter.is_some(),
+        rows_json.join(",\n"),
     );
     (t, json)
 }

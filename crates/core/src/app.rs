@@ -65,6 +65,20 @@ impl<M> Effects<M> {
     pub fn is_empty(&self) -> bool {
         self.sends.is_empty() && self.outputs.is_empty()
     }
+
+    /// Drop all sends and outputs, keeping both buffers' capacity — the
+    /// reuse primitive behind [`Application::on_message_into`].
+    pub fn clear(&mut self) {
+        self.sends.clear();
+        self.outputs.clear();
+    }
+
+    /// Move every send and output out of `other` (builder-free append,
+    /// used when fanning one step's effects into an accumulated batch).
+    pub fn append(&mut self, other: &mut Effects<M>) {
+        self.sends.append(&mut other.sends);
+        self.outputs.append(&mut other.outputs);
+    }
 }
 
 impl<M> Default for Effects<M> {
@@ -103,6 +117,29 @@ pub trait Application: Clone {
         msg: &Self::Msg,
         n: usize,
     ) -> Effects<Self::Msg>;
+
+    /// Hot-path variant of [`Application::on_message`]: append this
+    /// step's effects into a caller-owned buffer instead of returning a
+    /// fresh one. The engine guarantees `eff` arrives empty (capacity
+    /// from previous deliveries intact), so an application that pushes
+    /// directly into it allocates nothing per message in steady state.
+    ///
+    /// The default delegates to [`Application::on_message`] and moves
+    /// the result over, preserving behaviour for existing applications;
+    /// override it (and make `on_message` delegate the other way, or
+    /// leave it as the allocating fallback) to join the engine's
+    /// zero-allocation contract. Must be semantically identical to
+    /// `on_message` — replay correctness depends on it.
+    fn on_message_into(
+        &mut self,
+        me: ProcessId,
+        from: ProcessId,
+        msg: &Self::Msg,
+        n: usize,
+        eff: &mut Effects<Self::Msg>,
+    ) {
+        eff.append(&mut self.on_message(me, from, msg, n));
+    }
 
     /// A short fingerprint of the application state, used by tests and
     /// the consistency oracle to compare replayed states with originals.

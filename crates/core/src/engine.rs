@@ -30,7 +30,7 @@
 //! the contract the cross-runtime equivalence tests rest on (see
 //! `crates/core/tests/engine_determinism.rs`).
 
-use std::collections::HashSet;
+use std::sync::Arc;
 
 use dg_ftvc::{Entry, Ftvc, ProcessId, Version};
 use dg_storage::{CheckpointStore, EventLog, LogPos, SendLog};
@@ -38,8 +38,8 @@ use dg_storage::{CheckpointStore, EventLog, LogPos, SendLog};
 use crate::app::{Application, Effects};
 use crate::config::DgConfig;
 use crate::history::History;
-use crate::message::{Envelope, Token, Wire};
-use crate::output::{entry_is_stable, OutputBuffer, OutputId};
+use crate::message::{Envelope, MsgId, Token, Wire};
+use crate::output::{entry_is_stable, OutputBuffer, OutputId, PendingOutput};
 use crate::stats::{FailureId, ProcessStats};
 
 /// Timer kinds used by the protocol, public so manual drivers (the
@@ -182,6 +182,77 @@ pub enum Effect<W, O = ()> {
     },
 }
 
+/// A reusable effect buffer for the allocation-free engine hot path.
+///
+/// Runtimes create one sink, pass it to
+/// [`ProtocolEngine::handle_into`] for every input, and drain it after
+/// each call. The backing vector's capacity survives the drain, so a
+/// steady-state input → effects → drain cycle performs **zero** heap
+/// allocations once the buffer has grown to the workload's high-water
+/// mark (see DESIGN.md, "Hot-path memory discipline").
+///
+/// The engine appends; it never reads the sink's prior contents. Effects
+/// from one input are therefore always contiguous at the tail, and a
+/// runtime that drains between inputs sees exactly what
+/// [`ProtocolEngine::handle`] would have returned.
+#[derive(Debug, Clone)]
+pub struct EffectSink<W, O = ()> {
+    effects: Vec<Effect<W, O>>,
+}
+
+impl<W, O> EffectSink<W, O> {
+    /// An empty sink.
+    pub fn new() -> EffectSink<W, O> {
+        EffectSink {
+            effects: Vec::new(),
+        }
+    }
+
+    /// An empty sink with reserved capacity.
+    pub fn with_capacity(cap: usize) -> EffectSink<W, O> {
+        EffectSink {
+            effects: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Number of undrained effects.
+    pub fn len(&self) -> usize {
+        self.effects.len()
+    }
+
+    /// `true` iff no effects are pending.
+    pub fn is_empty(&self) -> bool {
+        self.effects.is_empty()
+    }
+
+    /// The pending effects, in emission order.
+    pub fn as_slice(&self) -> &[Effect<W, O>] {
+        &self.effects
+    }
+
+    /// Remove and yield every pending effect in order, keeping the
+    /// buffer's capacity for the next input.
+    pub fn drain(&mut self) -> std::vec::Drain<'_, Effect<W, O>> {
+        self.effects.drain(..)
+    }
+
+    /// Drop pending effects, keeping capacity.
+    pub fn clear(&mut self) {
+        self.effects.clear();
+    }
+
+    /// Consume the sink, returning the pending effects as a vector.
+    pub fn into_vec(self) -> Vec<Effect<W, O>> {
+        self.effects
+    }
+}
+
+impl<W, O> Default for EffectSink<W, O> {
+    fn default() -> Self {
+        EffectSink::new()
+    }
+}
+
 /// A transport-agnostic protocol engine: one `handle` call per input,
 /// effects out, nothing else in or out.
 ///
@@ -200,6 +271,21 @@ pub trait ProtocolEngine {
     /// the runtime must execute, in order.
     fn handle(&mut self, input: Input<Self::Wire, Self::Cmd>)
         -> Vec<Effect<Self::Wire, Self::Out>>;
+
+    /// Advance the state machine by one input, appending the effects to
+    /// `sink` instead of allocating a fresh vector. Hot-path runtimes
+    /// should prefer this and reuse one sink across inputs.
+    ///
+    /// The default delegates to [`ProtocolEngine::handle`];
+    /// implementations with an internal effect buffer override it to
+    /// move effects without an intermediate vector.
+    fn handle_into(
+        &mut self,
+        input: Input<Self::Wire, Self::Cmd>,
+        sink: &mut EffectSink<Self::Wire, Self::Out>,
+    ) {
+        sink.effects.extend(self.handle(input));
+    }
 
     /// A fingerprint of the engine state, for determinism checks and
     /// schedule pruning.
@@ -244,15 +330,124 @@ enum LogEvent<M> {
 /// clock, history, and the log position up to which the snapshot
 /// accounts for deliveries.
 #[derive(Debug, Clone)]
-struct Checkpoint<A> {
+struct Checkpoint<A: Application> {
     app: A,
     clock: Ftvc,
     history: History,
     log_end: LogPos,
     /// Ids of deliveries reflected in `app` — without these, a restored
-    /// state could double-accept a retransmission it already absorbed
-    /// before the checkpoint (found by the conservation fuzz tests).
-    received_ids: HashSet<crate::message::MsgId>,
+    /// state could double-accept a duplicated or retransmitted message it
+    /// already absorbed before the checkpoint (found by the conservation
+    /// fuzz tests). Stored as immutable chunks shared with the live
+    /// [`ReceivedIds`], so taking a checkpoint costs O(chunks), not
+    /// O(ids).
+    received_ids: Vec<Arc<[MsgId]>>,
+    /// Outputs that were still awaiting commit when the checkpoint was
+    /// taken. The checkpoint subsumes the application steps that emitted
+    /// them, so restart replay — which starts at `log_end` — can never
+    /// regenerate them; without this snapshot a crash would silently
+    /// drop every output emitted before the checkpoint but not yet
+    /// released, breaking exactly-once output commit (observed as gaps
+    /// in the committed sequence of the real-network smoke test).
+    /// Restoration re-emits them through [`OutputBuffer::emit`], whose
+    /// id dedup skips any that committed between checkpoint and crash.
+    pending_outputs: Vec<PendingOutput<A::Msg>>,
+}
+
+/// The receive-dedup set, structured so checkpoint snapshots are cheap.
+///
+/// Naively cloning a `HashSet` of every delivered message id into every
+/// checkpoint makes the checkpoint tick O(deliveries) — the single
+/// largest steady-state cost once the hot path stops allocating. Instead
+/// the set is split three ways:
+///
+/// * `all` — the complete set, used for every membership probe. It is
+///   never cloned.
+/// * `active` — ids inserted since the last checkpoint, in insertion
+///   order. Sealing it into an immutable chunk is O(recent).
+/// * `sealed` — immutable `Arc<[MsgId]>` chunks shared structurally with
+///   every checkpoint that references them. Adjacent chunks are merged
+///   geometrically (a chunk absorbs its neighbour when it is no smaller
+///   than half of it), so at most O(log ids) chunks exist and each id is
+///   copied O(log ids) times over the whole run — plain `memcpy`s, never
+///   rehashing.
+///
+/// Sealed chunks are only *read* when a checkpoint is restored (rebuild
+/// `all`, then log replay re-inserts the post-checkpoint suffix), so they
+/// need no lookup structure. Ids removed for rollback re-injection are
+/// always post-checkpoint — delivered after the restored snapshot's log
+/// cursor — and therefore never live in a sealed chunk.
+#[derive(Debug, Clone, Default)]
+struct ReceivedIds {
+    all: crate::fasthash::FxHashSet<MsgId>,
+    active: Vec<MsgId>,
+    sealed: Vec<Arc<[MsgId]>>,
+}
+
+impl ReceivedIds {
+    fn contains(&self, id: &MsgId) -> bool {
+        self.all.contains(id)
+    }
+
+    fn insert(&mut self, id: MsgId) {
+        if self.all.insert(id) {
+            self.active.push(id);
+        }
+    }
+
+    /// Forget `id` so a rollback suffix can be re-received. The id is
+    /// necessarily in the unsealed region (see the type docs).
+    fn remove(&mut self, id: &MsgId) {
+        if self.all.remove(id) {
+            if let Some(pos) = self.active.iter().rposition(|x| x == id) {
+                self.active.swap_remove(pos);
+            }
+            debug_assert!(
+                !self.sealed.iter().any(|c| c.contains(id)),
+                "removed a receive-dedup id that a checkpoint still references"
+            );
+        }
+    }
+
+    fn clear(&mut self) {
+        self.all.clear();
+        self.active.clear();
+        self.sealed.clear();
+    }
+
+    /// Seal the active region and return the chunk list for a checkpoint:
+    /// O(recent ids + log chunks), independent of the set's total size.
+    fn snapshot(&mut self) -> Vec<Arc<[MsgId]>> {
+        if !self.active.is_empty() {
+            self.sealed.push(Arc::from(self.active.as_slice()));
+            self.active.clear();
+            while self.sealed.len() >= 2 {
+                let older = self.sealed[self.sealed.len() - 2].len();
+                let newer = self.sealed[self.sealed.len() - 1].len();
+                if older > 2 * newer {
+                    break;
+                }
+                let b = self.sealed.pop().expect("two chunks present");
+                let a = self.sealed.pop().expect("two chunks present");
+                let mut merged = Vec::with_capacity(a.len() + b.len());
+                merged.extend_from_slice(&a);
+                merged.extend_from_slice(&b);
+                self.sealed.push(merged.into());
+            }
+        }
+        self.sealed.clone()
+    }
+
+    /// Adopt a checkpoint's chunk list as the full set; the caller
+    /// replays the stable log to re-insert the post-checkpoint suffix.
+    fn restore(&mut self, sealed: Vec<Arc<[MsgId]>>) {
+        self.all.clear();
+        self.active.clear();
+        for chunk in &sealed {
+            self.all.extend(chunk.iter().copied());
+        }
+        self.sealed = sealed;
+    }
 }
 
 /// One of this process's own recovery tokens still awaiting
@@ -289,7 +484,7 @@ pub struct Engine<A: Application> {
     clock: Ftvc,
     history: History,
     postponed: Vec<Envelope<A::Msg>>,
-    received_ids: HashSet<crate::message::MsgId>,
+    received_ids: ReceivedIds,
     outputs: OutputBuffer<A::Msg>,
     send_log: SendLog<(ProcessId, Envelope<A::Msg>)>,
     /// Gossiped stable frontiers, one per process.
@@ -310,6 +505,13 @@ pub struct Engine<A: Application> {
     /// Effects accumulated during the current `handle` call; always
     /// drained before `handle` returns.
     effects: Vec<Effect<Wire<A::Msg>, A::Msg>>,
+    /// Scratch buffer for [`Engine::deliver_postponed`]'s retry sweep;
+    /// empty between calls, capacity retained.
+    postponed_scratch: Vec<Envelope<A::Msg>>,
+    /// Scratch buffer handed to [`Application::on_message_into`]; empty
+    /// between calls, capacity retained, so a replying application
+    /// allocates nothing per delivery in steady state.
+    app_effects: Effects<A::Msg>,
 }
 
 impl<A: Application> Engine<A> {
@@ -331,7 +533,7 @@ impl<A: Application> Engine<A> {
             clock,
             history: History::new(me, n),
             postponed: Vec::new(),
-            received_ids: HashSet::new(),
+            received_ids: ReceivedIds::default(),
             outputs: OutputBuffer::new(),
             send_log: SendLog::new(),
             frontiers: vec![Entry::ZERO; n],
@@ -342,6 +544,8 @@ impl<A: Application> Engine<A> {
             pending_tokens: Vec::new(),
             stats: ProcessStats::default(),
             effects: Vec::new(),
+            postponed_scratch: Vec::new(),
+            app_effects: Effects::none(),
         }
     }
 
@@ -423,8 +627,9 @@ impl<A: Application> Engine<A> {
     // ----------------------------------------------------------------
 
     /// Emit application effects produced by a *live* (non-replay) step.
-    fn emit_effects(&mut self, effects: Effects<A::Msg>) {
-        for (index, value) in effects.outputs.into_iter().enumerate() {
+    /// Drains `effects` in place, so callers can reuse the buffer.
+    fn emit_effects(&mut self, effects: &mut Effects<A::Msg>) {
+        for (index, value) in effects.outputs.drain(..).enumerate() {
             let id = OutputId {
                 entry: self.clock.own_entry(),
                 index: index as u32,
@@ -433,7 +638,7 @@ impl<A: Application> Engine<A> {
                 self.stats.outputs_emitted += 1;
             }
         }
-        for (to, payload) in effects.sends {
+        for (to, payload) in effects.sends.drain(..) {
             let stamp = self.clock.stamp_for_send();
             let env = Envelope {
                 payload,
@@ -458,15 +663,15 @@ impl<A: Application> Engine<A> {
     /// re-record: the send log is intact, and the replayed trajectory can
     /// diverge from the original (the orphan taint is excluded), which
     /// would plant a second, differently-stamped copy of each send.
-    fn emit_effects_replay(&mut self, effects: Effects<A::Msg>, rebuild_send_log: bool) {
-        for (index, value) in effects.outputs.into_iter().enumerate() {
+    fn emit_effects_replay(&mut self, effects: &mut Effects<A::Msg>, rebuild_send_log: bool) {
+        for (index, value) in effects.outputs.drain(..).enumerate() {
             let id = OutputId {
                 entry: self.clock.own_entry(),
                 index: index as u32,
             };
             self.outputs.emit(id, value, self.clock.clone());
         }
-        for (to, payload) in effects.sends {
+        for (to, payload) in effects.sends.drain(..) {
             let stamp = self.clock.stamp_for_send();
             if self.config.retransmit_lost && rebuild_send_log {
                 let env = Envelope {
@@ -486,10 +691,10 @@ impl<A: Application> Engine<A> {
         // Duplicate suppression (needed for the retransmission extension;
         // harmless otherwise — live ids are unique per send). A duplicate
         // may already be waiting in the postponed queue, not just among
-        // past deliveries.
-        if self.received_ids.contains(&env.id())
-            || self.postponed.iter().any(|p| p.id() == env.id())
-        {
+        // past deliveries. The id digests the full clock, so compute it
+        // once per arrival and thread it through to delivery.
+        let id = env.id();
+        if self.received_ids.contains(&id) || self.postponed.iter().any(|p| p.id() == id) {
             self.stats.duplicates_dropped += 1;
             return;
         }
@@ -505,7 +710,7 @@ impl<A: Application> Engine<A> {
             self.postponed.push(env);
             return;
         }
-        self.deliver(env);
+        self.deliver(env, id);
     }
 
     fn deliverable(&self, clock: &Ftvc) -> bool {
@@ -521,15 +726,29 @@ impl<A: Application> Engine<A> {
 
     /// Deliver a message live: log it, merge clock and history, run the
     /// application, emit its effects.
-    fn deliver(&mut self, env: Envelope<A::Msg>) {
+    fn deliver(&mut self, env: Envelope<A::Msg>, id: MsgId) {
+        debug_assert_eq!(id, env.id(), "delivery id must match the envelope");
         self.log.append_volatile(LogEvent::Message(env.clone()));
-        self.received_ids.insert(env.id());
+        self.received_ids.insert(id);
         self.history.observe_clock(&env.clock);
         self.clock.observe(&env.clock);
         self.stats.messages_delivered += 1;
         let from = env.sender();
-        let effects = self.app.on_message(self.me, from, &env.payload, self.n);
-        self.emit_effects(effects);
+        let mut effects = self.app_on_message(from, &env.payload);
+        self.emit_effects(&mut effects);
+        self.app_effects = effects;
+    }
+
+    /// Run the application's message handler into the engine's reusable
+    /// effect scratch. The scratch is taken out of `self` (so the app
+    /// and the engine never alias it) and must be stored back by the
+    /// caller once emitted — by then it is drained, capacity intact.
+    fn app_on_message(&mut self, from: ProcessId, payload: &A::Msg) -> Effects<A::Msg> {
+        let mut eff = std::mem::take(&mut self.app_effects);
+        debug_assert!(eff.is_empty(), "app effect scratch leaked");
+        self.app
+            .on_message_into(self.me, from, payload, self.n, &mut eff);
+        eff
     }
 
     /// Re-deliver a logged message during replay: identical state
@@ -540,8 +759,9 @@ impl<A: Application> Engine<A> {
         self.clock.observe(&env.clock);
         self.stats.messages_replayed += 1;
         let from = env.sender();
-        let effects = self.app.on_message(self.me, from, &env.payload, self.n);
-        self.emit_effects_replay(effects, rebuild_send_log);
+        let mut effects = self.app_on_message(from, &env.payload);
+        self.emit_effects_replay(&mut effects, rebuild_send_log);
+        self.app_effects = effects;
     }
 
     /// Replay a logged external send: tick the clock exactly as the
@@ -650,9 +870,17 @@ impl<A: Application> Engine<A> {
     fn deliver_postponed(&mut self) {
         loop {
             let mut progressed = false;
-            let waiting = std::mem::take(&mut self.postponed);
-            for env in waiting {
-                if self.received_ids.contains(&env.id()) {
+            // Sweep through a reusable scratch buffer: `waiting` takes the
+            // queued envelopes, still-blocked ones are pushed back into
+            // `self.postponed` (which now holds the scratch's capacity),
+            // and the drained buffer becomes the next sweep's scratch —
+            // no allocation once both vectors reach the high-water mark.
+            let mut waiting = std::mem::take(&mut self.postponed_scratch);
+            debug_assert!(waiting.is_empty(), "postponed scratch leaked");
+            std::mem::swap(&mut waiting, &mut self.postponed);
+            for env in waiting.drain(..) {
+                let id = env.id();
+                if self.received_ids.contains(&id) {
                     self.stats.duplicates_dropped += 1;
                     progressed = true;
                 } else if self.history.message_is_obsolete(&env.clock) {
@@ -660,12 +888,13 @@ impl<A: Application> Engine<A> {
                     progressed = true;
                 } else if self.deliverable(&env.clock) {
                     self.stats.postponed_delivered += 1;
-                    self.deliver(env);
+                    self.deliver(env, id);
                     progressed = true;
                 } else {
                     self.postponed.push(env);
                 }
             }
+            self.postponed_scratch = waiting;
             if !progressed || self.postponed.is_empty() {
                 return;
             }
@@ -795,7 +1024,7 @@ impl<A: Application> Engine<A> {
         self.app = ckpt.app;
         self.clock = ckpt.clock;
         self.history = ckpt.history;
-        self.received_ids = ckpt.received_ids;
+        self.received_ids.restore(ckpt.received_ids);
         // Only the orphan suffix of the pending-output buffer is invalid;
         // older uncommitted outputs predate the rollback point and must
         // survive (the replay below re-emits from the checkpoint only).
@@ -866,7 +1095,8 @@ impl<A: Application> Engine<A> {
                 clock: self.clock.clone(),
                 history: self.history.clone(),
                 log_end: self.log.end(),
-                received_ids: self.received_ids.clone(),
+                received_ids: self.received_ids.snapshot(),
+                pending_outputs: self.outputs.pending().cloned().collect(),
             });
             self.stats.checkpoints_taken += 1;
         } else {
@@ -891,7 +1121,8 @@ impl<A: Application> Engine<A> {
             clock: self.clock.clone(),
             history: self.history.clone(),
             log_end: self.log.end(),
-            received_ids: self.received_ids.clone(),
+            received_ids: self.received_ids.snapshot(),
+            pending_outputs: self.outputs.pending().cloned().collect(),
         });
         self.stats.checkpoints_taken += 1;
         self.effects.push(Effect::Checkpoint {
@@ -930,7 +1161,12 @@ impl<A: Application> Engine<A> {
 
     fn receive_frontier(&mut self, p: ProcessId, entry: Entry) {
         let current = &mut self.frontiers[p.index()];
-        *current = (*current).max(entry);
+        if entry <= *current {
+            // A stale or duplicate gossip frame carries no new stability
+            // information; skip the commit/GC sweep it would trigger.
+            return;
+        }
+        *current = entry;
         self.commit_and_gc();
     }
 
@@ -991,9 +1227,25 @@ impl<A: Application> Engine<A> {
     // Input dispatch.
     // ----------------------------------------------------------------
 
+    /// Shared dispatch behind [`ProtocolEngine::handle`] and
+    /// [`ProtocolEngine::handle_into`]: advance the state machine,
+    /// leaving the produced effects in `self.effects`.
+    fn dispatch(&mut self, input: Input<Wire<A::Msg>, A::Msg>) {
+        self.stats.inputs += 1;
+        match input {
+            Input::Start { .. } => self.on_start(),
+            Input::Deliver { from, wire, .. } => self.on_deliver(from, wire),
+            Input::Tick { kind, now } => self.on_tick(kind, now),
+            Input::AppSend { to, payload, .. } => self.app_send(to, payload),
+            Input::Crash => self.on_crash(),
+            Input::Restart { now } => self.on_restart(now),
+            Input::Fault(kind) => self.on_fault(kind),
+        }
+    }
+
     fn on_start(&mut self) {
-        let effects = self.app.on_start(self.me, self.n);
-        self.emit_effects(effects);
+        let mut effects = self.app.on_start(self.me, self.n);
+        self.emit_effects(&mut effects);
         // The initial checkpoint covers the post-`on_start` state, so a
         // restart never re-runs `on_start` (its sends are already out).
         self.take_checkpoint();
@@ -1101,7 +1353,15 @@ impl<A: Application> Engine<A> {
         self.app = ckpt.app;
         self.clock = ckpt.clock;
         self.history = ckpt.history;
-        self.received_ids = ckpt.received_ids;
+        self.received_ids.restore(ckpt.received_ids);
+        // Re-emit outputs that were pending when the checkpoint was
+        // taken: the restored application state already reflects the
+        // steps that produced them, so the replay below cannot regenerate
+        // them. `emit`'s id dedup drops any that managed to commit
+        // between the checkpoint and the crash.
+        for p in ckpt.pending_outputs {
+            self.outputs.emit(p.id, p.value, p.clock);
+        }
         let entries: Vec<LogEvent<A::Msg>> =
             self.log.live_events_from(ckpt.log_end).cloned().collect();
         for event in entries {
@@ -1179,16 +1439,23 @@ impl<A: Application> ProtocolEngine for Engine<A> {
 
     fn handle(&mut self, input: Input<Wire<A::Msg>, A::Msg>) -> Vec<Effect<Wire<A::Msg>, A::Msg>> {
         debug_assert!(self.effects.is_empty(), "effect buffer leaked");
-        match input {
-            Input::Start { .. } => self.on_start(),
-            Input::Deliver { from, wire, .. } => self.on_deliver(from, wire),
-            Input::Tick { kind, now } => self.on_tick(kind, now),
-            Input::AppSend { to, payload, .. } => self.app_send(to, payload),
-            Input::Crash => self.on_crash(),
-            Input::Restart { now } => self.on_restart(now),
-            Input::Fault(kind) => self.on_fault(kind),
-        }
+        self.dispatch(input);
         std::mem::take(&mut self.effects)
+    }
+
+    /// Allocation-free hot path: effects move from the engine's internal
+    /// buffer into the sink with `Vec::append`, which leaves the internal
+    /// buffer empty *with its capacity intact* — so a steady-state
+    /// deliver/drain cycle never touches the allocator (pinned by
+    /// `tests/alloc_regression.rs`).
+    fn handle_into(
+        &mut self,
+        input: Input<Wire<A::Msg>, A::Msg>,
+        sink: &mut EffectSink<Wire<A::Msg>, A::Msg>,
+    ) {
+        debug_assert!(self.effects.is_empty(), "effect buffer leaked");
+        self.dispatch(input);
+        sink.effects.append(&mut self.effects);
     }
 
     fn state_digest(&self) -> u64 {

@@ -1,0 +1,117 @@
+//! A fast, deterministic, non-cryptographic hasher for hot-path sets.
+//!
+//! The delivery path probes and grows the receive-dedup set on every
+//! message; the standard library's default SipHash is the single
+//! largest cost of those probes. Keys here are protocol identifiers
+//! (process ids, versions, digests) — not attacker-controlled strings —
+//! so a multiplicative mixer in the `rustc-hash` family is appropriate:
+//! a few cycles per word, no per-instance random state (deterministic
+//! across runs and replays), and no external dependency.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// `HashSet` keyed by [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, BuildHasherDefault<FxHasher>>;
+
+/// `HashMap` keyed by [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+
+/// Multiplicative word-at-a-time hasher (the Firefox/rustc scheme):
+/// rotate, xor, multiply by a golden-ratio constant per word.
+#[derive(Debug, Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add(u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rest.len()].copy_from_slice(rest);
+            self.add(u64::from_le_bytes(tail) ^ rest.len() as u64);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add(i as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, Hash};
+
+    #[test]
+    fn deterministic_across_instances() {
+        let build = BuildHasherDefault::<FxHasher>::default();
+        let h1 = build.hash_one(0xdead_beefu64);
+        let h2 = build.hash_one(0xdead_beefu64);
+        assert_eq!(h1, h2);
+        assert_ne!(build.hash_one(1u64), build.hash_one(2u64));
+    }
+
+    #[test]
+    fn byte_stream_tail_is_length_sensitive() {
+        fn hash_bytes(b: &[u8]) -> u64 {
+            let mut h = FxHasher::default();
+            b.hash(&mut h);
+            h.finish()
+        }
+        // Same padded word, different lengths: must not collide.
+        assert_ne!(hash_bytes(&[0, 0]), hash_bytes(&[0, 0, 0]));
+        assert_ne!(hash_bytes(&[1, 2, 3]), hash_bytes(&[1, 2, 3, 0]));
+    }
+
+    #[test]
+    fn set_and_map_aliases_work() {
+        let mut set: FxHashSet<u64> = FxHashSet::default();
+        assert!(set.insert(7));
+        assert!(set.contains(&7));
+        let mut map: FxHashMap<u32, &str> = FxHashMap::default();
+        map.insert(1, "one");
+        assert_eq!(map.get(&1), Some(&"one"));
+    }
+}

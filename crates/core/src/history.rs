@@ -20,8 +20,6 @@
 //!   the local state is an orphan iff a message record `(mes, v, t')`
 //!   with `t < t'` exists for `P_j`.
 
-use std::collections::BTreeMap;
-
 use dg_ftvc::{Entry, Ftvc, ProcessId, Version};
 use serde::{Deserialize, Serialize};
 
@@ -59,13 +57,56 @@ pub struct HistoryRecord {
 /// no information the token does not already subsume.)
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct History {
-    tables: Vec<BTreeMap<Version, HistoryRecord>>,
+    tables: Vec<VersionTable>,
     /// Per-process GC floor: every version of `j` strictly below
     /// `floors[j]` was token-covered and has been reclaimed. The token
     /// frontier counts *from the floor*, so garbage collection never
     /// regresses deliverability (the token-frontier accounting that
     /// [`History::gc_versions_below`] maintains).
     floors: Vec<Version>,
+    /// Cached [`History::token_frontier`] per process, maintained on
+    /// every token insertion. Deterministic given the table contents,
+    /// so clones and replays agree; turns the per-delivery
+    /// deliverability test into `n` array reads.
+    frontiers: Vec<Version>,
+}
+
+/// One process's records, stored densely by version. Versions are
+/// small consecutive integers (one per failure of that process), so a
+/// flat array beats a `BTreeMap`: every obsolete/deliverability/observe
+/// step per clock entry is one bounds-checked index, and checkpoint
+/// clones are flat `memcpy`s instead of per-node tree allocations.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+struct VersionTable {
+    /// Version number of `slots[0]`.
+    base: u32,
+    /// `slots[i]` holds the record for version `base + i`; `None` marks
+    /// a version nothing has been recorded for (tokens can arrive out
+    /// of order, leaving gaps).
+    slots: Vec<Option<HistoryRecord>>,
+}
+
+impl VersionTable {
+    fn get(&self, v: Version) -> Option<HistoryRecord> {
+        let idx = v.0.checked_sub(self.base)? as usize;
+        self.slots.get(idx).copied().flatten()
+    }
+
+    /// Mutable slot for `v`, growing the table in either direction
+    /// (downward growth reopens a reclaimed range — only a stale
+    /// retransmission arriving after a GC pass does that).
+    fn slot_mut(&mut self, v: Version) -> &mut Option<HistoryRecord> {
+        if v.0 < self.base {
+            let shift = (self.base - v.0) as usize;
+            self.slots.splice(0..0, std::iter::repeat_n(None, shift));
+            self.base = v.0;
+        }
+        let idx = (v.0 - self.base) as usize;
+        if idx >= self.slots.len() {
+            self.slots.resize(idx + 1, None);
+        }
+        &mut self.slots[idx]
+    }
 }
 
 impl History {
@@ -73,20 +114,19 @@ impl History {
     /// (Figure 3, *Initialize*): `(mes, 0, 0)` for every process, except
     /// `(mes, 0, 1)` for `me` itself.
     pub fn new(me: ProcessId, n: usize) -> History {
-        let mut tables = vec![BTreeMap::new(); n];
-        for (j, table) in tables.iter_mut().enumerate() {
-            let ts = if j == me.index() { 1 } else { 0 };
-            table.insert(
-                Version::ZERO,
-                HistoryRecord {
+        let tables = (0..n)
+            .map(|j| VersionTable {
+                base: 0,
+                slots: vec![Some(HistoryRecord {
                     kind: RecordKind::Message,
-                    ts,
-                },
-            );
-        }
+                    ts: u64::from(j == me.index()),
+                })],
+            })
+            .collect();
         History {
             tables,
             floors: vec![Version::ZERO; n],
+            frontiers: vec![Version::ZERO; n],
         }
     }
 
@@ -97,25 +137,33 @@ impl History {
 
     /// The record for `(j, v)`, if any.
     pub fn record(&self, j: ProcessId, v: Version) -> Option<HistoryRecord> {
-        self.tables[j.index()].get(&v).copied()
+        self.tables[j.index()].get(v)
     }
 
     /// All records for process `j`, in version order.
     pub fn records_for(&self, j: ProcessId) -> impl Iterator<Item = (Version, HistoryRecord)> + '_ {
-        self.tables[j.index()].iter().map(|(v, r)| (*v, *r))
+        let table = &self.tables[j.index()];
+        table
+            .slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, slot)| slot.map(|r| (Version(table.base + i as u32), r)))
     }
 
     /// Total number of records across all processes — the `O(nf)` space
     /// figure of the paper's Section 6.9.
     pub fn total_records(&self) -> usize {
-        self.tables.iter().map(|t| t.len()).sum()
+        self.tables
+            .iter()
+            .map(|t| t.slots.iter().filter(|s| s.is_some()).count())
+            .sum()
     }
 
     /// Record a message-carried clock entry `(v, ts)` for process `j`
     /// (Figure 3, *Receive message*, one component).
     pub fn record_message_entry(&mut self, j: ProcessId, entry: Entry) {
-        let table = &mut self.tables[j.index()];
-        match table.get_mut(&entry.version) {
+        let slot = self.tables[j.index()].slot_mut(entry.version);
+        match slot {
             Some(existing) => match existing.kind {
                 // Token records are authoritative; see type-level docs.
                 RecordKind::Token => {}
@@ -126,13 +174,10 @@ impl History {
                 }
             },
             None => {
-                table.insert(
-                    entry.version,
-                    HistoryRecord {
-                        kind: RecordKind::Message,
-                        ts: entry.ts,
-                    },
-                );
+                *slot = Some(HistoryRecord {
+                    kind: RecordKind::Message,
+                    ts: entry.ts,
+                });
             }
         }
     }
@@ -148,13 +193,26 @@ impl History {
     /// Record a token `(v, t)` from process `j` (Figure 3, *Receive
     /// token*). Replaces any message record for that version.
     pub fn record_token(&mut self, j: ProcessId, entry: Entry) {
-        self.tables[j.index()].insert(
-            entry.version,
-            HistoryRecord {
-                kind: RecordKind::Token,
-                ts: entry.ts,
-            },
-        );
+        *self.tables[j.index()].slot_mut(entry.version) = Some(HistoryRecord {
+            kind: RecordKind::Token,
+            ts: entry.ts,
+        });
+        // Advance the cached frontier past any now-contiguous run of
+        // token records (tokens can arrive out of order, so one insert
+        // can unlock several).
+        let frontier = &mut self.frontiers[j.index()];
+        if entry.version == *frontier {
+            let table = &self.tables[j.index()];
+            while matches!(
+                table.get(*frontier),
+                Some(HistoryRecord {
+                    kind: RecordKind::Token,
+                    ..
+                })
+            ) {
+                frontier.0 += 1;
+            }
+        }
     }
 
     /// Lemma 4 — the obsolete-message test: `true` iff some component
@@ -163,8 +221,8 @@ impl History {
     pub fn message_is_obsolete(&self, clock: &Ftvc) -> bool {
         clock.iter().any(|(j, entry)| {
             matches!(
-                self.tables[j.index()].get(&entry.version),
-                Some(HistoryRecord { kind: RecordKind::Token, ts }) if *ts < entry.ts
+                self.tables[j.index()].get(entry.version),
+                Some(HistoryRecord { kind: RecordKind::Token, ts }) if ts < entry.ts
             )
         })
     }
@@ -173,8 +231,8 @@ impl History {
     /// `true` iff a message record `(mes, v, t')` with `t < t'` exists.
     pub fn orphaned_by(&self, j: ProcessId, token: Entry) -> bool {
         matches!(
-            self.tables[j.index()].get(&token.version),
-            Some(HistoryRecord { kind: RecordKind::Message, ts }) if token.ts < *ts
+            self.tables[j.index()].get(token.version),
+            Some(HistoryRecord { kind: RecordKind::Message, ts }) if token.ts < ts
         )
     }
 
@@ -183,28 +241,19 @@ impl History {
     /// version `k` of `j` is deliverable iff `k <= frontier` (all tokens
     /// `l < k` have arrived — Section 6.1 of the paper).
     pub fn token_frontier(&self, j: ProcessId) -> Version {
-        let table = &self.tables[j.index()];
-        // Versions below the GC floor were all token-covered before
-        // their records were reclaimed; counting resumes at the floor.
-        let mut v = self.floors[j.index()].0;
-        while matches!(
-            table.get(&Version(v)),
-            Some(HistoryRecord {
-                kind: RecordKind::Token,
-                ..
-            })
-        ) {
-            v += 1;
-        }
-        Version(v)
+        // Maintained by `record_token` (counting resumes at the GC
+        // floor: versions below it were token-covered before their
+        // records were reclaimed). An O(1) read — the deliverability
+        // test runs it once per clock entry per message.
+        self.frontiers[j.index()]
     }
 
     /// `true` iff the given token is already recorded verbatim (used to
     /// deduplicate re-injected tokens).
     pub fn has_token(&self, j: ProcessId, entry: Entry) -> bool {
         matches!(
-            self.tables[j.index()].get(&entry.version),
-            Some(HistoryRecord { kind: RecordKind::Token, ts }) if *ts == entry.ts
+            self.tables[j.index()].get(entry.version),
+            Some(HistoryRecord { kind: RecordKind::Token, ts }) if ts == entry.ts
         )
     }
 
@@ -220,11 +269,15 @@ impl History {
     pub fn gc_versions_below(&mut self, j: ProcessId, v: Version) -> usize {
         let bound = v.min(self.token_frontier(j));
         let table = &mut self.tables[j.index()];
-        let before = table.len();
-        table.retain(|ver, _| *ver >= bound);
+        let mut removed = 0;
+        if bound.0 > table.base {
+            let k = ((bound.0 - table.base) as usize).min(table.slots.len());
+            removed = table.slots.drain(..k).filter(|s| s.is_some()).count();
+            table.base = bound.0;
+        }
         let floor = &mut self.floors[j.index()];
         *floor = (*floor).max(bound);
-        before - table.len()
+        removed
     }
 
     /// The GC floor for process `j`: every version strictly below it was

@@ -85,6 +85,7 @@
 mod app;
 mod config;
 pub mod engine;
+pub mod fasthash;
 mod history;
 mod message;
 mod output;
@@ -97,7 +98,10 @@ pub mod wirecodec;
 pub use app::{Application, Effects};
 pub use config::DgConfig;
 pub use dg_ftvc::{Entry, Ftvc, ProcessId, Version};
-pub use engine::{timers, Effect, Engine, EngineView, Input, ProtocolEngine, StorageFault};
+pub use engine::{
+    timers, Effect, EffectSink, Engine, EngineView, Input, ProtocolEngine, StorageFault,
+};
+pub use fasthash::{FxHashMap, FxHashSet};
 pub use history::{History, HistoryRecord, RecordKind};
 pub use message::{Envelope, MsgId, Token, Wire};
 pub use output::{OutputBuffer, OutputId, PendingOutput};

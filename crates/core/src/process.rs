@@ -13,7 +13,7 @@ use dg_simnet::{Actor, Context, FaultKind};
 
 use crate::app::Application;
 use crate::config::DgConfig;
-use crate::engine::{Effect, Engine, EngineView, Input, ProtocolEngine, StorageFault};
+use crate::engine::{Effect, EffectSink, Engine, EngineView, Input, ProtocolEngine, StorageFault};
 use crate::history::History;
 use crate::message::Wire;
 use crate::stats::ProcessStats;
@@ -27,7 +27,10 @@ use crate::stats::ProcessStats;
 /// charges storage latency to *subsequent* sends in the same handler.
 /// Returns the outputs committed by this batch (the engine also retains
 /// them; see [`Engine::committed_outputs`]).
-pub fn run_effects<W, O>(effects: Vec<Effect<W, O>>, ctx: &mut Context<'_, W>) -> Vec<O>
+pub fn run_effects<W, O>(
+    effects: impl IntoIterator<Item = Effect<W, O>>,
+    ctx: &mut Context<'_, W>,
+) -> Vec<O>
 where
     W: Clone,
 {
@@ -75,6 +78,11 @@ where
 #[derive(Clone)]
 pub struct DgProcess<A: Application> {
     engine: Engine<A>,
+    /// Reused effect buffer: the actor callbacks run the engine through
+    /// [`ProtocolEngine::handle_into`] and drain this sink, so the
+    /// simulated hot path shares the networked runtimes' allocation-free
+    /// discipline.
+    sink: EffectSink<Wire<A::Msg>, A::Msg>,
 }
 
 impl<A: Application> DgProcess<A> {
@@ -86,6 +94,7 @@ impl<A: Application> DgProcess<A> {
     pub fn new(me: ProcessId, n: usize, app: A, config: DgConfig) -> DgProcess<A> {
         DgProcess {
             engine: Engine::new(me, n, app, config),
+            sink: EffectSink::new(),
         }
     }
 
@@ -200,10 +209,13 @@ impl<A: Application> Actor for DgProcess<A> {
     type Msg = Wire<A::Msg>;
 
     fn on_start(&mut self, ctx: &mut Context<'_, Wire<A::Msg>>) {
-        let effects = self.engine.handle(Input::Start {
-            now: ctx.now().as_micros(),
-        });
-        run_effects(effects, ctx);
+        self.engine.handle_into(
+            Input::Start {
+                now: ctx.now().as_micros(),
+            },
+            &mut self.sink,
+        );
+        run_effects(self.sink.drain(), ctx);
     }
 
     fn on_message(
@@ -212,32 +224,42 @@ impl<A: Application> Actor for DgProcess<A> {
         msg: Wire<A::Msg>,
         ctx: &mut Context<'_, Wire<A::Msg>>,
     ) {
-        let effects = self.engine.handle(Input::Deliver {
-            from,
-            wire: msg,
-            now: ctx.now().as_micros(),
-        });
-        run_effects(effects, ctx);
+        self.engine.handle_into(
+            Input::Deliver {
+                from,
+                wire: msg,
+                now: ctx.now().as_micros(),
+            },
+            &mut self.sink,
+        );
+        run_effects(self.sink.drain(), ctx);
     }
 
     fn on_timer(&mut self, kind: u32, ctx: &mut Context<'_, Wire<A::Msg>>) {
-        let effects = self.engine.handle(Input::Tick {
-            kind,
-            now: ctx.now().as_micros(),
-        });
-        run_effects(effects, ctx);
+        self.engine.handle_into(
+            Input::Tick {
+                kind,
+                now: ctx.now().as_micros(),
+            },
+            &mut self.sink,
+        );
+        run_effects(self.sink.drain(), ctx);
     }
 
     fn on_crash(&mut self) {
-        let effects = self.engine.handle(Input::Crash);
-        debug_assert!(effects.is_empty(), "a crashed process acts silently");
+        self.engine.handle_into(Input::Crash, &mut self.sink);
+        debug_assert!(self.sink.is_empty(), "a crashed process acts silently");
+        self.sink.clear();
     }
 
     fn on_restart(&mut self, ctx: &mut Context<'_, Wire<A::Msg>>) {
-        let effects = self.engine.handle(Input::Restart {
-            now: ctx.now().as_micros(),
-        });
-        run_effects(effects, ctx);
+        self.engine.handle_into(
+            Input::Restart {
+                now: ctx.now().as_micros(),
+            },
+            &mut self.sink,
+        );
+        run_effects(self.sink.drain(), ctx);
     }
 
     fn on_fault(&mut self, kind: FaultKind) {

@@ -18,6 +18,11 @@ pub struct FailureId {
 /// the baseline protocols, so experiments compare like with like).
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ProcessStats {
+    /// Engine inputs processed (one per `handle`/`handle_into` call:
+    /// deliveries, ticks, crashes, restarts, injected sends). This is
+    /// the unit the throughput experiments normalize to, on every
+    /// runtime (see E13/E14 in `dg-bench`).
+    pub inputs: u64,
     /// Application messages sent (including regenerated sends after
     /// rollback, excluding suppressed replay sends).
     pub messages_sent: u64,

@@ -12,7 +12,7 @@
 //! use plus `Vec<u8>` for opaque blobs.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
-use dg_ftvc::wire::{decode_ftvc, encode_ftvc, get_varint, put_varint, DecodeError};
+use dg_ftvc::wire::{decode_ftvc, encode_ftvc_into, get_varint, put_varint, DecodeError};
 use dg_ftvc::{Entry, ProcessId, Version};
 
 use crate::message::{Envelope, Token, Wire};
@@ -130,7 +130,7 @@ fn get_entry(buf: &mut Bytes) -> Result<Entry, CodecError> {
 }
 
 fn put_clock(buf: &mut BytesMut, clock: &dg_ftvc::Ftvc) {
-    buf.put_slice(encode_ftvc(clock).as_slice());
+    encode_ftvc_into(clock, buf);
 }
 
 fn put_envelope<M: Payload>(buf: &mut BytesMut, env: &Envelope<M>) {
@@ -166,38 +166,46 @@ fn get_envelope<M: Payload>(buf: &mut Bytes) -> Result<Envelope<M>, CodecError> 
 /// transport's job).
 pub fn encode_wire<M: Payload>(wire: &Wire<M>) -> Bytes {
     let mut buf = BytesMut::with_capacity(64);
+    encode_wire_into(wire, &mut buf);
+    buf.freeze()
+}
+
+/// [`encode_wire`] into a caller-supplied buffer (appended). Transports
+/// that frame many messages per write reuse one buffer across an entire
+/// batch instead of allocating per message (see `dg-netrun`'s pooled
+/// frame buffers).
+pub fn encode_wire_into<M: Payload>(wire: &Wire<M>, buf: &mut BytesMut) {
     match wire {
         Wire::App(env) => {
             buf.put_u8(TAG_APP);
-            put_envelope(&mut buf, env);
+            put_envelope(buf, env);
         }
         Wire::Resend(env) => {
             buf.put_u8(TAG_RESEND);
-            put_envelope(&mut buf, env);
+            put_envelope(buf, env);
         }
         Wire::Token(token) => {
             buf.put_u8(TAG_TOKEN);
-            put_varint(&mut buf, u64::from(token.from.0));
-            put_entry(&mut buf, token.entry);
+            put_varint(buf, u64::from(token.from.0));
+            put_entry(buf, token.entry);
             match &token.full_clock {
                 Some(clock) => {
                     buf.put_u8(1);
-                    put_clock(&mut buf, clock);
+                    put_clock(buf, clock);
                 }
                 None => buf.put_u8(0),
             }
         }
         Wire::TokenAck(entry) => {
             buf.put_u8(TAG_TOKEN_ACK);
-            put_entry(&mut buf, *entry);
+            put_entry(buf, *entry);
         }
         Wire::Frontier(p, entry) => {
             buf.put_u8(TAG_FRONTIER);
-            put_varint(&mut buf, u64::from(p.0));
-            put_entry(&mut buf, *entry);
+            put_varint(buf, u64::from(p.0));
+            put_entry(buf, *entry);
         }
     }
-    buf.freeze()
 }
 
 /// Decode one [`Wire`] message produced by [`encode_wire`].

@@ -1,0 +1,152 @@
+//! Pins the engine's zero-allocation steady state.
+//!
+//! A failure-free delivery through [`Engine::handle_into`] must not
+//! allocate: the wire clock is inline (`n <= INLINE_CLOCK_CAP`), the
+//! application pushes into the engine-owned scratch, and the effect
+//! handoff reuses the caller's sink. The only remaining allocations are
+//! *amortized* container growth (the receive-dedup set, the volatile
+//! log), which become arbitrarily rare as the run proceeds — so this
+//! test asserts that the **minimum** allocation count over many
+//! same-sized delivery batches is exactly zero. Any per-delivery
+//! allocation reintroduced on the hot path makes every batch allocate
+//! and fails the test deterministically.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use dg_core::engine::{Effect, Engine, Input, ProtocolEngine};
+use dg_core::{Application, DgConfig, EffectSink, Effects, ProcessId, Wire};
+
+/// Counts every allocation (alloc, alloc_zeroed, realloc) program-wide.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Local copy of the ring-relay workload (`dg-apps` depends on this
+/// crate, so the test defines its own): every delivery forwards the
+/// token to the next process. `Copy` message, one send, no outputs.
+#[derive(Clone)]
+struct Relay;
+
+impl Application for Relay {
+    type Msg = u64;
+
+    fn on_start(&mut self, me: ProcessId, _n: usize) -> Effects<u64> {
+        if me == ProcessId(0) {
+            Effects::send(ProcessId(1), 1)
+        } else {
+            Effects::none()
+        }
+    }
+
+    fn on_message(&mut self, me: ProcessId, from: ProcessId, msg: &u64, n: usize) -> Effects<u64> {
+        let mut eff = Effects::none();
+        self.on_message_into(me, from, msg, n, &mut eff);
+        eff
+    }
+
+    fn on_message_into(
+        &mut self,
+        me: ProcessId,
+        _from: ProcessId,
+        msg: &u64,
+        n: usize,
+        eff: &mut Effects<u64>,
+    ) {
+        eff.sends.push((ProcessId((me.0 + 1) % n as u16), *msg + 1));
+    }
+}
+
+/// Deliver the circulating token once and return the follow-on hop.
+fn hop(
+    engines: &mut [Engine<Relay>],
+    sink: &mut EffectSink<Wire<u64>, u64>,
+    to: ProcessId,
+    from: ProcessId,
+    wire: Wire<u64>,
+    now: u64,
+) -> (ProcessId, ProcessId, Wire<u64>) {
+    engines[to.index()].handle_into(Input::Deliver { from, wire, now }, sink);
+    let mut next = None;
+    for eff in sink.drain() {
+        if let Effect::Send {
+            to: next_to, wire, ..
+        } = eff
+        {
+            next = Some((next_to, to, wire));
+        }
+    }
+    next.expect("relay always forwards")
+}
+
+#[test]
+fn steady_state_delivery_allocates_nothing() {
+    let n = 4usize;
+    let config = DgConfig::fast_test();
+    let mut engines: Vec<Engine<Relay>> = (0..n)
+        .map(|p| Engine::new(ProcessId(p as u16), n, Relay, config))
+        .collect();
+
+    // Start everyone; pick up the seed send from P0.
+    let mut sink: EffectSink<Wire<u64>, u64> = EffectSink::new();
+    let mut seed = None;
+    for (p, engine) in engines.iter_mut().enumerate() {
+        engine.handle_into(Input::Start { now: 0 }, &mut sink);
+        for eff in sink.drain() {
+            if let Effect::Send { to, wire, .. } = eff {
+                seed = Some((to, ProcessId(p as u16), wire));
+            }
+        }
+    }
+    let (mut to, mut from, mut wire) = seed.expect("P0 seeds the token");
+
+    // Warm up: populate history records, grow the dedup set and log
+    // buffers past their initial doublings.
+    let mut now = 1u64;
+    for _ in 0..20_000 {
+        (to, from, wire) = hop(&mut engines, &mut sink, to, from, wire, now);
+        now += 1;
+    }
+
+    // Measure: allocations per fixed-size batch. Amortized growth makes
+    // some batches allocate (rarely); a per-delivery allocation would
+    // make every batch allocate.
+    const BATCHES: usize = 64;
+    const PER_BATCH: usize = 256;
+    let mut min_allocs = u64::MAX;
+    for _ in 0..BATCHES {
+        let before = ALLOCS.load(Ordering::Relaxed);
+        for _ in 0..PER_BATCH {
+            (to, from, wire) = hop(&mut engines, &mut sink, to, from, wire, now);
+            now += 1;
+        }
+        let batch = ALLOCS.load(Ordering::Relaxed) - before;
+        min_allocs = min_allocs.min(batch);
+    }
+    assert_eq!(
+        min_allocs, 0,
+        "steady-state deliveries allocate: at least {min_allocs} allocations \
+         in every batch of {PER_BATCH} handle_into calls"
+    );
+}

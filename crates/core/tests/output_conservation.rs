@@ -1,0 +1,181 @@
+//! Regression test: outputs that are still awaiting commit when a
+//! checkpoint is taken must survive a crash of the emitting process.
+//!
+//! The failure mode this pins: a checkpoint subsumes the application
+//! steps that emitted the outputs, so restart replay — which begins at
+//! the checkpoint's log end — can never regenerate them. If the
+//! checkpoint does not carry the pending-output buffer, a crash after
+//! the checkpoint silently drops every output emitted before it but not
+//! yet released, leaving a gap in the committed sequence (observed as a
+//! missing middle range in the real-network smoke test's outputs).
+//!
+//! The scenario is driven engine-level so the window is exact: emit an
+//! output, checkpoint while it is still pending (no gossip has fired,
+//! so nothing has committed), crash, restart — the output must still be
+//! pending — then let the frontier flow and assert it commits exactly
+//! once.
+
+use std::collections::VecDeque;
+
+use dg_core::engine::{timers, Effect, Engine, Input, ProtocolEngine};
+use dg_core::{Application, DgConfig, Effects, ProcessId, Wire};
+
+/// P0 sends one value to P1; P1 releases it as an external output.
+#[derive(Clone)]
+struct Emitter;
+
+impl Application for Emitter {
+    type Msg = u64;
+
+    fn on_start(&mut self, me: ProcessId, _n: usize) -> Effects<u64> {
+        if me == ProcessId(0) {
+            Effects::send(ProcessId(1), 7)
+        } else {
+            Effects::none()
+        }
+    }
+
+    fn on_message(
+        &mut self,
+        _me: ProcessId,
+        _from: ProcessId,
+        msg: &u64,
+        _n: usize,
+    ) -> Effects<u64> {
+        Effects::output(*msg)
+    }
+
+    fn digest(&self) -> u64 {
+        0
+    }
+}
+
+type In = Input<Wire<u64>, u64>;
+type Eff = Effect<Wire<u64>, u64>;
+
+/// Feed one input, routing any resulting sends/broadcasts into `net`.
+fn feed(
+    engines: &mut [Engine<Emitter>],
+    net: &mut VecDeque<(ProcessId, ProcessId, Wire<u64>)>,
+    p: ProcessId,
+    input: In,
+) {
+    let effects: Vec<Eff> = engines[p.index()].handle(input);
+    for eff in effects {
+        match eff {
+            Effect::Send { to, wire, .. } => net.push_back((to, p, wire)),
+            Effect::Broadcast { wire, .. } => {
+                for q in ProcessId::all(engines.len()) {
+                    if q != p {
+                        net.push_back((q, p, wire.clone()));
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Deliver everything in flight (including anything those deliveries
+/// produce) at time `now`.
+fn drain(
+    engines: &mut [Engine<Emitter>],
+    net: &mut VecDeque<(ProcessId, ProcessId, Wire<u64>)>,
+    now: u64,
+) {
+    while let Some((to, from, wire)) = net.pop_front() {
+        feed(engines, net, to, Input::Deliver { from, wire, now });
+    }
+}
+
+#[test]
+fn pending_outputs_survive_a_crash_past_their_checkpoint() {
+    let config = DgConfig::fast_test()
+        .with_gossip(5_000)
+        .with_gc(true)
+        .with_history_gc(true);
+    let mut engines: Vec<Engine<Emitter>> = (0..2)
+        .map(|p| Engine::new(ProcessId(p), 2, Emitter, config))
+        .collect();
+    let mut net = VecDeque::new();
+
+    // Start both; P0's greeting reaches P1, which emits the output.
+    feed(
+        &mut engines,
+        &mut net,
+        ProcessId(1),
+        Input::Start { now: 0 },
+    );
+    feed(
+        &mut engines,
+        &mut net,
+        ProcessId(0),
+        Input::Start { now: 0 },
+    );
+    drain(&mut engines, &mut net, 10);
+    assert_eq!(
+        engines[1].pending_outputs(),
+        1,
+        "the delivered value must be awaiting commit (no gossip has fired)"
+    );
+
+    // Checkpoint P1 while the output is still pending, then crash it.
+    // The checkpoint now subsumes the delivery that emitted the output,
+    // so replay alone cannot bring it back.
+    feed(
+        &mut engines,
+        &mut net,
+        ProcessId(1),
+        Input::Tick {
+            kind: timers::CHECKPOINT,
+            now: 20,
+        },
+    );
+    feed(&mut engines, &mut net, ProcessId(1), Input::Crash);
+    feed(
+        &mut engines,
+        &mut net,
+        ProcessId(1),
+        Input::Restart { now: 100 },
+    );
+    assert_eq!(
+        engines[1].pending_outputs(),
+        1,
+        "output emitted before the checkpoint was lost across the crash"
+    );
+    drain(&mut engines, &mut net, 110); // recovery token reaches P0
+
+    // Let the stability frontier circulate: flush logs, gossip, deliver.
+    for round in 0u64..4 {
+        let now = 200 + round * 100;
+        for p in ProcessId::all(2) {
+            feed(
+                &mut engines,
+                &mut net,
+                p,
+                Input::Tick {
+                    kind: timers::FLUSH,
+                    now,
+                },
+            );
+            feed(
+                &mut engines,
+                &mut net,
+                p,
+                Input::Tick {
+                    kind: timers::GOSSIP,
+                    now,
+                },
+            );
+        }
+        drain(&mut engines, &mut net, now + 50);
+    }
+
+    let committed: Vec<u64> = engines[1].committed_outputs().copied().collect();
+    assert_eq!(
+        committed,
+        vec![7],
+        "the recovered output must commit exactly once"
+    );
+    assert_eq!(engines[1].pending_outputs(), 0, "nothing left in flight");
+}

@@ -37,10 +37,123 @@ use crate::{CausalOrder, Entry, ProcessId, Version};
 /// assert_eq!(p0.causal_compare(&p1), CausalOrder::Concurrent); // p0 ticked past m
 /// assert!(m.happened_before(&p1));
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct Ftvc {
     owner: ProcessId,
-    entries: Vec<Entry>,
+    entries: EntryStore,
+}
+
+impl Clone for Ftvc {
+    fn clone(&self) -> Ftvc {
+        Ftvc {
+            owner: self.owner,
+            entries: self.entries.clone(),
+        }
+    }
+
+    /// Copy-on-send into an existing clock buffer: spilled (heap) clocks
+    /// reuse the destination's allocation, inline clocks are flat copies
+    /// either way.
+    fn clone_from(&mut self, source: &Ftvc) {
+        self.owner = source.owner;
+        self.entries.clone_from(&source.entries);
+    }
+}
+
+/// Maximum system size stored inline (no heap allocation) by an
+/// [`Ftvc`]. Larger clocks spill to a heap vector.
+pub const INLINE_CLOCK_CAP: usize = 8;
+
+/// Backing storage for clock components: a fixed inline array for small
+/// systems (`n <= INLINE_CLOCK_CAP`), a heap vector above.
+///
+/// The protocol's hot path clones a clock on every send (the piggybacked
+/// stamp), every delivery log append, and every queued output. Storing
+/// small clocks inline makes each of those clones a flat copy — no
+/// allocator traffic — which is what the engine's steady-state
+/// zero-allocation contract rests on (see DESIGN.md, "Hot-path memory
+/// discipline").
+///
+/// Equality and hashing go through [`EntryStore::as_slice`], so the
+/// unused tail of the inline array can never influence observable
+/// behaviour, and an inline store equals a heap store with the same
+/// logical components.
+#[derive(Debug, Serialize, Deserialize)]
+enum EntryStore {
+    Inline {
+        len: u8,
+        buf: [Entry; INLINE_CLOCK_CAP],
+    },
+    Heap(Vec<Entry>),
+}
+
+impl EntryStore {
+    /// `n` components, all [`Entry::ZERO`].
+    fn zeroed(n: usize) -> EntryStore {
+        if n <= INLINE_CLOCK_CAP {
+            EntryStore::Inline {
+                len: n as u8,
+                buf: [Entry::ZERO; INLINE_CLOCK_CAP],
+            }
+        } else {
+            EntryStore::Heap(vec![Entry::ZERO; n])
+        }
+    }
+
+    #[inline]
+    fn as_slice(&self) -> &[Entry] {
+        match self {
+            EntryStore::Inline { len, buf } => &buf[..*len as usize],
+            EntryStore::Heap(v) => v,
+        }
+    }
+
+    #[inline]
+    fn as_mut_slice(&mut self) -> &mut [Entry] {
+        match self {
+            EntryStore::Inline { len, buf } => &mut buf[..*len as usize],
+            EntryStore::Heap(v) => v,
+        }
+    }
+}
+
+impl Clone for EntryStore {
+    fn clone(&self) -> EntryStore {
+        match self {
+            EntryStore::Inline { len, buf } => EntryStore::Inline {
+                len: *len,
+                buf: *buf,
+            },
+            EntryStore::Heap(v) => EntryStore::Heap(v.clone()),
+        }
+    }
+
+    /// Reuse the destination's heap buffer when both sides have spilled,
+    /// so `clone_from` on large clocks is copy-on-send into a pooled
+    /// buffer rather than a fresh allocation.
+    fn clone_from(&mut self, source: &EntryStore) {
+        match (&mut *self, source) {
+            (EntryStore::Heap(dst), EntryStore::Heap(src)) => {
+                dst.clear();
+                dst.extend_from_slice(src);
+            }
+            (dst, src) => *dst = src.clone(),
+        }
+    }
+}
+
+impl PartialEq for EntryStore {
+    fn eq(&self, other: &EntryStore) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for EntryStore {}
+
+impl std::hash::Hash for EntryStore {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state);
+    }
 }
 
 impl Ftvc {
@@ -56,8 +169,8 @@ impl Ftvc {
             owner.index() < n,
             "owner {owner} out of range for {n}-process system"
         );
-        let mut entries = vec![Entry::ZERO; n];
-        entries[owner.index()].ts = 1;
+        let mut entries = EntryStore::zeroed(n);
+        entries.as_mut_slice()[owner.index()].ts = 1;
         Ftvc { owner, entries }
     }
 
@@ -70,14 +183,14 @@ impl Ftvc {
     /// Number of components (processes in the system).
     #[inline]
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.entries.as_slice().len()
     }
 
     /// `true` iff the clock has no components (never true for a clock
     /// built with [`Ftvc::new`]).
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.entries.as_slice().is_empty()
     }
 
     /// The component for process `p`.
@@ -87,13 +200,13 @@ impl Ftvc {
     /// Panics if `p` is out of range.
     #[inline]
     pub fn entry(&self, p: ProcessId) -> Entry {
-        self.entries[p.index()]
+        self.entries.as_slice()[p.index()]
     }
 
     /// The owner's own component.
     #[inline]
     pub fn own_entry(&self) -> Entry {
-        self.entries[self.owner.index()]
+        self.entries.as_slice()[self.owner.index()]
     }
 
     /// The owner's current version (incarnation number).
@@ -105,12 +218,13 @@ impl Ftvc {
     /// All components in process-id order.
     #[inline]
     pub fn entries(&self) -> &[Entry] {
-        &self.entries
+        self.entries.as_slice()
     }
 
     /// Iterate `(process, entry)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (ProcessId, Entry)> + '_ {
         self.entries
+            .as_slice()
             .iter()
             .enumerate()
             .map(|(i, &e)| (ProcessId(i as u16), e))
@@ -121,7 +235,7 @@ impl Ftvc {
     #[must_use = "the returned stamp must be piggybacked on the message"]
     pub fn stamp_for_send(&mut self) -> Ftvc {
         let stamp = self.clone();
-        self.entries[self.owner.index()].ts += 1;
+        self.entries.as_mut_slice()[self.owner.index()].ts += 1;
         stamp
     }
 
@@ -133,21 +247,27 @@ impl Ftvc {
     /// Panics if the clocks have different lengths.
     pub fn observe(&mut self, incoming: &Ftvc) {
         assert_eq!(
-            self.entries.len(),
-            incoming.entries.len(),
+            self.len(),
+            incoming.len(),
             "cannot merge clocks of different system sizes"
         );
-        for (mine, theirs) in self.entries.iter_mut().zip(&incoming.entries) {
+        let own = self.owner.index();
+        for (mine, theirs) in self
+            .entries
+            .as_mut_slice()
+            .iter_mut()
+            .zip(incoming.entries.as_slice())
+        {
             *mine = mine.join(*theirs);
         }
-        self.entries[self.owner.index()].ts += 1;
+        self.entries.as_mut_slice()[own].ts += 1;
     }
 
     /// Transition after the owner restarts from a **failure**: the own
     /// version increments and the own timestamp resets to zero
     /// (Figure 2, *On Restart*).
     pub fn restart(&mut self) {
-        let own = &mut self.entries[self.owner.index()];
+        let own = &mut self.entries.as_mut_slice()[self.owner.index()];
         own.version = own.version.next();
         own.ts = 0;
     }
@@ -156,7 +276,7 @@ impl Ftvc {
     /// failure): the own timestamp increments, the version is unchanged
     /// (Figure 2, *On Rollback*).
     pub fn rolled_back(&mut self) {
-        self.entries[self.owner.index()].ts += 1;
+        self.entries.as_mut_slice()[self.owner.index()].ts += 1;
     }
 
     /// Compare two clocks under the vector partial order
@@ -170,13 +290,14 @@ impl Ftvc {
     /// Panics if the clocks have different lengths.
     pub fn causal_compare(&self, other: &Ftvc) -> CausalOrder {
         assert_eq!(
-            self.entries.len(),
-            other.entries.len(),
+            self.len(),
+            other.len(),
             "cannot compare clocks of different system sizes"
         );
         self.entries
+            .as_slice()
             .iter()
-            .zip(&other.entries)
+            .zip(other.entries.as_slice())
             .map(|(a, b)| a.cmp(b))
             .fold(CausalOrder::Equal, CausalOrder::fold)
     }
@@ -201,17 +322,18 @@ impl Ftvc {
     /// Panics if `owner.index() >= parts.len()`.
     pub fn from_parts(owner: ProcessId, parts: &[(u32, u64)]) -> Ftvc {
         assert!(owner.index() < parts.len());
-        Ftvc {
-            owner,
-            entries: parts.iter().map(|&(v, t)| Entry::new(v, t)).collect(),
+        let mut entries = EntryStore::zeroed(parts.len());
+        for (slot, &(v, t)) in entries.as_mut_slice().iter_mut().zip(parts) {
+            *slot = Entry::new(v, t);
         }
+        Ftvc { owner, entries }
     }
 }
 
 impl fmt::Display for Ftvc {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "[")?;
-        for (i, e) in self.entries.iter().enumerate() {
+        for (i, e) in self.entries.as_slice().iter().enumerate() {
             if i > 0 {
                 write!(f, " ")?;
             }
@@ -321,6 +443,54 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn owner_out_of_range_panics() {
         let _ = Ftvc::new(ProcessId(5), 3);
+    }
+
+    #[test]
+    fn inline_and_heap_stores_agree_across_the_boundary() {
+        // The same logical clock value must behave identically whether it
+        // sits inline (n <= INLINE_CLOCK_CAP) or on the heap.
+        for n in [
+            2,
+            INLINE_CLOCK_CAP - 1,
+            INLINE_CLOCK_CAP,
+            INLINE_CLOCK_CAP + 1,
+            32,
+        ] {
+            let mut a = Ftvc::new(ProcessId(0), n);
+            let mut b = Ftvc::new(ProcessId((n - 1) as u16), n);
+            let stamp = a.stamp_for_send();
+            b.observe(&stamp);
+            assert_eq!(b.len(), n);
+            assert_eq!(b.entry(ProcessId(0)), Entry::new(0, 1));
+            assert!(stamp.happened_before(&b));
+            // Equality and hashing see only the logical components.
+            let copy = Ftvc::from_parts(
+                b.owner(),
+                &b.iter()
+                    .map(|(_, e)| (e.version.0, e.ts))
+                    .collect::<Vec<_>>(),
+            );
+            assert_eq!(copy, b);
+            use std::collections::hash_map::DefaultHasher;
+            use std::hash::{Hash, Hasher};
+            let digest = |c: &Ftvc| {
+                let mut h = DefaultHasher::new();
+                c.hash(&mut h);
+                h.finish()
+            };
+            assert_eq!(digest(&copy), digest(&b));
+        }
+    }
+
+    #[test]
+    fn clone_from_reuses_heap_capacity() {
+        let n = INLINE_CLOCK_CAP + 4;
+        let mut src = Ftvc::new(ProcessId(0), n);
+        let _ = src.stamp_for_send();
+        let mut dst = Ftvc::new(ProcessId(1), n);
+        dst.clone_from(&src);
+        assert_eq!(dst, src);
+        assert_eq!(dst.owner(), src.owner());
     }
 
     #[test]

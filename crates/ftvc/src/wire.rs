@@ -91,13 +91,19 @@ pub fn varint_len(value: u64) -> usize {
 /// Encode an FTVC: `n`, owner, then `(version, ts)` varint pairs.
 pub fn encode_ftvc(clock: &Ftvc) -> Bytes {
     let mut buf = BytesMut::with_capacity(2 + clock.len() * 3);
-    put_varint(&mut buf, clock.len() as u64);
-    put_varint(&mut buf, clock.owner().0 as u64);
-    for (_, e) in clock.iter() {
-        put_varint(&mut buf, u64::from(e.version.0));
-        put_varint(&mut buf, e.ts);
-    }
+    encode_ftvc_into(clock, &mut buf);
     buf.freeze()
+}
+
+/// [`encode_ftvc`] into a caller-supplied buffer (appended), so hot
+/// paths can reuse one allocation across messages.
+pub fn encode_ftvc_into(clock: &Ftvc, buf: &mut BytesMut) {
+    put_varint(buf, clock.len() as u64);
+    put_varint(buf, clock.owner().0 as u64);
+    for (_, e) in clock.iter() {
+        put_varint(buf, u64::from(e.version.0));
+        put_varint(buf, e.ts);
+    }
 }
 
 /// Decode an FTVC produced by [`encode_ftvc`].
@@ -127,6 +133,128 @@ pub fn ftvc_wire_len(clock: &Ftvc) -> usize {
         + clock
             .iter()
             .map(|(_, e)| varint_len(u64::from(e.version.0)) + varint_len(e.ts))
+            .sum::<usize>()
+}
+
+/// Encode an FTVC as a delta against a reference clock the receiver
+/// already holds (its *floor* — e.g. the last clock it saw from this
+/// sender, or the gossiped stability frontier).
+///
+/// Wire format (v2 clock framing):
+///
+/// ```text
+///     owner varint
+///     changed-entry bitmap, ceil(n/8) bytes, LSB-first per byte
+///     for each set bit, in index order: version varint, ts varint
+/// ```
+///
+/// `n` is not transmitted — the receiver recovers it from its own copy
+/// of `floor`, which both sides must agree on out of band. Entries equal
+/// to the floor's cost one bitmap bit instead of two varints, so a clock
+/// that mostly matches the floor (the steady-state case: only the
+/// sender's own component and a few recently-heard-from peers move
+/// between consecutive messages) shrinks from `O(n)` varint pairs to
+/// `ceil(n/8) + O(changed)` bytes.
+///
+/// # Panics
+///
+/// Panics if `clock` and `floor` have different lengths.
+pub fn encode_ftvc_delta(clock: &Ftvc, floor: &Ftvc) -> Bytes {
+    let mut buf = BytesMut::with_capacity(ftvc_delta_wire_len(clock, floor));
+    encode_ftvc_delta_into(clock, floor, &mut buf);
+    buf.freeze()
+}
+
+/// [`encode_ftvc_delta`] into a caller-supplied buffer (appended), so
+/// hot paths can reuse one allocation across messages.
+///
+/// # Panics
+///
+/// Panics if `clock` and `floor` have different lengths.
+pub fn encode_ftvc_delta_into(clock: &Ftvc, floor: &Ftvc, buf: &mut BytesMut) {
+    assert_eq!(
+        clock.len(),
+        floor.len(),
+        "cannot delta-encode against a floor of different system size"
+    );
+    let n = clock.len();
+    put_varint(buf, clock.owner().0 as u64);
+    let changed = |i: usize| clock.entries()[i] != floor.entries()[i];
+    for byte_idx in 0..n.div_ceil(8) {
+        let mut byte = 0u8;
+        for bit in 0..8 {
+            let i = byte_idx * 8 + bit;
+            if i < n && changed(i) {
+                byte |= 1 << bit;
+            }
+        }
+        buf.put_u8(byte);
+    }
+    for (i, e) in clock.entries().iter().enumerate() {
+        if changed(i) {
+            put_varint(buf, u64::from(e.version.0));
+            put_varint(buf, e.ts);
+        }
+    }
+}
+
+/// Decode an FTVC produced by [`encode_ftvc_delta`] against the same
+/// `floor` the encoder used. Unchanged components are copied from the
+/// floor.
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] on truncated or malformed input, including
+/// an owner index out of range for the floor's system size.
+pub fn decode_ftvc_delta(mut bytes: Bytes, floor: &Ftvc) -> Result<Ftvc, DecodeError> {
+    let n = floor.len();
+    let owner = get_varint(&mut bytes)?;
+    if owner >= n as u64 {
+        return Err(DecodeError::OwnerOutOfRange {
+            owner,
+            len: n as u64,
+        });
+    }
+    let mut bitmap = vec![0u8; n.div_ceil(8)];
+    for slot in &mut bitmap {
+        if !bytes.has_remaining() {
+            return Err(DecodeError::UnexpectedEnd);
+        }
+        *slot = bytes.get_u8();
+    }
+    let mut parts = Vec::with_capacity(n);
+    for (i, floor_entry) in floor.entries().iter().enumerate() {
+        if bitmap[i / 8] & (1 << (i % 8)) != 0 {
+            let version = get_varint(&mut bytes)? as u32;
+            let ts = get_varint(&mut bytes)?;
+            parts.push((version, ts));
+        } else {
+            parts.push((floor_entry.version.0, floor_entry.ts));
+        }
+    }
+    Ok(Ftvc::from_parts(ProcessId(owner as u16), &parts))
+}
+
+/// Encoded size of [`encode_ftvc_delta`] without materializing the
+/// buffer.
+///
+/// # Panics
+///
+/// Panics if `clock` and `floor` have different lengths.
+pub fn ftvc_delta_wire_len(clock: &Ftvc, floor: &Ftvc) -> usize {
+    assert_eq!(
+        clock.len(),
+        floor.len(),
+        "cannot delta-encode against a floor of different system size"
+    );
+    varint_len(clock.owner().0 as u64)
+        + clock.len().div_ceil(8)
+        + clock
+            .entries()
+            .iter()
+            .zip(floor.entries())
+            .filter(|(c, f)| c != f)
+            .map(|(c, _)| varint_len(u64::from(c.version.0)) + varint_len(c.ts))
             .sum::<usize>()
 }
 
@@ -227,6 +355,67 @@ mod tests {
         // A fresh 8-process FTVC: all versions/ts fit in one byte each.
         let c = Ftvc::new(ProcessId(0), 8);
         assert_eq!(ftvc_wire_len(&c), 2 + 8 * 2);
+    }
+
+    #[test]
+    fn delta_roundtrip_mixed_changes() {
+        let floor = Ftvc::from_parts(ProcessId(0), &[(0, 5), (3, 0), (1, 200), (0, 0)]);
+        let clock = Ftvc::from_parts(ProcessId(2), &[(0, 5), (3, 7), (1, 200), (2, 1)]);
+        let bytes = encode_ftvc_delta(&clock, &floor);
+        assert_eq!(bytes.len(), ftvc_delta_wire_len(&clock, &floor));
+        let back = decode_ftvc_delta(bytes, &floor).unwrap();
+        assert_eq!(back, clock);
+    }
+
+    #[test]
+    fn delta_of_identical_clock_is_owner_plus_bitmap() {
+        let floor = Ftvc::from_parts(ProcessId(0), &[(1, 9); 16]);
+        let clock = Ftvc::from_parts(ProcessId(3), &[(1, 9); 16]);
+        let bytes = encode_ftvc_delta(&clock, &floor);
+        // 1 owner byte + 2 bitmap bytes, no entries.
+        assert_eq!(bytes.len(), 3);
+        assert_eq!(decode_ftvc_delta(bytes, &floor).unwrap(), clock);
+    }
+
+    #[test]
+    fn delta_beats_full_encoding_when_mostly_matching() {
+        let n = 32;
+        let floor_parts: Vec<(u32, u64)> = (0..n).map(|i| (1, 1_000 + i as u64)).collect();
+        let mut clock_parts = floor_parts.clone();
+        clock_parts[7].1 += 1; // only the sender's component moved
+        let floor = Ftvc::from_parts(ProcessId(7), &floor_parts);
+        let clock = Ftvc::from_parts(ProcessId(7), &clock_parts);
+        let full = ftvc_wire_len(&clock);
+        let delta = ftvc_delta_wire_len(&clock, &floor);
+        assert!(
+            delta < full / 4,
+            "delta ({delta}B) should be far below full ({full}B)"
+        );
+    }
+
+    #[test]
+    fn truncated_delta_is_an_error_not_a_panic() {
+        let floor = Ftvc::from_parts(ProcessId(0), &[(0, 0), (0, 0), (0, 0)]);
+        let clock = Ftvc::from_parts(ProcessId(1), &[(0, 300), (2, 5), (0, 900)]);
+        let bytes = encode_ftvc_delta(&clock, &floor);
+        for cut in 0..bytes.len() {
+            let truncated = Bytes::from(bytes.as_slice()[..cut].to_vec());
+            let err = decode_ftvc_delta(truncated, &floor).unwrap_err();
+            assert_eq!(err, DecodeError::UnexpectedEnd, "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn delta_owner_out_of_range_rejected() {
+        let floor = Ftvc::from_parts(ProcessId(0), &[(0, 0), (0, 0)]);
+        let mut buf = BytesMut::new();
+        put_varint(&mut buf, 9); // owner = 9, floor says n = 2
+        buf.put_u8(0); // empty bitmap
+        let err = decode_ftvc_delta(buf.freeze(), &floor).unwrap_err();
+        assert!(matches!(
+            err,
+            DecodeError::OwnerOutOfRange { owner: 9, len: 2 }
+        ));
     }
 
     #[test]

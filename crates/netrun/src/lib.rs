@@ -32,15 +32,18 @@
 #![warn(missing_docs)]
 
 use std::collections::BinaryHeap;
-use std::io::{Read, Write};
+use std::io::{BufReader, IoSlice, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
-use dg_core::wirecodec::{decode_wire, encode_wire, Payload};
-use dg_core::{Application, DgConfig, Effect, Engine, EngineView, Input, ProtocolEngine, Wire};
+use bytes::BytesMut;
+use dg_core::wirecodec::{decode_wire, encode_wire_into, Payload};
+use dg_core::{
+    Application, DgConfig, Effect, EffectSink, Engine, EngineView, Input, ProtocolEngine, Wire,
+};
 use dg_ftvc::ProcessId;
 
 /// Runtime knobs for a [`Cluster`].
@@ -61,16 +64,25 @@ impl Default for RunConfig {
     }
 }
 
-/// What a node reports when probed.
+/// What a node reports when probed (see [`Cluster::statuses`]).
 #[derive(Debug, Clone, Copy, Default)]
-struct NodeStatus {
+pub struct NodeStatus {
     /// Monotone count of protocol-relevant events (non-gossip frames in,
     /// sends out, crashes).
-    activity: u64,
-    down: bool,
-    postponed: usize,
-    pending_tokens: usize,
-    pending_outputs: usize,
+    pub activity: u64,
+    /// `true` while crashed (between `Input::Crash` and `Input::Restart`).
+    pub down: bool,
+    /// Messages postponed awaiting recovery tokens.
+    pub postponed: usize,
+    /// Own recovery tokens not yet acknowledged by every peer.
+    pub pending_tokens: usize,
+    /// Outputs emitted but not yet provably stable.
+    pub pending_outputs: usize,
+    /// Frames this node failed to put on the wire (connect or write
+    /// errors after one reconnect attempt). The protocol tolerates the
+    /// loss, but a happy-path run should report zero — the smoke test
+    /// asserts exactly that.
+    pub frames_dropped: u64,
 }
 
 enum Event {
@@ -93,17 +105,37 @@ fn now_us(start: &Instant) -> u64 {
 // Outbound mesh
 // ---------------------------------------------------------------------
 
-/// Lazily connected outbound TCP connections to every peer.
+/// Lazily connected outbound TCP connections to every peer, with pooled
+/// per-peer frame buffers for batched (coalesced) writes.
 struct Mesh {
     me: ProcessId,
     addrs: Vec<SocketAddr>,
     conns: Vec<Option<TcpStream>>,
+    /// Per-peer pending bytes: whole frames (length prefix and sender id
+    /// inline) queued by [`Mesh::queue`] awaiting [`Mesh::flush`]. The
+    /// buffers are drained in place, so their capacity is reused across
+    /// batches — no per-frame allocation.
+    pending: Vec<Vec<u8>>,
+    /// Number of frames currently queued per peer (for loss accounting).
+    pending_frames: Vec<u32>,
+    /// Frames that never made it onto the wire: connect or write errors
+    /// that survived the one reconnect retry.
+    frames_dropped: u64,
 }
 
 impl Mesh {
     fn new(me: ProcessId, addrs: Vec<SocketAddr>) -> Mesh {
         let conns = addrs.iter().map(|_| None).collect();
-        Mesh { me, addrs, conns }
+        let pending = addrs.iter().map(|_| Vec::new()).collect();
+        let pending_frames = vec![0; addrs.len()];
+        Mesh {
+            me,
+            addrs,
+            conns,
+            pending,
+            pending_frames,
+            frames_dropped: 0,
+        }
     }
 
     fn connect(&mut self, to: ProcessId) -> Option<&mut TcpStream> {
@@ -125,23 +157,100 @@ impl Mesh {
         slot.as_mut()
     }
 
-    /// Send one frame. Connection failures drop the frame — the protocol
+    /// The 6-byte frame header: `[u32 LE frame length][u16 LE sender]`.
+    fn header(&self, wire_len: usize) -> [u8; 6] {
+        let mut header = [0u8; 6];
+        header[..4].copy_from_slice(&((2 + wire_len) as u32).to_le_bytes());
+        header[4..].copy_from_slice(&self.me.0.to_le_bytes());
+        header
+    }
+
+    /// Send one frame immediately, writing the stack-built header and the
+    /// payload with a single vectored write — no frame buffer at all.
+    /// Connection failures drop (and count) the frame — the protocol
     /// tolerates message loss (enable retransmission in the `DgConfig`).
     fn send(&mut self, to: ProcessId, wire_bytes: &[u8]) {
-        let mut frame = Vec::with_capacity(6 + wire_bytes.len());
-        let len = (2 + wire_bytes.len()) as u32;
-        frame.extend_from_slice(&len.to_le_bytes());
-        frame.extend_from_slice(&self.me.0.to_le_bytes());
-        frame.extend_from_slice(wire_bytes);
+        let header = self.header(wire_bytes.len());
         for attempt in 0..2 {
-            let Some(conn) = self.connect(to) else { return };
-            match conn.write_all(&frame) {
+            let Some(conn) = self.connect(to) else { break };
+            match write_frame_vectored(conn, &header, wire_bytes) {
                 Ok(()) => return,
                 Err(_) if attempt == 0 => self.conns[to.index()] = None, // reconnect once
-                Err(_) => return,
+                Err(_) => break,
             }
         }
+        self.frames_dropped += 1;
     }
+
+    /// Queue one frame for `to`; nothing touches the socket until
+    /// [`Mesh::flush`]. Used when one effect batch produces several
+    /// frames for the same peer, which then coalesce into one write.
+    fn queue(&mut self, to: ProcessId, wire_bytes: &[u8]) {
+        let header = self.header(wire_bytes.len());
+        let buf = &mut self.pending[to.index()];
+        buf.extend_from_slice(&header);
+        buf.extend_from_slice(wire_bytes);
+        self.pending_frames[to.index()] += 1;
+    }
+
+    /// Write every peer's queued frames, one `write_all` per peer (the
+    /// frames were laid out contiguously by [`Mesh::queue`]). Buffers
+    /// keep their capacity for the next batch.
+    fn flush(&mut self) {
+        for i in 0..self.pending.len() {
+            if self.pending[i].is_empty() {
+                continue;
+            }
+            let frames = self.pending_frames[i];
+            self.pending_frames[i] = 0;
+            // Take the buffer out so `connect` can borrow `self`.
+            let mut buf = std::mem::take(&mut self.pending[i]);
+            let mut sent = false;
+            for attempt in 0..2 {
+                let Some(conn) = self.connect(ProcessId(i as u16)) else {
+                    break;
+                };
+                match conn.write_all(&buf) {
+                    Ok(()) => {
+                        sent = true;
+                        break;
+                    }
+                    Err(_) if attempt == 0 => self.conns[i] = None, // reconnect once
+                    Err(_) => break,
+                }
+            }
+            if !sent {
+                self.frames_dropped += u64::from(frames);
+            }
+            buf.clear();
+            self.pending[i] = buf;
+        }
+    }
+}
+
+/// Write `header` then `body` as one frame, starting with a vectored
+/// write so the 6-byte length prefix does not cost its own syscall (or a
+/// copy into a joined buffer). Falls back to plain writes to finish any
+/// partially written tail.
+fn write_frame_vectored(
+    conn: &mut TcpStream,
+    header: &[u8; 6],
+    body: &[u8],
+) -> std::io::Result<()> {
+    let total = header.len() + body.len();
+    let mut written = 0usize;
+    while written < total {
+        let n = if written < header.len() {
+            conn.write_vectored(&[IoSlice::new(&header[written..]), IoSlice::new(body)])?
+        } else {
+            conn.write(&body[written - header.len()..])?
+        };
+        if n == 0 {
+            return Err(std::io::ErrorKind::WriteZero.into());
+        }
+        written += n;
+    }
+    Ok(())
 }
 
 // ---------------------------------------------------------------------
@@ -162,7 +271,11 @@ fn acceptor(listener: TcpListener, tx: mpsc::Sender<Event>, stop: Arc<AtomicBool
     }
 }
 
-fn reader(mut stream: TcpStream, tx: &mpsc::Sender<Event>) {
+fn reader(stream: TcpStream, tx: &mpsc::Sender<Event>) {
+    // Frames are two small reads each (length, then body); buffering
+    // turns them into one syscall per kernel batch instead of two per
+    // frame.
+    let mut stream = BufReader::new(stream);
     loop {
         let mut len_buf = [0u8; 4];
         if stream.read_exact(&mut len_buf).is_err() {
@@ -212,6 +325,11 @@ where
     parked: Vec<(ProcessId, Vec<u8>)>,
     activity: u64,
     has_gossip: bool,
+    /// Reused effect buffer: every engine input lands its effects here
+    /// (via `handle_into`), and `run_effects` drains it in place.
+    sink: EffectSink<Wire<A::Msg>, A::Msg>,
+    /// Reused wire-encoding scratch; cleared (capacity kept) per message.
+    wire_scratch: BytesMut,
 }
 
 impl<A: Application> Node<A>
@@ -220,8 +338,7 @@ where
 {
     fn run(mut self, rx: &mpsc::Receiver<Event>) -> Engine<A> {
         let now = now_us(&self.start);
-        let effects = self.engine.handle(Input::Start { now });
-        self.run_effects(effects);
+        self.step(Input::Start { now });
         loop {
             self.pump_due();
             let wait = self.wait_duration();
@@ -260,8 +377,7 @@ where
                 self.restart_at = None;
                 self.down = false;
                 self.activity += 1;
-                let effects = self.engine.handle(Input::Restart { now });
-                self.run_effects(effects);
+                self.step(Input::Restart { now });
                 // Redeliver frames that arrived during the outage, in
                 // arrival order (the simulator parks the same way).
                 let parked = std::mem::take(&mut self.parked);
@@ -276,11 +392,10 @@ where
                 break;
             }
             let t = self.timers.pop().expect("peeked");
-            let effects = self.engine.handle(Input::Tick {
+            self.step(Input::Tick {
                 kind: t.0.kind,
                 now: now_us(&self.start),
             });
-            self.run_effects(effects);
             if self.down {
                 break; // a tick cannot crash us, but stay defensive
             }
@@ -299,8 +414,7 @@ where
             self.activity += 1;
         }
         let now = now_us(&self.start);
-        let effects = self.engine.handle(Input::Deliver { from, wire, now });
-        self.run_effects(effects);
+        self.step(Input::Deliver { from, wire, now });
     }
 
     fn on_crash(&mut self, downtime_us: u64) {
@@ -311,18 +425,46 @@ where
         self.activity += 1;
         self.restart_at = Some(now_us(&self.start) + downtime_us.max(1));
         self.timers.clear(); // crash invalidates pending timers
-        let effects = self.engine.handle(Input::Crash);
-        debug_assert!(effects.is_empty(), "a crashed process acts silently");
+        let mut sink = std::mem::take(&mut self.sink);
+        self.engine.handle_into(Input::Crash, &mut sink);
+        debug_assert!(sink.is_empty(), "a crashed process acts silently");
+        sink.clear();
+        self.sink = sink;
     }
 
-    fn run_effects(&mut self, effects: Vec<Effect<Wire<A::Msg>, A::Msg>>) {
+    /// Feed one input to the engine and execute the resulting effects,
+    /// reusing the node's sink so the handoff allocates nothing.
+    fn step(&mut self, input: Input<Wire<A::Msg>, A::Msg>) {
+        let mut sink = std::mem::take(&mut self.sink);
+        self.engine.handle_into(input, &mut sink);
+        self.run_effects(&mut sink);
+        self.sink = sink;
+    }
+
+    fn run_effects(&mut self, sink: &mut EffectSink<Wire<A::Msg>, A::Msg>) {
         let now = now_us(&self.start);
-        for effect in effects {
+        // One wire-producing effect means at most one frame per peer:
+        // write each immediately with a vectored (header, payload) write.
+        // Several mean a peer may receive multiple frames this batch:
+        // queue them in the mesh's pooled buffers and flush once per
+        // peer, coalescing the frames into a single write.
+        let wire_effects = sink
+            .as_slice()
+            .iter()
+            .filter(|e| matches!(e, Effect::Send { .. } | Effect::Broadcast { .. }))
+            .count();
+        let coalesce = wire_effects > 1;
+        for effect in sink.drain() {
             match effect {
                 Effect::Send { to, wire, .. } => {
                     self.activity += 1;
-                    let bytes = encode_wire(&wire);
-                    self.mesh.send(to, bytes.as_slice());
+                    self.wire_scratch.clear();
+                    encode_wire_into(&wire, &mut self.wire_scratch);
+                    if coalesce {
+                        self.mesh.queue(to, self.wire_scratch.as_slice());
+                    } else {
+                        self.mesh.send(to, self.wire_scratch.as_slice());
+                    }
                 }
                 Effect::Broadcast { wire } => {
                     // Frontier gossip is periodic background traffic; it
@@ -330,10 +472,15 @@ where
                     if !matches!(wire, Wire::Frontier(..)) {
                         self.activity += 1;
                     }
-                    let bytes = encode_wire(&wire);
+                    self.wire_scratch.clear();
+                    encode_wire_into(&wire, &mut self.wire_scratch);
                     for p in ProcessId::all(self.n) {
                         if p != self.mesh.me {
-                            self.mesh.send(p, bytes.as_slice());
+                            if coalesce {
+                                self.mesh.queue(p, self.wire_scratch.as_slice());
+                            } else {
+                                self.mesh.send(p, self.wire_scratch.as_slice());
+                            }
                         }
                     }
                 }
@@ -351,6 +498,9 @@ where
                 Effect::Checkpoint { .. } | Effect::LogWrite { .. } | Effect::Commit { .. } => {}
             }
         }
+        if coalesce {
+            self.mesh.flush();
+        }
     }
 
     fn status(&self) -> NodeStatus {
@@ -364,6 +514,7 @@ where
             } else {
                 0 // no commit machinery configured; nothing will drain
             },
+            frames_dropped: self.mesh.frames_dropped,
         }
     }
 }
@@ -477,6 +628,8 @@ where
                 parked: Vec::new(),
                 activity: 0,
                 has_gossip: config.gossip_interval.is_some(),
+                sink: EffectSink::new(),
+                wire_scratch: BytesMut::new(),
             };
             let join = thread::Builder::new()
                 .name(format!("dg-node-{i}"))
@@ -508,6 +661,13 @@ where
     pub fn crash(&self, p: ProcessId, downtime: Duration) {
         let downtime_us = u64::try_from(downtime.as_micros()).unwrap_or(u64::MAX);
         let _ = self.nodes[p.index()].tx.send(Event::Crash { downtime_us });
+    }
+
+    /// Probe every node for its current [`NodeStatus`] (best effort: a
+    /// node that cannot answer within five seconds reports the default).
+    /// Tests use this to assert `frames_dropped == 0` on happy paths.
+    pub fn statuses(&self) -> Vec<NodeStatus> {
+        self.probe()
     }
 
     fn probe(&self) -> Vec<NodeStatus> {

@@ -43,6 +43,15 @@ fn tcp_cluster_survives_two_crashes_and_matches_simulation() {
         cluster.run_until_quiescent(Duration::from_secs(45)),
         "real-network run failed to quiesce"
     );
+    // Crashes here are process-level (the sockets stay open and frames
+    // park), so the wire itself is lossless: the mesh must not have
+    // dropped a single frame.
+    for (i, status) in cluster.statuses().iter().enumerate() {
+        assert_eq!(
+            status.frames_dropped, 0,
+            "node {i} dropped frames on a lossless network"
+        );
+    }
     let engines = cluster.shutdown();
 
     // The oracle that validates simulated runs validates this one.

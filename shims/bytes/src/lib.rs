@@ -86,6 +86,16 @@ impl BytesMut {
         self.data.is_empty()
     }
 
+    /// The written bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Forget the contents, keeping the allocation for reuse.
+    pub fn clear(&mut self) {
+        self.data.clear();
+    }
+
     /// Finish writing and convert into a read cursor.
     pub fn freeze(self) -> Bytes {
         Bytes {
