@@ -3,15 +3,15 @@
 //! ```text
 //! experiments [all|table1|rollbacks|piggyback|asynchrony|concurrent|
 //!              ordering|overhead|optimism|domino|maxstate|commit|gc|lossy|
-//!              engine|hotpath]
+//!              engine|hotpath|scaling]
 //!             [--quick]
 //! ```
 //!
 //! Exits non-zero if any run violates the consistency oracle.
 //!
 //! Built with `--features bench-alloc`, the binary installs a counting
-//! global allocator and the `hotpath` experiment reports allocations
-//! per engine input (otherwise that column reads `n/a`).
+//! global allocator and the `hotpath`/`scaling` experiments report
+//! allocations per engine input (otherwise that column reads `n/a`).
 
 use dg_bench::*;
 
@@ -162,6 +162,14 @@ fn main() {
         show(&t);
         std::fs::write("BENCH_hotpath.json", json).expect("write BENCH_hotpath.json");
         println!("wrote BENCH_hotpath.json");
+        println!();
+    }
+    if run("scaling") {
+        println!("== E15: scaling with n (replay, live drivers, allocations) ==\n");
+        let (t, json) = scaling(quick, ALLOC_COUNTER);
+        show(&t);
+        std::fs::write("BENCH_scaling.json", json).expect("write BENCH_scaling.json");
+        println!("wrote BENCH_scaling.json");
         println!();
     }
     let mut violations = 0u64;

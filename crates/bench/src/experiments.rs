@@ -793,10 +793,24 @@ pub fn lossy(n: usize, seeds: u64) -> (TextTable, u64) {
 // ---------------------------------------------------------------------
 
 /// Per-process `Input` traces of an `n`-process mesh-chatter run with
-/// one crash/restart, recorded under a minimal deterministic FIFO
-/// router with logical time. E13 and E14 replay these traces into
-/// fresh engines to measure raw dispatch throughput.
-fn record_mesh_trace(
+/// one crash/restart, recorded under a minimal deterministic router
+/// with logical time. E13, E14 and E15 replay these traces into fresh
+/// engines to measure raw dispatch throughput.
+///
+/// Model: every process has its own FIFO inbox; each 30 µs step, every
+/// live process first fires its due maintenance timers and then handles
+/// one inbox message — n processes make progress concurrently, as they
+/// would on real hardware. The recorder used to drain one *global* FIFO
+/// one message per step and fire timers only when that queue was empty;
+/// at n ≥ 32 the mesh keeps more live TTL chains than the trace is
+/// long, the queue never drained, and the trace contained a single tick
+/// — no flushes, no GC, logs growing without bound — so large-n replays
+/// measured allocator traffic instead of steady-state protocol work.
+///
+/// The trace is cut at ~50k total inputs at every n (so per-n rows are
+/// comparable in size); the crash lands at ~2k inputs and the restart
+/// at ~2.4k, mirroring the old step-indexed fault points.
+pub fn record_mesh_trace(
     n: usize,
     chat: &MeshChatter,
     config: DgConfig,
@@ -808,32 +822,38 @@ fn record_mesh_trace(
     use dg_core::Wire;
 
     type In = Input<Wire<ChatMsg>, ChatMsg>;
+    const CAP_INPUTS: usize = 50_000;
+    const CRASH_AT: usize = 2_000;
+    const RESTART_AT: usize = 2_400;
+
     let mut engines: Vec<Engine<MeshChatter>> = (0..n)
         .map(|p| Engine::new(ProcessId(p as u16), n, chat.clone(), config))
         .collect();
     let mut traces: Vec<Vec<In>> = vec![Vec::new(); n];
-    let mut net: VecDeque<(ProcessId, ProcessId, Wire<ChatMsg>)> = VecDeque::new();
+    let mut inboxes: Vec<VecDeque<(ProcessId, Wire<ChatMsg>)>> = vec![VecDeque::new(); n];
     let mut timers: Vec<Vec<(u64, u32)>> = vec![Vec::new(); n];
     let mut now = 0u64;
     let mut down = vec![false; n];
-    let mut parked: Vec<Vec<(ProcessId, Wire<ChatMsg>)>> = vec![Vec::new(); n];
+    let mut total = 0usize;
 
     let feed = |engines: &mut Vec<Engine<MeshChatter>>,
                 traces: &mut Vec<Vec<In>>,
                 timers: &mut Vec<Vec<(u64, u32)>>,
-                net: &mut VecDeque<(ProcessId, ProcessId, Wire<ChatMsg>)>,
+                inboxes: &mut Vec<VecDeque<(ProcessId, Wire<ChatMsg>)>>,
+                total: &mut usize,
                 now: u64,
                 p: ProcessId,
                 input: In| {
         let effects = engines[p.index()].handle(input.clone());
         traces[p.index()].push(input);
+        *total += 1;
         for eff in effects {
             match eff {
-                Effect::Send { to, wire, .. } => net.push_back((to, p, wire)),
+                Effect::Send { to, wire, .. } => inboxes[to.index()].push_back((p, wire)),
                 Effect::Broadcast { wire, .. } => {
                     for q in ProcessId::all(engines.len()) {
                         if q != p {
-                            net.push_back((q, p, wire.clone()));
+                            inboxes[q.index()].push_back((p, wire.clone()));
                         }
                     }
                 }
@@ -850,98 +870,98 @@ fn record_mesh_trace(
             &mut engines,
             &mut traces,
             &mut timers,
-            &mut net,
+            &mut inboxes,
+            &mut total,
             now,
             p,
             Input::Start { now },
         );
     }
-    let mut steps = 0u64;
-    loop {
-        steps += 1;
+    let mut crashed = false;
+    let mut restarted = false;
+    while total < CAP_INPUTS {
         now += 30;
-        if steps == 2_000 {
+        if !crashed && total >= CRASH_AT {
+            crashed = true;
             down[1] = true;
             timers[1].clear();
             feed(
                 &mut engines,
                 &mut traces,
                 &mut timers,
-                &mut net,
+                &mut inboxes,
+                &mut total,
                 now,
                 ProcessId(1),
                 Input::Crash,
             );
             continue;
         }
-        if steps == 2_400 {
+        if crashed && !restarted && total >= RESTART_AT {
+            restarted = true;
             down[1] = false;
             feed(
                 &mut engines,
                 &mut traces,
                 &mut timers,
-                &mut net,
+                &mut inboxes,
+                &mut total,
                 now,
                 ProcessId(1),
                 Input::Restart { now },
             );
-            for (from, wire) in std::mem::take(&mut parked[1]) {
-                now += 1;
-                feed(
-                    &mut engines,
-                    &mut traces,
-                    &mut timers,
-                    &mut net,
-                    now,
-                    ProcessId(1),
-                    Input::Deliver { from, wire, now },
-                );
-            }
+            // Messages that arrived while P1 was down sit in its inbox
+            // and drain naturally over the following steps.
             continue;
         }
-        if let Some((to, from, wire)) = net.pop_front() {
-            if down[to.index()] {
-                parked[to.index()].push((from, wire));
-            } else {
-                feed(
-                    &mut engines,
-                    &mut traces,
-                    &mut timers,
-                    &mut net,
-                    now,
-                    to,
-                    Input::Deliver { from, wire, now },
-                );
+        let mut progressed = false;
+        for p in 0..n {
+            if down[p] {
+                continue;
             }
-            continue;
-        }
-        // Network drained: fire the earliest pending timer.
-        let due = (0..n)
-            .filter(|&i| !down[i])
-            .flat_map(|i| timers[i].iter().enumerate().map(move |(s, t)| (i, s, t.0)))
-            .min_by_key(|&(_, _, d)| d)
-            .map(|(i, s, _)| (i, s));
-        match due {
-            Some((idx, slot)) => {
-                let (at, kind) = timers[idx].remove(slot);
-                now = now.max(at);
+            // Maintenance first: every timer due by now fires before the
+            // next message, so flush/checkpoint/gossip interleave with a
+            // busy network instead of starving behind it.
+            while let Some(slot) = timers[p].iter().position(|&(at, _)| at <= now) {
+                let (at, kind) = timers[p].remove(slot);
+                progressed = true;
                 feed(
                     &mut engines,
                     &mut traces,
                     &mut timers,
-                    &mut net,
-                    now,
-                    ProcessId(idx as u16),
+                    &mut inboxes,
+                    &mut total,
+                    at.max(now),
+                    ProcessId(p as u16),
                     Input::Tick { kind, now },
                 );
             }
-            None => break,
+            if let Some((from, wire)) = inboxes[p].pop_front() {
+                progressed = true;
+                feed(
+                    &mut engines,
+                    &mut traces,
+                    &mut timers,
+                    &mut inboxes,
+                    &mut total,
+                    now,
+                    ProcessId(p as u16),
+                    Input::Deliver { from, wire, now },
+                );
+            }
         }
-        if steps >= 50_000 {
-            // The app workload is TTL-bounded but maintenance timers
-            // (flush/checkpoint/gossip) re-arm forever; cut the trace
-            // once it holds a healthy mix of both kinds of traffic.
-            break;
+        if !progressed {
+            // Idle step: jump logical time to the next timer deadline
+            // (timers re-arm forever, so this terminates only via the
+            // input cap — or immediately if everything is down).
+            match (0..n)
+                .filter(|&i| !down[i])
+                .flat_map(|i| timers[i].iter().map(|&(at, _)| at))
+                .min()
+            {
+                Some(at) => now = now.max(at),
+                None => break,
+            }
         }
     }
     traces
@@ -1075,8 +1095,13 @@ pub const E13_BASELINE_INPUTS_PER_SEC: f64 = 3_331_001.0;
 ///   mesh-chatter trace into fresh engines), but dispatched through
 ///   [`ProtocolEngine::handle_into`] with one reused
 ///   [`dg_core::EffectSink`] instead of per-call `handle` vectors. The
-///   speedup column compares the `n = 4` unit against the recorded E13
-///   baseline ([`E13_BASELINE_INPUTS_PER_SEC`]).
+///   speedup column compares each row against a **per-n baseline**
+///   measured in the same run: the identical trace replayed through the
+///   allocating [`ProtocolEngine::handle`] dispatch (E13's unit). The
+///   historical `n = 4` E13 figure stays in the JSON header for
+///   continuity, but per-row speedups no longer compare an `n = 32`
+///   replay against an `n = 4` baseline — that read as a regression
+///   that was really just a bigger system.
 /// * **clock bytes/message, full vs delta** — the piggybacked FTVC
 ///   under the v1 full encoding vs the v2 delta framing, sampled on a
 ///   stable sender→receiver pair (the receiver's floor is the last
@@ -1132,7 +1157,8 @@ pub fn hotpath(quick: bool, alloc_counter: Option<fn() -> u64>) -> (TextTable, S
     let mut t = TextTable::new(vec![
         "n",
         "inputs/sec",
-        "speedup vs E13",
+        "baseline(n)",
+        "speedup",
         "clock B/msg full",
         "clock B/msg delta",
         "allocs/input",
@@ -1140,15 +1166,20 @@ pub fn hotpath(quick: bool, alloc_counter: Option<fn() -> u64>) -> (TextTable, S
     let mut rows_json = Vec::new();
 
     for &n in &[4usize, 8, 16, 32] {
-        // --- Throughput: E13's trace replay, through `handle_into`. --
+        // --- Throughput: E13's trace replay, through `handle_into`,
+        //     against a same-run per-n `handle()` baseline. ----------
         let traces = record_mesh_trace(n, &chat, trace_config);
         let trace_inputs: u64 = traces.iter().map(|tr| tr.len() as u64).sum();
         let mut sink: EffectSink<Wire<dg_apps::ChatMsg>, dg_apps::ChatMsg> = EffectSink::new();
-        let t0 = Instant::now();
+        // Each repeat is timed on its own and the fastest wins: the
+        // shared-box noise this suppresses is far larger than the
+        // per-dispatch deltas the experiment exists to resolve.
+        let mut elapsed = std::time::Duration::MAX;
         for _ in 0..repeats {
             let mut fresh: Vec<Engine<MeshChatter>> = (0..n)
                 .map(|p| Engine::new(ProcessId(p as u16), n, chat.clone(), trace_config))
                 .collect();
+            let t0 = Instant::now();
             for (i, trace) in traces.iter().enumerate() {
                 for input in trace {
                     fresh[i].handle_into(input.clone(), &mut sink);
@@ -1156,11 +1187,26 @@ pub fn hotpath(quick: bool, alloc_counter: Option<fn() -> u64>) -> (TextTable, S
                     sink.clear();
                 }
             }
+            elapsed = elapsed.min(t0.elapsed());
         }
-        let elapsed = t0.elapsed();
-        let inputs = trace_inputs * u64::from(repeats);
+        let inputs = trace_inputs;
         let rate = inputs as f64 / elapsed.as_secs_f64();
-        let speedup = rate / E13_BASELINE_INPUTS_PER_SEC;
+
+        let mut base_elapsed = std::time::Duration::MAX;
+        for _ in 0..repeats {
+            let mut fresh: Vec<Engine<MeshChatter>> = (0..n)
+                .map(|p| Engine::new(ProcessId(p as u16), n, chat.clone(), trace_config))
+                .collect();
+            let t0 = Instant::now();
+            for (i, trace) in traces.iter().enumerate() {
+                for input in trace {
+                    std::hint::black_box(fresh[i].handle(input.clone()));
+                }
+            }
+            base_elapsed = base_elapsed.min(t0.elapsed());
+        }
+        let base_rate = inputs as f64 / base_elapsed.as_secs_f64();
+        let speedup = rate / base_rate;
 
         // --- Ring-relay engines for the wire and allocation probes. --
         let config = DgConfig::fast_test();
@@ -1245,6 +1291,7 @@ pub fn hotpath(quick: bool, alloc_counter: Option<fn() -> u64>) -> (TextTable, S
         t.row(vec![
             n.to_string(),
             format!("{rate:.0}"),
+            format!("{base_rate:.0}"),
             format!("{speedup:.2}"),
             format!("{full_per_msg:.1}"),
             format!("{delta_per_msg:.1}"),
@@ -1252,7 +1299,8 @@ pub fn hotpath(quick: bool, alloc_counter: Option<fn() -> u64>) -> (TextTable, S
         ]);
         rows_json.push(format!(
             "    {{ \"n\": {n}, \"inputs\": {inputs}, \"elapsed_us\": {}, \
-             \"inputs_per_sec\": {rate:.0}, \"speedup_vs_e13\": {speedup:.3}, \
+             \"inputs_per_sec\": {rate:.0}, \"baseline_inputs_per_sec\": {base_rate:.0}, \
+             \"speedup_vs_e13\": {speedup:.3}, \
              \"clock_bytes_full\": {full_per_msg:.2}, \"clock_bytes_delta\": {delta_per_msg:.2}, \
              \"allocs_per_input\": {} }}",
             elapsed.as_micros(),
@@ -1265,6 +1313,265 @@ pub fn hotpath(quick: bool, alloc_counter: Option<fn() -> u64>) -> (TextTable, S
          \"baseline_inputs_per_sec\": {E13_BASELINE_INPUTS_PER_SEC:.0},\n  \
          \"target_speedup\": 1.5,\n  \"alloc_counter\": {},\n  \"rows\": [\n{}\n  ]\n}}\n",
         alloc_counter.is_some(),
+        rows_json.join(",\n"),
+    );
+    (t, json)
+}
+
+// ---------------------------------------------------------------------
+// E15 — scaling with n (per-n baselines, live drivers, allocations)
+// ---------------------------------------------------------------------
+
+/// The aggregate `n = 32` replay figure published in PR 4's
+/// `BENCH_hotpath.json`. Kept for continuity, but not directly
+/// comparable to rows produced since: that number was measured on
+/// traces from the old single-global-FIFO recorder (see
+/// [`record_mesh_trace`]), whose large-`n` traces starved every timer
+/// and measured allocator churn on unbounded logs instead of
+/// steady-state protocol work.
+pub const PR4_N32_INPUTS_PER_SEC: f64 = 365_800.0;
+
+/// Steady-state heap allocations per ring-relay delivery — the E14
+/// probe as a standalone helper: warm a ring of `Relay` engines until
+/// every clock/log structure has reached steady state, then take the
+/// minimum allocation count over fixed-size batches so amortized
+/// container growth cannot mask a true per-delivery allocation.
+fn relay_allocs_per_input(n: usize, alloc_counter: Option<fn() -> u64>) -> Option<f64> {
+    use dg_apps::Relay;
+    use dg_core::engine::{Effect, Engine, Input, ProtocolEngine};
+    use dg_core::{EffectSink, Wire};
+
+    let count = alloc_counter?;
+    type Sink = EffectSink<Wire<u64>, u64>;
+    fn hop(
+        engines: &mut [Engine<Relay>],
+        sink: &mut Sink,
+        (to, from, wire): (ProcessId, ProcessId, Wire<u64>),
+        now: u64,
+    ) -> (ProcessId, ProcessId, Wire<u64>) {
+        engines[to.index()].handle_into(Input::Deliver { from, wire, now }, sink);
+        let mut next = None;
+        for eff in sink.drain() {
+            if let Effect::Send { to: nt, wire, .. } = eff {
+                next = Some((nt, to, wire));
+            }
+        }
+        next.expect("relay always forwards")
+    }
+
+    let config = DgConfig::fast_test();
+    let mut engines: Vec<Engine<Relay>> = (0..n)
+        .map(|p| Engine::new(ProcessId(p as u16), n, Relay::new(u64::MAX), config))
+        .collect();
+    let mut sink: Sink = EffectSink::new();
+    let mut token = None;
+    for (p, engine) in engines.iter_mut().enumerate() {
+        engine.handle_into(Input::Start { now: 0 }, &mut sink);
+        for eff in sink.drain() {
+            if let Effect::Send { to, wire, .. } = eff {
+                token = Some((to, ProcessId(p as u16), wire));
+            }
+        }
+    }
+    let mut token = token.expect("P0 seeds the token");
+    let mut now = 1u64;
+    for _ in 0..2_000 {
+        token = hop(&mut engines, &mut sink, token, now);
+        now += 1;
+    }
+
+    const BATCHES: u64 = 64;
+    const PER_BATCH: u64 = 256;
+    let mut min_allocs = u64::MAX;
+    for _ in 0..BATCHES {
+        let before = count();
+        for _ in 0..PER_BATCH {
+            token = hop(&mut engines, &mut sink, token, now);
+            now += 1;
+        }
+        min_allocs = min_allocs.min(count() - before);
+    }
+    Some(min_allocs as f64 / PER_BATCH as f64)
+}
+
+/// E15 — how the engine and its runtimes scale with system size, per
+/// `n` in {4, 8, 16, 32, 64}:
+///
+/// * **replay** — the E13/E14 mesh-chatter trace replayed through
+///   [`ProtocolEngine::handle_into`], against a same-run per-n
+///   baseline through the allocating `handle` dispatch. Per-n
+///   baselines isolate dispatch overhead from system size (an `n = 64`
+///   system does more protocol work per input than an `n = 4` one; a
+///   single small-n baseline would book that as a slowdown).
+/// * **live drivers** — the same workload with one crash/restart run
+///   end-to-end as `DgProcess` actors under the deterministic sharded
+///   driver ([`dg_simnet::parallel`]), once with a single worker
+///   (sequential) and once with one worker per core. The unit is
+///   aggregate engine inputs/s; the schedule is worker-count
+///   invariant, so both runs dispatch identical input sets. The JSON
+///   records `cores`: on a single-core host the parallel driver can
+///   only show its coordination overhead, not its sharding headroom.
+/// * **allocs/input** — the E14 ring-relay probe (min over batches);
+///   the pooled spill path must keep this at 0.0 for every measured
+///   `n`, including the spilled representations at `n > 8`.
+///
+/// Returns the table and a JSON record for `BENCH_scaling.json`.
+pub fn scaling(quick: bool, alloc_counter: Option<fn() -> u64>) -> (TextTable, String) {
+    use std::time::Instant;
+
+    use dg_core::engine::{Engine, ProtocolEngine};
+    use dg_core::{DgProcess, EffectSink, Wire};
+    use dg_simnet::parallel::{run_parallel, ParallelConfig, ParallelCrash};
+
+    let repeats = if quick { 2u32 } else { 8 };
+    let cores = std::thread::available_parallelism().map_or(1, |c| c.get());
+    let chat = MeshChatter::new(4, 400, 97);
+    let config = DgConfig::fast_test()
+        .with_retransmit(true)
+        .with_gossip(8_000)
+        .with_gc(true)
+        .with_history_gc(true)
+        .with_reliable_tokens(true);
+
+    // One live mesh-chatter run (crash at t=2ms, restart 2.5ms later)
+    // under the sharded driver; aggregate engine inputs + wall seconds.
+    let live = |n: usize, workers: usize| -> (u64, f64) {
+        let actors: Vec<DgProcess<MeshChatter>> = (0..n)
+            .map(|p| DgProcess::new(ProcessId(p as u16), n, chat.clone(), config))
+            .collect();
+        let parallel = ParallelConfig {
+            workers,
+            step: 30,
+            seed: 11,
+            crashes: vec![ParallelCrash {
+                process: ProcessId(1),
+                at: 2_000,
+                downtime: 2_500,
+            }],
+            ..ParallelConfig::default()
+        };
+        let t0 = Instant::now();
+        let (out, stats) = run_parallel(actors, &parallel);
+        let secs = t0.elapsed().as_secs_f64();
+        assert!(stats.quiescent, "E15 live run failed to drain (n = {n})");
+        (out.iter().map(|a| a.stats().inputs).sum(), secs)
+    };
+
+    let mut t = TextTable::new(vec![
+        "n",
+        "replay/sec",
+        "baseline(n)",
+        "speedup",
+        "seq driver/sec",
+        "par driver/sec",
+        "allocs/input",
+    ]);
+    let mut rows_json = Vec::new();
+    let mut n32_replay = f64::NAN;
+
+    for &n in &[4usize, 8, 16, 32, 64] {
+        // --- Replay: handle_into vs same-run handle baseline. --------
+        let traces = record_mesh_trace(n, &chat, config);
+        let trace_inputs: u64 = traces.iter().map(|tr| tr.len() as u64).sum();
+        let mut sink: EffectSink<Wire<dg_apps::ChatMsg>, dg_apps::ChatMsg> = EffectSink::new();
+        // Best-of-repeats, as in E14: single-run timings on a shared
+        // box carry more noise than the effects under measurement.
+        let mut elapsed = std::time::Duration::MAX;
+        for _ in 0..repeats {
+            let mut fresh: Vec<Engine<MeshChatter>> = (0..n)
+                .map(|p| Engine::new(ProcessId(p as u16), n, chat.clone(), config))
+                .collect();
+            let t0 = Instant::now();
+            for (i, trace) in traces.iter().enumerate() {
+                for input in trace {
+                    fresh[i].handle_into(input.clone(), &mut sink);
+                    std::hint::black_box(sink.as_slice());
+                    sink.clear();
+                }
+            }
+            elapsed = elapsed.min(t0.elapsed());
+        }
+        let rate = trace_inputs as f64 / elapsed.as_secs_f64();
+
+        let mut base_elapsed = std::time::Duration::MAX;
+        for _ in 0..repeats {
+            let mut fresh: Vec<Engine<MeshChatter>> = (0..n)
+                .map(|p| Engine::new(ProcessId(p as u16), n, chat.clone(), config))
+                .collect();
+            let t0 = Instant::now();
+            for (i, trace) in traces.iter().enumerate() {
+                for input in trace {
+                    std::hint::black_box(fresh[i].handle(input.clone()));
+                }
+            }
+            base_elapsed = base_elapsed.min(t0.elapsed());
+        }
+        let base_rate = trace_inputs as f64 / base_elapsed.as_secs_f64();
+        let speedup = rate / base_rate;
+        if n == 32 {
+            n32_replay = rate;
+        }
+
+        // --- Live drivers: sequential vs one worker per core, each
+        //     best of two runs (the first run pays cold pools and page
+        //     faults that have nothing to do with the driver). --------
+        let (seq_inputs, seq_secs) = {
+            let (i1, s1) = live(n, 1);
+            let (i2, s2) = live(n, 1);
+            assert_eq!(i1, i2, "driver runs must be deterministic (n = {n})");
+            (i1, s1.min(s2))
+        };
+        let (par_inputs, par_secs) = {
+            let (i1, s1) = live(n, cores);
+            let (i2, s2) = live(n, cores);
+            assert_eq!(i1, i2, "driver runs must be deterministic (n = {n})");
+            (i1, s1.min(s2))
+        };
+        assert_eq!(
+            seq_inputs, par_inputs,
+            "sharded driver schedule must be worker-count invariant (n = {n})"
+        );
+        let seq_rate = seq_inputs as f64 / seq_secs;
+        let par_rate = par_inputs as f64 / par_secs;
+
+        // --- Allocations per steady-state delivery. ------------------
+        let allocs_per_input = relay_allocs_per_input(n, alloc_counter);
+
+        t.row(vec![
+            n.to_string(),
+            format!("{rate:.0}"),
+            format!("{base_rate:.0}"),
+            format!("{speedup:.2}"),
+            format!("{seq_rate:.0}"),
+            format!("{par_rate:.0}"),
+            allocs_per_input.map_or("n/a".to_string(), |a| format!("{a:.3}")),
+        ]);
+        rows_json.push(format!(
+            "    {{ \"n\": {n}, \"trace_inputs\": {trace_inputs}, \
+             \"inputs_per_sec\": {rate:.0}, \"baseline_inputs_per_sec\": {base_rate:.0}, \
+             \"replay_speedup\": {speedup:.3}, \
+             \"seq_driver_inputs\": {seq_inputs}, \"seq_driver_inputs_per_sec\": {seq_rate:.0}, \
+             \"par_driver_inputs_per_sec\": {par_rate:.0}, \
+             \"driver_speedup\": {:.3}, \"allocs_per_input\": {} }}",
+            par_rate / seq_rate,
+            allocs_per_input.map_or("null".to_string(), |a| format!("{a:.4}")),
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"experiment\": \"E15_scaling\",\n  \"quick\": {quick},\n  \"cores\": {cores},\n  \
+         \"alloc_counter\": {},\n  \
+         \"pr4_n32_inputs_per_sec\": {PR4_N32_INPUTS_PER_SEC:.0},\n  \
+         \"speedup_vs_pr4_at_n32\": {:.3},\n  \"target_speedup_at_n32\": 4.0,\n  \
+         \"note\": \"PR 4's n=32 figure came from the old trace recorder, whose timer-starvation \
+         bug made large-n traces measure allocator churn on unbounded logs; the recorder was \
+         fixed alongside this experiment, so speedup_vs_pr4_at_n32 compares methodology as well \
+         as code. Driver rows: the schedule is worker-count invariant, so seq and par dispatch \
+         identical inputs; with cores=1 the par row shows coordination overhead only, and the \
+         sharding headroom on an m-core host is bounded by m times the seq row.\",\n  \
+         \"rows\": [\n{}\n  ]\n}}\n",
+        alloc_counter.is_some(),
+        n32_replay / PR4_N32_INPUTS_PER_SEC,
         rows_json.join(",\n"),
     );
     (t, json)

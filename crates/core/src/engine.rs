@@ -502,6 +502,21 @@ pub struct Engine<A: Application> {
 
     stats: ProcessStats,
 
+    /// Per-sender Δ floors: the last clock from each clock owner that
+    /// was merged in full (clock, history, obsolete and deliverability
+    /// tests). A fresh arrival from that owner is diffed against its
+    /// floor and only the components that moved — O(Δ), typically 1–2
+    /// regardless of n — need the per-component machinery. `None` means
+    /// the next arrival takes the full O(n) path and re-establishes the
+    /// floor. Purely a cache: every invalidation site
+    /// ([`Engine::invalidate_recv_floors`]) marks a point where clock or
+    /// history state can regress, so correctness never depends on a
+    /// floor being present.
+    recv_floors: Vec<Option<Ftvc>>,
+    /// Scratch for the dirty component indices of the current arrival;
+    /// empty between inputs, capacity retained.
+    dirty_scratch: Vec<u16>,
+
     /// Effects accumulated during the current `handle` call; always
     /// drained before `handle` returns.
     effects: Vec<Effect<Wire<A::Msg>, A::Msg>>,
@@ -543,6 +558,8 @@ impl<A: Application> Engine<A> {
             log: EventLog::new(),
             pending_tokens: Vec::new(),
             stats: ProcessStats::default(),
+            recv_floors: vec![None; n],
+            dirty_scratch: Vec::new(),
             effects: Vec::new(),
             postponed_scratch: Vec::new(),
             app_effects: Effects::none(),
@@ -694,11 +711,60 @@ impl<A: Application> Engine<A> {
         // past deliveries. The id digests the full clock, so compute it
         // once per arrival and thread it through to delivery.
         let id = env.id();
-        if self.received_ids.contains(&id) || self.postponed.iter().any(|p| p.id() == id) {
+        let dup = self.received_ids.contains(&id) || self.postponed.iter().any(|p| p.id() == id);
+        if dup {
             self.stats.duplicates_dropped += 1;
             return;
         }
-        // Obsolete test (Lemma 4).
+        // Δ fast path: diff against the sender's floor (the last clock
+        // from it merged in full) and run the obsolete and deliverability
+        // tests only on the components that moved since. Between floor
+        // establishment and now, token records and frontiers can only
+        // have grown monotonically (every regression point invalidates
+        // the floors), so an unchanged component that passed both tests
+        // then still passes them now.
+        let sender = env.sender();
+        if let Some(floor) = self.recv_floors[sender.index()].as_ref() {
+            // One fused read-only scan: collect the dirty components and
+            // run the obsolete (Lemma 4) and deliverability (Section
+            // 6.1) tests on each as it is found. An obsolete component
+            // discards immediately (the full-scan path discards whether
+            // or not the message is also blocked); a blocked component
+            // only sets a flag, because a later component may still
+            // prove the message obsolete.
+            let theirs = env.clock.entries();
+            let base = floor.entries();
+            self.dirty_scratch.clear();
+            let mut blocked = false;
+            for (i, (&e, &f)) in theirs.iter().zip(base).enumerate() {
+                if e == f {
+                    continue;
+                }
+                let j = ProcessId(i as u16);
+                if self.history.entry_is_obsolete(j, e) {
+                    self.stats.obsolete_discarded += 1;
+                    return;
+                }
+                if !blocked {
+                    let covered = if j == self.me {
+                        e.version <= self.clock.version()
+                    } else {
+                        e.version <= self.history.token_frontier(j)
+                    };
+                    blocked = !covered;
+                }
+                self.dirty_scratch.push(i as u16);
+            }
+            if blocked {
+                self.stats.postponed += 1;
+                self.postponed.push(env);
+                return;
+            }
+            self.deliver_delta(env, id);
+            return;
+        }
+        // Full O(n) path: no floor for this sender yet (first contact, or
+        // invalidated by recovery/GC). Obsolete test (Lemma 4).
         if self.history.message_is_obsolete(&env.clock) {
             self.stats.obsolete_discarded += 1;
             return;
@@ -728,15 +794,63 @@ impl<A: Application> Engine<A> {
     /// application, emit its effects.
     fn deliver(&mut self, env: Envelope<A::Msg>, id: MsgId) {
         debug_assert_eq!(id, env.id(), "delivery id must match the envelope");
-        self.log.append_volatile(LogEvent::Message(env.clone()));
         self.received_ids.insert(id);
         self.history.observe_clock(&env.clock);
         self.clock.observe(&env.clock);
+        self.finish_delivery(env);
+    }
+
+    /// Deliver a message whose dirty components (vs. the sender's floor)
+    /// are in `dirty_scratch`: identical outcome to [`Engine::deliver`],
+    /// touching only O(Δ) clock and history entries. The unchanged
+    /// components satisfy `incoming[i] == floor[i] <= clock[i]` and are
+    /// already recorded in history at ≥ their timestamps (the floor was
+    /// merged in full), so skipping them skips only no-ops.
+    fn deliver_delta(&mut self, env: Envelope<A::Msg>, id: MsgId) {
+        debug_assert_eq!(id, env.id(), "delivery id must match the envelope");
+        self.received_ids.insert(id);
+        self.history
+            .observe_entries(&env.clock, &self.dirty_scratch);
+        self.clock.observe_at(&env.clock, &self.dirty_scratch);
+        self.finish_delivery(env);
+    }
+
+    /// Common tail of the two delivery paths: refresh the sender's Δ
+    /// floor (the envelope's clock is now merged in full), log the
+    /// envelope **by move** (no clone — the application reads its
+    /// payload back out of the log slot), then run the application and
+    /// emit its effects.
+    fn finish_delivery(&mut self, env: Envelope<A::Msg>) {
+        let sender = env.sender();
+        let slot = &mut self.recv_floors[sender.index()];
+        if let Some(floor) = slot.as_mut() {
+            floor.clone_from(&env.clock);
+        } else {
+            *slot = Some(env.clock.clone());
+        }
         self.stats.messages_delivered += 1;
-        let from = env.sender();
-        let mut effects = self.app_on_message(from, &env.payload);
-        self.emit_effects(&mut effects);
-        self.app_effects = effects;
+        let mut eff = std::mem::take(&mut self.app_effects);
+        debug_assert!(eff.is_empty(), "app effect scratch leaked");
+        self.log.append_volatile(LogEvent::Message(env));
+        if let Some(LogEvent::Message(env)) = self.log.last() {
+            self.app
+                .on_message_into(self.me, sender, &env.payload, self.n, &mut eff);
+        } else {
+            unreachable!("the envelope was just appended");
+        }
+        self.emit_effects(&mut eff);
+        self.app_effects = eff;
+    }
+
+    /// Drop every per-sender Δ floor. Called wherever the monotonicity
+    /// the floors rely on breaks: a new token record (flips obsolete
+    /// outcomes), rollback/restart (clock and history regress), crash
+    /// (volatile state dies), and history GC (reclaims the records that
+    /// made unchanged components skippable).
+    fn invalidate_recv_floors(&mut self) {
+        for floor in &mut self.recv_floors {
+            *floor = None;
+        }
     }
 
     /// Run the application's message handler into the engine's reusable
@@ -820,6 +934,10 @@ impl<A: Application> Engine<A> {
             self.deliver_postponed();
             return;
         }
+        // A new token record can flip the obsolete test for components
+        // the Δ floors marked as settled; a rollback regresses clock and
+        // history outright. Either way the floors are stale now.
+        self.invalidate_recv_floors();
         // Orphan test (Lemma 3) — roll back *before* recording the token,
         // so the rollback's checkpoint search sees the pre-token history.
         let suffix = if self.history.orphaned_by(token.from, token.entry) {
@@ -1206,6 +1324,7 @@ impl<A: Application> Engine<A> {
     /// unlike a checkpoint — is never superseded by a newer one, so
     /// reclaiming a record it needs would block its commit forever.
     fn gc_history(&mut self) {
+        let mut reclaimed = 0usize;
         for j in ProcessId::all(self.n) {
             let mut bound = self.frontiers[j.index()]
                 .version
@@ -1219,7 +1338,14 @@ impl<A: Application> Engine<A> {
                 bound = bound.min(v);
             }
             let gced = self.history.gc_versions_below(j, bound);
+            reclaimed += gced;
             self.stats.gc_history_records += gced as u64;
+        }
+        if reclaimed > 0 {
+            // Reclaimed records are exactly the ones the Δ floors lean on
+            // for skipping unchanged components; drop the floors so the
+            // next arrival per sender re-records through the full path.
+            self.invalidate_recv_floors();
         }
     }
 
@@ -1329,6 +1455,7 @@ impl<A: Application> Engine<A> {
         self.stats.log_entries_lost += self.log.crash() as u64;
         self.stats.postponed_lost += self.postponed.len() as u64;
         self.postponed.clear();
+        self.invalidate_recv_floors();
         self.received_ids.clear();
         self.outputs.crash();
         self.send_log.clear();
@@ -1350,6 +1477,7 @@ impl<A: Application> Engine<A> {
             .latest_intact()
             .map(|(id, c)| (id, c.clone()))
             .expect("a process always has an intact checkpoint");
+        self.invalidate_recv_floors();
         self.app = ckpt.app;
         self.clock = ckpt.clock;
         self.history = ckpt.history;

@@ -190,6 +190,27 @@ impl History {
         }
     }
 
+    /// Record only the listed components of an incoming message's clock
+    /// — the O(Δ) counterpart of [`History::observe_clock`].
+    ///
+    /// Sound only when every component **not** listed in `dirty` is
+    /// already recorded at a timestamp ≥ its value, i.e. the
+    /// [`History::record_message_entry`] call would be a no-op there.
+    /// The engine guarantees this by diffing the clock against a
+    /// per-sender floor it has already observed in full, and by
+    /// invalidating those floors whenever history records can regress
+    /// or be reclaimed (rollback, restart, history GC).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index in `dirty` is out of range.
+    pub fn observe_entries(&mut self, clock: &Ftvc, dirty: &[u16]) {
+        let entries = clock.entries();
+        for &i in dirty {
+            self.record_message_entry(ProcessId(i), entries[i as usize]);
+        }
+    }
+
     /// Record a token `(v, t)` from process `j` (Figure 3, *Receive
     /// token*). Replaces any message record for that version.
     pub fn record_token(&mut self, j: ProcessId, entry: Entry) {
@@ -219,12 +240,23 @@ impl History {
     /// `(v, ts)` of `clock` exceeds a token record `(token, v, t)` with
     /// `t < ts`.
     pub fn message_is_obsolete(&self, clock: &Ftvc) -> bool {
-        clock.iter().any(|(j, entry)| {
-            matches!(
-                self.tables[j.index()].get(entry.version),
-                Some(HistoryRecord { kind: RecordKind::Token, ts }) if ts < entry.ts
-            )
-        })
+        clock
+            .iter()
+            .any(|(j, entry)| self.entry_is_obsolete(j, entry))
+    }
+
+    /// Lemma 4, one component: `true` iff `(v, ts)` for process `j`
+    /// exceeds a token record `(token, v, t)` with `t < ts`. The O(Δ)
+    /// receive path runs this per *dirty* clock component instead of
+    /// scanning all `n` (components unchanged since the sender's floor
+    /// passed the test cannot have become obsolete while the token
+    /// records stood still).
+    #[inline]
+    pub fn entry_is_obsolete(&self, j: ProcessId, entry: Entry) -> bool {
+        matches!(
+            self.tables[j.index()].get(entry.version),
+            Some(HistoryRecord { kind: RecordKind::Token, ts }) if ts < entry.ts
+        )
     }
 
     /// Lemma 3 — the orphan test run on token `(v, t)` from `P_j`:
@@ -458,6 +490,35 @@ mod tests {
         // Deliverability of version-2 messages is unchanged by the GC.
         let v2_clock = Ftvc::from_parts(ProcessId(1), &[(0, 0), (2, 1)]);
         assert!(!h.message_is_obsolete(&v2_clock));
+    }
+
+    #[test]
+    fn entry_obsolete_agrees_with_full_clock_test() {
+        let mut h = History::new(ProcessId(0), 3);
+        h.record_token(ProcessId(1), entry(0, 3));
+        h.record_token(ProcessId(2), entry(1, 6));
+        for clock in [
+            Ftvc::from_parts(ProcessId(1), &[(0, 0), (0, 4), (0, 0)]),
+            Ftvc::from_parts(ProcessId(1), &[(0, 0), (0, 3), (1, 7)]),
+            Ftvc::from_parts(ProcessId(1), &[(0, 2), (0, 1), (1, 6)]),
+        ] {
+            let per_component = clock.iter().any(|(j, e)| h.entry_is_obsolete(j, e));
+            assert_eq!(per_component, h.message_is_obsolete(&clock), "{clock}");
+        }
+    }
+
+    #[test]
+    fn observe_entries_matches_full_observe_on_dirty_components() {
+        let clock = Ftvc::from_parts(ProcessId(1), &[(0, 4), (1, 2), (0, 9)]);
+        let mut full = History::new(ProcessId(0), 3);
+        full.observe_clock(&clock);
+        // Pre-record the unchanged component (process 0) at its clock
+        // value, then observe only the dirty ones.
+        let mut delta = History::new(ProcessId(0), 3);
+        delta.record_message_entry(ProcessId(0), entry(0, 4));
+        full.record_message_entry(ProcessId(0), entry(0, 4));
+        delta.observe_entries(&clock, &[1, 2]);
+        assert_eq!(full, delta);
     }
 
     #[test]

@@ -1,15 +1,18 @@
 //! Pins the engine's zero-allocation steady state.
 //!
 //! A failure-free delivery through [`Engine::handle_into`] must not
-//! allocate: the wire clock is inline (`n <= INLINE_CLOCK_CAP`), the
-//! application pushes into the engine-owned scratch, and the effect
-//! handoff reuses the caller's sink. The only remaining allocations are
-//! *amortized* container growth (the receive-dedup set, the volatile
-//! log), which become arbitrarily rare as the run proceeds — so this
-//! test asserts that the **minimum** allocation count over many
-//! same-sized delivery batches is exactly zero. Any per-delivery
-//! allocation reintroduced on the hot path makes every batch allocate
-//! and fails the test deterministically.
+//! allocate, at any system size: for `n <= INLINE_CLOCK_CAP` the wire
+//! clock is inline, and above that every clock clone draws its buffer
+//! from the thread-local pool (`dg-ftvc`'s arena), so the steady state
+//! is allocation-free either way. The application pushes into the
+//! engine-owned scratch, and the effect handoff reuses the caller's
+//! sink. The only remaining allocations are *amortized* container
+//! growth (the receive-dedup set, the volatile log, pool refills),
+//! which become arbitrarily rare as the run proceeds — so this test
+//! asserts that the **minimum** allocation count over many same-sized
+//! delivery batches is exactly zero. Any per-delivery allocation
+//! reintroduced on the hot path makes every batch allocate and fails
+//! the test deterministically.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -100,9 +103,7 @@ fn hop(
     next.expect("relay always forwards")
 }
 
-#[test]
-fn steady_state_delivery_allocates_nothing() {
-    let n = 4usize;
+fn assert_steady_state_allocation_free(n: usize) {
     let config = DgConfig::fast_test();
     let mut engines: Vec<Engine<Relay>> = (0..n)
         .map(|p| Engine::new(ProcessId(p as u16), n, Relay, config))
@@ -146,7 +147,24 @@ fn steady_state_delivery_allocates_nothing() {
     }
     assert_eq!(
         min_allocs, 0,
-        "steady-state deliveries allocate: at least {min_allocs} allocations \
-         in every batch of {PER_BATCH} handle_into calls"
+        "steady-state deliveries allocate at n = {n}: at least {min_allocs} \
+         allocations in every batch of {PER_BATCH} handle_into calls"
     );
+}
+
+#[test]
+fn steady_state_delivery_allocates_nothing() {
+    assert_steady_state_allocation_free(4);
+}
+
+/// The spilled-clock representation (`n > INLINE_CLOCK_CAP`) must reach
+/// the same zero through the buffer pool.
+#[test]
+fn steady_state_delivery_allocates_nothing_n16() {
+    assert_steady_state_allocation_free(16);
+}
+
+#[test]
+fn steady_state_delivery_allocates_nothing_n32() {
+    assert_steady_state_allocation_free(32);
 }

@@ -1,0 +1,286 @@
+//! Thread-local pool of spilled clock buffers.
+//!
+//! Clocks wider than [`crate::ftvc::INLINE_CLOCK_CAP`] keep their
+//! components in a heap buffer. Left to the system allocator, every
+//! clone on the delivery path (the volatile-log append, the piggybacked
+//! send stamp) costs a `malloc`, which is exactly the 2-allocations-per-
+//! input regression the hot-path benchmark measured at n ≥ 16. This
+//! module removes the allocator from that loop: dropped clock buffers
+//! park in a thread-local free list and the next spilled clock reuses
+//! them.
+//!
+//! # Lifetime rules
+//!
+//! * Buffers are recycled **per thread**. A clock may migrate across
+//!   threads (it is `Send`); its buffer is then returned to the pool of
+//!   the thread that dropped it. Nothing is shared, so there is no
+//!   synchronization on the hot path — one `RefCell` borrow per take
+//!   and per give.
+//! * The pool refills **geometrically**: when empty, it allocates a
+//!   batch of buffers and doubles the next batch size (up to
+//!   [`MAX_REFILL`]). Workloads that *retain* one clock per delivery
+//!   (the volatile log holds a clone until the next flush/GC) therefore
+//!   see allocator traffic only every `refill` deliveries — amortized
+//!   to zero, same as `Vec` growth — instead of once per delivery.
+//! * The free list is capped at [`MAX_POOLED`] buffers; beyond that,
+//!   drops fall through to the allocator. Pool memory is thus bounded
+//!   by `MAX_POOLED × sizeof(Entry) × n` per thread.
+//! * Buffers carry whatever capacity they were built with. When the
+//!   system size changes mid-thread (the scaling experiment runs n = 4
+//!   … 64 back to back), recycled buffers regrow on first use and the
+//!   pool converges to the new size after one refill cycle.
+
+use std::cell::RefCell;
+
+use serde::{Deserialize, Serialize};
+
+use crate::Entry;
+
+/// Upper bound on buffers parked in one thread's free list.
+const MAX_POOLED: usize = 1 << 16;
+
+/// First refill batch size; doubles per refill up to [`MAX_REFILL`].
+const INITIAL_REFILL: usize = 32;
+
+/// Upper bound on one refill batch.
+const MAX_REFILL: usize = 4096;
+
+struct Pool {
+    free: Vec<Vec<Entry>>,
+    refill: usize,
+    recycled: u64,
+    fresh: u64,
+}
+
+thread_local! {
+    static POOL: RefCell<Pool> = const {
+        RefCell::new(Pool {
+            free: Vec::new(),
+            refill: INITIAL_REFILL,
+            recycled: 0,
+            fresh: 0,
+        })
+    };
+}
+
+/// Cumulative pool statistics for one thread (observability + tests).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ArenaStats {
+    /// Buffers handed out from the free list (no allocator traffic).
+    pub recycled: u64,
+    /// Buffers created by the allocator (refill batches included).
+    pub fresh: u64,
+    /// Buffers currently parked in the free list.
+    pub pooled: usize,
+}
+
+/// Snapshot of this thread's pool counters.
+pub fn stats() -> ArenaStats {
+    POOL.with(|p| {
+        let pool = p.borrow();
+        ArenaStats {
+            recycled: pool.recycled,
+            fresh: pool.fresh,
+            pooled: pool.free.len(),
+        }
+    })
+}
+
+/// A `Vec<Entry>` that returns its buffer to the thread-local pool on
+/// drop. The backing storage of spilled (`n > INLINE_CLOCK_CAP`) clocks.
+///
+/// Serialization, equality and hashing are delegated to the underlying
+/// vector, so a pooled buffer is observationally identical to a plain
+/// `Vec<Entry>` with the same contents.
+#[derive(Debug)]
+pub struct PooledEntries {
+    // Invariant: the vec is always present; `Drop` moves it out with
+    // `mem::take` (safe code only — the crate forbids `unsafe`).
+    vec: Vec<Entry>,
+}
+
+impl PooledEntries {
+    /// Take a buffer from the pool (or allocate a refill batch) and fill
+    /// it with `n` copies of `fill`.
+    pub fn filled(n: usize, fill: Entry) -> PooledEntries {
+        let mut vec = take_buffer(n);
+        vec.resize(n, fill);
+        PooledEntries { vec }
+    }
+
+    /// Take a buffer from the pool and copy `entries` into it.
+    pub fn copy_of(entries: &[Entry]) -> PooledEntries {
+        let mut vec = take_buffer(entries.len());
+        vec.extend_from_slice(entries);
+        PooledEntries { vec }
+    }
+
+    /// Wrap an existing vector (used by deserialization); the buffer
+    /// joins the pool when dropped.
+    pub fn from_vec(vec: Vec<Entry>) -> PooledEntries {
+        PooledEntries { vec }
+    }
+
+    /// The components as a slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[Entry] {
+        &self.vec
+    }
+
+    /// The components as a mutable slice.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [Entry] {
+        &mut self.vec
+    }
+}
+
+impl Drop for PooledEntries {
+    fn drop(&mut self) {
+        give_buffer(std::mem::take(&mut self.vec));
+    }
+}
+
+impl Clone for PooledEntries {
+    fn clone(&self) -> PooledEntries {
+        PooledEntries::copy_of(&self.vec)
+    }
+
+    fn clone_from(&mut self, source: &PooledEntries) {
+        self.vec.clear();
+        self.vec.extend_from_slice(&source.vec);
+    }
+}
+
+impl PartialEq for PooledEntries {
+    fn eq(&self, other: &PooledEntries) -> bool {
+        self.vec == other.vec
+    }
+}
+
+impl Eq for PooledEntries {}
+
+impl std::hash::Hash for PooledEntries {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.vec.hash(state);
+    }
+}
+
+// Persistence goes through `dg-storage::codec`, which encodes clocks by
+// their logical components; these markers keep the type source-compatible
+// with real serde bounds.
+impl Serialize for PooledEntries {}
+impl<'de> Deserialize<'de> for PooledEntries {}
+
+/// Pop a cleared buffer from the pool, refilling the pool first if it
+/// ran dry. The returned vector is empty; `hint` sizes fresh buffers.
+fn take_buffer(hint: usize) -> Vec<Entry> {
+    POOL.with(|p| {
+        let mut pool = p.borrow_mut();
+        match pool.free.pop() {
+            Some(buf) => {
+                pool.recycled += 1;
+                buf
+            }
+            None => {
+                // Refill geometrically: batches double so that workloads
+                // retaining one buffer per event pay the allocator ever
+                // more rarely (amortized zero per event).
+                let batch = pool.refill;
+                pool.refill = (pool.refill * 2).min(MAX_REFILL);
+                pool.free
+                    .extend((0..batch - 1).map(|_| Vec::with_capacity(hint)));
+                pool.fresh += batch as u64;
+                Vec::with_capacity(hint)
+            }
+        }
+    })
+}
+
+/// Park a buffer in the pool (or let it free if the pool is full or the
+/// buffer never allocated).
+fn give_buffer(mut vec: Vec<Entry>) {
+    if vec.capacity() == 0 {
+        return;
+    }
+    vec.clear();
+    POOL.with(|p| {
+        let mut pool = p.borrow_mut();
+        if pool.free.len() < MAX_POOLED {
+            pool.free.push(vec);
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buffers_recycle_through_the_pool() {
+        let before = stats();
+        // Drop a buffer, then take one: the second take must recycle.
+        let first = PooledEntries::filled(16, Entry::ZERO);
+        drop(first);
+        let second = PooledEntries::filled(16, Entry::ZERO);
+        let after = stats();
+        assert!(
+            after.recycled > before.recycled,
+            "second take should come from the free list: {before:?} -> {after:?}"
+        );
+        assert_eq!(second.as_slice().len(), 16);
+    }
+
+    #[test]
+    fn steady_churn_stops_touching_the_allocator() {
+        // Warm the pool, then verify a long take/drop churn is served
+        // entirely from the free list.
+        for _ in 0..4 {
+            let _warm: Vec<PooledEntries> = (0..64)
+                .map(|_| PooledEntries::filled(32, Entry::ZERO))
+                .collect();
+        }
+        let before = stats();
+        for _ in 0..10_000 {
+            let buf = PooledEntries::filled(32, Entry::ZERO);
+            drop(buf);
+        }
+        let after = stats();
+        assert_eq!(
+            after.fresh, before.fresh,
+            "steady churn allocated fresh buffers"
+        );
+        assert_eq!(after.recycled - before.recycled, 10_000);
+    }
+
+    #[test]
+    fn retaining_workload_amortizes_refills() {
+        // Retain every buffer (the volatile-log pattern): refill batches
+        // overshoot demand geometrically, so a second same-size burst is
+        // served from the free list without fresh allocations.
+        let mut held = Vec::new();
+        for _ in 0..1_000 {
+            held.push(PooledEntries::filled(32, Entry::ZERO));
+        }
+        drop(held);
+        assert!(stats().pooled >= 1_000);
+        let before = stats();
+        let mut held = Vec::new();
+        for _ in 0..1_000 {
+            held.push(PooledEntries::filled(32, Entry::ZERO));
+        }
+        let after = stats();
+        assert_eq!(
+            after.fresh, before.fresh,
+            "second retained burst should ride the refilled pool"
+        );
+    }
+
+    #[test]
+    fn copy_of_round_trips_contents() {
+        let entries: Vec<Entry> = (0..12).map(|i| Entry::new(i, i as u64 * 3)).collect();
+        let pooled = PooledEntries::copy_of(&entries);
+        assert_eq!(pooled.as_slice(), &entries[..]);
+        let cloned = pooled.clone();
+        assert_eq!(cloned, pooled);
+    }
+}

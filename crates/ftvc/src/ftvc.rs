@@ -4,6 +4,7 @@ use std::fmt;
 
 use serde::{Deserialize, Serialize};
 
+use crate::arena::PooledEntries;
 use crate::{CausalOrder, Entry, ProcessId, Version};
 
 /// A fault-tolerant vector clock (FTVC).
@@ -65,14 +66,16 @@ impl Clone for Ftvc {
 pub const INLINE_CLOCK_CAP: usize = 8;
 
 /// Backing storage for clock components: a fixed inline array for small
-/// systems (`n <= INLINE_CLOCK_CAP`), a heap vector above.
+/// systems (`n <= INLINE_CLOCK_CAP`), a pooled heap buffer above.
 ///
 /// The protocol's hot path clones a clock on every send (the piggybacked
 /// stamp), every delivery log append, and every queued output. Storing
 /// small clocks inline makes each of those clones a flat copy — no
 /// allocator traffic — which is what the engine's steady-state
 /// zero-allocation contract rests on (see DESIGN.md, "Hot-path memory
-/// discipline").
+/// discipline"). Spilled clocks reach the same steady state through the
+/// thread-local buffer pool in [`crate::arena`]: clones take a recycled
+/// buffer, drops park it for the next clone.
 ///
 /// Equality and hashing go through [`EntryStore::as_slice`], so the
 /// unused tail of the inline array can never influence observable
@@ -84,7 +87,7 @@ enum EntryStore {
         len: u8,
         buf: [Entry; INLINE_CLOCK_CAP],
     },
-    Heap(Vec<Entry>),
+    Heap(PooledEntries),
 }
 
 impl EntryStore {
@@ -96,7 +99,7 @@ impl EntryStore {
                 buf: [Entry::ZERO; INLINE_CLOCK_CAP],
             }
         } else {
-            EntryStore::Heap(vec![Entry::ZERO; n])
+            EntryStore::Heap(PooledEntries::filled(n, Entry::ZERO))
         }
     }
 
@@ -104,7 +107,7 @@ impl EntryStore {
     fn as_slice(&self) -> &[Entry] {
         match self {
             EntryStore::Inline { len, buf } => &buf[..*len as usize],
-            EntryStore::Heap(v) => v,
+            EntryStore::Heap(v) => v.as_slice(),
         }
     }
 
@@ -112,7 +115,7 @@ impl EntryStore {
     fn as_mut_slice(&mut self) -> &mut [Entry] {
         match self {
             EntryStore::Inline { len, buf } => &mut buf[..*len as usize],
-            EntryStore::Heap(v) => v,
+            EntryStore::Heap(v) => v.as_mut_slice(),
         }
     }
 }
@@ -134,8 +137,7 @@ impl Clone for EntryStore {
     fn clone_from(&mut self, source: &EntryStore) {
         match (&mut *self, source) {
             (EntryStore::Heap(dst), EntryStore::Heap(src)) => {
-                dst.clear();
-                dst.extend_from_slice(src);
+                dst.clone_from(src);
             }
             (dst, src) => *dst = src.clone(),
         }
@@ -261,6 +263,90 @@ impl Ftvc {
             *mine = mine.join(*theirs);
         }
         self.entries.as_mut_slice()[own].ts += 1;
+    }
+
+    /// Append to `out` the indices of components where `self` and
+    /// `floor` disagree, in ascending order.
+    ///
+    /// This is the Δ-extraction step of the O(Δ) delivery path: the
+    /// receiver keeps the last clock it merged from each sender (its
+    /// *comparison frontier*) and only the components that moved since
+    /// then need the join/orphan/obsolete machinery. The scan itself is
+    /// a branch-light linear pass over plain `(u32, u64)` pairs — cheap
+    /// compared to the table probes it saves.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the clocks have different lengths.
+    pub fn diff_indices_into(&self, floor: &Ftvc, out: &mut Vec<u16>) {
+        assert_eq!(
+            self.len(),
+            floor.len(),
+            "cannot diff clocks of different system sizes"
+        );
+        for (i, (a, b)) in self
+            .entries
+            .as_slice()
+            .iter()
+            .zip(floor.entries.as_slice())
+            .enumerate()
+        {
+            if a != b {
+                out.push(i as u16);
+            }
+        }
+    }
+
+    /// Merge only the listed components of `incoming` (componentwise
+    /// [`Entry::join`]), then advance the own timestamp — the O(Δ)
+    /// counterpart of [`Ftvc::observe`].
+    ///
+    /// Sound only when every component **not** listed in `dirty`
+    /// satisfies `incoming[i] <= self[i]`, i.e. the join would be a
+    /// no-op there. The engine guarantees this by diffing `incoming`
+    /// against a per-sender floor clock it has already merged (clock
+    /// components only grow between failures, and the floor cache is
+    /// invalidated on every rollback/restart). Debug builds verify the
+    /// precondition; release builds trust it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the clocks have different lengths or an index in
+    /// `dirty` is out of range.
+    pub fn observe_at(&mut self, incoming: &Ftvc, dirty: &[u16]) {
+        assert_eq!(
+            self.len(),
+            incoming.len(),
+            "cannot merge clocks of different system sizes"
+        );
+        debug_assert!(
+            {
+                let mut dirty_iter = dirty.iter().peekable();
+                self.entries
+                    .as_slice()
+                    .iter()
+                    .zip(incoming.entries.as_slice())
+                    .enumerate()
+                    .all(|(i, (mine, theirs))| {
+                        if dirty_iter.peek() == Some(&&(i as u16)) {
+                            dirty_iter.next();
+                            true
+                        } else {
+                            theirs <= mine
+                        }
+                    })
+            },
+            "observe_at precondition violated: an unlisted component of \
+             the incoming clock exceeds the local clock"
+        );
+        let own = self.owner.index();
+        let mine = self.entries.as_mut_slice();
+        let theirs = incoming.entries.as_slice();
+        for &i in dirty {
+            let i = i as usize;
+            mine[i] = mine[i].join(theirs[i]);
+        }
+        mine[own].ts += 1;
     }
 
     /// Transition after the owner restarts from a **failure**: the own

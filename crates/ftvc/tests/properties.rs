@@ -322,3 +322,102 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The O(Δ) merge path is extensionally equal to the full merge, at
+    /// every system size up to 64 (crossing the inline→spilled clock
+    /// boundary) and across failures.
+    ///
+    /// Model of the engine's receive path: each receiver keeps a
+    /// per-sender *floor* — the last clock it merged from that sender in
+    /// full. A delivery diffs the incoming stamp against the floor
+    /// ([`Ftvc::diff_indices_into`]) and merges only the dirty
+    /// components ([`Ftvc::observe_at`]); a shadow replica merges the
+    /// same stamp with the full [`Ftvc::observe`]. The two replicas must
+    /// stay bit-identical forever.
+    ///
+    /// Failures exercise the invalidation rule: a restart or rollback
+    /// restores the process from an earlier snapshot (a genuine
+    /// componentwise regression, like the engine's checkpoint restore)
+    /// and bumps its version, and the *restored process* drops its own
+    /// floors — its clock regressed, so `observe_at`'s precondition no
+    /// longer holds for them. Other receivers keep their floors for the
+    /// failed sender: its later stamps differ from the floor exactly in
+    /// the components the failure moved, so the diff scan routes them
+    /// through the merge machinery on its own.
+    #[test]
+    fn delta_merge_matches_full_merge(
+        n in 2u16..=64,
+        ops in proptest::collection::vec(op_strategy(64), 1..150),
+    ) {
+        let ops: Vec<Op> = ops.into_iter().map(|op| match op {
+            Op::Send { from, to } => Op::Send { from: from % n, to: to % n },
+            Op::Restart { p } => Op::Restart { p: p % n },
+            Op::Rollback { p } => Op::Rollback { p: p % n },
+        }).collect();
+        let n = n as usize;
+        let mut fast: Vec<Ftvc> = ProcessId::all(n).map(|p| Ftvc::new(p, n)).collect();
+        let mut shadow: Vec<Ftvc> = ProcessId::all(n).map(|p| Ftvc::new(p, n)).collect();
+        // snap[p]: the checkpoint a failure of p restores (refreshed on
+        // every third send, so restores regress by a varying amount).
+        let mut snap: Vec<Ftvc> = fast.clone();
+        // floors[t][f]: receiver t's comparison frontier for sender f.
+        let mut floors: Vec<Vec<Option<Ftvc>>> = vec![vec![None; n]; n];
+        let mut sends_by = vec![0u32; n];
+        let mut dirty: Vec<u16> = Vec::new();
+
+        for op in &ops {
+            match *op {
+                Op::Send { from, to } if from != to => {
+                    let (f, t) = (from as usize, to as usize);
+                    let stamp = fast[f].stamp_for_send();
+                    let shadow_stamp = shadow[f].stamp_for_send();
+                    prop_assert_eq!(&stamp, &shadow_stamp, "stamps diverged at sender {}", f);
+                    shadow[t].observe(&stamp);
+                    match floors[t][f].as_ref() {
+                        Some(floor) => {
+                            dirty.clear();
+                            stamp.diff_indices_into(floor, &mut dirty);
+                            fast[t].observe_at(&stamp, &dirty);
+                        }
+                        None => fast[t].observe(&stamp),
+                    }
+                    floors[t][f] = Some(stamp);
+                    prop_assert_eq!(&fast[t], &shadow[t], "Δ merge diverged at receiver {}", t);
+                    sends_by[f] += 1;
+                    if sends_by[f].is_multiple_of(3) {
+                        snap[f] = fast[f].clone();
+                    }
+                }
+                Op::Send { .. } => {}
+                Op::Restart { p } => {
+                    let p = p as usize;
+                    fast[p] = snap[p].clone();
+                    shadow[p] = snap[p].clone();
+                    fast[p].restart();
+                    shadow[p].restart();
+                    snap[p] = fast[p].clone();
+                    for floor in &mut floors[p] {
+                        *floor = None;
+                    }
+                }
+                Op::Rollback { p } => {
+                    let p = p as usize;
+                    fast[p] = snap[p].clone();
+                    shadow[p] = snap[p].clone();
+                    fast[p].rolled_back();
+                    shadow[p].rolled_back();
+                    snap[p] = fast[p].clone();
+                    for floor in &mut floors[p] {
+                        *floor = None;
+                    }
+                }
+            }
+        }
+        for (a, b) in fast.iter().zip(&shadow) {
+            prop_assert_eq!(a, b, "final clocks diverged");
+        }
+    }
+}

@@ -1,0 +1,147 @@
+//! The sharded parallel driver is deterministic and agrees with the
+//! seeded sequential simulator.
+//!
+//! Two properties, both required by CI:
+//!
+//! 1. **Worker-count invariance** — `simnet::parallel` with one worker
+//!    and with four produces bit-identical process states (the schedule
+//!    is a function of the workload, never of the thread pool).
+//! 2. **Cross-substrate agreement** — the outputs committed under the
+//!    parallel driver equal those of a seeded sequential ([`Sim`]) run
+//!    of the same workload with the same crash. The workload keeps one
+//!    token in flight, so committed-output sequences are
+//!    schedule-independent and byte-comparable across substrates.
+
+use dg_core::{Application, DgConfig, DgProcess, Effects, EngineView, ProcessId};
+use dg_harness::{oracle, run_dg, FaultPlan};
+use dg_simnet::parallel::{run_parallel, ParallelConfig, ParallelCrash};
+use dg_simnet::NetConfig;
+
+const N: usize = 5;
+const LIMIT: u64 = 800;
+const COOLDOWN: u64 = 600;
+
+/// Single-token ring emitting the measured phase as external outputs
+/// (same workload as the netrun smoke tests).
+#[derive(Clone)]
+struct Ring {
+    last: u64,
+    digest: u64,
+}
+
+impl Ring {
+    fn new() -> Ring {
+        Ring {
+            last: 0,
+            digest: 0xcbf2_9ce4_8422_2325,
+        }
+    }
+}
+
+impl Application for Ring {
+    type Msg = u64;
+
+    fn on_start(&mut self, me: ProcessId, n: usize) -> Effects<u64> {
+        if me == ProcessId(0) {
+            Effects::send(ProcessId(1 % n as u16), 1)
+        } else {
+            Effects::none()
+        }
+    }
+
+    fn on_message(&mut self, me: ProcessId, _from: ProcessId, msg: &u64, n: usize) -> Effects<u64> {
+        self.last = *msg;
+        let mut effects = Effects::none();
+        if *msg <= LIMIT {
+            self.digest = (self.digest ^ *msg).wrapping_mul(0x0000_0100_0000_01b3);
+            effects = effects.and_output(*msg);
+        }
+        if *msg < LIMIT + COOLDOWN {
+            let next = ProcessId((me.0 + 1) % n as u16);
+            effects = effects.and_send(next, *msg + 1);
+        }
+        effects
+    }
+
+    fn digest(&self) -> u64 {
+        self.digest
+    }
+}
+
+/// The output sequence process `p` must commit (value `v` lands on
+/// process `v mod n`).
+fn expected_outputs(p: ProcessId) -> Vec<u64> {
+    (1..=LIMIT)
+        .filter(|v| v % N as u64 == u64::from(p.0))
+        .collect()
+}
+
+fn config() -> DgConfig {
+    DgConfig::fast_test()
+        .with_retransmit(true)
+        .with_gossip(8_000)
+        .with_gc(true)
+        .with_history_gc(true)
+        .with_reliable_tokens(true)
+}
+
+fn run_with_workers(workers: usize) -> Vec<DgProcess<Ring>> {
+    let actors: Vec<DgProcess<Ring>> = (0..N)
+        .map(|p| DgProcess::new(ProcessId(p as u16), N, Ring::new(), config()))
+        .collect();
+    let parallel = ParallelConfig {
+        workers,
+        step: 30,
+        seed: 7,
+        crashes: vec![ParallelCrash {
+            process: ProcessId(2),
+            at: 3_000,
+            downtime: 2_500,
+        }],
+        ..ParallelConfig::default()
+    };
+    let (out, stats) = run_parallel(actors, &parallel);
+    assert!(stats.quiescent, "parallel run failed to drain");
+    out
+}
+
+#[test]
+fn parallel_matches_seeded_sequential() {
+    let sharded = run_with_workers(4);
+
+    // The parallel run satisfies the same consistency oracle as any
+    // simulated run, and every crash recovered.
+    let views: Vec<&dyn EngineView> = sharded.iter().map(|p| p as &dyn EngineView).collect();
+    let mut violations = Vec::new();
+    oracle::check_views(&views, &mut violations);
+    assert!(violations.is_empty(), "oracle violations: {violations:?}");
+    assert_eq!(
+        sharded.iter().map(|p| p.stats().restarts).sum::<u64>(),
+        1,
+        "the injected crash must have recovered"
+    );
+
+    // Worker-count invariance: bit-identical process states.
+    let single = run_with_workers(1);
+    for (a, b) in single.iter().zip(&sharded) {
+        assert_eq!(
+            a.state_digest(),
+            b.state_digest(),
+            "{}: state diverged between 1 and 4 workers",
+            a.id()
+        );
+    }
+
+    // Cross-substrate agreement with a seeded sequential run.
+    let plan = FaultPlan::single_crash(ProcessId(2), 3_000);
+    let sequential = run_dg(N, |_| Ring::new(), config(), NetConfig::with_seed(7), &plan);
+    assert!(sequential.stats.quiescent, "sequential run failed to drain");
+    for (par, seq) in sharded.iter().zip(sequential.sim.actors()) {
+        let p = par.id();
+        let par_out: Vec<u64> = par.committed_outputs().copied().collect();
+        let seq_out: Vec<u64> = seq.committed_outputs().copied().collect();
+        assert_eq!(par_out, seq_out, "{p}: committed outputs diverged");
+        assert_eq!(par_out, expected_outputs(p), "{p}: outputs incomplete");
+        assert_eq!(par.app().digest(), seq.app().digest(), "{p}: app digest");
+    }
+}

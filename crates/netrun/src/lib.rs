@@ -1,5 +1,7 @@
 //! A real-network runtime for the sans-IO Damani–Garg [`Engine`]:
-//! one OS thread per process, TCP sockets between them.
+//! one OS thread per process by default — or several processes pinned to
+//! a fixed thread pool ([`RunConfig::node_threads`]) — TCP sockets
+//! between them.
 //!
 //! The discrete-event simulator (`dg-simnet`) and this crate drive the
 //! *identical* engine — this crate depends on `dg-core` with default
@@ -53,6 +55,12 @@ pub struct RunConfig {
     pub probe_interval: Duration,
     /// Consecutive quiet probes required to declare quiescence.
     pub stable_probes: u32,
+    /// Pin the `n` nodes to a fixed pool of this many OS threads (node
+    /// `i` runs on thread `i % t`), instead of the default one thread
+    /// per node (`None`). Engines stay single-threaded either way; the
+    /// option exists so an n=32 cluster on a 4-core box runs 4 event
+    /// loops of 8 nodes each rather than 32 thrashing threads.
+    pub node_threads: Option<usize>,
 }
 
 impl Default for RunConfig {
@@ -60,6 +68,7 @@ impl Default for RunConfig {
         RunConfig {
             probe_interval: Duration::from_millis(120),
             stable_probes: 3,
+            node_threads: None,
         }
     }
 }
@@ -258,8 +267,14 @@ fn write_frame_vectored(
 // ---------------------------------------------------------------------
 
 /// Accept loop: one reader thread per inbound connection, each pushing
-/// decoded frames into the node's event channel.
-fn acceptor(listener: TcpListener, tx: mpsc::Sender<Event>, stop: Arc<AtomicBool>) {
+/// decoded frames into the owning thread's event channel, tagged with
+/// the destination node's index.
+fn acceptor(
+    listener: TcpListener,
+    node: usize,
+    tx: mpsc::Sender<(usize, Event)>,
+    stop: Arc<AtomicBool>,
+) {
     for stream in listener.incoming() {
         if stop.load(Ordering::Relaxed) {
             return;
@@ -267,11 +282,11 @@ fn acceptor(listener: TcpListener, tx: mpsc::Sender<Event>, stop: Arc<AtomicBool
         let Ok(stream) = stream else { continue };
         let _ = stream.set_nodelay(true);
         let tx = tx.clone();
-        thread::spawn(move || reader(stream, &tx));
+        thread::spawn(move || reader(stream, node, &tx));
     }
 }
 
-fn reader(stream: TcpStream, tx: &mpsc::Sender<Event>) {
+fn reader(stream: TcpStream, node: usize, tx: &mpsc::Sender<(usize, Event)>) {
     // Frames are two small reads each (length, then body); buffering
     // turns them into one syscall per kernel batch instead of two per
     // frame.
@@ -291,7 +306,7 @@ fn reader(stream: TcpStream, tx: &mpsc::Sender<Event>) {
         }
         let from = ProcessId(u16::from_le_bytes([frame[0], frame[1]]));
         let bytes = frame.split_off(2);
-        if tx.send(Event::Frame { from, bytes }).is_err() {
+        if tx.send((node, Event::Frame { from, bytes })).is_err() {
             return; // node thread gone
         }
     }
@@ -336,26 +351,6 @@ impl<A: Application> Node<A>
 where
     A::Msg: Payload,
 {
-    fn run(mut self, rx: &mpsc::Receiver<Event>) -> Engine<A> {
-        let now = now_us(&self.start);
-        self.step(Input::Start { now });
-        loop {
-            self.pump_due();
-            let wait = self.wait_duration();
-            match rx.recv_timeout(wait) {
-                Ok(Event::Frame { from, bytes }) => self.on_frame(from, bytes),
-                Ok(Event::Crash { downtime_us }) => self.on_crash(downtime_us),
-                Ok(Event::Probe { reply }) => {
-                    let _ = reply.send(self.status());
-                }
-                Ok(Event::Stop) | Err(mpsc::RecvTimeoutError::Disconnected) => {
-                    return self.engine;
-                }
-                Err(mpsc::RecvTimeoutError::Timeout) => {} // pump_due handles it
-            }
-        }
-    }
-
     fn wait_duration(&self) -> Duration {
         let now = now_us(&self.start);
         let deadline = if self.down {
@@ -519,16 +514,72 @@ where
     }
 }
 
+/// Event loop of one OS thread driving `nodes` (a single node in the
+/// default configuration, several when [`RunConfig::node_threads`] pins
+/// the cluster to a pool). All the nodes' events arrive on one shared
+/// channel tagged with the node index; the loop pumps every node's due
+/// timers before each wait, so co-hosted nodes cannot starve each other
+/// of ticks, only delay them by one handler.
+fn run_shard<A: Application>(
+    mut nodes: Vec<(usize, Node<A>)>,
+    rx: &mpsc::Receiver<(usize, Event)>,
+) -> Vec<(usize, Engine<A>)>
+where
+    A::Msg: Payload,
+{
+    for (_, node) in &mut nodes {
+        let now = now_us(&node.start);
+        node.step(Input::Start { now });
+    }
+    loop {
+        let mut wait = Duration::from_micros(100_000);
+        for (_, node) in &mut nodes {
+            node.pump_due();
+            wait = wait.min(node.wait_duration());
+        }
+        match rx.recv_timeout(wait) {
+            Ok((idx, event)) => {
+                let node = nodes
+                    .iter_mut()
+                    .find(|(i, _)| *i == idx)
+                    .map(|(_, n)| n)
+                    .expect("event for a node this thread owns");
+                match event {
+                    Event::Frame { from, bytes } => node.on_frame(from, bytes),
+                    Event::Crash { downtime_us } => node.on_crash(downtime_us),
+                    Event::Probe { reply } => {
+                        let _ = reply.send(node.status());
+                    }
+                    Event::Stop => {
+                        return nodes.into_iter().map(|(i, n)| (i, n.engine)).collect();
+                    }
+                }
+            }
+            Err(mpsc::RecvTimeoutError::Disconnected) => {
+                return nodes.into_iter().map(|(i, n)| (i, n.engine)).collect();
+            }
+            Err(mpsc::RecvTimeoutError::Timeout) => {} // pump_due handles it
+        }
+    }
+}
+
 // ---------------------------------------------------------------------
 // Cluster
 // ---------------------------------------------------------------------
 
-struct NodeHandle<A: Application>
-where
-    A::Msg: Payload,
-{
-    tx: mpsc::Sender<Event>,
-    join: JoinHandle<Engine<A>>,
+/// An [`Event`] tagged with the index of the node it is addressed to —
+/// what flows on a pool thread's shared channel.
+type TaggedEvent = (usize, Event);
+
+/// What one pool thread returns at shutdown: the engines of every node
+/// it hosted, tagged with their indices.
+type ShardEngines<A> = Vec<(usize, Engine<A>)>;
+
+/// Per-node endpoint: the owning thread's event channel plus this node's
+/// index on it.
+struct NodeHandle {
+    tx: mpsc::Sender<TaggedEvent>,
+    idx: usize,
     addr: SocketAddr,
 }
 
@@ -560,7 +611,8 @@ pub struct Cluster<A: Application>
 where
     A::Msg: Payload,
 {
-    nodes: Vec<NodeHandle<A>>,
+    nodes: Vec<NodeHandle>,
+    threads: Vec<JoinHandle<ShardEngines<A>>>,
     stop: Arc<AtomicBool>,
     run_config: RunConfig,
 }
@@ -607,41 +659,58 @@ where
             .map(TcpListener::local_addr)
             .collect::<std::io::Result<_>>()?;
 
+        // One event channel per pool thread; node i pins to thread
+        // i % t. The default (node_threads: None) is t = n — exactly the
+        // old one-thread-per-node behavior.
+        let t = run_config.node_threads.unwrap_or(n).clamp(1, n);
+        let channels: Vec<(mpsc::Sender<TaggedEvent>, mpsc::Receiver<TaggedEvent>)> =
+            (0..t).map(|_| mpsc::channel()).collect();
+
         let mut nodes = Vec::with_capacity(n);
+        let mut shards: Vec<Vec<(usize, Node<A>)>> = (0..t).map(|_| Vec::new()).collect();
         for (i, listener) in listeners.into_iter().enumerate() {
             let me = ProcessId(i as u16);
-            let (tx, rx) = mpsc::channel::<Event>();
+            let tx = channels[i % t].0.clone();
             thread::spawn({
                 let tx = tx.clone();
                 let stop = Arc::clone(&stop);
-                move || acceptor(listener, tx, stop)
+                move || acceptor(listener, i, tx, stop)
             });
-            let node = Node {
-                engine: Engine::new(me, n, make_app(me), config),
-                mesh: Mesh::new(me, addrs.clone()),
-                n,
-                start,
-                timers: BinaryHeap::new(),
-                timer_seq: 0,
-                down: false,
-                restart_at: None,
-                parked: Vec::new(),
-                activity: 0,
-                has_gossip: config.gossip_interval.is_some(),
-                sink: EffectSink::new(),
-                wire_scratch: BytesMut::new(),
-            };
-            let join = thread::Builder::new()
-                .name(format!("dg-node-{i}"))
-                .spawn(move || node.run(&rx))?;
+            shards[i % t].push((
+                i,
+                Node {
+                    engine: Engine::new(me, n, make_app(me), config),
+                    mesh: Mesh::new(me, addrs.clone()),
+                    n,
+                    start,
+                    timers: BinaryHeap::new(),
+                    timer_seq: 0,
+                    down: false,
+                    restart_at: None,
+                    parked: Vec::new(),
+                    activity: 0,
+                    has_gossip: config.gossip_interval.is_some(),
+                    sink: EffectSink::new(),
+                    wire_scratch: BytesMut::new(),
+                },
+            ));
             nodes.push(NodeHandle {
                 tx,
-                join,
+                idx: i,
                 addr: addrs[i],
             });
         }
+        let mut threads = Vec::with_capacity(t);
+        for (w, (shard, (_, rx))) in shards.into_iter().zip(channels).enumerate() {
+            threads.push(
+                thread::Builder::new()
+                    .name(format!("dg-nodes-{w}"))
+                    .spawn(move || run_shard(shard, &rx))?,
+            );
+        }
         Ok(Cluster {
             nodes,
+            threads,
             stop,
             run_config,
         })
@@ -660,7 +729,8 @@ where
     /// Crash process `p` now; it recovers on its own after `downtime`.
     pub fn crash(&self, p: ProcessId, downtime: Duration) {
         let downtime_us = u64::try_from(downtime.as_micros()).unwrap_or(u64::MAX);
-        let _ = self.nodes[p.index()].tx.send(Event::Crash { downtime_us });
+        let node = &self.nodes[p.index()];
+        let _ = node.tx.send((node.idx, Event::Crash { downtime_us }));
     }
 
     /// Probe every node for its current [`NodeStatus`] (best effort: a
@@ -675,7 +745,8 @@ where
             .iter()
             .map(|node| {
                 let (reply_tx, reply_rx) = mpsc::channel();
-                if node.tx.send(Event::Probe { reply: reply_tx }).is_err() {
+                let probe = (node.idx, Event::Probe { reply: reply_tx });
+                if node.tx.send(probe).is_err() {
                     return NodeStatus::default();
                 }
                 reply_rx
@@ -718,16 +789,20 @@ where
     /// checks, digest comparison, output extraction).
     pub fn shutdown(self) -> Vec<Engine<A>> {
         self.stop.store(true, Ordering::Relaxed);
-        for node in &self.nodes {
-            let _ = node.tx.send(Event::Stop);
+        // One Stop per pool thread; nodes 0..t sit on distinct threads.
+        for node in self.nodes.iter().take(self.threads.len()) {
+            let _ = node.tx.send((node.idx, Event::Stop));
         }
         // Unblock each acceptor's `incoming()` so its thread exits.
         for node in &self.nodes {
             let _ = TcpStream::connect(node.addr);
         }
-        self.nodes
+        let mut engines: Vec<(usize, Engine<A>)> = self
+            .threads
             .into_iter()
-            .map(|node| node.join.join().expect("node thread panicked"))
-            .collect()
+            .flat_map(|join| join.join().expect("node thread panicked"))
+            .collect();
+        engines.sort_by_key(|(i, _)| *i);
+        engines.into_iter().map(|(_, engine)| engine).collect()
     }
 }

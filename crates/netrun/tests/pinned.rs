@@ -1,0 +1,69 @@
+//! Crash-recovery over TCP with nodes pinned to a thread pool.
+//!
+//! Same shape as the smoke test, but the six processes share two OS
+//! threads ([`RunConfig::node_threads`]): correctness must not depend on
+//! one-thread-per-node scheduling, and a co-hosted node crashing must
+//! not take its thread-mates down with it.
+
+mod common;
+
+use std::time::Duration;
+
+use common::{expected_outputs, Ring};
+use dg_core::{DgConfig, EngineView, ProcessId};
+use dg_harness::oracle;
+use dg_netrun::{Cluster, RunConfig};
+
+const N: usize = 6;
+const LIMIT: u64 = 1_200;
+const COOLDOWN: u64 = 600;
+
+#[test]
+fn pinned_cluster_survives_a_crash() {
+    let config = DgConfig::fast_test()
+        .with_retransmit(true)
+        .with_gossip(8_000)
+        .with_gc(true)
+        .with_history_gc(true)
+        .with_reliable_tokens(true);
+    let run_config = RunConfig {
+        node_threads: Some(2),
+        ..RunConfig::default()
+    };
+    let cluster = Cluster::launch_with(N, |_| Ring::new(LIMIT, COOLDOWN), config, run_config)
+        .expect("bind loopback listeners");
+    std::thread::sleep(Duration::from_millis(30));
+    // Crash a node that shares its thread with two others.
+    cluster.crash(ProcessId(2), Duration::from_millis(40));
+
+    assert!(
+        cluster.run_until_quiescent(Duration::from_secs(45)),
+        "pinned run failed to quiesce"
+    );
+    for (i, status) in cluster.statuses().iter().enumerate() {
+        assert_eq!(
+            status.frames_dropped, 0,
+            "node {i} dropped frames on a lossless network"
+        );
+    }
+    let engines = cluster.shutdown();
+    assert_eq!(engines.len(), N);
+
+    let views: Vec<&dyn EngineView> = engines.iter().map(|e| e as &dyn EngineView).collect();
+    let mut violations = Vec::new();
+    oracle::check_views(&views, &mut violations);
+    assert!(violations.is_empty(), "oracle violations: {violations:?}");
+
+    let restarts: u64 = engines.iter().map(|e| EngineView::stats(e).restarts).sum();
+    assert_eq!(restarts, 1, "the injected crash must have recovered");
+
+    for engine in &engines {
+        let p = EngineView::id(engine);
+        let committed: Vec<u64> = engine.committed_outputs().copied().collect();
+        assert_eq!(
+            committed,
+            expected_outputs(p, N, LIMIT),
+            "{p}: committed outputs diverged under thread pinning"
+        );
+    }
+}

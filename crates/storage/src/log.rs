@@ -90,6 +90,17 @@ impl<E> EventLog<E> {
         pos
     }
 
+    /// The most recently appended event, if it is still live. The hot
+    /// delivery path appends the envelope by move and then borrows it
+    /// back through this accessor instead of logging a clone.
+    #[inline]
+    pub fn last(&self) -> Option<&E> {
+        match self.slots.last() {
+            Some(Slot::Live { event, .. }) => Some(event),
+            _ => None,
+        }
+    }
+
     /// Append an entry that is synchronously durable (recovery tokens).
     pub fn append_stable(&mut self, event: E) -> LogPos {
         let pos = self.end();
