@@ -154,6 +154,459 @@ impl Application for KvStore {
     }
 }
 
+// ---------------------------------------------------------------------
+// The served KV/session store (`dg-service` front door)
+// ---------------------------------------------------------------------
+
+/// One operation a client can ask of the served store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SvcOp {
+    /// Write `value` under `key`.
+    Put {
+        /// Key written.
+        key: u16,
+        /// Value written.
+        value: u64,
+    },
+    /// Delete `key` (a tombstone write, so LWW stays order-independent).
+    Del {
+        /// Key deleted.
+        key: u16,
+    },
+    /// Read `key`.
+    Get {
+        /// Key read.
+        key: u16,
+    },
+}
+
+impl SvcOp {
+    /// The key this operation touches — what the front door routes on.
+    pub fn key(&self) -> u16 {
+        match *self {
+            SvcOp::Put { key, .. } | SvcOp::Del { key } | SvcOp::Get { key } => key,
+        }
+    }
+
+    /// `true` for operations that mutate the store.
+    pub fn is_write(&self) -> bool {
+        !matches!(self, SvcOp::Get { .. })
+    }
+}
+
+/// A client request as injected into the replica group. `(client, req)`
+/// identifies the request for idempotent retries: a client never has two
+/// outstanding requests, so one remembered reply per client suffices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SvcRequest {
+    /// Client identity (unique across the cluster's clients).
+    pub client: u64,
+    /// Client-local request number, strictly increasing.
+    pub req: u64,
+    /// The operation.
+    pub op: SvcOp,
+}
+
+/// What the store answers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SvcReply {
+    /// The write was applied (exactly once).
+    Written,
+    /// The read found this value.
+    Value(u64),
+    /// The read found no live value.
+    NotFound,
+    /// Reserved: "request number older than one already completed".
+    /// The current service *discards* such late duplicates silently
+    /// (the issuing client has the answer already, and answering twice
+    /// with different replies would break response determinism); the
+    /// variant stays on the wire for forward compatibility and clients
+    /// must treat it as a fatal protocol violation if it ever arrives.
+    Stale,
+}
+
+/// Messages of the served store: client requests in, last-writer-wins
+/// replication between replicas, and responses that leave the system
+/// only as *committed outputs* (the output-commit layer holds them until
+/// the states they depend on can never roll back — that is the whole
+/// client-visible consistency contract).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SvcMsg {
+    /// A client request, injected by a front-end via `Input::AppSend`
+    /// and routed to the responsible replica.
+    Request(SvcRequest),
+    /// Replicate a write originated at `origin` (None value = delete).
+    Replicate {
+        /// Replica that performed the write.
+        origin: ProcessId,
+        /// Origin-local sequence number (LWW order with `origin`).
+        seq: u64,
+        /// Key written.
+        key: u16,
+        /// New value; `None` is a delete tombstone.
+        value: Option<u64>,
+    },
+    /// A response to `(client, req)`. Emitted as an external output; a
+    /// client must only ever see it after commit.
+    Response {
+        /// The addressed client.
+        client: u64,
+        /// The request being answered.
+        req: u64,
+        /// The answer.
+        reply: SvcReply,
+    },
+}
+
+/// The replicated KV/session store behind `dg-service`: [`KvStore`]'s
+/// LWW map grown into a servable application.
+///
+/// * Every request is answered through an external *output* — the
+///   recovery layer's [`dg_core::OutputBuffer`] holds the response until
+///   the state that produced it is provably stable, so an acknowledged
+///   write can never be rolled back and a rolled-back read can never
+///   have been seen.
+/// * A per-client session table remembers the last `(req, reply)` pair;
+///   a retried request re-emits the remembered reply without reapplying
+///   the write — client retries are idempotent (exactly-once apply).
+/// * Writes replicate to every peer with a totally ordered
+///   `(seq, origin)` version; deletes are tombstones, so replication is
+///   order-independent and duplicate-tolerant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KvService {
+    /// key → (live value or tombstone, version). LWW by `(seq, origin)`.
+    map: BTreeMap<u16, (Option<u64>, (u64, u16))>,
+    next_seq: u64,
+    /// client → (last completed request, its reply).
+    sessions: BTreeMap<u64, (u64, SvcReply)>,
+    /// (client, req) → times the write was applied. The service oracle
+    /// asserts every entry is exactly 1 — duplicates here are the
+    /// "duplicate side effect" the contract forbids. Rollbacks rewind
+    /// this map with the rest of the state, which is exactly right: a
+    /// rolled-back apply never happened.
+    applied: BTreeMap<(u64, u64), u32>,
+}
+
+impl Default for KvService {
+    fn default() -> KvService {
+        KvService::new()
+    }
+}
+
+impl KvService {
+    /// An empty store.
+    pub fn new() -> KvService {
+        KvService {
+            map: BTreeMap::new(),
+            next_seq: 0,
+            sessions: BTreeMap::new(),
+            applied: BTreeMap::new(),
+        }
+    }
+
+    fn lww(&mut self, key: u16, value: Option<u64>, version: (u64, u16)) {
+        match self.map.get(&key) {
+            Some(&(_, existing)) if existing >= version => {}
+            _ => {
+                self.map.insert(key, (value, version));
+            }
+        }
+    }
+
+    /// Current live value of `key` (post-hoc inspection; a serving read
+    /// goes through [`SvcOp::Get`] so it is answered from committed
+    /// state only).
+    pub fn get(&self, key: u16) -> Option<u64> {
+        self.map.get(&key).and_then(|&(v, _)| v)
+    }
+
+    /// Snapshot of the live map (tombstones elided), for the oracle.
+    pub fn live_map(&self) -> BTreeMap<u16, u64> {
+        self.map
+            .iter()
+            .filter_map(|(&k, &(v, _))| v.map(|v| (k, v)))
+            .collect()
+    }
+
+    /// How many times the write `(client, req)` was applied (0 if never).
+    pub fn applied_count(&self, client: u64, req: u64) -> u32 {
+        self.applied.get(&(client, req)).copied().unwrap_or(0)
+    }
+
+    /// Every `(client, req) → apply count` entry, for the oracle.
+    pub fn applied_counts(&self) -> impl Iterator<Item = ((u64, u64), u32)> + '_ {
+        self.applied.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// Order-independent digest of map + sessions (convergence checks
+    /// compare the map part only via [`KvService::live_map`]; the full
+    /// digest also covers session state for replay-determinism checks).
+    pub fn service_digest(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |word: u64| {
+            h ^= word;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        };
+        for (&k, &(v, (seq, origin))) in &self.map {
+            mix(u64::from(k));
+            mix(v.map_or(u64::MAX, |v| v));
+            mix(seq);
+            mix(u64::from(origin));
+        }
+        for (&c, &(req, reply)) in &self.sessions {
+            mix(c);
+            mix(req);
+            mix(match reply {
+                SvcReply::Written => 1,
+                SvcReply::Value(v) => 2u64.wrapping_add(v << 2),
+                SvcReply::NotFound => 3,
+                SvcReply::Stale => 4,
+            });
+        }
+        h
+    }
+
+    fn handle_request(&mut self, me: ProcessId, r: SvcRequest, n: usize) -> Effects<SvcMsg> {
+        let respond = |reply: SvcReply| SvcMsg::Response {
+            client: r.client,
+            req: r.req,
+            reply,
+        };
+        match self.sessions.get(&r.client) {
+            // Retry of the completed request: re-emit the remembered
+            // reply, touch nothing. The response output gets a fresh
+            // output id, so a client may see the same answer twice —
+            // but the *side effect* happened exactly once.
+            Some(&(last, reply)) if last == r.req => return Effects::output(respond(reply)),
+            // A request number from the past is a late duplicate: the
+            // client only advances after seeing the ack, so it has the
+            // answer already. Discard silently — answering (even with an
+            // error) would make the service answer one request two
+            // different ways when a parked duplicate surfaces after a
+            // recovery, and the response-determinism contract forbids
+            // exactly that.
+            Some(&(last, _)) if last > r.req => return Effects::none(),
+            _ => {}
+        }
+        let (reply, mut effects) = match r.op {
+            SvcOp::Get { key } => (
+                self.get(key).map_or(SvcReply::NotFound, SvcReply::Value),
+                Effects::none(),
+            ),
+            SvcOp::Put { key, value } => (SvcReply::Written, self.write(me, key, Some(value), n)),
+            SvcOp::Del { key } => (SvcReply::Written, self.write(me, key, None, n)),
+        };
+        if r.op.is_write() {
+            *self.applied.entry((r.client, r.req)).or_insert(0) += 1;
+        }
+        self.sessions.insert(r.client, (r.req, reply));
+        effects.outputs.push(respond(reply));
+        effects
+    }
+
+    fn write(&mut self, me: ProcessId, key: u16, value: Option<u64>, n: usize) -> Effects<SvcMsg> {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.lww(key, value, (seq, me.0));
+        let msg = SvcMsg::Replicate {
+            origin: me,
+            seq,
+            key,
+            value,
+        };
+        Effects::sends(
+            ProcessId::all(n)
+                .filter(|&p| p != me)
+                .map(|p| (p, msg.clone()))
+                .collect(),
+        )
+    }
+}
+
+// --- wire codec: the served store crosses real sockets -----------------
+
+mod svc_wire {
+    use super::{SvcMsg, SvcOp, SvcReply, SvcRequest};
+    use bytes::{Buf, BufMut, Bytes, BytesMut};
+    use dg_core::wirecodec::{CodecError, Payload};
+    use dg_core::ProcessId;
+    use dg_ftvc::wire::{get_varint, put_varint};
+
+    fn get_u8(buf: &mut Bytes) -> Result<u8, CodecError> {
+        if !buf.has_remaining() {
+            return Err(CodecError::UnexpectedEnd);
+        }
+        Ok(buf.get_u8())
+    }
+
+    impl Payload for SvcOp {
+        fn encode(&self, buf: &mut BytesMut) {
+            match *self {
+                SvcOp::Put { key, value } => {
+                    buf.put_u8(0);
+                    put_varint(buf, u64::from(key));
+                    put_varint(buf, value);
+                }
+                SvcOp::Del { key } => {
+                    buf.put_u8(1);
+                    put_varint(buf, u64::from(key));
+                }
+                SvcOp::Get { key } => {
+                    buf.put_u8(2);
+                    put_varint(buf, u64::from(key));
+                }
+            }
+        }
+        fn decode(buf: &mut Bytes) -> Result<SvcOp, CodecError> {
+            let tag = get_u8(buf)?;
+            let key = get_varint(buf)? as u16;
+            match tag {
+                0 => Ok(SvcOp::Put {
+                    key,
+                    value: get_varint(buf)?,
+                }),
+                1 => Ok(SvcOp::Del { key }),
+                2 => Ok(SvcOp::Get { key }),
+                other => Err(CodecError::BadTag(other)),
+            }
+        }
+    }
+
+    impl Payload for SvcRequest {
+        fn encode(&self, buf: &mut BytesMut) {
+            put_varint(buf, self.client);
+            put_varint(buf, self.req);
+            self.op.encode(buf);
+        }
+        fn decode(buf: &mut Bytes) -> Result<SvcRequest, CodecError> {
+            Ok(SvcRequest {
+                client: get_varint(buf)?,
+                req: get_varint(buf)?,
+                op: SvcOp::decode(buf)?,
+            })
+        }
+    }
+
+    impl Payload for SvcReply {
+        fn encode(&self, buf: &mut BytesMut) {
+            match *self {
+                SvcReply::Written => buf.put_u8(0),
+                SvcReply::Value(v) => {
+                    buf.put_u8(1);
+                    put_varint(buf, v);
+                }
+                SvcReply::NotFound => buf.put_u8(2),
+                SvcReply::Stale => buf.put_u8(3),
+            }
+        }
+        fn decode(buf: &mut Bytes) -> Result<SvcReply, CodecError> {
+            match get_u8(buf)? {
+                0 => Ok(SvcReply::Written),
+                1 => Ok(SvcReply::Value(get_varint(buf)?)),
+                2 => Ok(SvcReply::NotFound),
+                3 => Ok(SvcReply::Stale),
+                other => Err(CodecError::BadTag(other)),
+            }
+        }
+    }
+
+    impl Payload for SvcMsg {
+        fn encode(&self, buf: &mut BytesMut) {
+            match self {
+                SvcMsg::Request(r) => {
+                    buf.put_u8(0);
+                    r.encode(buf);
+                }
+                SvcMsg::Replicate {
+                    origin,
+                    seq,
+                    key,
+                    value,
+                } => {
+                    buf.put_u8(1);
+                    put_varint(buf, u64::from(origin.0));
+                    put_varint(buf, *seq);
+                    put_varint(buf, u64::from(*key));
+                    match value {
+                        Some(v) => {
+                            buf.put_u8(1);
+                            put_varint(buf, *v);
+                        }
+                        None => buf.put_u8(0),
+                    }
+                }
+                SvcMsg::Response { client, req, reply } => {
+                    buf.put_u8(2);
+                    put_varint(buf, *client);
+                    put_varint(buf, *req);
+                    reply.encode(buf);
+                }
+            }
+        }
+        fn decode(buf: &mut Bytes) -> Result<SvcMsg, CodecError> {
+            match get_u8(buf)? {
+                0 => Ok(SvcMsg::Request(SvcRequest::decode(buf)?)),
+                1 => {
+                    let origin = ProcessId(get_varint(buf)? as u16);
+                    let seq = get_varint(buf)?;
+                    let key = get_varint(buf)? as u16;
+                    let value = match get_u8(buf)? {
+                        0 => None,
+                        _ => Some(get_varint(buf)?),
+                    };
+                    Ok(SvcMsg::Replicate {
+                        origin,
+                        seq,
+                        key,
+                        value,
+                    })
+                }
+                2 => Ok(SvcMsg::Response {
+                    client: get_varint(buf)?,
+                    req: get_varint(buf)?,
+                    reply: SvcReply::decode(buf)?,
+                }),
+                other => Err(CodecError::BadTag(other)),
+            }
+        }
+    }
+}
+
+impl Application for KvService {
+    type Msg = SvcMsg;
+
+    fn on_start(&mut self, _me: ProcessId, _n: usize) -> Effects<SvcMsg> {
+        Effects::none()
+    }
+
+    fn on_message(
+        &mut self,
+        me: ProcessId,
+        _from: ProcessId,
+        msg: &SvcMsg,
+        n: usize,
+    ) -> Effects<SvcMsg> {
+        match *msg {
+            SvcMsg::Request(r) => self.handle_request(me, r, n),
+            SvcMsg::Replicate {
+                origin,
+                seq,
+                key,
+                value,
+            } => {
+                self.lww(key, value, (seq, origin.0));
+                Effects::none()
+            }
+            // Responses travel outward (as outputs), never inward.
+            SvcMsg::Response { .. } => Effects::none(),
+        }
+    }
+
+    fn digest(&self) -> u64 {
+        self.service_digest()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -196,5 +649,147 @@ mod tests {
         let eff = kv.on_start(ProcessId(0), 4);
         assert_eq!(eff.sends.len(), 3);
         assert_eq!(kv.applied, 1);
+    }
+
+    // --- KvService ----------------------------------------------------
+
+    fn request(client: u64, req: u64, op: SvcOp) -> SvcMsg {
+        SvcMsg::Request(SvcRequest { client, req, op })
+    }
+
+    fn reply_of(effects: &Effects<SvcMsg>) -> SvcReply {
+        match effects.outputs.as_slice() {
+            [SvcMsg::Response { reply, .. }] => *reply,
+            other => panic!("expected exactly one response output, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn service_put_replies_and_replicates() {
+        let mut svc = KvService::new();
+        let me = ProcessId(0);
+        let eff = svc.on_message(me, me, &request(7, 1, SvcOp::Put { key: 3, value: 99 }), 3);
+        assert_eq!(reply_of(&eff), SvcReply::Written);
+        assert_eq!(eff.sends.len(), 2, "write fans out to both peers");
+        assert_eq!(svc.get(3), Some(99));
+        assert_eq!(svc.applied_count(7, 1), 1);
+    }
+
+    #[test]
+    fn service_retry_is_idempotent() {
+        let mut svc = KvService::new();
+        let me = ProcessId(0);
+        let put = request(7, 1, SvcOp::Put { key: 3, value: 99 });
+        let first = svc.on_message(me, me, &put, 3);
+        let retry = svc.on_message(me, me, &put, 3);
+        assert_eq!(reply_of(&retry), SvcReply::Written);
+        assert!(retry.sends.is_empty(), "a retry must not re-replicate");
+        assert_eq!(svc.applied_count(7, 1), 1, "write applied exactly once");
+        assert_eq!(reply_of(&first), reply_of(&retry));
+    }
+
+    #[test]
+    fn service_get_del_and_stale() {
+        let mut svc = KvService::new();
+        let me = ProcessId(1);
+        svc.on_message(me, me, &request(4, 1, SvcOp::Put { key: 8, value: 5 }), 2);
+        let got = svc.on_message(me, me, &request(4, 2, SvcOp::Get { key: 8 }), 2);
+        assert_eq!(reply_of(&got), SvcReply::Value(5));
+        let del = svc.on_message(me, me, &request(4, 3, SvcOp::Del { key: 8 }), 2);
+        assert_eq!(reply_of(&del), SvcReply::Written);
+        let miss = svc.on_message(me, me, &request(4, 4, SvcOp::Get { key: 8 }), 2);
+        assert_eq!(reply_of(&miss), SvcReply::NotFound);
+        // A request number from the past is a late duplicate (the client
+        // advanced, so it already saw the answer): discarded without a
+        // response, so the service never answers one request two ways.
+        let stale = svc.on_message(me, me, &request(4, 2, SvcOp::Get { key: 8 }), 2);
+        assert!(stale.outputs.is_empty(), "late duplicate must be silent");
+        assert!(stale.sends.is_empty());
+    }
+
+    #[test]
+    fn service_delete_tombstone_wins_over_late_replication() {
+        // Replica sees the delete (seq 1) before the put (seq 0): the
+        // tombstone's higher version must win regardless of order.
+        let mut svc = KvService::new();
+        let me = ProcessId(2);
+        let del = SvcMsg::Replicate {
+            origin: ProcessId(0),
+            seq: 1,
+            key: 5,
+            value: None,
+        };
+        let put = SvcMsg::Replicate {
+            origin: ProcessId(0),
+            seq: 0,
+            key: 5,
+            value: Some(42),
+        };
+        svc.on_message(me, ProcessId(0), &del, 3);
+        svc.on_message(me, ProcessId(0), &put, 3);
+        assert_eq!(svc.get(5), None);
+        assert!(svc.live_map().is_empty());
+    }
+
+    #[test]
+    fn service_replicas_converge() {
+        let mut owner = KvService::new();
+        let mut replica = KvService::new();
+        let me = ProcessId(0);
+        let eff = owner.on_message(me, me, &request(1, 1, SvcOp::Put { key: 2, value: 7 }), 2);
+        for (to, msg) in &eff.sends {
+            assert_eq!(*to, ProcessId(1));
+            replica.on_message(ProcessId(1), me, msg, 2);
+        }
+        assert_eq!(owner.live_map(), replica.live_map());
+    }
+
+    #[test]
+    fn service_messages_roundtrip_on_the_wire() {
+        use bytes::Buf;
+        use dg_core::wirecodec::Payload;
+        let msgs = [
+            request(u64::MAX, 3, SvcOp::Put { key: 1, value: 2 }),
+            request(0, 0, SvcOp::Del { key: 9 }),
+            request(5, 1, SvcOp::Get { key: 65535 }),
+            SvcMsg::Replicate {
+                origin: ProcessId(3),
+                seq: 12,
+                key: 4,
+                value: Some(1_000_000),
+            },
+            SvcMsg::Replicate {
+                origin: ProcessId(0),
+                seq: 0,
+                key: 0,
+                value: None,
+            },
+            SvcMsg::Response {
+                client: 17,
+                req: 200,
+                reply: SvcReply::Value(33),
+            },
+            SvcMsg::Response {
+                client: 1,
+                req: 2,
+                reply: SvcReply::Stale,
+            },
+        ];
+        for msg in &msgs {
+            let mut buf = bytes::BytesMut::new();
+            msg.encode(&mut buf);
+            let mut bytes = buf.freeze();
+            let back = SvcMsg::decode(&mut bytes).expect("roundtrip");
+            assert_eq!(&back, msg);
+            assert!(!bytes.has_remaining(), "trailing bytes after {msg:?}");
+        }
+        // Truncations error out instead of panicking.
+        let mut buf = bytes::BytesMut::new();
+        msgs[0].encode(&mut buf);
+        let full = buf.freeze();
+        for cut in 0..full.len() {
+            let mut t = full.slice(0..cut);
+            assert!(SvcMsg::decode(&mut t).is_err(), "cut at {cut} must fail");
+        }
     }
 }

@@ -14,6 +14,7 @@
 //! | [`Pipeline`] | source → stages → sink | exactly-once-per-item processing, sequence gaps |
 //! | [`MeshChatter`] | seeded all-to-all chatter | high fan-out load for benches |
 //! | [`KvStore`] | LWW replicated map | convergence; idempotence under duplicates |
+//! | [`KvService`] | served KV/session store | client-visible exactly-once through output commit |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -29,7 +30,7 @@ mod ring;
 pub use bank::{Bank, BankMsg};
 pub use chatter::{ChatMsg, MeshChatter};
 pub use gossip::{Gossip, GossipMsg, SCALE};
-pub use kvstore::{KvMsg, KvStore};
+pub use kvstore::{KvMsg, KvService, KvStore, SvcMsg, SvcOp, SvcReply, SvcRequest};
 pub use pipeline::{Pipeline, PipelineMsg, PipelineRole};
 pub use relay::Relay;
 pub use ring::RingCounter;

@@ -3,7 +3,7 @@
 //! ```text
 //! experiments [all|table1|rollbacks|piggyback|asynchrony|concurrent|
 //!              ordering|overhead|optimism|domino|maxstate|commit|gc|lossy|
-//!              engine|hotpath|scaling]
+//!              engine|hotpath|scaling|service]
 //!             [--quick]
 //! ```
 //!
@@ -173,6 +173,15 @@ fn main() {
         println!();
     }
     let mut violations = 0u64;
+    if run("service") {
+        println!("== E16: served store — client-visible latency through a crash ==\n");
+        let (t, json, v) = service(quick);
+        show(&t);
+        std::fs::write("BENCH_service.json", json).expect("write BENCH_service.json");
+        println!("wrote BENCH_service.json");
+        println!();
+        violations += v;
+    }
     if run("lossy") {
         println!("== E12: recovery over a lossy control plane ==");
         println!("   loss applied to every channel (tokens and acks included)\n");

@@ -44,6 +44,22 @@ pub struct DgConfig {
     pub token_retry_timeout: u64,
     /// Upper bound on the exponential backoff (microseconds).
     pub token_backoff_cap: u64,
+    /// Jitter applied to every token retransmission delay, as the
+    /// percentage of the nominal backoff that may be shaved off
+    /// (`0..=100`). The actual delay is drawn deterministically from
+    /// `[backoff * (100 - pct) / 100, backoff]` by hashing the retrying
+    /// process, the token identity and the attempt number — decorrelating
+    /// the retry schedules of processes that armed their timers in
+    /// lockstep (e.g. when a partition heals), without giving the engine
+    /// an RNG. `0` restores the exact unjittered schedule.
+    pub token_retry_jitter_pct: u8,
+    /// Give up retransmitting a pending token after this many retry
+    /// rounds (the original broadcast not counted), dropping the
+    /// acknowledgement obligation and counting
+    /// `ProcessStats::token_retries_exhausted`. `None` retries forever —
+    /// the default, since quiescence-based suites rely on pending tokens
+    /// draining to zero only via acknowledgement.
+    pub token_retry_limit: Option<u32>,
 }
 
 impl DgConfig {
@@ -61,6 +77,8 @@ impl DgConfig {
             reliable_tokens: false,
             token_retry_timeout: 2_000,
             token_backoff_cap: 64_000,
+            token_retry_jitter_pct: 25,
+            token_retry_limit: None,
         }
     }
 
@@ -147,6 +165,33 @@ impl DgConfig {
         self.token_backoff_cap = cap;
         self
     }
+
+    /// Builder-style retransmission jitter (percentage of the nominal
+    /// backoff that may be shaved off each retry delay).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pct > 100`.
+    #[must_use]
+    pub fn token_jitter(mut self, pct: u8) -> DgConfig {
+        assert!(pct <= 100, "jitter percentage above 100");
+        self.token_retry_jitter_pct = pct;
+        self
+    }
+
+    /// Builder-style retransmission cap: give up on a pending token
+    /// after `limit` retry rounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `limit` is zero (use `None` semantics — the default —
+    /// to retry forever).
+    #[must_use]
+    pub fn token_retry_cap(mut self, limit: u32) -> DgConfig {
+        assert!(limit > 0, "retry limit must be positive");
+        self.token_retry_limit = Some(limit);
+        self
+    }
 }
 
 impl Default for DgConfig {
@@ -199,5 +244,25 @@ mod tests {
     #[should_panic(expected = "backoff cap below initial timeout")]
     fn token_retry_validates_cap() {
         let _ = DgConfig::base().token_retry(1_000, 10);
+    }
+
+    #[test]
+    fn jitter_and_retry_cap_builders() {
+        let c = DgConfig::base().token_jitter(40).token_retry_cap(7);
+        assert_eq!(c.token_retry_jitter_pct, 40);
+        assert_eq!(c.token_retry_limit, Some(7));
+        assert_eq!(DgConfig::base().token_retry_limit, None);
+    }
+
+    #[test]
+    #[should_panic(expected = "jitter percentage above 100")]
+    fn jitter_validates_pct() {
+        let _ = DgConfig::base().token_jitter(101);
+    }
+
+    #[test]
+    #[should_panic(expected = "retry limit must be positive")]
+    fn retry_cap_rejects_zero() {
+        let _ = DgConfig::base().token_retry_cap(0);
     }
 }

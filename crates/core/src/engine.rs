@@ -462,9 +462,34 @@ struct PendingToken {
     unacked: Vec<ProcessId>,
     /// Absolute time of the next retransmission.
     next_retry: u64,
-    /// Current retransmission timeout; doubles per retry, capped at
-    /// [`DgConfig::token_backoff_cap`].
+    /// Current nominal retransmission timeout; doubles per retry, capped
+    /// at [`DgConfig::token_backoff_cap`]. The actual delay is this
+    /// value minus a deterministic jitter
+    /// ([`DgConfig::token_retry_jitter_pct`]).
     backoff: u64,
+    /// Retry rounds already performed (the original broadcast is round
+    /// zero and is not counted).
+    retries: u32,
+}
+
+/// Deterministic jitter for a token retransmission delay: shave up to
+/// `pct`% off `backoff`, with the shave drawn by hashing the retrying
+/// process, the token identity and the attempt number. Pure function of
+/// its arguments — the engine stays RNG-free, replays stay bit-identical
+/// — yet processes that armed their retries in lockstep (a healed
+/// partition, a mass restart) decorrelate because `me` differs.
+fn jittered_backoff(me: ProcessId, entry: Entry, attempt: u32, backoff: u64, pct: u8) -> u64 {
+    if pct == 0 {
+        return backoff.max(1);
+    }
+    let span = ((u128::from(backoff) * u128::from(pct)) / 100) as u64;
+    if span == 0 {
+        return backoff.max(1);
+    }
+    let mut h = crate::fasthash::FxHasher::default();
+    use std::hash::{Hash, Hasher};
+    (me.0, entry.version.0, entry.ts, attempt).hash(&mut h);
+    (backoff - h.finish() % (span + 1)).max(1)
 }
 
 /// The Damani–Garg optimistic recovery protocol around a piecewise-
@@ -1049,11 +1074,19 @@ impl<A: Application> Engine<A> {
             return;
         }
         let backoff = self.config.token_retry_timeout;
+        let delay = jittered_backoff(
+            self.me,
+            token.entry,
+            0,
+            backoff,
+            self.config.token_retry_jitter_pct,
+        );
         self.pending_tokens.push(PendingToken {
             token,
             unacked,
-            next_retry: now + backoff,
+            next_retry: now + delay,
             backoff,
+            retries: 0,
         });
         self.arm_token_retry(now);
     }
@@ -1072,24 +1105,42 @@ impl<A: Application> Engine<A> {
     }
 
     /// Retransmit every due token to its unacknowledged peers, doubling
-    /// its backoff (capped), then re-arm for the next deadline.
+    /// its nominal backoff (capped) and drawing the next delay with
+    /// deterministic jitter, then re-arm for the next deadline. A token
+    /// that has exhausted [`DgConfig::token_retry_limit`] rounds is
+    /// dropped: its remaining peers are presumed unreachable and the
+    /// acknowledgement obligation is abandoned (counted, so suites that
+    /// rely on draining can assert it never fires).
     fn retry_pending_tokens(&mut self, now: u64) {
         let cap = self.config.token_backoff_cap;
+        let jitter = self.config.token_retry_jitter_pct;
+        let limit = self.config.token_retry_limit;
+        let me = self.me;
         let mut resend: Vec<(ProcessId, Token)> = Vec::new();
-        for p in &mut self.pending_tokens {
+        let mut exhausted = 0u64;
+        let mut max_backoff = 0u64;
+        self.pending_tokens.retain_mut(|p| {
             if p.next_retry > now {
-                continue;
+                return true;
+            }
+            if limit.is_some_and(|l| p.retries >= l) {
+                exhausted += 1;
+                return false;
             }
             for &peer in &p.unacked {
                 resend.push((peer, p.token.clone()));
-                self.stats.token_retransmits += 1;
-                self.stats.token_bytes += p.token.wire_bytes() as u64;
             }
+            p.retries += 1;
             p.backoff = (p.backoff * 2).min(cap);
-            self.stats.max_token_backoff = self.stats.max_token_backoff.max(p.backoff);
-            p.next_retry = now + p.backoff;
-        }
+            max_backoff = max_backoff.max(p.backoff);
+            p.next_retry = now + jittered_backoff(me, p.token.entry, p.retries, p.backoff, jitter);
+            true
+        });
+        self.stats.token_retries_exhausted += exhausted;
+        self.stats.max_token_backoff = self.stats.max_token_backoff.max(max_backoff);
         for (peer, token) in resend {
+            self.stats.token_retransmits += 1;
+            self.stats.token_bytes += token.wire_bytes() as u64;
             self.eff_send(peer, Wire::Token(token), true);
         }
         self.arm_token_retry(now);

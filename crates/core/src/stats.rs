@@ -73,6 +73,10 @@ pub struct ProcessStats {
     pub token_acks_sent: u64,
     /// Duplicate tokens suppressed by the `(process, version)` dedup.
     pub duplicate_tokens_dropped: u64,
+    /// Pending tokens abandoned because they hit
+    /// [`crate::DgConfig::token_retry_limit`] retry rounds without full
+    /// acknowledgement.
+    pub token_retries_exhausted: u64,
     /// Largest retransmission backoff reached (microseconds); bounded by
     /// [`crate::DgConfig::token_backoff_cap`].
     pub max_token_backoff: u64,

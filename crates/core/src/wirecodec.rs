@@ -115,6 +115,17 @@ const TAG_TOKEN_ACK: u8 = 2;
 const TAG_RESEND: u8 = 3;
 const TAG_FRONTIER: u8 = 4;
 
+/// Classify an encoded frame by its leading tag byte without decoding
+/// it: `true` for control-plane messages (tokens, acks, frontier
+/// gossip), `false` for application payloads (`App`, `Resend`). The
+/// protocol repairs control loss itself (reliable tokens, periodic
+/// gossip) but assumes reliable channels for application frames, so
+/// fault injectors use this to target only the traffic class whose loss
+/// the protocol is specified to mask.
+pub fn is_control_frame(first_byte: u8) -> bool {
+    !matches!(first_byte, TAG_APP | TAG_RESEND)
+}
+
 fn put_entry(buf: &mut BytesMut, entry: Entry) {
     put_varint(buf, u64::from(entry.version.0));
     put_varint(buf, entry.ts);

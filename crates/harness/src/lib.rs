@@ -15,7 +15,11 @@
 //! * [`oracle`] — the omniscient consistency checker: after a run it
 //!   verifies the paper's guarantees (no surviving orphan dependency,
 //!   at most one rollback per failure per process, empty postponement
-//!   queues, FTVC sanity) against ground truth the protocol cannot see.
+//!   queues, FTVC sanity) against ground truth the protocol cannot see;
+//! * [`service_oracle`] — the client-visible contract checker for the
+//!   served store (`dg-service`): no acked write lost, no phantom read,
+//!   no duplicate side effect, replica convergence, deterministic
+//!   answers.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -25,6 +29,7 @@ mod faults;
 pub mod oracle;
 mod report;
 mod runner;
+pub mod service_oracle;
 
 pub use faults::{CrashSpec, FaultPlan, PartitionSpec};
 pub use report::{ProtoReport, SystemSummary};

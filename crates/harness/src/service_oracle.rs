@@ -1,0 +1,374 @@
+//! The client-visible consistency oracle for the served store.
+//!
+//! The protocol-level oracle ([`crate::oracle`]) checks the paper's
+//! claims from *inside* the system: clocks, tokens, rollback counts.
+//! This module checks the promise made *across* the service boundary —
+//! what a client of `dg-service` may rely on even while the replica
+//! group is being crashed, partitioned and corrupted:
+//!
+//! 1. **No acked write lost** — once a client saw a write acknowledged,
+//!    the write's effect survives every subsequent failure: the final
+//!    replicated state reflects the last acknowledged write per key
+//!    (or a later write the client issued but never saw acked, whose
+//!    fate is legitimately indeterminate).
+//! 2. **No rolled-back write observed** — a read never returns a value
+//!    that no client ever wrote; every observed value traces to an
+//!    issued write for that key. Responses are released only after
+//!    output commit, so a value computed from later-rolled-back state
+//!    can never have reached a client.
+//! 3. **No duplicate side effect** — each acknowledged write was applied
+//!    exactly once across the whole replica group, client retries
+//!    notwithstanding.
+//! 4. **Convergence** — all live replicas agree on the map.
+//! 5. **Response determinism** — if a retry made the service answer the
+//!    same request twice, both answers were identical.
+//!
+//! The checks assume the chaos workload's discipline: each key is
+//! written by exactly one client (reads are unrestricted), and a client
+//! retries a request until acknowledged or gives it up forever. That is
+//! exactly how `dg-service`'s chaos driver behaves; the oracle does not
+//! try to solve the general concurrent-linearizability problem.
+//!
+//! Types here are deliberately primitive (no `dg-apps` dependency): the
+//! service layer translates its own reply enums into journal entries.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::oracle::Violation;
+
+/// One write operation as the issuing client saw it. `value: None` is a
+/// delete.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WriteRecord {
+    /// Issuing client.
+    pub client: u64,
+    /// Client-local request number (strictly increasing per client).
+    pub req: u64,
+    /// Key written — owned by `client` under the workload discipline.
+    pub key: u16,
+    /// Value written; `None` deletes the key.
+    pub value: Option<u64>,
+}
+
+/// One read result as the issuing client saw it (post-ack). `value:
+/// None` means the service answered "not found".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReadRecord {
+    /// Issuing client.
+    pub client: u64,
+    /// Client-local request number.
+    pub req: u64,
+    /// Key read.
+    pub key: u16,
+    /// Observed value.
+    pub value: Option<u64>,
+}
+
+/// Every response a client physically received, duplicates included,
+/// with the reply condensed to a comparable word (the service layer
+/// picks the encoding; the oracle only compares for equality).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResponseRecord {
+    /// Addressed client.
+    pub client: u64,
+    /// Answered request.
+    pub req: u64,
+    /// Condensed reply, equal iff the replies were equal.
+    pub summary: u64,
+}
+
+/// Everything the clients collectively witnessed during a run.
+#[derive(Debug, Clone, Default)]
+pub struct ServiceJournal {
+    /// Writes whose acknowledgement reached the client.
+    pub acked_writes: Vec<WriteRecord>,
+    /// Writes issued (possibly applied) but never seen acknowledged —
+    /// typically abandoned at a client deadline. Their fate is
+    /// indeterminate by definition; the oracle treats them as wildcards.
+    pub unacked_writes: Vec<WriteRecord>,
+    /// Acknowledged reads and what they returned.
+    pub observed_gets: Vec<ReadRecord>,
+    /// Raw response stream, duplicates included.
+    pub responses: Vec<ResponseRecord>,
+}
+
+/// What one replica's final state contributes to the check.
+#[derive(Debug, Clone, Default)]
+pub struct ReplicaFacts {
+    /// Live key → value map (tombstones elided).
+    pub live_map: BTreeMap<u16, u64>,
+    /// `(client, req) → times applied` on this replica.
+    pub applied: Vec<((u64, u64), u32)>,
+}
+
+/// Run every client-visible check; violations are appended in place.
+pub fn check_service(
+    journal: &ServiceJournal,
+    replicas: &[ReplicaFacts],
+    violations: &mut Vec<Violation>,
+) {
+    check_convergence(replicas, violations);
+    check_acked_writes_durable(journal, replicas, violations);
+    check_reads_trace_to_writes(journal, violations);
+    check_exactly_once_apply(journal, replicas, violations);
+    check_response_determinism(journal, violations);
+}
+
+/// Claim 4: all live replicas hold the same map.
+fn check_convergence(replicas: &[ReplicaFacts], violations: &mut Vec<Violation>) {
+    let Some(first) = replicas.first() else {
+        return;
+    };
+    for (i, r) in replicas.iter().enumerate().skip(1) {
+        if r.live_map != first.live_map {
+            violations.push(Violation(format!(
+                "service: replica {i} diverged from replica 0: {:?} vs {:?}",
+                r.live_map, first.live_map
+            )));
+        }
+    }
+}
+
+/// Claim 1: per key, the final value equals the last acknowledged write
+/// — or one of the client's later never-acked writes, whose outcome is
+/// legitimately unknown.
+fn check_acked_writes_durable(
+    journal: &ServiceJournal,
+    replicas: &[ReplicaFacts],
+    violations: &mut Vec<Violation>,
+) {
+    let Some(replica) = replicas.first() else {
+        return;
+    };
+    // Last acked write per key, by the owning client's request order.
+    let mut last_acked: BTreeMap<u16, WriteRecord> = BTreeMap::new();
+    for w in &journal.acked_writes {
+        let slot = last_acked.entry(w.key).or_insert(*w);
+        if w.req >= slot.req {
+            *slot = *w;
+        }
+    }
+    for (key, w) in &last_acked {
+        let finalv = replica.live_map.get(key).copied();
+        if finalv == w.value {
+            continue;
+        }
+        // A later, never-acked write by the same owner may or may not
+        // have landed; either outcome honors the contract.
+        let excused = journal
+            .unacked_writes
+            .iter()
+            .any(|u| u.key == *key && u.client == w.client && u.req > w.req && u.value == finalv);
+        if !excused {
+            violations.push(Violation(format!(
+                "service: acked write lost on key {key}: client {} req {} acked \
+                 value {:?}, but the final replicated value is {:?}",
+                w.client, w.req, w.value, finalv
+            )));
+        }
+    }
+}
+
+/// Claim 2: every observed read value was actually written to that key
+/// at some point — no phantom (rolled-back-and-invented) values.
+fn check_reads_trace_to_writes(journal: &ServiceJournal, violations: &mut Vec<Violation>) {
+    let mut written: BTreeMap<u16, BTreeSet<u64>> = BTreeMap::new();
+    for w in journal.acked_writes.iter().chain(&journal.unacked_writes) {
+        if let Some(v) = w.value {
+            written.entry(w.key).or_default().insert(v);
+        }
+    }
+    for g in &journal.observed_gets {
+        let Some(v) = g.value else {
+            continue; // "not found" is always permitted by this claim
+        };
+        let known = written.get(&g.key).is_some_and(|s| s.contains(&v));
+        if !known {
+            violations.push(Violation(format!(
+                "service: client {} req {} read value {v} from key {} that no \
+                 client ever wrote",
+                g.client, g.req, g.key
+            )));
+        }
+    }
+}
+
+/// Claim 3: each acknowledged write was applied exactly once across the
+/// replica group; an unacked write at most once.
+fn check_exactly_once_apply(
+    journal: &ServiceJournal,
+    replicas: &[ReplicaFacts],
+    violations: &mut Vec<Violation>,
+) {
+    let mut total: BTreeMap<(u64, u64), u32> = BTreeMap::new();
+    for r in replicas {
+        for &(id, count) in &r.applied {
+            *total.entry(id).or_insert(0) += count;
+        }
+    }
+    for w in &journal.acked_writes {
+        let count = total.get(&(w.client, w.req)).copied().unwrap_or(0);
+        if count != 1 {
+            violations.push(Violation(format!(
+                "service: acked write client {} req {} applied {count} times \
+                 (exactly-once violated)",
+                w.client, w.req
+            )));
+        }
+    }
+    for w in &journal.unacked_writes {
+        let count = total.get(&(w.client, w.req)).copied().unwrap_or(0);
+        if count > 1 {
+            violations.push(Violation(format!(
+                "service: unacked write client {} req {} applied {count} times \
+                 (at-most-once violated)",
+                w.client, w.req
+            )));
+        }
+    }
+}
+
+/// Claim 5: duplicated answers to one request are identical.
+fn check_response_determinism(journal: &ServiceJournal, violations: &mut Vec<Violation>) {
+    let mut seen: BTreeMap<(u64, u64), u64> = BTreeMap::new();
+    for r in &journal.responses {
+        match seen.get(&(r.client, r.req)) {
+            None => {
+                seen.insert((r.client, r.req), r.summary);
+            }
+            Some(&first) if first != r.summary => {
+                violations.push(Violation(format!(
+                    "service: client {} req {} answered inconsistently \
+                     ({first:#x} then {:#x})",
+                    r.client, r.req, r.summary
+                )));
+            }
+            Some(_) => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn write(client: u64, req: u64, key: u16, value: Option<u64>) -> WriteRecord {
+        WriteRecord {
+            client,
+            req,
+            key,
+            value,
+        }
+    }
+
+    fn facts(map: &[(u16, u64)], applied: &[((u64, u64), u32)]) -> ReplicaFacts {
+        ReplicaFacts {
+            live_map: map.iter().copied().collect(),
+            applied: applied.to_vec(),
+        }
+    }
+
+    #[test]
+    fn clean_run_passes() {
+        let journal = ServiceJournal {
+            acked_writes: vec![write(1, 0, 3, Some(30)), write(1, 1, 3, Some(31))],
+            unacked_writes: vec![],
+            observed_gets: vec![ReadRecord {
+                client: 2,
+                req: 0,
+                key: 3,
+                value: Some(30),
+            }],
+            responses: vec![
+                ResponseRecord {
+                    client: 1,
+                    req: 0,
+                    summary: 7,
+                },
+                ResponseRecord {
+                    client: 1,
+                    req: 0,
+                    summary: 7,
+                },
+            ],
+        };
+        let replicas = [
+            facts(&[(3, 31)], &[((1, 0), 1), ((1, 1), 1)]),
+            facts(&[(3, 31)], &[]),
+        ];
+        let mut v = Vec::new();
+        check_service(&journal, &replicas, &mut v);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn lost_acked_write_is_flagged() {
+        let journal = ServiceJournal {
+            acked_writes: vec![write(1, 0, 3, Some(30))],
+            ..ServiceJournal::default()
+        };
+        let replicas = [facts(&[], &[((1, 0), 1)])];
+        let mut v = Vec::new();
+        check_service(&journal, &replicas, &mut v);
+        assert!(v.iter().any(|x| x.0.contains("acked write lost")), "{v:?}");
+    }
+
+    #[test]
+    fn later_unacked_write_excuses_divergence_either_way() {
+        // Acked 30, then an unacked 31: final state may be either.
+        for (finalv, applied31) in [(30u64, 0u32), (31, 1)] {
+            let journal = ServiceJournal {
+                acked_writes: vec![write(1, 0, 3, Some(30))],
+                unacked_writes: vec![write(1, 1, 3, Some(31))],
+                ..ServiceJournal::default()
+            };
+            let replicas = [facts(&[(3, finalv)], &[((1, 0), 1), ((1, 1), applied31)])];
+            let mut v = Vec::new();
+            check_service(&journal, &replicas, &mut v);
+            assert!(v.is_empty(), "final {finalv}: {v:?}");
+        }
+    }
+
+    #[test]
+    fn phantom_read_and_double_apply_are_flagged() {
+        let journal = ServiceJournal {
+            acked_writes: vec![write(1, 0, 3, Some(30))],
+            observed_gets: vec![ReadRecord {
+                client: 2,
+                req: 0,
+                key: 3,
+                value: Some(999),
+            }],
+            ..ServiceJournal::default()
+        };
+        let replicas = [facts(&[(3, 30)], &[((1, 0), 2)])];
+        let mut v = Vec::new();
+        check_service(&journal, &replicas, &mut v);
+        assert!(v.iter().any(|x| x.0.contains("ever wrote")), "{v:?}");
+        assert!(v.iter().any(|x| x.0.contains("applied 2 times")), "{v:?}");
+    }
+
+    #[test]
+    fn divergent_replicas_and_inconsistent_answers_are_flagged() {
+        let journal = ServiceJournal {
+            responses: vec![
+                ResponseRecord {
+                    client: 1,
+                    req: 0,
+                    summary: 7,
+                },
+                ResponseRecord {
+                    client: 1,
+                    req: 0,
+                    summary: 8,
+                },
+            ],
+            ..ServiceJournal::default()
+        };
+        let replicas = [facts(&[(3, 30)], &[]), facts(&[(3, 31)], &[])];
+        let mut v = Vec::new();
+        check_service(&journal, &replicas, &mut v);
+        assert!(v.iter().any(|x| x.0.contains("diverged")), "{v:?}");
+        assert!(v.iter().any(|x| x.0.contains("inconsistently")), "{v:?}");
+    }
+}

@@ -1,0 +1,327 @@
+//! Fault injection for the real network: a per-node TCP proxy that
+//! drops, delays, corrupts and severs live connections.
+//!
+//! When a [`crate::Cluster`] is launched with a fault seed, every
+//! inter-node connection is routed through a loopback proxy in front of
+//! the destination node. Frames carry the sender id in their header, so
+//! the proxy can apply **per-link** rules — `(from → to)` — even though
+//! all of a node's inbound traffic shares one listener:
+//!
+//! * **drop** — the frame silently vanishes (message loss);
+//! * **delay** — the frame (and, head-of-line, everything behind it on
+//!   that connection) stalls for a fixed latency spike;
+//! * **corrupt** — one byte of the frame body is flipped before
+//!   forwarding, exercising the receiver's decode-failure path;
+//! * **block** — a partition: every frame on the link is dropped until
+//!   the link heals;
+//! * **sever** — [`FaultHandle::sever_connections`] closes every live
+//!   proxied connection, forcing the sender-side mesh through its
+//!   reconnect path.
+//!
+//! Randomized decisions (drop and corrupt draws, which byte to flip)
+//! come from a seeded RNG per proxied connection, so a fault schedule is
+//! reproducible for a given seed and connection arrival order. The
+//! proxy never parses beyond the frame header: protocol bytes stay
+//! exactly the bytes the engines exchanged.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Fault rules for one directed link `(from → to)`.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct LinkRule {
+    /// Partition: stall every frame while set (the TCP-faithful model —
+    /// a partition delays segments indefinitely, it does not destroy
+    /// acknowledged stream data). Frames resume, in order, on heal.
+    pub blocked: bool,
+    /// Probability that a frame is dropped.
+    pub drop_prob: f64,
+    /// Probability that one byte of a forwarded frame's wire payload is
+    /// flipped (its checksum left stale, so the receiver must detect it).
+    pub corrupt_prob: f64,
+    /// Added latency per frame (head-of-line within the connection).
+    pub delay_us: u64,
+    /// Restrict `drop_prob` and `corrupt_prob` to control-plane frames
+    /// (tokens, acks, frontier gossip). The paper assumes reliable
+    /// application channels — the reliable-token sublayer only masks
+    /// *control* loss — so chaos runs that still expect app-level
+    /// completeness set this. Partition and delay apply regardless.
+    pub control_only: bool,
+}
+
+/// Counters of what the injector actually did (monotone).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Frames dropped (blocked links and probabilistic drops).
+    pub frames_dropped: u64,
+    /// Frames forwarded with a flipped byte.
+    pub frames_corrupted: u64,
+    /// Frames held for a latency spike before forwarding.
+    pub frames_delayed: u64,
+    /// Frames stalled behind a partition (forwarded after the heal).
+    pub frames_blocked: u64,
+    /// Proxied connections closed by [`FaultHandle::sever_connections`].
+    pub connections_severed: u64,
+}
+
+pub(crate) struct FaultState {
+    n: usize,
+    seed: u64,
+    /// Row-major `from * n + to`.
+    rules: Mutex<Vec<LinkRule>>,
+    /// Bumped by `sever_connections`; forwarders close when they notice.
+    generation: AtomicU64,
+    conn_counter: AtomicU64,
+    dropped: AtomicU64,
+    corrupted: AtomicU64,
+    delayed: AtomicU64,
+    blocked: AtomicU64,
+    severed: AtomicU64,
+}
+
+/// Control handle over a cluster's fault-injection proxies. Cheap to
+/// clone; every clone steers the same injector.
+#[derive(Clone)]
+pub struct FaultHandle {
+    inner: Arc<FaultState>,
+}
+
+impl FaultHandle {
+    pub(crate) fn new(n: usize, seed: u64) -> FaultHandle {
+        FaultHandle {
+            inner: Arc::new(FaultState {
+                n,
+                seed,
+                rules: Mutex::new(vec![LinkRule::default(); n * n]),
+                generation: AtomicU64::new(0),
+                conn_counter: AtomicU64::new(0),
+                dropped: AtomicU64::new(0),
+                corrupted: AtomicU64::new(0),
+                delayed: AtomicU64::new(0),
+                blocked: AtomicU64::new(0),
+                severed: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    fn with_rules(&self, f: impl FnOnce(&mut Vec<LinkRule>)) {
+        f(&mut self.inner.rules.lock().expect("fault rules poisoned"));
+    }
+
+    /// Set the rule for the directed link `from → to`.
+    pub fn set_link(&self, from: usize, to: usize, rule: LinkRule) {
+        let n = self.inner.n;
+        assert!(from < n && to < n, "link endpoints out of range");
+        self.with_rules(|r| r[from * n + to] = rule);
+    }
+
+    /// Set every link to `rule`.
+    pub fn set_all(&self, rule: LinkRule) {
+        self.with_rules(|r| r.fill(rule));
+    }
+
+    /// Drop every frame with probability `p`, on every link.
+    pub fn drop_all(&self, p: f64) {
+        self.with_rules(|r| r.iter_mut().for_each(|rule| rule.drop_prob = p));
+    }
+
+    /// Add `us` of latency to every frame, on every link.
+    pub fn delay_all(&self, us: u64) {
+        self.with_rules(|r| r.iter_mut().for_each(|rule| rule.delay_us = us));
+    }
+
+    /// Partition the cluster: block every link whose endpoints sit in
+    /// different groups (`groups[i]` is node `i`'s side).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `groups` does not name every node.
+    pub fn partition(&self, groups: &[u8]) {
+        let n = self.inner.n;
+        assert_eq!(groups.len(), n, "one group per node");
+        self.with_rules(|r| {
+            for from in 0..n {
+                for to in 0..n {
+                    r[from * n + to].blocked = groups[from] != groups[to];
+                }
+            }
+        });
+    }
+
+    /// Heal every partition (clears `blocked`; other rules stand).
+    pub fn heal(&self) {
+        self.with_rules(|r| r.iter_mut().for_each(|rule| rule.blocked = false));
+    }
+
+    /// Clear every rule back to the transparent default.
+    pub fn clear(&self) {
+        self.set_all(LinkRule::default());
+    }
+
+    /// Close every live proxied connection. Senders hit a write error on
+    /// their next frame and reconnect (or drop the frame and count it,
+    /// which the protocol tolerates).
+    pub fn sever_connections(&self) {
+        self.inner.generation.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Snapshot of the injector's counters.
+    pub fn stats(&self) -> FaultStats {
+        FaultStats {
+            frames_dropped: self.inner.dropped.load(Ordering::Relaxed),
+            frames_corrupted: self.inner.corrupted.load(Ordering::Relaxed),
+            frames_delayed: self.inner.delayed.load(Ordering::Relaxed),
+            frames_blocked: self.inner.blocked.load(Ordering::Relaxed),
+            connections_severed: self.inner.severed.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Bind one proxy listener per node and start their accept loops.
+/// Returns the proxy addresses in node order; the mesh dials these
+/// instead of the real listeners.
+pub(crate) fn spawn_proxies(
+    handle: &FaultHandle,
+    real_addrs: &[SocketAddr],
+    stop: &Arc<AtomicBool>,
+) -> std::io::Result<Vec<SocketAddr>> {
+    let mut proxy_addrs = Vec::with_capacity(real_addrs.len());
+    for (to, &real_addr) in real_addrs.iter().enumerate() {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        proxy_addrs.push(listener.local_addr()?);
+        let state = Arc::clone(&handle.inner);
+        let stop = Arc::clone(stop);
+        thread::spawn(move || proxy_acceptor(listener, to, real_addr, state, stop));
+    }
+    Ok(proxy_addrs)
+}
+
+/// Accept loop of one node's proxy listener: each inbound connection
+/// gets a forwarder thread relaying frames to the node's real listener.
+fn proxy_acceptor(
+    listener: TcpListener,
+    to: usize,
+    real_addr: SocketAddr,
+    state: Arc<FaultState>,
+    stop: Arc<AtomicBool>,
+) {
+    for stream in listener.incoming() {
+        if stop.load(Ordering::Relaxed) {
+            return;
+        }
+        let Ok(stream) = stream else { continue };
+        let _ = stream.set_nodelay(true);
+        let state = Arc::clone(&state);
+        thread::spawn(move || forwarder(stream, to, real_addr, &state));
+    }
+}
+
+/// Read exactly `buf.len()` bytes; `false` on EOF or error.
+fn read_full(r: &mut impl Read, buf: &mut [u8]) -> bool {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) | Err(_) => return false,
+            Ok(k) => filled += k,
+        }
+    }
+    true
+}
+
+fn forwarder(mut inbound: TcpStream, to: usize, real_addr: SocketAddr, state: &FaultState) {
+    // Frame body bytes before the wire payload: sender id + checksum.
+    const OVERHEAD: usize = 6;
+    let born = state.generation.load(Ordering::SeqCst);
+    let conn = state.conn_counter.fetch_add(1, Ordering::Relaxed);
+    let mut rng = StdRng::seed_from_u64(state.seed ^ conn.rotate_left(32) ^ to as u64);
+    let Ok(mut upstream) = TcpStream::connect(real_addr) else {
+        return;
+    };
+    let _ = upstream.set_nodelay(true);
+    let n = state.n;
+    loop {
+        let mut len_buf = [0u8; 4];
+        if !read_full(&mut inbound, &mut len_buf) {
+            return; // teardown: dropping both streams closes the relay
+        }
+        let len = u32::from_le_bytes(len_buf) as usize;
+        if !(OVERHEAD..=1 << 24).contains(&len) {
+            // Already-garbled traffic: forward the bytes verbatim and let
+            // the destination's reader surface the malformed frame.
+            let _ = upstream.write_all(&len_buf);
+            let mut spill = [0u8; 4096];
+            while let Ok(k) = inbound.read(&mut spill) {
+                if k == 0 || upstream.write_all(&spill[..k]).is_err() {
+                    return;
+                }
+            }
+            return;
+        }
+        let mut body = vec![0u8; len];
+        if !read_full(&mut inbound, &mut body) {
+            return;
+        }
+        if state.generation.load(Ordering::SeqCst) != born {
+            state.severed.fetch_add(1, Ordering::Relaxed);
+            return; // both connections drop: the link is severed
+        }
+        let from = u16::from_le_bytes([body[0], body[1]]) as usize;
+        let fetch_rule = || {
+            let rules = state.rules.lock().expect("fault rules poisoned");
+            from.checked_mul(n)
+                .and_then(|row| rules.get(row + to).copied())
+                .unwrap_or_default()
+        };
+        let mut rule = fetch_rule();
+        if rule.blocked {
+            // Partition: stall (head-of-line, like real TCP) until the
+            // link heals or the connection is severed outright.
+            state.blocked.fetch_add(1, Ordering::Relaxed);
+            while rule.blocked {
+                thread::sleep(Duration::from_millis(2));
+                if state.generation.load(Ordering::SeqCst) != born {
+                    state.severed.fetch_add(1, Ordering::Relaxed);
+                    return;
+                }
+                rule = fetch_rule();
+            }
+        }
+        // Control frames (tokens, acks, frontier gossip) are repaired by
+        // the protocol itself; application frames ride the reliable
+        // channel the paper assumes, so `control_only` rules spare them.
+        let is_control = body
+            .get(OVERHEAD)
+            .is_some_and(|&tag| dg_core::wirecodec::is_control_frame(tag));
+        let lossy_here = !rule.control_only || is_control;
+        if lossy_here && rule.drop_prob > 0.0 && rng.gen_bool(rule.drop_prob) {
+            state.dropped.fetch_add(1, Ordering::Relaxed);
+            continue;
+        }
+        if rule.delay_us > 0 {
+            state.delayed.fetch_add(1, Ordering::Relaxed);
+            thread::sleep(Duration::from_micros(rule.delay_us));
+        }
+        if lossy_here
+            && body.len() > OVERHEAD
+            && rule.corrupt_prob > 0.0
+            && rng.gen_bool(rule.corrupt_prob)
+        {
+            // Flip a wire byte but leave the checksum alone: the
+            // destination must detect the damage and treat the frame as
+            // lost, never deliver it altered.
+            let at = rng.gen_range(OVERHEAD..body.len());
+            body[at] ^= 0xff;
+            state.corrupted.fetch_add(1, Ordering::Relaxed);
+        }
+        if upstream.write_all(&len_buf).is_err() || upstream.write_all(&body).is_err() {
+            return;
+        }
+    }
+}

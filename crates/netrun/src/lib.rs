@@ -9,10 +9,14 @@
 //! Everything runtime-specific lives here:
 //!
 //! * **Transport** — a full TCP mesh on loopback. Frames are
-//!   length-prefixed: `[u32 LE frame length][u16 LE sender id][wire
-//!   bytes]`, where the wire bytes are exactly the
-//!   [`dg_core::wirecodec`] encoding (so the piggyback sizes measured in
-//!   simulation are the bytes on the real wire).
+//!   length-prefixed: `[u32 LE frame length][u16 LE sender id][u32 LE
+//!   FNV-1a checksum][wire bytes]`, where the wire bytes are exactly
+//!   the [`dg_core::wirecodec`] encoding (so the piggyback sizes
+//!   measured in simulation are the bytes on the real wire). The
+//!   checksum turns in-flight corruption into *detected* message loss —
+//!   which retransmission repairs — instead of a silently altered
+//!   message; truncated or nonsense length prefixes drop the connection
+//!   before they can wedge a reader.
 //! * **Time** — microseconds since cluster launch, read from the OS
 //!   monotonic clock and passed into the engine as `Input::*::now`. The
 //!   engine never reads a clock itself.
@@ -33,6 +37,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod faults;
+
 use std::collections::BinaryHeap;
 use std::io::{BufReader, IoSlice, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -44,9 +50,12 @@ use std::time::{Duration, Instant};
 use bytes::BytesMut;
 use dg_core::wirecodec::{decode_wire, encode_wire_into, Payload};
 use dg_core::{
-    Application, DgConfig, Effect, EffectSink, Engine, EngineView, Input, ProtocolEngine, Wire,
+    Application, DgConfig, Effect, EffectSink, Engine, EngineView, Input, ProtocolEngine,
+    StorageFault, Wire,
 };
 use dg_ftvc::ProcessId;
+
+pub use faults::{FaultHandle, FaultStats, LinkRule};
 
 /// Runtime knobs for a [`Cluster`].
 #[derive(Debug, Clone, Copy)]
@@ -92,22 +101,67 @@ pub struct NodeStatus {
     /// loss, but a happy-path run should report zero — the smoke test
     /// asserts exactly that.
     pub frames_dropped: u64,
+    /// Inbound frames this node discarded as malformed: truncated or
+    /// out-of-range length prefixes, frames cut mid-body, or bodies that
+    /// failed wire decoding. Each costs at worst one dropped connection
+    /// (the sender reconnects) — never a panic, never a wedged node.
+    pub frames_corrupt: u64,
+    /// Why the most recent corrupt frame was rejected, for diagnostics
+    /// (`None` until the first rejection).
+    pub last_corrupt_reason: Option<&'static str>,
 }
 
-enum Event {
+enum Event<C> {
     /// A framed message arrived from `from`.
     Frame { from: ProcessId, bytes: Vec<u8> },
+    /// An inbound connection produced a frame the reader rejected: a
+    /// malformed length prefix, a truncation mid-frame, or a body
+    /// failing its checksum. Counted, never fatal.
+    Mangled { reason: &'static str },
+    /// Inject an external command: the engine logs it and sends the
+    /// payload to `to` with full recovery tracking (the service layer's
+    /// front door).
+    AppSend { to: ProcessId, payload: C },
     /// Inject a crash; the node restarts itself after `downtime_us`.
     Crash { downtime_us: u64 },
+    /// Inject a storage fault into the engine.
+    Fault(StorageFault),
     /// Report current status.
     Probe { reply: mpsc::Sender<NodeStatus> },
     /// Finish: the node thread returns its engine.
     Stop,
 }
 
+/// A batch of application outputs the engine just committed — i.e. made
+/// dependency-stable, so no future rollback can retract them. Streamed
+/// over the channel passed in [`ClusterOptions::commits`]; the service
+/// layer answers clients from exactly this stream.
+#[derive(Debug, Clone)]
+pub struct CommittedBatch<M> {
+    /// Index of the node that committed.
+    pub node: usize,
+    /// The committed outputs, in commit order.
+    pub outputs: Vec<M>,
+}
+
 /// Microseconds elapsed since `start`, saturating into `u64`.
 fn now_us(start: &Instant) -> u64 {
     u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX)
+}
+
+/// Frame body bytes that precede the wire payload: sender id (2) plus
+/// body checksum (4).
+const FRAME_OVERHEAD: usize = 6;
+
+/// FNV-1a over the wire bytes of one frame — the integrity check that
+/// turns a flipped bit on the wire into detected message loss.
+fn frame_checksum(wire_bytes: &[u8]) -> u32 {
+    let mut hash: u32 = 0x811c_9dc5;
+    for &b in wire_bytes {
+        hash ^= u32::from(b);
+        hash = hash.wrapping_mul(0x0100_0193);
+    }
+    hash
 }
 
 // ---------------------------------------------------------------------
@@ -166,11 +220,14 @@ impl Mesh {
         slot.as_mut()
     }
 
-    /// The 6-byte frame header: `[u32 LE frame length][u16 LE sender]`.
-    fn header(&self, wire_len: usize) -> [u8; 6] {
-        let mut header = [0u8; 6];
-        header[..4].copy_from_slice(&((2 + wire_len) as u32).to_le_bytes());
-        header[4..].copy_from_slice(&self.me.0.to_le_bytes());
+    /// The 10-byte frame header: `[u32 LE frame length][u16 LE sender]
+    /// [u32 LE checksum]`, where the length covers the sender id, the
+    /// checksum, and the wire bytes.
+    fn header(&self, wire_bytes: &[u8]) -> [u8; 10] {
+        let mut header = [0u8; 10];
+        header[..4].copy_from_slice(&((FRAME_OVERHEAD + wire_bytes.len()) as u32).to_le_bytes());
+        header[4..6].copy_from_slice(&self.me.0.to_le_bytes());
+        header[6..].copy_from_slice(&frame_checksum(wire_bytes).to_le_bytes());
         header
     }
 
@@ -179,7 +236,7 @@ impl Mesh {
     /// Connection failures drop (and count) the frame — the protocol
     /// tolerates message loss (enable retransmission in the `DgConfig`).
     fn send(&mut self, to: ProcessId, wire_bytes: &[u8]) {
-        let header = self.header(wire_bytes.len());
+        let header = self.header(wire_bytes);
         for attempt in 0..2 {
             let Some(conn) = self.connect(to) else { break };
             match write_frame_vectored(conn, &header, wire_bytes) {
@@ -195,7 +252,7 @@ impl Mesh {
     /// [`Mesh::flush`]. Used when one effect batch produces several
     /// frames for the same peer, which then coalesce into one write.
     fn queue(&mut self, to: ProcessId, wire_bytes: &[u8]) {
-        let header = self.header(wire_bytes.len());
+        let header = self.header(wire_bytes);
         let buf = &mut self.pending[to.index()];
         buf.extend_from_slice(&header);
         buf.extend_from_slice(wire_bytes);
@@ -238,12 +295,12 @@ impl Mesh {
 }
 
 /// Write `header` then `body` as one frame, starting with a vectored
-/// write so the 6-byte length prefix does not cost its own syscall (or a
+/// write so the 10-byte header does not cost its own syscall (or a
 /// copy into a joined buffer). Falls back to plain writes to finish any
 /// partially written tail.
 fn write_frame_vectored(
     conn: &mut TcpStream,
-    header: &[u8; 6],
+    header: &[u8; 10],
     body: &[u8],
 ) -> std::io::Result<()> {
     let total = header.len() + body.len();
@@ -269,10 +326,10 @@ fn write_frame_vectored(
 /// Accept loop: one reader thread per inbound connection, each pushing
 /// decoded frames into the owning thread's event channel, tagged with
 /// the destination node's index.
-fn acceptor(
+fn acceptor<C: Send + 'static>(
     listener: TcpListener,
     node: usize,
-    tx: mpsc::Sender<(usize, Event)>,
+    tx: mpsc::Sender<(usize, Event<C>)>,
     stop: Arc<AtomicBool>,
 ) {
     for stream in listener.incoming() {
@@ -286,26 +343,70 @@ fn acceptor(
     }
 }
 
-fn reader(stream: TcpStream, node: usize, tx: &mpsc::Sender<(usize, Event)>) {
+/// Outcome of trying to fill a buffer from a stream.
+enum Fill {
+    /// The buffer is full.
+    Done,
+    /// The stream ended exactly on a frame boundary — a normal close
+    /// (peer teardown, or the shutdown poke that unblocks acceptors).
+    CleanEof,
+    /// The stream ended or errored mid-buffer: a truncated frame.
+    Truncated,
+}
+
+/// Read exactly `buf.len()` bytes, reporting *where* the stream ended:
+/// EOF before the first byte is a clean close, EOF after it is a
+/// truncation the connection owner should hear about.
+fn read_full(stream: &mut impl Read, buf: &mut [u8]) -> Fill {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match stream.read(&mut buf[filled..]) {
+            Ok(0) if filled == 0 => return Fill::CleanEof,
+            Ok(0) => return Fill::Truncated,
+            Ok(k) => filled += k,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => return Fill::Truncated,
+        }
+    }
+    Fill::Done
+}
+
+fn reader<C>(stream: TcpStream, node: usize, tx: &mpsc::Sender<(usize, Event<C>)>) {
     // Frames are two small reads each (length, then body); buffering
     // turns them into one syscall per kernel batch instead of two per
     // frame.
     let mut stream = BufReader::new(stream);
+    let mangled = |reason| {
+        let _ = tx.send((node, Event::Mangled { reason }));
+    };
     loop {
         let mut len_buf = [0u8; 4];
-        if stream.read_exact(&mut len_buf).is_err() {
-            return; // peer closed
+        match read_full(&mut stream, &mut len_buf) {
+            Fill::Done => {}
+            Fill::CleanEof => return, // peer closed between frames
+            Fill::Truncated => return mangled("length prefix truncated"),
         }
         let len = u32::from_le_bytes(len_buf) as usize;
-        if !(2..=1 << 24).contains(&len) {
-            return; // malformed frame; drop the connection
+        if !(FRAME_OVERHEAD..=1 << 24).contains(&len) {
+            // A length outside the protocol's envelope means the stream
+            // is garbage from here on: drop the connection before the
+            // bogus length can size an allocation.
+            return mangled("length prefix out of range");
         }
         let mut frame = vec![0u8; len];
-        if stream.read_exact(&mut frame).is_err() {
-            return;
+        match read_full(&mut stream, &mut frame) {
+            Fill::Done => {}
+            Fill::CleanEof | Fill::Truncated => return mangled("frame body truncated"),
         }
         let from = ProcessId(u16::from_le_bytes([frame[0], frame[1]]));
-        let bytes = frame.split_off(2);
+        let checksum = u32::from_le_bytes([frame[2], frame[3], frame[4], frame[5]]);
+        let bytes = frame.split_off(FRAME_OVERHEAD);
+        if frame_checksum(&bytes) != checksum {
+            // The framing itself is intact, so the stream stays usable:
+            // count the frame as detected loss and keep reading.
+            mangled("checksum mismatch");
+            continue;
+        }
         if tx.send((node, Event::Frame { from, bytes })).is_err() {
             return; // node thread gone
         }
@@ -339,7 +440,11 @@ where
     restart_at: Option<u64>,
     parked: Vec<(ProcessId, Vec<u8>)>,
     activity: u64,
+    frames_corrupt: u64,
+    last_corrupt_reason: Option<&'static str>,
     has_gossip: bool,
+    /// Where committed outputs go, if anyone is listening.
+    commit_tx: Option<mpsc::Sender<CommittedBatch<A::Msg>>>,
     /// Reused effect buffer: every engine input lands its effects here
     /// (via `handle_into`), and `run_effects` drains it in place.
     sink: EffectSink<Wire<A::Msg>, A::Msg>,
@@ -403,6 +508,8 @@ where
             return;
         }
         let Ok(wire) = decode_wire::<A::Msg>(bytes::Bytes::from(bytes)) else {
+            self.frames_corrupt += 1;
+            self.last_corrupt_reason = Some("wire decode failed");
             return; // corrupt frame: treat as message loss
         };
         if !matches!(wire, Wire::Frontier(..)) {
@@ -410,6 +517,27 @@ where
         }
         let now = now_us(&self.start);
         self.step(Input::Deliver { from, wire, now });
+    }
+
+    /// Inject an external command. While down, the command is dropped —
+    /// the caller (a retrying client) is expected to resubmit, exactly
+    /// as it would against a crashed server.
+    fn on_app_send(&mut self, to: ProcessId, payload: A::Msg) {
+        if self.down {
+            return;
+        }
+        self.activity += 1;
+        let now = now_us(&self.start);
+        self.step(Input::AppSend { to, payload, now });
+    }
+
+    fn on_fault(&mut self, fault: StorageFault) {
+        // Storage faults only mark state for the next recovery; they are
+        // safe to record even while the process is down.
+        let mut sink = std::mem::take(&mut self.sink);
+        self.engine.handle_into(Input::Fault(fault), &mut sink);
+        sink.clear();
+        self.sink = sink;
     }
 
     fn on_crash(&mut self, downtime_us: u64) {
@@ -487,10 +615,20 @@ where
                         kind,
                     }));
                 }
+                Effect::Commit { outputs, .. } => {
+                    if let Some(tx) = &self.commit_tx {
+                        if !outputs.is_empty() {
+                            let _ = tx.send(CommittedBatch {
+                                node: self.mesh.me.index(),
+                                outputs,
+                            });
+                        }
+                    }
+                }
                 // Real storage latency is not modeled: the engine already
                 // recorded the write in its own stable-storage model, and
                 // committed outputs stay readable via the engine.
-                Effect::Checkpoint { .. } | Effect::LogWrite { .. } | Effect::Commit { .. } => {}
+                Effect::Checkpoint { .. } | Effect::LogWrite { .. } => {}
             }
         }
         if coalesce {
@@ -510,6 +648,8 @@ where
                 0 // no commit machinery configured; nothing will drain
             },
             frames_dropped: self.mesh.frames_dropped,
+            frames_corrupt: self.frames_corrupt,
+            last_corrupt_reason: self.last_corrupt_reason,
         }
     }
 }
@@ -522,7 +662,7 @@ where
 /// of ticks, only delay them by one handler.
 fn run_shard<A: Application>(
     mut nodes: Vec<(usize, Node<A>)>,
-    rx: &mpsc::Receiver<(usize, Event)>,
+    rx: &mpsc::Receiver<(usize, Event<A::Msg>)>,
 ) -> Vec<(usize, Engine<A>)>
 where
     A::Msg: Payload,
@@ -546,7 +686,13 @@ where
                     .expect("event for a node this thread owns");
                 match event {
                     Event::Frame { from, bytes } => node.on_frame(from, bytes),
+                    Event::Mangled { reason } => {
+                        node.frames_corrupt += 1;
+                        node.last_corrupt_reason = Some(reason);
+                    }
+                    Event::AppSend { to, payload } => node.on_app_send(to, payload),
                     Event::Crash { downtime_us } => node.on_crash(downtime_us),
+                    Event::Fault(fault) => node.on_fault(fault),
                     Event::Probe { reply } => {
                         let _ = reply.send(node.status());
                     }
@@ -569,7 +715,7 @@ where
 
 /// An [`Event`] tagged with the index of the node it is addressed to —
 /// what flows on a pool thread's shared channel.
-type TaggedEvent = (usize, Event);
+type TaggedEvent<C> = (usize, Event<C>);
 
 /// What one pool thread returns at shutdown: the engines of every node
 /// it hosted, tagged with their indices.
@@ -577,10 +723,70 @@ type ShardEngines<A> = Vec<(usize, Engine<A>)>;
 
 /// Per-node endpoint: the owning thread's event channel plus this node's
 /// index on it.
-struct NodeHandle {
-    tx: mpsc::Sender<TaggedEvent>,
+struct NodeHandle<C> {
+    tx: mpsc::Sender<TaggedEvent<C>>,
     idx: usize,
     addr: SocketAddr,
+}
+
+/// A detached, clonable sender set for one cluster (see
+/// [`Cluster::handles`]): enough to inject application commands from
+/// arbitrary threads, nothing more.
+pub struct ClusterHandles<C> {
+    nodes: Vec<(mpsc::Sender<TaggedEvent<C>>, usize)>,
+}
+
+impl<C> Clone for ClusterHandles<C> {
+    fn clone(&self) -> ClusterHandles<C> {
+        ClusterHandles {
+            nodes: self.nodes.clone(),
+        }
+    }
+}
+
+impl<C> ClusterHandles<C> {
+    /// Number of processes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `true` iff there are no processes (never, in practice).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// [`Cluster::app_send`], callable from any thread: hand `payload`
+    /// to node `via` as an external command addressed to `to`. Dropped
+    /// silently if `via` is down or the cluster is gone.
+    pub fn app_send(&self, via: ProcessId, to: ProcessId, payload: C) {
+        let (tx, idx) = &self.nodes[via.index()];
+        let _ = tx.send((*idx, Event::AppSend { to, payload }));
+    }
+}
+
+/// Optional launch-time extras beyond [`RunConfig`] (see
+/// [`Cluster::launch_opts`]).
+pub struct ClusterOptions<M> {
+    /// Runtime knobs (probe cadence, thread pinning).
+    pub run: RunConfig,
+    /// Stream every node's committed output batches to this channel.
+    /// `None` (the default) discards them — the engines still retain
+    /// committed outputs for post-shutdown inspection either way.
+    pub commits: Option<mpsc::Sender<CommittedBatch<M>>>,
+    /// Route all inter-node traffic through fault-injection proxies
+    /// seeded with this value; steer them via [`Cluster::faults`].
+    /// `None` (the default) connects nodes directly.
+    pub fault_seed: Option<u64>,
+}
+
+impl<M> Default for ClusterOptions<M> {
+    fn default() -> ClusterOptions<M> {
+        ClusterOptions {
+            run: RunConfig::default(),
+            commits: None,
+            fault_seed: None,
+        }
+    }
 }
 
 /// An `n`-process Damani–Garg system running over real TCP sockets on
@@ -611,10 +817,13 @@ pub struct Cluster<A: Application>
 where
     A::Msg: Payload,
 {
-    nodes: Vec<NodeHandle>,
+    nodes: Vec<NodeHandle<A::Msg>>,
     threads: Vec<JoinHandle<ShardEngines<A>>>,
     stop: Arc<AtomicBool>,
     run_config: RunConfig,
+    faults: Option<FaultHandle>,
+    /// Proxy listener addresses, poked at shutdown like the real ones.
+    proxy_addrs: Vec<SocketAddr>,
 }
 
 impl<A> Cluster<A>
@@ -646,7 +855,32 @@ where
         config: DgConfig,
         run_config: RunConfig,
     ) -> std::io::Result<Cluster<A>> {
+        Cluster::launch_opts(
+            n,
+            make_app,
+            config,
+            ClusterOptions {
+                run: run_config,
+                ..ClusterOptions::default()
+            },
+        )
+    }
+
+    /// Launch with the full set of options: runtime knobs, a committed-
+    /// output stream, and (when [`ClusterOptions::fault_seed`] is set)
+    /// fault-injection proxies on every link.
+    ///
+    /// # Errors
+    ///
+    /// Returns any IO error from binding the loopback listeners.
+    pub fn launch_opts(
+        n: usize,
+        make_app: impl Fn(ProcessId) -> A,
+        config: DgConfig,
+        opts: ClusterOptions<A::Msg>,
+    ) -> std::io::Result<Cluster<A>> {
         assert!(n >= 1, "a cluster needs at least one process");
+        let run_config = opts.run;
         let stop = Arc::new(AtomicBool::new(false));
         let start = Instant::now();
 
@@ -659,12 +893,24 @@ where
             .map(TcpListener::local_addr)
             .collect::<std::io::Result<_>>()?;
 
+        // With fault injection on, outbound connections dial the
+        // destination's proxy instead of its real listener; the proxies
+        // relay (or mangle) into the real listeners bound above.
+        let faults = opts.fault_seed.map(|seed| FaultHandle::new(n, seed));
+        let (mesh_addrs, proxy_addrs) = match &faults {
+            Some(handle) => {
+                let proxies = faults::spawn_proxies(handle, &addrs, &stop)?;
+                (proxies.clone(), proxies)
+            }
+            None => (addrs.clone(), Vec::new()),
+        };
+
         // One event channel per pool thread; node i pins to thread
         // i % t. The default (node_threads: None) is t = n — exactly the
         // old one-thread-per-node behavior.
         let t = run_config.node_threads.unwrap_or(n).clamp(1, n);
-        let channels: Vec<(mpsc::Sender<TaggedEvent>, mpsc::Receiver<TaggedEvent>)> =
-            (0..t).map(|_| mpsc::channel()).collect();
+        type Channel<C> = (mpsc::Sender<TaggedEvent<C>>, mpsc::Receiver<TaggedEvent<C>>);
+        let channels: Vec<Channel<A::Msg>> = (0..t).map(|_| mpsc::channel()).collect();
 
         let mut nodes = Vec::with_capacity(n);
         let mut shards: Vec<Vec<(usize, Node<A>)>> = (0..t).map(|_| Vec::new()).collect();
@@ -680,7 +926,7 @@ where
                 i,
                 Node {
                     engine: Engine::new(me, n, make_app(me), config),
-                    mesh: Mesh::new(me, addrs.clone()),
+                    mesh: Mesh::new(me, mesh_addrs.clone()),
                     n,
                     start,
                     timers: BinaryHeap::new(),
@@ -689,7 +935,10 @@ where
                     restart_at: None,
                     parked: Vec::new(),
                     activity: 0,
+                    frames_corrupt: 0,
+                    last_corrupt_reason: None,
                     has_gossip: config.gossip_interval.is_some(),
+                    commit_tx: opts.commits.clone(),
                     sink: EffectSink::new(),
                     wire_scratch: BytesMut::new(),
                 },
@@ -713,6 +962,8 @@ where
             threads,
             stop,
             run_config,
+            faults,
+            proxy_addrs,
         })
     }
 
@@ -726,11 +977,53 @@ where
         self.nodes.is_empty()
     }
 
+    /// The loopback address each node actually listens on. The cluster
+    /// always binds ephemeral ports (`127.0.0.1:0`), so parallel
+    /// clusters in one test binary never collide; this is how the chosen
+    /// ports propagate to anything that wants to talk to a node.
+    pub fn addrs(&self) -> Vec<SocketAddr> {
+        self.nodes.iter().map(|node| node.addr).collect()
+    }
+
     /// Crash process `p` now; it recovers on its own after `downtime`.
     pub fn crash(&self, p: ProcessId, downtime: Duration) {
         let downtime_us = u64::try_from(downtime.as_micros()).unwrap_or(u64::MAX);
         let node = &self.nodes[p.index()];
         let _ = node.tx.send((node.idx, Event::Crash { downtime_us }));
+    }
+
+    /// Hand `payload` to node `via`'s engine as an external command
+    /// addressed to `to` (`Input::AppSend`): logged, clock-tracked, and
+    /// replayed like any other event. Dropped silently if `via` is down
+    /// — callers are retrying clients by construction.
+    pub fn app_send(&self, via: ProcessId, to: ProcessId, payload: A::Msg) {
+        let node = &self.nodes[via.index()];
+        let _ = node.tx.send((node.idx, Event::AppSend { to, payload }));
+    }
+
+    /// Inject a storage fault into process `p`'s engine.
+    pub fn inject_fault(&self, p: ProcessId, fault: StorageFault) {
+        let node = &self.nodes[p.index()];
+        let _ = node.tx.send((node.idx, Event::Fault(fault)));
+    }
+
+    /// A cheap, clonable handle for injecting [`Cluster::app_send`]
+    /// commands from threads that cannot borrow the cluster itself —
+    /// the service layer's front-door connection threads.
+    pub fn handles(&self) -> ClusterHandles<A::Msg> {
+        ClusterHandles {
+            nodes: self
+                .nodes
+                .iter()
+                .map(|node| (node.tx.clone(), node.idx))
+                .collect(),
+        }
+    }
+
+    /// The fault-injection handle, when the cluster was launched with
+    /// [`ClusterOptions::fault_seed`].
+    pub fn faults(&self) -> Option<&FaultHandle> {
+        self.faults.as_ref()
     }
 
     /// Probe every node for its current [`NodeStatus`] (best effort: a
@@ -793,9 +1086,13 @@ where
         for node in self.nodes.iter().take(self.threads.len()) {
             let _ = node.tx.send((node.idx, Event::Stop));
         }
-        // Unblock each acceptor's `incoming()` so its thread exits.
+        // Unblock each acceptor's `incoming()` so its thread exits —
+        // proxy acceptors included.
         for node in &self.nodes {
             let _ = TcpStream::connect(node.addr);
+        }
+        for addr in &self.proxy_addrs {
+            let _ = TcpStream::connect(addr);
         }
         let mut engines: Vec<(usize, Engine<A>)> = self
             .threads

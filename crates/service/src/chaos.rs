@@ -1,0 +1,161 @@
+//! Drive a declarative [`FaultPlan`] against a *live* service on real
+//! sockets: the harness's simulated-time schedules, reinterpreted on
+//! the wall clock.
+//!
+//! The mapping is deliberate about what each fault class means here:
+//!
+//! * **Crashes** land as engine crashes with self-scheduled restarts —
+//!   the node's protocol and front-door listeners stay up (a crashed
+//!   *process*, not a powered-off machine).
+//! * **Partitions** stall inter-replica links (TCP-faithful: frames
+//!   queue and flow again on heal). Requires the fault proxies.
+//! * **Drop windows** drop *control-plane* frames only (tokens, acks,
+//!   frontier gossip) with the scheduled probability. The data plane is
+//!   exempt by design: the paper assumes reliable application channels,
+//!   and the protocol's loss masking (reliable tokens, crash
+//!   retransmission) covers exactly the control plane — dropping app
+//!   frames would test a promise nobody made. Client-visible loss is
+//!   the retrying client's department either way.
+//! * **Corruptions** damage the newest checkpoint frame, forcing
+//!   recovery to fall back further.
+//! * **Crash-during-recovery** re-crashes a node right after its
+//!   restart, optionally corrupting the recovery checkpoint in between.
+//!
+//! `at` timestamps (simulation microseconds) are read as wall-clock
+//! microsecond offsets from [`drive`]'s call instant — plans written
+//! for the service should use times in the hundreds of milliseconds.
+
+use std::time::{Duration, Instant};
+
+use dg_core::{ProcessId, StorageFault};
+use dg_harness::FaultPlan;
+use dg_netrun::LinkRule;
+
+use crate::ServiceCluster;
+
+/// Downtime used when a [`FaultPlan`] crash leaves it unspecified.
+pub const DEFAULT_DOWNTIME: Duration = Duration::from_millis(250);
+
+/// Gap between restart and re-crash in a crash-during-recovery
+/// scenario — long enough for the restart to land on a real runtime,
+/// short enough to hit the recovery window with high probability.
+const RECOVERY_RECRASH_GAP: Duration = Duration::from_millis(30);
+
+enum Action {
+    Crash {
+        p: ProcessId,
+        downtime: Duration,
+    },
+    /// The whole crash-restart-crash sequence, executed inline and
+    /// timed from the *actual* first-crash instant — timing it off the
+    /// plan clock would let scheduling drift land the re-crash inside
+    /// the downtime window, where it is (correctly) ignored.
+    RecoveryCrash {
+        p: ProcessId,
+        downtime: Duration,
+        corrupt: bool,
+    },
+    PartitionStart {
+        groups: Vec<u8>,
+    },
+    PartitionEnd,
+    DropStart {
+        prob: f64,
+    },
+    DropEnd,
+    Corrupt {
+        p: ProcessId,
+    },
+}
+
+/// Execute `plan` against `svc`, blocking until the last scheduled
+/// fault has been injected (restarts it caused may still be pending —
+/// quiesce afterwards). Partition and drop events are skipped when the
+/// service was launched without fault proxies.
+pub fn drive(svc: &ServiceCluster, plan: &FaultPlan) {
+    let mut timeline: Vec<(u64, Action)> = Vec::new();
+    for c in &plan.crashes {
+        let downtime = c.downtime.map_or(DEFAULT_DOWNTIME, Duration::from_micros);
+        let p = c.process;
+        timeline.push((c.at, Action::Crash { p, downtime }));
+    }
+    for r in &plan.recovery_crashes {
+        timeline.push((
+            r.at,
+            Action::RecoveryCrash {
+                p: r.process,
+                downtime: Duration::from_micros(r.downtime),
+                corrupt: r.corrupt_recovery_checkpoint,
+            },
+        ));
+    }
+    for part in &plan.partitions {
+        timeline.push((
+            part.start,
+            Action::PartitionStart {
+                groups: part.group_of.clone(),
+            },
+        ));
+        timeline.push((part.end, Action::PartitionEnd));
+    }
+    for d in &plan.drops {
+        timeline.push((d.start, Action::DropStart { prob: d.loss_prob }));
+        timeline.push((d.end, Action::DropEnd));
+    }
+    for c in &plan.corruptions {
+        timeline.push((c.at, Action::Corrupt { p: c.process }));
+    }
+    timeline.sort_by_key(|&(at, _)| at);
+
+    let start = Instant::now();
+    for (at, action) in timeline {
+        let due = start + Duration::from_micros(at);
+        if let Some(wait) = due.checked_duration_since(Instant::now()) {
+            std::thread::sleep(wait);
+        }
+        match action {
+            Action::Crash { p, downtime } => svc.crash(p, downtime),
+            Action::RecoveryCrash {
+                p,
+                downtime,
+                corrupt,
+            } => {
+                // Blocking on purpose: the re-crash must land after the
+                // restart actually happened. Later timeline entries
+                // shift by at most `downtime + gap`.
+                svc.crash(p, downtime);
+                std::thread::sleep(downtime + RECOVERY_RECRASH_GAP / 2);
+                if corrupt {
+                    svc.inject_fault(p, StorageFault::CorruptLatestCheckpoint);
+                }
+                std::thread::sleep(RECOVERY_RECRASH_GAP / 2);
+                svc.crash(p, DEFAULT_DOWNTIME);
+            }
+            Action::PartitionStart { groups } => {
+                if let Some(faults) = svc.faults() {
+                    faults.partition(&groups);
+                }
+            }
+            Action::PartitionEnd => {
+                if let Some(faults) = svc.faults() {
+                    faults.heal();
+                }
+            }
+            Action::DropStart { prob } => {
+                if let Some(faults) = svc.faults() {
+                    faults.set_all(LinkRule {
+                        drop_prob: prob,
+                        control_only: true,
+                        ..LinkRule::default()
+                    });
+                }
+            }
+            Action::DropEnd => {
+                if let Some(faults) = svc.faults() {
+                    faults.clear();
+                }
+            }
+            Action::Corrupt { p } => svc.inject_fault(p, StorageFault::CorruptLatestCheckpoint),
+        }
+    }
+}

@@ -1,0 +1,300 @@
+//! The crash-transparent client: retries with jittered capped
+//! exponential backoff until a deadline, rotating across front ends,
+//! re-sending the *same* request id so the session layer deduplicates.
+//!
+//! The client is where the end-to-end argument lands. The replica group
+//! only promises that whatever it answers is committed (never rolled
+//! back) and applied exactly once; it does not promise to answer. The
+//! client turns that into the programmer-visible contract: an operation
+//! either returns (and its effect is then permanent and singular) or
+//! fails with [`SvcError::Deadline`], in which case a write's fate is
+//! *indeterminate* — it may or may not have been applied, and the only
+//! safe resolutions are to keep retrying the same request id later or
+//! to read back. Everything the client witnesses is recorded in a
+//! [`ServiceJournal`] so the service oracle can audit the run.
+
+use std::io::Write;
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+use dg_apps::{SvcOp, SvcReply, SvcRequest};
+use dg_harness::service_oracle::{ReadRecord, ResponseRecord, ServiceJournal, WriteRecord};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::wire::{self, FrameRead, ServerFrame};
+
+/// Why a client operation failed. The taxonomy is deliberately tiny:
+/// everything transient is retried *inside* the client until the
+/// deadline, so callers only ever see the two terminal outcomes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SvcError {
+    /// Retries exhausted the deadline without an acknowledgement. For a
+    /// read this is harmless; for a write the effect is indeterminate —
+    /// it may have been applied without the ack reaching us.
+    Deadline,
+    /// The service reported a session-protocol violation (a reserved
+    /// reply current servers never send). Not retryable: the client's
+    /// request numbering is broken.
+    Protocol,
+}
+
+/// Retry and timing knobs for a [`ServiceClient`].
+#[derive(Debug, Clone, Copy)]
+pub struct ClientOptions {
+    /// Total budget per operation, retries included.
+    pub deadline: Duration,
+    /// How long one attempt waits for its answer before backing off.
+    pub attempt_timeout: Duration,
+    /// First backoff delay; doubles per attempt.
+    pub backoff_base: Duration,
+    /// Backoff ceiling.
+    pub backoff_cap: Duration,
+    /// Seed for backoff jitter (deterministic tests).
+    pub seed: u64,
+}
+
+impl Default for ClientOptions {
+    fn default() -> ClientOptions {
+        ClientOptions {
+            deadline: Duration::from_secs(20),
+            attempt_timeout: Duration::from_millis(400),
+            backoff_base: Duration::from_millis(2),
+            backoff_cap: Duration::from_millis(128),
+            seed: 0,
+        }
+    }
+}
+
+/// Condense a reply into one comparable word (injective on the replies
+/// the service actually sends; the oracle only compares for equality).
+fn reply_summary(reply: SvcReply) -> u64 {
+    match reply {
+        SvcReply::Written => 0,
+        SvcReply::NotFound => 1,
+        SvcReply::Stale => 2,
+        SvcReply::Value(v) => v.wrapping_mul(5).wrapping_add(3),
+    }
+}
+
+/// A blocking client of one served cluster. Not `Clone`: a client is a
+/// session, and the session protocol allows one outstanding request.
+pub struct ServiceClient {
+    id: u64,
+    fronts: Vec<SocketAddr>,
+    cursor: usize,
+    conn: Option<TcpStream>,
+    next_req: u64,
+    rng: StdRng,
+    opts: ClientOptions,
+    journal: ServiceJournal,
+}
+
+impl ServiceClient {
+    /// A new session against the given front-end addresses. `id` must be
+    /// unique among the cluster's clients; the initial front end is
+    /// spread by id so clients don't all pile on front 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fronts` is empty.
+    pub fn new(id: u64, fronts: Vec<SocketAddr>, opts: ClientOptions) -> ServiceClient {
+        assert!(!fronts.is_empty(), "a client needs at least one front end");
+        let cursor = (id as usize) % fronts.len();
+        ServiceClient {
+            id,
+            fronts,
+            cursor,
+            conn: None,
+            next_req: 1,
+            rng: StdRng::seed_from_u64(opts.seed ^ id.rotate_left(17)),
+            opts,
+            journal: ServiceJournal::default(),
+        }
+    }
+
+    /// Write `value` under `key` (exactly once, once acknowledged).
+    ///
+    /// # Errors
+    ///
+    /// [`SvcError::Deadline`] leaves the write's fate indeterminate.
+    pub fn put(&mut self, key: u16, value: u64) -> Result<(), SvcError> {
+        self.call(SvcOp::Put { key, value }).map(|_| ())
+    }
+
+    /// Delete `key` (a tombstone write).
+    ///
+    /// # Errors
+    ///
+    /// [`SvcError::Deadline`] leaves the delete's fate indeterminate.
+    pub fn del(&mut self, key: u16) -> Result<(), SvcError> {
+        self.call(SvcOp::Del { key }).map(|_| ())
+    }
+
+    /// Read `key` from committed state.
+    ///
+    /// # Errors
+    ///
+    /// [`SvcError::Deadline`] if no committed answer arrived in time.
+    pub fn get(&mut self, key: u16) -> Result<Option<u64>, SvcError> {
+        self.call(SvcOp::Get { key }).map(|reply| match reply {
+            SvcReply::Value(v) => Some(v),
+            _ => None,
+        })
+    }
+
+    /// Everything this client has witnessed so far.
+    pub fn journal(&self) -> &ServiceJournal {
+        &self.journal
+    }
+
+    /// Consume the client, keeping its journal for the oracle.
+    pub fn into_journal(self) -> ServiceJournal {
+        self.journal
+    }
+
+    /// Run one operation to a terminal outcome: retry (same request id)
+    /// with jittered exponential backoff across rotating front ends
+    /// until acknowledged or out of time.
+    fn call(&mut self, op: SvcOp) -> Result<SvcReply, SvcError> {
+        let req = self.next_req;
+        self.next_req += 1;
+        let request = SvcRequest {
+            client: self.id,
+            req,
+            op,
+        };
+        let deadline = Instant::now() + self.opts.deadline;
+        let mut attempt = 0u32;
+        loop {
+            if let Some(reply) = self.attempt(&request, deadline) {
+                return self.conclude(&request, reply);
+            }
+            // Failed attempt: new connection, next front end, back off.
+            self.conn = None;
+            self.cursor = (self.cursor + 1) % self.fronts.len();
+            let Some(budget) = deadline.checked_duration_since(Instant::now()) else {
+                return self.give_up(&request);
+            };
+            if budget.is_zero() {
+                return self.give_up(&request);
+            }
+            let nominal = self
+                .opts
+                .backoff_base
+                .saturating_mul(1u32 << attempt.min(16))
+                .min(self.opts.backoff_cap)
+                .max(Duration::from_micros(1));
+            let jittered =
+                Duration::from_micros(self.rng.gen_range(
+                    (nominal.as_micros() as u64 / 2).max(1)..=nominal.as_micros() as u64,
+                ));
+            std::thread::sleep(jittered.min(budget));
+            attempt += 1;
+        }
+    }
+
+    /// One attempt: send the request on the current connection and wait
+    /// (bounded by attempt timeout and deadline) for the matching
+    /// committed answer. `None` means the attempt is spent — connection
+    /// trouble, a retry hint, or silence.
+    fn attempt(&mut self, request: &SvcRequest, deadline: Instant) -> Option<SvcReply> {
+        let until = deadline.min(Instant::now() + self.opts.attempt_timeout);
+        let mut conn = match self.conn.take() {
+            Some(c) => c,
+            None => {
+                let c = TcpStream::connect(self.fronts[self.cursor]).ok()?;
+                c.set_nodelay(true).ok()?;
+                c
+            }
+        };
+        if conn.write_all(&wire::encode_request(request)).is_err() {
+            return None;
+        }
+        loop {
+            let Some(wait) = until.checked_duration_since(Instant::now()) else {
+                // Timed out between frames: the connection is still at a
+                // frame boundary, so keep it for the next attempt.
+                self.conn = Some(conn);
+                return None;
+            };
+            conn.set_read_timeout(Some(wait.max(Duration::from_millis(1))))
+                .ok()?;
+            match wire::read_frame(&mut conn) {
+                Ok(FrameRead::Frame(body)) => match wire::decode_server(body) {
+                    Ok(ServerFrame::Reply { client, req, reply }) => {
+                        self.journal.responses.push(ResponseRecord {
+                            client,
+                            req,
+                            summary: reply_summary(reply),
+                        });
+                        if client == request.client && req == request.req {
+                            self.conn = Some(conn);
+                            return Some(reply);
+                        }
+                        // A late duplicate for an earlier request:
+                        // recorded for the oracle, keep waiting.
+                    }
+                    Ok(ServerFrame::Retry) => {
+                        // The front door says the responsible replica is
+                        // down right now; the connection is fine.
+                        self.conn = Some(conn);
+                        return None;
+                    }
+                    Err(_) => return None,
+                },
+                Ok(FrameRead::IdleTimeout) => {
+                    self.conn = Some(conn);
+                    return None;
+                }
+                Ok(FrameRead::Eof) | Err(_) => return None,
+            }
+        }
+    }
+
+    /// Record a terminal acknowledged outcome in the journal.
+    fn conclude(&mut self, request: &SvcRequest, reply: SvcReply) -> Result<SvcReply, SvcError> {
+        match (request.op, reply) {
+            (_, SvcReply::Stale) => return Err(SvcError::Protocol),
+            (SvcOp::Put { key, value }, _) => self.journal.acked_writes.push(WriteRecord {
+                client: request.client,
+                req: request.req,
+                key,
+                value: Some(value),
+            }),
+            (SvcOp::Del { key }, _) => self.journal.acked_writes.push(WriteRecord {
+                client: request.client,
+                req: request.req,
+                key,
+                value: None,
+            }),
+            (SvcOp::Get { key }, reply) => self.journal.observed_gets.push(ReadRecord {
+                client: request.client,
+                req: request.req,
+                key,
+                value: match reply {
+                    SvcReply::Value(v) => Some(v),
+                    _ => None,
+                },
+            }),
+        }
+        Ok(reply)
+    }
+
+    /// Record a deadline failure; a write becomes an indeterminate
+    /// (unacked) journal entry the oracle treats as a wildcard.
+    fn give_up(&mut self, request: &SvcRequest) -> Result<SvcReply, SvcError> {
+        let record = |key: u16, value: Option<u64>| WriteRecord {
+            client: request.client,
+            req: request.req,
+            key,
+            value,
+        };
+        match request.op {
+            SvcOp::Put { key, value } => self.journal.unacked_writes.push(record(key, Some(value))),
+            SvcOp::Del { key } => self.journal.unacked_writes.push(record(key, None)),
+            SvcOp::Get { .. } => {}
+        }
+        Err(SvcError::Deadline)
+    }
+}

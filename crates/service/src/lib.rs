@@ -1,0 +1,333 @@
+//! `dg-service` — the exactly-once front door: a replicated KV/session
+//! store served over real TCP on the [`dg_netrun`] runtime, with the
+//! recovery protocol underneath and output commit as the client-visible
+//! consistency contract.
+//!
+//! # Layering
+//!
+//! ```text
+//!   ServiceClient ── loopback TCP ──► front door (per-node listener)
+//!        ▲                                │ AppSend, routed to owner
+//!        │ committed responses            ▼
+//!   router thread ◄── CommittedBatch ── Engine<KvService> on netrun
+//! ```
+//!
+//! * **Front door** — every node carries a client-facing listener next
+//!   to its protocol listener. A request is decoded, the issuing client
+//!   registered for responses, and the request injected into the local
+//!   engine via `Input::AppSend`, addressed to the *owner* replica
+//!   (`key % n`). One serializer per key gives per-key linearizability
+//!   for free.
+//! * **Output commit** — the owner answers by emitting a
+//!   `SvcMsg::Response` *output*. The recovery layer's `OutputBuffer`
+//!   holds it until it is dependency-stable; only then does it appear
+//!   on the commits channel and reach the router, which forwards it to
+//!   the registered client. No response a client ever sees can be
+//!   rolled back.
+//! * **Graceful degradation** — while a replica is down, requests for
+//!   its keys are either parked by the runtime (the protocol
+//!   retransmits sends lost to the crash, so queued writes are not
+//!   lost) or answered with an advisory retry hint; keys owned by live
+//!   replicas stay fully available. Fronts never answer reads from
+//!   uncommitted state — they cannot, structurally: the only path to a
+//!   client runs through the commit stream.
+//! * **End-to-end** — the client retries the same request id until
+//!   acknowledged; the owner's session table makes retries idempotent.
+//!   The three loss domains are handled where they belong: client-link
+//!   loss by client retry, control-plane loss by the reliable-token
+//!   sublayer, crash loss by rollback + retransmission.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chaos;
+mod client;
+pub mod wire;
+
+use std::collections::HashMap;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+use dg_apps::{KvService, SvcMsg, SvcRequest};
+use dg_core::{DgConfig, Engine, ProcessId, StorageFault};
+use dg_harness::service_oracle::ReplicaFacts;
+use dg_netrun::{Cluster, ClusterOptions, CommittedBatch, FaultHandle, NodeStatus, RunConfig};
+
+pub use client::{ClientOptions, ServiceClient, SvcError};
+pub use wire::ServerFrame;
+
+/// client id → channel to the writer thread of that client's most
+/// recent connection. Re-registered on every request, so the latest
+/// connection wins — that is the whole failover story.
+type Registry = Arc<Mutex<HashMap<u64, mpsc::Sender<ServerFrame>>>>;
+
+/// A replicated KV service: an `n`-node Damani–Garg cluster running
+/// [`KvService`], plus one client-facing front door per node.
+pub struct ServiceCluster {
+    cluster: Cluster<KvService>,
+    fronts: Vec<SocketAddr>,
+    stop: Arc<AtomicBool>,
+    /// Advisory down flags, one per node: set by [`ServiceCluster::crash`],
+    /// cleared when the scheduled downtime elapses. Fronts consult them
+    /// to answer an immediate retry hint instead of letting the client
+    /// wait out a full attempt timeout. Correctness never depends on
+    /// them — a stale flag only costs latency.
+    down: Arc<Vec<AtomicBool>>,
+    registry: Registry,
+    router: Option<JoinHandle<()>>,
+}
+
+impl ServiceCluster {
+    /// Launch `n` replicas and their front doors. With `fault_seed` set,
+    /// all inter-replica traffic runs through the fault-injection
+    /// proxies (steer them via [`ServiceCluster::faults`]); client links
+    /// are always direct.
+    ///
+    /// # Errors
+    ///
+    /// Returns any IO error from binding listeners.
+    pub fn launch(
+        n: usize,
+        config: DgConfig,
+        fault_seed: Option<u64>,
+    ) -> io::Result<ServiceCluster> {
+        let (commit_tx, commit_rx) = mpsc::channel::<CommittedBatch<SvcMsg>>();
+        let cluster = Cluster::launch_opts(
+            n,
+            |_| KvService::new(),
+            config,
+            ClusterOptions {
+                run: RunConfig::default(),
+                commits: Some(commit_tx),
+                fault_seed,
+            },
+        )?;
+
+        let stop = Arc::new(AtomicBool::new(false));
+        let down: Arc<Vec<AtomicBool>> = Arc::new((0..n).map(|_| AtomicBool::new(false)).collect());
+        let registry: Registry = Arc::new(Mutex::new(HashMap::new()));
+
+        // The router: drain committed outputs, forward each response to
+        // the addressed client's latest connection. A missing or dead
+        // registration is fine — the client will retry and the session
+        // layer will re-emit the remembered reply.
+        let router = thread::spawn({
+            let registry = Arc::clone(&registry);
+            move || {
+                while let Ok(batch) = commit_rx.recv() {
+                    for output in batch.outputs {
+                        let SvcMsg::Response { client, req, reply } = output else {
+                            continue;
+                        };
+                        let tx = registry
+                            .lock()
+                            .expect("registry lock")
+                            .get(&client)
+                            .cloned();
+                        if let Some(tx) = tx {
+                            let _ = tx.send(ServerFrame::Reply { client, req, reply });
+                        }
+                    }
+                }
+            }
+        });
+
+        // One front door per node.
+        let mut fronts = Vec::with_capacity(n);
+        let mut listeners = Vec::with_capacity(n);
+        for _ in 0..n {
+            let listener = TcpListener::bind("127.0.0.1:0")?;
+            fronts.push(listener.local_addr()?);
+            listeners.push(listener);
+        }
+        let svc = ServiceCluster {
+            cluster,
+            fronts,
+            stop,
+            down,
+            registry,
+            router: Some(router),
+        };
+        for (front, listener) in listeners.into_iter().enumerate() {
+            thread::spawn({
+                let stop = Arc::clone(&svc.stop);
+                let down = Arc::clone(&svc.down);
+                let registry = Arc::clone(&svc.registry);
+                let nodes = svc.cluster.handles();
+                move || front_acceptor(listener, front, nodes, down, registry, stop)
+            });
+        }
+        Ok(svc)
+    }
+
+    /// Client-facing addresses, one per node, in node order.
+    pub fn fronts(&self) -> Vec<SocketAddr> {
+        self.fronts.clone()
+    }
+
+    /// Crash node `p`; it restarts itself after `downtime`.
+    pub fn crash(&self, p: ProcessId, downtime: Duration) {
+        self.down[p.index()].store(true, Ordering::Relaxed);
+        self.cluster.crash(p, downtime);
+        thread::spawn({
+            let down = Arc::clone(&self.down);
+            let idx = p.index();
+            move || {
+                thread::sleep(downtime);
+                down[idx].store(false, Ordering::Relaxed);
+            }
+        });
+    }
+
+    /// Inject a storage fault into node `p`.
+    pub fn inject_fault(&self, p: ProcessId, fault: StorageFault) {
+        self.cluster.inject_fault(p, fault);
+    }
+
+    /// The network fault injector, when launched with a fault seed.
+    pub fn faults(&self) -> Option<&FaultHandle> {
+        self.cluster.faults()
+    }
+
+    /// Probe every node's status.
+    pub fn statuses(&self) -> Vec<NodeStatus> {
+        self.cluster.statuses()
+    }
+
+    /// Wait (bounded) until the replica group is quiescent: every node
+    /// up, no postponed messages, no unacknowledged tokens, no
+    /// uncommitted outputs. Call after client traffic stops and before
+    /// [`ServiceCluster::shutdown`] so the final states are comparable.
+    pub fn quiesce(&self, timeout: Duration) -> bool {
+        self.cluster.run_until_quiescent(timeout)
+    }
+
+    /// Stop everything; return the final engines plus each replica's
+    /// contribution to the service oracle.
+    pub fn shutdown(mut self) -> (Vec<Engine<KvService>>, Vec<ReplicaFacts>) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock the front acceptors so their threads exit.
+        for &addr in &self.fronts {
+            let _ = TcpStream::connect(addr);
+        }
+        // Dropping all writer channels is handled by connection threads
+        // exiting; the router exits when the cluster's commit senders
+        // drop during shutdown.
+        let engines = self.cluster.shutdown();
+        if let Some(router) = self.router.take() {
+            let _ = router.join();
+        }
+        let facts = engines
+            .iter()
+            .map(|e| ReplicaFacts {
+                live_map: e.app().live_map(),
+                applied: e.app().applied_counts().collect(),
+            })
+            .collect();
+        (engines, facts)
+    }
+}
+
+/// Accept client connections for front `front` until stopped.
+fn front_acceptor(
+    listener: TcpListener,
+    front: usize,
+    nodes: dg_netrun::ClusterHandles<SvcMsg>,
+    down: Arc<Vec<AtomicBool>>,
+    registry: Registry,
+    stop: Arc<AtomicBool>,
+) {
+    for conn in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        let Ok(conn) = conn else { continue };
+        thread::spawn({
+            let nodes = nodes.clone();
+            let down = Arc::clone(&down);
+            let registry = Arc::clone(&registry);
+            let stop = Arc::clone(&stop);
+            move || serve_connection(conn, front, nodes, down, registry, stop)
+        });
+    }
+}
+
+/// One client connection: a reader loop here, a writer thread beside
+/// it. The writer owns the outbound half; the reader routes requests
+/// into the cluster and (re)registers the client for responses.
+fn serve_connection(
+    conn: TcpStream,
+    front: usize,
+    nodes: dg_netrun::ClusterHandles<SvcMsg>,
+    down: Arc<Vec<AtomicBool>>,
+    registry: Registry,
+    stop: Arc<AtomicBool>,
+) {
+    let _ = conn.set_nodelay(true);
+    let Ok(write_half) = conn.try_clone() else {
+        return;
+    };
+    let (tx, rx) = mpsc::channel::<ServerFrame>();
+    let writer = thread::spawn(move || writer_loop(write_half, &rx));
+
+    let n = nodes.len();
+    let mut read_half = conn;
+    let _ = read_half.set_read_timeout(Some(Duration::from_millis(100)));
+    while !stop.load(Ordering::SeqCst) {
+        let request = match wire::read_frame(&mut read_half) {
+            Ok(wire::FrameRead::Frame(body)) => match wire::decode_request(body) {
+                Ok(request) => request,
+                // A client that cannot speak the protocol is hung up on.
+                Err(_) => break,
+            },
+            Ok(wire::FrameRead::IdleTimeout) => continue,
+            Ok(wire::FrameRead::Eof) | Err(_) => break,
+        };
+        route_request(front, request, &nodes, &down, &registry, &tx, n);
+    }
+    drop(tx); // writer exits once the router's clone (if any) is replaced
+    let _ = writer.join();
+}
+
+/// Register the client and inject its request toward the owner replica.
+fn route_request(
+    front: usize,
+    request: SvcRequest,
+    nodes: &dg_netrun::ClusterHandles<SvcMsg>,
+    down: &[AtomicBool],
+    registry: &Registry,
+    tx: &mpsc::Sender<ServerFrame>,
+    n: usize,
+) {
+    // Latest connection wins: committed responses follow the client.
+    registry
+        .lock()
+        .expect("registry lock")
+        .insert(request.client, tx.clone());
+    let owner = usize::from(request.op.key()) % n;
+    // Fail fast while either end of the path is known-down; advisory
+    // only — a request sent anyway is parked and repaired, not lost.
+    if down[owner].load(Ordering::Relaxed) || down[front].load(Ordering::Relaxed) {
+        let _ = tx.send(ServerFrame::Retry);
+        return;
+    }
+    nodes.app_send(
+        ProcessId(front as u16),
+        ProcessId(owner as u16),
+        SvcMsg::Request(request),
+    );
+}
+
+/// Drain committed responses (and retry hints) onto the socket.
+fn writer_loop(mut conn: TcpStream, rx: &mpsc::Receiver<ServerFrame>) {
+    use std::io::Write as _;
+    while let Ok(frame) = rx.recv() {
+        if conn.write_all(&wire::encode_server(&frame)).is_err() {
+            return;
+        }
+    }
+}

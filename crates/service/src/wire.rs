@@ -1,0 +1,252 @@
+//! The client-facing wire protocol — deliberately minimal.
+//!
+//! Requests up: `[u32 LE length][SvcRequest]`. Responses down:
+//! `[u32 LE length][tag]` where tag 0 carries a committed
+//! `(client, req, reply)` triple and tag 1 is a bare *retry hint* (the
+//! front door knows the responsible replica is down right now; try
+//! again later or elsewhere). There is no checksum here: client links
+//! are ordinary loopback TCP and carry no recovery-protocol state — the
+//! end-to-end guarantee comes from request-id dedup plus output commit,
+//! not from link integrity.
+
+use std::io::{self, Read};
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use dg_apps::{SvcReply, SvcRequest};
+use dg_core::wirecodec::{CodecError, Payload};
+use dg_ftvc::wire::{get_varint, put_varint};
+
+/// Upper bound on a client frame; anything larger is a protocol error.
+pub const MAX_FRAME: usize = 1 << 16;
+
+const TAG_REPLY: u8 = 0;
+const TAG_RETRY: u8 = 1;
+
+/// One frame from the service to a client.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServerFrame {
+    /// A committed answer to `(client, req)`.
+    Reply {
+        /// Addressed client.
+        client: u64,
+        /// Request being answered.
+        req: u64,
+        /// The answer.
+        reply: SvcReply,
+    },
+    /// "The responsible replica is down; retry." Advisory only — the
+    /// absence of a retry hint never implies an answer is coming.
+    Retry,
+}
+
+/// Length-prefix `body` into a writable frame.
+fn frame(body: &BytesMut) -> Vec<u8> {
+    let mut out = Vec::with_capacity(4 + body.len());
+    out.extend_from_slice(
+        &u32::try_from(body.len())
+            .expect("frame fits u32")
+            .to_le_bytes(),
+    );
+    out.extend_from_slice(body.as_slice());
+    out
+}
+
+/// Encode a client request frame.
+pub fn encode_request(request: &SvcRequest) -> Vec<u8> {
+    let mut body = BytesMut::new();
+    request.encode(&mut body);
+    frame(&body)
+}
+
+/// Encode a server response frame.
+pub fn encode_server(msg: &ServerFrame) -> Vec<u8> {
+    let mut body = BytesMut::new();
+    match *msg {
+        ServerFrame::Reply { client, req, reply } => {
+            body.put_u8(TAG_REPLY);
+            put_varint(&mut body, client);
+            put_varint(&mut body, req);
+            reply.encode(&mut body);
+        }
+        ServerFrame::Retry => body.put_u8(TAG_RETRY),
+    }
+    frame(&body)
+}
+
+/// Decode the body of a request frame.
+///
+/// # Errors
+///
+/// Returns a [`CodecError`] when the bytes are not a valid request.
+pub fn decode_request(bytes: Vec<u8>) -> Result<SvcRequest, CodecError> {
+    let mut buf = Bytes::from(bytes);
+    SvcRequest::decode(&mut buf)
+}
+
+/// Decode the body of a server frame.
+///
+/// # Errors
+///
+/// Returns a [`CodecError`] when the bytes are not a valid server frame.
+pub fn decode_server(bytes: Vec<u8>) -> Result<ServerFrame, CodecError> {
+    let mut buf = Bytes::from(bytes);
+    if !buf.has_remaining() {
+        return Err(CodecError::UnexpectedEnd);
+    }
+    match buf.get_u8() {
+        TAG_REPLY => Ok(ServerFrame::Reply {
+            client: get_varint(&mut buf)?,
+            req: get_varint(&mut buf)?,
+            reply: SvcReply::decode(&mut buf)?,
+        }),
+        TAG_RETRY => Ok(ServerFrame::Retry),
+        other => Err(CodecError::BadTag(other)),
+    }
+}
+
+/// What one call to [`read_frame`] produced.
+#[derive(Debug)]
+pub enum FrameRead {
+    /// A complete frame body.
+    Frame(Vec<u8>),
+    /// The peer closed the stream cleanly at a frame boundary.
+    Eof,
+    /// A read timeout fired *before the first byte of a frame* — the
+    /// stream is still synchronized at a boundary and may be kept. A
+    /// timeout anywhere later desynchronizes the stream and surfaces as
+    /// an error instead.
+    IdleTimeout,
+}
+
+/// Read one length-prefixed frame body from a stream that may carry a
+/// read timeout.
+///
+/// # Errors
+///
+/// Propagates IO errors (the caller must drop the connection); mangled
+/// prefixes become `InvalidData`, truncation becomes `UnexpectedEof`.
+pub fn read_frame(stream: &mut impl Read) -> io::Result<FrameRead> {
+    let mut prefix = [0u8; 4];
+    match read_full(stream, &mut prefix)? {
+        Fill::Done => {}
+        Fill::CleanEof => return Ok(FrameRead::Eof),
+        Fill::IdleTimeout => return Ok(FrameRead::IdleTimeout),
+    }
+    let len = u32::from_le_bytes(prefix) as usize;
+    if len == 0 || len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "client frame length out of range",
+        ));
+    }
+    let mut body = vec![0u8; len];
+    match read_full(stream, &mut body)? {
+        Fill::Done => Ok(FrameRead::Frame(body)),
+        Fill::CleanEof | Fill::IdleTimeout => Err(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "client frame truncated",
+        )),
+    }
+}
+
+enum Fill {
+    Done,
+    /// EOF before the first byte.
+    CleanEof,
+    /// Timeout before the first byte.
+    IdleTimeout,
+}
+
+/// Fill `buf` completely. EOF or a timeout mid-buffer is an error;
+/// either before the first byte is reported for the caller to judge.
+fn read_full(stream: &mut impl Read, buf: &mut [u8]) -> io::Result<Fill> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match stream.read(&mut buf[filled..]) {
+            Ok(0) if filled == 0 => return Ok(Fill::CleanEof),
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "client frame truncated",
+                ))
+            }
+            Ok(k) => filled += k,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e)
+                if filled == 0
+                    && matches!(
+                        e.kind(),
+                        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                    ) =>
+            {
+                return Ok(Fill::IdleTimeout)
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(Fill::Done)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dg_apps::SvcOp;
+
+    #[test]
+    fn request_roundtrip() {
+        let request = SvcRequest {
+            client: 7,
+            req: 99,
+            op: SvcOp::Put { key: 3, value: 12 },
+        };
+        let framed = encode_request(&request);
+        let mut cursor = io::Cursor::new(framed);
+        let FrameRead::Frame(body) = read_frame(&mut cursor).unwrap() else {
+            panic!("expected one frame");
+        };
+        assert_eq!(decode_request(body).unwrap(), request);
+        assert!(
+            matches!(read_frame(&mut cursor).unwrap(), FrameRead::Eof),
+            "clean EOF"
+        );
+    }
+
+    #[test]
+    fn server_frames_roundtrip() {
+        for msg in [
+            ServerFrame::Reply {
+                client: 1,
+                req: 2,
+                reply: SvcReply::Value(41),
+            },
+            ServerFrame::Reply {
+                client: 9,
+                req: 0,
+                reply: SvcReply::Written,
+            },
+            ServerFrame::Retry,
+        ] {
+            let framed = encode_server(&msg);
+            let mut cursor = io::Cursor::new(framed);
+            let FrameRead::Frame(body) = read_frame(&mut cursor).unwrap() else {
+                panic!("expected one frame");
+            };
+            assert_eq!(decode_server(body).unwrap(), msg);
+        }
+    }
+
+    #[test]
+    fn mangled_prefixes_are_errors_not_panics() {
+        let mut zero = io::Cursor::new(0u32.to_le_bytes().to_vec());
+        assert!(read_frame(&mut zero).is_err(), "zero length rejected");
+        let mut huge = io::Cursor::new(u32::MAX.to_le_bytes().to_vec());
+        assert!(read_frame(&mut huge).is_err(), "oversized length rejected");
+        let mut cut = io::Cursor::new(vec![0x10, 0x00]);
+        assert!(read_frame(&mut cut).is_err(), "truncated prefix rejected");
+        let mut body_cut = io::Cursor::new(vec![8, 0, 0, 0, 1, 2]);
+        assert!(
+            read_frame(&mut body_cut).is_err(),
+            "truncated body rejected"
+        );
+    }
+}
