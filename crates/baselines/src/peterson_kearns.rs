@@ -251,6 +251,7 @@ impl<A: Application> PkEngine<A> {
         });
         self.effects.push(Effect::Checkpoint {
             cost_us: self.costs.checkpoint_write,
+            bytes: 0,
         });
     }
 
@@ -390,6 +391,7 @@ impl<A: Application> PkEngine<A> {
                     self.effects.push(Effect::LogWrite {
                         entries: flushed,
                         cost_us: self.costs.flush_per_entry * flushed as u64,
+                        bytes: 0,
                     });
                 }
                 self.effects.push(Effect::SetTimer {

@@ -166,7 +166,7 @@ impl<A: Application> Actor for SjtProcess<A> {
                     self.absorb_clock(&clock.clone());
                 }
             }
-            Wire::TokenAck(_) | Wire::Frontier(..) => {}
+            Wire::TokenAck(_) | Wire::Frontier(..) | Wire::StableClock(..) => {}
         }
         self.metered(|inner| inner.on_message(from, msg, ctx));
     }

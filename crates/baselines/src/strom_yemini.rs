@@ -262,6 +262,7 @@ impl<A: Application> SyEngine<A> {
         });
         self.effects.push(Effect::Checkpoint {
             cost_us: self.costs.checkpoint_write,
+            bytes: 0,
         });
     }
 
@@ -388,6 +389,7 @@ impl<A: Application> SyEngine<A> {
                     self.effects.push(Effect::LogWrite {
                         entries: flushed,
                         cost_us: self.costs.flush_per_entry * flushed as u64,
+                        bytes: 0,
                     });
                 }
                 self.effects.push(Effect::SetTimer {

@@ -3,7 +3,7 @@
 //! ```text
 //! experiments [all|table1|rollbacks|piggyback|asynchrony|concurrent|
 //!              ordering|overhead|optimism|domino|maxstate|commit|gc|lossy|
-//!              engine|hotpath|scaling|service]
+//!              engine|hotpath|scaling|service|storage]
 //!             [--quick]
 //! ```
 //!
@@ -179,6 +179,15 @@ fn main() {
         show(&t);
         std::fs::write("BENCH_service.json", json).expect("write BENCH_service.json");
         println!("wrote BENCH_service.json");
+        println!();
+        violations += v;
+    }
+    if run("storage") {
+        println!("== E17: the storage engine — delta checkpoints, group commit, pruning ==\n");
+        let (t, json, v) = storage(quick);
+        show(&t);
+        std::fs::write("BENCH_storage.json", json).expect("write BENCH_storage.json");
+        println!("wrote BENCH_storage.json");
         println!();
         violations += v;
     }

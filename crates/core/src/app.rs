@@ -147,6 +147,17 @@ pub trait Application: Clone {
     fn digest(&self) -> u64 {
         0
     }
+
+    /// Serialize the application state for checkpoint byte accounting
+    /// (the delta-checkpoint storage path sizes its `app` section with
+    /// this). The default appends the eight little-endian bytes of
+    /// [`Application::digest`] — a stand-in that still changes exactly
+    /// when the state changes, so delta frames elide the section on
+    /// quiescent processes. Override to emit the real serialized state
+    /// when honest application-section sizes matter.
+    fn encode_state(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.digest().to_le_bytes());
+    }
 }
 
 #[cfg(test)]

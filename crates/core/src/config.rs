@@ -60,6 +60,19 @@ pub struct DgConfig {
     /// the default, since quiescence-based suites rely on pending tokens
     /// draining to zero only via acknowledgement.
     pub token_retry_limit: Option<u32>,
+    /// Write periodic checkpoints as *delta frames* against the previous
+    /// checkpoint (dirty clock entries, changed sections) instead of full
+    /// images, rebasing on a full frame every
+    /// [`DgConfig::full_checkpoint_every`] frames. Deltas are charged the
+    /// (cheaper) `sync_write` cost and report honest per-section byte
+    /// counts through [`crate::ProcessStats`]. Off in the base
+    /// configuration — the paper's protocol writes full checkpoints.
+    pub delta_checkpoints: bool,
+    /// With [`DgConfig::delta_checkpoints`] on: rebase with a full frame
+    /// every this many checkpoints (the full frame itself counts, so `8`
+    /// means one full then seven deltas). Bounds the chain a recovery
+    /// must replay and the blast radius of a corrupt base frame.
+    pub full_checkpoint_every: u32,
 }
 
 impl DgConfig {
@@ -79,6 +92,8 @@ impl DgConfig {
             token_backoff_cap: 64_000,
             token_retry_jitter_pct: 25,
             token_retry_limit: None,
+            delta_checkpoints: false,
+            full_checkpoint_every: 8,
         }
     }
 
@@ -179,6 +194,25 @@ impl DgConfig {
         self
     }
 
+    /// Builder-style delta-checkpoint toggle.
+    #[must_use]
+    pub fn with_delta_checkpoints(mut self, on: bool) -> DgConfig {
+        self.delta_checkpoints = on;
+        self
+    }
+
+    /// Builder-style full-frame rebase period for delta checkpoints.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `every` is zero.
+    #[must_use]
+    pub fn full_every(mut self, every: u32) -> DgConfig {
+        assert!(every > 0, "full-checkpoint period must be positive");
+        self.full_checkpoint_every = every;
+        self
+    }
+
     /// Builder-style retransmission cap: give up on a pending token
     /// after `limit` retry rounds.
     ///
@@ -264,5 +298,21 @@ mod tests {
     #[should_panic(expected = "retry limit must be positive")]
     fn retry_cap_rejects_zero() {
         let _ = DgConfig::base().token_retry_cap(0);
+    }
+
+    #[test]
+    fn delta_checkpoint_builders() {
+        let base = DgConfig::base();
+        assert!(!base.delta_checkpoints);
+        assert_eq!(base.full_checkpoint_every, 8);
+        let c = base.with_delta_checkpoints(true).full_every(4);
+        assert!(c.delta_checkpoints);
+        assert_eq!(c.full_checkpoint_every, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "full-checkpoint period must be positive")]
+    fn full_every_rejects_zero() {
+        let _ = DgConfig::base().full_every(0);
     }
 }

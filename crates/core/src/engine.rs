@@ -33,7 +33,8 @@
 use std::sync::Arc;
 
 use dg_ftvc::{Entry, Ftvc, ProcessId, Version};
-use dg_storage::{CheckpointStore, EventLog, LogPos, SendLog};
+use dg_storage::delta::{content_hash, diff, DedupChunk, PendingEntry};
+use dg_storage::{CheckpointImage, CheckpointStore, EventLog, LogPos, SectionBytes, SendLog};
 
 use crate::app::{Application, Effects};
 use crate::config::DgConfig;
@@ -58,6 +59,14 @@ use timers::{
     CHECKPOINT as TIMER_CHECKPOINT, FLUSH as TIMER_FLUSH, GOSSIP as TIMER_GOSSIP,
     TOKEN_RETRY as TIMER_TOKEN_RETRY,
 };
+
+/// Byte model of one durable log record's framing: length prefix plus
+/// checksum, matching the file backend's on-disk record format.
+const LOG_RECORD_OVERHEAD: u64 = 16;
+/// Byte model of an opaque application payload inside a log record (the
+/// engine is generic over the payload type; the piggybacked clock, which
+/// it *can* size exactly, dominates real records).
+const LOG_PAYLOAD_BYTES: u64 = 8;
 
 /// An environmental fault done *to* a process's stable storage.
 ///
@@ -161,15 +170,22 @@ pub enum Effect<W, O = ()> {
     Checkpoint {
         /// Microseconds of storage latency to charge.
         cost_us: u64,
+        /// Encoded size of the durable frame (full image or delta).
+        /// Zero when the engine does not account frame bytes (delta
+        /// checkpointing off).
+        bytes: u64,
     },
     /// `entries` log records were written to stable storage (an
-    /// asynchronous flush or a synchronous token append); charge
-    /// `cost_us` of device latency.
+    /// asynchronous group-committed flush or a synchronous token
+    /// append); charge `cost_us` of device latency.
     LogWrite {
         /// Records written.
         entries: usize,
         /// Microseconds of storage latency to charge.
         cost_us: u64,
+        /// Modeled on-disk bytes of the records made stable (framing +
+        /// piggybacked clocks + payload).
+        bytes: u64,
     },
     /// Outputs whose dependencies became provably stable were committed
     /// to the external world, in order. Committing is itself a stable
@@ -366,11 +382,13 @@ struct Checkpoint<A: Application> {
 /// * `active` — ids inserted since the last checkpoint, in insertion
 ///   order. Sealing it into an immutable chunk is O(recent).
 /// * `sealed` — immutable `Arc<[MsgId]>` chunks shared structurally with
-///   every checkpoint that references them. Adjacent chunks are merged
-///   geometrically (a chunk absorbs its neighbour when it is no smaller
-///   than half of it), so at most O(log ids) chunks exist and each id is
-///   copied O(log ids) times over the whole run — plain `memcpy`s, never
-///   rehashing.
+///   every checkpoint that references them. Small adjacent chunks are
+///   merged geometrically (a chunk absorbs its neighbour when it is no
+///   smaller than half of it) and freeze once they reach
+///   [`ReceivedIds::EXTENT_CAP`] ids, so the list stays short, each id
+///   is copied O(log EXTENT_CAP) times over the whole run — plain
+///   `memcpy`s, never rehashing — and frozen extents keep a stable
+///   identity that delta checkpoint frames exploit.
 ///
 /// Sealed chunks are only *read* when a checkpoint is restored (rebuild
 /// `all`, then log replay re-inserts the post-checkpoint suffix), so they
@@ -385,6 +403,12 @@ struct ReceivedIds {
 }
 
 impl ReceivedIds {
+    /// Sealed chunks at least this many ids long are frozen: excluded
+    /// from further merging so their identity (content hash) is stable
+    /// for the lifetime of the process and delta checkpoints carry them
+    /// by reference. See [`ReceivedIds::snapshot`].
+    const EXTENT_CAP: usize = 128;
+
     fn contains(&self, id: &MsgId) -> bool {
         self.all.contains(id)
     }
@@ -417,6 +441,14 @@ impl ReceivedIds {
 
     /// Seal the active region and return the chunk list for a checkpoint:
     /// O(recent ids + log chunks), independent of the set's total size.
+    ///
+    /// The merge policy trades chunk count against rewrite churn. Small
+    /// chunks merge geometrically (keeping the list logarithmic), but a
+    /// chunk that reaches [`ReceivedIds::EXTENT_CAP`] ids freezes: it is
+    /// never rewritten again, so its content hash stays stable and delta
+    /// checkpoint frames ship it by reference forever. Each id is thus
+    /// rewritten O(log EXTENT_CAP) times total, independent of how long
+    /// the process runs.
     fn snapshot(&mut self) -> Vec<Arc<[MsgId]>> {
         if !self.active.is_empty() {
             self.sealed.push(Arc::from(self.active.as_slice()));
@@ -424,7 +456,7 @@ impl ReceivedIds {
             while self.sealed.len() >= 2 {
                 let older = self.sealed[self.sealed.len() - 2].len();
                 let newer = self.sealed[self.sealed.len() - 1].len();
-                if older > 2 * newer {
+                if older >= Self::EXTENT_CAP || older > 2 * newer {
                     break;
                 }
                 let b = self.sealed.pop().expect("two chunks present");
@@ -516,6 +548,15 @@ pub struct Engine<A: Application> {
     frontiers: Vec<Entry>,
     /// Own stable frontier: own clock entry at the last flush/checkpoint.
     my_stable_entry: Entry,
+    /// Gossiped stable-checkpoint clocks: for each peer, the full clock
+    /// of its newest *globally stable* checkpoint. Drives send-log
+    /// pruning (a logged send covered by the receiver's stable clock can
+    /// never need retransmission). Purely a cache — losing it only
+    /// delays pruning — so it dies with the other volatile state.
+    stable_clocks: Vec<Option<Ftvc>>,
+    /// Own entry of the last stable-checkpoint clock this process
+    /// gossiped; gossip is re-broadcast only when it advances.
+    last_stable_gossip: Option<Entry>,
     down: bool,
 
     // ---- stable state (survives crashes) ----
@@ -526,6 +567,20 @@ pub struct Engine<A: Application> {
     pending_tokens: Vec<PendingToken>,
 
     stats: ProcessStats,
+
+    /// The durable image of the newest stored checkpoint frame, diffed
+    /// against by the next delta frame ([`DgConfig::delta_checkpoints`]).
+    /// `None` forces the next frame to be full — the initial state, and
+    /// re-established at every point where the newest frame stops being
+    /// a valid delta base (crash, rollback, restart, storage fault).
+    last_image: Option<CheckpointImage>,
+    /// Delta frames written since the last full frame (rebase counter).
+    delta_since_full: u32,
+    /// Modeled on-disk bytes of log records appended but not yet made
+    /// stable — drained into [`Effect::LogWrite::bytes`] by the next
+    /// group-committed flush. O(1) arithmetic per append; reset by a
+    /// crash together with the volatile log suffix it describes.
+    pending_flush_bytes: u64,
 
     /// Per-sender Δ floors: the last clock from each clock owner that
     /// was merged in full (clock, history, obsolete and deliverability
@@ -578,11 +633,16 @@ impl<A: Application> Engine<A> {
             send_log: SendLog::new(),
             frontiers: vec![Entry::ZERO; n],
             my_stable_entry,
+            stable_clocks: vec![None; n],
+            last_stable_gossip: None,
             down: false,
             checkpoints: CheckpointStore::new(),
             log: EventLog::new(),
             pending_tokens: Vec::new(),
             stats: ProcessStats::default(),
+            last_image: None,
+            delta_since_full: 0,
+            pending_flush_bytes: 0,
             recv_floors: vec![None; n],
             dirty_scratch: Vec::new(),
             effects: Vec::new(),
@@ -856,6 +916,8 @@ impl<A: Application> Engine<A> {
         self.stats.messages_delivered += 1;
         let mut eff = std::mem::take(&mut self.app_effects);
         debug_assert!(eff.is_empty(), "app effect scratch leaked");
+        self.pending_flush_bytes +=
+            LOG_RECORD_OVERHEAD + env.piggyback_bytes() as u64 + LOG_PAYLOAD_BYTES;
         self.log.append_volatile(LogEvent::Message(env));
         if let Some(LogEvent::Message(env)) = self.log.last() {
             self.app
@@ -929,6 +991,7 @@ impl<A: Application> Engine<A> {
     /// restoration point cuts off every consequence, exactly as for a
     /// lost delivery.
     fn app_send(&mut self, to: ProcessId, payload: A::Msg) {
+        self.pending_flush_bytes += LOG_RECORD_OVERHEAD + LOG_PAYLOAD_BYTES + 2;
         self.log
             .append_volatile(LogEvent::AppSend(to, payload.clone()));
         let stamp = self.clock.stamp_for_send();
@@ -973,10 +1036,13 @@ impl<A: Application> Engine<A> {
         // Tokens are logged synchronously (Section 6.3); appending after
         // the rollback keeps the token past the truncation point so a
         // later restart replays it.
+        let token_bytes = LOG_RECORD_OVERHEAD + token.wire_bytes() as u64;
         self.log.append_stable(LogEvent::Token(token.clone()));
+        self.stats.log_bytes_flushed += token_bytes;
         self.effects.push(Effect::LogWrite {
             entries: 1,
             cost_us: self.config.costs.sync_write,
+            bytes: token_bytes,
         });
         self.history.record_token(token.from, token.entry);
         // Re-inject the rollback suffix through the normal paths: the
@@ -996,6 +1062,7 @@ impl<A: Application> Engine<A> {
                     // The original send left before the rollback; replay
                     // the tick only (rollback replay, send log intact).
                     self.replay_app_send(to, &payload, false);
+                    self.pending_flush_bytes += LOG_RECORD_OVERHEAD + LOG_PAYLOAD_BYTES + 2;
                     self.log.append_volatile(LogEvent::AppSend(to, payload));
                 }
             }
@@ -1177,18 +1244,26 @@ impl<A: Application> Engine<A> {
         });
         let current_version = self.clock.version();
         // "log all the unlogged messages to the stable storage" — nothing
-        // is lost in a rollback.
+        // is lost in a rollback. The bundled flush's bytes are accounted;
+        // its latency is subsumed by the rollback itself, as before.
         self.log.flush();
+        self.stats.log_bytes_flushed += self.pending_flush_bytes;
+        self.pending_flush_bytes = 0;
 
-        // Find the maximum *intact* checkpoint whose history is not
-        // orphaned (a storage fault may have damaged newer frames).
+        // Find the maximum *usable* checkpoint whose history is not
+        // orphaned (a storage fault may have damaged newer frames, and a
+        // damaged frame takes any delta chain stacked on it down too).
         let (ckpt_id, ckpt) = self
             .checkpoints
-            .iter_newest_first_intact()
+            .iter_newest_first_usable()
             .find(|(_, c)| !c.history.orphaned_by(j, token_entry))
             .map(|(id, c)| (id, c.clone()))
             .expect("the initial checkpoint is never an orphan");
         self.checkpoints.discard_after(ckpt_id);
+        // The frames just discarded include the one `last_image`
+        // described; the next periodic frame must rebase on a full image.
+        self.last_image = None;
+        self.delta_since_full = 0;
 
         self.app = ckpt.app;
         self.clock = ckpt.clock;
@@ -1282,21 +1357,156 @@ impl<A: Application> Engine<A> {
 
     fn take_checkpoint(&mut self) {
         // "At the time of checkpointing, all unlogged messages are also
-        // logged."
+        // logged." The bundled flush's bytes are accounted; its latency
+        // rides on the checkpoint write, as before.
         self.log.flush();
+        self.stats.log_bytes_flushed += self.pending_flush_bytes;
+        self.pending_flush_bytes = 0;
         self.my_stable_entry = self.clock.own_entry();
-        self.checkpoints.take(Checkpoint {
+        self.store_checkpoint_frame();
+    }
+
+    /// Snapshot the process and store its durable checkpoint frame. With
+    /// [`DgConfig::delta_checkpoints`] off this is the classic full
+    /// checkpoint, unmetered. With it on, the frame is a delta against
+    /// the previous frame's image (rebased on a full frame every
+    /// [`DgConfig::full_checkpoint_every`] frames), per-section bytes are
+    /// recorded in [`ProcessStats`], and deltas are charged the cheaper
+    /// forced-write latency.
+    fn store_checkpoint_frame(&mut self) {
+        let ckpt = Checkpoint {
             app: self.app.clone(),
             clock: self.clock.clone(),
             history: self.history.clone(),
             log_end: self.log.end(),
             received_ids: self.received_ids.snapshot(),
             pending_outputs: self.outputs.pending().cloned().collect(),
-        });
+        };
         self.stats.checkpoints_taken += 1;
-        self.effects.push(Effect::Checkpoint {
-            cost_us: self.config.costs.checkpoint_write,
-        });
+        if !self.config.delta_checkpoints {
+            self.checkpoints.take(ckpt);
+            self.effects.push(Effect::Checkpoint {
+                cost_us: self.config.costs.checkpoint_write,
+                bytes: 0,
+            });
+            return;
+        }
+        let image = self.build_image(&ckpt);
+        let rebase_due = self.delta_since_full + 1 >= self.config.full_checkpoint_every;
+        let (cost_us, bytes) = match self.last_image.take() {
+            Some(prev) if !rebase_due => {
+                let base = self.checkpoints.latest().map_or(0, |(id, _)| id.0);
+                let sections = diff(base, &prev, &image).section_bytes();
+                // Frame tag + base-pointer framing on top of the sections.
+                let bytes = sections.total() + 9;
+                self.checkpoints.take_delta(ckpt);
+                self.delta_since_full += 1;
+                self.stats.checkpoints_delta += 1;
+                self.stats.checkpoint_bytes_delta += bytes;
+                self.record_section_bytes(sections);
+                (self.config.costs.sync_write, bytes)
+            }
+            _ => {
+                let sections = image.section_bytes();
+                let bytes = sections.total() + 1;
+                self.checkpoints.take(ckpt);
+                self.delta_since_full = 0;
+                self.stats.checkpoints_full += 1;
+                self.stats.checkpoint_bytes_full += bytes;
+                self.record_section_bytes(sections);
+                (self.config.costs.checkpoint_write, bytes)
+            }
+        };
+        self.last_image = Some(image);
+        self.effects.push(Effect::Checkpoint { cost_us, bytes });
+    }
+
+    fn record_section_bytes(&mut self, s: SectionBytes) {
+        self.stats.checkpoint_bytes_clock += s.clock;
+        self.stats.checkpoint_bytes_app += s.app;
+        self.stats.checkpoint_bytes_meta += s.meta;
+        self.stats.checkpoint_bytes_dedup += s.dedup;
+        self.stats.checkpoint_bytes_pending += s.pending;
+    }
+
+    /// Materialize the checkpoint's durable image: the sectioned encoding
+    /// whose bytes the storage path accounts and whose unchanged parts
+    /// the next delta frame elides.
+    fn build_image(&self, ckpt: &Checkpoint<A>) -> CheckpointImage {
+        let clock = ckpt
+            .clock
+            .iter()
+            .map(|(_, e)| (e.version.0, e.ts))
+            .collect();
+        let mut app = Vec::new();
+        ckpt.app.encode_state(&mut app);
+        // Meta: the history tables plus the log cursor — carried in full
+        // by every frame (they mutate on every delivery and stay small).
+        let mut meta = Vec::new();
+        for j in ProcessId::all(self.n) {
+            for (v, r) in ckpt.history.records_for(j) {
+                meta.extend_from_slice(&v.0.to_le_bytes());
+                meta.extend_from_slice(&r.ts.to_le_bytes());
+                meta.push(match r.kind {
+                    crate::history::RecordKind::Message => 1,
+                    crate::history::RecordKind::Token => 2,
+                });
+            }
+        }
+        meta.extend_from_slice(&ckpt.log_end.0.to_le_bytes());
+        // Dedup: the sealed receive-id chunks, content-addressed. The
+        // chunks are immutable `Arc`s shared with the live set, so a
+        // chunk carried over from the previous checkpoint re-encodes to
+        // identical bytes and travels by reference in a delta frame.
+        let dedup = ckpt
+            .received_ids
+            .iter()
+            .map(|chunk| {
+                let mut bytes = Vec::with_capacity(chunk.len() * 22);
+                for id in chunk.iter() {
+                    bytes.extend_from_slice(&id.sender.0.to_le_bytes());
+                    bytes.extend_from_slice(&id.entry.version.0.to_le_bytes());
+                    bytes.extend_from_slice(&id.entry.ts.to_le_bytes());
+                    bytes.extend_from_slice(&id.clock_digest.to_le_bytes());
+                }
+                DedupChunk {
+                    hash: content_hash(&bytes),
+                    bytes,
+                }
+            })
+            .collect();
+        // Pending outputs, keyed by their stable output id so a delta
+        // frame expresses commits as removals and fresh emissions as
+        // additions. The record carries the id, the commit-clock digest
+        // and a payload placeholder (the engine is payload-generic).
+        let pending = ckpt
+            .pending_outputs
+            .iter()
+            .map(|p| {
+                let mut bytes = Vec::with_capacity(32);
+                bytes.extend_from_slice(&p.id.entry.version.0.to_le_bytes());
+                bytes.extend_from_slice(&p.id.entry.ts.to_le_bytes());
+                bytes.extend_from_slice(&p.id.index.to_le_bytes());
+                let key = content_hash(&bytes);
+                let mut digest: u64 = 0xcbf2_9ce4_8422_2325;
+                for (_, e) in p.clock.iter() {
+                    for word in [u64::from(e.version.0), e.ts] {
+                        digest ^= word;
+                        digest = digest.wrapping_mul(0x0000_0100_0000_01B3);
+                    }
+                }
+                bytes.extend_from_slice(&digest.to_le_bytes());
+                bytes.extend_from_slice(&[0u8; 8]);
+                PendingEntry { key, bytes }
+            })
+            .collect();
+        CheckpointImage {
+            clock,
+            app,
+            meta,
+            dedup,
+            pending,
+        }
     }
 
     fn arm_timers(&mut self) {
@@ -1337,6 +1547,76 @@ impl<A: Application> Engine<A> {
         }
         *current = entry;
         self.commit_and_gc();
+    }
+
+    /// Broadcast the full clock of our newest globally-stable checkpoint
+    /// when it advanced since the last gossip (retransmission extension
+    /// only — without a send log on the peers there is nothing to prune).
+    /// Such a checkpoint is never rolled past (paper, Remark 2), so every
+    /// future restored clock of this process dominates it; peers may
+    /// therefore drop logged sends it covers.
+    fn gossip_stable_clock(&mut self) {
+        self.frontiers[self.me.index()] = self.my_stable_entry;
+        let Some(stable) = self
+            .checkpoints
+            .iter_newest_first()
+            .find(|(_, c)| {
+                c.clock.iter().all(|(j, dep)| {
+                    entry_is_stable(dep, self.frontiers[j.index()], &self.history, j)
+                })
+            })
+            .map(|(_, c)| c.clock.clone())
+        else {
+            return;
+        };
+        let own = stable.own_entry();
+        if self.last_stable_gossip.is_some_and(|prev| own <= prev) {
+            return;
+        }
+        self.last_stable_gossip = Some(own);
+        self.eff_broadcast(Wire::StableClock(self.me, stable));
+    }
+
+    /// A peer gossiped the clock of its newest globally-stable
+    /// checkpoint; remember the newest per peer and prune the send log
+    /// against it.
+    fn receive_stable_clock(&mut self, p: ProcessId, clock: Ftvc) {
+        if p == self.me {
+            return;
+        }
+        let slot = &mut self.stable_clocks[p.index()];
+        if slot
+            .as_ref()
+            .is_some_and(|old| clock.own_entry() <= old.own_entry())
+        {
+            return;
+        }
+        *slot = Some(clock);
+        self.prune_send_log();
+    }
+
+    /// Prune the retransmission send log against the gossiped stable
+    /// clocks: an entry addressed to `j` whose clock happened-before
+    /// `j`'s stable-checkpoint clock `L_j` can never be retransmitted —
+    /// every future restored clock `R` of `j` satisfies `L_j ≤ R`, so the
+    /// covered test `env.clock.happened_before(R)` would skip the entry
+    /// anyway. Behaviour-preserving by construction; only the memory
+    /// high-water mark changes.
+    fn prune_send_log(&mut self) {
+        self.stats.send_log_high_water = self
+            .stats
+            .send_log_high_water
+            .max(self.send_log.high_water() as u64);
+        if self.send_log.is_empty() || self.stable_clocks.iter().all(Option::is_none) {
+            return;
+        }
+        let stable_clocks = &self.stable_clocks;
+        let pruned = self.send_log.prune_to(|(to, env)| {
+            stable_clocks[to.index()]
+                .as_ref()
+                .is_some_and(|l| env.clock.happened_before(l))
+        });
+        self.stats.send_log_pruned += pruned as u64;
     }
 
     /// Reclaim checkpoints, log prefix, and history records made obsolete
@@ -1447,6 +1727,7 @@ impl<A: Application> Engine<A> {
             }
             Wire::TokenAck(entry) => self.receive_token_ack(from, entry),
             Wire::Frontier(p, entry) => self.receive_frontier(p, entry),
+            Wire::StableClock(p, clock) => self.receive_stable_clock(p, clock),
         }
     }
 
@@ -1459,19 +1740,34 @@ impl<A: Application> Engine<A> {
             TIMER_FLUSH => {
                 let flushed = self.log.flush();
                 if flushed > 0 {
+                    let bytes = self.pending_flush_bytes;
+                    self.pending_flush_bytes = 0;
                     self.stats.flushes += 1;
+                    self.stats.log_bytes_flushed += bytes;
+                    // Group commit: the tick's entries share one seek +
+                    // one barrier (`flush_batch`) plus the per-entry
+                    // transfer — not one forced write per record.
                     self.effects.push(Effect::LogWrite {
                         entries: flushed,
-                        cost_us: self.config.costs.flush_per_entry * flushed as u64,
+                        cost_us: self.config.costs.flush_batch
+                            + self.config.costs.flush_per_entry * flushed as u64,
+                        bytes,
                     });
                 }
                 self.my_stable_entry = self.clock.own_entry();
+                if self.config.retransmit_lost {
+                    self.prune_send_log();
+                }
                 self.eff_timer(self.config.flush_interval, TIMER_FLUSH, true);
             }
             TIMER_GOSSIP => {
                 // Stability gossip travels on the control plane; it is not
                 // part of the piecewise-deterministic computation.
                 self.eff_broadcast(Wire::Frontier(self.me, self.my_stable_entry));
+                if self.config.retransmit_lost {
+                    self.gossip_stable_clock();
+                    self.prune_send_log();
+                }
                 // With history GC on, the tick also folds the freshest
                 // local knowledge in: commit what the known frontiers
                 // already prove stable and reclaim storage + history
@@ -1492,10 +1788,14 @@ impl<A: Application> Engine<A> {
     fn on_fault(&mut self, kind: StorageFault) {
         match kind {
             StorageFault::CorruptLatestCheckpoint => {
-                // The store refuses to damage the last intact frame: the
+                // The store refuses to damage the last usable frame: the
                 // protocol is only recoverable at all under the paper's
                 // assumption that the initial checkpoint survives.
                 let _ = self.checkpoints.mark_latest_corrupt();
+                // Whatever frame was damaged, the newest frame is no
+                // longer a safe delta base; rebase on a full image.
+                self.last_image = None;
+                self.delta_since_full = 0;
             }
         }
     }
@@ -1509,8 +1809,17 @@ impl<A: Application> Engine<A> {
         self.invalidate_recv_floors();
         self.received_ids.clear();
         self.outputs.crash();
+        self.stats.send_log_high_water = self
+            .stats
+            .send_log_high_water
+            .max(self.send_log.high_water() as u64);
         self.send_log.clear();
         self.frontiers = vec![Entry::ZERO; self.n];
+        self.stable_clocks = vec![None; self.n];
+        self.last_stable_gossip = None;
+        self.last_image = None;
+        self.delta_since_full = 0;
+        self.pending_flush_bytes = 0;
         // Crash discards effects the current handle would otherwise have
         // produced: a crashed process performs no actions.
         self.effects.clear();
@@ -1525,9 +1834,9 @@ impl<A: Application> Engine<A> {
         // checkpoint is never lost).
         let (_, ckpt) = self
             .checkpoints
-            .latest_intact()
+            .latest_usable()
             .map(|(id, c)| (id, c.clone()))
-            .expect("a process always has an intact checkpoint");
+            .expect("a process always has a usable checkpoint");
         self.invalidate_recv_floors();
         self.app = ckpt.app;
         self.clock = ckpt.clock;

@@ -108,6 +108,14 @@ pub enum Wire<M> {
     /// Stability-frontier gossip (output-commit / GC extension): the
     /// sender's own `(version, ts)` up to which its states are stable.
     Frontier(ProcessId, Entry),
+    /// The full clock of the sender's newest *globally stable* checkpoint
+    /// (paper, Remark 2): no state at or before this clock can ever roll
+    /// back, so no future recovery token from the sender names a
+    /// restoration point below it. Peers use it to prune their
+    /// retransmission send logs — any logged envelope whose clock
+    /// happened-before this clock would be skipped by the covered test of
+    /// every future retransmission anyway.
+    StableClock(ProcessId, Ftvc),
 }
 
 #[cfg(test)]

@@ -56,7 +56,7 @@ where
                     ctx.set_timer(delay, kind);
                 }
             }
-            Effect::Checkpoint { cost_us } | Effect::LogWrite { cost_us, .. } => {
+            Effect::Checkpoint { cost_us, .. } | Effect::LogWrite { cost_us, .. } => {
                 ctx.stall(cost_us);
             }
             Effect::Commit { outputs, cost_us } => {

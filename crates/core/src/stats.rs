@@ -55,8 +55,43 @@ pub struct ProcessStats {
     pub postponed_lost: u64,
     /// Checkpoints written.
     pub checkpoints_taken: u64,
+    /// Checkpoints written as full frames (with
+    /// [`crate::DgConfig::delta_checkpoints`] off, every checkpoint).
+    pub checkpoints_full: u64,
+    /// Checkpoints written as delta frames against the previous frame.
+    pub checkpoints_delta: u64,
+    /// Encoded bytes of full checkpoint frames.
+    pub checkpoint_bytes_full: u64,
+    /// Encoded bytes of delta checkpoint frames.
+    pub checkpoint_bytes_delta: u64,
+    /// Per-section checkpoint byte breakdown: the vector-clock section.
+    pub checkpoint_bytes_clock: u64,
+    /// Per-section checkpoint byte breakdown: serialized application
+    /// state (elided from delta frames when unchanged).
+    pub checkpoint_bytes_app: u64,
+    /// Per-section checkpoint byte breakdown: protocol metadata (history
+    /// table, log position).
+    pub checkpoint_bytes_meta: u64,
+    /// Per-section checkpoint byte breakdown: sealed dedup chunks (the
+    /// received-ids set; unchanged chunks travel by reference in deltas).
+    pub checkpoint_bytes_dedup: u64,
+    /// Per-section checkpoint byte breakdown: pending (uncommitted)
+    /// outputs.
+    pub checkpoint_bytes_pending: u64,
     /// Asynchronous flushes performed.
     pub flushes: u64,
+    /// Bytes of log records group-committed by asynchronous flushes (the
+    /// wire-honest size of every entry each flush made stable), plus
+    /// synchronously-forced token records.
+    pub log_bytes_flushed: u64,
+    /// Send-log entries pruned by stable-clock gossip: the receiver's
+    /// newest globally-stable checkpoint already covers them, so no
+    /// future recovery of the receiver can need their retransmission.
+    pub send_log_pruned: u64,
+    /// High-water mark of the send log (retransmission extension): the
+    /// most entries it ever held at once. With pruning active this
+    /// plateaus under sustained load; without it, it grows with history.
+    pub send_log_high_water: u64,
     /// Total bytes of piggybacked clock information on sent app messages.
     pub piggyback_bytes: u64,
     /// Total bytes of token traffic sent.

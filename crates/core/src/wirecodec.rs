@@ -114,6 +114,7 @@ const TAG_TOKEN: u8 = 1;
 const TAG_TOKEN_ACK: u8 = 2;
 const TAG_RESEND: u8 = 3;
 const TAG_FRONTIER: u8 = 4;
+const TAG_STABLE: u8 = 5;
 
 /// Classify an encoded frame by its leading tag byte without decoding
 /// it: `true` for control-plane messages (tokens, acks, frontier
@@ -216,6 +217,11 @@ pub fn encode_wire_into<M: Payload>(wire: &Wire<M>, buf: &mut BytesMut) {
             put_varint(buf, u64::from(p.0));
             put_entry(buf, *entry);
         }
+        Wire::StableClock(p, clock) => {
+            buf.put_u8(TAG_STABLE);
+            put_varint(buf, u64::from(p.0));
+            put_clock(buf, clock);
+        }
     }
 }
 
@@ -253,6 +259,11 @@ pub fn decode_wire<M: Payload>(mut bytes: Bytes) -> Result<Wire<M>, CodecError> 
             let p = ProcessId(get_varint(&mut bytes)? as u16);
             let entry = get_entry(&mut bytes)?;
             Ok(Wire::Frontier(p, entry))
+        }
+        TAG_STABLE => {
+            let p = ProcessId(get_varint(&mut bytes)? as u16);
+            let clock = decode_ftvc(bytes)?;
+            Ok(Wire::StableClock(p, clock))
         }
         other => Err(CodecError::BadTag(other)),
     }
@@ -307,6 +318,24 @@ mod tests {
     fn ack_and_frontier_roundtrip() {
         roundtrip(Wire::TokenAck(Entry::new(1, 88)));
         roundtrip(Wire::Frontier(ProcessId(3), Entry::new(0, 12_000)));
+    }
+
+    #[test]
+    fn stable_clock_roundtrip_and_classification() {
+        let wire = Wire::StableClock(ProcessId(2), clock());
+        roundtrip(wire.clone());
+        let bytes = encode_wire(&wire);
+        let first = bytes.clone().get_u8();
+        assert!(
+            is_control_frame(first),
+            "stable-clock gossip is control-plane traffic"
+        );
+        for cut in 0..bytes.len() {
+            assert!(
+                decode_wire::<u64>(bytes.slice(0..cut)).is_err(),
+                "cut at {cut} must fail"
+            );
+        }
     }
 
     #[test]

@@ -241,6 +241,10 @@ fn wire_digest<M>(wire: &Wire<M>) -> u64 {
             (u64::from(p.0) << 40) ^ (u64::from(e.version.0) << 20) ^ e.ts ^ 0x4444
         }
         Wire::TokenAck(e) => (u64::from(e.version.0) << 20) ^ e.ts ^ 0x5555,
+        Wire::StableClock(p, clock) => {
+            let own = clock.own_entry();
+            (u64::from(p.0) << 40) ^ (u64::from(own.version.0) << 20) ^ own.ts ^ 0x6666
+        }
     }
 }
 
@@ -251,7 +255,7 @@ fn wire_sender<M>(wire: &Wire<M>) -> ProcessId {
     match wire {
         Wire::App(env) | Wire::Resend(env) => env.sender(),
         Wire::Token(t) => t.from,
-        Wire::Frontier(p, _) => *p,
+        Wire::Frontier(p, _) | Wire::StableClock(p, _) => *p,
         // Acks carry no payload-level sender; the explorer never enables
         // the reliable-token sublayer, so none are ever in flight.
         Wire::TokenAck(_) => unreachable!("explorer configs do not enable reliable tokens"),

@@ -512,7 +512,7 @@ where
             self.last_corrupt_reason = Some("wire decode failed");
             return; // corrupt frame: treat as message loss
         };
-        if !matches!(wire, Wire::Frontier(..)) {
+        if !matches!(wire, Wire::Frontier(..) | Wire::StableClock(..)) {
             self.activity += 1;
         }
         let now = now_us(&self.start);
@@ -590,9 +590,10 @@ where
                     }
                 }
                 Effect::Broadcast { wire } => {
-                    // Frontier gossip is periodic background traffic; it
-                    // must not count as activity or quiescence never comes.
-                    if !matches!(wire, Wire::Frontier(..)) {
+                    // Frontier and stable-clock gossip are periodic
+                    // background traffic; they must not count as activity
+                    // or quiescence never comes.
+                    if !matches!(wire, Wire::Frontier(..) | Wire::StableClock(..)) {
                         self.activity += 1;
                     }
                     self.wire_scratch.clear();

@@ -8,12 +8,33 @@ use serde::{Deserialize, Serialize};
 )]
 pub struct CheckpointId(pub u64);
 
+/// How a checkpoint's durable frame was encoded.
+///
+/// A [`Full`](FrameKind::Full) frame is self-contained. A
+/// [`Delta`](FrameKind::Delta) frame was encoded against the frame
+/// immediately before it in the store, so *reading* it requires every
+/// frame back to (and including) its nearest full ancestor to verify —
+/// the chain invariant of [`crate::delta`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FrameKind {
+    /// Self-contained frame; a rebase point for delta chains.
+    Full,
+    /// Encoded against the immediately preceding frame.
+    Delta,
+}
+
 /// Stable store of a process's checkpoints, newest last.
 ///
 /// A checkpoint payload `C` is opaque to the store; the recovery layer
 /// snapshots whatever it needs (application state, clock, history, log
 /// cursor) into `C`. Checkpoints survive crashes by construction — the
 /// store has no volatile region.
+///
+/// Each item carries a [`FrameKind`]. A checkpoint is **usable** when its
+/// own frame verifies *and*, for delta frames, every frame back to the
+/// nearest full ancestor verifies too: corruption of a base frame poisons
+/// the deltas stacked on it, and the `*_usable` accessors make recovery
+/// fall back past the whole chain.
 ///
 /// ```
 /// use dg_storage::CheckpointStore;
@@ -27,7 +48,7 @@ pub struct CheckpointId(pub u64);
 /// ```
 #[derive(Debug, Clone)]
 pub struct CheckpointStore<C> {
-    items: Vec<(CheckpointId, C)>,
+    items: Vec<(CheckpointId, FrameKind, C)>,
     next_id: u64,
     /// Checkpoints whose frames no longer verify (storage faults). They
     /// stay in `items` — the damage is discovered at *read* time, exactly
@@ -62,45 +83,63 @@ impl<C> CheckpointStore<C> {
         self.items.is_empty()
     }
 
-    /// Record a new checkpoint; it becomes the latest.
+    /// Record a new full-frame checkpoint; it becomes the latest.
     pub fn take(&mut self, payload: C) -> CheckpointId {
+        self.push(FrameKind::Full, payload)
+    }
+
+    /// Record a new delta-frame checkpoint (encoded against the current
+    /// latest frame); it becomes the latest. Callers must have written a
+    /// full frame first — a delta with no full ancestor is never usable.
+    pub fn take_delta(&mut self, payload: C) -> CheckpointId {
+        self.push(FrameKind::Delta, payload)
+    }
+
+    fn push(&mut self, kind: FrameKind, payload: C) -> CheckpointId {
         let id = CheckpointId(self.next_id);
         self.next_id += 1;
-        self.items.push((id, payload));
+        self.items.push((id, kind, payload));
         id
     }
 
     /// The most recent checkpoint, if any.
     pub fn latest(&self) -> Option<(CheckpointId, &C)> {
-        self.items.last().map(|(id, c)| (*id, c))
+        self.items.last().map(|(id, _, c)| (*id, c))
     }
 
     /// Iterate checkpoints newest-first (the rollback search order of
     /// Figure 4: "restore the *maximum* checkpoint such that …").
     pub fn iter_newest_first(&self) -> impl Iterator<Item = (CheckpointId, &C)> {
-        self.items.iter().rev().map(|(id, c)| (*id, c))
+        self.items.iter().rev().map(|(id, _, c)| (*id, c))
     }
 
     /// Iterate checkpoints oldest-first.
     pub fn iter(&self) -> impl Iterator<Item = (CheckpointId, &C)> {
-        self.items.iter().map(|(id, c)| (*id, c))
+        self.items.iter().map(|(id, _, c)| (*id, c))
     }
 
-    /// Damage the newest *intact* checkpoint: its frame will no longer
-    /// verify, so recovery must fall back to an older one. Refuses (and
-    /// returns `None`) when at most one intact checkpoint remains — the
-    /// protocol's recoverability assumption is that the initial
-    /// checkpoint is never lost.
-    pub fn mark_latest_corrupt(&mut self) -> Option<CheckpointId> {
-        let mut intact = self
-            .items
+    /// The frame kind of `id`, if retained.
+    pub fn kind(&self, id: CheckpointId) -> Option<FrameKind> {
+        self.items
             .iter()
-            .rev()
-            .map(|(id, _)| *id)
-            .filter(|id| !self.corrupt.contains(id));
-        let newest = intact.next()?;
-        intact.next()?; // refuse to damage the last intact checkpoint
+            .find(|(cid, _, _)| *cid == id)
+            .map(|(_, k, _)| *k)
+    }
+
+    /// Damage the newest *usable* checkpoint: its frame will no longer
+    /// verify, so recovery must fall back — past the whole delta chain if
+    /// the damaged frame is a full base. Refuses (and returns `None`)
+    /// when no usable checkpoint would remain afterwards — the protocol's
+    /// recoverability assumption is that the initial checkpoint is never
+    /// lost.
+    pub fn mark_latest_corrupt(&mut self) -> Option<CheckpointId> {
+        let newest = self.iter_newest_first_usable().next()?.0;
         self.corrupt.insert(newest);
+        if self.latest_usable().is_none() {
+            // Refuse to damage the last recoverable state.
+            self.corrupt.remove(&newest);
+            return None;
+        }
         Some(newest)
     }
 
@@ -114,7 +153,9 @@ impl<C> CheckpointStore<C> {
         self.corrupt.len()
     }
 
-    /// The most recent checkpoint that still verifies, if any.
+    /// The most recent checkpoint that still verifies, if any. Ignores
+    /// chain structure — see [`CheckpointStore::latest_usable`] for the
+    /// read-path question "can this frame actually be decoded?".
     pub fn latest_intact(&self) -> Option<(CheckpointId, &C)> {
         self.iter_newest_first_intact().next()
     }
@@ -125,16 +166,48 @@ impl<C> CheckpointStore<C> {
         self.items
             .iter()
             .rev()
-            .filter(|(id, _)| !self.corrupt.contains(id))
-            .map(|(id, c)| (*id, c))
+            .filter(|(id, _, _)| !self.corrupt.contains(id))
+            .map(|(id, _, c)| (*id, c))
+    }
+
+    /// Whether the frame at `idx` can be decoded: intact, and for delta
+    /// frames the whole chain down to the nearest full frame is intact.
+    fn usable_at(&self, idx: usize) -> bool {
+        for (id, kind, _) in self.items[..=idx].iter().rev() {
+            if self.corrupt.contains(id) {
+                return false;
+            }
+            if matches!(kind, FrameKind::Full) {
+                return true;
+            }
+        }
+        false // a delta chain with no full ancestor cannot be replayed
+    }
+
+    /// The most recent checkpoint whose frame (and, for deltas, whole
+    /// chain) verifies.
+    pub fn latest_usable(&self) -> Option<(CheckpointId, &C)> {
+        self.iter_newest_first_usable().next()
+    }
+
+    /// Iterate decodable checkpoints newest-first — the rollback/restart
+    /// search order under delta chains: a corrupt full frame skips every
+    /// delta stacked on it.
+    pub fn iter_newest_first_usable(&self) -> impl Iterator<Item = (CheckpointId, &C)> {
+        self.items
+            .iter()
+            .enumerate()
+            .rev()
+            .filter(|(idx, _)| self.usable_at(*idx))
+            .map(|(_, (id, _, c))| (*id, c))
     }
 
     /// Fetch a checkpoint by id.
     pub fn get(&self, id: CheckpointId) -> Option<&C> {
         self.items
             .iter()
-            .find(|(cid, _)| *cid == id)
-            .map(|(_, c)| c)
+            .find(|(cid, _, _)| *cid == id)
+            .map(|(_, _, c)| c)
     }
 
     /// Discard all checkpoints strictly newer than `id` (Figure 4: "discard
@@ -143,7 +216,7 @@ impl<C> CheckpointStore<C> {
         let keep = self
             .items
             .iter()
-            .position(|(cid, _)| *cid > id)
+            .position(|(cid, _, _)| *cid > id)
             .unwrap_or(self.items.len());
         let discarded = self.items.len() - keep;
         self.items.truncate(keep);
@@ -152,16 +225,36 @@ impl<C> CheckpointStore<C> {
     }
 
     /// Garbage-collect checkpoints strictly older than `id`, always keeping
-    /// at least the checkpoint `id` itself if present. Returns how many
-    /// were reclaimed.
+    /// at least the checkpoint `id` itself if present — and, when `id` is a
+    /// delta frame, its whole chain back to the nearest full frame, which
+    /// is still needed to decode it. Returns how many were reclaimed.
     pub fn gc_before(&mut self, id: CheckpointId) -> usize {
-        let cut = self
+        let floor = self
             .items
             .iter()
-            .position(|(cid, _)| *cid >= id)
+            .position(|(cid, _, _)| *cid >= id)
             .unwrap_or(0);
+        // Chain-aware retention: extend the keep floor down to the chain
+        // base of the frame at the floor.
+        let cut = self.items[..floor]
+            .iter()
+            .enumerate()
+            .rev()
+            .take_while(|(idx, _)| {
+                // Keep scanning down while the frame *above* the scanned
+                // one is a delta (it needs its predecessor).
+                matches!(self.items[idx + 1].1, FrameKind::Delta)
+            })
+            .last()
+            .map_or(floor, |(idx, _)| idx);
+        let reclaimed_below = self.items[..cut]
+            .iter()
+            .map(|(id, _, _)| *id)
+            .collect::<Vec<_>>();
         self.items.drain(..cut);
-        self.corrupt.retain(|cid| *cid >= id);
+        for cid in reclaimed_below {
+            self.corrupt.remove(&cid);
+        }
         cut
     }
 }
@@ -283,5 +376,79 @@ mod tests {
         let a = s.take("x");
         assert_eq!(s.get(a), Some(&"x"));
         assert_eq!(s.get(CheckpointId(99)), None);
+    }
+
+    #[test]
+    fn delta_usability_requires_an_intact_chain() {
+        let mut s = CheckpointStore::new();
+        let f0 = s.take(0);
+        let d1 = s.take_delta(1);
+        let d2 = s.take_delta(2);
+        let f3 = s.take(3);
+        let d4 = s.take_delta(4);
+        assert_eq!(s.kind(f3), Some(FrameKind::Full));
+        assert_eq!(s.kind(d4), Some(FrameKind::Delta));
+
+        // Everything usable while intact.
+        let order: Vec<_> = s.iter_newest_first_usable().map(|(id, _)| id).collect();
+        assert_eq!(order, vec![d4, f3, d2, d1, f0]);
+
+        // Damage d4 → fall back to f3.
+        assert_eq!(s.mark_latest_corrupt(), Some(d4));
+        assert_eq!(s.latest_usable(), Some((f3, &3)));
+
+        // Damage f3 → d4 was already out; nothing else depended on f3.
+        assert_eq!(s.mark_latest_corrupt(), Some(f3));
+        assert_eq!(s.latest_usable(), Some((d2, &2)));
+
+        // Damage the base full frame f0 → d1 and d2 become unusable even
+        // though their own frames verify; no usable frame would remain, so
+        // the store refuses.
+        assert_eq!(s.mark_latest_corrupt(), Some(d2));
+        assert_eq!(s.latest_usable(), Some((d1, &1)));
+        assert_eq!(s.mark_latest_corrupt(), Some(d1));
+        assert_eq!(s.latest_usable(), Some((f0, &0)));
+        assert_eq!(
+            s.mark_latest_corrupt(),
+            None,
+            "last usable frame is protected"
+        );
+        assert_eq!(s.latest_usable(), Some((f0, &0)));
+    }
+
+    #[test]
+    fn corrupt_base_poisons_the_whole_chain() {
+        let mut s = CheckpointStore::new();
+        let f0 = s.take(0);
+        s.take_delta(1);
+        let f2 = s.take(2);
+        let d3 = s.take_delta(3);
+        let d4 = s.take_delta(4);
+        // Corrupt the *base* f2 directly (storage fault, not fault
+        // injection): d3/d4 still verify but cannot be decoded.
+        s.corrupt.insert(f2);
+        assert!(!s.is_corrupt(d3) && !s.is_corrupt(d4));
+        let order: Vec<_> = s.iter_newest_first_usable().map(|(id, _)| id).collect();
+        assert_eq!(order, vec![CheckpointId(1), f0]);
+    }
+
+    #[test]
+    fn gc_keeps_the_chain_base_of_the_floor_frame() {
+        let mut s = CheckpointStore::new();
+        s.take(0);
+        let f1 = s.take(1);
+        s.take_delta(2);
+        let d3 = s.take_delta(3);
+        s.take_delta(4);
+        // Floor at d3 (a delta): its chain base f1 and intermediate d2
+        // must survive, so only checkpoint 0 is reclaimable.
+        assert_eq!(s.gc_before(d3), 1);
+        let kept: Vec<_> = s.iter().map(|(id, _)| id).collect();
+        assert_eq!(kept, vec![f1, CheckpointId(2), d3, CheckpointId(4)]);
+
+        // Floor at a full frame GCs everything below it.
+        let f5 = s.take(5);
+        assert_eq!(s.gc_before(f5), 4);
+        assert_eq!(s.len(), 1);
     }
 }

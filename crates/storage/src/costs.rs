@@ -18,6 +18,10 @@ pub struct StorageCosts {
     /// Per-entry cost of an asynchronous background flush. Charged when a
     /// flush timer fires; it does not block receives in the meantime.
     pub flush_per_entry: u64,
+    /// Fixed per-batch cost of a group-committed flush: one seek + one
+    /// barrier (`fsync`) amortized over every entry the tick gathered.
+    /// Total flush cost = `flush_batch + flush_per_entry × entries`.
+    pub flush_batch: u64,
 }
 
 impl StorageCosts {
@@ -28,6 +32,7 @@ impl StorageCosts {
             sync_write: 5_000,
             checkpoint_write: 20_000,
             flush_per_entry: 200,
+            flush_batch: 1_000,
         }
     }
 
@@ -37,6 +42,7 @@ impl StorageCosts {
             sync_write: 0,
             checkpoint_write: 0,
             flush_per_entry: 0,
+            flush_batch: 0,
         }
     }
 }

@@ -1,0 +1,572 @@
+//! Delta checkpoint frames.
+//!
+//! A checkpoint's durable encoding is organized into *sections* — clock,
+//! application state, recovery metadata, receive-dedup chunks, pending
+//! outputs — and written as one of two frame kinds:
+//!
+//! * a **full frame** ([`Frame::Full`]) carries a complete
+//!   [`CheckpointImage`] and depends on nothing;
+//! * a **delta frame** ([`Frame::Delta`]) encodes only what changed since
+//!   the previous frame in the chain: dirty clock components, the new
+//!   application bytes only if they changed, dedup chunks *by content
+//!   hash* when the base already holds them, and a keyed add/remove diff
+//!   of pending outputs.
+//!
+//! Reading a delta frame requires its base; a chain of deltas is replayed
+//! onto the nearest full frame by [`apply`]. The chain invariant the
+//! stores enforce: a delta frame is *usable* iff every frame between it
+//! and its nearest full ancestor (inclusive) is intact — a corrupt base
+//! poisons everything stacked on it, and recovery falls back to the
+//! newest older full frame, reusing the corrupt-frame fallback walk.
+//!
+//! Sections that the recovery layer mutates on every delivery (the
+//! history metadata) are carried in full in every frame; they are small —
+//! O(n·f) records — while the sections that dominate checkpoint size
+//! (dedup chunks, pending payloads) are the ones deduplicated here.
+
+use crate::codec::{Codec, CodecError, Reader, Writer};
+
+/// One component of the saved vector clock: `(version, timestamp)`.
+pub type ClockEntry = (u32, u64);
+
+/// A sealed, content-addressed receive-dedup chunk.
+///
+/// `hash` is the identity used by delta frames ([`ChunkRef::Ref`]): a
+/// chunk present in the base image with the same hash is *referenced*,
+/// not re-serialized. Callers compute it over the encoded chunk bytes
+/// with [`content_hash`]; sealed chunks are immutable, so the hash never
+/// goes stale.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DedupChunk {
+    /// Content hash of `bytes` (see [`content_hash`]).
+    pub hash: u64,
+    /// The encoded chunk payload.
+    pub bytes: Vec<u8>,
+}
+
+/// A pending (uncommitted) output carried by a checkpoint, keyed for
+/// delta diffing by its stable output id.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PendingEntry {
+    /// Stable identity of the output (survives re-encoding).
+    pub key: u64,
+    /// Encoded output record (id, commit clock, payload framing).
+    pub bytes: Vec<u8>,
+}
+
+/// A materialized checkpoint, organized into the sections the durable
+/// encoding distinguishes. Opaque to this crate beyond section structure:
+/// the recovery layer decides what bytes go in `app` and `meta`.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CheckpointImage {
+    /// Full vector clock, one `(version, ts)` per component.
+    pub clock: Vec<ClockEntry>,
+    /// Application state (opaque; apps provide their own encoding).
+    pub app: Vec<u8>,
+    /// Recovery metadata (history records, log cursor) — always carried
+    /// in full, it mutates on every delivery and stays O(n·f) small.
+    pub meta: Vec<u8>,
+    /// Sealed receive-dedup chunks, content-addressed.
+    pub dedup: Vec<DedupChunk>,
+    /// Pending outputs awaiting the stability frontier.
+    pub pending: Vec<PendingEntry>,
+}
+
+/// Encoded size of each section, for cost accounting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SectionBytes {
+    /// Clock section bytes.
+    pub clock: u64,
+    /// Application section bytes.
+    pub app: u64,
+    /// Metadata section bytes.
+    pub meta: u64,
+    /// Dedup section bytes.
+    pub dedup: u64,
+    /// Pending-output section bytes.
+    pub pending: u64,
+}
+
+impl SectionBytes {
+    /// Sum over all sections.
+    pub fn total(&self) -> u64 {
+        self.clock + self.app + self.meta + self.dedup + self.pending
+    }
+}
+
+fn encoded_len<T: Codec>(value: &T) -> u64 {
+    let mut w = Writer::new();
+    value.encode(&mut w);
+    w.len() as u64
+}
+
+impl CheckpointImage {
+    /// Per-section encoded sizes of this image as a full frame.
+    pub fn section_bytes(&self) -> SectionBytes {
+        SectionBytes {
+            clock: encoded_len(&self.clock),
+            app: encoded_len(&self.app),
+            meta: encoded_len(&self.meta),
+            dedup: encoded_len(&self.dedup),
+            pending: encoded_len(&self.pending),
+        }
+    }
+}
+
+/// A dedup chunk inside a delta frame: by reference to the base image
+/// (content hash) or by value (a chunk the base does not hold).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChunkRef {
+    /// The base image holds this chunk; only its hash is written.
+    Ref(u64),
+    /// A chunk sealed since the base frame, carried in full.
+    New(DedupChunk),
+}
+
+/// A checkpoint encoded against the previous frame in the chain.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeltaFrame {
+    /// Id of the frame this delta was computed against — the chain link
+    /// readers verify when replaying.
+    pub base: u64,
+    /// Clock components that differ from the base, ascending by index.
+    pub clock_dirty: Vec<(u32, ClockEntry)>,
+    /// New application bytes, or `None` when unchanged since the base.
+    pub app: Option<Vec<u8>>,
+    /// Recovery metadata — always full (see module docs).
+    pub meta: Vec<u8>,
+    /// The dedup chunk list, each entry by reference or by value.
+    pub dedup: Vec<ChunkRef>,
+    /// Keys of pending outputs the base holds that were committed since.
+    pub pending_removed: Vec<u64>,
+    /// Pending outputs new since the base, in emission order.
+    pub pending_added: Vec<PendingEntry>,
+}
+
+impl DeltaFrame {
+    /// Per-section encoded sizes of this delta frame.
+    pub fn section_bytes(&self) -> SectionBytes {
+        SectionBytes {
+            clock: encoded_len(&self.clock_dirty),
+            app: encoded_len(&self.app),
+            meta: encoded_len(&self.meta),
+            dedup: encoded_len(&self.dedup),
+            pending: encoded_len(&self.pending_removed) + encoded_len(&self.pending_added),
+        }
+    }
+}
+
+/// One durable checkpoint frame: self-contained or chained.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Frame {
+    /// A self-contained image — a rebase point for delta chains.
+    Full(CheckpointImage),
+    /// A diff against the previous frame.
+    Delta(DeltaFrame),
+}
+
+/// Why a delta frame could not be replayed onto its base.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ApplyError {
+    /// A dirty clock index beyond the base clock's length (+1).
+    ClockIndex(u32),
+    /// A [`ChunkRef::Ref`] hash the base image does not hold.
+    UnknownChunk(u64),
+    /// A removed pending key the base image does not hold.
+    UnknownPending(u64),
+}
+
+impl std::fmt::Display for ApplyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ApplyError::ClockIndex(i) => write!(f, "dirty clock index {i} out of range"),
+            ApplyError::UnknownChunk(h) => write!(f, "chunk ref {h:#x} not in base image"),
+            ApplyError::UnknownPending(k) => write!(f, "removed pending key {k} not in base image"),
+        }
+    }
+}
+
+impl std::error::Error for ApplyError {}
+
+/// FNV-1a over `bytes` — the content hash delta frames use to address
+/// dedup chunks. Same function the file backend uses for frame checksums.
+pub fn content_hash(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Compute the delta frame that takes `prev` (the frame with id
+/// `base_id`) to `next`.
+///
+/// `apply(prev, &diff(base_id, prev, next))` reconstructs `next` exactly.
+pub fn diff(base_id: u64, prev: &CheckpointImage, next: &CheckpointImage) -> DeltaFrame {
+    let clock_dirty = next
+        .clock
+        .iter()
+        .enumerate()
+        .filter(|(i, e)| prev.clock.get(*i) != Some(*e))
+        .map(|(i, e)| (i as u32, *e))
+        .collect();
+
+    let prev_hashes: std::collections::HashSet<u64> = prev.dedup.iter().map(|c| c.hash).collect();
+    let dedup = next
+        .dedup
+        .iter()
+        .map(|c| {
+            if prev_hashes.contains(&c.hash) {
+                ChunkRef::Ref(c.hash)
+            } else {
+                ChunkRef::New(c.clone())
+            }
+        })
+        .collect();
+
+    let next_keys: std::collections::HashSet<u64> = next.pending.iter().map(|p| p.key).collect();
+    let prev_keys: std::collections::HashSet<u64> = prev.pending.iter().map(|p| p.key).collect();
+    let pending_removed = prev
+        .pending
+        .iter()
+        .map(|p| p.key)
+        .filter(|k| !next_keys.contains(k))
+        .collect();
+    let pending_added = next
+        .pending
+        .iter()
+        .filter(|p| !prev_keys.contains(&p.key))
+        .cloned()
+        .collect();
+
+    DeltaFrame {
+        base: base_id,
+        clock_dirty,
+        app: (prev.app != next.app).then(|| next.app.clone()),
+        meta: next.meta.clone(),
+        dedup,
+        pending_removed,
+        pending_added,
+    }
+}
+
+/// Replay a delta frame onto its base image.
+///
+/// # Errors
+///
+/// [`ApplyError`] when the delta references state the base does not hold
+/// — the signature of a broken chain (wrong base, or a frame replayed
+/// out of order).
+pub fn apply(prev: &CheckpointImage, delta: &DeltaFrame) -> Result<CheckpointImage, ApplyError> {
+    let mut clock = prev.clock.clone();
+    for &(i, entry) in &delta.clock_dirty {
+        let i = i as usize;
+        match i.cmp(&clock.len()) {
+            std::cmp::Ordering::Less => clock[i] = entry,
+            std::cmp::Ordering::Equal => clock.push(entry),
+            std::cmp::Ordering::Greater => return Err(ApplyError::ClockIndex(i as u32)),
+        }
+    }
+
+    let mut by_hash = std::collections::HashMap::with_capacity(prev.dedup.len());
+    for c in &prev.dedup {
+        by_hash.insert(c.hash, c);
+    }
+    let mut dedup = Vec::with_capacity(delta.dedup.len());
+    for r in &delta.dedup {
+        match r {
+            ChunkRef::Ref(h) => match by_hash.get(h) {
+                Some(c) => dedup.push((*c).clone()),
+                None => return Err(ApplyError::UnknownChunk(*h)),
+            },
+            ChunkRef::New(c) => dedup.push(c.clone()),
+        }
+    }
+
+    let prev_keys: std::collections::HashSet<u64> = prev.pending.iter().map(|p| p.key).collect();
+    for k in &delta.pending_removed {
+        if !prev_keys.contains(k) {
+            return Err(ApplyError::UnknownPending(*k));
+        }
+    }
+    let removed: std::collections::HashSet<u64> = delta.pending_removed.iter().copied().collect();
+    let mut pending: Vec<PendingEntry> = prev
+        .pending
+        .iter()
+        .filter(|p| !removed.contains(&p.key))
+        .cloned()
+        .collect();
+    pending.extend(delta.pending_added.iter().cloned());
+
+    Ok(CheckpointImage {
+        clock,
+        app: delta.app.clone().unwrap_or_else(|| prev.app.clone()),
+        meta: delta.meta.clone(),
+        dedup,
+        pending,
+    })
+}
+
+impl Codec for DedupChunk {
+    fn encode(&self, w: &mut Writer) {
+        self.hash.encode(w);
+        self.bytes.encode(w);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(DedupChunk {
+            hash: u64::decode(r)?,
+            bytes: Vec::decode(r)?,
+        })
+    }
+}
+
+impl Codec for PendingEntry {
+    fn encode(&self, w: &mut Writer) {
+        self.key.encode(w);
+        self.bytes.encode(w);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(PendingEntry {
+            key: u64::decode(r)?,
+            bytes: Vec::decode(r)?,
+        })
+    }
+}
+
+impl Codec for CheckpointImage {
+    fn encode(&self, w: &mut Writer) {
+        self.clock.encode(w);
+        self.app.encode(w);
+        self.meta.encode(w);
+        self.dedup.encode(w);
+        self.pending.encode(w);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(CheckpointImage {
+            clock: Vec::decode(r)?,
+            app: Vec::decode(r)?,
+            meta: Vec::decode(r)?,
+            dedup: Vec::decode(r)?,
+            pending: Vec::decode(r)?,
+        })
+    }
+}
+
+const CHUNK_REF: u8 = 0;
+const CHUNK_NEW: u8 = 1;
+
+impl Codec for ChunkRef {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            ChunkRef::Ref(h) => {
+                w.put_u8(CHUNK_REF);
+                h.encode(w);
+            }
+            ChunkRef::New(c) => {
+                w.put_u8(CHUNK_NEW);
+                c.encode(w);
+            }
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        match r.take_u8()? {
+            CHUNK_REF => Ok(ChunkRef::Ref(u64::decode(r)?)),
+            CHUNK_NEW => Ok(ChunkRef::New(DedupChunk::decode(r)?)),
+            t => Err(CodecError::BadTag(t)),
+        }
+    }
+}
+
+impl Codec for DeltaFrame {
+    fn encode(&self, w: &mut Writer) {
+        self.base.encode(w);
+        self.clock_dirty.encode(w);
+        self.app.encode(w);
+        self.meta.encode(w);
+        self.dedup.encode(w);
+        self.pending_removed.encode(w);
+        self.pending_added.encode(w);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(DeltaFrame {
+            base: u64::decode(r)?,
+            clock_dirty: Vec::decode(r)?,
+            app: Option::decode(r)?,
+            meta: Vec::decode(r)?,
+            dedup: Vec::decode(r)?,
+            pending_removed: Vec::decode(r)?,
+            pending_added: Vec::decode(r)?,
+        })
+    }
+}
+
+const FRAME_FULL: u8 = 0;
+const FRAME_DELTA: u8 = 1;
+
+impl Codec for Frame {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            Frame::Full(img) => {
+                w.put_u8(FRAME_FULL);
+                img.encode(w);
+            }
+            Frame::Delta(d) => {
+                w.put_u8(FRAME_DELTA);
+                d.encode(w);
+            }
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        match r.take_u8()? {
+            FRAME_FULL => Ok(Frame::Full(CheckpointImage::decode(r)?)),
+            FRAME_DELTA => Ok(Frame::Delta(DeltaFrame::decode(r)?)),
+            t => Err(CodecError::BadTag(t)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::{from_bytes, to_bytes};
+
+    fn chunk(seed: u8, len: usize) -> DedupChunk {
+        let bytes: Vec<u8> = (0..len).map(|i| seed.wrapping_add(i as u8)).collect();
+        DedupChunk {
+            hash: content_hash(&bytes),
+            bytes,
+        }
+    }
+
+    fn image() -> CheckpointImage {
+        CheckpointImage {
+            clock: vec![(1, 10), (2, 20), (1, 5), (3, 7)],
+            app: vec![1, 2, 3, 4, 5, 6, 7, 8],
+            meta: vec![9; 40],
+            dedup: vec![chunk(1, 200), chunk(2, 200), chunk(3, 200)],
+            pending: vec![
+                PendingEntry {
+                    key: 7,
+                    bytes: vec![7; 30],
+                },
+                PendingEntry {
+                    key: 8,
+                    bytes: vec![8; 30],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn diff_apply_roundtrip() {
+        let prev = image();
+        let mut next = prev.clone();
+        next.clock[1] = (2, 25);
+        next.app = vec![9; 8];
+        next.meta = vec![10; 44];
+        next.dedup.push(chunk(4, 200));
+        next.pending.remove(0); // key 7 committed
+        next.pending.push(PendingEntry {
+            key: 9,
+            bytes: vec![9; 30],
+        });
+
+        let d = diff(41, &prev, &next);
+        assert_eq!(d.base, 41);
+        assert_eq!(d.clock_dirty, vec![(1, (2, 25))]);
+        assert_eq!(
+            d.dedup
+                .iter()
+                .filter(|c| matches!(c, ChunkRef::New(_)))
+                .count(),
+            1,
+            "only the freshly sealed chunk travels by value"
+        );
+        assert_eq!(d.pending_removed, vec![7]);
+        assert_eq!(apply(&prev, &d).unwrap(), next);
+    }
+
+    #[test]
+    fn identical_images_produce_an_empty_delta() {
+        let prev = image();
+        let d = diff(0, &prev, &prev);
+        assert!(d.clock_dirty.is_empty());
+        assert!(d.app.is_none());
+        assert!(d.pending_removed.is_empty() && d.pending_added.is_empty());
+        assert!(d.dedup.iter().all(|c| matches!(c, ChunkRef::Ref(_))));
+        assert_eq!(apply(&prev, &d).unwrap(), prev);
+    }
+
+    #[test]
+    fn delta_is_much_smaller_than_full_when_little_changed() {
+        let prev = image();
+        let mut next = prev.clone();
+        next.clock[0] = (1, 11);
+        let d = diff(0, &prev, &next);
+        let full = to_bytes(&Frame::Full(next)).len();
+        let delta = to_bytes(&Frame::Delta(d)).len();
+        assert!(
+            delta * 3 < full,
+            "delta {delta}B should be well under a third of full {full}B"
+        );
+    }
+
+    #[test]
+    fn apply_rejects_broken_chains() {
+        let prev = image();
+        let bad_chunk = DeltaFrame {
+            base: 0,
+            clock_dirty: vec![],
+            app: None,
+            meta: vec![],
+            dedup: vec![ChunkRef::Ref(0xdead)],
+            pending_removed: vec![],
+            pending_added: vec![],
+        };
+        assert_eq!(
+            apply(&prev, &bad_chunk),
+            Err(ApplyError::UnknownChunk(0xdead))
+        );
+
+        let bad_pending = DeltaFrame {
+            pending_removed: vec![999],
+            dedup: vec![],
+            ..bad_chunk.clone()
+        };
+        assert_eq!(
+            apply(&prev, &bad_pending),
+            Err(ApplyError::UnknownPending(999))
+        );
+
+        let bad_clock = DeltaFrame {
+            clock_dirty: vec![(40, (1, 1))],
+            pending_removed: vec![],
+            ..bad_pending
+        };
+        assert_eq!(apply(&prev, &bad_clock), Err(ApplyError::ClockIndex(40)));
+    }
+
+    #[test]
+    fn frame_roundtrips_through_the_codec() {
+        let full = Frame::Full(image());
+        assert_eq!(from_bytes::<Frame>(&to_bytes(&full)).unwrap(), full);
+
+        let next = {
+            let mut n = image();
+            n.clock[2] = (2, 1);
+            n
+        };
+        let delta = Frame::Delta(diff(3, &image(), &next));
+        assert_eq!(from_bytes::<Frame>(&to_bytes(&delta)).unwrap(), delta);
+    }
+
+    #[test]
+    fn section_bytes_sum_tracks_the_encoding() {
+        let img = image();
+        let s = img.section_bytes();
+        // Full encoding = tag-less concatenation of the five sections.
+        assert_eq!(s.total(), to_bytes(&img).len() as u64);
+        assert!(s.dedup > s.clock, "chunks dominate this image");
+    }
+}

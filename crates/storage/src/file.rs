@@ -31,6 +31,10 @@ use std::path::{Path, PathBuf};
 
 use crate::codec::{from_bytes, to_bytes, Codec};
 
+/// A loaded checkpoint chain: the base full frame's id and decoded
+/// snapshot, plus the delta frames to replay onto it, oldest first.
+pub type CheckpointChain<C, D> = (u64, C, Vec<(u64, D)>);
+
 fn fnv1a(bytes: &[u8]) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for &b in bytes {
@@ -68,9 +72,9 @@ impl<T: Codec> FileBackend<T> {
             .append(true)
             .read(true)
             .open(dir.join("events.log"))?;
-        let next_checkpoint = Self::checkpoint_ids(&dir)?
+        let next_checkpoint = Self::checkpoint_entries(&dir)?
             .last()
-            .map(|id| id + 1)
+            .map(|(id, _)| id + 1)
             .unwrap_or(0);
         Ok(FileBackend {
             dir,
@@ -81,20 +85,57 @@ impl<T: Codec> FileBackend<T> {
     }
 
     fn checkpoint_ids(dir: &Path) -> io::Result<Vec<u64>> {
-        let mut ids = Vec::new();
+        Ok(Self::checkpoint_entries(dir)?
+            .into_iter()
+            .filter(|(_, is_delta)| !is_delta)
+            .map(|(id, _)| id)
+            .collect())
+    }
+
+    /// Every checkpoint frame on disk as `(id, is_delta)`, ascending by id.
+    fn checkpoint_entries(dir: &Path) -> io::Result<Vec<(u64, bool)>> {
+        let mut entries = Vec::new();
         for entry in fs::read_dir(dir)? {
             let name = entry?.file_name();
             let name = name.to_string_lossy();
             if let Some(stem) = name.strip_prefix("checkpoint-") {
-                if let Some(num) = stem.strip_suffix(".bin") {
+                if let Some(rest) = stem.strip_suffix(".bin") {
+                    let (num, is_delta) = match rest.strip_suffix(".delta") {
+                        Some(num) => (num, true),
+                        None => (rest, false),
+                    };
                     if let Ok(id) = num.parse::<u64>() {
-                        ids.push(id);
+                        entries.push((id, is_delta));
                     }
                 }
             }
         }
-        ids.sort_unstable();
-        Ok(ids)
+        entries.sort_unstable();
+        Ok(entries)
+    }
+
+    fn frame_path(&self, id: u64, is_delta: bool) -> PathBuf {
+        if is_delta {
+            self.dir.join(format!("checkpoint-{id}.delta.bin"))
+        } else {
+            self.dir.join(format!("checkpoint-{id}.bin"))
+        }
+    }
+
+    /// Read and verify one checkpoint frame's body; `None` when the frame
+    /// is torn or its checksum does not match.
+    fn read_verified_frame(&self, id: u64, is_delta: bool) -> io::Result<Option<Vec<u8>>> {
+        let mut bytes = Vec::new();
+        File::open(self.frame_path(id, is_delta))?.read_to_end(&mut bytes)?;
+        if bytes.len() < 8 {
+            return Ok(None); // torn frame
+        }
+        let checksum = u64::from_le_bytes(bytes[..8].try_into().expect("sized"));
+        let body = bytes.split_off(8);
+        if fnv1a(&body) != checksum {
+            return Ok(None); // damaged frame
+        }
+        Ok(Some(body))
     }
 
     /// Append one record to the durable log (synchronous).
@@ -109,6 +150,30 @@ impl<T: Codec> FileBackend<T> {
         frame.extend_from_slice(&fnv1a(&body).to_le_bytes());
         frame.extend_from_slice(&body);
         self.log.write_all(&frame)?;
+        self.log.sync_all()
+    }
+
+    /// Append a batch of records as one group commit: every record is
+    /// framed individually (so recovery sees the same record stream as
+    /// repeated [`FileBackend::append_log`] calls) but the batch costs a
+    /// single write and a single barrier (`sync_all`), not one per
+    /// record. An empty batch does nothing — not even the barrier.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn append_log_batch(&mut self, records: &[T]) -> io::Result<()> {
+        if records.is_empty() {
+            return Ok(());
+        }
+        let mut batch = Vec::new();
+        for record in records {
+            let body = to_bytes(record);
+            batch.extend_from_slice(&(body.len() as u64).to_le_bytes());
+            batch.extend_from_slice(&fnv1a(&body).to_le_bytes());
+            batch.extend_from_slice(&body);
+        }
+        self.log.write_all(&batch)?;
         self.log.sync_all()
     }
 
@@ -178,6 +243,33 @@ impl<T: Codec> FileBackend<T> {
         Ok(id)
     }
 
+    /// Write a delta checkpoint frame durably; returns its id. The frame
+    /// is encoded against the immediately preceding checkpoint frame (by
+    /// id) — readers replay it through
+    /// [`FileBackend::latest_checkpoint_chain`]. Same atomicity as
+    /// [`FileBackend::write_checkpoint`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write_checkpoint_delta<D: Codec>(&mut self, delta: &D) -> io::Result<u64> {
+        let id = self.next_checkpoint;
+        self.next_checkpoint += 1;
+        let body = to_bytes(delta);
+        let mut frame = Vec::with_capacity(body.len() + 8);
+        frame.extend_from_slice(&fnv1a(&body).to_le_bytes());
+        frame.extend_from_slice(&body);
+        let tmp = self.dir.join(format!("checkpoint-{id}.delta.tmp"));
+        let final_path = self.frame_path(id, true);
+        {
+            let mut f = File::create(&tmp)?;
+            f.write_all(&frame)?;
+            f.sync_all()?;
+        }
+        fs::rename(&tmp, &final_path)?;
+        Ok(id)
+    }
+
     /// Load the newest intact checkpoint, if any: ids are walked
     /// newest-first and frames that fail verification (short file,
     /// checksum mismatch, undecodable body) are skipped, so a damaged
@@ -194,17 +286,10 @@ impl<T: Codec> FileBackend<T> {
             return Ok(None);
         }
         for &id in ids.iter().rev() {
-            let mut bytes = Vec::new();
-            File::open(self.dir.join(format!("checkpoint-{id}.bin")))?.read_to_end(&mut bytes)?;
-            if bytes.len() < 8 {
-                continue; // torn frame
-            }
-            let checksum = u64::from_le_bytes(bytes[..8].try_into().expect("sized"));
-            let body = &bytes[8..];
-            if fnv1a(body) != checksum {
-                continue; // damaged frame
-            }
-            let Ok(snapshot) = from_bytes::<C>(body) else {
+            let Some(body) = self.read_verified_frame(id, false)? else {
+                continue; // torn or damaged frame
+            };
+            let Ok(snapshot) = from_bytes::<C>(&body) else {
                 continue; // verifies but does not decode: treat as damaged
             };
             return Ok(Some((id, snapshot)));
@@ -212,6 +297,67 @@ impl<T: Codec> FileBackend<T> {
         Err(io::Error::new(
             io::ErrorKind::InvalidData,
             "no intact checkpoint on stable storage",
+        ))
+    }
+
+    /// Load the newest *usable* checkpoint chain: the newest frame (full
+    /// or delta) whose whole chain back to a full frame verifies and
+    /// decodes. Returns the base full snapshot plus the delta frames to
+    /// replay onto it, oldest first — callers fold them with
+    /// [`crate::delta::apply`] (or their own combinator for custom `D`).
+    ///
+    /// The chain of a delta frame is the frames immediately below it in
+    /// id order, down to the nearest full frame. Any torn, damaged, or
+    /// undecodable frame poisons every chain that crosses it; the walk
+    /// then falls back to older candidate tips, reusing the corrupt-frame
+    /// fallback of [`FileBackend::latest_checkpoint`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors; returns `InvalidData` only when
+    /// checkpoint frames exist but no usable chain remains.
+    pub fn latest_checkpoint_chain<C: Codec, D: Codec>(
+        &self,
+    ) -> io::Result<Option<CheckpointChain<C, D>>> {
+        let entries = Self::checkpoint_entries(&self.dir)?;
+        if entries.is_empty() {
+            return Ok(None);
+        }
+        for tip in (0..entries.len()).rev() {
+            // Walk down from the tip to its nearest full frame.
+            let Some(base) = entries[..=tip].iter().rposition(|(_, is_delta)| !is_delta) else {
+                continue; // a delta chain with no full ancestor
+            };
+            let chain = &entries[base..=tip];
+            let mut snapshot: Option<C> = None;
+            let mut deltas: Vec<(u64, D)> = Vec::new();
+            let mut intact = true;
+            for &(id, is_delta) in chain {
+                let Some(body) = self.read_verified_frame(id, is_delta)? else {
+                    intact = false;
+                    break;
+                };
+                if is_delta {
+                    let Ok(delta) = from_bytes::<D>(&body) else {
+                        intact = false;
+                        break;
+                    };
+                    deltas.push((id, delta));
+                } else {
+                    let Ok(snap) = from_bytes::<C>(&body) else {
+                        intact = false;
+                        break;
+                    };
+                    snapshot = Some(snap);
+                }
+            }
+            if let (true, Some(snapshot)) = (intact, snapshot) {
+                return Ok(Some((chain[0].0, snapshot, deltas)));
+            }
+        }
+        Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "no usable checkpoint chain on stable storage",
         ))
     }
 
@@ -224,9 +370,9 @@ impl<T: Codec> FileBackend<T> {
     /// Propagates filesystem errors.
     pub fn gc_checkpoints_before(&mut self, keep_from: u64) -> io::Result<usize> {
         let mut removed = 0;
-        for id in Self::checkpoint_ids(&self.dir)? {
+        for (id, is_delta) in Self::checkpoint_entries(&self.dir)? {
             if id < keep_from {
-                fs::remove_file(self.dir.join(format!("checkpoint-{id}.bin")))?;
+                fs::remove_file(self.frame_path(id, is_delta))?;
                 removed += 1;
             }
         }
@@ -355,6 +501,115 @@ mod tests {
         let b: FileBackend<u64> = FileBackend::open(&dir).unwrap();
         let err = b.latest_checkpoint::<u64>().unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn batch_append_reads_back_as_individual_records() {
+        let dir = tempdir("batch");
+        {
+            let mut b: FileBackend<u64> = FileBackend::open(&dir).unwrap();
+            b.append_log(&1).unwrap();
+            b.append_log_batch(&[2, 3, 4]).unwrap();
+            b.append_log_batch(&[]).unwrap(); // no-op, no barrier
+            b.append_log(&5).unwrap();
+        }
+        let b: FileBackend<u64> = FileBackend::open(&dir).unwrap();
+        assert_eq!(b.read_log().unwrap(), vec![1, 2, 3, 4, 5]);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_tail_of_a_batch_drops_only_the_tail_record() {
+        let dir = tempdir("batch-torn");
+        {
+            let mut b: FileBackend<u64> = FileBackend::open(&dir).unwrap();
+            b.append_log_batch(&[10, 20, 30]).unwrap();
+        }
+        let path = dir.join("events.log");
+        let bytes = fs::read(&path).unwrap();
+        fs::write(&path, &bytes[..bytes.len() - 3]).unwrap();
+        let b: FileBackend<u64> = FileBackend::open(&dir).unwrap();
+        assert_eq!(b.read_log().unwrap(), vec![10, 20]);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn delta_chain_roundtrips_and_ids_interleave() {
+        let dir = tempdir("chain");
+        {
+            let mut b: FileBackend<u64> = FileBackend::open(&dir).unwrap();
+            assert_eq!(b.write_checkpoint(&100u64).unwrap(), 0);
+            assert_eq!(b.write_checkpoint_delta(&1u64).unwrap(), 1);
+            assert_eq!(b.write_checkpoint_delta(&2u64).unwrap(), 2);
+        }
+        let b: FileBackend<u64> = FileBackend::open(&dir).unwrap();
+        let (base, snap, deltas) = b.latest_checkpoint_chain::<u64, u64>().unwrap().unwrap();
+        assert_eq!((base, snap), (0, 100));
+        assert_eq!(deltas, vec![(1, 1), (2, 2)]);
+        // `latest_checkpoint` still sees only full frames.
+        assert_eq!(b.latest_checkpoint::<u64>().unwrap(), Some((0, 100)));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn damaged_delta_tip_falls_back_to_the_chain_prefix() {
+        let dir = tempdir("chain-tip");
+        {
+            let mut b: FileBackend<u64> = FileBackend::open(&dir).unwrap();
+            b.write_checkpoint(&100u64).unwrap();
+            b.write_checkpoint_delta(&1u64).unwrap();
+            b.write_checkpoint_delta(&2u64).unwrap();
+        }
+        let path = dir.join("checkpoint-2.delta.bin");
+        let mut bytes = fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xff;
+        fs::write(&path, &bytes).unwrap();
+        let b: FileBackend<u64> = FileBackend::open(&dir).unwrap();
+        let (base, snap, deltas) = b.latest_checkpoint_chain::<u64, u64>().unwrap().unwrap();
+        assert_eq!((base, snap), (0, 100));
+        assert_eq!(deltas, vec![(1, 1)], "chain stops before the damage");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn damaged_base_poisons_the_whole_chain() {
+        let dir = tempdir("chain-base");
+        {
+            let mut b: FileBackend<u64> = FileBackend::open(&dir).unwrap();
+            b.write_checkpoint(&100u64).unwrap(); // 0
+            b.write_checkpoint_delta(&1u64).unwrap(); // 1
+            b.write_checkpoint(&200u64).unwrap(); // 2: newest base
+            b.write_checkpoint_delta(&3u64).unwrap(); // 3
+        }
+        // Damage the newest *full* frame: deltas stacked on it become
+        // unusable even though their own frames verify.
+        let path = dir.join("checkpoint-2.bin");
+        let mut bytes = fs::read(&path).unwrap();
+        bytes[9] ^= 0xff;
+        fs::write(&path, &bytes).unwrap();
+        let b: FileBackend<u64> = FileBackend::open(&dir).unwrap();
+        let (base, snap, deltas) = b.latest_checkpoint_chain::<u64, u64>().unwrap().unwrap();
+        assert_eq!((base, snap), (0, 100));
+        assert_eq!(deltas, vec![(1, 1)]);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn chain_ids_continue_after_reopen_and_gc_removes_deltas() {
+        let dir = tempdir("chain-gc");
+        {
+            let mut b: FileBackend<u64> = FileBackend::open(&dir).unwrap();
+            b.write_checkpoint(&100u64).unwrap(); // 0
+            b.write_checkpoint_delta(&1u64).unwrap(); // 1
+        }
+        let mut b: FileBackend<u64> = FileBackend::open(&dir).unwrap();
+        // The id counter saw the delta frame: no id reuse after reopen.
+        assert_eq!(b.write_checkpoint(&200u64).unwrap(), 2);
+        assert_eq!(b.gc_checkpoints_before(2).unwrap(), 2);
+        let (base, snap, deltas) = b.latest_checkpoint_chain::<u64, u64>().unwrap().unwrap();
+        assert_eq!((base, snap, deltas), (2, 200, vec![]));
         let _ = fs::remove_dir_all(&dir);
     }
 

@@ -36,11 +36,13 @@
 mod checkpoint;
 pub mod codec;
 mod costs;
+pub mod delta;
 pub mod file;
 mod log;
 mod send_log;
 
-pub use checkpoint::{CheckpointId, CheckpointStore};
+pub use checkpoint::{CheckpointId, CheckpointStore, FrameKind};
 pub use costs::StorageCosts;
+pub use delta::{CheckpointImage, DeltaFrame, Frame, SectionBytes};
 pub use log::{EventLog, LogPos};
 pub use send_log::SendLog;

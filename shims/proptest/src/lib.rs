@@ -111,6 +111,18 @@ pub trait Strategy {
         Map { inner: self, f }
     }
 
+    /// Derive a second strategy from each generated value — the way to
+    /// generate dependent pairs such as "a collection and an index into
+    /// it". Without shrinking this is just generate-then-generate.
+    fn prop_flat_map<O, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+        O: Strategy,
+    {
+        FlatMap { inner: self, f }
+    }
+
     /// Erase the concrete strategy type.
     fn boxed(self) -> BoxedStrategy<Self::Value>
     where
@@ -143,6 +155,25 @@ where
 
     fn generate(&self, rng: &mut TestRng) -> O {
         (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, O> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+    O: Strategy,
+{
+    type Value = O::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> O::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
     }
 }
 
