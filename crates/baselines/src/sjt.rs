@@ -166,7 +166,10 @@ impl<A: Application> Actor for SjtProcess<A> {
                     self.absorb_clock(&clock.clone());
                 }
             }
-            Wire::TokenAck(_) | Wire::Frontier(..) | Wire::StableClock(..) => {}
+            Wire::TokenAck(_)
+            | Wire::Frontier(..)
+            | Wire::FrontierVec(_)
+            | Wire::StableClock(..) => {}
         }
         self.metered(|inner| inner.on_message(from, msg, ctx));
     }

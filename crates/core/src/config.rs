@@ -73,6 +73,27 @@ pub struct DgConfig {
     /// means one full then seven deltas). Bounds the chain a recovery
     /// must replay and the blast radius of a corrupt base frame.
     pub full_checkpoint_every: u32,
+    /// Price (and, on byte-moving runtimes, encode) piggybacked send
+    /// stamps as v3 dirty-index deltas against the per-receiver floor —
+    /// O(Δ) components per message instead of O(n). Pure metadata
+    /// compression: the receiver reconstructs the identical full clock,
+    /// so protocol behaviour is unchanged. On by default.
+    pub delta_stamps: bool,
+    /// Disseminate recovery tokens and stability gossip along
+    /// deterministic k-ary spanning trees instead of all-to-all
+    /// broadcast, cutting per-failure control traffic from O(n²) to
+    /// O(n) messages. Tokens use a tree rooted at the originator and
+    /// fall back to the reliable-delivery sublayer's direct
+    /// retransmissions when a tree edge is lost (so the tree is only
+    /// used when [`DgConfig::reliable_tokens`] is on and `n - 1`
+    /// exceeds the fanout — otherwise broadcast is already optimal).
+    /// Frontier gossip travels as aggregated [`crate::Wire::FrontierVec`]
+    /// vectors along a static tree plus one rotating fallback peer per
+    /// tick (eventual delivery even if the tree is partitioned). On by
+    /// default.
+    pub tree_dissemination: bool,
+    /// Fanout `k` of the dissemination trees (children per node).
+    pub tree_fanout: u16,
 }
 
 impl DgConfig {
@@ -94,6 +115,9 @@ impl DgConfig {
             token_retry_limit: None,
             delta_checkpoints: false,
             full_checkpoint_every: 8,
+            delta_stamps: true,
+            tree_dissemination: true,
+            tree_fanout: 4,
         }
     }
 
@@ -213,6 +237,32 @@ impl DgConfig {
         self
     }
 
+    /// Builder-style delta-send-stamp toggle.
+    #[must_use]
+    pub fn with_delta_stamps(mut self, on: bool) -> DgConfig {
+        self.delta_stamps = on;
+        self
+    }
+
+    /// Builder-style tree-dissemination toggle.
+    #[must_use]
+    pub fn with_tree_dissemination(mut self, on: bool) -> DgConfig {
+        self.tree_dissemination = on;
+        self
+    }
+
+    /// Builder-style dissemination-tree fanout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is zero.
+    #[must_use]
+    pub fn with_tree_fanout(mut self, k: u16) -> DgConfig {
+        assert!(k > 0, "tree fanout must be positive");
+        self.tree_fanout = k;
+        self
+    }
+
     /// Builder-style retransmission cap: give up on a pending token
     /// after `limit` retry rounds.
     ///
@@ -314,5 +364,23 @@ mod tests {
     #[should_panic(expected = "full-checkpoint period must be positive")]
     fn full_every_rejects_zero() {
         let _ = DgConfig::base().full_every(0);
+    }
+
+    #[test]
+    fn metadata_compression_defaults_on() {
+        let c = DgConfig::base();
+        assert!(c.delta_stamps);
+        assert!(c.tree_dissemination);
+        assert_eq!(c.tree_fanout, 4);
+        let off = c.with_delta_stamps(false).with_tree_dissemination(false);
+        assert!(!off.delta_stamps);
+        assert!(!off.tree_dissemination);
+        assert_eq!(DgConfig::base().with_tree_fanout(2).tree_fanout, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "tree fanout must be positive")]
+    fn tree_fanout_rejects_zero() {
+        let _ = DgConfig::base().with_tree_fanout(0);
     }
 }

@@ -32,6 +32,7 @@
 
 use std::sync::Arc;
 
+use dg_ftvc::wire as clockwire;
 use dg_ftvc::{Entry, Ftvc, ProcessId, Version};
 use dg_storage::delta::{content_hash, diff, DedupChunk, PendingEntry};
 use dg_storage::{CheckpointImage, CheckpointStore, EventLog, LogPos, SectionBytes, SendLog};
@@ -524,6 +525,24 @@ fn jittered_backoff(me: ProcessId, entry: Entry, attempt: u32, backoff: u64, pct
     (backoff - h.finish() % (span + 1)).max(1)
 }
 
+/// Children of `me` in the deterministic k-ary dissemination tree rooted
+/// at `root`: ids are rotated so the root sits at position 0, and the
+/// children of position `p` are positions `k*p + 1 ..= k*p + k`. Pure
+/// function of the ids, so every process derives the same tree with no
+/// membership protocol; a token fans out from its originator in
+/// `ceil(log_k n)` hops with each process sending at most `k` messages.
+fn tree_children(
+    me: ProcessId,
+    root: ProcessId,
+    n: usize,
+    k: usize,
+) -> impl Iterator<Item = ProcessId> {
+    let pos = (usize::from(me.0) + n - usize::from(root.0)) % n;
+    (k * pos + 1..=k * pos + k)
+        .take_while(move |&c| c < n)
+        .map(move |c| ProcessId(((usize::from(root.0) + c) % n) as u16))
+}
+
 /// The Damani–Garg optimistic recovery protocol around a piecewise-
 /// deterministic [`Application`], as a pure [`ProtocolEngine`].
 ///
@@ -597,6 +616,43 @@ pub struct Engine<A: Application> {
     /// empty between inputs, capacity retained.
     dirty_scratch: Vec<u16>,
 
+    /// Send-side Δ journal: the indices of non-own clock components that
+    /// moved since [`Engine::journal_base`], appended by every delivery
+    /// (the merge records them as a byproduct). For a receiver whose
+    /// [`Engine::send_epochs`] entry is a valid journal position, the
+    /// components its next stamp must carry are exactly the journal
+    /// suffix past that position plus the own component — which prices a
+    /// v3 delta stamp in O(Δ) without ever diffing two O(n) clocks.
+    /// Compacted by dropping the oldest half once it exceeds ~8n entries
+    /// (stale receivers simply fall back to one full stamp).
+    send_journal: Vec<u16>,
+    /// Absolute position of `send_journal[0]` in the journal's lifetime
+    /// coordinate. Resetting the journal (`journal_base += len + 1`)
+    /// strands every epoch below the new base, invalidating all
+    /// receivers at once in O(1) — done wherever the clock mutates
+    /// outside the journaled paths (rollback, restart, crash, replay).
+    journal_base: u64,
+    /// Per-receiver journal positions: the absolute journal length at
+    /// the last stamp sent to that peer. Below `journal_base` (including
+    /// the initial `0` against base `1`) means "unknown — price the next
+    /// stamp at the full encoding".
+    send_epochs: Vec<u64>,
+    /// Scratch for assembling a stamp's dirty-index set (journal suffix,
+    /// sorted + deduped); empty between sends, capacity retained.
+    stamp_scratch: Vec<u16>,
+    /// Component bitmask (`ceil(n / 64)` words) scratch behind
+    /// `stamp_scratch`: folds the journal suffix's duplicates and yields
+    /// the indices already sorted, replacing a sort-and-dedup pass with
+    /// O(Δ + n/64) bit ops. Zeroed between sends.
+    stamp_mask: Vec<u64>,
+    /// Gossip ticks seen, driving the rotating fallback peer of the
+    /// tree-gossip schedule. Volatile; a reset only re-phases the
+    /// rotation.
+    gossip_ticks: u64,
+    /// Scratch for the current tick's gossip targets (tree neighbours
+    /// plus the rotating fallback peer); capacity retained.
+    gossip_peers: Vec<ProcessId>,
+
     /// Effects accumulated during the current `handle` call; always
     /// drained before `handle` returns.
     effects: Vec<Effect<Wire<A::Msg>, A::Msg>>,
@@ -645,6 +701,13 @@ impl<A: Application> Engine<A> {
             pending_flush_bytes: 0,
             recv_floors: vec![None; n],
             dirty_scratch: Vec::new(),
+            send_journal: Vec::new(),
+            journal_base: 1,
+            send_epochs: vec![0; n],
+            stamp_scratch: Vec::new(),
+            stamp_mask: vec![0; n.div_ceil(64)],
+            gossip_ticks: 0,
+            gossip_peers: Vec::new(),
             effects: Vec::new(),
             postponed_scratch: Vec::new(),
             app_effects: Effects::none(),
@@ -746,12 +809,63 @@ impl<A: Application> Engine<A> {
                 payload,
                 clock: stamp,
             };
-            self.stats.messages_sent += 1;
-            self.stats.piggyback_bytes += env.piggyback_bytes() as u64;
+            self.account_send_stamp(to, &env);
             if self.config.retransmit_lost {
                 self.send_log.record((to, env.clone()));
             }
             self.eff_send(to, Wire::App(env), false);
+        }
+    }
+
+    /// Price the piggybacked stamp of an outgoing App envelope and
+    /// advance the receiver's send epoch. With
+    /// [`DgConfig::delta_stamps`] on and a valid epoch, the charge is
+    /// the v3 dirty-index frame over the components that moved since the
+    /// last stamp to this receiver (the journal suffix plus the own
+    /// component) — O(Δ) work and O(Δ) wire bytes; otherwise the full
+    /// encoding (O(1) work via the clock's cached wire length).
+    fn account_send_stamp(&mut self, to: ProcessId, env: &Envelope<A::Msg>) {
+        self.stats.messages_sent += 1;
+        let epoch = self.send_epochs[to.index()];
+        let bytes = if self.config.delta_stamps && epoch >= self.journal_base {
+            let start = (epoch - self.journal_base) as usize;
+            for w in &mut self.stamp_mask {
+                *w = 0;
+            }
+            for &i in &self.send_journal[start..] {
+                self.stamp_mask[usize::from(i >> 6)] |= 1 << (i & 63);
+            }
+            self.stamp_mask[usize::from(self.me.0 >> 6)] |= 1 << (self.me.0 & 63);
+            self.stamp_scratch.clear();
+            for (w, &word) in self.stamp_mask.iter().enumerate() {
+                let mut bits = word;
+                while bits != 0 {
+                    let i = (w * 64) as u16 + bits.trailing_zeros() as u16;
+                    self.stamp_scratch.push(i);
+                    bits &= bits - 1;
+                }
+            }
+            self.stats.stamp_delta_sends += 1;
+            clockwire::ftvc_dirty_wire_len_at(&env.clock, &self.stamp_scratch)
+        } else {
+            self.stats.stamp_full_sends += 1;
+            env.piggyback_bytes()
+        };
+        self.stats.piggyback_bytes += bytes as u64;
+        self.send_epochs[to.index()] = self.journal_base + self.send_journal.len() as u64;
+    }
+
+    /// Bound the send journal: once it exceeds ~8n entries, drop the
+    /// oldest half. Receivers whose epoch pointed into the dropped
+    /// prefix fall below `journal_base` and pay one full stamp next
+    /// send. Amortized O(1) per delivery; the journal's capacity
+    /// plateaus, preserving the zero-allocation steady state.
+    fn compact_journal(&mut self) {
+        let cap = 8 * self.n.max(8);
+        if self.send_journal.len() > cap {
+            let drop = self.send_journal.len() / 2;
+            self.send_journal.drain(..drop);
+            self.journal_base += drop as u64;
         }
     }
 
@@ -881,7 +995,16 @@ impl<A: Application> Engine<A> {
         debug_assert_eq!(id, env.id(), "delivery id must match the envelope");
         self.received_ids.insert(id);
         self.history.observe_clock(&env.clock);
-        self.clock.observe(&env.clock);
+        if self.config.delta_stamps {
+            // The merge records the components it moved into the send
+            // journal as a byproduct — the O(Δ) feed of the delta-stamp
+            // pricing, no extra scan.
+            self.clock
+                .observe_recording(&env.clock, &mut self.send_journal);
+            self.compact_journal();
+        } else {
+            self.clock.observe(&env.clock);
+        }
         self.finish_delivery(env);
     }
 
@@ -897,6 +1020,13 @@ impl<A: Application> Engine<A> {
         self.history
             .observe_entries(&env.clock, &self.dirty_scratch);
         self.clock.observe_at(&env.clock, &self.dirty_scratch);
+        if self.config.delta_stamps {
+            // `dirty_scratch` overapproximates the moved components
+            // (incoming ≠ floor, even if the join was a no-op) — a sound
+            // superset for delta-stamp pricing.
+            self.send_journal.extend_from_slice(&self.dirty_scratch);
+            self.compact_journal();
+        }
         self.finish_delivery(env);
     }
 
@@ -938,6 +1068,13 @@ impl<A: Application> Engine<A> {
         for floor in &mut self.recv_floors {
             *floor = None;
         }
+        // The same regression points break the send journal's invariant
+        // (the clock is about to change through unjournaled paths —
+        // rollback restore, restart replay, token-triggered re-injection)
+        // — strand every receiver's epoch so the next stamp to each peer
+        // is priced in full.
+        self.journal_base += self.send_journal.len() as u64 + 1;
+        self.send_journal.clear();
     }
 
     /// Run the application's message handler into the engine's reusable
@@ -999,8 +1136,7 @@ impl<A: Application> Engine<A> {
             payload,
             clock: stamp,
         };
-        self.stats.messages_sent += 1;
-        self.stats.piggyback_bytes += env.piggyback_bytes() as u64;
+        self.account_send_stamp(to, &env);
         if self.config.retransmit_lost {
             self.send_log.record((to, env.clone()));
         }
@@ -1207,6 +1343,7 @@ impl<A: Application> Engine<A> {
         self.stats.max_token_backoff = self.stats.max_token_backoff.max(max_backoff);
         for (peer, token) in resend {
             self.stats.token_retransmits += 1;
+            self.stats.token_wire_msgs += 1;
             self.stats.token_bytes += token.wire_bytes() as u64;
             self.eff_send(peer, Wire::Token(token), true);
         }
@@ -1488,14 +1625,9 @@ impl<A: Application> Engine<A> {
                 bytes.extend_from_slice(&p.id.entry.ts.to_le_bytes());
                 bytes.extend_from_slice(&p.id.index.to_le_bytes());
                 let key = content_hash(&bytes);
-                let mut digest: u64 = 0xcbf2_9ce4_8422_2325;
-                for (_, e) in p.clock.iter() {
-                    for word in [u64::from(e.version.0), e.ts] {
-                        digest ^= word;
-                        digest = digest.wrapping_mul(0x0000_0100_0000_01B3);
-                    }
-                }
-                bytes.extend_from_slice(&digest.to_le_bytes());
+                // O(1): the clock's incrementally maintained digest stands
+                // in for the former per-component FNV scan.
+                bytes.extend_from_slice(&p.clock.digest().to_le_bytes());
                 bytes.extend_from_slice(&[0u8; 8]);
                 PendingEntry { key, bytes }
             })
@@ -1549,6 +1681,71 @@ impl<A: Application> Engine<A> {
         self.commit_and_gc();
     }
 
+    /// A peer sent its merged frontier vector (tree gossip). Every
+    /// component is a true monotone fact about some process's stability,
+    /// so the componentwise max of what we knew and what arrived is
+    /// itself a vector of true facts — aggregation never invents
+    /// stability.
+    fn receive_frontier_vec(&mut self, v: &[Entry]) {
+        if v.len() != self.n {
+            return;
+        }
+        let mut advanced = false;
+        for (i, &e) in v.iter().enumerate() {
+            if i == self.me.index() {
+                continue;
+            }
+            let current = &mut self.frontiers[i];
+            if e > *current {
+                *current = e;
+                advanced = true;
+            }
+        }
+        if advanced {
+            self.commit_and_gc();
+        }
+    }
+
+    /// `true` when recovery tokens travel the originator-rooted tree
+    /// instead of a broadcast. Requires the reliable-delivery sublayer —
+    /// its direct retransmissions to unacknowledged peers are the
+    /// broadcast fallback when a tree edge or a mid-tree forwarder is
+    /// down — and a system large enough that the tree actually saves
+    /// anything (with `n - 1 <= k` the root's children are all peers and
+    /// the tree *is* the broadcast).
+    fn token_tree_active(&self) -> bool {
+        self.config.tree_dissemination
+            && self.config.reliable_tokens
+            && self.n - 1 > usize::from(self.config.tree_fanout)
+    }
+
+    /// Fill `self.gossip_peers` with this tick's gossip targets: parent
+    /// and children in the static tree rooted at process 0, plus one
+    /// rotating fallback peer (`me + 1 + tick mod (n-1)`). The tree
+    /// carries the steady-state traffic in O(n) edges per round; the
+    /// rotation guarantees every ordered pair of live processes talks
+    /// directly within `n - 1` ticks, so gossip converges even if the
+    /// tree is partitioned by failures.
+    fn collect_gossip_peers(&mut self) {
+        self.gossip_peers.clear();
+        if self.n < 2 {
+            return;
+        }
+        let k = usize::from(self.config.tree_fanout).max(1);
+        let pos = self.me.index();
+        if pos > 0 {
+            self.gossip_peers.push(ProcessId(((pos - 1) / k) as u16));
+        }
+        for c in (k * pos + 1..=k * pos + k).take_while(|&c| c < self.n) {
+            self.gossip_peers.push(ProcessId(c as u16));
+        }
+        let rot = (pos + 1 + self.gossip_ticks as usize % (self.n - 1)) % self.n;
+        let rot = ProcessId(rot as u16);
+        if !self.gossip_peers.contains(&rot) {
+            self.gossip_peers.push(rot);
+        }
+    }
+
     /// Broadcast the full clock of our newest globally-stable checkpoint
     /// when it advanced since the last gossip (retransmission extension
     /// only — without a send log on the peers there is nothing to prune).
@@ -1574,13 +1771,26 @@ impl<A: Application> Engine<A> {
             return;
         }
         self.last_stable_gossip = Some(own);
-        self.eff_broadcast(Wire::StableClock(self.me, stable));
+        if self.config.tree_dissemination && self.n > 2 {
+            // Seed the tree neighbours (plus the rotating peer); peers
+            // relay on advance, so the flood reaches everyone in O(n)
+            // messages total and terminates by monotonicity.
+            self.collect_gossip_peers();
+            for idx in 0..self.gossip_peers.len() {
+                let peer = self.gossip_peers[idx];
+                let clock = stable.clone();
+                self.eff_send(peer, Wire::StableClock(self.me, clock), true);
+            }
+        } else {
+            self.eff_broadcast(Wire::StableClock(self.me, stable));
+        }
     }
 
     /// A peer gossiped the clock of its newest globally-stable
-    /// checkpoint; remember the newest per peer and prune the send log
-    /// against it.
-    fn receive_stable_clock(&mut self, p: ProcessId, clock: Ftvc) {
+    /// checkpoint; remember the newest per peer (the periodic ticks
+    /// prune the send log against it). `from` is the transport-level
+    /// sender (the relaying neighbour), `p` the clock's originator.
+    fn receive_stable_clock(&mut self, from: ProcessId, p: ProcessId, clock: Ftvc) {
         if p == self.me {
             return;
         }
@@ -1591,8 +1801,26 @@ impl<A: Application> Engine<A> {
         {
             return;
         }
-        *slot = Some(clock);
-        self.prune_send_log();
+        *slot = Some(clock.clone());
+        // Tree relay: pass a *new* fact on to our own tree neighbours
+        // (minus whoever sent it and the originator). Relaying only on
+        // advance makes the flood terminate; the per-peer newest check
+        // above dedups crossing copies.
+        if self.config.tree_dissemination && self.n > 2 {
+            self.collect_gossip_peers();
+            for idx in 0..self.gossip_peers.len() {
+                let peer = self.gossip_peers[idx];
+                if peer == from || peer == p {
+                    continue;
+                }
+                self.eff_send(peer, Wire::StableClock(p, clock.clone()), true);
+            }
+        }
+        // No prune here: pruning is memory-reclamation only, and the
+        // periodic flush/gossip ticks already run the full pass. Pruning
+        // per received StableClock made every hop of the stability flood
+        // rescan the whole send log — O(flood · |log| · n) per gossip
+        // round at scale.
     }
 
     /// Prune the retransmission send log against the gossiped stable
@@ -1611,10 +1839,16 @@ impl<A: Application> Engine<A> {
             return;
         }
         let stable_clocks = &self.stable_clocks;
+        let me = self.me;
         let pruned = self.send_log.prune_to(|(to, env)| {
-            stable_clocks[to.index()]
-                .as_ref()
-                .is_some_and(|l| env.clock.happened_before(l))
+            stable_clocks[to.index()].as_ref().is_some_and(|l| {
+                // Cheap reject before the O(n) dominance test: dominance
+                // requires our own component to be covered, and own
+                // components are monotone in log order, so only the
+                // prunable prefix of each destination's subsequence ever
+                // pays the full scan.
+                env.clock.own_entry() <= l.entries()[me.index()] && env.clock.happened_before(l)
+            })
         });
         self.stats.send_log_pruned += pruned as u64;
     }
@@ -1718,16 +1952,36 @@ impl<A: Application> Engine<A> {
                 // dedup below will suppress, since acking duplicates is
                 // precisely what stops further retransmissions. Local
                 // suffix re-injections call `receive_token` directly and
-                // are never acked.
+                // are never acked. Acks always go to the token's
+                // originator, whichever tree hop delivered it.
                 if self.config.reliable_tokens {
                     self.stats.token_acks_sent += 1;
+                    self.stats.token_wire_msgs += 1;
                     self.eff_send(token.from, Wire::TokenAck(token.entry), true);
+                }
+                // Tree dissemination: forward a first-seen token to our
+                // children in the tree rooted at its originator.
+                // Duplicates (a direct retransmission racing the tree
+                // path) are not re-forwarded — `has_token` is already
+                // recorded by then — so the fan-out is O(n) per failure.
+                if self.token_tree_active()
+                    && token.from != self.me
+                    && !self.history.has_token(token.from, token.entry)
+                {
+                    let k = usize::from(self.config.tree_fanout);
+                    for child in tree_children(self.me, token.from, self.n, k) {
+                        self.stats.token_forwards += 1;
+                        self.stats.token_wire_msgs += 1;
+                        self.stats.token_bytes += token.wire_bytes() as u64;
+                        self.eff_send(child, Wire::Token(token.clone()), true);
+                    }
                 }
                 self.receive_token(token);
             }
             Wire::TokenAck(entry) => self.receive_token_ack(from, entry),
             Wire::Frontier(p, entry) => self.receive_frontier(p, entry),
-            Wire::StableClock(p, clock) => self.receive_stable_clock(p, clock),
+            Wire::FrontierVec(v) => self.receive_frontier_vec(&v),
+            Wire::StableClock(p, clock) => self.receive_stable_clock(from, p, clock),
         }
     }
 
@@ -1763,7 +2017,22 @@ impl<A: Application> Engine<A> {
             TIMER_GOSSIP => {
                 // Stability gossip travels on the control plane; it is not
                 // part of the piecewise-deterministic computation.
-                self.eff_broadcast(Wire::Frontier(self.me, self.my_stable_entry));
+                if self.config.tree_dissemination && self.n > 2 {
+                    // Tree gossip: one aggregated frontier vector per
+                    // tree edge (plus the rotating fallback peer) —
+                    // O(n) messages per round system-wide instead of the
+                    // broadcast's O(n²).
+                    self.frontiers[self.me.index()] = self.my_stable_entry;
+                    self.collect_gossip_peers();
+                    for idx in 0..self.gossip_peers.len() {
+                        let peer = self.gossip_peers[idx];
+                        let v = self.frontiers.clone();
+                        self.eff_send(peer, Wire::FrontierVec(v), true);
+                    }
+                    self.gossip_ticks += 1;
+                } else {
+                    self.eff_broadcast(Wire::Frontier(self.me, self.my_stable_entry));
+                }
                 if self.config.retransmit_lost {
                     self.gossip_stable_clock();
                     self.prune_send_log();
@@ -1896,7 +2165,21 @@ impl<A: Application> Engine<A> {
         };
         self.stats.tokens_sent += 1;
         self.stats.token_bytes += token.wire_bytes() as u64;
-        self.eff_broadcast(Wire::Token(token.clone()));
+        if self.token_tree_active() {
+            // Tree dissemination: seed only our children in the k-ary
+            // tree rooted at us; receivers forward down their subtrees.
+            // The reliable sublayer below still tracks *every* peer, so
+            // a broken tree edge degrades to direct retransmission (the
+            // broadcast fallback) rather than a stuck recovery.
+            let k = usize::from(self.config.tree_fanout);
+            for child in tree_children(self.me, self.me, self.n, k) {
+                self.stats.token_wire_msgs += 1;
+                self.eff_send(child, Wire::Token(token.clone()), true);
+            }
+        } else {
+            self.stats.token_wire_msgs += self.n as u64 - 1;
+            self.eff_broadcast(Wire::Token(token.clone()));
+        }
         if self.config.reliable_tokens {
             // Track the new token; the crash also killed any armed retry
             // timer, so mark surviving pending tokens due immediately and
@@ -1991,10 +2274,7 @@ impl<A: Application> EngineView for Engine<A> {
             h = h.wrapping_mul(0x0000_0100_0000_01B3);
         };
         mix(self.app.digest());
-        for (_, e) in self.clock.iter() {
-            mix(u64::from(e.version.0));
-            mix(e.ts);
-        }
+        mix(self.clock.digest());
         for j in ProcessId::all(self.n) {
             for (v, r) in self.history.records_for(j) {
                 mix(u64::from(v.0));

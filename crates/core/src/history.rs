@@ -69,6 +69,13 @@ pub struct History {
     /// so clones and replays agree; turns the per-delivery
     /// deliverability test into `n` array reads.
     frontiers: Vec<Version>,
+    /// Highest-version token record per process, mirrored flat. The
+    /// per-delivery obsolete test touches one dirty component at a time;
+    /// in the failure-free steady state no process has any token record
+    /// (or the message's version sits at/above the newest one), so the
+    /// test resolves against this contiguous array without chasing into
+    /// the per-process tables at all.
+    token_tops: Vec<Option<Entry>>,
 }
 
 /// One process's records, stored densely by version. Versions are
@@ -76,20 +83,33 @@ pub struct History {
 /// flat array beats a `BTreeMap`: every obsolete/deliverability/observe
 /// step per clock entry is one bounds-checked index, and checkpoint
 /// clones are flat `memcpy`s instead of per-node tree allocations.
+///
+/// The record for version `base` lives **inline** in the table header
+/// (`head`), with only versions `base + 1..` spilled to the heap. After
+/// GC trims a table to its live tail — and always, before a process's
+/// first failure — the hot version *is* `base`, so the per-delivery
+/// observe/obsolete steps stay inside the contiguous table array
+/// instead of dereferencing one tiny heap `Vec` per clock component.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 struct VersionTable {
-    /// Version number of `slots[0]`.
+    /// Version number of `head`.
     base: u32,
-    /// `slots[i]` holds the record for version `base + i`; `None` marks
-    /// a version nothing has been recorded for (tokens can arrive out
-    /// of order, leaving gaps).
-    slots: Vec<Option<HistoryRecord>>,
+    /// The record for version `base`; `None` marks a version nothing
+    /// has been recorded for (tokens can arrive out of order, leaving
+    /// gaps).
+    head: Option<HistoryRecord>,
+    /// `rest[i]` holds the record for version `base + 1 + i`.
+    rest: Vec<Option<HistoryRecord>>,
 }
 
 impl VersionTable {
     fn get(&self, v: Version) -> Option<HistoryRecord> {
         let idx = v.0.checked_sub(self.base)? as usize;
-        self.slots.get(idx).copied().flatten()
+        if idx == 0 {
+            self.head
+        } else {
+            self.rest.get(idx - 1).copied().flatten()
+        }
     }
 
     /// Mutable slot for `v`, growing the table in either direction
@@ -98,14 +118,43 @@ impl VersionTable {
     fn slot_mut(&mut self, v: Version) -> &mut Option<HistoryRecord> {
         if v.0 < self.base {
             let shift = (self.base - v.0) as usize;
-            self.slots.splice(0..0, std::iter::repeat_n(None, shift));
+            self.rest.splice(
+                0..0,
+                std::iter::repeat_n(None, shift - 1).chain([self.head.take()]),
+            );
             self.base = v.0;
         }
         let idx = (v.0 - self.base) as usize;
-        if idx >= self.slots.len() {
-            self.slots.resize(idx + 1, None);
+        if idx == 0 {
+            return &mut self.head;
         }
-        &mut self.slots[idx]
+        if idx > self.rest.len() {
+            self.rest.resize(idx, None);
+        }
+        &mut self.rest[idx - 1]
+    }
+
+    /// All stored slots in version order, starting at `base`.
+    fn slots(&self) -> impl Iterator<Item = Option<HistoryRecord>> + '_ {
+        std::iter::once(self.head).chain(self.rest.iter().copied())
+    }
+
+    /// Drop the records of the first `k` stored versions (`base ..
+    /// base + k`), re-anchoring the table at `base + k`. Returns how
+    /// many live records were removed.
+    fn drop_first(&mut self, k: usize) -> usize {
+        let mut removed = 0;
+        let stored = 1 + self.rest.len();
+        let drop = k.min(stored);
+        if drop == 0 {
+            return 0;
+        }
+        removed += usize::from(self.head.take().is_some());
+        removed += self.rest.drain(..drop - 1).filter(Option::is_some).count();
+        if !self.rest.is_empty() {
+            self.head = self.rest.remove(0);
+        }
+        removed
     }
 }
 
@@ -117,16 +166,18 @@ impl History {
         let tables = (0..n)
             .map(|j| VersionTable {
                 base: 0,
-                slots: vec![Some(HistoryRecord {
+                head: Some(HistoryRecord {
                     kind: RecordKind::Message,
                     ts: u64::from(j == me.index()),
-                })],
+                }),
+                rest: Vec::new(),
             })
             .collect();
         History {
             tables,
             floors: vec![Version::ZERO; n],
             frontiers: vec![Version::ZERO; n],
+            token_tops: vec![None; n],
         }
     }
 
@@ -144,8 +195,7 @@ impl History {
     pub fn records_for(&self, j: ProcessId) -> impl Iterator<Item = (Version, HistoryRecord)> + '_ {
         let table = &self.tables[j.index()];
         table
-            .slots
-            .iter()
+            .slots()
             .enumerate()
             .filter_map(|(i, slot)| slot.map(|r| (Version(table.base + i as u32), r)))
     }
@@ -155,7 +205,7 @@ impl History {
     pub fn total_records(&self) -> usize {
         self.tables
             .iter()
-            .map(|t| t.slots.iter().filter(|s| s.is_some()).count())
+            .map(|t| t.slots().filter(Option::is_some).count())
             .sum()
     }
 
@@ -218,6 +268,10 @@ impl History {
             kind: RecordKind::Token,
             ts: entry.ts,
         });
+        let top = &mut self.token_tops[j.index()];
+        if top.is_none_or(|t| entry.version >= t.version) {
+            *top = Some(entry);
+        }
         // Advance the cached frontier past any now-contiguous run of
         // token records (tokens can arrive out of order, so one insert
         // can unlock several).
@@ -253,6 +307,20 @@ impl History {
     /// records stood still).
     #[inline]
     pub fn entry_is_obsolete(&self, j: ProcessId, entry: Entry) -> bool {
+        // Resolve against the flat token mirror when it can: no token
+        // record at all, or the entry at/above the newest one (the
+        // steady-state cases), never needs the table. Only entries below
+        // the newest token — stragglers from before an old failure —
+        // fall through to the per-version lookup.
+        let Some(top) = self.token_tops[j.index()] else {
+            return false;
+        };
+        if entry.version > top.version {
+            return false;
+        }
+        if entry.version == top.version {
+            return top.ts < entry.ts;
+        }
         matches!(
             self.tables[j.index()].get(entry.version),
             Some(HistoryRecord { kind: RecordKind::Token, ts }) if ts < entry.ts
@@ -303,12 +371,30 @@ impl History {
         let table = &mut self.tables[j.index()];
         let mut removed = 0;
         if bound.0 > table.base {
-            let k = ((bound.0 - table.base) as usize).min(table.slots.len());
-            removed = table.slots.drain(..k).filter(|s| s.is_some()).count();
+            removed = table.drop_first((bound.0 - table.base) as usize);
             table.base = bound.0;
         }
         let floor = &mut self.floors[j.index()];
         *floor = (*floor).max(bound);
+        // The newest token record may have been reclaimed; rebuild the
+        // flat mirror from the surviving slots (GC is amortized-rare, the
+        // rescan is bounded by the table it just shrank).
+        if self.token_tops[j.index()].is_some_and(|t| t.version < bound) {
+            let table = &self.tables[j.index()];
+            self.token_tops[j.index()] = table
+                .slots()
+                .enumerate()
+                .collect::<Vec<_>>()
+                .into_iter()
+                .rev()
+                .find_map(|(i, slot)| match slot {
+                    Some(HistoryRecord {
+                        kind: RecordKind::Token,
+                        ts,
+                    }) => Some(Entry::new(table.base + i as u32, ts)),
+                    _ => None,
+                });
+        }
         removed
     }
 

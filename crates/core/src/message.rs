@@ -19,7 +19,7 @@ pub struct MsgId {
     pub sender: ProcessId,
     /// Sender's own clock component at the send.
     pub entry: Entry,
-    /// FNV-1a digest of the full piggybacked clock.
+    /// Digest of the full piggybacked clock ([`Ftvc::digest`]).
     pub clock_digest: u64,
 }
 
@@ -40,25 +40,22 @@ impl<M> Envelope<M> {
         self.clock.owner()
     }
 
-    /// Unique id of the send event.
+    /// Unique id of the send event. O(1): the clock digest is maintained
+    /// incrementally by every clock mutation ([`Ftvc::digest`]), so the
+    /// id no longer pays an O(n) hash per receive/dedup probe.
     pub fn id(&self) -> MsgId {
-        let mut digest: u64 = 0xcbf2_9ce4_8422_2325;
-        for (_, e) in self.clock.iter() {
-            for word in [u64::from(e.version.0), e.ts] {
-                digest ^= word;
-                digest = digest.wrapping_mul(0x0000_0100_0000_01B3);
-            }
-        }
         MsgId {
             sender: self.clock.owner(),
             entry: self.clock.own_entry(),
-            clock_digest: digest,
+            clock_digest: self.clock.digest(),
         }
     }
 
     /// Encoded size of the piggybacked control information, in bytes.
+    /// O(1): reads the clock's incrementally maintained wire-length cache
+    /// (pinned equal to [`wire::ftvc_wire_len`]'s scan by tests).
     pub fn piggyback_bytes(&self) -> usize {
-        wire::ftvc_wire_len(&self.clock)
+        self.clock.wire_len()
     }
 }
 
@@ -108,6 +105,15 @@ pub enum Wire<M> {
     /// Stability-frontier gossip (output-commit / GC extension): the
     /// sender's own `(version, ts)` up to which its states are stable.
     Frontier(ProcessId, Entry),
+    /// Aggregated stability-frontier gossip (tree dissemination): the
+    /// sender's entire known frontier vector, indexed by process id —
+    /// entry `j` is the newest stable `(version, ts)` of process `j` the
+    /// sender has heard of (directly or relayed). Every component is a
+    /// monotone true fact, so receivers merge componentwise-max; relaying
+    /// the merged vector along a spanning tree gives every edge an
+    /// aggregate of many [`Wire::Frontier`] facts and cuts a gossip round
+    /// from O(n²) point-to-point messages to O(n) tree edges.
+    FrontierVec(Vec<Entry>),
     /// The full clock of the sender's newest *globally stable* checkpoint
     /// (paper, Remark 2): no state at or before this clock can ever roll
     /// back, so no future recovery token from the sender names a

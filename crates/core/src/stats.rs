@@ -101,6 +101,23 @@ pub struct ProcessStats {
     /// Recovery tokens retransmitted by the reliable-delivery sublayer
     /// (the original broadcast is counted under `tokens_sent` only).
     pub token_retransmits: u64,
+    /// Recovery tokens forwarded to this process's children in the
+    /// originator-rooted dissemination tree
+    /// ([`crate::DgConfig::tree_dissemination`]).
+    pub token_forwards: u64,
+    /// Wire-honest count of token-channel messages this process put on
+    /// the network: the initial dissemination (a broadcast counts `n-1`,
+    /// a tree root's sends count one each), tree forwards, reliable-layer
+    /// retransmissions, and acknowledgements. Summed across processes and
+    /// divided by failures, this is the `token_msgs_per_failure` column
+    /// of E15 — O(n) per failure with tree dissemination.
+    pub token_wire_msgs: u64,
+    /// App sends whose piggybacked stamp was priced as a v3 delta against
+    /// the receiver's floor (O(Δ) components on the wire).
+    pub stamp_delta_sends: u64,
+    /// App sends whose stamp was priced at the full-clock encoding (first
+    /// contact with the receiver, or a floor invalidated by recovery).
+    pub stamp_full_sends: u64,
     /// Token acknowledgements received.
     pub token_acks_received: u64,
     /// Token acknowledgements sent (one per token receipt, duplicates

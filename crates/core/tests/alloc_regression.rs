@@ -168,3 +168,16 @@ fn steady_state_delivery_allocates_nothing_n16() {
 fn steady_state_delivery_allocates_nothing_n32() {
     assert_steady_state_allocation_free(32);
 }
+
+/// The scaling targets of the O(Δ) work: the send journal, the delta
+/// stamp scratch, and the pooled spilled clocks must all reach steady
+/// capacity, so per-input allocations stay at zero well past n = 32.
+#[test]
+fn steady_state_delivery_allocates_nothing_n64() {
+    assert_steady_state_allocation_free(64);
+}
+
+#[test]
+fn steady_state_delivery_allocates_nothing_n128() {
+    assert_steady_state_allocation_free(128);
+}

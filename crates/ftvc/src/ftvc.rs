@@ -42,6 +42,65 @@ use crate::{CausalOrder, Entry, ProcessId, Version};
 pub struct Ftvc {
     owner: ProcessId,
     entries: EntryStore,
+    /// XOR of [`component_digest`] over every `(index, entry)` pair —
+    /// maintained incrementally by every mutation, so reading the digest
+    /// of an `n`-component clock is O(1) instead of the O(n) hash the
+    /// message-id path used to pay per receive. The XOR combiner is what
+    /// makes O(Δ) maintenance possible: changing component `i` from `old`
+    /// to `new` is `digest ^= component_digest(i, old) ^
+    /// component_digest(i, new)`, independent of every other component.
+    digest: u64,
+    /// Encoded size of the clock under [`crate::wire::encode_ftvc`],
+    /// maintained incrementally like the digest: mutating component `i`
+    /// adjusts the cache by the varint-length difference of that one
+    /// component. Turns the per-message piggyback accounting (two O(n)
+    /// varint scans per delivered message before this cache) into an
+    /// O(1) read.
+    wire_len: u32,
+}
+
+/// Mixes one `(index, entry)` triple into a 64-bit word (a chained
+/// splitmix64 finalizer). Each field passes through a full mix before the
+/// next is folded in, so `(version, ts)` pairs that XOR to the same value
+/// — the failure mode of naive word-XOR digests — land far apart.
+#[inline]
+fn component_digest(i: usize, e: Entry) -> u64 {
+    #[inline]
+    fn mix(mut x: u64) -> u64 {
+        x ^= x >> 30;
+        x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        x ^= x >> 27;
+        x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+        x ^ (x >> 31)
+    }
+    let mut h = mix(i as u64 ^ 0x9e37_79b9_7f4a_7c15);
+    h = mix(h ^ u64::from(e.version.0));
+    mix(h ^ e.ts)
+}
+
+/// The digest of a component slice, computed from scratch — the
+/// reference the incremental maintenance must agree with.
+fn slice_digest(entries: &[Entry]) -> u64 {
+    entries
+        .iter()
+        .enumerate()
+        .fold(0, |d, (i, &e)| d ^ component_digest(i, e))
+}
+
+/// Encoded varint size of one `(version, ts)` component — the unit the
+/// incremental wire-length cache is maintained in.
+#[inline]
+fn entry_wire_len(e: Entry) -> u32 {
+    (crate::wire::varint_len(u64::from(e.version.0)) + crate::wire::varint_len(e.ts)) as u32
+}
+
+/// Full encoded size of a clock, computed from scratch — the reference
+/// value the incremental wire-length cache must always equal (and what
+/// [`crate::wire::ftvc_wire_len`] measures independently).
+fn slice_wire_len(owner: ProcessId, entries: &[Entry]) -> u32 {
+    (crate::wire::varint_len(entries.len() as u64) + crate::wire::varint_len(u64::from(owner.0)))
+        as u32
+        + entries.iter().map(|&e| entry_wire_len(e)).sum::<u32>()
 }
 
 impl Clone for Ftvc {
@@ -49,6 +108,8 @@ impl Clone for Ftvc {
         Ftvc {
             owner: self.owner,
             entries: self.entries.clone(),
+            digest: self.digest,
+            wire_len: self.wire_len,
         }
     }
 
@@ -58,6 +119,8 @@ impl Clone for Ftvc {
     fn clone_from(&mut self, source: &Ftvc) {
         self.owner = source.owner;
         self.entries.clone_from(&source.entries);
+        self.digest = source.digest;
+        self.wire_len = source.wire_len;
     }
 }
 
@@ -173,7 +236,14 @@ impl Ftvc {
         );
         let mut entries = EntryStore::zeroed(n);
         entries.as_mut_slice()[owner.index()].ts = 1;
-        Ftvc { owner, entries }
+        let digest = slice_digest(entries.as_slice());
+        let wire_len = slice_wire_len(owner, entries.as_slice());
+        Ftvc {
+            owner,
+            entries,
+            digest,
+            wire_len,
+        }
     }
 
     /// The process that owns (locally advances) this clock.
@@ -223,6 +293,53 @@ impl Ftvc {
         self.entries.as_slice()
     }
 
+    /// A 64-bit digest of all components, read in O(1): it is maintained
+    /// incrementally at every clock mutation, never recomputed from the
+    /// full clock. Two clocks with equal components always have equal
+    /// digests; unequal clocks collide with probability ~2⁻⁶⁴ per pair.
+    /// The engine uses it as the message-identity discriminator
+    /// (`MsgId::clock_digest`) and in state digests.
+    #[inline]
+    pub fn digest(&self) -> u64 {
+        self.digest
+    }
+
+    /// Recompute the digest from scratch — the O(n) reference value the
+    /// incremental cache must always equal. Exposed for property tests
+    /// and debug assertions; production paths read [`Ftvc::digest`].
+    pub fn full_clock_digest(&self) -> u64 {
+        slice_digest(self.entries.as_slice())
+    }
+
+    /// Encoded size of this clock under [`crate::wire::encode_ftvc`],
+    /// read in O(1) from the incrementally maintained cache. Always
+    /// equals [`crate::wire::ftvc_wire_len`], which recomputes it by
+    /// scanning (the reference the property tests pin against).
+    #[inline]
+    pub fn wire_len(&self) -> usize {
+        self.wire_len as usize
+    }
+
+    /// Overwrite component `i` with `new`, keeping the digest and
+    /// wire-length caches in step — the single funnel every mutation
+    /// goes through.
+    #[inline]
+    fn set_entry(&mut self, i: usize, new: Entry) {
+        let slot = &mut self.entries.as_mut_slice()[i];
+        self.digest ^= component_digest(i, *slot) ^ component_digest(i, new);
+        self.wire_len = self.wire_len - entry_wire_len(*slot) + entry_wire_len(new);
+        *slot = new;
+    }
+
+    /// Advance the owner's timestamp by one (digest-maintaining).
+    #[inline]
+    fn tick_own(&mut self) {
+        let own = self.owner.index();
+        let mut e = self.entries.as_slice()[own];
+        e.ts += 1;
+        self.set_entry(own, e);
+    }
+
     /// Iterate `(process, entry)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (ProcessId, Entry)> + '_ {
         self.entries
@@ -237,7 +354,7 @@ impl Ftvc {
     #[must_use = "the returned stamp must be piggybacked on the message"]
     pub fn stamp_for_send(&mut self) -> Ftvc {
         let stamp = self.clone();
-        self.entries.as_mut_slice()[self.owner.index()].ts += 1;
+        self.tick_own();
         stamp
     }
 
@@ -253,16 +370,45 @@ impl Ftvc {
             incoming.len(),
             "cannot merge clocks of different system sizes"
         );
-        let own = self.owner.index();
-        for (mine, theirs) in self
-            .entries
-            .as_mut_slice()
-            .iter_mut()
-            .zip(incoming.entries.as_slice())
-        {
-            *mine = mine.join(*theirs);
+        let theirs = incoming.entries.as_slice();
+        for (i, &their) in theirs.iter().enumerate() {
+            let mine = self.entries.as_slice()[i];
+            let joined = mine.join(their);
+            if joined != mine {
+                self.set_entry(i, joined);
+            }
         }
-        self.entries.as_mut_slice()[own].ts += 1;
+        self.tick_own();
+    }
+
+    /// [`Ftvc::observe`], additionally appending to `changed` the index
+    /// of every non-own component the join actually moved. The engine's
+    /// full-merge delivery path uses this to feed the send journal that
+    /// prices delta send-stamps in O(Δ) — it learns which components are
+    /// dirty as a byproduct of the merge, with no extra scan.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the clocks have different lengths.
+    pub fn observe_recording(&mut self, incoming: &Ftvc, changed: &mut Vec<u16>) {
+        assert_eq!(
+            self.len(),
+            incoming.len(),
+            "cannot merge clocks of different system sizes"
+        );
+        let own = self.owner.index();
+        let theirs = incoming.entries.as_slice();
+        for (i, &their) in theirs.iter().enumerate() {
+            let mine = self.entries.as_slice()[i];
+            let joined = mine.join(their);
+            if joined != mine {
+                self.set_entry(i, joined);
+                if i != own {
+                    changed.push(i as u16);
+                }
+            }
+        }
+        self.tick_own();
     }
 
     /// Append to `out` the indices of components where `self` and
@@ -339,30 +485,32 @@ impl Ftvc {
             "observe_at precondition violated: an unlisted component of \
              the incoming clock exceeds the local clock"
         );
-        let own = self.owner.index();
-        let mine = self.entries.as_mut_slice();
         let theirs = incoming.entries.as_slice();
         for &i in dirty {
             let i = i as usize;
-            mine[i] = mine[i].join(theirs[i]);
+            let mine = self.entries.as_slice()[i];
+            let joined = mine.join(theirs[i]);
+            if joined != mine {
+                self.set_entry(i, joined);
+            }
         }
-        mine[own].ts += 1;
+        self.tick_own();
     }
 
     /// Transition after the owner restarts from a **failure**: the own
     /// version increments and the own timestamp resets to zero
     /// (Figure 2, *On Restart*).
     pub fn restart(&mut self) {
-        let own = &mut self.entries.as_mut_slice()[self.owner.index()];
-        own.version = own.version.next();
-        own.ts = 0;
+        let own = self.owner.index();
+        let old = self.entries.as_slice()[own];
+        self.set_entry(own, Entry::new(old.version.next().0, 0));
     }
 
     /// Transition after the owner **rolls back** (orphan recovery, no
     /// failure): the own timestamp increments, the version is unchanged
     /// (Figure 2, *On Rollback*).
     pub fn rolled_back(&mut self) {
-        self.entries.as_mut_slice()[self.owner.index()].ts += 1;
+        self.tick_own();
     }
 
     /// Compare two clocks under the vector partial order
@@ -412,7 +560,14 @@ impl Ftvc {
         for (slot, &(v, t)) in entries.as_mut_slice().iter_mut().zip(parts) {
             *slot = Entry::new(v, t);
         }
-        Ftvc { owner, entries }
+        let digest = slice_digest(entries.as_slice());
+        let wire_len = slice_wire_len(owner, entries.as_slice());
+        Ftvc {
+            owner,
+            entries,
+            digest,
+            wire_len,
+        }
     }
 }
 
@@ -577,6 +732,31 @@ mod tests {
         dst.clone_from(&src);
         assert_eq!(dst, src);
         assert_eq!(dst.owner(), src.owner());
+    }
+
+    #[test]
+    fn cached_wire_len_tracks_reference_scan() {
+        // The incremental wire-length cache must equal the O(n) scan
+        // after any mix of mutations, across varint-width boundaries
+        // (ts crossing 127, version bumps) and the inline/heap split.
+        for n in [3, INLINE_CLOCK_CAP, 12] {
+            let mut a = Ftvc::new(ProcessId(0), n);
+            let mut b = Ftvc::new(ProcessId((n - 1) as u16), n);
+            for i in 0..300u64 {
+                let stamp = a.stamp_for_send();
+                b.observe(&stamp);
+                if i % 50 == 0 {
+                    b.restart();
+                }
+                if i % 70 == 0 {
+                    a.rolled_back();
+                }
+                for c in [&a, &b, &stamp] {
+                    assert_eq!(c.wire_len(), crate::wire::ftvc_wire_len(c));
+                    assert_eq!(c.digest(), c.full_clock_digest());
+                }
+            }
+        }
     }
 
     #[test]

@@ -25,6 +25,10 @@ pub enum DecodeError {
         /// Decoded number of components.
         len: u64,
     },
+    /// A delta-encoded clock reconstructed against the wrong floor: the
+    /// frame's embedded digest disagrees with the reconstructed clock's
+    /// ([`crate::Ftvc::digest`]). Transports treat this as detected loss.
+    DigestMismatch,
 }
 
 impl std::fmt::Display for DecodeError {
@@ -34,6 +38,9 @@ impl std::fmt::Display for DecodeError {
             DecodeError::VarintOverflow => write!(f, "varint exceeded 64 bits"),
             DecodeError::OwnerOutOfRange { owner, len } => {
                 write!(f, "owner index {owner} out of range for {len} components")
+            }
+            DecodeError::DigestMismatch => {
+                write!(f, "delta clock digest mismatch (stale floor)")
             }
         }
     }
@@ -258,6 +265,183 @@ pub fn ftvc_delta_wire_len(clock: &Ftvc, floor: &Ftvc) -> usize {
             .sum::<usize>()
 }
 
+/// Encode an FTVC as a **v3 dirty-index delta** against a floor clock
+/// the receiver already holds: only the components that differ from the
+/// floor are transmitted, as explicit indices.
+///
+/// Wire format (v3 clock framing):
+///
+/// ```text
+///     owner varint
+///     changed-count varint
+///     for each changed component, ascending: index-gap varint
+///         (index minus previous index minus 1; first gap is the index
+///         itself), version varint, ts varint
+/// ```
+///
+/// Where v2's bitmap costs `ceil(n/8)` bytes regardless of how little
+/// moved, v3 costs O(Δ) bytes outright — at n = 256 a steady-state
+/// stamp (one or two moved components) is ~6 bytes instead of 33+. The
+/// crossover favours v2 only when a large fraction of components move,
+/// which on the engine's hot path happens once per (re)connection.
+///
+/// `n` is not transmitted — the receiver recovers it from its own copy
+/// of `floor`, which both sides must agree on out of band.
+///
+/// # Panics
+///
+/// Panics if `clock` and `floor` have different lengths.
+pub fn encode_ftvc_dirty(clock: &Ftvc, floor: &Ftvc) -> Bytes {
+    let mut buf = BytesMut::with_capacity(ftvc_dirty_wire_len(clock, floor));
+    encode_ftvc_dirty_into(clock, floor, &mut buf);
+    buf.freeze()
+}
+
+/// [`encode_ftvc_dirty`] into a caller-supplied buffer (appended), so
+/// hot paths can reuse one allocation across messages.
+///
+/// # Panics
+///
+/// Panics if `clock` and `floor` have different lengths.
+pub fn encode_ftvc_dirty_into(clock: &Ftvc, floor: &Ftvc, buf: &mut BytesMut) {
+    assert_eq!(
+        clock.len(),
+        floor.len(),
+        "cannot delta-encode against a floor of different system size"
+    );
+    put_varint(buf, clock.owner().0 as u64);
+    let changed = clock
+        .entries()
+        .iter()
+        .zip(floor.entries())
+        .filter(|(c, f)| c != f)
+        .count();
+    put_varint(buf, changed as u64);
+    let mut prev: Option<usize> = None;
+    for (i, (c, _)) in clock
+        .entries()
+        .iter()
+        .zip(floor.entries())
+        .enumerate()
+        .filter(|(_, (c, f))| c != f)
+    {
+        let gap = match prev {
+            Some(p) => i - p - 1,
+            None => i,
+        };
+        prev = Some(i);
+        put_varint(buf, gap as u64);
+        put_varint(buf, u64::from(c.version.0));
+        put_varint(buf, c.ts);
+    }
+}
+
+/// Decode an FTVC produced by [`encode_ftvc_dirty`] against the same
+/// `floor` the encoder used. Unchanged components are copied from the
+/// floor. Consumes exactly the encoding from the front of `bytes`, so
+/// callers can keep decoding trailing frame content (digest, payload).
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] on truncated or malformed input, including
+/// an owner or component index out of range for the floor's system size.
+pub fn decode_ftvc_dirty(bytes: &mut Bytes, floor: &Ftvc) -> Result<Ftvc, DecodeError> {
+    let n = floor.len();
+    let owner = get_varint(&mut *bytes)?;
+    if owner >= n as u64 {
+        return Err(DecodeError::OwnerOutOfRange {
+            owner,
+            len: n as u64,
+        });
+    }
+    let changed = get_varint(&mut *bytes)?;
+    if changed > n as u64 {
+        return Err(DecodeError::OwnerOutOfRange {
+            owner: changed,
+            len: n as u64,
+        });
+    }
+    let mut parts: Vec<(u32, u64)> = floor
+        .entries()
+        .iter()
+        .map(|e| (e.version.0, e.ts))
+        .collect();
+    let mut next = 0usize;
+    for _ in 0..changed {
+        let gap = get_varint(&mut *bytes)? as usize;
+        let i = next + gap;
+        if i >= n {
+            return Err(DecodeError::OwnerOutOfRange {
+                owner: i as u64,
+                len: n as u64,
+            });
+        }
+        let version = get_varint(&mut *bytes)? as u32;
+        let ts = get_varint(&mut *bytes)?;
+        parts[i] = (version, ts);
+        next = i + 1;
+    }
+    Ok(Ftvc::from_parts(ProcessId(owner as u16), &parts))
+}
+
+/// Encoded size of [`encode_ftvc_dirty`] without materializing the
+/// buffer.
+///
+/// # Panics
+///
+/// Panics if `clock` and `floor` have different lengths.
+pub fn ftvc_dirty_wire_len(clock: &Ftvc, floor: &Ftvc) -> usize {
+    assert_eq!(
+        clock.len(),
+        floor.len(),
+        "cannot delta-encode against a floor of different system size"
+    );
+    let mut len = varint_len(clock.owner().0 as u64);
+    let mut changed = 0usize;
+    let mut prev: Option<usize> = None;
+    for (i, (c, _)) in clock
+        .entries()
+        .iter()
+        .zip(floor.entries())
+        .enumerate()
+        .filter(|(_, (c, f))| c != f)
+    {
+        let gap = match prev {
+            Some(p) => i - p - 1,
+            None => i,
+        };
+        prev = Some(i);
+        changed += 1;
+        len += varint_len(gap as u64) + varint_len(u64::from(c.version.0)) + varint_len(c.ts);
+    }
+    len + varint_len(changed as u64)
+}
+
+/// Encoded size of a v3 dirty-index frame carrying exactly the listed
+/// component indices of `clock` — the O(Δ) price the engine's send
+/// accounting charges per stamp, computed without touching the other
+/// `n - Δ` components (and without materializing a floor clock).
+///
+/// `dirty` must be ascending and in range; the result equals
+/// [`ftvc_dirty_wire_len`] whenever `dirty` is exactly the set of
+/// components differing from the floor.
+pub fn ftvc_dirty_wire_len_at(clock: &Ftvc, dirty: &[u16]) -> usize {
+    let entries = clock.entries();
+    let mut len = varint_len(clock.owner().0 as u64) + varint_len(dirty.len() as u64);
+    let mut prev: Option<usize> = None;
+    for &i in dirty {
+        let i = i as usize;
+        let gap = match prev {
+            Some(p) => i - p - 1,
+            None => i,
+        };
+        prev = Some(i);
+        let e = entries[i];
+        len += varint_len(gap as u64) + varint_len(u64::from(e.version.0)) + varint_len(e.ts);
+    }
+    len
+}
+
 /// Encode a plain vector clock: `n`, owner, then `ts` varints.
 pub fn encode_vector(clock: &VectorClock) -> Bytes {
     let mut buf = BytesMut::with_capacity(2 + clock.len() * 2);
@@ -416,6 +600,61 @@ mod tests {
             err,
             DecodeError::OwnerOutOfRange { owner: 9, len: 2 }
         ));
+    }
+
+    #[test]
+    fn dirty_roundtrip_mixed_changes() {
+        let floor = Ftvc::from_parts(ProcessId(0), &[(0, 5), (3, 0), (1, 200), (0, 0)]);
+        let clock = Ftvc::from_parts(ProcessId(2), &[(0, 5), (3, 7), (1, 200), (2, 1)]);
+        let mut bytes = encode_ftvc_dirty(&clock, &floor);
+        assert_eq!(bytes.len(), ftvc_dirty_wire_len(&clock, &floor));
+        assert_eq!(bytes.len(), ftvc_dirty_wire_len_at(&clock, &[1, 3]));
+        let back = decode_ftvc_dirty(&mut bytes, &floor).unwrap();
+        assert_eq!(back, clock);
+        assert_eq!(back.digest(), clock.digest());
+        assert!(!bytes.has_remaining(), "decode must consume the encoding");
+    }
+
+    #[test]
+    fn dirty_len_is_o_delta_not_o_n() {
+        // At n = 256 with one moved component, v3 must undercut both the
+        // full encoding and v2's ceil(n/8)-byte bitmap.
+        let n = 256;
+        let floor_parts: Vec<(u32, u64)> = (0..n).map(|i| (1, 1_000 + i as u64)).collect();
+        let mut clock_parts = floor_parts.clone();
+        clock_parts[7].1 += 1;
+        let floor = Ftvc::from_parts(ProcessId(7), &floor_parts);
+        let clock = Ftvc::from_parts(ProcessId(7), &clock_parts);
+        let v3 = ftvc_dirty_wire_len(&clock, &floor);
+        let v2 = ftvc_delta_wire_len(&clock, &floor);
+        assert!(v3 <= 8, "v3 frame should be a handful of bytes, got {v3}");
+        assert!(v3 < v2 / 4, "v3 ({v3}B) should be far below v2 ({v2}B)");
+    }
+
+    #[test]
+    fn truncated_dirty_is_an_error_not_a_panic() {
+        let floor = Ftvc::from_parts(ProcessId(0), &[(0, 0), (0, 0), (0, 0)]);
+        let clock = Ftvc::from_parts(ProcessId(1), &[(0, 300), (2, 5), (0, 900)]);
+        let bytes = encode_ftvc_dirty(&clock, &floor);
+        for cut in 0..bytes.len() {
+            let mut truncated = Bytes::from(bytes.as_slice()[..cut].to_vec());
+            assert!(
+                decode_ftvc_dirty(&mut truncated, &floor).is_err(),
+                "prefix of length {cut} decoded successfully"
+            );
+        }
+    }
+
+    #[test]
+    fn dirty_rejects_out_of_range_indices() {
+        let floor = Ftvc::from_parts(ProcessId(0), &[(0, 0), (0, 0)]);
+        let mut buf = BytesMut::new();
+        put_varint(&mut buf, 1); // owner = 1
+        put_varint(&mut buf, 1); // one changed component
+        put_varint(&mut buf, 7); // index 7, floor says n = 2
+        put_varint(&mut buf, 0);
+        put_varint(&mut buf, 1);
+        assert!(decode_ftvc_dirty(&mut buf.freeze(), &floor).is_err());
     }
 
     #[test]

@@ -421,3 +421,86 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The incrementally maintained caches — the message-id digest and
+    /// the piggyback wire length — are extensionally equal to their O(n)
+    /// reference scans ([`Ftvc::full_clock_digest`],
+    /// [`wire::ftvc_wire_len`]) on every reachable clock, at system
+    /// sizes up to 256 (crossing the inline→spilled arena boundary),
+    /// across merges, restarts, rollbacks, and snapshot regressions. The
+    /// v3 dirty-index codec must preserve both through a round trip
+    /// against arbitrary floors, since receivers trust the reconstructed
+    /// clock's digest to detect stale-floor frames.
+    #[test]
+    fn cached_digest_and_wire_len_match_reference(
+        n in 2u16..=256,
+        ops in proptest::collection::vec(op_strategy(256), 1..120),
+    ) {
+        let ops: Vec<Op> = ops.into_iter().map(|op| match op {
+            Op::Send { from, to } => Op::Send { from: from % n, to: to % n },
+            Op::Restart { p } => Op::Restart { p: p % n },
+            Op::Rollback { p } => Op::Rollback { p: p % n },
+        }).collect();
+        let n = n as usize;
+        let mut clocks: Vec<Ftvc> = ProcessId::all(n).map(|p| Ftvc::new(p, n)).collect();
+        // The checkpoint a failure restores (a genuine componentwise
+        // regression, refreshed on every third send).
+        let mut snap: Vec<Ftvc> = clocks.clone();
+        // Last stamp seen from each sender: the floor the next dirty
+        // encoding is checked against.
+        let mut floors: Vec<Option<Ftvc>> = vec![None; n];
+        let mut sends_by = vec![0u32; n];
+
+        let check = |c: &Ftvc| -> Result<(), TestCaseError> {
+            prop_assert_eq!(c.digest(), c.full_clock_digest(), "digest cache diverged");
+            prop_assert_eq!(c.wire_len(), wire::ftvc_wire_len(c), "wire-len cache diverged");
+            Ok(())
+        };
+
+        for op in &ops {
+            match *op {
+                Op::Send { from, to } => {
+                    let (f, t) = (from as usize, to as usize);
+                    let stamp = clocks[f].stamp_for_send();
+                    check(&stamp)?;
+                    if let Some(floor) = &floors[f] {
+                        let mut bytes = wire::encode_ftvc_dirty(&stamp, floor);
+                        prop_assert_eq!(bytes.len(), wire::ftvc_dirty_wire_len(&stamp, floor));
+                        let back = wire::decode_ftvc_dirty(&mut bytes, floor).unwrap();
+                        prop_assert_eq!(&back, &stamp);
+                        prop_assert_eq!(back.digest(), stamp.digest());
+                        prop_assert_eq!(back.wire_len(), stamp.wire_len());
+                    }
+                    clocks[t].observe(&stamp);
+                    check(&clocks[t])?;
+                    check(&clocks[f])?;
+                    floors[f] = Some(stamp);
+                    sends_by[f] += 1;
+                    if sends_by[f].is_multiple_of(3) {
+                        snap[f] = clocks[f].clone();
+                    }
+                }
+                Op::Restart { p } => {
+                    let p = p as usize;
+                    clocks[p] = snap[p].clone();
+                    clocks[p].restart();
+                    snap[p] = clocks[p].clone();
+                    check(&clocks[p])?;
+                }
+                Op::Rollback { p } => {
+                    let p = p as usize;
+                    clocks[p] = snap[p].clone();
+                    clocks[p].rolled_back();
+                    snap[p] = clocks[p].clone();
+                    check(&clocks[p])?;
+                }
+            }
+        }
+        for c in &clocks {
+            check(c)?;
+        }
+    }
+}

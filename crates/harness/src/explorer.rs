@@ -241,6 +241,15 @@ fn wire_digest<M>(wire: &Wire<M>) -> u64 {
             (u64::from(p.0) << 40) ^ (u64::from(e.version.0) << 20) ^ e.ts ^ 0x4444
         }
         Wire::TokenAck(e) => (u64::from(e.version.0) << 20) ^ e.ts ^ 0x5555,
+        Wire::FrontierVec(v) => {
+            let mut d: u64 = 0x7777;
+            for e in v {
+                d = d
+                    .wrapping_mul(0x0000_0100_0000_01B3)
+                    .wrapping_add((u64::from(e.version.0) << 20) ^ e.ts);
+            }
+            d
+        }
         Wire::StableClock(p, clock) => {
             let own = clock.own_entry();
             (u64::from(p.0) << 40) ^ (u64::from(own.version.0) << 20) ^ own.ts ^ 0x6666
@@ -257,8 +266,12 @@ fn wire_sender<M>(wire: &Wire<M>) -> ProcessId {
         Wire::Token(t) => t.from,
         Wire::Frontier(p, _) | Wire::StableClock(p, _) => *p,
         // Acks carry no payload-level sender; the explorer never enables
-        // the reliable-token sublayer, so none are ever in flight.
-        Wire::TokenAck(_) => unreachable!("explorer configs do not enable reliable tokens"),
+        // the reliable-token sublayer, so none are ever in flight. The
+        // aggregated frontier vector likewise only travels when tree
+        // gossip runs, which explorer configs keep off for determinism.
+        Wire::TokenAck(_) | Wire::FrontierVec(_) => {
+            unreachable!("explorer configs do not enable reliable tokens or tree gossip")
+        }
     }
 }
 

@@ -154,6 +154,95 @@ fn fuzz_lossy_recovery_across_loss_rates() {
 }
 
 #[test]
+fn tree_dissemination_forwards_tokens_down_the_tree() {
+    // n = 8 with the default fanout 4 activates tree dissemination
+    // (n - 1 > fanout): a restarting process seeds only its tree
+    // children, who forward down their subtrees. On a clean network the
+    // token still reaches all 7 peers, and at least one interior node
+    // actually forwarded.
+    let plan = FaultPlan::single_crash(ProcessId(1), 5_000);
+    let out = run_dg(
+        8,
+        |_| Mesh::new(12),
+        robust_config(),
+        NetConfig::with_seed(4),
+        &plan,
+    );
+    oracle::check(&out).expect("oracle violations");
+    for p in (0..8usize).filter(|&p| p != 1) {
+        assert_eq!(
+            out.sim.actors()[p].history().token_frontier(ProcessId(1)),
+            Version(1)
+        );
+    }
+    let forwards: u64 = out
+        .sim
+        .actors()
+        .iter()
+        .map(|a| a.stats().token_forwards)
+        .sum();
+    assert!(forwards > 0, "no process forwarded along the tree");
+    // The originator seeded only its children (plus any direct
+    // reliable-layer retries), not all 7 peers at once.
+    let p1 = &out.sim.actors()[1];
+    assert!(
+        p1.stats().token_wire_msgs - p1.stats().token_retransmits - p1.stats().token_acks_sent < 7,
+        "originator fanned out to every peer despite tree dissemination"
+    );
+}
+
+#[test]
+fn tree_token_loss_falls_back_to_direct_retransmission() {
+    // A total blackout swallows the initial tree wave — including the
+    // forwards interior nodes would have made. A broken tree must not
+    // wedge recovery: the reliable sublayer below tracks all 7 peers
+    // individually, and its direct retries are the broadcast fallback.
+    let plan = FaultPlan::single_crash(ProcessId(1), 5_000).with_drop_window(5_000, 40_000, 1.0);
+    let out = run_dg(
+        8,
+        |_| Mesh::new(12),
+        robust_config(),
+        NetConfig::with_seed(3),
+        &plan,
+    );
+    oracle::check(&out).expect("oracle violations");
+    let p1 = &out.sim.actors()[1];
+    assert!(
+        p1.stats().token_retransmits > 0,
+        "the blackout should have forced direct retransmissions"
+    );
+    assert_eq!(p1.pending_token_count(), 0, "recovery wedged");
+    for p in (0..8usize).filter(|&p| p != 1) {
+        assert_eq!(
+            out.sim.actors()[p].history().token_frontier(ProcessId(1)),
+            Version(1)
+        );
+    }
+}
+
+#[test]
+fn fuzz_tree_dissemination_under_loss() {
+    // Chaos at n = 8 — tree dissemination active for tokens and gossip —
+    // with 10% loss on every channel, tokens included: loss on tree
+    // edges must degrade to direct retransmission, never a stuck
+    // recovery or an oracle violation.
+    for seed in 0..10u64 {
+        let plan = FaultPlan::chaos(8, (2_000, 40_000), seed);
+        let out = run_dg(
+            8,
+            |_| Mesh::new(10),
+            robust_config(),
+            NetConfig::with_seed(seed * 53 + 11).loss_all(0.1),
+            &plan,
+        );
+        assert!(out.stats.quiescent, "seed {seed}: run did not quiesce");
+        if let Err(violations) = oracle::check(&out) {
+            panic!("seed {seed}: plan {plan:?}\noracle violations: {violations:#?}");
+        }
+    }
+}
+
+#[test]
 fn fuzz_chaos_plans_under_loss() {
     // Seeded chaos: random crashes, corruptions, crash-during-recovery
     // and blackout windows, on top of 10% steady loss everywhere.

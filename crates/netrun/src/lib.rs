@@ -48,12 +48,14 @@ use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
 use bytes::BytesMut;
-use dg_core::wirecodec::{decode_wire, encode_wire_into, Payload};
+use dg_core::wirecodec::{
+    decode_app_delta, decode_wire, encode_app_delta, encode_wire_into, is_app_delta_frame, Payload,
+};
 use dg_core::{
     Application, DgConfig, Effect, EffectSink, Engine, EngineView, Input, ProtocolEngine,
     StorageFault, Wire,
 };
-use dg_ftvc::ProcessId;
+use dg_ftvc::{Ftvc, ProcessId};
 
 pub use faults::{FaultHandle, FaultStats, LinkRule};
 
@@ -152,6 +154,12 @@ fn now_us(start: &Instant) -> u64 {
 /// Frame body bytes that precede the wire payload: sender id (2) plus
 /// body checksum (4).
 const FRAME_OVERHEAD: usize = 6;
+
+/// Delta App frames sent per channel between mandatory full frames. One
+/// lost delta desyncs its channel's floor until the next full frame, so
+/// this bounds the detected-loss blast radius to 15 frames while keeping
+/// the full O(n) encoding off 15/16ths of application traffic.
+const FULL_FRAME_EVERY: u32 = 16;
 
 /// FNV-1a over the wire bytes of one frame — the integrity check that
 /// turns a flipped bit on the wire into detected message loss.
@@ -443,6 +451,22 @@ where
     frames_corrupt: u64,
     last_corrupt_reason: Option<&'static str>,
     has_gossip: bool,
+    /// Per-peer floors for v3 delta App frames: `tx_floors[p]` is the
+    /// clock of the last App frame this node put on channel `p` (the
+    /// floor the next delta frame encodes against); `rx_floors[p]`
+    /// mirrors it on the receive side. `None` means the next frame must
+    /// travel full. `Resend` frames never touch the floors — they carry
+    /// historic clocks. A write error resets the affected floor, and the
+    /// embedded clock digest lets the receiver reject any frame decoded
+    /// against a stale floor as *detected* loss, which the protocol's
+    /// retransmission layer repairs.
+    tx_floors: Vec<Option<Ftvc>>,
+    rx_floors: Vec<Option<Ftvc>>,
+    /// App frames remaining until the next mandatory full frame on each
+    /// channel, bounding how long a desynced channel discards deltas.
+    tx_full_in: Vec<u32>,
+    /// Delta framing enabled (mirrors `DgConfig::delta_stamps`).
+    delta_frames: bool,
     /// Where committed outputs go, if anyone is listening.
     commit_tx: Option<mpsc::Sender<CommittedBatch<A::Msg>>>,
     /// Reused effect buffer: every engine input lands its effects here
@@ -507,12 +531,38 @@ where
             self.parked.push((from, bytes));
             return;
         }
-        let Ok(wire) = decode_wire::<A::Msg>(bytes::Bytes::from(bytes)) else {
+        let decoded = match bytes.first() {
+            Some(&b) if is_app_delta_frame(b) => match &self.rx_floors[from.index()] {
+                Some(floor) => decode_app_delta::<A::Msg>(bytes::Bytes::from(bytes), floor),
+                // No floor on this channel yet (we restarted, or the
+                // peer's first frames raced): detected loss, repaired by
+                // retransmission like any other dropped frame.
+                None => {
+                    self.frames_corrupt += 1;
+                    self.last_corrupt_reason = Some("delta frame without floor");
+                    return;
+                }
+            },
+            _ => decode_wire::<A::Msg>(bytes::Bytes::from(bytes)),
+        };
+        let Ok(wire) = decoded else {
             self.frames_corrupt += 1;
             self.last_corrupt_reason = Some("wire decode failed");
             return; // corrupt frame: treat as message loss
         };
-        if !matches!(wire, Wire::Frontier(..) | Wire::StableClock(..)) {
+        // Every accepted App frame — full or delta — advances this
+        // channel's receive floor to its (reconstructed) clock, in
+        // lockstep with the sender's `tx_floors` update at encode time.
+        if let Wire::App(env) = &wire {
+            match &mut self.rx_floors[from.index()] {
+                Some(f) => f.clone_from(&env.clock),
+                slot => *slot = Some(env.clock.clone()),
+            }
+        }
+        if !matches!(
+            wire,
+            Wire::Frontier(..) | Wire::FrontierVec(_) | Wire::StableClock(..)
+        ) {
             self.activity += 1;
         }
         let now = now_us(&self.start);
@@ -577,12 +627,20 @@ where
             .filter(|e| matches!(e, Effect::Send { .. } | Effect::Broadcast { .. }))
             .count();
         let coalesce = wire_effects > 1;
+        let dropped_before = self.mesh.frames_dropped;
         for effect in sink.drain() {
             match effect {
                 Effect::Send { to, wire, .. } => {
-                    self.activity += 1;
-                    self.wire_scratch.clear();
-                    encode_wire_into(&wire, &mut self.wire_scratch);
+                    // Tree gossip arrives as unicast sends; like the
+                    // broadcast form below it must not count as activity
+                    // or quiescence never comes.
+                    if !matches!(
+                        wire,
+                        Wire::Frontier(..) | Wire::FrontierVec(_) | Wire::StableClock(..)
+                    ) {
+                        self.activity += 1;
+                    }
+                    self.encode_unicast(to, &wire);
                     if coalesce {
                         self.mesh.queue(to, self.wire_scratch.as_slice());
                     } else {
@@ -593,7 +651,10 @@ where
                     // Frontier and stable-clock gossip are periodic
                     // background traffic; they must not count as activity
                     // or quiescence never comes.
-                    if !matches!(wire, Wire::Frontier(..) | Wire::StableClock(..)) {
+                    if !matches!(
+                        wire,
+                        Wire::Frontier(..) | Wire::FrontierVec(_) | Wire::StableClock(..)
+                    ) {
                         self.activity += 1;
                     }
                     self.wire_scratch.clear();
@@ -635,6 +696,46 @@ where
         if coalesce {
             self.mesh.flush();
         }
+        // Any frame that failed to reach the wire may have been a delta
+        // floor update the peer never saw: drop all transmit floors so
+        // the next App frame per channel travels full. Write errors are
+        // rare (reconnect already retried once), so the reset is cheap
+        // insurance, and the digest check would catch a desync anyway.
+        if self.mesh.frames_dropped > dropped_before {
+            for f in &mut self.tx_floors {
+                *f = None;
+            }
+        }
+    }
+
+    /// Encode one unicast wire message into `wire_scratch`. App frames
+    /// go out as v3 delta frames against this channel's floor when delta
+    /// framing is on and the channel has one (with a periodic full frame
+    /// to bound desync); everything else uses the full encoding.
+    fn encode_unicast(&mut self, to: ProcessId, wire: &Wire<A::Msg>) {
+        self.wire_scratch.clear();
+        if self.delta_frames {
+            if let Wire::App(env) = wire {
+                let i = to.index();
+                match &mut self.tx_floors[i] {
+                    Some(floor) if self.tx_full_in[i] > 0 => {
+                        encode_app_delta(env, floor, &mut self.wire_scratch);
+                        self.tx_full_in[i] -= 1;
+                        floor.clone_from(&env.clock);
+                    }
+                    slot => {
+                        encode_wire_into(wire, &mut self.wire_scratch);
+                        self.tx_full_in[i] = FULL_FRAME_EVERY;
+                        match slot {
+                            Some(f) => f.clone_from(&env.clock),
+                            None => *slot = Some(env.clock.clone()),
+                        }
+                    }
+                }
+                return;
+            }
+        }
+        encode_wire_into(wire, &mut self.wire_scratch);
     }
 
     fn status(&self) -> NodeStatus {
@@ -939,6 +1040,10 @@ where
                     frames_corrupt: 0,
                     last_corrupt_reason: None,
                     has_gossip: config.gossip_interval.is_some(),
+                    tx_floors: vec![None; n],
+                    rx_floors: vec![None; n],
+                    tx_full_in: vec![0; n],
+                    delta_frames: config.delta_stamps,
                     commit_tx: opts.commits.clone(),
                     sink: EffectSink::new(),
                     wire_scratch: BytesMut::new(),
