@@ -266,9 +266,12 @@ pub enum SvcMsg {
 ///   the state that produced it is provably stable, so an acknowledged
 ///   write can never be rolled back and a rolled-back read can never
 ///   have been seen.
-/// * A per-client session table remembers the last `(req, reply)` pair;
-///   a retried request re-emits the remembered reply without reapplying
-///   the write — client retries are idempotent (exactly-once apply).
+/// * A per-client session table remembers a bounded window of completed
+///   `(req, reply)` pairs (see [`SESSION_WINDOW`]); a retried request
+///   still in the window re-emits the remembered reply without
+///   reapplying the write — client retries are idempotent (exactly-once
+///   apply) even when the client keeps many requests in flight and they
+///   complete out of order.
 /// * Writes replicate to every peer with a totally ordered
 ///   `(seq, origin)` version; deletes are tombstones, so replication is
 ///   order-independent and duplicate-tolerant.
@@ -277,8 +280,15 @@ pub struct KvService {
     /// key → (live value or tombstone, version). LWW by `(seq, origin)`.
     map: BTreeMap<u16, (Option<u64>, (u64, u16))>,
     next_seq: u64,
-    /// client → (last completed request, its reply).
-    sessions: BTreeMap<u64, (u64, SvcReply)>,
+    /// client → window of completed requests (pipelining-safe dedup).
+    sessions: BTreeMap<u64, Session>,
+    /// key → `(client, req)` of the newest session write applied here.
+    /// Pipelined sessions can deliver writes out of request order (a
+    /// retry can be overtaken by a later write); session order must
+    /// still win, so a write older than the key's stamp from the same
+    /// client is acknowledged as applied but mutates nothing — its
+    /// effect is, by session order, already superseded.
+    stamps: BTreeMap<u16, (u64, u64)>,
     /// (client, req) → times the write was applied. The service oracle
     /// asserts every entry is exactly 1 — duplicates here are the
     /// "duplicate side effect" the contract forbids. Rollbacks rewind
@@ -286,6 +296,27 @@ pub struct KvService {
     /// rolled-back apply never happened.
     applied: BTreeMap<(u64, u64), u32>,
 }
+
+/// Completed requests the store remembers per client: retained replies
+/// for re-emission on retry, at most [`SESSION_WINDOW`] of them. A
+/// client that pipelines at most `SESSION_WINDOW / 2` requests can
+/// never see a still-retriable request evicted: eviction requires
+/// `SESSION_WINDOW` *later* completions, which the client only issues
+/// after observing earlier answers.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+struct Session {
+    /// Completed request id → remembered reply (bounded window).
+    completed: BTreeMap<u64, SvcReply>,
+    /// Smallest request id not yet evicted from the window: everything
+    /// below was completed, answered, and forgotten — a duplicate below
+    /// the floor is discarded silently (answering it again could only
+    /// contradict response determinism, since the reply is gone).
+    floor: u64,
+}
+
+/// Completed `(req, reply)` pairs remembered per client session —
+/// 2× the largest client pipeline window the service supports (64).
+pub const SESSION_WINDOW: usize = 128;
 
 impl Default for KvService {
     fn default() -> KvService {
@@ -300,6 +331,7 @@ impl KvService {
             map: BTreeMap::new(),
             next_seq: 0,
             sessions: BTreeMap::new(),
+            stamps: BTreeMap::new(),
             applied: BTreeMap::new(),
         }
     }
@@ -353,15 +385,23 @@ impl KvService {
             mix(seq);
             mix(u64::from(origin));
         }
-        for (&c, &(req, reply)) in &self.sessions {
-            mix(c);
+        for (&k, &(client, req)) in &self.stamps {
+            mix(u64::from(k));
+            mix(client);
             mix(req);
-            mix(match reply {
-                SvcReply::Written => 1,
-                SvcReply::Value(v) => 2u64.wrapping_add(v << 2),
-                SvcReply::NotFound => 3,
-                SvcReply::Stale => 4,
-            });
+        }
+        for (&c, session) in &self.sessions {
+            mix(c);
+            mix(session.floor);
+            for (&req, &reply) in &session.completed {
+                mix(req);
+                mix(match reply {
+                    SvcReply::Written => 1,
+                    SvcReply::Value(v) => 2u64.wrapping_add(v << 2),
+                    SvcReply::NotFound => 3,
+                    SvcReply::Stale => 4,
+                });
+            }
         }
         h
     }
@@ -372,34 +412,62 @@ impl KvService {
             req: r.req,
             reply,
         };
-        match self.sessions.get(&r.client) {
-            // Retry of the completed request: re-emit the remembered
-            // reply, touch nothing. The response output gets a fresh
-            // output id, so a client may see the same answer twice —
-            // but the *side effect* happened exactly once.
-            Some(&(last, reply)) if last == r.req => return Effects::output(respond(reply)),
-            // A request number from the past is a late duplicate: the
-            // client only advances after seeing the ack, so it has the
-            // answer already. Discard silently — answering (even with an
-            // error) would make the service answer one request two
-            // different ways when a parked duplicate surfaces after a
-            // recovery, and the response-determinism contract forbids
-            // exactly that.
-            Some(&(last, _)) if last > r.req => return Effects::none(),
-            _ => {}
+        if let Some(session) = self.sessions.get(&r.client) {
+            // Retry of a completed request still in the window: re-emit
+            // the remembered reply, touch nothing. The response output
+            // gets a fresh output id, so a client may see the same
+            // answer twice — but the *side effect* happened exactly
+            // once.
+            if let Some(&reply) = session.completed.get(&r.req) {
+                return Effects::output(respond(reply));
+            }
+            // A request id below the eviction floor is a late duplicate
+            // of something completed and forgotten: the reply it got is
+            // gone, and answering afresh (even with an error) would make
+            // the service answer one request two different ways when a
+            // parked duplicate surfaces after a recovery — the
+            // response-determinism contract forbids exactly that.
+            // Discard silently.
+            if r.req < session.floor {
+                return Effects::none();
+            }
         }
         let (reply, mut effects) = match r.op {
             SvcOp::Get { key } => (
                 self.get(key).map_or(SvcReply::NotFound, SvcReply::Value),
                 Effects::none(),
             ),
-            SvcOp::Put { key, value } => (SvcReply::Written, self.write(me, key, Some(value), n)),
-            SvcOp::Del { key } => (SvcReply::Written, self.write(me, key, None, n)),
+            SvcOp::Put { key, .. } | SvcOp::Del { key }
+                if self
+                    .stamps
+                    .get(&key)
+                    .is_some_and(|&(c, q)| c == r.client && q > r.req) =>
+            {
+                // Overtaken by a later write from the same session: the
+                // key's session-ordered final value is already in place,
+                // so this apply is a deliberate no-op (still remembered
+                // and acknowledged exactly once).
+                (SvcReply::Written, Effects::none())
+            }
+            SvcOp::Put { key, value } => {
+                self.stamps.insert(key, (r.client, r.req));
+                (SvcReply::Written, self.write(me, key, Some(value), n))
+            }
+            SvcOp::Del { key } => {
+                self.stamps.insert(key, (r.client, r.req));
+                (SvcReply::Written, self.write(me, key, None, n))
+            }
         };
         if r.op.is_write() {
             *self.applied.entry((r.client, r.req)).or_insert(0) += 1;
         }
-        self.sessions.insert(r.client, (r.req, reply));
+        let session = self.sessions.entry(r.client).or_default();
+        session.completed.insert(r.req, reply);
+        if session.completed.len() > SESSION_WINDOW {
+            if let Some((evicted, _)) = session.completed.pop_first() {
+                session.floor = session.floor.max(evicted + 1);
+            }
+        }
         effects.outputs.push(respond(reply));
         effects
     }
@@ -699,12 +767,84 @@ mod tests {
         assert_eq!(reply_of(&del), SvcReply::Written);
         let miss = svc.on_message(me, me, &request(4, 4, SvcOp::Get { key: 8 }), 2);
         assert_eq!(reply_of(&miss), SvcReply::NotFound);
-        // A request number from the past is a late duplicate (the client
-        // advanced, so it already saw the answer): discarded without a
-        // response, so the service never answers one request two ways.
-        let stale = svc.on_message(me, me, &request(4, 2, SvcOp::Get { key: 8 }), 2);
-        assert!(stale.outputs.is_empty(), "late duplicate must be silent");
-        assert!(stale.sends.is_empty());
+        // A duplicate of a request still in the session window re-emits
+        // the *remembered* reply — not a fresh read of the (by now
+        // deleted) key — so the service never answers one request two
+        // different ways.
+        let dup = svc.on_message(me, me, &request(4, 2, SvcOp::Get { key: 8 }), 2);
+        assert_eq!(reply_of(&dup), SvcReply::Value(5));
+        assert!(dup.sends.is_empty());
+    }
+
+    #[test]
+    fn service_pipelined_out_of_order_requests_all_complete() {
+        // A pipelined client's requests may reach the owner out of
+        // order; each must be applied once and remembered for retry.
+        let mut svc = KvService::new();
+        let me = ProcessId(0);
+        for req in [3u64, 1, 4, 2] {
+            let key = req as u16;
+            let eff = svc.on_message(me, me, &request(9, req, SvcOp::Put { key, value: req }), 2);
+            assert_eq!(reply_of(&eff), SvcReply::Written);
+        }
+        for req in [1u64, 2, 3, 4] {
+            assert_eq!(svc.applied_count(9, req), 1);
+            let retry = svc.on_message(
+                me,
+                me,
+                &request(
+                    9,
+                    req,
+                    SvcOp::Put {
+                        key: req as u16,
+                        value: req,
+                    },
+                ),
+                2,
+            );
+            assert_eq!(reply_of(&retry), SvcReply::Written);
+            assert!(retry.sends.is_empty(), "retry must not re-replicate");
+            assert_eq!(svc.applied_count(9, req), 1, "exactly-once across retries");
+        }
+    }
+
+    #[test]
+    fn service_overtaken_write_applies_as_a_noop() {
+        // A retried write can be overtaken by a later write from the
+        // same session to the same key. Session order must win: the
+        // old write is acked (exactly once) but the value stays.
+        let mut svc = KvService::new();
+        let me = ProcessId(0);
+        let newer = svc.on_message(me, me, &request(7, 6, SvcOp::Put { key: 3, value: 2 }), 2);
+        assert_eq!(reply_of(&newer), SvcReply::Written);
+        let overtaken = svc.on_message(me, me, &request(7, 5, SvcOp::Put { key: 3, value: 1 }), 2);
+        assert_eq!(reply_of(&overtaken), SvcReply::Written);
+        assert!(overtaken.sends.is_empty(), "no-op must not replicate");
+        assert_eq!(svc.get(3), Some(2), "session order must win");
+        assert_eq!(svc.applied_count(7, 5), 1);
+        assert_eq!(svc.applied_count(7, 6), 1);
+        // A different key from the same session is unaffected.
+        let other = svc.on_message(me, me, &request(7, 4, SvcOp::Put { key: 9, value: 4 }), 2);
+        assert_eq!(reply_of(&other), SvcReply::Written);
+        assert_eq!(svc.get(9), Some(4));
+    }
+
+    #[test]
+    fn service_session_window_evicts_and_floor_discards() {
+        let mut svc = KvService::new();
+        let me = ProcessId(0);
+        // Complete SESSION_WINDOW + 1 requests: req 1 falls off the
+        // window.
+        for req in 1..=(SESSION_WINDOW as u64 + 1) {
+            svc.on_message(me, me, &request(2, req, SvcOp::Get { key: 0 }), 2);
+        }
+        // A duplicate below the floor is discarded silently — its reply
+        // is forgotten and answering afresh could contradict it.
+        let below = svc.on_message(me, me, &request(2, 1, SvcOp::Get { key: 0 }), 2);
+        assert!(below.outputs.is_empty(), "evicted duplicate must be silent");
+        // A duplicate still in the window re-emits.
+        let kept = svc.on_message(me, me, &request(2, 2, SvcOp::Get { key: 0 }), 2);
+        assert_eq!(reply_of(&kept), SvcReply::NotFound);
     }
 
     #[test]

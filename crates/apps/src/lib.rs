@@ -30,7 +30,7 @@ mod ring;
 pub use bank::{Bank, BankMsg};
 pub use chatter::{ChatMsg, MeshChatter};
 pub use gossip::{Gossip, GossipMsg, SCALE};
-pub use kvstore::{KvMsg, KvService, KvStore, SvcMsg, SvcOp, SvcReply, SvcRequest};
+pub use kvstore::{KvMsg, KvService, KvStore, SvcMsg, SvcOp, SvcReply, SvcRequest, SESSION_WINDOW};
 pub use pipeline::{Pipeline, PipelineMsg, PipelineRole};
 pub use relay::Relay;
 pub use ring::RingCounter;

@@ -3,7 +3,7 @@
 //! ```text
 //! experiments [all|table1|rollbacks|piggyback|asynchrony|concurrent|
 //!              ordering|overhead|optimism|domino|maxstate|commit|gc|lossy|
-//!              engine|hotpath|scaling|service|storage]
+//!              engine|hotpath|scaling|service|load|storage]
 //!             [--quick]
 //! ```
 //!
@@ -179,6 +179,17 @@ fn main() {
         show(&t);
         std::fs::write("BENCH_service.json", json).expect("write BENCH_service.json");
         println!("wrote BENCH_service.json");
+        println!();
+        violations += v;
+    }
+    if run("load") {
+        println!(
+            "== E18: the front door at scale — open-loop load vs the closed-loop baseline ==\n"
+        );
+        let (t, json, v) = load(quick);
+        show(&t);
+        std::fs::write("BENCH_load.json", json).expect("write BENCH_load.json");
+        println!("wrote BENCH_load.json");
         println!();
         violations += v;
     }

@@ -94,6 +94,15 @@ pub struct DgConfig {
     pub tree_dissemination: bool,
     /// Fanout `k` of the dissemination trees (children per node).
     pub tree_fanout: u16,
+    /// Group output-commit stability sweeps: a frontier advance only
+    /// marks the pending-output buffer dirty, and the O(pending · n)
+    /// stability scan runs once per flush/gossip tick instead of once
+    /// per received frontier frame. Under broadcast gossip each round
+    /// delivers n−1 advancing frontiers, so grouping cuts the sweep
+    /// cost by that factor at the price of at most one flush interval
+    /// of added commit latency. Off in the base configuration — the
+    /// serving runtime (`dg-service`) turns it on.
+    pub grouped_commit: bool,
 }
 
 impl DgConfig {
@@ -118,6 +127,7 @@ impl DgConfig {
             delta_stamps: true,
             tree_dissemination: true,
             tree_fanout: 4,
+            grouped_commit: false,
         }
     }
 
@@ -263,6 +273,14 @@ impl DgConfig {
         self
     }
 
+    /// Builder-style grouped-commit toggle (defer output-commit
+    /// stability sweeps to flush/gossip ticks).
+    #[must_use]
+    pub fn with_grouped_commit(mut self, on: bool) -> DgConfig {
+        self.grouped_commit = on;
+        self
+    }
+
     /// Builder-style retransmission cap: give up on a pending token
     /// after `limit` retry rounds.
     ///
@@ -376,6 +394,12 @@ mod tests {
         assert!(!off.delta_stamps);
         assert!(!off.tree_dissemination);
         assert_eq!(DgConfig::base().with_tree_fanout(2).tree_fanout, 2);
+    }
+
+    #[test]
+    fn grouped_commit_defaults_off() {
+        assert!(!DgConfig::base().grouped_commit);
+        assert!(DgConfig::base().with_grouped_commit(true).grouped_commit);
     }
 
     #[test]

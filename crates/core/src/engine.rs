@@ -653,6 +653,16 @@ pub struct Engine<A: Application> {
     /// plus the rotating fallback peer); capacity retained.
     gossip_peers: Vec<ProcessId>,
 
+    /// Reused release buffer for the output-commit sweep: newly
+    /// committed values land here and are handed off to the `Commit`
+    /// effect in one exact-size move, so an empty sweep allocates
+    /// nothing and a releasing sweep costs one allocation per *batch*,
+    /// not per output.
+    commit_scratch: Vec<A::Msg>,
+    /// With [`DgConfig::grouped_commit`]: a frontier advance happened
+    /// since the last stability sweep. The sweep itself is deferred to
+    /// the next flush/gossip tick.
+    commit_dirty: bool,
     /// Effects accumulated during the current `handle` call; always
     /// drained before `handle` returns.
     effects: Vec<Effect<Wire<A::Msg>, A::Msg>>,
@@ -708,6 +718,8 @@ impl<A: Application> Engine<A> {
             stamp_mask: vec![0; n.div_ceil(64)],
             gossip_ticks: 0,
             gossip_peers: Vec::new(),
+            commit_scratch: Vec::new(),
+            commit_dirty: false,
             effects: Vec::new(),
             postponed_scratch: Vec::new(),
             app_effects: Effects::none(),
@@ -1653,12 +1665,18 @@ impl<A: Application> Engine<A> {
     /// prove stable, then (optionally) garbage-collect.
     fn commit_and_gc(&mut self) {
         self.frontiers[self.me.index()] = self.my_stable_entry;
-        let released = self.outputs.try_commit(&self.frontiers, &self.history);
-        if !released.is_empty() {
-            self.stats.outputs_committed += released.len() as u64;
-            // Committing is an external, stable action.
+        self.commit_dirty = false;
+        debug_assert!(self.commit_scratch.is_empty());
+        let released =
+            self.outputs
+                .try_commit_into(&self.frontiers, &self.history, &mut self.commit_scratch);
+        if released > 0 {
+            self.stats.outputs_committed += released as u64;
+            // Committing is an external, stable action. `split_off(0)`
+            // moves the batch into an exact-size vector and leaves the
+            // scratch buffer's capacity behind for the next sweep.
             self.effects.push(Effect::Commit {
-                outputs: released,
+                outputs: self.commit_scratch.split_off(0),
                 cost_us: self.config.costs.sync_write,
             });
         }
@@ -1678,7 +1696,11 @@ impl<A: Application> Engine<A> {
             return;
         }
         *current = entry;
-        self.commit_and_gc();
+        if self.config.grouped_commit {
+            self.commit_dirty = true;
+        } else {
+            self.commit_and_gc();
+        }
     }
 
     /// A peer sent its merged frontier vector (tree gossip). Every
@@ -1702,7 +1724,11 @@ impl<A: Application> Engine<A> {
             }
         }
         if advanced {
-            self.commit_and_gc();
+            if self.config.grouped_commit {
+                self.commit_dirty = true;
+            } else {
+                self.commit_and_gc();
+            }
         }
     }
 
@@ -2012,6 +2038,12 @@ impl<A: Application> Engine<A> {
                 if self.config.retransmit_lost {
                     self.prune_send_log();
                 }
+                // Grouped commit: the flush tick is the other half of the
+                // deferred sweep cadence, so commit latency is bounded by
+                // min(flush, gossip) interval rather than gossip alone.
+                if self.config.grouped_commit && self.commit_dirty {
+                    self.commit_and_gc();
+                }
                 self.eff_timer(self.config.flush_interval, TIMER_FLUSH, true);
             }
             TIMER_GOSSIP => {
@@ -2042,7 +2074,7 @@ impl<A: Application> Engine<A> {
                 // already prove stable and reclaim storage + history
                 // records (bounds the history tables in long real-time
                 // runs — see the gc regression tests).
-                if self.config.history_gc {
+                if self.config.history_gc || (self.config.grouped_commit && self.commit_dirty) {
                     self.commit_and_gc();
                 }
                 if let Some(gossip) = self.config.gossip_interval {

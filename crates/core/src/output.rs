@@ -9,7 +9,7 @@
 //! version's token (a recovered state is rebuilt from stable storage and
 //! can never be lost again).
 
-use std::collections::BTreeSet;
+use std::collections::HashSet;
 
 use dg_ftvc::{Entry, Ftvc, ProcessId};
 use serde::{Deserialize, Serialize};
@@ -66,7 +66,12 @@ pub(crate) fn entry_is_stable(
 pub struct OutputBuffer<M> {
     pending: Vec<PendingOutput<M>>,
     committed: Vec<(OutputId, M)>,
-    committed_ids: BTreeSet<OutputId>,
+    committed_ids: HashSet<OutputId>,
+    /// Reused survivor buffer for [`OutputBuffer::try_commit_into`]:
+    /// still-unstable outputs are drained into it and swapped back, so
+    /// the steady-state sweep allocates nothing once both vectors have
+    /// grown to the high-water mark.
+    scratch: Vec<PendingOutput<M>>,
 }
 
 impl<M: Clone> Default for OutputBuffer<M> {
@@ -81,7 +86,8 @@ impl<M: Clone> OutputBuffer<M> {
         OutputBuffer {
             pending: Vec::new(),
             committed: Vec::new(),
-            committed_ids: BTreeSet::new(),
+            committed_ids: HashSet::new(),
+            scratch: Vec::new(),
         }
     }
 
@@ -104,7 +110,26 @@ impl<M: Clone> OutputBuffer<M> {
     /// newly committed values in order.
     pub fn try_commit(&mut self, frontiers: &[Entry], history: &History) -> Vec<M> {
         let mut released = Vec::new();
-        let mut remaining = Vec::with_capacity(self.pending.len());
+        self.try_commit_into(frontiers, history, &mut released);
+        released
+    }
+
+    /// Batched release: like [`OutputBuffer::try_commit`], but appends
+    /// the newly committed values (in order) to a caller-owned buffer
+    /// and returns how many were released. With a reused `released`
+    /// buffer the steady-state sweep is allocation-free: survivors move
+    /// through the internal scratch vector (capacity retained across
+    /// calls), the id set and commit log only grow amortized, and the
+    /// values themselves are cloned into caller storage that has already
+    /// reached its high-water capacity.
+    pub fn try_commit_into(
+        &mut self,
+        frontiers: &[Entry],
+        history: &History,
+        released: &mut Vec<M>,
+    ) -> usize {
+        let before = released.len();
+        debug_assert!(self.scratch.is_empty());
         for p in self.pending.drain(..) {
             let stable = p
                 .clock
@@ -115,11 +140,11 @@ impl<M: Clone> OutputBuffer<M> {
                 released.push(p.value.clone());
                 self.committed.push((p.id, p.value));
             } else {
-                remaining.push(p);
+                self.scratch.push(p);
             }
         }
-        self.pending = remaining;
-        released
+        std::mem::swap(&mut self.pending, &mut self.scratch);
+        released.len() - before
     }
 
     /// Crash: pending outputs are volatile and vanish; committed outputs
@@ -236,6 +261,27 @@ mod tests {
         assert!(buf.emit(id(0, 2, 0), 7u32, clock(&[(0, 2)])));
         assert!(!buf.emit(id(0, 2, 0), 7u32, clock(&[(0, 2)])));
         assert_eq!(buf.pending_len(), 1);
+    }
+
+    #[test]
+    fn batched_release_appends_and_keeps_survivors() {
+        let history = History::new(ProcessId(0), 2);
+        let mut buf = OutputBuffer::new();
+        buf.emit(id(0, 1, 0), "early", clock(&[(0, 1), (0, 2)]));
+        buf.emit(id(0, 2, 0), "late", clock(&[(0, 2), (0, 9)]));
+        let mut released = vec!["prior"];
+        // Only the first output's dependencies are stable.
+        let frontiers = [Entry::new(0, 5), Entry::new(0, 5)];
+        assert_eq!(buf.try_commit_into(&frontiers, &history, &mut released), 1);
+        assert_eq!(released, vec!["prior", "early"]);
+        assert_eq!(buf.pending_len(), 1);
+        // The survivor commits once the frontier catches up; the buffer
+        // keeps accumulating in order.
+        let frontiers = [Entry::new(0, 9), Entry::new(0, 9)];
+        assert_eq!(buf.try_commit_into(&frontiers, &history, &mut released), 1);
+        assert_eq!(released, vec!["prior", "early", "late"]);
+        assert_eq!(buf.pending_len(), 0);
+        assert_eq!(buf.committed_len(), 2);
     }
 
     #[test]

@@ -181,3 +181,61 @@ fn steady_state_delivery_allocates_nothing_n64() {
 fn steady_state_delivery_allocates_nothing_n128() {
     assert_steady_state_allocation_free(128);
 }
+
+/// The batched release path (`OutputBuffer::try_commit_into`, the
+/// service front door's per-response hot path) must stay allocation-free
+/// per request in steady state: stability checks are pure reads, the
+/// released values append into the caller's reused buffer, and the
+/// survivor scratch swaps with `pending` so neither side reallocates
+/// once both have seen a full batch. Only amortized growth (the
+/// committed log, the dedup set) remains, so the minimum over batches
+/// is exactly zero.
+fn assert_batched_release_allocation_free(n: usize) {
+    use dg_core::{Entry, Ftvc, History, OutputBuffer, OutputId};
+
+    let history = History::new(ProcessId(0), n);
+    let mut buf: OutputBuffer<u64> = OutputBuffer::new();
+    let frontiers: Vec<Entry> = (0..n).map(|_| Entry::new(0, u64::MAX)).collect();
+    let deps: Vec<(u32, u64)> = (0..n as u32).map(|p| (0, u64::from(p) + 1)).collect();
+    let mut released: Vec<u64> = Vec::new();
+
+    const BATCHES: usize = 64;
+    const PER_BATCH: usize = 256;
+    let mut ts = 1u64;
+    let mut min_allocs = u64::MAX;
+    // Two warm-up batches reach steady capacity on both sides of the
+    // pending/scratch swap, then measure.
+    for batch in 0..BATCHES + 2 {
+        let before = ALLOCS.load(Ordering::Relaxed);
+        released.clear();
+        for i in 0..PER_BATCH {
+            let id = OutputId {
+                entry: Entry::new(0, ts),
+                index: i as u32,
+            };
+            buf.emit(id, ts, Ftvc::from_parts(ProcessId(0), &deps));
+            ts += 1;
+        }
+        let freed = buf.try_commit_into(&frontiers, &history, &mut released);
+        assert_eq!(freed, PER_BATCH, "every emitted output must release");
+        let allocs = ALLOCS.load(Ordering::Relaxed) - before;
+        if batch >= 2 {
+            min_allocs = min_allocs.min(allocs);
+        }
+    }
+    assert_eq!(
+        min_allocs, 0,
+        "batched release allocates at n = {n}: at least {min_allocs} \
+         allocations in every emit+release cycle of {PER_BATCH} outputs"
+    );
+}
+
+#[test]
+fn batched_release_allocates_nothing_n4() {
+    assert_batched_release_allocation_free(4);
+}
+
+#[test]
+fn batched_release_allocates_nothing_n8() {
+    assert_batched_release_allocation_free(8);
+}

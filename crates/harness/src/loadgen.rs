@@ -1,0 +1,388 @@
+//! Open-loop, heavy-tailed load schedules for the served store.
+//!
+//! A closed loop (each client waits for its answer before sending the
+//! next request) measures the *service's* pace, not the *offered*
+//! load's — under overload it politely slows down and hides the
+//! queueing behaviour entirely. The load engine here is **open-loop**:
+//! arrivals follow a seeded heavy-tailed schedule that does not care
+//! whether earlier requests were answered, which is what real front
+//! doors face and what makes shed/latency curves honest. The classic
+//! closed loop remains available for baseline comparisons.
+//!
+//! Everything is deterministic from the seed. Interarrival gaps and
+//! burst sizes are LogNormal — hand-rolled over Box–Muller because the
+//! workspace deliberately carries no statistics dependency — giving the
+//! long right tail (quiet stretches punctuated by pile-ups) that
+//! exponential traffic models miss. On top of the per-arrival noise, a
+//! [`RateProfile`] shapes the minute-scale envelope: flat, square-wave
+//! bursts, or a sinusoidal diurnal swing.
+//!
+//! Sessions follow the single-writer discipline the service oracle
+//! audits: session `s` may write only key `s` (sessions beyond the key
+//! space are read-only), so "millions of logical sessions" and "the
+//! oracle can attribute every value" coexist.
+
+use std::f64::consts::PI;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// How arrivals pace themselves.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LoadMode {
+    /// Open loop: arrivals at `ops_per_sec` on average, independent of
+    /// responses. Arrival timestamps are meaningful.
+    Open {
+        /// Mean offered load, requests per second (pre-profile).
+        ops_per_sec: f64,
+    },
+    /// Closed loop: keep `concurrency` requests in flight, each next
+    /// request gated on an answer. Arrival timestamps are all zero; the
+    /// driver supplies the pacing.
+    Closed {
+        /// In-flight requests to maintain.
+        concurrency: usize,
+    },
+}
+
+/// Deterministic rate envelope multiplying the open-loop base rate at
+/// each instant.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RateProfile {
+    /// Constant rate.
+    Flat,
+    /// Square-wave bursts: for the first `duty` fraction of every
+    /// period the rate is multiplied by `boost`, then back to 1×.
+    Bursts {
+        /// Burst cycle length, microseconds.
+        period_us: u64,
+        /// Fraction of the period spent bursting, in `(0, 1)`.
+        duty: f64,
+        /// Rate multiplier while bursting.
+        boost: f64,
+    },
+    /// Sinusoidal swing: rate multiplied by `1 + swing·sin(2πt/period)`
+    /// — a sped-up day/night cycle.
+    Diurnal {
+        /// Cycle length, microseconds.
+        period_us: u64,
+        /// Peak-to-mean amplitude, in `[0, 1)`.
+        swing: f64,
+    },
+}
+
+impl RateProfile {
+    /// The rate multiplier at absolute time `t_us`.
+    fn multiplier(self, t_us: u64) -> f64 {
+        match self {
+            RateProfile::Flat => 1.0,
+            RateProfile::Bursts {
+                period_us,
+                duty,
+                boost,
+            } => {
+                let phase = (t_us % period_us.max(1)) as f64 / period_us.max(1) as f64;
+                if phase < duty {
+                    boost
+                } else {
+                    1.0
+                }
+            }
+            RateProfile::Diurnal { period_us, swing } => {
+                let phase = (t_us % period_us.max(1)) as f64 / period_us.max(1) as f64;
+                1.0 + swing * (2.0 * PI * phase).sin()
+            }
+        }
+    }
+}
+
+/// A complete load description; everything downstream (schedule,
+/// session→key mapping) is a pure function of this and the seed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LoadConfig {
+    /// Seed for all sampling.
+    pub seed: u64,
+    /// Logical client sessions. Only the first `key_space` of them may
+    /// write; the rest are read-only.
+    pub sessions: u64,
+    /// Total requests to schedule.
+    pub total_ops: u64,
+    /// Pacing discipline.
+    pub mode: LoadMode,
+    /// LogNormal shape of interarrival gaps (0 = deterministic pacing;
+    /// ~1.5 = heavy tail). Open mode only.
+    pub sigma: f64,
+    /// Mean arrival-burst size (requests landing together); 1 disables
+    /// bursting.
+    pub burst_mean: f64,
+    /// LogNormal shape of burst sizes.
+    pub burst_sigma: f64,
+    /// Fraction of a writer session's requests that are writes.
+    pub write_fraction: f64,
+    /// Key space; also the number of writer sessions.
+    pub key_space: u16,
+    /// Rate envelope (open mode only).
+    pub profile: RateProfile,
+}
+
+impl LoadConfig {
+    /// A sane open-loop starting point: heavy-tailed arrivals, flat
+    /// envelope, 10% writes.
+    pub fn open(seed: u64, sessions: u64, total_ops: u64, ops_per_sec: f64) -> LoadConfig {
+        LoadConfig {
+            seed,
+            sessions: sessions.max(1),
+            total_ops,
+            mode: LoadMode::Open { ops_per_sec },
+            sigma: 1.5,
+            burst_mean: 4.0,
+            burst_sigma: 1.0,
+            write_fraction: 0.1,
+            key_space: 256,
+            profile: RateProfile::Flat,
+        }
+    }
+
+    /// A closed-loop config: `concurrency` in flight, no timestamps.
+    pub fn closed(seed: u64, sessions: u64, total_ops: u64, concurrency: usize) -> LoadConfig {
+        LoadConfig {
+            seed,
+            sessions: sessions.max(1),
+            total_ops,
+            mode: LoadMode::Closed { concurrency },
+            sigma: 0.0,
+            burst_mean: 1.0,
+            burst_sigma: 0.0,
+            write_fraction: 0.1,
+            key_space: 256,
+            profile: RateProfile::Flat,
+        }
+    }
+}
+
+/// What one scheduled request does. Values are assigned by the driver
+/// (monotone per session), so the schedule stays value-free.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoadOp {
+    /// Write the session's own key (single-writer discipline).
+    Write {
+        /// The key — always the issuing session's id.
+        key: u16,
+        /// `true` for a delete (tombstone) instead of a put.
+        delete: bool,
+    },
+    /// Read an arbitrary key.
+    Read {
+        /// The key to read.
+        key: u16,
+    },
+}
+
+/// One scheduled request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Arrival {
+    /// Offset from run start, microseconds. Zero in closed mode.
+    pub at_us: u64,
+    /// Issuing logical session.
+    pub session: u64,
+    /// The operation.
+    pub op: LoadOp,
+}
+
+/// A seeded LogNormal sampler (Box–Muller under the hood), parameterised
+/// by its *mean* — `mu` is derived so `E[X] = mean` for the given shape.
+#[derive(Debug, Clone, Copy)]
+struct LogNormal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl LogNormal {
+    fn with_mean(mean: f64, sigma: f64) -> LogNormal {
+        LogNormal {
+            mu: mean.max(f64::MIN_POSITIVE).ln() - sigma * sigma / 2.0,
+            sigma,
+        }
+    }
+
+    fn sample(&self, rng: &mut StdRng) -> f64 {
+        let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let u2: f64 = rng.gen();
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * PI * u2).cos();
+        (self.mu + self.sigma * z).exp()
+    }
+}
+
+/// Generate the full arrival schedule for `cfg`, sorted by timestamp.
+///
+/// Open mode: arrival *events* follow LogNormal gaps whose mean keeps
+/// the long-run request rate at `ops_per_sec` after accounting for the
+/// mean burst size; each event lands a LogNormal-sized burst of
+/// requests from distinct sessions at the same instant. The
+/// [`RateProfile`] compresses or stretches gaps locally.
+///
+/// Closed mode: timestamps are zero and the driver paces by completion.
+pub fn schedule(cfg: &LoadConfig) -> Vec<Arrival> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xD1B5_4A32_D192_ED03);
+    let mut out = Vec::with_capacity(usize::try_from(cfg.total_ops).unwrap_or(0));
+    let mut session_cursor: u64 = cfg.seed % cfg.sessions;
+    let next_op = |rng: &mut StdRng, session: u64| -> LoadOp {
+        let writer = session < u64::from(cfg.key_space);
+        if writer && rng.gen::<f64>() < cfg.write_fraction {
+            LoadOp::Write {
+                key: session as u16,
+                delete: rng.gen::<f64>() < 0.05,
+            }
+        } else {
+            LoadOp::Read {
+                key: rng.gen_range(0..cfg.key_space.max(1)),
+            }
+        }
+    };
+    match cfg.mode {
+        LoadMode::Closed { .. } => {
+            while (out.len() as u64) < cfg.total_ops {
+                let session = session_cursor;
+                session_cursor = (session_cursor + 1) % cfg.sessions;
+                let op = next_op(&mut rng, session);
+                out.push(Arrival {
+                    at_us: 0,
+                    session,
+                    op,
+                });
+            }
+        }
+        LoadMode::Open { ops_per_sec } => {
+            let burst_mean = cfg.burst_mean.max(1.0);
+            let mean_gap_us = 1e6 * burst_mean / ops_per_sec.max(1e-9);
+            let gaps = LogNormal::with_mean(mean_gap_us, cfg.sigma);
+            let bursts = LogNormal::with_mean(burst_mean, cfg.burst_sigma);
+            let mut t_us: u64 = 0;
+            while (out.len() as u64) < cfg.total_ops {
+                let gap = gaps.sample(&mut rng) / cfg.profile.multiplier(t_us).max(1e-3);
+                t_us = t_us.saturating_add(gap.clamp(1.0, 60e6) as u64);
+                let burst = (bursts.sample(&mut rng).round() as u64)
+                    .clamp(1, cfg.total_ops - out.len() as u64);
+                for _ in 0..burst {
+                    let session = session_cursor;
+                    session_cursor = (session_cursor + 1) % cfg.sessions;
+                    let op = next_op(&mut rng, session);
+                    out.push(Arrival {
+                        at_us: t_us,
+                        session,
+                        op,
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base(mode: LoadMode) -> LoadConfig {
+        LoadConfig {
+            seed: 7,
+            sessions: 1000,
+            total_ops: 20_000,
+            mode,
+            sigma: 1.2,
+            burst_mean: 4.0,
+            burst_sigma: 0.8,
+            write_fraction: 0.2,
+            key_space: 64,
+            profile: RateProfile::Flat,
+        }
+    }
+
+    #[test]
+    fn schedules_are_deterministic_per_seed() {
+        let cfg = base(LoadMode::Open {
+            ops_per_sec: 50_000.0,
+        });
+        assert_eq!(schedule(&cfg), schedule(&cfg));
+        let other = LoadConfig { seed: 8, ..cfg };
+        assert_ne!(schedule(&cfg), schedule(&other));
+    }
+
+    #[test]
+    fn open_schedule_hits_the_offered_rate() {
+        let cfg = base(LoadMode::Open {
+            ops_per_sec: 100_000.0,
+        });
+        let arrivals = schedule(&cfg);
+        assert_eq!(arrivals.len() as u64, cfg.total_ops);
+        // Timestamps are sorted and the long-run rate is within 2x of
+        // the offered rate (LogNormal tails make it noisy, but the mean
+        // correction keeps it centred).
+        assert!(arrivals.windows(2).all(|w| w[0].at_us <= w[1].at_us));
+        let span_s = arrivals.last().unwrap().at_us as f64 / 1e6;
+        let rate = cfg.total_ops as f64 / span_s;
+        assert!(
+            rate > 50_000.0 && rate < 200_000.0,
+            "long-run rate {rate:.0} ops/s is far from offered 100k"
+        );
+    }
+
+    #[test]
+    fn burst_profile_compresses_the_burst_window() {
+        let mut cfg = base(LoadMode::Open {
+            ops_per_sec: 50_000.0,
+        });
+        cfg.profile = RateProfile::Bursts {
+            period_us: 100_000,
+            duty: 0.2,
+            boost: 8.0,
+        };
+        let arrivals = schedule(&cfg);
+        let in_burst = arrivals
+            .iter()
+            .filter(|a| (a.at_us % 100_000) < 20_000)
+            .count();
+        // 20% of wall time must carry well over 20% of arrivals.
+        assert!(
+            in_burst * 2 > arrivals.len(),
+            "only {in_burst}/{} arrivals landed inside the burst window",
+            arrivals.len()
+        );
+    }
+
+    #[test]
+    fn closed_schedule_has_no_timestamps_and_cycles_sessions() {
+        let cfg = base(LoadMode::Closed { concurrency: 16 });
+        let arrivals = schedule(&cfg);
+        assert_eq!(arrivals.len() as u64, cfg.total_ops);
+        assert!(arrivals.iter().all(|a| a.at_us == 0));
+        let distinct: std::collections::HashSet<u64> = arrivals.iter().map(|a| a.session).collect();
+        assert_eq!(distinct.len() as u64, cfg.sessions);
+    }
+
+    #[test]
+    fn sessions_beyond_the_key_space_never_write() {
+        let cfg = base(LoadMode::Open {
+            ops_per_sec: 10_000.0,
+        });
+        for a in schedule(&cfg) {
+            if let LoadOp::Write { key, .. } = a.op {
+                assert!(a.session < u64::from(cfg.key_space));
+                assert_eq!(u64::from(key), a.session);
+            }
+        }
+    }
+
+    #[test]
+    fn lognormal_mean_correction_is_right() {
+        let dist = LogNormal::with_mean(1000.0, 1.0);
+        let mut rng = StdRng::seed_from_u64(42);
+        let n = 200_000;
+        let sum: f64 = (0..n).map(|_| dist.sample(&mut rng)).sum();
+        let mean = sum / f64::from(n);
+        assert!(
+            (mean - 1000.0).abs() < 100.0,
+            "empirical mean {mean:.1} should be ~1000"
+        );
+    }
+}

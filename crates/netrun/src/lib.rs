@@ -111,6 +111,27 @@ pub struct NodeStatus {
     /// Why the most recent corrupt frame was rejected, for diagnostics
     /// (`None` until the first rejection).
     pub last_corrupt_reason: Option<&'static str>,
+    /// Requests admitted through this node's service front door. The
+    /// runtime itself leaves the service counters zero; a serving layer
+    /// (`dg-service`) merges its always-on metrics into the statuses it
+    /// reports.
+    pub svc_admitted: u64,
+    /// Requests refused with a retryable shed error by the front's
+    /// admission gate.
+    pub svc_shed: u64,
+    /// Requests that entered the engine sharing a front-door batch with
+    /// at least one other request.
+    pub svc_batched: u64,
+    /// Power-of-two histogram of front-door submit-batch sizes: bucket
+    /// `i` counts batches of size `[2^i, 2^(i+1))`, saturating into the
+    /// last bucket.
+    pub svc_batch_hist: [u64; 8],
+    /// Requests admitted but not yet answered across this front's
+    /// connections.
+    pub svc_in_flight: u64,
+    /// Connections dropped for exceeding the buffered-response budget
+    /// (slow consumers).
+    pub svc_slow_disconnects: u64,
 }
 
 enum Event<C> {
@@ -124,6 +145,11 @@ enum Event<C> {
     /// payload to `to` with full recovery tracking (the service layer's
     /// front door).
     AppSend { to: ProcessId, payload: C },
+    /// Inject a batch of external commands admitted by one front-door
+    /// wakeup. The engine steps each command in turn, but the resulting
+    /// wire frames are coalesced in the mesh's pooled buffers and
+    /// flushed once — one write per peer for the whole batch.
+    AppSendBatch { sends: Vec<(ProcessId, C)> },
     /// Inject a crash; the node restarts itself after `downtime_us`.
     Crash { downtime_us: u64 },
     /// Inject a storage fault into the engine.
@@ -581,6 +607,34 @@ where
         self.step(Input::AppSend { to, payload, now });
     }
 
+    /// Inject a batch of external commands (see [`Event::AppSendBatch`]):
+    /// each is a full-tracking engine `AppSend`, but every frame the
+    /// batch produces is queued in the mesh's pooled per-peer buffers
+    /// and the wire is written once per peer at the end — the batched
+    /// front door amortizes one send flush (and one wakeup of each
+    /// receiving peer) across the whole batch.
+    fn on_app_send_batch(&mut self, sends: Vec<(ProcessId, A::Msg)>) {
+        if self.down {
+            return;
+        }
+        self.activity += sends.len() as u64;
+        let dropped_before = self.mesh.frames_dropped;
+        let mut sink = std::mem::take(&mut self.sink);
+        for (to, payload) in sends {
+            let now = now_us(&self.start);
+            self.engine
+                .handle_into(Input::AppSend { to, payload, now }, &mut sink);
+            self.run_effects_queued(&mut sink);
+        }
+        self.sink = sink;
+        self.mesh.flush();
+        if self.mesh.frames_dropped > dropped_before {
+            for f in &mut self.tx_floors {
+                *f = None;
+            }
+        }
+    }
+
     fn on_fault(&mut self, fault: StorageFault) {
         // Storage faults only mark state for the next recovery; they are
         // safe to record even while the process is down.
@@ -615,7 +669,6 @@ where
     }
 
     fn run_effects(&mut self, sink: &mut EffectSink<Wire<A::Msg>, A::Msg>) {
-        let now = now_us(&self.start);
         // One wire-producing effect means at most one frame per peer:
         // write each immediately with a vectored (header, payload) write.
         // Several mean a peer may receive multiple frames this batch:
@@ -628,6 +681,32 @@ where
             .count();
         let coalesce = wire_effects > 1;
         let dropped_before = self.mesh.frames_dropped;
+        self.drain_effects(sink, coalesce);
+        if coalesce {
+            self.mesh.flush();
+        }
+        // Any frame that failed to reach the wire may have been a delta
+        // floor update the peer never saw: drop all transmit floors so
+        // the next App frame per channel travels full. Write errors are
+        // rare (reconnect already retried once), so the reset is cheap
+        // insurance, and the digest check would catch a desync anyway.
+        if self.mesh.frames_dropped > dropped_before {
+            for f in &mut self.tx_floors {
+                *f = None;
+            }
+        }
+    }
+
+    /// Batched-submit variant of [`Node::run_effects`]: always queue
+    /// frames in the mesh's per-peer buffers, never flush — the caller
+    /// flushes once for the whole batch and does the dropped-frame
+    /// floor reset afterwards.
+    fn run_effects_queued(&mut self, sink: &mut EffectSink<Wire<A::Msg>, A::Msg>) {
+        self.drain_effects(sink, true);
+    }
+
+    fn drain_effects(&mut self, sink: &mut EffectSink<Wire<A::Msg>, A::Msg>, coalesce: bool) {
+        let now = now_us(&self.start);
         for effect in sink.drain() {
             match effect {
                 Effect::Send { to, wire, .. } => {
@@ -693,19 +772,6 @@ where
                 Effect::Checkpoint { .. } | Effect::LogWrite { .. } => {}
             }
         }
-        if coalesce {
-            self.mesh.flush();
-        }
-        // Any frame that failed to reach the wire may have been a delta
-        // floor update the peer never saw: drop all transmit floors so
-        // the next App frame per channel travels full. Write errors are
-        // rare (reconnect already retried once), so the reset is cheap
-        // insurance, and the digest check would catch a desync anyway.
-        if self.mesh.frames_dropped > dropped_before {
-            for f in &mut self.tx_floors {
-                *f = None;
-            }
-        }
     }
 
     /// Encode one unicast wire message into `wire_scratch`. App frames
@@ -752,6 +818,9 @@ where
             frames_dropped: self.mesh.frames_dropped,
             frames_corrupt: self.frames_corrupt,
             last_corrupt_reason: self.last_corrupt_reason,
+            // Service counters belong to the serving layer; the runtime
+            // reports zeros and `dg-service` merges its own.
+            ..NodeStatus::default()
         }
     }
 }
@@ -793,6 +862,7 @@ where
                         node.last_corrupt_reason = Some(reason);
                     }
                     Event::AppSend { to, payload } => node.on_app_send(to, payload),
+                    Event::AppSendBatch { sends } => node.on_app_send_batch(sends),
                     Event::Crash { downtime_us } => node.on_crash(downtime_us),
                     Event::Fault(fault) => node.on_fault(fault),
                     Event::Probe { reply } => {
@@ -863,6 +933,20 @@ impl<C> ClusterHandles<C> {
     pub fn app_send(&self, via: ProcessId, to: ProcessId, payload: C) {
         let (tx, idx) = &self.nodes[via.index()];
         let _ = tx.send((*idx, Event::AppSend { to, payload }));
+    }
+
+    /// Batched [`ClusterHandles::app_send`]: hand a whole front-door
+    /// batch to node `via` in one event. The node steps every command
+    /// and flushes the mesh once, so the batch shares one wakeup, one
+    /// coalesced frame per peer, and one send-stamp floor advance.
+    /// Dropped silently (whole batch) if `via` is down or the cluster
+    /// is gone — exactly the crashed-server contract of `app_send`.
+    pub fn app_send_batch(&self, via: ProcessId, sends: Vec<(ProcessId, C)>) {
+        if sends.is_empty() {
+            return;
+        }
+        let (tx, idx) = &self.nodes[via.index()];
+        let _ = tx.send((*idx, Event::AppSendBatch { sends }));
     }
 }
 
@@ -1105,6 +1189,16 @@ where
     pub fn app_send(&self, via: ProcessId, to: ProcessId, payload: A::Msg) {
         let node = &self.nodes[via.index()];
         let _ = node.tx.send((node.idx, Event::AppSend { to, payload }));
+    }
+
+    /// Batched [`Cluster::app_send`] (see
+    /// [`ClusterHandles::app_send_batch`]).
+    pub fn app_send_batch(&self, via: ProcessId, sends: Vec<(ProcessId, A::Msg)>) {
+        if sends.is_empty() {
+            return;
+        }
+        let node = &self.nodes[via.index()];
+        let _ = node.tx.send((node.idx, Event::AppSendBatch { sends }));
     }
 
     /// Inject a storage fault into process `p`'s engine.

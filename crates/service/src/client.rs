@@ -241,6 +241,16 @@ impl ServiceClient {
                         self.conn = Some(conn);
                         return None;
                     }
+                    Ok(ServerFrame::Shed { client, req }) => {
+                        // Refused at admission: nothing reached the
+                        // engine, so retrying the same id is always
+                        // safe. A shed notice for an earlier (settled)
+                        // request is stale — ignore it.
+                        if client == request.client && req == request.req {
+                            self.conn = Some(conn);
+                            return None;
+                        }
+                    }
                     Err(_) => return None,
                 },
                 Ok(FrameRead::IdleTimeout) => {

@@ -1,0 +1,392 @@
+//! The open-loop load driver: millions of logical sessions multiplexed
+//! over a bounded pool of pipelined connections.
+//!
+//! [`ServiceClient`](crate::ServiceClient) is the *correctness* client —
+//! one outstanding request, maximal paranoia. This module is the
+//! *throughput* client: it takes a seeded [`loadgen`] schedule and
+//! drives it through a fixed pool of connections, many requests in
+//! flight per connection, without ever waiting for an answer before
+//! sending the next (open loop) or while keeping a fixed number in
+//! flight (closed loop). Sessions are pinned to connections
+//! (`session % pool`) so committed responses always route to the
+//! connection that will read them.
+//!
+//! Every worker keeps the full end-to-end discipline: requests are
+//! re-issued with the same id after an attempt timeout, shed requests
+//! back off and retry, and a request still unanswered at its deadline
+//! is abandoned into the journal's unacked set, where the service
+//! oracle treats it as an indeterminate wildcard. The merged
+//! [`ServiceJournal`] is exactly what [`check_service`] audits, so the
+//! load engine and the correctness oracle share one witness format.
+//!
+//! [`loadgen`]: dg_harness::loadgen
+//! [`check_service`]: dg_harness::service_oracle::check_service
+
+use std::collections::HashMap;
+use std::io::Write;
+use std::net::{SocketAddr, TcpStream};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use dg_apps::{SvcOp, SvcReply, SvcRequest};
+use dg_harness::loadgen::{Arrival, LoadConfig, LoadMode, LoadOp};
+use dg_harness::service_oracle::{ReadRecord, ResponseRecord, ServiceJournal, WriteRecord};
+
+use crate::wire::{self, FillRead, ServerFrame};
+
+/// Driver knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct LoadOptions {
+    /// Connection-pool size (= worker threads). Sessions are pinned to
+    /// connections by `session % connections`.
+    pub connections: usize,
+    /// Re-issue an unanswered request after this long.
+    pub attempt_timeout: Duration,
+    /// Abandon a request (into the unacked set) after this long.
+    pub deadline: Duration,
+}
+
+impl Default for LoadOptions {
+    fn default() -> LoadOptions {
+        LoadOptions {
+            connections: 4,
+            attempt_timeout: Duration::from_millis(300),
+            deadline: Duration::from_secs(15),
+        }
+    }
+}
+
+/// What a load run produced, aggregated over all workers.
+#[derive(Debug, Default)]
+pub struct LoadOutcome {
+    /// The merged witness for the service oracle.
+    pub journal: ServiceJournal,
+    /// Output-commit latency of every acknowledged request, first send
+    /// to acknowledgement, microseconds. Unsorted.
+    pub latencies_us: Vec<u64>,
+    /// Distinct requests issued.
+    pub issued: u64,
+    /// Requests acknowledged with a committed answer.
+    pub acked: u64,
+    /// Re-issues of already-sent requests (same id).
+    pub retries: u64,
+    /// Shed notices received.
+    pub shed: u64,
+    /// Requests abandoned at their deadline.
+    pub abandoned: u64,
+    /// Wall-clock span of the run.
+    pub elapsed: Duration,
+}
+
+impl LoadOutcome {
+    /// The `q`-quantile (in `[0,1]`) of the acked latencies, or 0 when
+    /// none were recorded. Sorts a copy; call on the aggregate, not in a
+    /// loop.
+    pub fn latency_quantile_us(&self, q: f64) -> u64 {
+        if self.latencies_us.is_empty() {
+            return 0;
+        }
+        let mut sorted = self.latencies_us.clone();
+        sorted.sort_unstable();
+        let idx = ((sorted.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
+        sorted[idx]
+    }
+
+    /// Acked requests per second over the run.
+    pub fn goodput(&self) -> f64 {
+        self.acked as f64 / self.elapsed.as_secs_f64().max(1e-9)
+    }
+}
+
+/// One in-flight request a worker is tracking.
+struct Pending {
+    request: SvcRequest,
+    first_sent: Instant,
+    last_sent: Instant,
+    /// For writes: the value (None = delete); used for journal records.
+    write_value: Option<Option<u64>>,
+}
+
+/// Drive `cfg`'s schedule against `fronts` and collect the outcome.
+/// Blocks until every request is acknowledged or abandoned.
+pub fn run_load(fronts: &[SocketAddr], cfg: &LoadConfig, opts: &LoadOptions) -> LoadOutcome {
+    assert!(!fronts.is_empty(), "load needs at least one front");
+    let pool = opts.connections.max(1);
+    let arrivals = dg_harness::loadgen::schedule(cfg);
+    let last_at_us = arrivals.last().map_or(0, |a| a.at_us);
+    // Partition by pinned connection, preserving timestamp order.
+    let mut slices: Vec<Vec<Arrival>> = (0..pool).map(|_| Vec::new()).collect();
+    for a in arrivals {
+        slices[(a.session % pool as u64) as usize].push(a);
+    }
+    let per_worker_conc = match cfg.mode {
+        LoadMode::Open { .. } => usize::MAX,
+        LoadMode::Closed { concurrency } => concurrency.div_ceil(pool).max(1),
+    };
+    let start = Instant::now();
+    let hard_stop =
+        start + Duration::from_micros(last_at_us) + opts.deadline + Duration::from_secs(30);
+    let workers: Vec<_> = slices
+        .into_iter()
+        .enumerate()
+        .map(|(w, slice)| {
+            let fronts = fronts.to_vec();
+            let opts = *opts;
+            thread::spawn(move || {
+                run_worker(w, &fronts, slice, per_worker_conc, &opts, start, hard_stop)
+            })
+        })
+        .collect();
+    let mut out = LoadOutcome::default();
+    for worker in workers {
+        let part = worker.join().expect("load worker panicked");
+        out.journal.acked_writes.extend(part.journal.acked_writes);
+        out.journal
+            .unacked_writes
+            .extend(part.journal.unacked_writes);
+        out.journal.observed_gets.extend(part.journal.observed_gets);
+        out.journal.responses.extend(part.journal.responses);
+        out.latencies_us.extend(part.latencies_us);
+        out.issued += part.issued;
+        out.acked += part.acked;
+        out.retries += part.retries;
+        out.shed += part.shed;
+        out.abandoned += part.abandoned;
+    }
+    out.elapsed = start.elapsed();
+    out
+}
+
+/// Condense a reply exactly as [`crate::ServiceClient`] does, so both
+/// witnesses feed the determinism check identically.
+fn reply_summary(reply: SvcReply) -> u64 {
+    match reply {
+        SvcReply::Written => 0,
+        SvcReply::NotFound => 1,
+        SvcReply::Stale => 2,
+        SvcReply::Value(v) => v.wrapping_mul(5).wrapping_add(3),
+    }
+}
+
+#[allow(clippy::too_many_lines)]
+fn run_worker(
+    worker: usize,
+    fronts: &[SocketAddr],
+    mut queue: Vec<Arrival>,
+    concurrency: usize,
+    opts: &LoadOptions,
+    start: Instant,
+    hard_stop: Instant,
+) -> LoadOutcome {
+    let mut out = LoadOutcome::default();
+    queue.reverse(); // pop from the back in schedule order
+    let mut pending: HashMap<(u64, u64), Pending> = HashMap::new();
+    let mut next_req: HashMap<u64, u64> = HashMap::new();
+    let mut next_val: HashMap<u64, u64> = HashMap::new();
+    let mut cursor = worker % fronts.len();
+    let mut conn: Option<TcpStream> = None;
+    let mut frames = wire::FrameBuffer::new();
+    let mut sendbuf: Vec<u8> = Vec::new();
+    let mut expired: Vec<(u64, u64)> = Vec::new();
+
+    while !(queue.is_empty() && pending.is_empty()) {
+        let now = Instant::now();
+        if now > hard_stop {
+            // Safety valve: abandon whatever is left so the run always
+            // terminates; the oracle sees the leftovers as unacked.
+            for (_, p) in pending.drain() {
+                abandon(&mut out, &p);
+            }
+            // Never-issued arrivals never left the client, so they are
+            // not even indeterminate — just count them.
+            while queue.pop().is_some() {
+                out.abandoned += 1;
+            }
+            break;
+        }
+
+        // 1. Issue newly due arrivals (bounded per spin to keep frames
+        //    and catch-up bursts sane).
+        sendbuf.clear();
+        let mut due = 0;
+        while due < 1024 && pending.len() < concurrency {
+            let Some(a) = queue.last() else { break };
+            let due_at = start + Duration::from_micros(a.at_us);
+            if concurrency == usize::MAX && due_at > now {
+                break;
+            }
+            let a = queue.pop().expect("peeked");
+            let session = a.session;
+            let req = next_req.entry(session).or_insert(1);
+            let id = *req;
+            *req += 1;
+            let (op, write_value) = match a.op {
+                LoadOp::Write { key, delete } => {
+                    if delete {
+                        (SvcOp::Del { key }, Some(None))
+                    } else {
+                        let seq = next_val.entry(session).or_insert(1);
+                        let value = *seq;
+                        *seq += 1;
+                        (SvcOp::Put { key, value }, Some(Some(value)))
+                    }
+                }
+                LoadOp::Read { key } => (SvcOp::Get { key }, None),
+            };
+            let request = SvcRequest {
+                client: session,
+                req: id,
+                op,
+            };
+            sendbuf.extend_from_slice(&wire::encode_request(&request));
+            pending.insert(
+                (session, id),
+                Pending {
+                    request,
+                    first_sent: now,
+                    last_sent: now,
+                    write_value,
+                },
+            );
+            out.issued += 1;
+            due += 1;
+        }
+
+        // 2. Re-issue overdue requests; abandon the hopeless.
+        expired.clear();
+        for (key, p) in &mut pending {
+            if now.duration_since(p.first_sent) >= opts.deadline {
+                expired.push(*key);
+            } else if now.duration_since(p.last_sent) >= opts.attempt_timeout {
+                sendbuf.extend_from_slice(&wire::encode_request(&p.request));
+                p.last_sent = now;
+                out.retries += 1;
+            }
+        }
+        for key in &expired {
+            if let Some(p) = pending.remove(key) {
+                abandon(&mut out, &p);
+            }
+        }
+
+        // 3. Put the batch on the wire (one write), reconnecting and
+        //    rotating fronts on trouble. Lost bytes are re-issued by
+        //    the attempt timeout — same-id retries are safe.
+        if conn.is_none() {
+            cursor = (cursor + 1) % fronts.len();
+            if let Ok(s) = TcpStream::connect(fronts[cursor]) {
+                let _ = s.set_nodelay(true);
+                let _ = s.set_read_timeout(Some(Duration::from_millis(1)));
+                frames = wire::FrameBuffer::new();
+                conn = Some(s);
+            } else {
+                thread::sleep(Duration::from_millis(2));
+                continue;
+            }
+        }
+        let mut drop_conn = false;
+        if !sendbuf.is_empty() {
+            let s = conn.as_mut().expect("connected above");
+            if s.write_all(&sendbuf).is_err() {
+                conn = None;
+                continue;
+            }
+        }
+
+        // 4. Drain whatever answers are ready (short read timeout keeps
+        //    the loop live even when quiet).
+        let s = conn.as_mut().expect("connected above");
+        match frames.fill(s) {
+            Ok(FillRead::Data) => {
+                // Fresh stamp: `now` is spin-start, and a reply that
+                // lands within its own issuing spin (a sub-millisecond
+                // commit caught by the fill timeout) would otherwise
+                // record a latency of exactly zero.
+                let drained_at = Instant::now();
+                loop {
+                    match frames.next_frame() {
+                        Ok(Some(body)) => {
+                            match wire::decode_server(body.to_vec()) {
+                                Ok(ServerFrame::Reply { client, req, reply }) => {
+                                    out.journal.responses.push(ResponseRecord {
+                                        client,
+                                        req,
+                                        summary: reply_summary(reply),
+                                    });
+                                    if let Some(p) = pending.remove(&(client, req)) {
+                                        settle(&mut out, &p, reply, drained_at);
+                                    }
+                                }
+                                Ok(ServerFrame::Shed { client, req }) => {
+                                    out.shed += 1;
+                                    // Back off: the attempt timer restarts,
+                                    // so the retry lands once the front has
+                                    // drained a little.
+                                    if let Some(p) = pending.get_mut(&(client, req)) {
+                                        p.last_sent = drained_at;
+                                    }
+                                }
+                                // Advisory "owner is down": the attempt
+                                // timer already covers it.
+                                Ok(ServerFrame::Retry) => {}
+                                Err(_) => {
+                                    drop_conn = true;
+                                    break;
+                                }
+                            }
+                        }
+                        Ok(None) => break,
+                        Err(_) => {
+                            drop_conn = true;
+                            break;
+                        }
+                    }
+                }
+            }
+            Ok(FillRead::IdleTimeout) => {}
+            Ok(FillRead::Eof) | Err(_) => drop_conn = true,
+        }
+        if drop_conn {
+            conn = None;
+        }
+    }
+    out
+}
+
+/// Record an acknowledged request in the journal.
+fn settle(out: &mut LoadOutcome, p: &Pending, reply: SvcReply, now: Instant) {
+    out.acked += 1;
+    out.latencies_us
+        .push(u64::try_from(now.duration_since(p.first_sent).as_micros()).unwrap_or(u64::MAX));
+    match p.write_value {
+        Some(value) => out.journal.acked_writes.push(WriteRecord {
+            client: p.request.client,
+            req: p.request.req,
+            key: p.request.op.key(),
+            value,
+        }),
+        None => out.journal.observed_gets.push(ReadRecord {
+            client: p.request.client,
+            req: p.request.req,
+            key: p.request.op.key(),
+            value: match reply {
+                SvcReply::Value(v) => Some(v),
+                _ => None,
+            },
+        }),
+    }
+}
+
+/// Record a deadline abandonment; an issued write becomes an
+/// indeterminate (unacked) journal entry.
+fn abandon(out: &mut LoadOutcome, p: &Pending) {
+    out.abandoned += 1;
+    if let Some(value) = p.write_value {
+        out.journal.unacked_writes.push(WriteRecord {
+            client: p.request.client,
+            req: p.request.req,
+            key: p.request.op.key(),
+            value,
+        });
+    }
+}

@@ -1,0 +1,122 @@
+//! Always-on front-door counters.
+//!
+//! One [`FrontMetrics`] per front, all atomic, updated with relaxed
+//! increments on the hot path — cheap enough to leave on in production
+//! (the registry-of-atomics shape of every serious metrics crate,
+//! without the dependency). [`ServiceCluster::statuses`] merges them
+//! into the [`dg_netrun::NodeStatus`] rows it reports, so one probe
+//! shows protocol health and front-door health side by side.
+//!
+//! [`ServiceCluster::statuses`]: crate::ServiceCluster::statuses
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use dg_netrun::NodeStatus;
+
+/// Number of power-of-two buckets in the batch-size histogram: bucket
+/// `i` counts submit batches of size `[2^i, 2^(i+1))`, the last bucket
+/// saturating.
+pub const BATCH_HIST_BUCKETS: usize = 8;
+
+/// Counters for one front door. All monotone except `in_flight` (a
+/// gauge).
+#[derive(Debug, Default)]
+pub struct FrontMetrics {
+    /// Requests admitted past the gate and submitted to the engine.
+    pub admitted: AtomicU64,
+    /// Requests refused with [`crate::ServerFrame::Shed`].
+    pub shed: AtomicU64,
+    /// Requests that shared a submit batch with at least one other.
+    pub batched: AtomicU64,
+    /// Histogram of submit-batch sizes (powers of two).
+    pub batch_hist: [AtomicU64; BATCH_HIST_BUCKETS],
+    /// Admitted requests not yet answered (gauge).
+    pub in_flight: AtomicU64,
+    /// Connections dropped for exceeding the buffered-response budget.
+    pub slow_disconnects: AtomicU64,
+}
+
+impl FrontMetrics {
+    /// Record one submit batch of `size` admitted requests.
+    pub fn record_batch(&self, size: usize) {
+        if size == 0 {
+            return;
+        }
+        if size > 1 {
+            self.batched.fetch_add(size as u64, Ordering::Relaxed);
+        }
+        let bucket = (usize::BITS - 1 - size.leading_zeros()) as usize;
+        let bucket = bucket.min(BATCH_HIST_BUCKETS - 1);
+        self.batch_hist[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Copy the counters into a [`NodeStatus`] row.
+    pub fn merge_into(&self, status: &mut NodeStatus) {
+        status.svc_admitted = self.admitted.load(Ordering::Relaxed);
+        status.svc_shed = self.shed.load(Ordering::Relaxed);
+        status.svc_batched = self.batched.load(Ordering::Relaxed);
+        for (out, bucket) in status.svc_batch_hist.iter_mut().zip(&self.batch_hist) {
+            *out = bucket.load(Ordering::Relaxed);
+        }
+        status.svc_in_flight = self.in_flight.load(Ordering::Relaxed);
+        status.svc_slow_disconnects = self.slow_disconnects.load(Ordering::Relaxed);
+    }
+}
+
+/// The per-cluster registry: one [`FrontMetrics`] per front, in node
+/// order.
+#[derive(Debug)]
+pub struct ServiceMetrics {
+    fronts: Vec<FrontMetrics>,
+}
+
+impl ServiceMetrics {
+    /// A registry for `n` fronts, all counters zero.
+    pub fn new(n: usize) -> ServiceMetrics {
+        ServiceMetrics {
+            fronts: (0..n).map(|_| FrontMetrics::default()).collect(),
+        }
+    }
+
+    /// The counters of front `i`.
+    pub fn front(&self, i: usize) -> &FrontMetrics {
+        &self.fronts[i]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batch_histogram_buckets_by_power_of_two() {
+        let m = FrontMetrics::default();
+        m.record_batch(0); // ignored
+        m.record_batch(1);
+        m.record_batch(2);
+        m.record_batch(3);
+        m.record_batch(64);
+        m.record_batch(1000); // saturates into the last bucket
+        let hist: Vec<u64> = m
+            .batch_hist
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        assert_eq!(hist, vec![1, 2, 0, 0, 0, 0, 1, 1]);
+        // Only multi-request batches count toward `batched`.
+        assert_eq!(m.batched.load(Ordering::Relaxed), 2 + 3 + 64 + 1000);
+    }
+
+    #[test]
+    fn merge_fills_status_fields() {
+        let m = FrontMetrics::default();
+        m.admitted.fetch_add(5, Ordering::Relaxed);
+        m.shed.fetch_add(2, Ordering::Relaxed);
+        m.record_batch(4);
+        let mut status = NodeStatus::default();
+        m.merge_into(&mut status);
+        assert_eq!(status.svc_admitted, 5);
+        assert_eq!(status.svc_shed, 2);
+        assert_eq!(status.svc_batch_hist[2], 1);
+    }
+}

@@ -2,12 +2,16 @@
 //!
 //! Requests up: `[u32 LE length][SvcRequest]`. Responses down:
 //! `[u32 LE length][tag]` where tag 0 carries a committed
-//! `(client, req, reply)` triple and tag 1 is a bare *retry hint* (the
+//! `(client, req, reply)` triple, tag 1 is a bare *retry hint* (the
 //! front door knows the responsible replica is down right now; try
-//! again later or elsewhere). There is no checksum here: client links
-//! are ordinary loopback TCP and carry no recovery-protocol state — the
-//! end-to-end guarantee comes from request-id dedup plus output commit,
-//! not from link integrity.
+//! again later or elsewhere), and tag 2 is an attributable *shed*: the
+//! admission gate refused `(client, req)` because the front is at its
+//! queue-depth bound — retryable, and carrying the request identity so
+//! a pipelined client knows exactly which in-flight request to back
+//! off. There is no checksum here: client links are ordinary loopback
+//! TCP and carry no recovery-protocol state — the end-to-end guarantee
+//! comes from request-id dedup plus output commit, not from link
+//! integrity.
 
 use std::io::{self, Read};
 
@@ -21,6 +25,7 @@ pub const MAX_FRAME: usize = 1 << 16;
 
 const TAG_REPLY: u8 = 0;
 const TAG_RETRY: u8 = 1;
+const TAG_SHED: u8 = 2;
 
 /// One frame from the service to a client.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -37,6 +42,17 @@ pub enum ServerFrame {
     /// "The responsible replica is down; retry." Advisory only — the
     /// absence of a retry hint never implies an answer is coming.
     Retry,
+    /// Load shed: the admission gate refused `(client, req)` because the
+    /// front already has its full queue depth in flight. The request was
+    /// **never** submitted to the engine — retrying it later is always
+    /// safe, and the identity lets a pipelined client attribute the
+    /// refusal to the right in-flight slot.
+    Shed {
+        /// Refused client.
+        client: u64,
+        /// Refused request.
+        req: u64,
+    },
 }
 
 /// Length-prefix `body` into a writable frame.
@@ -60,6 +76,18 @@ pub fn encode_request(request: &SvcRequest) -> Vec<u8> {
 
 /// Encode a server response frame.
 pub fn encode_server(msg: &ServerFrame) -> Vec<u8> {
+    let mut out = Vec::new();
+    encode_server_into(msg, &mut out);
+    out
+}
+
+/// Append one length-prefixed server frame to `out` — the batched
+/// release path: the router encodes a whole committed batch for one
+/// connection into a single buffer and the writer puts it on the wire
+/// with a single write.
+pub fn encode_server_into(msg: &ServerFrame, out: &mut Vec<u8>) {
+    let at = out.len();
+    out.extend_from_slice(&[0u8; 4]); // length, patched below
     let mut body = BytesMut::new();
     match *msg {
         ServerFrame::Reply { client, req, reply } => {
@@ -69,8 +97,15 @@ pub fn encode_server(msg: &ServerFrame) -> Vec<u8> {
             reply.encode(&mut body);
         }
         ServerFrame::Retry => body.put_u8(TAG_RETRY),
+        ServerFrame::Shed { client, req } => {
+            body.put_u8(TAG_SHED);
+            put_varint(&mut body, client);
+            put_varint(&mut body, req);
+        }
     }
-    frame(&body)
+    out.extend_from_slice(body.as_slice());
+    let len = u32::try_from(body.len()).expect("frame fits u32");
+    out[at..at + 4].copy_from_slice(&len.to_le_bytes());
 }
 
 /// Decode the body of a request frame.
@@ -100,8 +135,23 @@ pub fn decode_server(bytes: Vec<u8>) -> Result<ServerFrame, CodecError> {
             reply: SvcReply::decode(&mut buf)?,
         }),
         TAG_RETRY => Ok(ServerFrame::Retry),
+        TAG_SHED => Ok(ServerFrame::Shed {
+            client: get_varint(&mut buf)?,
+            req: get_varint(&mut buf)?,
+        }),
         other => Err(CodecError::BadTag(other)),
     }
+}
+
+/// Decode a request frame body from a borrowed slice (the batched
+/// reader hands out views into its accumulation buffer).
+///
+/// # Errors
+///
+/// Returns a [`CodecError`] when the bytes are not a valid request.
+pub fn decode_request_slice(bytes: &[u8]) -> Result<SvcRequest, CodecError> {
+    let mut buf = Bytes::from(bytes.to_vec());
+    SvcRequest::decode(&mut buf)
 }
 
 /// What one call to [`read_frame`] produced.
@@ -146,6 +196,107 @@ pub fn read_frame(stream: &mut impl Read) -> io::Result<FrameRead> {
             io::ErrorKind::UnexpectedEof,
             "client frame truncated",
         )),
+    }
+}
+
+/// What one [`FrameBuffer::fill`] call produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FillRead {
+    /// At least one byte arrived; drain frames with
+    /// [`FrameBuffer::next_frame`].
+    Data,
+    /// The peer closed the stream.
+    Eof,
+    /// The read timed out with no byte arriving; the connection is idle
+    /// but alive.
+    IdleTimeout,
+}
+
+/// The batched reader's decoder: accumulate whatever one `read(2)`
+/// returns and parse out *every* complete length-prefixed frame, keeping
+/// any trailing partial for the next fill. A pipelined client that wrote
+/// many requests back-to-back yields them all in one wakeup — this is
+/// where front-door batching comes from.
+#[derive(Debug, Default)]
+pub struct FrameBuffer {
+    buf: Vec<u8>,
+    /// Start of un-consumed bytes in `buf`.
+    start: usize,
+}
+
+impl FrameBuffer {
+    /// An empty buffer.
+    pub fn new() -> FrameBuffer {
+        FrameBuffer::default()
+    }
+
+    /// Read once from `stream` (which may carry a read timeout) into the
+    /// buffer, compacting consumed bytes first so the buffer stays at
+    /// its high-water capacity instead of growing without bound.
+    ///
+    /// # Errors
+    ///
+    /// Propagates IO errors; the caller must drop the connection.
+    pub fn fill(&mut self, stream: &mut impl Read) -> io::Result<FillRead> {
+        if self.start > 0 {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+        let len = self.buf.len();
+        self.buf.resize(len + 64 * 1024, 0);
+        loop {
+            match stream.read(&mut self.buf[len..]) {
+                Ok(0) => {
+                    self.buf.truncate(len);
+                    return Ok(FillRead::Eof);
+                }
+                Ok(k) => {
+                    self.buf.truncate(len + k);
+                    return Ok(FillRead::Data);
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    self.buf.truncate(len);
+                    return Ok(FillRead::IdleTimeout);
+                }
+                Err(e) => {
+                    self.buf.truncate(len);
+                    return Err(e);
+                }
+            }
+        }
+    }
+
+    /// The next complete frame body, if one is buffered. Call until it
+    /// returns `Ok(None)` to drain the batch.
+    ///
+    /// # Errors
+    ///
+    /// A mangled length prefix is `InvalidData`; the stream can no
+    /// longer be trusted and must be dropped.
+    pub fn next_frame(&mut self) -> io::Result<Option<&[u8]>> {
+        let avail = &self.buf[self.start..];
+        if avail.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes(avail[..4].try_into().expect("4 bytes")) as usize;
+        if len == 0 || len > MAX_FRAME {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "client frame length out of range",
+            ));
+        }
+        if avail.len() < 4 + len {
+            return Ok(None);
+        }
+        let at = self.start + 4;
+        self.start = at + len;
+        Ok(Some(&self.buf[at..at + len]))
     }
 }
 
@@ -225,6 +376,10 @@ mod tests {
                 reply: SvcReply::Written,
             },
             ServerFrame::Retry,
+            ServerFrame::Shed {
+                client: u64::MAX,
+                req: 77,
+            },
         ] {
             let framed = encode_server(&msg);
             let mut cursor = io::Cursor::new(framed);
@@ -233,6 +388,79 @@ mod tests {
             };
             assert_eq!(decode_server(body).unwrap(), msg);
         }
+    }
+
+    #[test]
+    fn batched_server_encoding_concatenates_frames() {
+        let frames = [
+            ServerFrame::Reply {
+                client: 3,
+                req: 1,
+                reply: SvcReply::Written,
+            },
+            ServerFrame::Shed { client: 3, req: 2 },
+            ServerFrame::Reply {
+                client: 4,
+                req: 9,
+                reply: SvcReply::NotFound,
+            },
+        ];
+        let mut buf = Vec::new();
+        for f in &frames {
+            encode_server_into(f, &mut buf);
+        }
+        let mut cursor = io::Cursor::new(buf);
+        for f in &frames {
+            let FrameRead::Frame(body) = read_frame(&mut cursor).unwrap() else {
+                panic!("expected a frame");
+            };
+            assert_eq!(&decode_server(body).unwrap(), f);
+        }
+        assert!(matches!(read_frame(&mut cursor).unwrap(), FrameRead::Eof));
+    }
+
+    #[test]
+    fn frame_buffer_drains_pipelined_frames_and_keeps_partials() {
+        let reqs: Vec<SvcRequest> = (0..5)
+            .map(|i| SvcRequest {
+                client: 1,
+                req: i,
+                op: SvcOp::Put {
+                    key: i as u16,
+                    value: i * 10,
+                },
+            })
+            .collect();
+        let mut stream = Vec::new();
+        for r in &reqs {
+            stream.extend(encode_request(r));
+        }
+        // Split the byte stream mid-frame: everything complete in the
+        // first chunk drains in one wakeup, the partial carries over.
+        let cut = stream.len() - 3;
+        let mut fb = FrameBuffer::new();
+        let mut out = Vec::new();
+        let mut first = io::Cursor::new(stream[..cut].to_vec());
+        assert_eq!(fb.fill(&mut first).unwrap(), FillRead::Data);
+        while let Some(body) = fb.next_frame().unwrap() {
+            out.push(decode_request_slice(body).unwrap());
+        }
+        assert_eq!(out.len(), 4, "four complete frames in the first batch");
+        let mut second = io::Cursor::new(stream[cut..].to_vec());
+        assert_eq!(fb.fill(&mut second).unwrap(), FillRead::Data);
+        while let Some(body) = fb.next_frame().unwrap() {
+            out.push(decode_request_slice(body).unwrap());
+        }
+        assert_eq!(out, reqs);
+        assert_eq!(fb.fill(&mut second).unwrap(), FillRead::Eof);
+    }
+
+    #[test]
+    fn frame_buffer_rejects_mangled_prefix() {
+        let mut fb = FrameBuffer::new();
+        let mut junk = io::Cursor::new(vec![0u8; 8]);
+        assert_eq!(fb.fill(&mut junk).unwrap(), FillRead::Data);
+        assert!(fb.next_frame().is_err(), "zero length prefix rejected");
     }
 
     #[test]

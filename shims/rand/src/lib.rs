@@ -77,6 +77,32 @@ impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
     }
 }
 
+/// Next value in `[0, 1)` with 53 uniform mantissa bits.
+fn unit_f64<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+}
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        self.start + unit_f64(rng) * (self.end - self.start)
+    }
+}
+
+/// Types [`Rng::gen`] can draw with their "standard" distribution —
+/// the small slice of the real crate's `Standard` the workspace uses.
+pub trait Standard: Sized {
+    /// Draw one value.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    /// Uniform on `[0, 1)`.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+        unit_f64(rng)
+    }
+}
+
 /// High-level sampling methods, available on every [`RngCore`].
 pub trait Rng: RngCore {
     /// Uniform draw from `range` (half-open or inclusive).
@@ -85,6 +111,15 @@ pub trait Rng: RngCore {
         Self: Sized,
     {
         range.sample_from(self)
+    }
+
+    /// Draw one value with `T`'s standard distribution (for `f64`:
+    /// uniform on `[0, 1)`).
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_standard(self)
     }
 
     /// Bernoulli draw: `true` with probability `p`.
